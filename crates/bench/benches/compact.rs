@@ -1,0 +1,72 @@
+//! Compact trace encode/decode throughput (paper Figure 14).
+//!
+//! "As the optimizer must already decode each instruction and identify
+//! all branch targets, this representation adds little overhead to
+//! region selection" — encoding is two bits per conditional branch;
+//! decoding replays the program text once.
+
+use criterion::{BenchmarkId, Criterion, Throughput, criterion_group, criterion_main};
+use rsel_program::{Program, ProgramBuilder};
+use rsel_trace::{AddrWidth, CompactTrace, TraceRecorder};
+
+/// A long chain of two-instruction blocks, each ending in a conditional
+/// branch to the next-next block (so both directions stay in range).
+fn chain(n_blocks: usize) -> Program {
+    let mut b = ProgramBuilder::new();
+    let f = b.function("chain", 0x1000);
+    let ids: Vec<_> = (0..n_blocks).map(|_| b.block_with(f, 1)).collect();
+    for (i, &id) in ids.iter().enumerate() {
+        if i + 2 < n_blocks {
+            b.cond_branch(id, ids[i + 2]);
+        } else {
+            b.ret(id);
+        }
+    }
+    b.build().expect("chain is well-formed")
+}
+
+fn record(p: &Program, flips: usize) -> CompactTrace {
+    let mut rec = TraceRecorder::new(p.entry(), AddrWidth::W32);
+    let mut addr = p.entry();
+    let mut last = addr;
+    let mut k = 0;
+    while k < flips {
+        let inst = p.inst_at(addr).expect("on path");
+        last = addr;
+        use rsel_program::InstKind;
+        addr = match inst.kind() {
+            InstKind::Straight => inst.fallthrough_addr(),
+            InstKind::CondBranch { target } => {
+                let taken = k % 3 == 0;
+                rec.record_cond(taken);
+                k += 1;
+                if taken { target } else { inst.fallthrough_addr() }
+            }
+            _ => break,
+        };
+    }
+    rec.finish(last)
+}
+
+fn codec(c: &mut Criterion) {
+    let mut group = c.benchmark_group("compact_trace");
+    for branches in [16usize, 128, 1024] {
+        let p = chain(4 * branches + 8);
+        group.throughput(Throughput::Elements(branches as u64));
+        group.bench_with_input(
+            BenchmarkId::new("encode", branches),
+            &branches,
+            |b, &n| {
+                b.iter(|| std::hint::black_box(record(&p, n).byte_len()));
+            },
+        );
+        let ct = record(&p, branches);
+        group.bench_with_input(BenchmarkId::new("decode", branches), &branches, |b, _| {
+            b.iter(|| std::hint::black_box(ct.decode(&p).expect("round trip").insts.len()));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, codec);
+criterion_main!(benches);

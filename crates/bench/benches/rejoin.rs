@@ -1,0 +1,60 @@
+//! Scaling of MARK-REJOINING-PATHS (paper Figure 15).
+//!
+//! The paper argues the worst case is O(n·e) but the post-order visit
+//! makes it almost always linear in the edges. This bench runs the pass
+//! over diamond-chain CFGs of growing size.
+
+use criterion::{BenchmarkId, Criterion, criterion_group, criterion_main};
+use rsel_core::select::rejoin::mark_rejoining_paths;
+use rsel_program::Addr;
+use std::collections::{HashMap, HashSet};
+
+/// A chain of `n` diamonds: entry -> (a_i | b_i) -> join_i -> ..., with
+/// only every fourth block initially marked.
+fn diamond_chain(n: usize) -> (Addr, Vec<Addr>, HashMap<Addr, Vec<Addr>>, HashSet<Addr>) {
+    let mut nodes = Vec::new();
+    let mut edges: HashMap<Addr, Vec<Addr>> = HashMap::new();
+    let mut marked = HashSet::new();
+    let node = |i: u64| Addr::new(0x1000 + i * 4);
+    let mut next_id = 0u64;
+    let mut alloc = || {
+        let a = node(next_id);
+        next_id += 1;
+        a
+    };
+    let entry = alloc();
+    nodes.push(entry);
+    marked.insert(entry);
+    let mut cur = entry;
+    for i in 0..n {
+        let a = alloc();
+        let b = alloc();
+        let join = alloc();
+        nodes.extend([a, b, join]);
+        edges.entry(cur).or_default().extend([a, b]);
+        edges.entry(a).or_default().push(join);
+        edges.entry(b).or_default().push(join);
+        if i % 4 == 0 {
+            marked.insert(join);
+        }
+        cur = join;
+    }
+    (entry, nodes, edges, marked)
+}
+
+fn rejoin_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("mark_rejoining_paths");
+    for n in [8usize, 32, 128, 512] {
+        let (entry, nodes, edges, marked) = diamond_chain(n);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| {
+                let r = mark_rejoining_paths(entry, &nodes, &edges, &marked);
+                std::hint::black_box(r.marked.len())
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, rejoin_scaling);
+criterion_main!(benches);

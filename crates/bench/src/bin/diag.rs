@@ -1,0 +1,53 @@
+//! Raw per-(workload, selector) diagnostics: everything the figures are
+//! derived from, in one dump. Useful when calibrating workloads or
+//! debugging a selector.
+
+use rsel_bench::run_matrix_from_env;
+use rsel_core::SimConfig;
+use rsel_core::select::SelectorKind;
+
+fn main() {
+    let config = SimConfig::default();
+    let kinds = [
+        SelectorKind::Net,
+        SelectorKind::Lei,
+        SelectorKind::CombinedNet,
+        SelectorKind::CombinedLei,
+    ];
+    let m = run_matrix_from_env(&kinds, &config);
+    println!(
+        "{:<9} {:<13} {:>7} {:>9} {:>7} {:>9} {:>7} {:>7} {:>6} {:>6} {:>8} {:>7}",
+        "workload",
+        "selector",
+        "regions",
+        "copied",
+        "stubs",
+        "trans",
+        "hit%",
+        "span%",
+        "exec%",
+        "cov90",
+        "counters",
+        "obsKB"
+    );
+    for &w in m.workloads() {
+        for &k in &kinds {
+            let r = m.report(w, k);
+            println!(
+                "{:<9} {:<13} {:>7} {:>9} {:>7} {:>9} {:>6.2} {:>6.1} {:>6.1} {:>6} {:>8} {:>7.1}",
+                w,
+                k.name(),
+                r.region_count(),
+                r.insts_copied(),
+                r.stub_count(),
+                r.region_transitions,
+                100.0 * r.hit_rate(),
+                100.0 * r.spanned_cycle_ratio(),
+                100.0 * r.executed_cycle_ratio(),
+                r.cover_set_size(0.9).map(|c| c as i64).unwrap_or(-1),
+                r.peak_counters,
+                r.peak_observed_bytes as f64 / 1024.0,
+            );
+        }
+    }
+}

@@ -1,0 +1,39 @@
+//! Figure 7: the improvement of LEI over NET in selecting traces that
+//! span cycles.
+//!
+//! Prints, per benchmark, the *increase* (percentage points) in the
+//! spanned cycle ratio (what fraction of selected traces contain a
+//! branch to their top) and the executed cycle ratio (what fraction of
+//! trace executions end by taking that branch). The paper reports LEI
+//! raising the overall proportion of cycle-spanning traces by nearly 5
+//! points, with the two metrics highly correlated.
+
+use rsel_bench::{Table, run_matrix_from_env};
+use rsel_core::SimConfig;
+use rsel_core::select::SelectorKind;
+
+fn main() {
+    let config = SimConfig::default();
+    let m = run_matrix_from_env(&[SelectorKind::Net, SelectorKind::Lei], &config);
+    let mut t = Table::new(
+        "Figure 7: LEI - NET cycle-ratio deltas (percentage points)",
+        &["d-spanned", "d-executed"],
+    )
+    .arithmetic_mean();
+    let mut spanned_deltas = Vec::new();
+    let mut executed_deltas = Vec::new();
+    for &w in m.workloads() {
+        let net = m.report(w, SelectorKind::Net);
+        let lei = m.report(w, SelectorKind::Lei);
+        let ds = 100.0 * (lei.spanned_cycle_ratio() - net.spanned_cycle_ratio());
+        let de = 100.0 * (lei.executed_cycle_ratio() - net.executed_cycle_ratio());
+        t.row(w, &[ds, de]);
+        spanned_deltas.push(ds);
+        executed_deltas.push(de);
+    }
+    print!("{}", t.render());
+    let avg_s = spanned_deltas.iter().sum::<f64>() / spanned_deltas.len() as f64;
+    let avg_e = executed_deltas.iter().sum::<f64>() / executed_deltas.len() as f64;
+    println!("\narithmetic mean delta: spanned {avg_s:+.1} pp, executed {avg_e:+.1} pp");
+    println!("paper: LEI raises the proportion of cycle-spanning traces by nearly 5 pp");
+}

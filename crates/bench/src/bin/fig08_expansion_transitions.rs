@@ -1,0 +1,45 @@
+//! Figure 8: code expansion and region transitions of LEI relative to
+//! NET.
+//!
+//! The paper: "on average LEI results in 92% of the code expansion of
+//! NET ... the number of region transitions is only 80% of that of
+//! NET", with crafty (expansion) and parser (transitions) the cases
+//! where LEI does no better.
+
+use rsel_bench::{Table, run_matrix_from_env};
+use rsel_core::SimConfig;
+use rsel_core::select::SelectorKind;
+
+fn main() {
+    let config = SimConfig::default();
+    let m = run_matrix_from_env(&[SelectorKind::Net, SelectorKind::Lei], &config);
+    let mut t = Table::new(
+        "Figure 8: LEI relative to NET (ratio; < 1 means LEI better)",
+        &["expansion", "transitions"],
+    );
+    for &w in m.workloads() {
+        let net = m.report(w, SelectorKind::Net);
+        let lei = m.report(w, SelectorKind::Lei);
+        let expansion = lei.insts_copied() as f64 / net.insts_copied().max(1) as f64;
+        let transitions =
+            lei.region_transitions as f64 / net.region_transitions.max(1) as f64;
+        t.row(w, &[expansion, transitions]);
+    }
+    print!("{}", t.render());
+    println!("\npaper: average expansion 0.92, average transitions 0.80;");
+    println!("crafty shows no expansion win, parser no transition win");
+
+    // Average trace size, quoted in §3.2.2 (14.8 -> 18.3 instructions).
+    let mut net_sizes = Vec::new();
+    let mut lei_sizes = Vec::new();
+    for &w in m.workloads() {
+        net_sizes.push(m.report(w, SelectorKind::Net).avg_region_insts());
+        lei_sizes.push(m.report(w, SelectorKind::Lei).avg_region_insts());
+    }
+    let avg = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
+    println!(
+        "\naverage trace size: NET {:.1} insts, LEI {:.1} insts (paper: 14.8 -> 18.3)",
+        avg(&net_sizes),
+        avg(&lei_sizes)
+    );
+}

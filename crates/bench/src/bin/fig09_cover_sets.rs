@@ -1,0 +1,34 @@
+//! Figure 9: minimum number of traces required to cover 90% of the
+//! instructions executed by each benchmark.
+//!
+//! The paper: "In all cases, LEI requires a significantly smaller set
+//! of traces, with an average reduction of 18%."
+
+use rsel_bench::{Table, geomean, run_matrix_from_env};
+use rsel_core::SimConfig;
+use rsel_core::select::SelectorKind;
+
+fn main() {
+    let config = SimConfig::default();
+    let m = run_matrix_from_env(&[SelectorKind::Net, SelectorKind::Lei], &config);
+    let mut t = Table::new("Figure 9: 90% cover set size", &["NET", "LEI"]);
+    let mut ratios = Vec::new();
+    for &w in m.workloads() {
+        let net = m.report(w, SelectorKind::Net).cover_set_size(0.9);
+        let lei = m.report(w, SelectorKind::Lei).cover_set_size(0.9);
+        let (n, l) = match (net, lei) {
+            (Some(n), Some(l)) => (n, l),
+            other => {
+                eprintln!("{w}: cover set unattainable: {other:?}");
+                continue;
+            }
+        };
+        t.row(w, &[n as f64, l as f64]);
+        ratios.push(l as f64 / n as f64);
+    }
+    print!("{}", t.render());
+    println!(
+        "\ngeomean LEI/NET cover-set ratio: {:.2} (paper: average reduction of 18%)",
+        geomean(&ratios)
+    );
+}

@@ -1,0 +1,31 @@
+//! Figure 10: number of profiling counters required by LEI relative to
+//! NET.
+//!
+//! The maximum number of counters in use at any point measures
+//! profiling memory. The paper: "LEI requires only two-thirds the
+//! profiling memory of NET", because a counter is only allocated when
+//! the target is also present in the history buffer.
+
+use rsel_bench::{Table, geomean, run_matrix_from_env};
+use rsel_core::SimConfig;
+use rsel_core::select::SelectorKind;
+
+fn main() {
+    let config = SimConfig::default();
+    let m = run_matrix_from_env(&[SelectorKind::Net, SelectorKind::Lei], &config);
+    let mut t =
+        Table::new("Figure 10: peak profiling counters", &["NET", "LEI", "LEI/NET"]);
+    let mut ratios = Vec::new();
+    for &w in m.workloads() {
+        let net = m.report(w, SelectorKind::Net).peak_counters as f64;
+        let lei = m.report(w, SelectorKind::Lei).peak_counters as f64;
+        let ratio = lei / net.max(1.0);
+        t.row(w, &[net, lei, ratio]);
+        ratios.push(ratio);
+    }
+    print!("{}", t.render());
+    println!(
+        "\ngeomean LEI/NET counter ratio: {:.2} (paper: about two-thirds)",
+        geomean(&ratios)
+    );
+}

@@ -1,0 +1,46 @@
+//! Figure 11: the proportion of instructions selected by NET and LEI
+//! that are exit-dominated duplication, and (§4.3.1) the reduction
+//! under trace combination.
+//!
+//! The paper: duplication ranges from 1 to 7% of all instructions
+//! selected; "combining traces avoids roughly 65% of exit-dominated
+//! duplication".
+
+use rsel_bench::{Table, run_matrix_from_env};
+use rsel_core::SimConfig;
+use rsel_core::select::SelectorKind;
+
+fn main() {
+    let config = SimConfig::default();
+    let kinds = [
+        SelectorKind::Net,
+        SelectorKind::Lei,
+        SelectorKind::CombinedNet,
+        SelectorKind::CombinedLei,
+    ];
+    let m = run_matrix_from_env(&kinds, &config);
+    let mut t = Table::new(
+        "Figure 11: exit-dominated duplication (% of selected instructions)",
+        &["NET", "LEI", "cNET", "cLEI"],
+    )
+    .percentages();
+    let mut base_dup = 0.0f64;
+    let mut comb_dup = 0.0f64;
+    for &w in m.workloads() {
+        let vals: Vec<f64> = kinds
+            .iter()
+            .map(|&k| m.report(w, k).exit_dominated_duplication_fraction())
+            .collect();
+        base_dup += vals[0] + vals[1];
+        comb_dup += vals[2] + vals[3];
+        t.row(w, &vals);
+    }
+    print!("{}", t.render());
+    if base_dup > 0.0 {
+        println!(
+            "\ncombination removes {:.0}% of exit-dominated duplication (paper: ~65%)",
+            100.0 * (1.0 - comb_dup / base_dup)
+        );
+    }
+    println!("paper: duplication is 1-7% of selected instructions");
+}

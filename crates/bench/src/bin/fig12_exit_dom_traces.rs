@@ -1,0 +1,46 @@
+//! Figure 12: the proportion of traces selected by NET and LEI that are
+//! exit-dominated, and (§4.3.1) the reduction under trace combination.
+//!
+//! The paper: "on average, 15% of NET traces and 22% of LEI traces" are
+//! exit-dominated, with eon a clear outlier because its shared
+//! constructors dominate many callers' traces; combination reduces the
+//! number of exit-dominated regions by 40%.
+
+use rsel_bench::{Table, run_matrix_from_env};
+use rsel_core::SimConfig;
+use rsel_core::select::SelectorKind;
+
+fn main() {
+    let config = SimConfig::default();
+    let kinds = [
+        SelectorKind::Net,
+        SelectorKind::Lei,
+        SelectorKind::CombinedNet,
+        SelectorKind::CombinedLei,
+    ];
+    let m = run_matrix_from_env(&kinds, &config);
+    let mut t = Table::new(
+        "Figure 12: exit-dominated regions (% of selected regions)",
+        &["NET", "LEI", "cNET", "cLEI"],
+    )
+    .percentages();
+    let mut base = 0usize;
+    let mut comb = 0usize;
+    for &w in m.workloads() {
+        let vals: Vec<f64> =
+            kinds.iter().map(|&k| m.report(w, k).exit_dominated_fraction()).collect();
+        base += m.report(w, SelectorKind::Net).domination.dominated_regions
+            + m.report(w, SelectorKind::Lei).domination.dominated_regions;
+        comb += m.report(w, SelectorKind::CombinedNet).domination.dominated_regions
+            + m.report(w, SelectorKind::CombinedLei).domination.dominated_regions;
+        t.row(w, &vals);
+    }
+    print!("{}", t.render());
+    if base > 0 {
+        println!(
+            "\ncombination removes {:.0}% of exit-dominated regions (paper: ~40%)",
+            100.0 * (1.0 - comb as f64 / base as f64)
+        );
+    }
+    println!("paper: 15% of NET traces, 22% of LEI traces; eon is the outlier");
+}

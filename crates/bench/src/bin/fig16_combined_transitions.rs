@@ -1,0 +1,43 @@
+//! Figure 16: reduction in the number of region transitions under trace
+//! combination.
+//!
+//! The paper: combined NET has on average 85% as many region
+//! transitions as NET; combined LEI only 64% as many as LEI — and
+//! vortex is the one case where combined NET's transitions rise
+//! slightly.
+
+use rsel_bench::{Table, geomean, run_matrix_from_env};
+use rsel_core::SimConfig;
+use rsel_core::select::SelectorKind;
+
+fn main() {
+    let config = SimConfig::default();
+    let kinds = [
+        SelectorKind::Net,
+        SelectorKind::Lei,
+        SelectorKind::CombinedNet,
+        SelectorKind::CombinedLei,
+    ];
+    let m = run_matrix_from_env(&kinds, &config);
+    let mut t = Table::new(
+        "Figure 16: region transitions, combined relative to base",
+        &["cNET/NET", "cLEI/LEI"],
+    );
+    let mut net_ratios = Vec::new();
+    let mut lei_ratios = Vec::new();
+    for &w in m.workloads() {
+        let rn = m.report(w, SelectorKind::CombinedNet).region_transitions as f64
+            / m.report(w, SelectorKind::Net).region_transitions.max(1) as f64;
+        let rl = m.report(w, SelectorKind::CombinedLei).region_transitions as f64
+            / m.report(w, SelectorKind::Lei).region_transitions.max(1) as f64;
+        t.row(w, &[rn, rl]);
+        net_ratios.push(rn);
+        lei_ratios.push(rl);
+    }
+    print!("{}", t.render());
+    println!(
+        "\ngeomean: cNET/NET {:.2} (paper 0.85), cLEI/LEI {:.2} (paper 0.64)",
+        geomean(&net_ratios),
+        geomean(&lei_ratios)
+    );
+}

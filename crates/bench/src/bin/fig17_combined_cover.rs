@@ -1,0 +1,57 @@
+//! Figure 17: reduction in the 90% cover set size under trace
+//! combination.
+//!
+//! The paper: combination reduces NET cover sets by 15% and LEI cover
+//! sets by 28% on average; gzip/NET is the only (trivial) increase
+//! (23 -> 24) and bzip2 the only case where LEI benefits less than NET.
+
+use rsel_bench::{Table, geomean, run_matrix_from_env};
+use rsel_core::SimConfig;
+use rsel_core::select::SelectorKind;
+
+fn main() {
+    let config = SimConfig::default();
+    let kinds = [
+        SelectorKind::Net,
+        SelectorKind::Lei,
+        SelectorKind::CombinedNet,
+        SelectorKind::CombinedLei,
+    ];
+    let m = run_matrix_from_env(&kinds, &config);
+    let mut t = Table::new(
+        "Figure 17: 90% cover set sizes under combination",
+        &["NET", "cNET", "LEI", "cLEI"],
+    );
+    let mut net_ratios = Vec::new();
+    let mut lei_ratios = Vec::new();
+    for &w in m.workloads() {
+        let sizes: Vec<Option<usize>> =
+            kinds.iter().map(|&k| m.report(w, k).cover_set_size(0.9)).collect();
+        let [Some(n), Some(l), Some(cn), Some(cl)] = sizes.as_slice() else {
+            eprintln!("{w}: cover set unattainable {sizes:?}");
+            continue;
+        };
+        t.row(w, &[*n as f64, *cn as f64, *l as f64, *cl as f64]);
+        net_ratios.push(*cn as f64 / *n as f64);
+        lei_ratios.push(*cl as f64 / *l as f64);
+    }
+    print!("{}", t.render());
+    println!(
+        "\ngeomean: cNET/NET {:.2} (paper avg -15%), cLEI/LEI {:.2} (paper avg -28%)",
+        geomean(&net_ratios),
+        geomean(&lei_ratios)
+    );
+    // Total regions selected (paper: -9% for NET, -30% for LEI).
+    let total = |k| {
+        m.workloads().iter().map(|&w| m.report(w, k).region_count()).sum::<usize>() as f64
+    };
+    println!(
+        "total regions: NET {} -> cNET {} ({:+.0}%), LEI {} -> cLEI {} ({:+.0}%)",
+        total(SelectorKind::Net),
+        total(SelectorKind::CombinedNet),
+        100.0 * (total(SelectorKind::CombinedNet) / total(SelectorKind::Net) - 1.0),
+        total(SelectorKind::Lei),
+        total(SelectorKind::CombinedLei),
+        100.0 * (total(SelectorKind::CombinedLei) / total(SelectorKind::Lei) - 1.0),
+    );
+}

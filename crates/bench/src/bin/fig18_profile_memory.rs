@@ -1,0 +1,37 @@
+//! Figure 18: maximum memory required for storing observed traces,
+//! as a percentage of the estimated code-cache size.
+//!
+//! The cache size estimate is instruction bytes plus 10 bytes per exit
+//! stub (§4.3.4). The paper: average overhead 6% for combined NET and
+//! 13% for combined LEI, never exceeding 12% / 18%.
+
+use rsel_bench::{Table, run_matrix_from_env};
+use rsel_core::SimConfig;
+use rsel_core::select::SelectorKind;
+
+fn main() {
+    let config = SimConfig::default();
+    let kinds = [SelectorKind::CombinedNet, SelectorKind::CombinedLei];
+    let m = run_matrix_from_env(&kinds, &config);
+    let mut t = Table::new(
+        "Figure 18: observed-trace memory (% of estimated cache size)",
+        &["cNET", "cLEI"],
+    )
+    .percentages();
+    let mut net_sum = 0.0;
+    let mut lei_sum = 0.0;
+    for &w in m.workloads() {
+        let n = m.report(w, SelectorKind::CombinedNet).observed_memory_fraction();
+        let l = m.report(w, SelectorKind::CombinedLei).observed_memory_fraction();
+        t.row(w, &[n, l]);
+        net_sum += n;
+        lei_sum += l;
+    }
+    print!("{}", t.render());
+    let k = m.workloads().len() as f64;
+    println!(
+        "\narithmetic mean: cNET {:.1}%, cLEI {:.1}% (paper: 6% and 13%)",
+        100.0 * net_sum / k,
+        100.0 * lei_sum / k
+    );
+}

@@ -1,0 +1,56 @@
+//! Figure 19: effect of trace combination on the number of exit stubs.
+//!
+//! The paper: combination requires 18% fewer stubs for NET and 26%
+//! fewer for LEI; together with fewer selected instructions this
+//! shrinks the cache by 7% (NET) and 9% (LEI).
+
+use rsel_bench::{Table, geomean, run_matrix_from_env};
+use rsel_core::SimConfig;
+use rsel_core::select::SelectorKind;
+
+fn main() {
+    let config = SimConfig::default();
+    let kinds = [
+        SelectorKind::Net,
+        SelectorKind::Lei,
+        SelectorKind::CombinedNet,
+        SelectorKind::CombinedLei,
+    ];
+    let m = run_matrix_from_env(&kinds, &config);
+    let mut t = Table::new(
+        "Figure 19: exit stubs, combined relative to base",
+        &["cNET/NET", "cLEI/LEI"],
+    );
+    let mut rn_all = Vec::new();
+    let mut rl_all = Vec::new();
+    let mut cache_n = Vec::new();
+    let mut cache_l = Vec::new();
+    for &w in m.workloads() {
+        let rn = m.report(w, SelectorKind::CombinedNet).stub_count() as f64
+            / m.report(w, SelectorKind::Net).stub_count().max(1) as f64;
+        let rl = m.report(w, SelectorKind::CombinedLei).stub_count() as f64
+            / m.report(w, SelectorKind::Lei).stub_count().max(1) as f64;
+        t.row(w, &[rn, rl]);
+        rn_all.push(rn);
+        rl_all.push(rl);
+        cache_n.push(
+            m.report(w, SelectorKind::CombinedNet).cache_size_estimate as f64
+                / m.report(w, SelectorKind::Net).cache_size_estimate.max(1) as f64,
+        );
+        cache_l.push(
+            m.report(w, SelectorKind::CombinedLei).cache_size_estimate as f64
+                / m.report(w, SelectorKind::Lei).cache_size_estimate.max(1) as f64,
+        );
+    }
+    print!("{}", t.render());
+    println!(
+        "\ngeomean stubs: cNET/NET {:.2} (paper 0.82), cLEI/LEI {:.2} (paper 0.74)",
+        geomean(&rn_all),
+        geomean(&rl_all)
+    );
+    println!(
+        "geomean cache size: cNET/NET {:.2} (paper 0.93), cLEI/LEI {:.2} (paper 0.91)",
+        geomean(&cache_n),
+        geomean(&cache_l)
+    );
+}

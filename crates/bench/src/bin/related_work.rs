@@ -1,0 +1,68 @@
+//! Comparison with the paper's §5 related systems.
+//!
+//! "The problems of separation and duplication apply as much to these
+//! trace-selection algorithms as to NET ... careful selection of traces
+//! does not address the problems of separation and duplication."
+//!
+//! Runs Mojo, BOA, Wiggins/Redstone and ADORE next to NET, LEI and
+//! combined LEI over the suite and prints the locality and duplication
+//! metrics: no amount of extra profiling matches what cycle selection
+//! and combination achieve.
+
+use rsel_bench::{Table, geomean, run_matrix_from_env};
+use rsel_core::SimConfig;
+use rsel_core::select::SelectorKind;
+
+fn main() {
+    let config = SimConfig::default();
+    let kinds = [
+        SelectorKind::Net,
+        SelectorKind::Mojo,
+        SelectorKind::Boa,
+        SelectorKind::WigginsRedstone,
+        SelectorKind::Adore,
+        SelectorKind::Lei,
+        SelectorKind::CombinedLei,
+    ];
+    let m = run_matrix_from_env(&kinds, &config);
+    let mut t = Table::new(
+        "Related work (paper \u{a7}5): region transitions relative to NET",
+        &["Mojo", "BOA", "W/R", "ADORE", "LEI", "cLEI"],
+    )
+    .arithmetic_mean();
+    let mut cols: [Vec<f64>; 6] = Default::default();
+    for &w in m.workloads() {
+        let net = m.report(w, SelectorKind::Net).region_transitions.max(1) as f64;
+        let vals: Vec<f64> = kinds[1..]
+            .iter()
+            .map(|&k| m.report(w, k).region_transitions as f64 / net)
+            .collect();
+        t.row(w, &vals);
+        for (col, v) in cols.iter_mut().zip(&vals) {
+            col.push(*v);
+        }
+    }
+    print!("{}", t.render());
+    println!("\ngeomeans vs NET (over workloads where the selector cached anything):");
+    for (name, col) in ["Mojo", "BOA", "W/R", "ADORE", "LEI", "cLEI"].iter().zip(&cols) {
+        let nonzero: Vec<f64> = col.iter().copied().filter(|v| *v > 0.0).collect();
+        println!("  {name:<6} {:.2}  ({} of 12 workloads)", geomean(&nonzero), nonzero.len());
+    }
+    println!("\nNOTE: read the transition ratios together with the hit rates below —");
+    println!("the sampling selectors (W/R, ADORE) transition rarely partly because");
+    println!("they cache less of the program in the first place.");
+
+    // Hit rates: sampling-based selection warms up more slowly.
+    let mut h = Table::new(
+        "Related work: hit rate",
+        &["NET", "Mojo", "BOA", "W/R", "ADORE", "LEI", "cLEI"],
+    )
+    .percentages();
+    for &w in m.workloads() {
+        let vals: Vec<f64> = kinds.iter().map(|&k| m.report(w, k).hit_rate()).collect();
+        h.row(w, &vals);
+    }
+    print!("\n{}", h.render());
+    println!("\npaper: better trace *identification* does not fix separation or");
+    println!("duplication; only cycle selection (LEI) and combination do.");
+}

@@ -1,0 +1,141 @@
+//! Running the full workload × selector matrix.
+
+use rsel_core::metrics::RunReport;
+use rsel_core::select::SelectorKind;
+use rsel_core::{SimConfig, Simulator};
+use rsel_program::Executor;
+use rsel_workloads::{Scale, Workload, suite};
+use std::collections::HashMap;
+
+/// Seed used by every figure binary, so all figures describe the same
+/// runs.
+pub const DEFAULT_SEED: u64 = 2005;
+
+/// Runs one workload under one selector and returns the full report.
+pub fn run_one(
+    workload: &Workload,
+    kind: SelectorKind,
+    seed: u64,
+    scale: Scale,
+    config: &SimConfig,
+) -> RunReport {
+    let (program, spec) = workload.build(seed, scale);
+    let mut sim = Simulator::new(&program, kind.make(&program, config), config);
+    sim.run(Executor::new(&program, spec));
+    sim.report()
+}
+
+/// Reports for every workload under every requested selector.
+pub struct MatrixResults {
+    workload_names: Vec<&'static str>,
+    reports: HashMap<(&'static str, SelectorKind), RunReport>,
+}
+
+impl MatrixResults {
+    /// Workload names in suite order.
+    pub fn workloads(&self) -> &[&'static str] {
+        &self.workload_names
+    }
+
+    /// The report for one cell.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the pair was not part of the run.
+    pub fn report(&self, workload: &str, kind: SelectorKind) -> &RunReport {
+        self.reports
+            .get(&(self.canonical(workload), kind))
+            .unwrap_or_else(|| panic!("no report for {workload} under {kind}"))
+    }
+
+    fn canonical(&self, name: &str) -> &'static str {
+        self.workload_names
+            .iter()
+            .copied()
+            .find(|w| *w == name)
+            .unwrap_or_else(|| panic!("unknown workload {name}"))
+    }
+
+    /// Applies `f` to every workload's reports for two selectors and
+    /// returns `(workload, f(a, b))` rows.
+    pub fn compare<T>(
+        &self,
+        a: SelectorKind,
+        b: SelectorKind,
+        f: impl Fn(&RunReport, &RunReport) -> T,
+    ) -> Vec<(&'static str, T)> {
+        self.workload_names
+            .iter()
+            .map(|&w| (w, f(self.report(w, a), self.report(w, b))))
+            .collect()
+    }
+}
+
+/// Runs the whole suite under the given selectors.
+///
+/// `scale` is read from the `RSEL_SCALE` environment variable when
+/// `None` is passed to the figure binaries' wrapper
+/// ([`run_matrix_from_env`]).
+pub fn run_matrix(
+    kinds: &[SelectorKind],
+    seed: u64,
+    scale: Scale,
+    config: &SimConfig,
+) -> MatrixResults {
+    let workloads = suite();
+    let mut reports = HashMap::new();
+    let mut names = Vec::with_capacity(workloads.len());
+    for w in &workloads {
+        names.push(w.name());
+        for &k in kinds {
+            let rep = run_one(w, k, seed, scale, config);
+            reports.insert((w.name(), k), rep);
+        }
+    }
+    MatrixResults { workload_names: names, reports }
+}
+
+/// Reads the experiment scale from `RSEL_SCALE` (`test` or `full`,
+/// default `full`) and runs the matrix.
+pub fn run_matrix_from_env(kinds: &[SelectorKind], config: &SimConfig) -> MatrixResults {
+    let scale = match std::env::var("RSEL_SCALE").as_deref() {
+        Ok("test") => Scale::Test,
+        _ => Scale::Full,
+    };
+    eprintln!("running {} workloads x {} selectors ({scale:?} scale)...", 12, kinds.len());
+    run_matrix(kinds, DEFAULT_SEED, scale, config)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matrix_covers_all_cells() {
+        let cfg = SimConfig::default();
+        let m = run_matrix(&[SelectorKind::Net], 1, Scale::Test, &cfg);
+        assert_eq!(m.workloads().len(), 12);
+        for &w in m.workloads() {
+            let r = m.report(w, SelectorKind::Net);
+            assert!(r.total_insts > 0, "{w}");
+        }
+    }
+
+    #[test]
+    fn compare_yields_one_row_per_workload() {
+        let cfg = SimConfig::default();
+        let m = run_matrix(&[SelectorKind::Net, SelectorKind::Lei], 1, Scale::Test, &cfg);
+        let rows = m.compare(SelectorKind::Lei, SelectorKind::Net, |a, b| {
+            (a.region_count(), b.region_count())
+        });
+        assert_eq!(rows.len(), 12);
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown workload")]
+    fn unknown_workload_panics() {
+        let cfg = SimConfig::default();
+        let m = run_matrix(&[SelectorKind::Net], 1, Scale::Test, &cfg);
+        let _ = m.report("nonesuch", SelectorKind::Net);
+    }
+}

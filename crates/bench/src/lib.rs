@@ -1,0 +1,21 @@
+//! Figure-regeneration harness for the paper's evaluation.
+//!
+//! Each binary in `src/bin/` regenerates one figure of the paper (see
+//! `DESIGN.md` for the index). This library holds the shared machinery:
+//! running every `(workload, selector)` pair, caching nothing, and
+//! formatting the per-benchmark rows plus the averages the paper quotes.
+//!
+//! Absolute numbers differ from the paper (our substrate is a synthetic
+//! workload suite, not SPECint2000 on IA-32); the reproduction targets
+//! the *shape*: who wins, by roughly what factor, and where the
+//! outliers sit. `EXPERIMENTS.md` records paper-vs-measured for every
+//! figure.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod harness;
+pub mod table;
+
+pub use harness::{DEFAULT_SEED, MatrixResults, run_matrix, run_matrix_from_env, run_one};
+pub use table::{Table, geomean};

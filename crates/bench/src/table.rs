@@ -1,0 +1,172 @@
+//! Plain-text tables matching the paper's per-benchmark bar charts.
+
+/// Geometric mean of strictly positive values; arithmetic-style
+/// fallback of 0 for empty input.
+pub fn geomean(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    let log_sum: f64 = values.iter().map(|v| v.max(1e-12).ln()).sum();
+    (log_sum / values.len() as f64).exp()
+}
+
+/// A simple fixed-width text table: one row per benchmark plus an
+/// average row, mirroring the layout of the paper's figures.
+#[derive(Debug, Default)]
+pub struct Table {
+    title: String,
+    columns: Vec<String>,
+    rows: Vec<(String, Vec<f64>)>,
+    percent: bool,
+    arithmetic: bool,
+}
+
+impl Table {
+    /// Creates a table with the given title and column headers.
+    pub fn new(title: &str, columns: &[&str]) -> Self {
+        Table {
+            title: title.to_string(),
+            columns: columns.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+            percent: false,
+            arithmetic: false,
+        }
+    }
+
+    /// Formats values as percentages (two decimals) instead of ratios,
+    /// and averages arithmetically (percentage columns may contain
+    /// zeros, for which a geometric mean degenerates).
+    pub fn percentages(mut self) -> Self {
+        self.percent = true;
+        self.arithmetic = true;
+        self
+    }
+
+    /// Averages columns arithmetically instead of geometrically (for
+    /// delta columns that may be zero or negative).
+    pub fn arithmetic_mean(mut self) -> Self {
+        self.arithmetic = true;
+        self
+    }
+
+    /// Appends one benchmark row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the value count does not match the column count.
+    pub fn row(&mut self, name: &str, values: &[f64]) -> &mut Self {
+        assert_eq!(values.len(), self.columns.len(), "row width mismatch");
+        self.rows.push((name.to_string(), values.to_vec()));
+        self
+    }
+
+    /// The average of one column over all rows so far (geometric by
+    /// default, arithmetic for percentage/delta tables).
+    pub fn column_mean(&self, col: usize) -> f64 {
+        let vals: Vec<f64> = self.rows.iter().map(|(_, v)| v[col]).collect();
+        if self.arithmetic {
+            if vals.is_empty() {
+                0.0
+            } else {
+                vals.iter().sum::<f64>() / vals.len() as f64
+            }
+        } else {
+            geomean(&vals)
+        }
+    }
+
+    /// Renders the table with a trailing geometric-mean row.
+    pub fn render(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(out, "## {}", self.title);
+        let name_w = self
+            .rows
+            .iter()
+            .map(|(n, _)| n.len())
+            .chain(["average".len()])
+            .max()
+            .unwrap_or(8)
+            .max(9);
+        let col_w = self.columns.iter().map(|c| c.len().max(10)).collect::<Vec<_>>();
+        let _ = write!(out, "{:name_w$}", "benchmark");
+        for (c, w) in self.columns.iter().zip(&col_w) {
+            let _ = write!(out, "  {c:>w$}");
+        }
+        let _ = writeln!(out);
+        let fmt_val = |v: f64| {
+            if self.percent {
+                format!("{:.2}%", 100.0 * v)
+            } else {
+                format!("{v:.3}")
+            }
+        };
+        for (name, vals) in &self.rows {
+            let _ = write!(out, "{name:name_w$}");
+            for (v, w) in vals.iter().zip(&col_w) {
+                let _ = write!(out, "  {:>w$}", fmt_val(*v));
+            }
+            let _ = writeln!(out);
+        }
+        let _ = write!(out, "{:name_w$}", "average");
+        for (i, w) in col_w.iter().enumerate() {
+            let _ = write!(out, "  {:>w$}", fmt_val(self.column_mean(i)));
+        }
+        let _ = writeln!(out);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn geomean_of_equal_values_is_the_value() {
+        assert!((geomean(&[2.0, 2.0, 2.0]) - 2.0).abs() < 1e-9);
+        assert_eq!(geomean(&[]), 0.0);
+    }
+
+    #[test]
+    fn geomean_is_order_independent() {
+        let a = geomean(&[0.5, 2.0, 1.0]);
+        let b = geomean(&[2.0, 1.0, 0.5]);
+        assert!((a - b).abs() < 1e-12);
+        assert!((a - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn render_includes_rows_and_average() {
+        let mut t = Table::new("Figure X", &["LEI/NET"]);
+        t.row("gzip", &[0.9]);
+        t.row("gcc", &[0.8]);
+        let s = t.render();
+        assert!(s.contains("Figure X"));
+        assert!(s.contains("gzip"));
+        assert!(s.contains("average"));
+        assert!(s.contains("0.9"));
+    }
+
+    #[test]
+    fn percent_formatting() {
+        let mut t = Table::new("hit", &["NET"]).percentages();
+        t.row("gzip", &[0.995]);
+        assert!(t.render().contains("99.50%"));
+    }
+
+    #[test]
+    fn arithmetic_mean_handles_zeros_and_negatives() {
+        let mut t = Table::new("d", &["delta"]).arithmetic_mean();
+        t.row("a", &[-2.0]);
+        t.row("b", &[0.0]);
+        t.row("c", &[5.0]);
+        assert!((t.column_mean(0) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "width mismatch")]
+    fn row_width_checked() {
+        let mut t = Table::new("t", &["a", "b"]);
+        t.row("x", &[1.0]);
+    }
+}

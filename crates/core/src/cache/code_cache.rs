@@ -1,0 +1,222 @@
+//! The unbounded code cache holding selected regions.
+
+use super::region::{Region, RegionId};
+use rsel_program::Addr;
+use std::collections::HashMap;
+
+/// The simulated code cache.
+///
+/// The paper's framework "assumes an unbounded code cache" (§2.3) and
+/// that is the default here. As an extension, a cache may be *bounded*:
+/// when an insertion would exceed the capacity, the whole cache is
+/// flushed (Dynamo's preemptive-flush policy) and selection starts
+/// over — the experiment §2.3 predicts its algorithms help with,
+/// "because our algorithms reduce code duplication and produce fewer
+/// cached regions ... and \[regenerates\] fewer evicted regions".
+#[derive(Clone, Debug)]
+pub struct CodeCache {
+    regions: Vec<Region>,
+    entries: HashMap<Addr, RegionId>,
+    capacity: Option<u64>,
+    stub_bytes: u64,
+    flushes: u64,
+    next_offset: u64,
+}
+
+impl Default for CodeCache {
+    fn default() -> Self {
+        CodeCache {
+            regions: Vec::new(),
+            entries: HashMap::new(),
+            capacity: None,
+            stub_bytes: 10, // the paper's layout estimate (§4.3.4)
+            flushes: 0,
+            next_offset: 0,
+        }
+    }
+}
+
+impl CodeCache {
+    /// Creates an empty, unbounded cache.
+    pub fn new() -> Self {
+        CodeCache::default()
+    }
+
+    /// Creates an empty cache bounded at `capacity` estimated bytes
+    /// (instruction bytes plus `stub_bytes` per exit stub).
+    pub fn bounded(capacity: u64, stub_bytes: u64) -> Self {
+        CodeCache {
+            capacity: Some(capacity),
+            stub_bytes,
+            ..CodeCache::default()
+        }
+    }
+
+    /// The configured capacity, if bounded.
+    pub fn capacity(&self) -> Option<u64> {
+        self.capacity
+    }
+
+    /// Number of full flushes performed so far.
+    pub fn flushes(&self) -> u64 {
+        self.flushes
+    }
+
+    /// Whether inserting `region` would exceed a bounded capacity.
+    pub fn would_overflow(&self, region: &Region) -> bool {
+        match self.capacity {
+            Some(cap) => {
+                self.size_estimate(self.stub_bytes) + region.size_estimate(self.stub_bytes)
+                    > cap
+            }
+            None => false,
+        }
+    }
+
+    /// Empties the cache (the bounded-cache flush policy). Region ids
+    /// restart from zero.
+    pub fn flush(&mut self) {
+        self.regions.clear();
+        self.entries.clear();
+        self.flushes += 1;
+        self.next_offset = 0;
+    }
+
+    /// Looks up the region entered at `addr`, if any.
+    pub fn lookup(&self, addr: Addr) -> Option<RegionId> {
+        self.entries.get(&addr).copied()
+    }
+
+    /// Whether some region is entered at `addr`.
+    pub fn contains(&self, addr: Addr) -> bool {
+        self.entries.contains_key(&addr)
+    }
+
+    /// Inserts a region, assigning its id (= selection order).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a region with the same entry address already exists:
+    /// selectors only select targets that miss the cache.
+    pub fn insert(&mut self, mut region: Region) -> RegionId {
+        let id = RegionId(self.regions.len() as u32);
+        region.set_id(id);
+        region.set_cache_offset(self.next_offset);
+        self.next_offset += region.size_estimate(self.stub_bytes);
+        let prev = self.entries.insert(region.entry(), id);
+        assert!(prev.is_none(), "duplicate region entry {}", region.entry());
+        self.regions.push(region);
+        id
+    }
+
+    /// The region with the given id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` does not belong to this cache.
+    pub fn region(&self, id: RegionId) -> &Region {
+        &self.regions[id.index()]
+    }
+
+    /// All regions in selection order.
+    pub fn regions(&self) -> &[Region] {
+        &self.regions
+    }
+
+    /// Number of regions selected.
+    pub fn len(&self) -> usize {
+        self.regions.len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.regions.is_empty()
+    }
+
+    /// Total instructions copied into the cache (the paper's *code
+    /// expansion* metric, §2.3).
+    pub fn insts_copied(&self) -> u64 {
+        self.regions.iter().map(Region::inst_count).sum()
+    }
+
+    /// Total exit stubs across all regions (Figure 19's metric).
+    pub fn stub_count(&self) -> u64 {
+        self.regions.iter().map(|r| r.stub_count() as u64).sum()
+    }
+
+    /// Estimated total cache size in bytes: instruction bytes plus
+    /// `stub_bytes` per stub (paper §4.3.4).
+    pub fn size_estimate(&self, stub_bytes: u64) -> u64 {
+        self.regions.iter().map(|r| r.size_estimate(stub_bytes)).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rsel_program::ProgramBuilder;
+
+    fn program() -> rsel_program::Program {
+        let mut b = ProgramBuilder::new();
+        let f = b.function("f", 0x100);
+        let a = b.block(f);
+        let c = b.block(f);
+        let d = b.block_with(f, 0);
+        b.cond_branch(a, a);
+        b.cond_branch(c, a);
+        b.ret(d);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn insert_and_lookup() {
+        let p = program();
+        let mut cache = CodeCache::new();
+        assert!(cache.is_empty());
+        let a = p.blocks()[0].start();
+        let id = cache.insert(Region::trace(&p, &[a]));
+        assert_eq!(cache.lookup(a), Some(id));
+        assert!(cache.contains(a));
+        assert!(!cache.contains(p.blocks()[1].start()));
+        assert_eq!(cache.region(id).entry(), a);
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn ids_follow_selection_order() {
+        let p = program();
+        let mut cache = CodeCache::new();
+        let id0 = cache.insert(Region::trace(&p, &[p.blocks()[0].start()]));
+        let id1 = cache.insert(Region::trace(&p, &[p.blocks()[1].start()]));
+        assert!(id0 < id1);
+        assert_eq!(cache.regions()[0].id(), id0);
+        assert_eq!(cache.regions()[1].id(), id1);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate region entry")]
+    fn duplicate_entry_rejected() {
+        let p = program();
+        let mut cache = CodeCache::new();
+        let a = p.blocks()[0].start();
+        cache.insert(Region::trace(&p, &[a]));
+        cache.insert(Region::trace(&p, &[a]));
+    }
+
+    #[test]
+    fn aggregates_sum_regions() {
+        let p = program();
+        let mut cache = CodeCache::new();
+        cache.insert(Region::trace(&p, &[p.blocks()[0].start()]));
+        cache.insert(Region::trace(&p, &[p.blocks()[1].start(), p.blocks()[0].start()]));
+        assert_eq!(
+            cache.insts_copied(),
+            cache.regions().iter().map(|r| r.inst_count()).sum::<u64>()
+        );
+        assert!(cache.stub_count() > 0);
+        assert_eq!(
+            cache.size_estimate(10),
+            cache.regions().iter().map(|r| r.size_estimate(10)).sum::<u64>()
+        );
+    }
+}

@@ -1,0 +1,115 @@
+//! Graphviz (DOT) rendering of cached regions.
+//!
+//! Visualizes what a selector actually built: internal edges (including
+//! loop-backs to the entry), and exit stubs as small gray nodes — the
+//! picture drawn by the paper's Figures 2–4.
+
+use super::code_cache::CodeCache;
+use super::region::Region;
+use rsel_program::Addr;
+use std::fmt::Write as _;
+
+/// Renders one region as a DOT digraph.
+pub fn region_to_dot(region: &Region) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "digraph {} {{", region.id());
+    let _ = writeln!(out, "  node [shape=box, fontname=\"monospace\"];");
+    render_region(&mut out, region, "");
+    let _ = writeln!(out, "}}");
+    out
+}
+
+/// Renders every region in the cache, one cluster per region.
+pub fn cache_to_dot(cache: &CodeCache) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "digraph cache {{");
+    let _ = writeln!(out, "  node [shape=box, fontname=\"monospace\"];");
+    for r in cache.regions() {
+        let _ = writeln!(out, "  subgraph cluster_{} {{", r.id().index());
+        let _ = writeln!(
+            out,
+            "    label=\"{} ({:?}, {} insts)\";",
+            r.id(),
+            r.kind(),
+            r.inst_count()
+        );
+        render_region(&mut out, r, &format!("r{}_", r.id().index()));
+        let _ = writeln!(out, "  }}");
+    }
+    let _ = writeln!(out, "}}");
+    out
+}
+
+fn render_region(out: &mut String, region: &Region, prefix: &str) {
+    let node = |a: Addr| format!("{prefix}b{:x}", a.raw());
+    for b in region.blocks() {
+        let style = if b.start() == region.entry() {
+            ", penwidth=2" // the single entry
+        } else {
+            ""
+        };
+        let _ = writeln!(
+            out,
+            "  {} [label=\"{}\\n{} insts\"{}];",
+            node(b.start()),
+            b.start(),
+            b.inst_count(),
+            style
+        );
+        for &succ in region.successors(b.start()) {
+            let loop_back = if succ == region.entry() { " [color=red]" } else { "" };
+            let _ = writeln!(out, "  {} -> {}{};", node(b.start()), node(succ), loop_back);
+        }
+    }
+    for (i, stub) in region.stubs().iter().enumerate() {
+        let label = match stub.target {
+            Some(t) => format!("to {t}"),
+            None => "to *".to_string(),
+        };
+        let sn = format!("{prefix}stub{i}");
+        let _ = writeln!(out, "  {sn} [label=\"{label}\", shape=note, color=gray];");
+        let _ = writeln!(out, "  {} -> {sn} [style=dashed, color=gray];", node(stub.from));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rsel_program::ProgramBuilder;
+
+    fn cycle_region() -> (rsel_program::Program, Region) {
+        let mut b = ProgramBuilder::new();
+        let f = b.function("f", 0x100);
+        let a = b.block(f);
+        let c = b.block(f);
+        let d = b.block_with(f, 0);
+        b.cond_branch(a, c);
+        b.cond_branch(c, a);
+        b.ret(d);
+        let p = b.build().unwrap();
+        let r = Region::trace(&p, &[p.block(a).start(), p.block(c).start()]);
+        (p, r)
+    }
+
+    #[test]
+    fn region_dot_marks_entry_and_loopback() {
+        let (_, r) = cycle_region();
+        let dot = region_to_dot(&r);
+        assert!(dot.contains("penwidth=2"), "entry is highlighted");
+        assert!(dot.contains("[color=red]"), "loop-back edge is red");
+        assert!(dot.contains("shape=note"), "stubs are notes");
+        assert!(dot.trim_end().ends_with('}'));
+    }
+
+    #[test]
+    fn cache_dot_clusters_regions() {
+        let (p, r) = cycle_region();
+        let mut cache = CodeCache::new();
+        cache.insert(r);
+        cache.insert(Region::trace(&p, &[p.blocks()[1].start()]));
+        let dot = cache_to_dot(&cache);
+        assert!(dot.contains("cluster_0"));
+        assert!(dot.contains("cluster_1"));
+        assert!(dot.contains("R0 (Trace"));
+    }
+}

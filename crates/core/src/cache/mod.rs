@@ -1,0 +1,9 @@
+//! The code cache model: regions, exit stubs and the entry index.
+
+pub mod code_cache;
+pub mod dot;
+pub mod region;
+
+pub use code_cache::CodeCache;
+pub use dot::{cache_to_dot, region_to_dot};
+pub use region::{ExitStub, Region, RegionBlock, RegionId, RegionKind, TransferClass};

@@ -1,0 +1,532 @@
+//! Regions: the unit of code caching and optimization.
+//!
+//! A region is a single-entry collection of copied basic blocks. A
+//! *trace* region is an interprocedural superblock: blocks laid out
+//! consecutively along one path, with an exit stub at every side exit
+//! (paper §2.1). A *combined* region may contain multiple paths —
+//! splits, joins and internal back edges — produced by the
+//! trace-combination algorithm (paper §4.2).
+//!
+//! Control enters a region only at its entry address. A transfer from a
+//! block inside the region stays inside when it follows an internal edge
+//! or returns to the entry (completing a cycle); any other transfer
+//! leaves through an exit stub, which either links directly to another
+//! cached region or falls back to the interpreter.
+
+use rsel_program::{Addr, InstKind, Program};
+use std::collections::{HashMap, HashSet};
+use std::fmt;
+
+/// Identifier of a region within a [`CodeCache`](crate::CodeCache);
+/// doubles as the selection order (lower = selected earlier).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct RegionId(pub(crate) u32);
+
+impl RegionId {
+    /// The raw index of this region in the cache.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for RegionId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "R{}", self.0)
+    }
+}
+
+/// Whether a region is a single-path trace or a combined multi-path
+/// region.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum RegionKind {
+    /// An interprocedural superblock (NET or LEI trace).
+    Trace,
+    /// A multi-path region built by trace combination.
+    Combined,
+}
+
+/// A basic block copied into a region.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RegionBlock {
+    start: Addr,
+    insts: u32,
+    bytes: u64,
+    term: InstKind,
+    fallthrough: Addr,
+}
+
+impl RegionBlock {
+    fn from_program(program: &Program, start: Addr) -> Self {
+        let b = program
+            .block_at(start)
+            .unwrap_or_else(|| panic!("region block {start} is not a program block"));
+        RegionBlock {
+            start,
+            insts: b.len() as u32,
+            bytes: b.byte_size(),
+            term: b.terminator_kind(),
+            fallthrough: b.fallthrough_addr(),
+        }
+    }
+
+    /// The block's original start address.
+    pub fn start(&self) -> Addr {
+        self.start
+    }
+
+    /// Number of instructions copied.
+    pub fn inst_count(&self) -> u32 {
+        self.insts
+    }
+
+    /// Bytes of instructions copied.
+    pub fn byte_size(&self) -> u64 {
+        self.bytes
+    }
+
+    /// The terminator kind of the block.
+    pub fn terminator(&self) -> InstKind {
+        self.term
+    }
+
+    /// The statically known continuations of this block: where control
+    /// can go next, excluding dynamically-targeted transfers.
+    pub fn static_continuations(&self) -> Vec<Addr> {
+        match self.term {
+            InstKind::Straight => vec![self.fallthrough],
+            InstKind::CondBranch { target } => vec![target, self.fallthrough],
+            InstKind::Jump { target } | InstKind::Call { target } => vec![target],
+            InstKind::IndirectJump | InstKind::IndirectCall | InstKind::Ret => vec![],
+        }
+    }
+
+    /// Whether the terminator's target is dynamic.
+    pub fn has_indirect_terminator(&self) -> bool {
+        self.term.is_indirect()
+    }
+}
+
+/// An exit stub: the landing pad for one way control can leave a region.
+///
+/// Exit stubs cost code-cache space (charged at
+/// [`SimConfig::stub_bytes`](crate::SimConfig::stub_bytes) each) and are
+/// one of the paper's key cost metrics (Figure 19).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct ExitStub {
+    /// Start address of the region block the exit leaves from.
+    pub from: Addr,
+    /// The exit's target address; `None` for dynamically-targeted
+    /// (indirect) exits.
+    pub target: Option<Addr>,
+}
+
+/// How a transfer out of a region block is classified.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TransferClass {
+    /// Control returns to the region entry, completing a cycle.
+    Cycle,
+    /// Control follows an internal edge to another block of the region.
+    Internal,
+    /// Control leaves the region (through an exit stub).
+    Exit,
+}
+
+/// A single-entry cached region (trace or combined).
+#[derive(Clone, Debug)]
+pub struct Region {
+    id: RegionId,
+    kind: RegionKind,
+    entry: Addr,
+    blocks: Vec<RegionBlock>,
+    index: HashMap<Addr, usize>,
+    edges: HashMap<Addr, Vec<Addr>>,
+    stubs: Vec<ExitStub>,
+    cache_offset: u64,
+}
+
+impl Region {
+    /// Builds a trace region from the ordered path of block start
+    /// addresses.
+    ///
+    /// Internal edges connect consecutive blocks; in addition, any block
+    /// whose static continuation is the entry gets a loop-back edge (the
+    /// "branch to the top of the trace" that makes the trace span a
+    /// cycle, §3.2.1).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `path` is empty, contains duplicates, or names
+    /// addresses that do not start program blocks.
+    pub fn trace(program: &Program, path: &[Addr]) -> Self {
+        assert!(!path.is_empty(), "a trace needs at least one block");
+        let blocks: Vec<RegionBlock> =
+            path.iter().map(|&a| RegionBlock::from_program(program, a)).collect();
+        let entry = path[0];
+        let mut index = HashMap::with_capacity(blocks.len());
+        for (i, b) in blocks.iter().enumerate() {
+            let prev = index.insert(b.start(), i);
+            assert!(prev.is_none(), "duplicate block {} in trace", b.start());
+        }
+        let mut edges: HashMap<Addr, Vec<Addr>> = HashMap::new();
+        for w in blocks.windows(2) {
+            edges.entry(w[0].start()).or_default().push(w[1].start());
+        }
+        // Loop-back edges to the entry.
+        for b in &blocks {
+            if b.static_continuations().contains(&entry) {
+                let e = edges.entry(b.start()).or_default();
+                if !e.contains(&entry) {
+                    e.push(entry);
+                }
+            }
+        }
+        let mut r = Region {
+            id: RegionId(u32::MAX),
+            kind: RegionKind::Trace,
+            entry,
+            blocks,
+            index,
+            edges,
+            stubs: Vec::new(),
+            cache_offset: 0,
+        };
+        r.derive_stubs();
+        r
+    }
+
+    /// Builds a combined multi-path region.
+    ///
+    /// `blocks` is the set of kept block addresses (entry first) and
+    /// `observed_edges` the edges of the observed-trace CFG among them.
+    /// Exits that statically target a kept block are promoted to
+    /// internal edges, as in line 16 of the paper's Figure 13.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `blocks` is empty, contains duplicates, its first
+    /// element is not the entry of every path, or edges reference
+    /// unknown blocks.
+    pub fn combined(
+        program: &Program,
+        blocks: &[Addr],
+        observed_edges: &[(Addr, Addr)],
+    ) -> Self {
+        assert!(!blocks.is_empty(), "a region needs at least one block");
+        let entry = blocks[0];
+        let rblocks: Vec<RegionBlock> =
+            blocks.iter().map(|&a| RegionBlock::from_program(program, a)).collect();
+        let mut index = HashMap::with_capacity(rblocks.len());
+        for (i, b) in rblocks.iter().enumerate() {
+            let prev = index.insert(b.start(), i);
+            assert!(prev.is_none(), "duplicate block {} in region", b.start());
+        }
+        let mut edges: HashMap<Addr, Vec<Addr>> = HashMap::new();
+        let mut seen: HashSet<(Addr, Addr)> = HashSet::new();
+        for &(from, to) in observed_edges {
+            assert!(index.contains_key(&from), "edge from unknown block {from}");
+            if index.contains_key(&to) && seen.insert((from, to)) {
+                edges.entry(from).or_default().push(to);
+            }
+        }
+        // Promote static exits that target kept blocks to edges.
+        for b in &rblocks {
+            for c in b.static_continuations() {
+                if index.contains_key(&c) && seen.insert((b.start(), c)) {
+                    edges.entry(b.start()).or_default().push(c);
+                }
+            }
+        }
+        let mut r = Region {
+            id: RegionId(u32::MAX),
+            kind: RegionKind::Combined,
+            entry,
+            blocks: rblocks,
+            index,
+            edges,
+            stubs: Vec::new(),
+            cache_offset: 0,
+        };
+        r.derive_stubs();
+        r
+    }
+
+    /// Enumerates exit stubs: every continuation of every block that is
+    /// not an internal edge, plus one stub per dynamically-targeted
+    /// terminator (whose observed target may still be internal at run
+    /// time).
+    fn derive_stubs(&mut self) {
+        let mut stubs = Vec::new();
+        for b in &self.blocks {
+            let from = b.start();
+            let internal: &[Addr] =
+                self.edges.get(&from).map(Vec::as_slice).unwrap_or(&[]);
+            for c in b.static_continuations() {
+                if !internal.contains(&c) {
+                    stubs.push(ExitStub { from, target: Some(c) });
+                }
+            }
+            if b.has_indirect_terminator() {
+                stubs.push(ExitStub { from, target: None });
+            }
+        }
+        self.stubs = stubs;
+    }
+
+    pub(crate) fn set_id(&mut self, id: RegionId) {
+        self.id = id;
+    }
+
+    pub(crate) fn set_cache_offset(&mut self, offset: u64) {
+        self.cache_offset = offset;
+    }
+
+    /// Byte offset at which this region was placed in the code cache
+    /// (regions are laid out in selection order — the layout that makes
+    /// trace *separation* costly, §1: a related trace "is inserted far
+    /// from the original trace, potentially on a separate virtual
+    /// memory page").
+    pub fn cache_offset(&self) -> u64 {
+        self.cache_offset
+    }
+
+    /// This region's identifier (also its selection order).
+    pub fn id(&self) -> RegionId {
+        self.id
+    }
+
+    /// Trace or combined.
+    pub fn kind(&self) -> RegionKind {
+        self.kind
+    }
+
+    /// The single entry address.
+    pub fn entry(&self) -> Addr {
+        self.entry
+    }
+
+    /// The copied blocks.
+    pub fn blocks(&self) -> &[RegionBlock] {
+        &self.blocks
+    }
+
+    /// Whether the region contains a copy of the program block starting
+    /// at `addr`.
+    pub fn contains_block(&self, addr: Addr) -> bool {
+        self.index.contains_key(&addr)
+    }
+
+    /// Whether an internal edge `from → to` exists.
+    pub fn has_edge(&self, from: Addr, to: Addr) -> bool {
+        self.edges.get(&from).is_some_and(|v| v.contains(&to))
+    }
+
+    /// The internal successors of the block starting at `from`.
+    pub fn successors(&self, from: Addr) -> &[Addr] {
+        self.edges.get(&from).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// The exit stubs.
+    pub fn stubs(&self) -> &[ExitStub] {
+        &self.stubs
+    }
+
+    /// Number of exit stubs.
+    pub fn stub_count(&self) -> usize {
+        self.stubs.len()
+    }
+
+    /// Total instructions copied into this region (the paper's code
+    /// expansion contribution).
+    pub fn inst_count(&self) -> u64 {
+        self.blocks.iter().map(|b| u64::from(b.inst_count())).sum()
+    }
+
+    /// Total instruction bytes copied.
+    pub fn byte_size(&self) -> u64 {
+        self.blocks.iter().map(|b| b.byte_size()).sum()
+    }
+
+    /// Estimated cache footprint: instruction bytes plus `stub_bytes`
+    /// per exit stub (paper §4.3.4).
+    pub fn size_estimate(&self, stub_bytes: u64) -> u64 {
+        self.byte_size() + stub_bytes * self.stubs.len() as u64
+    }
+
+    /// Whether the region contains a branch back to its entry — the
+    /// static "spans a cycle" property of §3.2.1.
+    pub fn spans_cycle(&self) -> bool {
+        self.edges.values().any(|succs| succs.contains(&self.entry))
+    }
+
+    /// Classifies a transfer out of the block starting at `from`
+    /// towards `target`.
+    ///
+    /// # Panics
+    ///
+    /// Panics (in debug builds) if `from` is not a block of this region.
+    pub fn classify(&self, from: Addr, target: Addr) -> TransferClass {
+        debug_assert!(self.contains_block(from), "transfer from foreign block {from}");
+        if target == self.entry {
+            TransferClass::Cycle
+        } else if self.has_edge(from, target) {
+            TransferClass::Internal
+        } else {
+            TransferClass::Exit
+        }
+    }
+}
+
+impl fmt::Display for Region {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}({:?}) entry {} blocks {} stubs {}",
+            self.id,
+            self.kind,
+            self.entry,
+            self.blocks.len(),
+            self.stubs.len()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rsel_program::ProgramBuilder;
+
+    /// A(cond -> C) ; B ; C(cond -> A) ; D(ret)
+    fn program() -> Program {
+        let mut b = ProgramBuilder::new();
+        let f = b.function("f", 0x100);
+        let a = b.block(f);
+        let bb = b.block(f);
+        let c = b.block(f);
+        let d = b.block_with(f, 0);
+        let _ = bb;
+        b.cond_branch(a, c);
+        b.cond_branch(c, a);
+        b.ret(d);
+        b.build().unwrap()
+    }
+
+    fn starts(p: &Program) -> Vec<Addr> {
+        p.blocks().iter().map(|b| b.start()).collect()
+    }
+
+    #[test]
+    fn trace_linear_edges_and_stubs() {
+        let p = program();
+        let s = starts(&p);
+        // Trace A -> C (taken direction of A's branch).
+        let t = Region::trace(&p, &[s[0], s[2]]);
+        assert!(t.has_edge(s[0], s[2]));
+        assert!(t.contains_block(s[0]) && t.contains_block(s[2]));
+        assert!(!t.contains_block(s[1]));
+        // Stubs: A's fall-through to B; C's taken (to A = entry, which
+        // is a loop-back edge instead) and C's fall-through to D.
+        assert!(t.spans_cycle(), "C branches back to A, the entry");
+        let stub_targets: Vec<Option<Addr>> = t.stubs().iter().map(|e| e.target).collect();
+        assert!(stub_targets.contains(&Some(s[1])), "A's fall-through exits");
+        assert!(stub_targets.contains(&Some(s[3])), "C's fall-through exits");
+        assert_eq!(t.stub_count(), 2);
+    }
+
+    #[test]
+    fn trace_without_loopback_does_not_span() {
+        let p = program();
+        let s = starts(&p);
+        let t = Region::trace(&p, &[s[1], s[2]]); // B -> C, C's branch goes to A (outside)
+        assert!(!t.spans_cycle());
+        // C's stubs: taken to A, fall-through to D.
+        assert_eq!(t.stub_count(), 2);
+    }
+
+    #[test]
+    fn classify_cycle_internal_exit() {
+        let p = program();
+        let s = starts(&p);
+        let t = Region::trace(&p, &[s[0], s[2]]);
+        assert_eq!(t.classify(s[2], s[0]), TransferClass::Cycle);
+        assert_eq!(t.classify(s[0], s[2]), TransferClass::Internal);
+        assert_eq!(t.classify(s[0], s[1]), TransferClass::Exit);
+        assert_eq!(t.classify(s[2], s[3]), TransferClass::Exit);
+    }
+
+    #[test]
+    fn single_block_self_loop_spans_cycle() {
+        let mut b = ProgramBuilder::new();
+        let f = b.function("f", 0x100);
+        let spin = b.block(f);
+        let done = b.block_with(f, 0);
+        b.cond_branch(spin, spin);
+        b.ret(done);
+        let p = b.build().unwrap();
+        let t = Region::trace(&p, &[p.block(spin).start()]);
+        assert!(t.spans_cycle());
+        assert_eq!(t.stub_count(), 1, "only the fall-through exits");
+    }
+
+    #[test]
+    fn combined_region_promotes_exits_to_edges() {
+        let p = program();
+        let s = starts(&p);
+        // Region with A, B, C: A->C (taken) and A->B (observed
+        // fall-through), B->C falls through, C->A backward.
+        let r = Region::combined(&p, &[s[0], s[1], s[2]], &[(s[0], s[2]), (s[0], s[1])]);
+        assert!(r.has_edge(s[0], s[1]));
+        assert!(r.has_edge(s[0], s[2]));
+        // Promotion: B falls through to C even though unobserved.
+        assert!(r.has_edge(s[1], s[2]));
+        // C's backward branch to A (entry) promoted too.
+        assert!(r.has_edge(s[2], s[0]));
+        assert!(r.spans_cycle());
+        // Only exit: C's fall-through to D.
+        assert_eq!(r.stub_count(), 1);
+        assert_eq!(r.stubs()[0].target, Some(s[3]));
+        assert_eq!(r.kind(), RegionKind::Combined);
+    }
+
+    #[test]
+    fn indirect_terminator_gets_unknown_stub() {
+        let mut b = ProgramBuilder::new();
+        let f = b.function("f", 0x100);
+        let a = b.block(f);
+        let t = b.block(f);
+        let d = b.block_with(f, 0);
+        b.indirect_jump(a);
+        b.jump(t, d);
+        b.ret(d);
+        let p = b.build().unwrap();
+        let r = Region::trace(&p, &[p.block(a).start(), p.block(t).start()]);
+        // a -> t is the trace edge; the indirect terminator still needs
+        // a stub for mispredicted targets.
+        let unknown = r.stubs().iter().filter(|s| s.target.is_none()).count();
+        assert_eq!(unknown, 1);
+    }
+
+    #[test]
+    fn sizes_accumulate() {
+        let p = program();
+        let s = starts(&p);
+        let t = Region::trace(&p, &[s[0], s[2]]);
+        assert_eq!(t.inst_count(), 4); // 2 blocks x (straight + branch)
+        assert!(t.byte_size() > 0);
+        assert_eq!(t.size_estimate(10), t.byte_size() + 20);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate block")]
+    fn duplicate_blocks_rejected() {
+        let p = program();
+        let s = starts(&p);
+        let _ = Region::trace(&p, &[s[0], s[0]]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one block")]
+    fn empty_trace_rejected() {
+        let p = program();
+        let _ = Region::trace(&p, &[]);
+    }
+}

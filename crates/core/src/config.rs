@@ -1,0 +1,161 @@
+//! Simulation and algorithm parameters.
+
+use rsel_trace::AddrWidth;
+
+/// Parameters of the simulated dynamic optimization system.
+///
+/// Defaults follow the paper:
+///
+/// - NET execution threshold 50 ("the published standard", §3.2);
+/// - LEI cycle threshold `T_cyc` = 35 and history buffer size 500
+///   (§3.2);
+/// - trace combination observes `T_prof` = 15 traces and keeps blocks
+///   occurring in at least `T_min` = 5 of them (§4.3), profiling
+///   starting at `base threshold − T_prof` so regions are still
+///   "selected after the same number of interpreted executions";
+/// - exit stubs are charged 10 bytes in cache-size estimates (§4.3.4).
+///
+/// The maximum trace length is the one parameter the paper mentions but
+/// does not publish (footnote 7); the default of 256 instructions is
+/// large enough that real traces rarely hit it.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SimConfig {
+    /// NET execution-count threshold before a trace is selected.
+    pub net_threshold: u32,
+    /// LEI cycle-completion threshold `T_cyc`.
+    pub lei_threshold: u32,
+    /// Number of taken branches retained in LEI's history buffer.
+    pub history_size: usize,
+    /// Maximum number of instructions in a NET-grown trace.
+    pub max_trace_insts: usize,
+    /// Number of traces observed per hot target under combination.
+    pub t_prof: u32,
+    /// Minimum observed-trace occurrences for a block to be kept.
+    pub t_min: u32,
+    /// Address width used in compact trace encodings.
+    pub addr_width: AddrWidth,
+    /// Bytes charged per exit stub in cache-size estimates.
+    pub stub_bytes: u64,
+    /// Mojo's lower execution threshold for trace-exit targets
+    /// (paper §5: Mojo "uses one threshold for backward-branch targets
+    /// and a lower threshold for trace exits").
+    pub mojo_exit_threshold: u32,
+    /// BOA's entry-point emulation threshold (paper §5: "after the
+    /// entry point ... is emulated 15 times, a trace is selected").
+    pub boa_threshold: u32,
+    /// Wiggins/Redstone's sampling period: one interpreted block in
+    /// every `wr_sample_period` is sampled as a potential trace head.
+    pub wr_sample_period: u64,
+    /// Samples of the same address before Wiggins/Redstone selects a
+    /// trace there.
+    pub wr_sample_threshold: u32,
+    /// ADORE's sampling period over taken branches (its hardware PMU
+    /// reads the four most recent taken branches every so often).
+    pub adore_sample_period: u64,
+    /// Occurrences of the same four-branch path before ADORE selects
+    /// it.
+    pub adore_path_threshold: u32,
+    /// Code-cache capacity in estimated bytes; `None` (the paper's
+    /// setting, §2.3) means unbounded. Bounded caches flush completely
+    /// when an insertion would overflow.
+    pub cache_capacity: Option<u64>,
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        SimConfig {
+            net_threshold: 50,
+            lei_threshold: 35,
+            history_size: 500,
+            max_trace_insts: 256,
+            t_prof: 15,
+            t_min: 5,
+            addr_width: AddrWidth::W32,
+            stub_bytes: 10,
+            mojo_exit_threshold: 25,
+            boa_threshold: 15,
+            wr_sample_period: 97,
+            wr_sample_threshold: 8,
+            adore_sample_period: 61,
+            adore_path_threshold: 4,
+            cache_capacity: None,
+        }
+    }
+}
+
+impl SimConfig {
+    /// Profiling start threshold `T_start` for combined NET
+    /// (`net_threshold − t_prof`, clamped at 1).
+    pub fn net_t_start(&self) -> u32 {
+        self.net_threshold.saturating_sub(self.t_prof).max(1)
+    }
+
+    /// Profiling start threshold `T_start` for combined LEI
+    /// (`lei_threshold − t_prof`, clamped at 1).
+    pub fn lei_t_start(&self) -> u32 {
+        self.lei_threshold.saturating_sub(self.t_prof).max(1)
+    }
+
+    /// Validates cross-parameter consistency.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a threshold is zero, `t_min > t_prof`, or the history
+    /// buffer is empty.
+    pub fn validate(&self) {
+        assert!(self.net_threshold > 0, "net_threshold must be positive");
+        assert!(self.lei_threshold > 0, "lei_threshold must be positive");
+        assert!(self.history_size > 0, "history_size must be positive");
+        assert!(self.max_trace_insts > 0, "max_trace_insts must be positive");
+        assert!(self.t_prof > 0, "t_prof must be positive");
+        assert!(self.t_min > 0 && self.t_min <= self.t_prof, "need 0 < t_min <= t_prof");
+        assert!(self.mojo_exit_threshold > 0, "mojo_exit_threshold must be positive");
+        assert!(self.boa_threshold > 0, "boa_threshold must be positive");
+        assert!(self.wr_sample_period > 0, "wr_sample_period must be positive");
+        assert!(self.wr_sample_threshold > 0, "wr_sample_threshold must be positive");
+        assert!(self.adore_sample_period > 0, "adore_sample_period must be positive");
+        assert!(self.adore_path_threshold > 0, "adore_path_threshold must be positive");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_paper() {
+        let c = SimConfig::default();
+        assert_eq!(c.net_threshold, 50);
+        assert_eq!(c.lei_threshold, 35);
+        assert_eq!(c.history_size, 500);
+        assert_eq!(c.t_prof, 15);
+        assert_eq!(c.t_min, 5);
+        assert_eq!(c.stub_bytes, 10);
+        c.validate();
+    }
+
+    #[test]
+    fn combined_thresholds_select_at_same_execution_count() {
+        let c = SimConfig::default();
+        // "combined NET begins profiling after 35 executions rather
+        // than 50, and combined LEI begins after 20 rather than 35"
+        assert_eq!(c.net_t_start(), 35);
+        assert_eq!(c.lei_t_start(), 20);
+        assert_eq!(c.net_t_start() + c.t_prof, c.net_threshold);
+        assert_eq!(c.lei_t_start() + c.t_prof, c.lei_threshold);
+    }
+
+    #[test]
+    #[should_panic(expected = "t_min")]
+    fn t_min_above_t_prof_rejected() {
+        let c = SimConfig { t_min: 20, ..SimConfig::default() };
+        c.validate();
+    }
+
+    #[test]
+    fn t_start_clamps_at_one() {
+        let c = SimConfig { net_threshold: 5, lei_threshold: 5, ..SimConfig::default() };
+        assert_eq!(c.net_t_start(), 1);
+        assert_eq!(c.lei_t_start(), 1);
+    }
+}

@@ -1,0 +1,71 @@
+//! The X% cover set metric (paper §2.3).
+
+/// Computes the size of the X% cover set: the smallest set of regions
+/// whose executed instructions comprise at least `frac` of the whole
+/// program's executed instructions.
+///
+/// The paper adopts this "trace quality metric" from the Dynamo
+/// implementers, who "found that the 90% cover sets were a perfect
+/// predictor of performance: a smaller 90% cover set implied a smaller
+/// execution time" (§2.3).
+///
+/// Returns `None` when even all regions together fall short of the
+/// fraction (possible when much of execution stayed in the
+/// interpreter).
+///
+/// # Panics
+///
+/// Panics if `frac` is not within `0.0..=1.0`.
+pub fn cover_set_size(per_region_insts: &[u64], total_insts: u64, frac: f64) -> Option<usize> {
+    assert!((0.0..=1.0).contains(&frac), "fraction out of range: {frac}");
+    let goal = (total_insts as f64) * frac;
+    let mut sorted: Vec<u64> = per_region_insts.to_vec();
+    sorted.sort_unstable_by(|a, b| b.cmp(a));
+    let mut sum = 0u64;
+    for (i, insts) in sorted.iter().enumerate() {
+        sum += insts;
+        if sum as f64 >= goal {
+            return Some(i + 1);
+        }
+    }
+    if goal == 0.0 {
+        return Some(0);
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn picks_largest_regions_first() {
+        // 100 total; regions execute 50, 30, 15, 5.
+        let per = vec![5, 50, 15, 30];
+        assert_eq!(cover_set_size(&per, 100, 0.9), Some(3)); // 50+30+15 = 95
+        assert_eq!(cover_set_size(&per, 100, 0.8), Some(2)); // 50+30 = 80
+        assert_eq!(cover_set_size(&per, 100, 0.5), Some(1));
+    }
+
+    #[test]
+    fn unattainable_fraction_is_none() {
+        assert_eq!(cover_set_size(&[10, 10], 100, 0.9), None);
+    }
+
+    #[test]
+    fn zero_goal_is_empty_set() {
+        assert_eq!(cover_set_size(&[], 100, 0.0), Some(0));
+        assert_eq!(cover_set_size(&[], 0, 0.9), Some(0));
+    }
+
+    #[test]
+    fn exact_boundary_counts() {
+        assert_eq!(cover_set_size(&[90, 10], 100, 0.9), Some(1));
+    }
+
+    #[test]
+    #[should_panic(expected = "fraction")]
+    fn bad_fraction_panics() {
+        let _ = cover_set_size(&[1], 1, 1.5);
+    }
+}

@@ -1,0 +1,203 @@
+//! Exit-domination analysis (paper §4.1).
+
+use crate::cache::{CodeCache, RegionId};
+use rsel_program::Addr;
+use std::collections::{HashMap, HashSet};
+
+/// Aggregate exit-domination statistics for one run.
+///
+/// Region `R` *exit-dominates* region `S` when (paper §4.1):
+///
+/// 1. `S` begins at an exit from `R`;
+/// 2. the exit block is the only predecessor of `S`'s entrance block
+///    that executes and is not contained in `S`;
+/// 3. `R` was selected before `S`.
+///
+/// Instructions appearing in both an exit-dominated region and its
+/// dominator are *exit-dominated duplication*.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct DominationStats {
+    /// Number of regions that are exit-dominated (Figure 12's
+    /// numerator).
+    pub dominated_regions: usize,
+    /// Instructions that are exit-dominated duplication (Figure 11's
+    /// numerator): for each dominated region, the instructions of its
+    /// blocks that also appear in the dominating region.
+    pub duplicated_insts: u64,
+    /// For each dominated region, its dominator.
+    pub pairs: Vec<(RegionId, RegionId)>,
+}
+
+impl DominationStats {
+    /// Fraction of regions that are exit-dominated.
+    pub fn dominated_fraction(&self, total_regions: usize) -> f64 {
+        if total_regions == 0 {
+            0.0
+        } else {
+            self.dominated_regions as f64 / total_regions as f64
+        }
+    }
+
+    /// Fraction of selected instructions that are exit-dominated
+    /// duplication.
+    pub fn duplication_fraction(&self, total_selected_insts: u64) -> f64 {
+        if total_selected_insts == 0 {
+            0.0
+        } else {
+            self.duplicated_insts as f64 / total_selected_insts as f64
+        }
+    }
+}
+
+/// Runs the §4.1 analysis over a finished simulation.
+///
+/// `exec_preds` maps each block start to the set of block starts that
+/// executed an edge into it (the *executed* predecessor relation —
+/// footnote 5 explains why unexecuted static edges are ignored).
+/// `exit_edges` maps each exit-target address to the set of
+/// `(region, exit block)` pairs observed leaving the cache towards it.
+pub fn analyze_domination(
+    cache: &CodeCache,
+    exec_preds: &HashMap<Addr, HashSet<Addr>>,
+    exit_edges: &HashMap<Addr, HashSet<(RegionId, Addr)>>,
+) -> DominationStats {
+    let mut stats = DominationStats::default();
+    let empty_preds: HashSet<Addr> = HashSet::new();
+    for s in cache.regions() {
+        let entry = s.entry();
+        let Some(candidates) = exit_edges.get(&entry) else { continue };
+        // Condition 2: executed predecessors of S's entry outside S.
+        let outside: Vec<Addr> = exec_preds
+            .get(&entry)
+            .unwrap_or(&empty_preds)
+            .iter()
+            .copied()
+            .filter(|p| !s.contains_block(*p))
+            .collect();
+        let [only] = outside.as_slice() else { continue };
+        // Conditions 1 and 3: some earlier region exits from that block
+        // to S's entry.
+        let dominator = candidates
+            .iter()
+            .filter(|(rid, fb)| *rid < s.id() && fb == only)
+            .map(|(rid, _)| *rid)
+            .min();
+        let Some(rid) = dominator else { continue };
+        stats.dominated_regions += 1;
+        stats.pairs.push((rid, s.id()));
+        let r = cache.region(rid);
+        let dup: u64 = s
+            .blocks()
+            .iter()
+            .filter(|b| r.contains_block(b.start()))
+            .map(|b| u64::from(b.inst_count()))
+            .sum();
+        stats.duplicated_insts += dup;
+    }
+    stats
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cache::Region;
+    use rsel_program::{Program, ProgramBuilder};
+
+    /// A(cond->C) ; B ; C ; D(ret): A's fall-through goes to B, B falls
+    /// to C, C falls to D.
+    fn program() -> Program {
+        let mut b = ProgramBuilder::new();
+        let f = b.function("f", 0x100);
+        let a = b.block(f);
+        let bb = b.block(f);
+        let c = b.block(f);
+        let d = b.block_with(f, 0);
+        let _ = (bb, c);
+        b.cond_branch(a, c);
+        b.ret(d);
+        b.build().unwrap()
+    }
+
+    fn starts(p: &Program) -> Vec<Addr> {
+        p.blocks().iter().map(|b| b.start()).collect()
+    }
+
+    #[test]
+    fn detects_exit_domination_with_duplication() {
+        let p = program();
+        let s = starts(&p);
+        let mut cache = CodeCache::new();
+        // R = [A, C] selected first; S = [B, C] begins at R's
+        // fall-through exit from A and shares block C.
+        let r_id = cache.insert(Region::trace(&p, &[s[0], s[2]]));
+        let s_id = cache.insert(Region::trace(&p, &[s[1], s[2]]));
+        let mut preds: HashMap<Addr, HashSet<Addr>> = HashMap::new();
+        preds.entry(s[1]).or_default().insert(s[0]); // only A reaches B
+        let mut exits: HashMap<Addr, HashSet<(RegionId, Addr)>> = HashMap::new();
+        exits.entry(s[1]).or_default().insert((r_id, s[0]));
+        let stats = analyze_domination(&cache, &preds, &exits);
+        assert_eq!(stats.dominated_regions, 1);
+        assert_eq!(stats.pairs, vec![(r_id, s_id)]);
+        // Shared block C's instructions are duplication.
+        let c_insts = u64::from(p.block_at(s[2]).unwrap().len() as u32);
+        assert_eq!(stats.duplicated_insts, c_insts);
+        assert!(stats.dominated_fraction(2) > 0.49);
+    }
+
+    #[test]
+    fn second_executed_predecessor_defeats_domination() {
+        let p = program();
+        let s = starts(&p);
+        let mut cache = CodeCache::new();
+        let r_id = cache.insert(Region::trace(&p, &[s[0], s[2]]));
+        cache.insert(Region::trace(&p, &[s[1], s[2]]));
+        let mut preds: HashMap<Addr, HashSet<Addr>> = HashMap::new();
+        // B is also entered from D (some other executed path).
+        preds.entry(s[1]).or_default().extend([s[0], s[3]]);
+        let mut exits: HashMap<Addr, HashSet<(RegionId, Addr)>> = HashMap::new();
+        exits.entry(s[1]).or_default().insert((r_id, s[0]));
+        let stats = analyze_domination(&cache, &preds, &exits);
+        assert_eq!(stats.dominated_regions, 0);
+    }
+
+    #[test]
+    fn later_regions_cannot_dominate_earlier_ones() {
+        let p = program();
+        let s = starts(&p);
+        let mut cache = CodeCache::new();
+        // S selected FIRST, R second: condition 3 fails.
+        cache.insert(Region::trace(&p, &[s[1], s[2]]));
+        let r_id = cache.insert(Region::trace(&p, &[s[0], s[2]]));
+        let mut preds: HashMap<Addr, HashSet<Addr>> = HashMap::new();
+        preds.entry(s[1]).or_default().insert(s[0]);
+        let mut exits: HashMap<Addr, HashSet<(RegionId, Addr)>> = HashMap::new();
+        exits.entry(s[1]).or_default().insert((r_id, s[0]));
+        let stats = analyze_domination(&cache, &preds, &exits);
+        assert_eq!(stats.dominated_regions, 0);
+    }
+
+    #[test]
+    fn predecessor_inside_s_is_ignored() {
+        let p = program();
+        let s = starts(&p);
+        let mut cache = CodeCache::new();
+        // S = [B, C] with an internal cycle pred C -> B would not count.
+        let r_id = cache.insert(Region::trace(&p, &[s[0], s[2]]));
+        cache.insert(Region::trace(&p, &[s[1], s[2]]));
+        let mut preds: HashMap<Addr, HashSet<Addr>> = HashMap::new();
+        preds.entry(s[1]).or_default().extend([s[0], s[2]]); // C is inside S
+        let mut exits: HashMap<Addr, HashSet<(RegionId, Addr)>> = HashMap::new();
+        exits.entry(s[1]).or_default().insert((r_id, s[0]));
+        let stats = analyze_domination(&cache, &preds, &exits);
+        assert_eq!(stats.dominated_regions, 1);
+    }
+
+    #[test]
+    fn empty_inputs_mean_no_domination() {
+        let cache = CodeCache::new();
+        let stats = analyze_domination(&cache, &HashMap::new(), &HashMap::new());
+        assert_eq!(stats, DominationStats::default());
+        assert_eq!(stats.dominated_fraction(0), 0.0);
+        assert_eq!(stats.duplication_fraction(0), 0.0);
+    }
+}

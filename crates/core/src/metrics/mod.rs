@@ -1,0 +1,11 @@
+//! The evaluation metrics of the paper (§2.3 and §4.1).
+
+pub mod cover;
+pub mod domination;
+pub mod optimization;
+pub mod report;
+
+pub use cover::cover_set_size;
+pub use domination::{DominationStats, analyze_domination};
+pub use optimization::{OptimizationOpportunities, analyze_optimization, analyze_region};
+pub use report::{RegionReport, RunReport};

@@ -1,0 +1,320 @@
+//! Optimization-opportunity analysis of selected regions (paper §4.4).
+//!
+//! The paper argues that multi-path regions enable optimizations that
+//! traces cannot express:
+//!
+//! - "When a region contains both sides of an if-else statement,
+//!   redundancy elimination does not need to produce compensation
+//!   code" — measured here as *internal joins* (blocks with two or more
+//!   internal predecessors);
+//! - "When a region contains a cycle, loop optimizations can be
+//!   performed ... Loop-invariant code motion is an especially
+//!   important example ... even a trace that spans a cycle cannot
+//!   perform this optimization, because it has nowhere outside the
+//!   cycle to move an instruction" — measured as *hoistable cycles*:
+//!   cyclic strongly connected components that have at least one region
+//!   block outside them on a path to the cycle (a preheader position).
+
+use crate::cache::{CodeCache, Region};
+use rsel_program::Addr;
+use std::collections::HashMap;
+
+/// Counts of optimization opportunities over a set of regions.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct OptimizationOpportunities {
+    /// Regions analyzed.
+    pub regions: usize,
+    /// Blocks with two or more internal predecessors (join points
+    /// usable by compensation-free redundancy elimination).
+    pub internal_joins: u64,
+    /// Blocks with two or more internal successors (split points the
+    /// optimizer can lay out by frequency).
+    pub internal_splits: u64,
+    /// Regions containing at least one internal cycle.
+    pub cyclic_regions: usize,
+    /// Regions with a cycle *and* a block outside it that reaches it —
+    /// a preheader position for loop-invariant code motion.
+    pub hoistable_cycles: usize,
+}
+
+impl OptimizationOpportunities {
+    /// Merges counts from another analysis.
+    pub fn merge(&mut self, other: &OptimizationOpportunities) {
+        self.regions += other.regions;
+        self.internal_joins += other.internal_joins;
+        self.internal_splits += other.internal_splits;
+        self.cyclic_regions += other.cyclic_regions;
+        self.hoistable_cycles += other.hoistable_cycles;
+    }
+}
+
+/// Analyzes one region.
+pub fn analyze_region(region: &Region) -> OptimizationOpportunities {
+    let nodes: Vec<Addr> = region.blocks().iter().map(|b| b.start()).collect();
+    let mut preds: HashMap<Addr, u32> = HashMap::new();
+    let mut splits = 0u64;
+    for &n in &nodes {
+        let succs = region.successors(n);
+        if succs.len() >= 2 {
+            splits += 1;
+        }
+        for &s in succs {
+            *preds.entry(s).or_insert(0) += 1;
+        }
+    }
+    let joins = preds.values().filter(|&&c| c >= 2).count() as u64;
+
+    let sccs = tarjan_sccs(&nodes, region);
+    // A component is cyclic if it has >1 node, or a single node with a
+    // self edge.
+    let mut comp_of: HashMap<Addr, usize> = HashMap::new();
+    for (i, comp) in sccs.iter().enumerate() {
+        for &n in comp {
+            comp_of.insert(n, i);
+        }
+    }
+    let cyclic: Vec<usize> = sccs
+        .iter()
+        .enumerate()
+        .filter(|(_, comp)| comp.len() > 1 || region.has_edge(comp[0], comp[0]))
+        .map(|(i, _)| i)
+        .collect();
+    // Hoistable: some cyclic component has an incoming edge from a
+    // different component (a preheader position exists inside the
+    // region).
+    let mut hoistable = false;
+    for &n in &nodes {
+        for &s in region.successors(n) {
+            let (cn, cs) = (comp_of[&n], comp_of[&s]);
+            if cn != cs && cyclic.contains(&cs) {
+                hoistable = true;
+            }
+        }
+    }
+    OptimizationOpportunities {
+        regions: 1,
+        internal_joins: joins,
+        internal_splits: splits,
+        cyclic_regions: usize::from(!cyclic.is_empty()),
+        hoistable_cycles: usize::from(hoistable),
+    }
+}
+
+/// Analyzes every region in the cache.
+pub fn analyze_optimization(cache: &CodeCache) -> OptimizationOpportunities {
+    let mut total = OptimizationOpportunities::default();
+    for r in cache.regions() {
+        total.merge(&analyze_region(r));
+    }
+    total
+}
+
+/// Iterative Tarjan strongly-connected components over a region's
+/// internal edges.
+fn tarjan_sccs(nodes: &[Addr], region: &Region) -> Vec<Vec<Addr>> {
+    #[derive(Clone, Copy)]
+    struct NodeState {
+        index: u32,
+        lowlink: u32,
+        on_stack: bool,
+    }
+    let mut state: HashMap<Addr, NodeState> = HashMap::new();
+    let mut stack: Vec<Addr> = Vec::new();
+    let mut sccs: Vec<Vec<Addr>> = Vec::new();
+    let mut next_index = 0u32;
+
+    for &root in nodes {
+        if state.contains_key(&root) {
+            continue;
+        }
+        // Explicit DFS: (node, child cursor).
+        let mut dfs: Vec<(Addr, usize)> = vec![(root, 0)];
+        state.insert(
+            root,
+            NodeState { index: next_index, lowlink: next_index, on_stack: true },
+        );
+        stack.push(root);
+        next_index += 1;
+        while let Some(&mut (v, ref mut cursor)) = dfs.last_mut() {
+            let succs = region.successors(v);
+            if *cursor < succs.len() {
+                let w = succs[*cursor];
+                *cursor += 1;
+                match state.get(&w) {
+                    None => {
+                        state.insert(
+                            w,
+                            NodeState {
+                                index: next_index,
+                                lowlink: next_index,
+                                on_stack: true,
+                            },
+                        );
+                        stack.push(w);
+                        next_index += 1;
+                        dfs.push((w, 0));
+                    }
+                    Some(sw) if sw.on_stack => {
+                        let wi = sw.index;
+                        let sv = state.get_mut(&v).expect("visited");
+                        sv.lowlink = sv.lowlink.min(wi);
+                    }
+                    Some(_) => {}
+                }
+            } else {
+                dfs.pop();
+                let (vi, vl) = {
+                    let sv = state[&v];
+                    (sv.index, sv.lowlink)
+                };
+                if let Some(&mut (parent, _)) = dfs.last_mut() {
+                    let sp = state.get_mut(&parent).expect("visited");
+                    sp.lowlink = sp.lowlink.min(vl);
+                }
+                if vi == vl {
+                    // v is an SCC root: pop the component.
+                    let mut comp = Vec::new();
+                    loop {
+                        let w = stack.pop().expect("stack holds the component");
+                        state.get_mut(&w).expect("visited").on_stack = false;
+                        comp.push(w);
+                        if w == v {
+                            break;
+                        }
+                    }
+                    sccs.push(comp);
+                }
+            }
+        }
+    }
+    sccs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rsel_program::{Program, ProgramBuilder};
+
+    /// A(cond->C) ; B ; C(cond->A) ; D(ret)
+    fn program() -> Program {
+        let mut b = ProgramBuilder::new();
+        let f = b.function("f", 0x100);
+        let a = b.block(f);
+        let bb = b.block(f);
+        let c = b.block(f);
+        let d = b.block_with(f, 0);
+        let _ = bb;
+        b.cond_branch(a, c);
+        b.cond_branch(c, a);
+        b.ret(d);
+        b.build().unwrap()
+    }
+
+    fn starts(p: &Program) -> Vec<Addr> {
+        p.blocks().iter().map(|b| b.start()).collect()
+    }
+
+    #[test]
+    fn pure_cycle_trace_is_cyclic_but_not_hoistable() {
+        // The paper's point: a trace that IS the cycle has nowhere to
+        // hoist to.
+        let p = program();
+        let s = starts(&p);
+        let t = Region::trace(&p, &[s[0], s[2]]); // A -> C -> back to A
+        let opp = analyze_region(&t);
+        assert_eq!(opp.cyclic_regions, 1);
+        assert_eq!(opp.hoistable_cycles, 0, "no preheader inside the trace");
+    }
+
+    #[test]
+    fn straightline_trace_has_no_opportunities() {
+        let p = program();
+        let s = starts(&p);
+        let t = Region::trace(&p, &[s[1], s[2]]);
+        let opp = analyze_region(&t);
+        assert_eq!(opp.cyclic_regions, 0);
+        assert_eq!(opp.internal_joins, 0);
+        assert_eq!(opp.internal_splits, 0);
+    }
+
+    #[test]
+    fn diamond_region_has_split_and_join() {
+        // S(cond->T) ; F(jump J) ; T ; J(ret)
+        let mut b = ProgramBuilder::new();
+        let f = b.function("f", 0x100);
+        let sp = b.block(f);
+        let fall = b.block(f);
+        let taken = b.block(f);
+        let j = b.block_with(f, 0);
+        b.cond_branch(sp, taken);
+        b.jump(fall, j);
+        b.ret(j);
+        let p = b.build().unwrap();
+        let at = |id| p.block(id).start();
+        let r = Region::combined(
+            &p,
+            &[at(sp), at(fall), at(taken), at(j)],
+            &[(at(sp), at(fall)), (at(sp), at(taken)), (at(fall), at(j)), (at(taken), at(j))],
+        );
+        let opp = analyze_region(&r);
+        assert_eq!(opp.internal_splits, 1, "S splits");
+        assert_eq!(opp.internal_joins, 1, "J joins");
+        assert_eq!(opp.cyclic_regions, 0);
+    }
+
+    #[test]
+    fn combined_region_with_inner_cycle_is_hoistable() {
+        // entry E falls into loop head H; H cond-branches back to H
+        // (self cycle); exit X. A combined region holding E, H has a
+        // preheader (E) for the cycle at H.
+        let mut b = ProgramBuilder::new();
+        let f = b.function("f", 0x100);
+        let e = b.block(f);
+        let h = b.block(f);
+        let x = b.block_with(f, 0);
+        b.cond_branch(h, h);
+        b.ret(x);
+        let p = b.build().unwrap();
+        let at = |id| p.block(id).start();
+        let r = Region::combined(&p, &[at(e), at(h)], &[(at(e), at(h)), (at(h), at(h))]);
+        let opp = analyze_region(&r);
+        assert_eq!(opp.cyclic_regions, 1);
+        assert_eq!(opp.hoistable_cycles, 1, "E is a preheader for H's cycle");
+    }
+
+    #[test]
+    fn analyze_cache_merges_regions() {
+        let p = program();
+        let s = starts(&p);
+        let mut cache = CodeCache::new();
+        cache.insert(Region::trace(&p, &[s[0], s[2]]));
+        cache.insert(Region::trace(&p, &[s[1]]));
+        let opp = analyze_optimization(&cache);
+        assert_eq!(opp.regions, 2);
+        assert_eq!(opp.cyclic_regions, 1);
+    }
+
+    #[test]
+    fn tarjan_handles_nested_sccs() {
+        // Two independent self-loops in one combined region.
+        let mut b = ProgramBuilder::new();
+        let f = b.function("f", 0x100);
+        let a = b.block(f);
+        let c = b.block(f);
+        let x = b.block_with(f, 0);
+        b.cond_branch(a, a);
+        b.cond_branch(c, c);
+        b.ret(x);
+        let p = b.build().unwrap();
+        let at = |id| p.block(id).start();
+        let r = Region::combined(
+            &p,
+            &[at(a), at(c)],
+            &[(at(a), at(a)), (at(a), at(c)), (at(c), at(c))],
+        );
+        let opp = analyze_region(&r);
+        assert_eq!(opp.cyclic_regions, 1);
+        // c's cycle is entered from a's component: hoistable.
+        assert_eq!(opp.hoistable_cycles, 1);
+    }
+}

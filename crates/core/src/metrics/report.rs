@@ -1,0 +1,291 @@
+//! The aggregated per-run report covering every paper metric.
+
+use super::cover::cover_set_size;
+use super::domination::DominationStats;
+use crate::cache::RegionKind;
+use rsel_program::Addr;
+use std::fmt;
+
+/// Per-region facts gathered during a run.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RegionReport {
+    /// The region's entry address.
+    pub entry: Addr,
+    /// Trace or combined.
+    pub kind: RegionKind,
+    /// Instructions copied into the region.
+    pub insts_copied: u64,
+    /// Instruction bytes copied.
+    pub bytes: u64,
+    /// Exit stubs.
+    pub stubs: usize,
+    /// Whether the region contains a branch back to its entry.
+    pub spans_cycle: bool,
+    /// Executions: entries from outside plus cycle re-entries.
+    pub executions: u64,
+    /// Executions that ended by branching back to the region top.
+    pub cycle_ends: u64,
+    /// Instructions executed while control was in this region.
+    pub insts_executed: u64,
+}
+
+/// Everything measured over one simulated run; produced by
+/// [`Simulator::report`](crate::Simulator::report).
+#[derive(Clone, Debug, PartialEq)]
+pub struct RunReport {
+    /// Selector name ("NET", "LEI", ...).
+    pub selector: String,
+    /// Total instructions the program executed.
+    pub total_insts: u64,
+    /// Instructions executed from the code cache.
+    pub cache_insts: u64,
+    /// Interpreted taken branches (selector invocations).
+    pub interpreted_taken: u64,
+    /// Jumps between distinct cached regions (the locality metric).
+    pub region_transitions: u64,
+    /// Per-region details, in selection order.
+    pub regions: Vec<RegionReport>,
+    /// Peak profiling counters in use (Figure 10).
+    pub peak_counters: usize,
+    /// Peak bytes of stored observed traces (Figure 18).
+    pub peak_observed_bytes: usize,
+    /// Estimated cache size: instruction bytes + 10 B per stub (§4.3.4).
+    pub cache_size_estimate: u64,
+    /// Exit-domination analysis results (§4.1); live regions only when
+    /// the cache is bounded.
+    pub domination: DominationStats,
+    /// Full cache flushes performed (always zero for the paper's
+    /// unbounded setting).
+    pub cache_flushes: u64,
+    /// Sum of cache-layout distances over all region transitions
+    /// (regions are laid out in selection order; §1 argues separation
+    /// puts related traces "potentially on a separate virtual memory
+    /// page").
+    pub transition_distance_sum: u64,
+    /// Region transitions whose endpoints lie on different 4 KiB pages
+    /// of the cache layout.
+    pub transition_page_crossings: u64,
+}
+
+impl RunReport {
+    /// Fraction of executed instructions that ran from the cache
+    /// (the paper's *hit rate*, §2.3).
+    pub fn hit_rate(&self) -> f64 {
+        if self.total_insts == 0 {
+            0.0
+        } else {
+            self.cache_insts as f64 / self.total_insts as f64
+        }
+    }
+
+    /// Number of regions selected.
+    pub fn region_count(&self) -> usize {
+        self.regions.len()
+    }
+
+    /// Instructions copied into the cache (*code expansion*, §2.3).
+    pub fn insts_copied(&self) -> u64 {
+        self.regions.iter().map(|r| r.insts_copied).sum()
+    }
+
+    /// Total exit stubs (Figure 19).
+    pub fn stub_count(&self) -> u64 {
+        self.regions.iter().map(|r| r.stubs as u64).sum()
+    }
+
+    /// Mean instructions per selected region (§3.2.2 reports 14.8 for
+    /// NET vs. 18.3 for LEI).
+    pub fn avg_region_insts(&self) -> f64 {
+        if self.regions.is_empty() {
+            0.0
+        } else {
+            self.insts_copied() as f64 / self.regions.len() as f64
+        }
+    }
+
+    /// Fraction of selected regions containing a branch to their top
+    /// (*spanned cycle ratio*, §3.2.1).
+    pub fn spanned_cycle_ratio(&self) -> f64 {
+        if self.regions.is_empty() {
+            return 0.0;
+        }
+        let spanned = self.regions.iter().filter(|r| r.spans_cycle).count();
+        spanned as f64 / self.regions.len() as f64
+    }
+
+    /// Fraction of region executions that ended by branching back to
+    /// the region top (*executed cycle ratio*, §3.2.1).
+    pub fn executed_cycle_ratio(&self) -> f64 {
+        let execs: u64 = self.regions.iter().map(|r| r.executions).sum();
+        if execs == 0 {
+            return 0.0;
+        }
+        let cycles: u64 = self.regions.iter().map(|r| r.cycle_ends).sum();
+        cycles as f64 / execs as f64
+    }
+
+    /// Size of the `frac` cover set (paper uses 0.90); `None` when the
+    /// cache never covered that much execution.
+    pub fn cover_set_size(&self, frac: f64) -> Option<usize> {
+        let per: Vec<u64> = self.regions.iter().map(|r| r.insts_executed).collect();
+        cover_set_size(&per, self.total_insts, frac)
+    }
+
+    /// Peak observed-trace memory as a fraction of the estimated cache
+    /// size (Figure 18's y-axis).
+    pub fn observed_memory_fraction(&self) -> f64 {
+        if self.cache_size_estimate == 0 {
+            0.0
+        } else {
+            self.peak_observed_bytes as f64 / self.cache_size_estimate as f64
+        }
+    }
+
+    /// Fraction of regions that are exit-dominated (Figure 12).
+    pub fn exit_dominated_fraction(&self) -> f64 {
+        self.domination.dominated_fraction(self.regions.len())
+    }
+
+    /// Fraction of selected instructions that are exit-dominated
+    /// duplication (Figure 11).
+    pub fn exit_dominated_duplication_fraction(&self) -> f64 {
+        self.domination.duplication_fraction(self.insts_copied())
+    }
+
+    /// Mean cache-layout distance of a region transition, in bytes.
+    pub fn mean_transition_distance(&self) -> f64 {
+        if self.region_transitions == 0 {
+            0.0
+        } else {
+            self.transition_distance_sum as f64 / self.region_transitions as f64
+        }
+    }
+
+    /// Fraction of region transitions that cross a 4 KiB page of the
+    /// cache layout.
+    pub fn page_crossing_fraction(&self) -> f64 {
+        if self.region_transitions == 0 {
+            0.0
+        } else {
+            self.transition_page_crossings as f64 / self.region_transitions as f64
+        }
+    }
+}
+
+impl fmt::Display for RunReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "=== {} ===", self.selector)?;
+        writeln!(
+            f,
+            "hit rate {:6.2}%  regions {:5}  copied {:8} insts  stubs {:6}",
+            100.0 * self.hit_rate(),
+            self.region_count(),
+            self.insts_copied(),
+            self.stub_count()
+        )?;
+        writeln!(
+            f,
+            "transitions {:8}  spanned {:5.1}%  executed-cycles {:5.1}%  avg size {:5.1}",
+            self.region_transitions,
+            100.0 * self.spanned_cycle_ratio(),
+            100.0 * self.executed_cycle_ratio(),
+            self.avg_region_insts()
+        )?;
+        write!(
+            f,
+            "90% cover {:?}  peak counters {}  exit-dominated {:4.1}% of regions",
+            self.cover_set_size(0.9),
+            self.peak_counters,
+            100.0 * self.exit_dominated_fraction()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn region(insts: u64, executed: u64, spans: bool, execs: u64, cycles: u64) -> RegionReport {
+        RegionReport {
+            entry: Addr::new(0x100),
+            kind: RegionKind::Trace,
+            insts_copied: insts,
+            bytes: insts * 3,
+            stubs: 2,
+            spans_cycle: spans,
+            executions: execs,
+            cycle_ends: cycles,
+            insts_executed: executed,
+        }
+    }
+
+    fn report() -> RunReport {
+        RunReport {
+            selector: "NET".to_string(),
+            total_insts: 1000,
+            cache_insts: 950,
+            interpreted_taken: 40,
+            region_transitions: 12,
+            regions: vec![
+                region(10, 800, true, 100, 90),
+                region(20, 150, false, 20, 0),
+            ],
+            peak_counters: 5,
+            peak_observed_bytes: 30,
+            cache_size_estimate: 130,
+            domination: DominationStats::default(),
+            cache_flushes: 0,
+            transition_distance_sum: 2400,
+            transition_page_crossings: 3,
+        }
+    }
+
+    #[test]
+    fn derived_metrics() {
+        let r = report();
+        assert!((r.hit_rate() - 0.95).abs() < 1e-9);
+        assert_eq!(r.insts_copied(), 30);
+        assert_eq!(r.stub_count(), 4);
+        assert!((r.avg_region_insts() - 15.0).abs() < 1e-9);
+        assert!((r.spanned_cycle_ratio() - 0.5).abs() < 1e-9);
+        assert!((r.executed_cycle_ratio() - 0.75).abs() < 1e-9);
+        assert_eq!(r.cover_set_size(0.9), Some(2));
+        assert_eq!(r.cover_set_size(0.8), Some(1));
+        assert!((r.observed_memory_fraction() - 30.0 / 130.0).abs() < 1e-9);
+        assert!((r.mean_transition_distance() - 200.0).abs() < 1e-9);
+        assert!((r.page_crossing_fraction() - 0.25).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_report_is_safe() {
+        let r = RunReport {
+            selector: "LEI".to_string(),
+            total_insts: 0,
+            cache_insts: 0,
+            interpreted_taken: 0,
+            region_transitions: 0,
+            regions: vec![],
+            peak_counters: 0,
+            peak_observed_bytes: 0,
+            cache_size_estimate: 0,
+            domination: DominationStats::default(),
+            cache_flushes: 0,
+            transition_distance_sum: 0,
+            transition_page_crossings: 0,
+        };
+        assert_eq!(r.hit_rate(), 0.0);
+        assert_eq!(r.avg_region_insts(), 0.0);
+        assert_eq!(r.spanned_cycle_ratio(), 0.0);
+        assert_eq!(r.executed_cycle_ratio(), 0.0);
+        assert_eq!(r.observed_memory_fraction(), 0.0);
+        assert_eq!(r.mean_transition_distance(), 0.0);
+        assert_eq!(r.page_crossing_fraction(), 0.0);
+    }
+
+    #[test]
+    fn display_mentions_selector() {
+        let text = report().to_string();
+        assert!(text.contains("NET"));
+        assert!(text.contains("hit rate"));
+    }
+}

@@ -1,0 +1,170 @@
+//! BOA's trace selection (paper §5).
+//!
+//! "BOA is a binary translation system developed at IBM ... In its
+//! emulation phase, BOA maintains counts for each conditional branch
+//! that indicate how many times each target is taken. After the entry
+//! point to an instruction sequence is emulated 15 times, a trace is
+//! selected by following the target of each conditional branch with the
+//! highest count."
+
+use super::counters::CounterTable;
+use super::profile::{EdgeProfile, majority_walk};
+use super::{Arrival, RegionSelector};
+use crate::cache::{CodeCache, Region};
+use crate::config::SimConfig;
+use rsel_program::{Addr, Program};
+
+/// The BOA selector: continuous per-branch direction profiling plus a
+/// low (15) entry threshold, with traces built from the profile rather
+/// than from the next execution.
+#[derive(Debug)]
+pub struct BoaSelector<'p> {
+    program: &'p Program,
+    threshold: u32,
+    max_trace_insts: usize,
+    counters: CounterTable,
+    profile: EdgeProfile,
+}
+
+impl<'p> BoaSelector<'p> {
+    /// Creates a BOA selector over `program`.
+    pub fn new(program: &'p Program, config: &SimConfig) -> Self {
+        BoaSelector {
+            program,
+            threshold: config.boa_threshold,
+            max_trace_insts: config.max_trace_insts,
+            counters: CounterTable::new(),
+            profile: EdgeProfile::new(),
+        }
+    }
+
+    /// The branch profile gathered so far (for tests and diagnostics).
+    pub fn profile(&self) -> &EdgeProfile {
+        &self.profile
+    }
+}
+
+impl RegionSelector for BoaSelector<'_> {
+    fn on_transfer(
+        &mut self,
+        _cache: &CodeCache,
+        src: Addr,
+        tgt: Addr,
+        taken: bool,
+    ) -> Vec<Region> {
+        // BOA's distinguishing feature: every emulated branch updates
+        // the direction counts.
+        self.profile.record(self.program, src, tgt, taken);
+        Vec::new()
+    }
+
+    fn on_arrival(&mut self, cache: &CodeCache, a: Arrival) -> Vec<Region> {
+        if let (Some(src), true) = (a.src, a.taken) {
+            // Exit landings and fresh arrivals still profile the edge.
+            self.profile.record(self.program, src, a.tgt, true);
+        }
+        let backward = a.taken && a.src.is_some_and(|s| a.tgt.is_backward_from(s));
+        if !(backward || a.from_cache_exit) {
+            return Vec::new();
+        }
+        let c = self.counters.increment(a.tgt);
+        if c < self.threshold {
+            return Vec::new();
+        }
+        self.counters.recycle(a.tgt);
+        let blocks =
+            majority_walk(self.program, cache, &self.profile, a.tgt, self.max_trace_insts);
+        if blocks.is_empty() {
+            return Vec::new();
+        }
+        vec![Region::trace(self.program, &blocks)]
+    }
+
+    fn on_block(&mut self, _: &CodeCache, _: Addr) -> Vec<Region> {
+        Vec::new()
+    }
+
+    fn counters_in_use(&self) -> usize {
+        self.counters.in_use()
+    }
+
+    fn peak_counters(&self) -> usize {
+        self.counters.peak()
+    }
+
+    fn distinct_targets_profiled(&self) -> usize {
+        self.counters.distinct_ever()
+    }
+
+    fn name(&self) -> &'static str {
+        "BOA"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::select::SelectorKind;
+    use crate::sim::Simulator;
+    use rsel_program::patterns::ScenarioBuilder;
+    use rsel_program::Executor;
+
+    #[test]
+    fn selects_the_dominant_direction() {
+        // A loop with a 90/10 diamond: BOA's trace must follow the 90%
+        // side even if the 10% side happened to execute at selection
+        // time (NET's next-executing-tail weakness, §5).
+        let mut s = ScenarioBuilder::new(3);
+        let f = s.function("main", 0x1000);
+        let head = s.block(f, 1);
+        let d = s.diamond(f, 0.9, 2); // taken side is hot
+        let latch = s.block(f, 1);
+        s.branch_trips(latch, head, 5_000);
+        let out = s.block(f, 0);
+        s.ret(out);
+        let (p, spec) = s.build().unwrap();
+        let config = SimConfig::default();
+        let mut sim = Simulator::new(
+            &p,
+            Box::new(BoaSelector::new(&p, &config)) as Box<dyn RegionSelector>,
+            &config,
+        );
+        sim.run(Executor::new(&p, spec));
+        let taken_side = p.block(d.taken).start();
+        let fall_side = p.block(d.fallthrough).start();
+        let covering: Vec<_> = sim
+            .cache()
+            .regions()
+            .iter()
+            .filter(|r| r.contains_block(taken_side) || r.contains_block(fall_side))
+            .collect();
+        assert!(!covering.is_empty(), "the diamond got selected");
+        // The first region through the diamond follows the hot side.
+        assert!(
+            covering[0].contains_block(taken_side),
+            "BOA follows the 90% direction"
+        );
+        assert!(sim.report().hit_rate() > 0.9);
+    }
+
+    #[test]
+    fn comparable_to_net_on_a_simple_loop() {
+        let mut s = ScenarioBuilder::new(3);
+        let f = s.function("main", 0x1000);
+        let lp = s.counted_loop(f, 2, 20_000);
+        s.ret_from(f, lp.exit);
+        let (p, spec) = s.build().unwrap();
+        let config = SimConfig::default();
+        let mut boa = Simulator::new(
+            &p,
+            Box::new(BoaSelector::new(&p, &config)) as Box<dyn RegionSelector>,
+            &config,
+        );
+        boa.run(Executor::new(&p, spec.clone()));
+        let mut net = Simulator::new(&p, SelectorKind::Net.make(&p, &config), &config);
+        net.run(Executor::new(&p, spec));
+        assert!(boa.report().hit_rate() > 0.99);
+        // BOA's lower threshold (15 vs 50) warms up sooner.
+        assert!(boa.report().cache_insts >= net.report().cache_insts);
+    }
+}

@@ -1,0 +1,259 @@
+//! Trace combination over LEI (paper §4, "combined LEI").
+
+use super::counters::CounterTable;
+use super::history::HistoryBuffer;
+use super::lei::form_lei_trace;
+use super::observe::ObservationStore;
+use super::region_cfg::combine_traces;
+use super::{Arrival, RegionSelector};
+use crate::cache::{CodeCache, Region};
+use crate::config::SimConfig;
+use rsel_program::{Addr, Program};
+use rsel_trace::AddrWidth;
+
+/// LEI with trace combination.
+///
+/// Profiling begins at `T_start = lei_threshold − T_prof` cycle
+/// completions. Each completion past `T_start` reconstructs the
+/// just-executed cyclic path from the history buffer (an observed
+/// trace, stored compactly); at `T_start + T_prof` the stored traces
+/// are combined into one multi-path region. Because LEI forms its
+/// observed traces instantly from the buffer, combination happens the
+/// moment the final cycle completes — there is no in-flight observation
+/// window as with NET.
+#[derive(Debug)]
+pub struct CombinedLeiSelector<'p> {
+    program: &'p Program,
+    t_start: u32,
+    t_prof: u32,
+    t_min: u32,
+    width: AddrWidth,
+    buf: HistoryBuffer,
+    counters: CounterTable,
+    store: ObservationStore,
+    pending_exit: bool,
+    rejoin_iterations: u64,
+}
+
+impl<'p> CombinedLeiSelector<'p> {
+    /// Creates a combined-LEI selector over `program`.
+    pub fn new(program: &'p Program, config: &SimConfig) -> Self {
+        CombinedLeiSelector {
+            program,
+            t_start: config.lei_t_start(),
+            t_prof: config.t_prof,
+            t_min: config.t_min,
+            width: config.addr_width,
+            buf: HistoryBuffer::new(config.history_size),
+            counters: CounterTable::new(),
+            store: ObservationStore::new(),
+            pending_exit: false,
+            rejoin_iterations: 0,
+        }
+    }
+
+    /// Total rejoin-marking iterations across all combinations.
+    pub fn rejoin_iterations(&self) -> u64 {
+        self.rejoin_iterations
+    }
+}
+
+impl RegionSelector for CombinedLeiSelector<'_> {
+    fn on_transfer(&mut self, _: &CodeCache, _: Addr, _: Addr, _: bool) -> Vec<Region> {
+        Vec::new()
+    }
+
+    fn on_arrival(&mut self, cache: &CodeCache, a: Arrival) -> Vec<Region> {
+        // As in `LeiSelector`: cache-exit landings enter the buffer even
+        // when the exit was a fall-through, tagged `follows_exit`.
+        if !(a.taken || a.from_cache_exit) {
+            return Vec::new();
+        }
+        let Some(src) = a.src else { return Vec::new() };
+        let follows_exit = a.from_cache_exit || std::mem::take(&mut self.pending_exit);
+        // As in `LeiSelector`, counters live only while their target is
+        // buffered; releasing one also releases any stranded observed
+        // traces for that target.
+        let (new_seq, dropped) = self.buf.insert(src, a.tgt, follows_exit);
+        if let Some(gone) = dropped {
+            if self.counters.recycle(gone).is_some() {
+                let _ = self.store.take(gone);
+            }
+        }
+        let Some(old_seq) = self.buf.lookup(a.tgt) else {
+            self.buf.update_hash(a.tgt, new_seq);
+            return Vec::new();
+        };
+        let old_follows_exit =
+            self.buf.entry(old_seq).map(|e| e.follows_exit).unwrap_or(false);
+        self.buf.update_hash(a.tgt, new_seq);
+        if !(a.tgt.is_backward_from(src) || old_follows_exit) {
+            return Vec::new();
+        }
+        let c = self.counters.increment(a.tgt);
+        if c <= self.t_start {
+            return Vec::new();
+        }
+        // Observe the just-executed cycle (Figure 13, line 8: "form a
+        // trace t beginning at dest; store COMPACT-TRACE(t)").
+        if let Some(t) =
+            form_lei_trace(self.program, cache, &self.buf, a.tgt, old_seq, self.width)
+        {
+            self.store.add(a.tgt, t.compact);
+        }
+        if c < self.t_start + self.t_prof {
+            return Vec::new();
+        }
+        // Final observation: combine.
+        self.counters.recycle(a.tgt);
+        for gone in self.buf.truncate_after(old_seq) {
+            if self.counters.recycle(gone).is_some() {
+                let _ = self.store.take(gone);
+            }
+        }
+        let traces = self.store.take(a.tgt);
+        if traces.is_empty() {
+            return Vec::new();
+        }
+        let res = combine_traces(self.program, a.tgt, &traces, self.t_min)
+            .expect("observed traces replay against their own program");
+        self.rejoin_iterations += res.rejoin_iterations as u64;
+        vec![res.region]
+    }
+
+    fn on_block(&mut self, _: &CodeCache, _: Addr) -> Vec<Region> {
+        Vec::new()
+    }
+
+    fn counters_in_use(&self) -> usize {
+        self.counters.in_use()
+    }
+
+    fn peak_counters(&self) -> usize {
+        self.counters.peak()
+    }
+
+    fn observed_bytes(&self) -> usize {
+        self.store.bytes()
+    }
+
+    fn peak_observed_bytes(&self) -> usize {
+        self.store.peak_bytes()
+    }
+
+    fn name(&self) -> &'static str {
+        "combined LEI"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rsel_program::ProgramBuilder;
+
+    /// Loop with a diamond: S(cond->T) ; F ; T ; J ; back(cond->S) ; X.
+    fn diamond_loop() -> (Program, Vec<Addr>) {
+        let mut b = ProgramBuilder::new();
+        let f = b.function("f", 0x100);
+        let s = b.block(f);
+        let fall = b.block(f);
+        let taken = b.block(f);
+        let j = b.block(f);
+        let back = b.block(f);
+        let x = b.block_with(f, 0);
+        b.cond_branch(s, taken);
+        b.jump(fall, j);
+        b.cond_branch(back, s);
+        b.ret(x);
+        let p = b.build().unwrap();
+        let addrs =
+            [s, fall, taken, j, back, x].iter().map(|&id| p.block(id).start()).collect();
+        (p, addrs)
+    }
+
+    /// Drives the selector through `n` loop iterations, alternating the
+    /// diamond direction.
+    fn run_iterations(
+        sel: &mut CombinedLeiSelector<'_>,
+        cache: &CodeCache,
+        p: &Program,
+        a: &[Addr],
+        start: usize,
+        n: usize,
+    ) -> Vec<Region> {
+        let term = |addr: Addr| p.block_at(addr).unwrap().terminator().addr();
+        let mut out = Vec::new();
+        for i in start..start + n {
+            // back -> S backward taken branch completes the cycle.
+            out.extend(sel.on_arrival(
+                cache,
+                Arrival { src: Some(term(a[4])), tgt: a[0], taken: true, from_cache_exit: false },
+            ));
+            if i % 2 == 0 {
+                // S takes its branch to T.
+                out.extend(sel.on_arrival(
+                    cache,
+                    Arrival { src: Some(term(a[0])), tgt: a[2], taken: true, from_cache_exit: false },
+                ));
+            } else {
+                // S falls to F, which jumps to J.
+                out.extend(sel.on_arrival(
+                    cache,
+                    Arrival { src: Some(term(a[1])), tgt: a[3], taken: true, from_cache_exit: false },
+                ));
+            }
+        }
+        out
+    }
+
+    fn config() -> SimConfig {
+        SimConfig { lei_threshold: 7, t_prof: 4, t_min: 2, ..SimConfig::default() }
+    }
+
+    #[test]
+    fn combines_both_sides_of_the_diamond() {
+        let (p, a) = diamond_loop();
+        let cfg = config();
+        assert_eq!(cfg.lei_t_start(), 3);
+        let mut sel = CombinedLeiSelector::new(&p, &cfg);
+        let cache = CodeCache::new();
+        // Drive iterations until the first combined region appears (in
+        // the real simulator the cache hit would then stop profiling).
+        let mut regions = Vec::new();
+        for i in 0..30 {
+            regions = run_iterations(&mut sel, &cache, &p, &a, i, 1);
+            if !regions.is_empty() {
+                break;
+            }
+        }
+        assert_eq!(regions.len(), 1);
+        let r = &regions[0];
+        assert_eq!(r.entry(), a[0]);
+        assert!(r.contains_block(a[2]) && r.contains_block(a[1]), "both sides kept");
+        assert!(r.spans_cycle());
+        assert_eq!(sel.observed_bytes(), 0, "storage released after combine");
+        assert!(sel.peak_observed_bytes() > 0);
+    }
+
+    #[test]
+    fn no_region_before_threshold() {
+        let (p, a) = diamond_loop();
+        let mut sel = CombinedLeiSelector::new(&p, &config());
+        let cache = CodeCache::new();
+        // Threshold 7: first cycle completes on iteration 2, so fewer
+        // than 8 iterations cannot select.
+        let regions = run_iterations(&mut sel, &cache, &p, &a, 0, 7);
+        assert!(regions.is_empty());
+    }
+
+    #[test]
+    fn observations_accumulate_after_t_start() {
+        let (p, a) = diamond_loop();
+        let mut sel = CombinedLeiSelector::new(&p, &config());
+        let cache = CodeCache::new();
+        run_iterations(&mut sel, &cache, &p, &a, 0, 6);
+        // Counter reaches 5 => two observations stored (c = 4, 5).
+        assert!(sel.observed_bytes() > 0);
+        assert_eq!(sel.counters_in_use(), 1);
+    }
+}

@@ -1,0 +1,279 @@
+//! Trace combination over NET (paper §4, "combined NET").
+
+use super::counters::CounterTable;
+use super::form::TraceGrower;
+use super::region_cfg::combine_traces;
+use super::observe::ObservationStore;
+use super::{Arrival, RegionSelector};
+use crate::cache::{CodeCache, Region};
+use crate::config::SimConfig;
+use rsel_program::{Addr, Program};
+use rsel_trace::AddrWidth;
+use std::collections::HashSet;
+
+/// NET with trace combination (paper Figure 13).
+///
+/// Profiling begins at `T_start = net_threshold − T_prof`, so a region
+/// is still selected after the same 50 interpreted executions as plain
+/// NET. Each execution past `T_start` grows one *observed* trace (a
+/// next-executing tail, stored compactly and not inserted into the
+/// cache); when the `T_prof`-th observation completes, the observed
+/// traces are combined into a single multi-path region.
+#[derive(Debug)]
+pub struct CombinedNetSelector<'p> {
+    program: &'p Program,
+    t_start: u32,
+    t_prof: u32,
+    t_min: u32,
+    max_insts: usize,
+    width: AddrWidth,
+    counters: CounterTable,
+    observers: Vec<TraceGrower>,
+    combine_on_complete: HashSet<Addr>,
+    store: ObservationStore,
+    rejoin_iterations: u64,
+}
+
+impl<'p> CombinedNetSelector<'p> {
+    /// Creates a combined-NET selector over `program`.
+    pub fn new(program: &'p Program, config: &SimConfig) -> Self {
+        CombinedNetSelector {
+            program,
+            t_start: config.net_t_start(),
+            t_prof: config.t_prof,
+            t_min: config.t_min,
+            max_insts: config.max_trace_insts,
+            width: config.addr_width,
+            counters: CounterTable::new(),
+            observers: Vec::new(),
+            combine_on_complete: HashSet::new(),
+            store: ObservationStore::new(),
+            rejoin_iterations: 0,
+        }
+    }
+
+    /// Number of active observation growers (for tests).
+    pub fn active_observations(&self) -> usize {
+        self.observers.len()
+    }
+
+    /// Total rejoin-marking iterations across all combinations.
+    pub fn rejoin_iterations(&self) -> u64 {
+        self.rejoin_iterations
+    }
+
+    /// Handles one completed observation; returns the combined region
+    /// when this completion was the target's last.
+    fn observation_done(
+        &mut self,
+        entry: Addr,
+        compact: rsel_trace::CompactTrace,
+    ) -> Option<Region> {
+        self.store.add(entry, compact);
+        if !self.combine_on_complete.remove(&entry) {
+            return None;
+        }
+        let traces = self.store.take(entry);
+        let res = combine_traces(self.program, entry, &traces, self.t_min)
+            .expect("observed traces replay against their own program");
+        self.rejoin_iterations += res.rejoin_iterations as u64;
+        Some(res.region)
+    }
+}
+
+impl RegionSelector for CombinedNetSelector<'_> {
+    fn on_transfer(
+        &mut self,
+        cache: &CodeCache,
+        src: Addr,
+        tgt: Addr,
+        taken: bool,
+    ) -> Vec<Region> {
+        let mut done = Vec::new();
+        let mut still = Vec::with_capacity(self.observers.len());
+        for mut g in std::mem::take(&mut self.observers) {
+            match g.feed_transfer(cache, src, tgt, taken) {
+                Some(t) => done.push((g.entry(), t.compact)),
+                None => still.push(g),
+            }
+        }
+        self.observers = still;
+        done.into_iter().filter_map(|(e, c)| self.observation_done(e, c)).collect()
+    }
+
+    fn on_arrival(&mut self, _cache: &CodeCache, a: Arrival) -> Vec<Region> {
+        let backward = a.taken && a.src.is_some_and(|s| a.tgt.is_backward_from(s));
+        if !(backward || a.from_cache_exit) {
+            return Vec::new();
+        }
+        if self.combine_on_complete.contains(&a.tgt) {
+            // Combination already scheduled; stop counting.
+            return Vec::new();
+        }
+        let c = self.counters.increment(a.tgt);
+        if c <= self.t_start {
+            return Vec::new();
+        }
+        if c >= self.t_start + self.t_prof {
+            self.counters.recycle(a.tgt);
+            self.combine_on_complete.insert(a.tgt);
+        }
+        if !self.observers.iter().any(|g| g.entry() == a.tgt) {
+            self.observers.push(TraceGrower::new(a.tgt, self.max_insts, self.width));
+        }
+        Vec::new()
+    }
+
+    fn on_block(&mut self, _cache: &CodeCache, start: Addr) -> Vec<Region> {
+        let mut done = Vec::new();
+        let mut still = Vec::with_capacity(self.observers.len());
+        for mut g in std::mem::take(&mut self.observers) {
+            match g.feed_block(self.program, start) {
+                Some(t) => done.push((g.entry(), t.compact)),
+                None => still.push(g),
+            }
+        }
+        self.observers = still;
+        done.into_iter().filter_map(|(e, c)| self.observation_done(e, c)).collect()
+    }
+
+    fn counters_in_use(&self) -> usize {
+        self.counters.in_use()
+    }
+
+    fn peak_counters(&self) -> usize {
+        self.counters.peak()
+    }
+
+    fn observed_bytes(&self) -> usize {
+        self.store.bytes()
+    }
+
+    fn peak_observed_bytes(&self) -> usize {
+        self.store.peak_bytes()
+    }
+
+    fn name(&self) -> &'static str {
+        "combined NET"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rsel_program::ProgramBuilder;
+
+    /// S(cond->T) ; F ; T ; J ; back(cond->S) ; X(ret); F jumps to J.
+    fn diamond_loop() -> (Program, Vec<Addr>) {
+        let mut b = ProgramBuilder::new();
+        let f = b.function("f", 0x100);
+        let s = b.block(f);
+        let fall = b.block(f);
+        let taken = b.block(f);
+        let j = b.block(f);
+        let back = b.block(f);
+        let x = b.block_with(f, 0);
+        b.cond_branch(s, taken);
+        b.jump(fall, j);
+        // taken falls into j; j falls into back
+        b.cond_branch(back, s);
+        b.ret(x);
+        let p = b.build().unwrap();
+        let addrs =
+            [s, fall, taken, j, back, x].iter().map(|&id| p.block(id).start()).collect();
+        (p, addrs)
+    }
+
+    /// Drives taken/fall alternating iterations of the loop through the
+    /// selector, mimicking the simulator's event order.
+    fn run_iterations(
+        sel: &mut CombinedNetSelector<'_>,
+        cache: &CodeCache,
+        p: &Program,
+        a: &[Addr],
+        start: usize,
+        n: usize,
+    ) -> Vec<Region> {
+        let term = |addr: Addr| p.block_at(addr).unwrap().terminator().addr();
+        let mut out = Vec::new();
+        for i in start..start + n {
+            let take = i % 2 == 0;
+            // back -> S (backward taken): arrival then blocks.
+            out.extend(sel.on_transfer(cache, term(a[4]), a[0], true));
+            out.extend(sel.on_arrival(
+                cache,
+                Arrival { src: Some(term(a[4])), tgt: a[0], taken: true, from_cache_exit: false },
+            ));
+            out.extend(sel.on_block(cache, a[0]));
+            if take {
+                out.extend(sel.on_transfer(cache, term(a[0]), a[2], true));
+                out.extend(sel.on_block(cache, a[2]));
+                out.extend(sel.on_transfer(cache, term(a[2]), a[3], false));
+            } else {
+                out.extend(sel.on_transfer(cache, term(a[0]), a[1], false));
+                out.extend(sel.on_block(cache, a[1]));
+                out.extend(sel.on_transfer(cache, term(a[1]), a[3], true));
+            }
+            out.extend(sel.on_block(cache, a[3]));
+            out.extend(sel.on_transfer(cache, term(a[3]), a[4], false));
+            out.extend(sel.on_block(cache, a[4]));
+        }
+        out
+    }
+
+    fn config() -> SimConfig {
+        SimConfig { net_threshold: 8, t_prof: 4, t_min: 2, ..SimConfig::default() }
+    }
+
+    #[test]
+    fn observes_then_combines_both_sides() {
+        let (p, a) = diamond_loop();
+        let cfg = config();
+        assert_eq!(cfg.net_t_start(), 4);
+        let mut sel = CombinedNetSelector::new(&p, &cfg);
+        let cache = CodeCache::new();
+        // Drive iterations until the first combined region appears (in
+        // the real simulator the cache hit would then stop profiling).
+        let mut regions = Vec::new();
+        for i in 0..20 {
+            regions = run_iterations(&mut sel, &cache, &p, &a, i, 1);
+            if !regions.is_empty() {
+                break;
+            }
+        }
+        assert_eq!(regions.len(), 1, "exactly one combined region for S");
+        let r = &regions[0];
+        assert_eq!(r.entry(), a[0]);
+        // Both diamond sides were observed in >= t_min traces.
+        assert!(r.contains_block(a[1]), "fall side kept");
+        assert!(r.contains_block(a[2]), "taken side kept");
+        assert!(r.contains_block(a[3]) && r.contains_block(a[4]));
+        assert!(r.spans_cycle(), "back edge to S promoted to internal edge");
+        // After combination, storage for S is released.
+        assert_eq!(sel.observed_bytes(), 0);
+        assert!(sel.peak_observed_bytes() > 0);
+        // The same iteration's arrival may have restarted S's counter
+        // after the combination fired; nothing else is profiled.
+        assert!(sel.counters_in_use() <= 1);
+    }
+
+    #[test]
+    fn no_observation_before_t_start() {
+        let (p, a) = diamond_loop();
+        let mut sel = CombinedNetSelector::new(&p, &config());
+        let cache = CodeCache::new();
+        run_iterations(&mut sel, &cache, &p, &a, 0, 4);
+        assert_eq!(sel.active_observations(), 0);
+        assert_eq!(sel.peak_observed_bytes(), 0);
+    }
+
+    #[test]
+    fn observation_starts_after_t_start() {
+        let (p, a) = diamond_loop();
+        let mut sel = CombinedNetSelector::new(&p, &config());
+        let cache = CodeCache::new();
+        run_iterations(&mut sel, &cache, &p, &a, 0, 5);
+        // The 5th backward arrival pushes the counter past T_start = 4.
+        assert!(sel.active_observations() > 0 || sel.peak_observed_bytes() > 0);
+    }
+}

@@ -1,0 +1,106 @@
+//! Profiling counters with recycling and peak tracking.
+
+use rsel_program::Addr;
+use std::collections::HashMap;
+
+/// The table of execution counters used by NET and LEI profiling.
+///
+/// Both algorithms associate a counter with a small subset of taken
+/// branch targets and recycle the counter once its threshold is reached
+/// (paper §3.2.4). The *maximum number of counters in use at any point*
+/// is the profiling-memory metric of Figure 10, so the table tracks its
+/// peak occupancy.
+#[derive(Clone, Debug, Default)]
+pub struct CounterTable {
+    counts: HashMap<Addr, u32>,
+    peak: usize,
+    ever: std::collections::HashSet<Addr>,
+}
+
+impl CounterTable {
+    /// Creates an empty table.
+    pub fn new() -> Self {
+        CounterTable::default()
+    }
+
+    /// Increments the counter for `addr` (creating it at 1) and returns
+    /// the new value.
+    pub fn increment(&mut self, addr: Addr) -> u32 {
+        self.ever.insert(addr);
+        let c = self.counts.entry(addr).or_insert(0);
+        *c += 1;
+        let v = *c;
+        self.peak = self.peak.max(self.counts.len());
+        v
+    }
+
+    /// Current value of the counter for `addr`, if present.
+    pub fn get(&self, addr: Addr) -> Option<u32> {
+        self.counts.get(&addr).copied()
+    }
+
+    /// Recycles (removes) the counter for `addr`, returning its final
+    /// value if it existed.
+    pub fn recycle(&mut self, addr: Addr) -> Option<u32> {
+        self.counts.remove(&addr)
+    }
+
+    /// Counters currently in use.
+    pub fn in_use(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// Maximum counters in use at any point (Figure 10's metric).
+    pub fn peak(&self) -> usize {
+        self.peak
+    }
+
+    /// Iterates over the addresses currently holding counters.
+    pub fn addresses(&self) -> impl Iterator<Item = Addr> + '_ {
+        self.counts.keys().copied()
+    }
+
+    /// Number of distinct addresses ever profiled.
+    pub fn distinct_ever(&self) -> usize {
+        self.ever.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn increments_accumulate() {
+        let mut t = CounterTable::new();
+        let a = Addr::new(0x10);
+        assert_eq!(t.increment(a), 1);
+        assert_eq!(t.increment(a), 2);
+        assert_eq!(t.get(a), Some(2));
+        assert_eq!(t.get(Addr::new(0x20)), None);
+    }
+
+    #[test]
+    fn recycle_frees_slot_but_peak_persists() {
+        let mut t = CounterTable::new();
+        t.increment(Addr::new(1));
+        t.increment(Addr::new(2));
+        t.increment(Addr::new(3));
+        assert_eq!(t.in_use(), 3);
+        assert_eq!(t.peak(), 3);
+        assert_eq!(t.recycle(Addr::new(2)), Some(1));
+        assert_eq!(t.in_use(), 2);
+        assert_eq!(t.peak(), 3, "peak is a high-water mark");
+        assert_eq!(t.recycle(Addr::new(2)), None);
+    }
+
+    #[test]
+    fn recycled_counter_restarts_at_one() {
+        let mut t = CounterTable::new();
+        let a = Addr::new(7);
+        t.increment(a);
+        t.increment(a);
+        t.recycle(a);
+        assert_eq!(t.increment(a), 1);
+    }
+}

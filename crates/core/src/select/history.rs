@@ -1,0 +1,246 @@
+//! LEI's circular branch-history buffer (paper Figure 5).
+
+use rsel_program::Addr;
+use std::collections::{HashMap, VecDeque};
+
+/// One recorded taken branch.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct HistoryEntry {
+    /// Sequence number (monotonically increasing across the run).
+    pub seq: u64,
+    /// Address of the branching instruction.
+    pub src: Addr,
+    /// The branch target.
+    pub tgt: Addr,
+    /// Whether this branch was recorded immediately after an exit from
+    /// the code cache (the "follows exit from code cache" condition of
+    /// Figure 5, line 9).
+    pub follows_exit: bool,
+}
+
+/// The bounded history buffer of the most recently interpreted taken
+/// branches, with a hash of the targets it currently contains.
+///
+/// Faithful to Figure 5's structure: insertion (line 5) does *not*
+/// update the target hash — the caller looks up the previous occurrence
+/// first (line 6) and then points the hash at the new entry (lines 8 and
+/// 17). When a trace is selected, the entries after the old occurrence
+/// are removed (line 13) via [`HistoryBuffer::truncate_after`].
+#[derive(Clone, Debug)]
+pub struct HistoryBuffer {
+    capacity: usize,
+    entries: VecDeque<HistoryEntry>,
+    hash: HashMap<Addr, u64>,
+    next_seq: u64,
+}
+
+impl HistoryBuffer {
+    /// Creates a buffer retaining at most `capacity` taken branches.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "history buffer capacity must be positive");
+        HistoryBuffer {
+            capacity,
+            entries: VecDeque::with_capacity(capacity),
+            hash: HashMap::new(),
+            next_seq: 0,
+        }
+    }
+
+    /// Inserts a taken branch, evicting the oldest entry when full.
+    /// Returns the new entry's sequence number and, when the eviction
+    /// removed a target's *last* occurrence, that target (so the caller
+    /// can release its profiling counter — LEI counters only exist for
+    /// targets currently in the buffer, §3.2.4). Does not touch the
+    /// target hash (call [`HistoryBuffer::update_hash`] afterwards).
+    pub fn insert(&mut self, src: Addr, tgt: Addr, follows_exit: bool) -> (u64, Option<Addr>) {
+        let mut dropped = None;
+        if self.entries.len() == self.capacity {
+            let evicted = self.entries.pop_front().expect("buffer is full");
+            if self.hash.get(&evicted.tgt) == Some(&evicted.seq) {
+                self.hash.remove(&evicted.tgt);
+                dropped = Some(evicted.tgt);
+            }
+        }
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.entries.push_back(HistoryEntry { seq, src, tgt, follows_exit });
+        (seq, dropped)
+    }
+
+    /// The sequence number of the most recent *hashed* occurrence of
+    /// `tgt` in the buffer (Figure 5, line 6).
+    pub fn lookup(&self, tgt: Addr) -> Option<u64> {
+        self.hash.get(&tgt).copied()
+    }
+
+    /// Points the target hash at entry `seq` for `tgt` (Figure 5,
+    /// lines 8 and 17).
+    pub fn update_hash(&mut self, tgt: Addr, seq: u64) {
+        self.hash.insert(tgt, seq);
+    }
+
+    /// The entry with sequence number `seq`, if still buffered.
+    pub fn entry(&self, seq: u64) -> Option<&HistoryEntry> {
+        let first = self.entries.front()?.seq;
+        if seq < first || seq >= self.next_seq {
+            return None;
+        }
+        let idx = (seq - first) as usize;
+        self.entries.get(idx)
+    }
+
+    /// Iterates over entries with sequence numbers strictly greater
+    /// than `seq`, oldest first — the branches of the just-completed
+    /// cycle handed to FORM-TRACE (Figure 6).
+    pub fn branches_after(&self, seq: u64) -> impl Iterator<Item = &HistoryEntry> {
+        self.entries.iter().filter(move |e| e.seq > seq)
+    }
+
+    /// Removes all entries with sequence numbers strictly greater than
+    /// `seq` (Figure 5, line 13), repairs the target hash so it again
+    /// refers to the most recent remaining occurrence of each target,
+    /// and returns the targets that no longer appear in the buffer at
+    /// all (whose profiling counters should be released).
+    pub fn truncate_after(&mut self, seq: u64) -> Vec<Addr> {
+        let mut removed_tgts = Vec::new();
+        while self.entries.back().is_some_and(|e| e.seq > seq) {
+            let e = self.entries.pop_back().expect("checked non-empty");
+            removed_tgts.push(e.tgt);
+        }
+        self.hash.clear();
+        for e in &self.entries {
+            self.hash.insert(e.tgt, e.seq); // later entries overwrite
+        }
+        removed_tgts.retain(|t| !self.hash.contains_key(t));
+        removed_tgts.sort_unstable();
+        removed_tgts.dedup();
+        removed_tgts
+    }
+
+    /// Number of buffered branches.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the buffer is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// The configured capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn a(x: u64) -> Addr {
+        Addr::new(x)
+    }
+
+    #[test]
+    fn insert_then_hash_protocol() {
+        let mut b = HistoryBuffer::new(4);
+        let (s0, _) = b.insert(a(10), a(1), false);
+        assert_eq!(b.lookup(a(1)), None, "hash not updated by insert");
+        b.update_hash(a(1), s0);
+        let (s1, _) = b.insert(a(20), a(1), false);
+        // Lookup still sees the OLD occurrence before the update.
+        assert_eq!(b.lookup(a(1)), Some(s0));
+        b.update_hash(a(1), s1);
+        assert_eq!(b.lookup(a(1)), Some(s1));
+    }
+
+    #[test]
+    fn eviction_cleans_hash() {
+        let mut b = HistoryBuffer::new(2);
+        let (s0, none) = b.insert(a(10), a(1), false);
+        assert_eq!(none, None);
+        b.update_hash(a(1), s0);
+        let (s1, _) = b.insert(a(20), a(2), false);
+        b.update_hash(a(2), s1);
+        let (s2, dropped) = b.insert(a(30), a(3), false); // evicts target 1
+        b.update_hash(a(3), s2);
+        assert_eq!(dropped, Some(a(1)), "last occurrence of 1 left the buffer");
+        assert_eq!(b.lookup(a(1)), None);
+        assert_eq!(b.lookup(a(2)), Some(s1));
+        assert_eq!(b.len(), 2);
+    }
+
+    #[test]
+    fn eviction_keeps_hash_for_newer_duplicate() {
+        let mut b = HistoryBuffer::new(2);
+        let (s0, _) = b.insert(a(10), a(1), false);
+        b.update_hash(a(1), s0);
+        let (s1, _) = b.insert(a(20), a(1), false);
+        b.update_hash(a(1), s1);
+        // Inserting a third entry evicts s0; the hash must keep s1 and
+        // the target is NOT reported as dropped.
+        let (s2, dropped) = b.insert(a(30), a(2), false);
+        b.update_hash(a(2), s2);
+        assert_eq!(dropped, None);
+        assert_eq!(b.lookup(a(1)), Some(s1));
+    }
+
+    #[test]
+    fn branches_after_returns_cycle_path() {
+        let mut b = HistoryBuffer::new(8);
+        let (s0, _) = b.insert(a(10), a(1), false);
+        b.update_hash(a(1), s0);
+        b.insert(a(20), a(2), false);
+        b.insert(a(30), a(3), false);
+        b.insert(a(40), a(1), false); // completes cycle at target 1
+        let cycle: Vec<Addr> = b.branches_after(s0).map(|e| e.tgt).collect();
+        assert_eq!(cycle, vec![a(2), a(3), a(1)]);
+    }
+
+    #[test]
+    fn truncate_repairs_hash() {
+        let mut b = HistoryBuffer::new(8);
+        let (s0, _) = b.insert(a(10), a(1), false);
+        b.update_hash(a(1), s0);
+        let (s1, _) = b.insert(a(20), a(2), false);
+        b.update_hash(a(2), s1);
+        let (s2, _) = b.insert(a(30), a(2), false);
+        b.update_hash(a(2), s2);
+        let gone = b.truncate_after(s1);
+        assert!(gone.is_empty(), "target 2 still has an older occurrence");
+        assert_eq!(b.len(), 2);
+        assert_eq!(b.lookup(a(2)), Some(s1), "hash points at surviving occurrence");
+        assert_eq!(b.lookup(a(1)), Some(s0));
+        assert!(b.entry(s2).is_none());
+        assert!(b.entry(s1).is_some());
+    }
+
+    #[test]
+    fn entry_by_seq() {
+        let mut b = HistoryBuffer::new(2);
+        let (s0, _) = b.insert(a(10), a(1), true);
+        let (s1, _) = b.insert(a(20), a(2), false);
+        let (s2, _) = b.insert(a(30), a(3), false); // evicts s0
+        assert!(b.entry(s0).is_none());
+        assert_eq!(b.entry(s1).unwrap().tgt, a(2));
+        assert!(b.entry(s2).unwrap().seq == s2);
+        assert!(b.entry(99).is_none());
+    }
+
+    #[test]
+    fn follows_exit_flag_round_trips() {
+        let mut b = HistoryBuffer::new(2);
+        let (s0, _) = b.insert(a(10), a(1), true);
+        assert!(b.entry(s0).unwrap().follows_exit);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity")]
+    fn zero_capacity_rejected() {
+        let _ = HistoryBuffer::new(0);
+    }
+}

@@ -1,0 +1,227 @@
+//! Region-selection algorithms: NET, LEI, and trace combination.
+//!
+//! All selectors implement [`RegionSelector`] and are driven by the
+//! [`Simulator`](crate::Simulator) with three kinds of events, mirroring
+//! the structure of the paper's INTERPRETED-BRANCH-TAKEN procedures
+//! (Figures 5 and 13):
+//!
+//! - [`RegionSelector::on_transfer`] — a control transfer observed while
+//!   interpreting, *before* its target executes; this is where active
+//!   trace growth evaluates its stop conditions;
+//! - [`RegionSelector::on_arrival`] — an interpreter arrival whose
+//!   target missed the code cache (every interpreted taken branch, plus
+//!   landings from code-cache exits); this is where profiling counters
+//!   live;
+//! - [`RegionSelector::on_block`] — a basic block executed by the
+//!   interpreter; active trace growth extends here.
+//!
+//! Any event may complete one or more regions, which the simulator
+//! inserts into the cache immediately.
+
+pub mod adore;
+pub mod boa;
+pub mod combined_lei;
+pub mod combined_net;
+pub mod counters;
+pub mod form;
+pub mod history;
+pub mod lei;
+pub mod mojo;
+pub mod net;
+pub mod observe;
+pub mod profile;
+pub mod region_cfg;
+pub mod rejoin;
+pub mod wiggins;
+
+pub use adore::AdoreSelector;
+pub use boa::BoaSelector;
+pub use combined_lei::CombinedLeiSelector;
+pub use combined_net::CombinedNetSelector;
+pub use counters::CounterTable;
+pub use form::{GrownTrace, TraceGrower};
+pub use history::{HistoryBuffer, HistoryEntry};
+pub use lei::LeiSelector;
+pub use mojo::MojoSelector;
+pub use net::NetSelector;
+pub use observe::ObservationStore;
+pub use profile::EdgeProfile;
+pub use wiggins::WigginsRedstoneSelector;
+
+use crate::cache::{CodeCache, Region};
+use crate::config::SimConfig;
+use rsel_program::{Addr, Program};
+
+/// An interpreter arrival at a block whose address missed the code
+/// cache.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Arrival {
+    /// Address of the transferring instruction (`None` only for the
+    /// run's first block).
+    pub src: Option<Addr>,
+    /// The arrival address (start of the block about to execute).
+    pub tgt: Addr,
+    /// Whether the arrival was via a taken branch (as opposed to the
+    /// fall-through side of a code-cache exit).
+    pub taken: bool,
+    /// Whether control just left the code cache through an exit stub.
+    pub from_cache_exit: bool,
+}
+
+/// A region-selection algorithm.
+///
+/// Implementations return the regions they have decided to promote to
+/// the code cache; the simulator inserts them and, when the current
+/// branch target is now cached, transfers control into the new region
+/// (the "jump newT" of Figure 5).
+pub trait RegionSelector {
+    /// A control transfer observed while interpreting, before the
+    /// target block executes. `taken` distinguishes taken branches from
+    /// fall-through.
+    fn on_transfer(&mut self, cache: &CodeCache, src: Addr, tgt: Addr, taken: bool)
+        -> Vec<Region>;
+
+    /// An interpreter arrival whose target missed the cache.
+    fn on_arrival(&mut self, cache: &CodeCache, arrival: Arrival) -> Vec<Region>;
+
+    /// A block executed by the interpreter.
+    fn on_block(&mut self, cache: &CodeCache, start: Addr) -> Vec<Region>;
+
+    /// Profiling counters currently allocated.
+    fn counters_in_use(&self) -> usize;
+
+    /// Peak number of simultaneously allocated counters (Figure 10).
+    fn peak_counters(&self) -> usize;
+
+    /// Distinct branch targets ever profiled (diagnostics).
+    fn distinct_targets_profiled(&self) -> usize {
+        0
+    }
+
+    /// Bytes currently used to store observed traces (Figure 18);
+    /// zero for non-combining selectors.
+    fn observed_bytes(&self) -> usize {
+        0
+    }
+
+    /// Peak bytes ever used to store observed traces (Figure 18).
+    fn peak_observed_bytes(&self) -> usize {
+        0
+    }
+
+    /// Short human-readable algorithm name.
+    fn name(&self) -> &'static str;
+}
+
+/// The region-selection algorithms: the four the paper evaluates, plus
+/// models of the four related systems its §5 discusses.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum SelectorKind {
+    /// Next-Executing Tail (the Dynamo baseline).
+    Net,
+    /// Last-Executed Iteration (paper §3).
+    Lei,
+    /// NET with trace combination (paper §4).
+    CombinedNet,
+    /// LEI with trace combination (paper §4).
+    CombinedLei,
+    /// Mojo: NET with a lower threshold for trace-exit targets (§5).
+    Mojo,
+    /// BOA: per-branch direction counts, traces follow the majority
+    /// direction (§5).
+    Boa,
+    /// Wiggins/Redstone: PC sampling plus branch instrumentation (§5).
+    WigginsRedstone,
+    /// ADORE: sampled four-branch paths from a PMU model (§5).
+    Adore,
+}
+
+impl SelectorKind {
+    /// The four algorithms of the paper's evaluation, in presentation
+    /// order.
+    pub fn all() -> [SelectorKind; 4] {
+        [
+            SelectorKind::Net,
+            SelectorKind::Lei,
+            SelectorKind::CombinedNet,
+            SelectorKind::CombinedLei,
+        ]
+    }
+
+    /// Every implemented algorithm, including the §5 related-work
+    /// models.
+    pub fn extended() -> [SelectorKind; 8] {
+        [
+            SelectorKind::Net,
+            SelectorKind::Lei,
+            SelectorKind::CombinedNet,
+            SelectorKind::CombinedLei,
+            SelectorKind::Mojo,
+            SelectorKind::Boa,
+            SelectorKind::WigginsRedstone,
+            SelectorKind::Adore,
+        ]
+    }
+
+    /// The algorithm's display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            SelectorKind::Net => "NET",
+            SelectorKind::Lei => "LEI",
+            SelectorKind::CombinedNet => "combined NET",
+            SelectorKind::CombinedLei => "combined LEI",
+            SelectorKind::Mojo => "Mojo",
+            SelectorKind::Boa => "BOA",
+            SelectorKind::WigginsRedstone => "Wiggins/Redstone",
+            SelectorKind::Adore => "ADORE",
+        }
+    }
+
+    /// Instantiates the selector over `program` with `config`.
+    pub fn make<'p>(
+        self,
+        program: &'p Program,
+        config: &SimConfig,
+    ) -> Box<dyn RegionSelector + 'p> {
+        config.validate();
+        match self {
+            SelectorKind::Net => Box::new(NetSelector::new(program, config)),
+            SelectorKind::Lei => Box::new(LeiSelector::new(program, config)),
+            SelectorKind::CombinedNet => Box::new(CombinedNetSelector::new(program, config)),
+            SelectorKind::CombinedLei => Box::new(CombinedLeiSelector::new(program, config)),
+            SelectorKind::Mojo => Box::new(MojoSelector::new(program, config)),
+            SelectorKind::Boa => Box::new(BoaSelector::new(program, config)),
+            SelectorKind::WigginsRedstone => {
+                Box::new(WigginsRedstoneSelector::new(program, config))
+            }
+            SelectorKind::Adore => Box::new(AdoreSelector::new(program, config)),
+        }
+    }
+}
+
+impl std::fmt::Display for SelectorKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kinds_have_distinct_names() {
+        let names: Vec<&str> = SelectorKind::extended().iter().map(|k| k.name()).collect();
+        let mut dedup = names.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        assert_eq!(names.len(), 8);
+        assert_eq!(dedup.len(), 8);
+        assert_eq!(SelectorKind::Net.to_string(), "NET");
+    }
+
+    #[test]
+    fn paper_kinds_are_a_prefix_of_extended() {
+        assert_eq!(SelectorKind::extended()[..4], SelectorKind::all());
+    }
+}

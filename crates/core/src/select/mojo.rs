@@ -1,0 +1,204 @@
+//! Mojo's trace selection (paper §5).
+//!
+//! Mojo is Microsoft's transparent optimization system for Windows,
+//! "very similar to Dynamo. One main difference is that it uses one
+//! threshold for backward-branch targets and a lower threshold for
+//! trace exits. The authors claim that this lower threshold reduces the
+//! impact of the rare case where the next-executing trace is a cold
+//! path. In terms of our analysis, having a lower threshold for exit
+//! targets also reduces the separation between related hot traces.
+//! However, this approach still does not allow the related traces to be
+//! optimized together."
+
+use super::counters::CounterTable;
+use super::form::TraceGrower;
+use super::{Arrival, RegionSelector};
+use crate::cache::{CodeCache, Region};
+use crate::config::SimConfig;
+use rsel_program::{Addr, Program};
+use rsel_trace::AddrWidth;
+use std::collections::HashSet;
+
+/// NET with Mojo's split thresholds: backward-branch targets use the
+/// full threshold, code-cache exit targets a lower one.
+#[derive(Debug)]
+pub struct MojoSelector<'p> {
+    program: &'p Program,
+    backward_threshold: u32,
+    exit_threshold: u32,
+    max_trace_insts: usize,
+    width: AddrWidth,
+    counters: CounterTable,
+    exit_targets: HashSet<Addr>,
+    grower: Option<TraceGrower>,
+}
+
+impl<'p> MojoSelector<'p> {
+    /// Creates a Mojo selector over `program`.
+    pub fn new(program: &'p Program, config: &SimConfig) -> Self {
+        MojoSelector {
+            program,
+            backward_threshold: config.net_threshold,
+            exit_threshold: config.mojo_exit_threshold,
+            max_trace_insts: config.max_trace_insts,
+            width: config.addr_width,
+            counters: CounterTable::new(),
+            exit_targets: HashSet::new(),
+            grower: None,
+        }
+    }
+
+    /// Number of addresses known to be trace-exit targets (tests).
+    pub fn exit_target_count(&self) -> usize {
+        self.exit_targets.len()
+    }
+}
+
+impl RegionSelector for MojoSelector<'_> {
+    fn on_transfer(
+        &mut self,
+        cache: &CodeCache,
+        src: Addr,
+        tgt: Addr,
+        taken: bool,
+    ) -> Vec<Region> {
+        let Some(g) = self.grower.as_mut() else { return Vec::new() };
+        match g.feed_transfer(cache, src, tgt, taken) {
+            Some(t) => {
+                self.grower = None;
+                vec![Region::trace(self.program, &t.blocks)]
+            }
+            None => Vec::new(),
+        }
+    }
+
+    fn on_arrival(&mut self, _cache: &CodeCache, a: Arrival) -> Vec<Region> {
+        if a.from_cache_exit {
+            // Once an address is known as an exit target, it keeps the
+            // lower threshold for the rest of the run.
+            self.exit_targets.insert(a.tgt);
+        }
+        let backward = a.taken && a.src.is_some_and(|s| a.tgt.is_backward_from(s));
+        if !(backward || a.from_cache_exit) {
+            return Vec::new();
+        }
+        let c = self.counters.increment(a.tgt);
+        let threshold = if self.exit_targets.contains(&a.tgt) {
+            self.exit_threshold
+        } else {
+            self.backward_threshold
+        };
+        if c >= threshold && self.grower.is_none() {
+            self.counters.recycle(a.tgt);
+            self.grower = Some(TraceGrower::new(a.tgt, self.max_trace_insts, self.width));
+        }
+        Vec::new()
+    }
+
+    fn on_block(&mut self, _cache: &CodeCache, start: Addr) -> Vec<Region> {
+        let Some(g) = self.grower.as_mut() else { return Vec::new() };
+        match g.feed_block(self.program, start) {
+            Some(t) => {
+                self.grower = None;
+                vec![Region::trace(self.program, &t.blocks)]
+            }
+            None => Vec::new(),
+        }
+    }
+
+    fn counters_in_use(&self) -> usize {
+        self.counters.in_use()
+    }
+
+    fn peak_counters(&self) -> usize {
+        self.counters.peak()
+    }
+
+    fn distinct_targets_profiled(&self) -> usize {
+        self.counters.distinct_ever()
+    }
+
+    fn name(&self) -> &'static str {
+        "Mojo"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rsel_program::ProgramBuilder;
+
+    fn program() -> Program {
+        let mut b = ProgramBuilder::new();
+        let f = b.function("f", 0x100);
+        let a = b.block(f);
+        let d = b.block_with(f, 0);
+        b.cond_branch(a, a);
+        b.ret(d);
+        b.build().unwrap()
+    }
+
+    fn cfg() -> SimConfig {
+        SimConfig { net_threshold: 10, mojo_exit_threshold: 3, ..SimConfig::default() }
+    }
+
+    #[test]
+    fn exit_targets_use_the_lower_threshold() {
+        let p = program();
+        let mut mojo = MojoSelector::new(&p, &cfg());
+        let cache = CodeCache::new();
+        let d = p.blocks()[1].start();
+        for i in 1..=3u32 {
+            mojo.on_arrival(
+                &cache,
+                Arrival { src: None, tgt: d, taken: false, from_cache_exit: true },
+            );
+            let growing = mojo.grower.is_some();
+            assert_eq!(growing, i == 3, "exit threshold 3 fires on the third landing");
+        }
+        assert_eq!(mojo.exit_target_count(), 1);
+    }
+
+    #[test]
+    fn backward_targets_keep_the_full_threshold() {
+        let p = program();
+        let mut mojo = MojoSelector::new(&p, &cfg());
+        let cache = CodeCache::new();
+        let a = p.blocks()[0].start();
+        let src = p.blocks()[0].terminator().addr();
+        for _ in 0..9 {
+            mojo.on_arrival(
+                &cache,
+                Arrival { src: Some(src), tgt: a, taken: true, from_cache_exit: false },
+            );
+        }
+        assert!(mojo.grower.is_none(), "nine backward arrivals stay below 10");
+        mojo.on_arrival(
+            &cache,
+            Arrival { src: Some(src), tgt: a, taken: true, from_cache_exit: false },
+        );
+        assert!(mojo.grower.is_some());
+    }
+
+    #[test]
+    fn exit_classification_is_sticky() {
+        let p = program();
+        let mut mojo = MojoSelector::new(&p, &cfg());
+        let cache = CodeCache::new();
+        let a = p.blocks()[0].start();
+        let src = p.blocks()[0].terminator().addr();
+        // One exit landing classifies `a` as an exit target...
+        mojo.on_arrival(
+            &cache,
+            Arrival { src: Some(src), tgt: a, taken: true, from_cache_exit: true },
+        );
+        // ...so two more backward arrivals reach the lower threshold.
+        for _ in 0..2 {
+            mojo.on_arrival(
+                &cache,
+                Arrival { src: Some(src), tgt: a, taken: true, from_cache_exit: false },
+            );
+        }
+        assert!(mojo.grower.is_some());
+    }
+}

@@ -1,0 +1,221 @@
+//! Next-Executing Tail (NET) trace selection — the Dynamo baseline.
+
+use super::counters::CounterTable;
+use super::form::TraceGrower;
+use super::{Arrival, RegionSelector};
+use crate::cache::{CodeCache, Region};
+use crate::config::SimConfig;
+use rsel_program::{Addr, Program};
+use rsel_trace::AddrWidth;
+
+/// The NET selector of Duesterwald and Bala, as used by Dynamo,
+/// DynamoRIO and Mojo (paper §2.1).
+///
+/// A counter is associated with the target of every taken *backward*
+/// branch and with the target of every exit from the code cache. When a
+/// counter reaches the execution threshold (50 by default), the counter
+/// is recycled and a trace is selected by interpreting and copying the
+/// path that executes next (see [`TraceGrower`]).
+#[derive(Debug)]
+pub struct NetSelector<'p> {
+    program: &'p Program,
+    threshold: u32,
+    max_trace_insts: usize,
+    width: AddrWidth,
+    counters: CounterTable,
+    grower: Option<TraceGrower>,
+}
+
+impl<'p> NetSelector<'p> {
+    /// Creates a NET selector over `program`.
+    pub fn new(program: &'p Program, config: &SimConfig) -> Self {
+        NetSelector {
+            program,
+            threshold: config.net_threshold,
+            max_trace_insts: config.max_trace_insts,
+            width: config.addr_width,
+            counters: CounterTable::new(),
+            grower: None,
+        }
+    }
+
+    /// Whether a trace is currently being grown (for tests).
+    pub fn is_growing(&self) -> bool {
+        self.grower.is_some()
+    }
+}
+
+impl RegionSelector for NetSelector<'_> {
+    fn on_transfer(
+        &mut self,
+        cache: &CodeCache,
+        src: Addr,
+        tgt: Addr,
+        taken: bool,
+    ) -> Vec<Region> {
+        let Some(g) = self.grower.as_mut() else { return Vec::new() };
+        match g.feed_transfer(cache, src, tgt, taken) {
+            Some(t) => {
+                self.grower = None;
+                vec![Region::trace(self.program, &t.blocks)]
+            }
+            None => Vec::new(),
+        }
+    }
+
+    fn on_arrival(&mut self, _cache: &CodeCache, a: Arrival) -> Vec<Region> {
+        // Profile targets of backward taken branches and of code-cache
+        // exits.
+        let backward = a.taken && a.src.is_some_and(|s| a.tgt.is_backward_from(s));
+        if !(backward || a.from_cache_exit) {
+            return Vec::new();
+        }
+        let c = self.counters.increment(a.tgt);
+        if c >= self.threshold && self.grower.is_none() {
+            self.counters.recycle(a.tgt);
+            self.grower = Some(TraceGrower::new(a.tgt, self.max_trace_insts, self.width));
+        }
+        Vec::new()
+    }
+
+    fn on_block(&mut self, _cache: &CodeCache, start: Addr) -> Vec<Region> {
+        let Some(g) = self.grower.as_mut() else { return Vec::new() };
+        match g.feed_block(self.program, start) {
+            Some(t) => {
+                self.grower = None;
+                vec![Region::trace(self.program, &t.blocks)]
+            }
+            None => Vec::new(),
+        }
+    }
+
+    fn counters_in_use(&self) -> usize {
+        self.counters.in_use()
+    }
+
+    fn distinct_targets_profiled(&self) -> usize {
+        self.counters.distinct_ever()
+    }
+
+    fn peak_counters(&self) -> usize {
+        self.counters.peak()
+    }
+
+    fn name(&self) -> &'static str {
+        "NET"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rsel_program::ProgramBuilder;
+
+    fn program() -> Program {
+        let mut b = ProgramBuilder::new();
+        let f = b.function("f", 0x100);
+        let a = b.block(f);
+        let c = b.block(f);
+        let d = b.block_with(f, 0);
+        b.cond_branch(a, a);
+        b.cond_branch(c, a);
+        b.ret(d);
+        b.build().unwrap()
+    }
+
+    fn cfg() -> SimConfig {
+        SimConfig { net_threshold: 3, ..SimConfig::default() }
+    }
+
+    #[test]
+    fn forward_branches_are_not_profiled() {
+        let p = program();
+        let mut net = NetSelector::new(&p, &cfg());
+        let cache = CodeCache::new();
+        let lo = Addr::new(0x100);
+        let hi = Addr::new(0x200);
+        for _ in 0..10 {
+            net.on_arrival(
+                &cache,
+                Arrival { src: Some(lo), tgt: hi, taken: true, from_cache_exit: false },
+            );
+        }
+        assert_eq!(net.counters_in_use(), 0);
+        assert!(!net.is_growing());
+    }
+
+    #[test]
+    fn backward_target_reaches_threshold_and_grows() {
+        let p = program();
+        let mut net = NetSelector::new(&p, &cfg());
+        let cache = CodeCache::new();
+        let a = p.blocks()[0].start();
+        let src = p.blocks()[0].terminator().addr();
+        for i in 1..=3u32 {
+            net.on_arrival(
+                &cache,
+                Arrival { src: Some(src), tgt: a, taken: true, from_cache_exit: false },
+            );
+            assert_eq!(net.is_growing(), i == 3);
+        }
+        // Counter recycled when growth starts.
+        assert_eq!(net.counters_in_use(), 0);
+        // Growth: block A executes, then its backward self-branch ends
+        // the trace.
+        assert!(net.on_block(&cache, a).is_empty());
+        let regions = net.on_transfer(&cache, src, a, true);
+        assert_eq!(regions.len(), 1);
+        assert_eq!(regions[0].entry(), a);
+        assert!(regions[0].spans_cycle());
+        assert!(!net.is_growing());
+    }
+
+    #[test]
+    fn cache_exit_targets_are_profiled() {
+        let p = program();
+        let mut net = NetSelector::new(&p, &cfg());
+        let cache = CodeCache::new();
+        let d = p.blocks()[2].start();
+        for _ in 0..2 {
+            net.on_arrival(
+                &cache,
+                Arrival { src: None, tgt: d, taken: false, from_cache_exit: true },
+            );
+        }
+        assert_eq!(net.counters_in_use(), 1);
+        net.on_arrival(
+            &cache,
+            Arrival { src: None, tgt: d, taken: false, from_cache_exit: true },
+        );
+        assert!(net.is_growing(), "third exit landing reaches threshold");
+    }
+
+    #[test]
+    fn only_one_trace_grows_at_a_time() {
+        let p = program();
+        let mut net = NetSelector::new(&p, &cfg());
+        let cache = CodeCache::new();
+        let a = p.blocks()[0].start();
+        let c = p.blocks()[1].start();
+        let src = Addr::new(0x500);
+        for _ in 0..3 {
+            net.on_arrival(
+                &cache,
+                Arrival { src: Some(src), tgt: a, taken: true, from_cache_exit: false },
+            );
+        }
+        assert!(net.is_growing());
+        // Another target reaching threshold while growing does not
+        // start a second grower (and keeps its counter).
+        for _ in 0..4 {
+            net.on_arrival(
+                &cache,
+                Arrival { src: Some(src), tgt: c, taken: true, from_cache_exit: false },
+            );
+        }
+        assert_eq!(net.counters_in_use(), 1);
+        // `a`'s counter was recycled before `c`'s was created, so at
+        // most one counter ever existed at a time.
+        assert_eq!(net.peak_counters(), 1);
+    }
+}

@@ -1,0 +1,102 @@
+//! Storage for observed traces under trace combination (paper §4.2.1).
+
+use rsel_program::Addr;
+use rsel_trace::CompactTrace;
+use std::collections::HashMap;
+
+/// Stores the compact observed traces per hot branch target, with the
+/// byte accounting behind the paper's Figure 18.
+///
+/// "In order to delay all analysis until a region is selected, we store
+/// each observed trace independently" (§4.2.1): traces are only decoded
+/// and compared when the target's region is finally combined, at which
+/// point [`ObservationStore::take`] removes them and releases their
+/// memory.
+#[derive(Clone, Debug, Default)]
+pub struct ObservationStore {
+    traces: HashMap<Addr, Vec<CompactTrace>>,
+    bytes: usize,
+    peak: usize,
+}
+
+impl ObservationStore {
+    /// Creates an empty store.
+    pub fn new() -> Self {
+        ObservationStore::default()
+    }
+
+    /// Stores one observed trace for `target`.
+    pub fn add(&mut self, target: Addr, trace: CompactTrace) {
+        self.bytes += trace.byte_len();
+        self.peak = self.peak.max(self.bytes);
+        self.traces.entry(target).or_default().push(trace);
+    }
+
+    /// Number of traces currently stored for `target`.
+    pub fn count(&self, target: Addr) -> usize {
+        self.traces.get(&target).map_or(0, Vec::len)
+    }
+
+    /// Removes and returns all traces stored for `target`, releasing
+    /// their memory.
+    pub fn take(&mut self, target: Addr) -> Vec<CompactTrace> {
+        let ts = self.traces.remove(&target).unwrap_or_default();
+        self.bytes -= ts.iter().map(CompactTrace::byte_len).sum::<usize>();
+        ts
+    }
+
+    /// Bytes currently used by stored traces.
+    pub fn bytes(&self) -> usize {
+        self.bytes
+    }
+
+    /// Maximum bytes ever used (Figure 18's numerator).
+    pub fn peak_bytes(&self) -> usize {
+        self.peak
+    }
+
+    /// Number of targets with outstanding observations.
+    pub fn targets(&self) -> usize {
+        self.traces.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rsel_trace::{AddrWidth, TraceRecorder};
+
+    fn trace(n_conds: usize) -> CompactTrace {
+        let mut r = TraceRecorder::new(Addr::new(0x100), AddrWidth::W32);
+        for i in 0..n_conds {
+            r.record_cond(i % 2 == 0);
+        }
+        r.finish(Addr::new(0x110))
+    }
+
+    #[test]
+    fn bytes_track_additions_and_removals() {
+        let mut s = ObservationStore::new();
+        let t = trace(4);
+        let per = t.byte_len();
+        s.add(Addr::new(1), t.clone());
+        s.add(Addr::new(1), t.clone());
+        s.add(Addr::new(2), t);
+        assert_eq!(s.bytes(), 3 * per);
+        assert_eq!(s.peak_bytes(), 3 * per);
+        assert_eq!(s.count(Addr::new(1)), 2);
+        assert_eq!(s.targets(), 2);
+        let taken = s.take(Addr::new(1));
+        assert_eq!(taken.len(), 2);
+        assert_eq!(s.bytes(), per);
+        assert_eq!(s.peak_bytes(), 3 * per, "peak is a high-water mark");
+        assert_eq!(s.count(Addr::new(1)), 0);
+    }
+
+    #[test]
+    fn take_missing_target_is_empty() {
+        let mut s = ObservationStore::new();
+        assert!(s.take(Addr::new(9)).is_empty());
+        assert_eq!(s.bytes(), 0);
+    }
+}

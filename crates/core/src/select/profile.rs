@@ -1,0 +1,239 @@
+//! Edge profiling and majority-direction trace formation.
+//!
+//! The related-work selectors of the paper's §5 "profile more branches
+//! in the hope of better identifying a hot trace": BOA keeps per-branch
+//! direction counts, Wiggins/Redstone instruments selected branches for
+//! their most frequent targets. Both then build a trace by following
+//! the most frequent direction from a starting point. This module holds
+//! the shared machinery.
+
+use crate::cache::CodeCache;
+use rsel_program::{Addr, InstKind, Program};
+use std::collections::HashMap;
+
+/// Per-branch execution profile gathered while interpreting.
+#[derive(Clone, Debug, Default)]
+pub struct EdgeProfile {
+    cond: HashMap<Addr, (u64, u64)>, // (taken, not taken)
+    indirect: HashMap<Addr, HashMap<Addr, u64>>,
+}
+
+impl EdgeProfile {
+    /// Creates an empty profile.
+    pub fn new() -> Self {
+        EdgeProfile::default()
+    }
+
+    /// Records one interpreted transfer out of the instruction at
+    /// `src` (classified against the program text).
+    pub fn record(&mut self, program: &Program, src: Addr, tgt: Addr, taken: bool) {
+        let Some(inst) = program.inst_at(src) else { return };
+        match inst.kind() {
+            InstKind::CondBranch { .. } => {
+                let e = self.cond.entry(src).or_insert((0, 0));
+                if taken {
+                    e.0 += 1;
+                } else {
+                    e.1 += 1;
+                }
+            }
+            InstKind::IndirectJump | InstKind::IndirectCall | InstKind::Ret if taken => {
+                *self.indirect.entry(src).or_default().entry(tgt).or_insert(0) += 1;
+            }
+            _ => {}
+        }
+    }
+
+    /// The majority direction of the conditional branch at `src`
+    /// (`None` if never observed; ties resolve to not-taken, the
+    /// cheaper fall-through).
+    pub fn majority_cond(&self, src: Addr) -> Option<bool> {
+        let (t, nt) = self.cond.get(&src)?;
+        Some(t > nt)
+    }
+
+    /// The most frequent observed target of the indirect branch at
+    /// `src`.
+    pub fn majority_indirect(&self, src: Addr) -> Option<Addr> {
+        let targets = self.indirect.get(&src)?;
+        targets
+            .iter()
+            .max_by_key(|(a, c)| (*c, std::cmp::Reverse(a.raw())))
+            .map(|(a, _)| *a)
+    }
+
+    /// Number of profiled branch sites (diagnostics).
+    pub fn sites(&self) -> usize {
+        self.cond.len() + self.indirect.len()
+    }
+}
+
+/// Builds a trace from `entry` by following the majority direction of
+/// every branch, in the style of BOA: "a trace is selected by following
+/// the target of each conditional branch with the highest count" (§5).
+///
+/// The walk ends — as under NET — when the chosen direction is a taken
+/// backward branch (included), targets an existing region's entry,
+/// revisits a block already in the trace, meets an unprofiled branch,
+/// or reaches `max_insts`.
+pub fn majority_walk(
+    program: &Program,
+    cache: &CodeCache,
+    profile: &EdgeProfile,
+    entry: Addr,
+    max_insts: usize,
+) -> Vec<Addr> {
+    let mut blocks: Vec<Addr> = Vec::new();
+    let mut insts = 0usize;
+    let mut addr = entry;
+    loop {
+        if blocks.contains(&addr) || (cache.contains(addr) && addr != entry) {
+            break;
+        }
+        let Some(block) = program.block_at(addr) else { break };
+        blocks.push(addr);
+        insts += block.len();
+        if insts >= max_insts {
+            break;
+        }
+        let term = block.terminator();
+        let src = term.addr();
+        let (next, taken) = match term.kind() {
+            InstKind::Straight => (block.fallthrough_addr(), false),
+            InstKind::Jump { target } | InstKind::Call { target } => (target, true),
+            InstKind::CondBranch { target } => match profile.majority_cond(src) {
+                Some(true) => (target, true),
+                Some(false) => (block.fallthrough_addr(), false),
+                None => break,
+            },
+            InstKind::IndirectJump | InstKind::IndirectCall | InstKind::Ret => {
+                match profile.majority_indirect(src) {
+                    Some(t) => (t, true),
+                    None => break,
+                }
+            }
+        };
+        if taken && next.is_backward_from(src) {
+            break; // the trace ends with this backward branch
+        }
+        addr = next;
+    }
+    blocks
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rsel_program::ProgramBuilder;
+
+    /// A(cond->C) ; B ; C(cond->A) ; D(ret)
+    fn program() -> Program {
+        let mut b = ProgramBuilder::new();
+        let f = b.function("f", 0x100);
+        let a = b.block(f);
+        let bb = b.block(f);
+        let c = b.block(f);
+        let d = b.block_with(f, 0);
+        let _ = bb;
+        b.cond_branch(a, c);
+        b.cond_branch(c, a);
+        b.ret(d);
+        b.build().unwrap()
+    }
+
+    fn starts(p: &Program) -> Vec<Addr> {
+        p.blocks().iter().map(|b| b.start()).collect()
+    }
+
+    #[test]
+    fn record_and_majorities() {
+        let p = program();
+        let s = starts(&p);
+        let a_branch = p.block_at(s[0]).unwrap().terminator().addr();
+        let mut prof = EdgeProfile::new();
+        prof.record(&p, a_branch, s[2], true);
+        prof.record(&p, a_branch, s[2], true);
+        prof.record(&p, a_branch, s[1], false);
+        assert_eq!(prof.majority_cond(a_branch), Some(true));
+        assert_eq!(prof.majority_cond(Addr::new(0x9999)), None);
+        assert_eq!(prof.sites(), 1);
+    }
+
+    #[test]
+    fn tie_resolves_to_not_taken() {
+        let p = program();
+        let s = starts(&p);
+        let a_branch = p.block_at(s[0]).unwrap().terminator().addr();
+        let mut prof = EdgeProfile::new();
+        prof.record(&p, a_branch, s[2], true);
+        prof.record(&p, a_branch, s[1], false);
+        assert_eq!(prof.majority_cond(a_branch), Some(false));
+    }
+
+    #[test]
+    fn walk_follows_majority_and_stops_at_backward() {
+        let p = program();
+        let s = starts(&p);
+        let a_branch = p.block_at(s[0]).unwrap().terminator().addr();
+        let c_branch = p.block_at(s[2]).unwrap().terminator().addr();
+        let mut prof = EdgeProfile::new();
+        // A mostly taken to C; C mostly taken back to A (backward).
+        for _ in 0..3 {
+            prof.record(&p, a_branch, s[2], true);
+            prof.record(&p, c_branch, s[0], true);
+        }
+        let cache = CodeCache::new();
+        let t = majority_walk(&p, &cache, &prof, s[0], 100);
+        assert_eq!(t, vec![s[0], s[2]], "ends at C's backward branch");
+    }
+
+    #[test]
+    fn walk_stops_at_unprofiled_branch() {
+        let p = program();
+        let s = starts(&p);
+        let prof = EdgeProfile::new();
+        let cache = CodeCache::new();
+        let t = majority_walk(&p, &cache, &prof, s[0], 100);
+        assert_eq!(t, vec![s[0]], "cannot pick a direction without counts");
+    }
+
+    #[test]
+    fn walk_stops_at_cached_entry_and_size_limit() {
+        let p = program();
+        let s = starts(&p);
+        let a_branch = p.block_at(s[0]).unwrap().terminator().addr();
+        let mut prof = EdgeProfile::new();
+        prof.record(&p, a_branch, s[1], false); // falls into B
+        let mut cache = CodeCache::new();
+        cache.insert(crate::cache::Region::trace(&p, &[s[1]]));
+        let t = majority_walk(&p, &cache, &prof, s[0], 100);
+        assert_eq!(t, vec![s[0]], "stops before the cached block B");
+        // Size limit of 1 instruction stops after the first block.
+        let cache2 = CodeCache::new();
+        let t2 = majority_walk(&p, &cache2, &prof, s[0], 1);
+        assert_eq!(t2, vec![s[0]]);
+    }
+
+    #[test]
+    fn indirect_majority_target() {
+        let mut b = ProgramBuilder::new();
+        let f = b.function("f", 0x100);
+        let sw = b.block(f);
+        let t1 = b.block(f);
+        let t2 = b.block(f);
+        let d = b.block_with(f, 0);
+        b.indirect_jump(sw);
+        b.jump(t1, d);
+        b.jump(t2, d);
+        b.ret(d);
+        let p = b.build().unwrap();
+        let sw_branch = p.block(sw).branch_addr().unwrap();
+        let t1s = p.block(t1).start();
+        let t2s = p.block(t2).start();
+        let mut prof = EdgeProfile::new();
+        prof.record(&p, sw_branch, t1s, true);
+        prof.record(&p, sw_branch, t2s, true);
+        prof.record(&p, sw_branch, t2s, true);
+        assert_eq!(prof.majority_indirect(sw_branch), Some(t2s));
+    }
+}

@@ -1,0 +1,308 @@
+//! Combining observed traces into a multi-path region
+//! (paper §4.2.2, "Constructing the CFG", and Figure 13 lines 12–17).
+
+use super::rejoin::mark_rejoining_paths;
+use crate::cache::Region;
+use rsel_program::{Addr, Program};
+use rsel_trace::{CompactTrace, DecodeError};
+use std::collections::{HashMap, HashSet};
+
+/// The CFG built incrementally from a target's observed traces.
+///
+/// "Rather than representing all possible branches, the CFG for a region
+/// represents only those branches taken in an observed trace" (§4.2.2).
+/// Each block is annotated with the number of observed traces in which
+/// it occurs.
+#[derive(Clone, Debug)]
+pub struct ObservedCfg {
+    entry: Addr,
+    nodes: Vec<Addr>,
+    edges: HashMap<Addr, Vec<Addr>>,
+    occurrences: HashMap<Addr, u32>,
+    trace_count: u32,
+}
+
+impl ObservedCfg {
+    /// Builds the CFG by adding each observed trace in turn.
+    ///
+    /// # Errors
+    ///
+    /// Propagates a [`DecodeError`] if a stored trace does not replay
+    /// against `program` (which indicates a bug, not a data condition).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `traces` is empty or a trace does not start at `entry`.
+    pub fn build(
+        program: &Program,
+        entry: Addr,
+        traces: &[CompactTrace],
+    ) -> Result<Self, DecodeError> {
+        assert!(!traces.is_empty(), "combination needs observed traces");
+        let mut cfg = ObservedCfg {
+            entry,
+            nodes: Vec::new(),
+            edges: HashMap::new(),
+            occurrences: HashMap::new(),
+            trace_count: traces.len() as u32,
+        };
+        let mut known: HashSet<Addr> = HashSet::new();
+        let mut edge_set: HashSet<(Addr, Addr)> = HashSet::new();
+        for t in traces {
+            assert_eq!(t.start(), entry, "observed trace starts at the region entry");
+            let path = t.decode(program)?;
+            let mut seen_this_trace: HashSet<Addr> = HashSet::new();
+            for &b in &path.blocks {
+                if known.insert(b) {
+                    cfg.nodes.push(b);
+                }
+                if seen_this_trace.insert(b) {
+                    *cfg.occurrences.entry(b).or_insert(0) += 1;
+                }
+            }
+            for w in path.blocks.windows(2) {
+                if edge_set.insert((w[0], w[1])) {
+                    cfg.edges.entry(w[0]).or_default().push(w[1]);
+                }
+            }
+        }
+        Ok(cfg)
+    }
+
+    /// The region entry (first block of every observed trace).
+    pub fn entry(&self) -> Addr {
+        self.entry
+    }
+
+    /// Blocks in first-observed order (entry first).
+    pub fn nodes(&self) -> &[Addr] {
+        &self.nodes
+    }
+
+    /// Observed edges.
+    pub fn edges(&self) -> &HashMap<Addr, Vec<Addr>> {
+        &self.edges
+    }
+
+    /// Number of observed traces containing `block`.
+    pub fn occurrences(&self, block: Addr) -> u32 {
+        self.occurrences.get(&block).copied().unwrap_or(0)
+    }
+
+    /// Number of observed traces.
+    pub fn trace_count(&self) -> u32 {
+        self.trace_count
+    }
+}
+
+/// The outcome of combining a target's observed traces.
+#[derive(Debug)]
+pub struct CombineResult {
+    /// The combined multi-path region.
+    pub region: Region,
+    /// Iterations taken by the rejoin-marking pass.
+    pub rejoin_iterations: usize,
+    /// Observed blocks dropped for occurring in fewer than `T_min`
+    /// traces (and not lying on a rejoining path).
+    pub dropped_blocks: usize,
+}
+
+/// Runs the full combination pipeline of Figure 13 (lines 12–17):
+/// build the CFG, mark blocks occurring in at least `t_min` traces,
+/// mark rejoining paths, drop everything unmarked, promote exits that
+/// target kept blocks, and build the region.
+///
+/// When fewer than `t_min` traces were observed (possible when
+/// observation windows overlap and some are skipped), the cut-off is
+/// lowered to the number of traces so that the entry — present in every
+/// trace — is always kept.
+///
+/// # Errors
+///
+/// Propagates a [`DecodeError`] from CFG construction.
+pub fn combine_traces(
+    program: &Program,
+    entry: Addr,
+    traces: &[CompactTrace],
+    t_min: u32,
+) -> Result<CombineResult, DecodeError> {
+    let cfg = ObservedCfg::build(program, entry, traces)?;
+    let cut = t_min.min(cfg.trace_count());
+    let initially_marked: HashSet<Addr> = cfg
+        .nodes()
+        .iter()
+        .copied()
+        .filter(|&b| cfg.occurrences(b) >= cut)
+        .collect();
+    debug_assert!(
+        initially_marked.contains(&entry),
+        "the entry occurs in every observed trace"
+    );
+    let rejoin = mark_rejoining_paths(entry, cfg.nodes(), cfg.edges(), &initially_marked);
+    let kept: Vec<Addr> =
+        cfg.nodes().iter().copied().filter(|b| rejoin.marked.contains(b)).collect();
+    let dropped = cfg.nodes().len() - kept.len();
+    let kept_set: HashSet<Addr> = kept.iter().copied().collect();
+    let mut edge_pairs: Vec<(Addr, Addr)> = Vec::new();
+    for (&from, succs) in cfg.edges() {
+        if !kept_set.contains(&from) {
+            continue;
+        }
+        for &to in succs {
+            if kept_set.contains(&to) {
+                edge_pairs.push((from, to));
+            }
+        }
+    }
+    // Deterministic ordering (HashMap iteration order is not).
+    edge_pairs.sort();
+    let region = Region::combined(program, &kept, &edge_pairs);
+    Ok(CombineResult { region, rejoin_iterations: rejoin.iterations, dropped_blocks: dropped })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rsel_program::{BehaviorSpec, Executor, ProgramBuilder};
+    use rsel_trace::{AddrWidth, TraceRecorder};
+
+    /// split S(cond->T) ; F(fall side) ; T(taken side) ; J(join) ; X(ret)
+    /// F jumps to J; T falls into J.
+    fn diamond() -> (Program, [Addr; 5]) {
+        let mut b = ProgramBuilder::new();
+        let f = b.function("f", 0x100);
+        let s = b.block(f);
+        let fall = b.block(f);
+        let taken = b.block(f);
+        let j = b.block(f);
+        let x = b.block_with(f, 0);
+        b.cond_branch(s, taken);
+        b.jump(fall, j);
+        // taken falls into j
+        b.ret(x);
+        let p = b.build().unwrap();
+        let addr = |id| p.block(id).start();
+        (p.clone(), [addr(s), addr(fall), addr(taken), addr(j), addr(x)])
+    }
+
+    /// Records a trace through the diamond, taking or falling at S.
+    fn observe(p: &Program, s: &[Addr; 5], take: bool) -> CompactTrace {
+        let mut r = TraceRecorder::new(s[0], AddrWidth::W32);
+        r.record_cond(take);
+        // J's terminator is straight (falls into X); trace ends at J.
+        let j_end = p.block_at(s[3]).unwrap().terminator().addr();
+        r.finish(j_end)
+    }
+
+    #[test]
+    fn cfg_counts_occurrences_per_trace() {
+        let (p, s) = diamond();
+        let traces =
+            vec![observe(&p, &s, true), observe(&p, &s, false), observe(&p, &s, true)];
+        let cfg = ObservedCfg::build(&p, s[0], &traces).unwrap();
+        assert_eq!(cfg.occurrences(s[0]), 3);
+        assert_eq!(cfg.occurrences(s[2]), 2); // taken side
+        assert_eq!(cfg.occurrences(s[1]), 1); // fall side
+        assert_eq!(cfg.occurrences(s[3]), 3); // join
+        assert_eq!(cfg.trace_count(), 3);
+        assert_eq!(cfg.nodes()[0], s[0]);
+    }
+
+    #[test]
+    fn unbiased_branch_keeps_both_sides_without_duplication() {
+        // Both sides occur >= t_min: the combined region is the whole
+        // diamond, with no tail duplication (paper Figure 4's fix).
+        let (p, s) = diamond();
+        let traces = vec![
+            observe(&p, &s, true),
+            observe(&p, &s, false),
+            observe(&p, &s, true),
+            observe(&p, &s, false),
+        ];
+        let res = combine_traces(&p, s[0], &traces, 2).unwrap();
+        let r = &res.region;
+        assert!(r.contains_block(s[1]) && r.contains_block(s[2]));
+        assert!(r.contains_block(s[3]));
+        assert_eq!(res.dropped_blocks, 0);
+        // Join appears once: no duplication of D/F blocks as under NET.
+        assert_eq!(r.blocks().len(), 4);
+        // The only exit is J's fall-through to X.
+        assert_eq!(r.stub_count(), 1);
+        assert_eq!(r.stubs()[0].target, Some(s[4]));
+    }
+
+    #[test]
+    fn dominant_path_stays_a_single_trace() {
+        // "If there is a single dominant path from a branch target,
+        // trace combination selects only that path" (§4.2).
+        let (p, s) = diamond();
+        let traces: Vec<CompactTrace> = (0..5).map(|_| observe(&p, &s, true)).collect();
+        let res = combine_traces(&p, s[0], &traces, 2).unwrap();
+        let r = &res.region;
+        assert!(r.contains_block(s[2]));
+        assert!(!r.contains_block(s[1]), "never-taken side is excluded");
+        assert_eq!(r.blocks().len(), 3);
+    }
+
+    #[test]
+    fn rare_rejoining_path_is_kept() {
+        // The fall side occurs once (< t_min) but rejoins the marked
+        // join block, so it is kept (exit-dominated duplication fix).
+        let (p, s) = diamond();
+        let traces = vec![
+            observe(&p, &s, true),
+            observe(&p, &s, true),
+            observe(&p, &s, true),
+            observe(&p, &s, false),
+        ];
+        let res = combine_traces(&p, s[0], &traces, 3).unwrap();
+        assert!(res.region.contains_block(s[1]), "rejoining path kept");
+        assert_eq!(res.dropped_blocks, 0);
+    }
+
+    #[test]
+    fn dead_end_rare_path_is_dropped() {
+        // S(cond->T) ; F ; T... where F returns instead of rejoining.
+        let mut b = ProgramBuilder::new();
+        let f = b.function("f", 0x100);
+        let sb = b.block(f);
+        let fall = b.block_with(f, 0);
+        let taken = b.block(f);
+        let x = b.block_with(f, 0);
+        b.cond_branch(sb, taken);
+        b.ret(fall);
+        // taken falls into x
+        b.ret(x);
+        let p = b.build().unwrap();
+        let s0 = p.block(sb).start();
+        let mk = |take: bool| {
+            let mut r = TraceRecorder::new(s0, AddrWidth::W32);
+            r.record_cond(take);
+            let end = if take {
+                p.block(x).terminator().addr()
+            } else {
+                p.block(fall).terminator().addr()
+            };
+            r.finish(end)
+        };
+        let traces = vec![mk(true), mk(true), mk(true), mk(false)];
+        let res = combine_traces(&p, s0, &traces, 3).unwrap();
+        assert!(!res.region.contains_block(p.block(fall).start()));
+        assert_eq!(res.dropped_blocks, 1);
+    }
+
+    #[test]
+    fn combined_region_replays_real_execution() {
+        // Sanity: traces recorded from actual executor runs decode and
+        // combine.
+        let (p, s) = diamond();
+        let mut spec = BehaviorSpec::new(3);
+        let s_branch = p.block_at(s[0]).unwrap().terminator().addr();
+        spec.bernoulli(s_branch, 0.5);
+        let steps: Vec<_> = Executor::new(&p, spec).collect();
+        assert!(steps.len() >= 4);
+        let traces = vec![observe(&p, &s, true), observe(&p, &s, false)];
+        let res = combine_traces(&p, s[0], &traces, 1).unwrap();
+        assert!(res.region.spans_cycle() || res.region.stub_count() >= 1);
+    }
+}

@@ -1,0 +1,475 @@
+//! The dynamic-optimization-system simulator (paper §2.1 and §2.3).
+//!
+//! The simulator consumes the executed basic-block stream (from
+//! [`Executor`](rsel_program::Executor) or a recorded stream) and
+//! re-enacts the system of the paper's Figure 1: interpretation with
+//! branch profiling, region selection, an unbounded code cache, lazy
+//! inter-region linking, and execution from the cache — while measuring
+//! every quantity the evaluation reports.
+
+use crate::cache::{CodeCache, RegionId, TransferClass};
+use crate::config::SimConfig;
+use crate::metrics::domination::analyze_domination;
+use crate::metrics::report::{RegionReport, RunReport};
+use crate::select::{Arrival, RegionSelector};
+use rsel_program::{Addr, Entry, Program, Step};
+use std::collections::{HashMap, HashSet};
+
+/// Virtual-memory page size used for the layout-locality metric.
+const PAGE_BYTES: u64 = 4096;
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Mode {
+    Interp,
+    InCache { region: RegionId, block: Addr },
+}
+
+#[derive(Clone, Copy, Debug, Default)]
+struct RegionRuntime {
+    executions: u64,
+    cycle_ends: u64,
+    insts_executed: u64,
+}
+
+/// The trace-driven simulator.
+///
+/// Drive it with [`Simulator::run`] (or step-by-step with
+/// [`Simulator::arrive`]) and collect the metrics with
+/// [`Simulator::report`].
+pub struct Simulator<'p> {
+    program: &'p Program,
+    selector: Box<dyn RegionSelector + 'p>,
+    cache: CodeCache,
+    stub_bytes: u64,
+    mode: Mode,
+    pending_exit: bool,
+    prev_block: Option<Addr>,
+    // Aggregate counters.
+    total_insts: u64,
+    cache_insts: u64,
+    interpreted_taken: u64,
+    transitions: u64,
+    transition_distance_sum: u64,
+    transition_page_crossings: u64,
+    // Per-region runtime stats, indexed by RegionId.
+    runtime: Vec<RegionRuntime>,
+    // Executed-predecessor relation over program blocks.
+    exec_preds: HashMap<Addr, HashSet<Addr>>,
+    // Exits observed leaving the cache: target -> {(region, from block)}.
+    exit_edges: HashMap<Addr, HashSet<(RegionId, Addr)>>,
+    // Regions evicted by bounded-cache flushes, with their final stats.
+    retired: Vec<RegionReport>,
+}
+
+impl<'p> Simulator<'p> {
+    /// Creates a simulator over `program` with the given selector.
+    pub fn new(
+        program: &'p Program,
+        selector: Box<dyn RegionSelector + 'p>,
+        config: &SimConfig,
+    ) -> Self {
+        let cache = match config.cache_capacity {
+            Some(cap) => CodeCache::bounded(cap, config.stub_bytes),
+            None => CodeCache::new(),
+        };
+        Simulator {
+            program,
+            selector,
+            cache,
+            stub_bytes: config.stub_bytes,
+            mode: Mode::Interp,
+            pending_exit: false,
+            prev_block: None,
+            total_insts: 0,
+            cache_insts: 0,
+            interpreted_taken: 0,
+            transitions: 0,
+            transition_distance_sum: 0,
+            transition_page_crossings: 0,
+            runtime: Vec::new(),
+            exec_preds: HashMap::new(),
+            exit_edges: HashMap::new(),
+            retired: Vec::new(),
+        }
+    }
+
+    /// Feeds every step of `stream` through the system.
+    pub fn run(&mut self, stream: impl IntoIterator<Item = Step>) {
+        for step in stream {
+            self.arrive(&step);
+        }
+    }
+
+    /// The code cache (inspect regions after a run).
+    pub fn cache(&self) -> &CodeCache {
+        &self.cache
+    }
+
+    /// The selector (inspect profiling state).
+    pub fn selector(&self) -> &dyn RegionSelector {
+        self.selector.as_ref()
+    }
+
+    /// Total instructions executed so far.
+    pub fn total_insts(&self) -> u64 {
+        self.total_insts
+    }
+
+    fn insert_regions(&mut self, regions: Vec<crate::cache::Region>) {
+        for r in regions {
+            if self.cache.would_overflow(&r) {
+                self.retire_all();
+            }
+            let id = self.cache.insert(r);
+            debug_assert_eq!(id.index(), self.runtime.len());
+            self.runtime.push(RegionRuntime::default());
+        }
+    }
+
+    /// Bounded-cache flush: every live region's final statistics move
+    /// to the retired list, the cache empties, and region ids restart.
+    fn retire_all(&mut self) {
+        debug_assert_eq!(self.mode, Mode::Interp, "flushes happen while interpreting");
+        self.retired.extend(Self::region_reports(&self.cache, &self.runtime));
+        self.cache.flush();
+        self.runtime.clear();
+        // Exit edges refer to now-recycled region ids.
+        self.exit_edges.clear();
+    }
+
+    fn region_reports(cache: &CodeCache, runtime: &[RegionRuntime]) -> Vec<RegionReport> {
+        cache
+            .regions()
+            .iter()
+            .zip(runtime)
+            .map(|(r, rt)| RegionReport {
+                entry: r.entry(),
+                kind: r.kind(),
+                insts_copied: r.inst_count(),
+                bytes: r.byte_size(),
+                stubs: r.stub_count(),
+                spans_cycle: r.spans_cycle(),
+                executions: rt.executions,
+                cycle_ends: rt.cycle_ends,
+                insts_executed: rt.insts_executed,
+            })
+            .collect()
+    }
+
+    fn enter_region(&mut self, id: RegionId, target: Addr, len: u64) {
+        self.runtime[id.index()].executions += 1;
+        self.runtime[id.index()].insts_executed += len;
+        self.cache_insts += len;
+        self.mode = Mode::InCache { region: id, block: target };
+    }
+
+    /// Processes one executed block.
+    pub fn arrive(&mut self, step: &Step) {
+        let len = self.program.block(step.block).len() as u64;
+        let target = step.start;
+        self.total_insts += len;
+        let prev = self.prev_block;
+        self.prev_block = Some(target);
+        if let Some(p) = prev {
+            self.exec_preds.entry(target).or_default().insert(p);
+        }
+
+        // --- In-cache execution ---------------------------------------
+        if let Mode::InCache { region, block } = self.mode {
+            match self.cache.region(region).classify(block, target) {
+                TransferClass::Cycle => {
+                    let rt = &mut self.runtime[region.index()];
+                    rt.cycle_ends += 1;
+                    rt.executions += 1;
+                    rt.insts_executed += len;
+                    self.cache_insts += len;
+                    self.mode = Mode::InCache { region, block: target };
+                    return;
+                }
+                TransferClass::Internal => {
+                    self.runtime[region.index()].insts_executed += len;
+                    self.cache_insts += len;
+                    self.mode = Mode::InCache { region, block: target };
+                    return;
+                }
+                TransferClass::Exit => {
+                    self.exit_edges.entry(target).or_default().insert((region, block));
+                    if let Some(r2) = self.cache.lookup(target) {
+                        // Lazy linking: the exit stub jumps straight to
+                        // the other region — a region transition.
+                        self.transitions += 1;
+                        let from = self.cache.region(region).cache_offset();
+                        let to = self.cache.region(r2).cache_offset();
+                        self.transition_distance_sum += from.abs_diff(to);
+                        if from / PAGE_BYTES != to / PAGE_BYTES {
+                            self.transition_page_crossings += 1;
+                        }
+                        self.enter_region(r2, target, len);
+                        return;
+                    }
+                    // Exit to the interpreter; fall through to the
+                    // interpreter arrival logic below.
+                    self.mode = Mode::Interp;
+                    self.pending_exit = true;
+                }
+            }
+        }
+
+        // --- Interpreter arrival ---------------------------------------
+        let from_exit = std::mem::take(&mut self.pending_exit);
+        match step.entry {
+            Entry::Taken { src, .. } => {
+                if !from_exit {
+                    self.interpreted_taken += 1;
+                    // Active trace growth sees the transfer first (stop
+                    // conditions, Figure 6 line 7 / NET's rules).
+                    let done = self.selector.on_transfer(&self.cache, src, target, true);
+                    self.insert_regions(done);
+                }
+                // "At every interpreted taken branch, the system decides
+                // whether to switch ... to executing a region" (§2.1).
+                if let Some(rid) = self.cache.lookup(target) {
+                    self.enter_region(rid, target, len);
+                    return;
+                }
+                let done = self.selector.on_arrival(
+                    &self.cache,
+                    Arrival { src: Some(src), tgt: target, taken: true, from_cache_exit: from_exit },
+                );
+                self.insert_regions(done);
+                // "jump newT" (Figure 5, line 15): a freshly selected
+                // region whose entry is this target is entered at once.
+                if let Some(rid) = self.cache.lookup(target) {
+                    self.enter_region(rid, target, len);
+                    return;
+                }
+            }
+            Entry::Fallthrough => {
+                if from_exit {
+                    // Landing from a fall-through exit stub.
+                    let src = prev.map(|p| {
+                        self.program.block_at(p).expect("prev is a block").terminator().addr()
+                    });
+                    let done = self.selector.on_arrival(
+                        &self.cache,
+                        Arrival { src, tgt: target, taken: false, from_cache_exit: true },
+                    );
+                    self.insert_regions(done);
+                } else if let Some(p) = prev {
+                    let src =
+                        self.program.block_at(p).expect("prev is a block").terminator().addr();
+                    let done = self.selector.on_transfer(&self.cache, src, target, false);
+                    self.insert_regions(done);
+                }
+            }
+            Entry::Start => {}
+        }
+
+        // Interpreted execution of the block (active growth extends).
+        let done = self.selector.on_block(&self.cache, target);
+        self.insert_regions(done);
+    }
+
+    /// Assembles the full metrics report. With a bounded cache, the
+    /// region list covers every region ever selected (retired and
+    /// live); the domination analysis covers live regions only.
+    pub fn report(&self) -> RunReport {
+        let mut regions = self.retired.clone();
+        regions.extend(Self::region_reports(&self.cache, &self.runtime));
+        RunReport {
+            selector: self.selector.name().to_string(),
+            total_insts: self.total_insts,
+            cache_insts: self.cache_insts,
+            interpreted_taken: self.interpreted_taken,
+            region_transitions: self.transitions,
+            regions,
+            peak_counters: self.selector.peak_counters(),
+            peak_observed_bytes: self.selector.peak_observed_bytes(),
+            cache_size_estimate: self.cache.size_estimate(self.stub_bytes),
+            domination: analyze_domination(&self.cache, &self.exec_preds, &self.exit_edges),
+            cache_flushes: self.cache.flushes(),
+            transition_distance_sum: self.transition_distance_sum,
+            transition_page_crossings: self.transition_page_crossings,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::select::SelectorKind;
+    use rsel_program::patterns::ScenarioBuilder;
+    use rsel_program::Executor;
+
+    fn run_kind(
+        kind: SelectorKind,
+        build: impl Fn(&mut ScenarioBuilder),
+        seed: u64,
+        config: &SimConfig,
+    ) -> RunReport {
+        let mut s = ScenarioBuilder::new(seed);
+        build(&mut s);
+        let (p, spec) = s.build().unwrap();
+        let mut sim = Simulator::new(&p, kind.make(&p, config), config);
+        sim.run(Executor::new(&p, spec));
+        sim.report()
+    }
+
+    fn hot_loop(s: &mut ScenarioBuilder) {
+        let f = s.function("main", 0x1000);
+        let lp = s.counted_loop(f, 3, 100_000);
+        s.ret_from(f, lp.exit);
+    }
+
+    #[test]
+    fn net_caches_a_hot_loop() {
+        let r = run_kind(SelectorKind::Net, hot_loop, 1, &SimConfig::default());
+        assert!(r.hit_rate() > 0.99, "hit rate {}", r.hit_rate());
+        assert_eq!(r.region_count(), 1);
+        assert!(r.regions[0].spans_cycle);
+        assert!(r.regions[0].cycle_ends > 90_000);
+        assert_eq!(r.cover_set_size(0.9), Some(1));
+    }
+
+    #[test]
+    fn all_selectors_conserve_instructions() {
+        for kind in SelectorKind::all() {
+            let r = run_kind(kind, hot_loop, 1, &SimConfig::default());
+            assert!(r.cache_insts <= r.total_insts, "{kind}");
+            assert!(r.total_insts > 0, "{kind}");
+        }
+    }
+
+    /// Paper Figure 2: a loop whose dominant path calls a function at a
+    /// lower address. NET needs two traces; LEI spans the cycle in one.
+    fn interproc_loop(s: &mut ScenarioBuilder) {
+        let main = s.function("main", 0x4000);
+        let callee = s.function("callee", 0x1000);
+        let head = s.block(main, 2);
+        let latch = s.block(main, 1);
+        s.call(head, callee);
+        s.branch_trips(latch, head, 50_000);
+        let done = s.block(main, 0);
+        s.ret(done);
+        let c0 = s.block(callee, 2);
+        s.ret(c0);
+    }
+
+    #[test]
+    fn lei_spans_interprocedural_cycle_net_does_not() {
+        let cfg = SimConfig::default();
+        let net = run_kind(SelectorKind::Net, interproc_loop, 1, &cfg);
+        let lei = run_kind(SelectorKind::Lei, interproc_loop, 1, &cfg);
+        // NET splits the cycle into multiple traces, none spanning it.
+        assert!(net.region_count() >= 2, "NET regions: {}", net.region_count());
+        assert_eq!(net.regions.iter().filter(|r| r.spans_cycle).count(), 0);
+        // LEI selects one cycle-spanning trace.
+        assert!(lei.regions.iter().any(|r| r.spans_cycle));
+        assert!(lei.region_count() < net.region_count());
+        // Fewer regions, fewer transitions: better locality.
+        assert!(lei.region_transitions < net.region_transitions);
+        // Both execute almost everything from the cache.
+        assert!(net.hit_rate() > 0.99);
+        assert!(lei.hit_rate() > 0.99);
+    }
+
+    #[test]
+    fn transitions_counted_between_regions() {
+        let cfg = SimConfig::default();
+        let net = run_kind(SelectorKind::Net, interproc_loop, 1, &cfg);
+        // NET's two traces bounce between each other every iteration.
+        assert!(net.region_transitions > 10_000);
+    }
+
+    #[test]
+    fn bounded_cache_flushes_and_recovers() {
+        let cfg = SimConfig { cache_capacity: Some(60), ..SimConfig::default() };
+        let mut s = ScenarioBuilder::new(1);
+        interproc_loop(&mut s);
+        let (p, spec) = s.build().unwrap();
+        let mut sim = Simulator::new(&p, SelectorKind::Net.make(&p, &cfg), &cfg);
+        sim.run(Executor::new(&p, spec));
+        let rep = sim.report();
+        assert!(rep.cache_flushes > 0, "tiny capacity forces flushes");
+        // Regions regenerate after each flush, so more are selected
+        // than under an unbounded cache.
+        let unbounded = run_kind(SelectorKind::Net, interproc_loop, 1, &SimConfig::default());
+        assert_eq!(unbounded.cache_flushes, 0);
+        assert!(rep.region_count() > unbounded.region_count());
+        // Even while thrashing, the cache serves a nontrivial share of
+        // execution between flushes.
+        assert!(rep.hit_rate() > 0.3, "hit {:.3}", rep.hit_rate());
+        // Live cache respects the capacity.
+        assert!(sim.cache().size_estimate(cfg.stub_bytes) <= 60);
+    }
+
+    /// Indirect dispatch loop: head, indirect switch over two handlers,
+    /// latch back to head.
+    fn dispatch_loop(s: &mut ScenarioBuilder) {
+        let f = s.function("main", 0x1000);
+        let head = s.block(f, 1);
+        let sw = s.block(f, 1);
+        let h1 = s.block(f, 2);
+        let h2 = s.block(f, 2);
+        let latch = s.block(f, 1);
+        let out = s.block(f, 0);
+        let _ = head;
+        s.indirect_jump_weighted(sw, vec![(h1, 9), (h2, 1)]);
+        s.jump(h1, latch);
+        s.jump(h2, latch);
+        s.branch_trips(latch, head, 60_000);
+        s.ret(out);
+    }
+
+    #[test]
+    fn indirect_targets_match_and_mispredict_in_cache() {
+        let cfg = SimConfig::default();
+        let r = run_kind(SelectorKind::Net, dispatch_loop, 5, &cfg);
+        // The hot handler's path is cached and runs from the cache; the
+        // cold handler's indirect target mispredicts the embedded edge
+        // and exits, so the cache still serves most execution.
+        assert!(r.hit_rate() > 0.9, "hit {:.3}", r.hit_rate());
+        assert!(r.region_count() >= 1);
+        // Roughly 10% of iterations take the cold handler: they leave
+        // the region (as a transition or an interpreter exit).
+        assert!(r.region_transitions > 0 || r.interpreted_taken > 5_000);
+    }
+
+    #[test]
+    fn page_crossings_never_exceed_transitions() {
+        let cfg = SimConfig::default();
+        for kind in SelectorKind::all() {
+            let r = run_kind(kind, interproc_loop, 1, &cfg);
+            assert!(r.transition_page_crossings <= r.region_transitions, "{kind}");
+            if r.region_transitions > 0 {
+                assert!(r.mean_transition_distance() >= 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn extended_selectors_run_the_interproc_loop() {
+        let cfg = SimConfig::default();
+        for kind in SelectorKind::extended() {
+            let r = run_kind(kind, interproc_loop, 1, &cfg);
+            assert!(r.cache_insts <= r.total_insts, "{kind}");
+            // Every algorithm eventually caches this scorching loop.
+            assert!(r.region_count() >= 1, "{kind} selected nothing");
+            assert!(r.hit_rate() > 0.5, "{kind} hit {:.3}", r.hit_rate());
+        }
+    }
+
+    #[test]
+    fn report_region_order_matches_cache() {
+        let cfg = SimConfig::default();
+        let mut s = ScenarioBuilder::new(1);
+        interproc_loop(&mut s);
+        let (p, spec) = s.build().unwrap();
+        let mut sim = Simulator::new(&p, SelectorKind::Net.make(&p, &cfg), &cfg);
+        sim.run(Executor::new(&p, spec));
+        let rep = sim.report();
+        for (i, (r, c)) in rep.regions.iter().zip(sim.cache().regions()).enumerate() {
+            assert_eq!(r.entry, c.entry(), "region {i}");
+        }
+    }
+}

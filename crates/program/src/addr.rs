@@ -1,0 +1,133 @@
+//! Byte addresses in the simulated program's address space.
+
+use std::fmt;
+
+/// A byte address in the simulated program.
+///
+/// Addresses matter to region selection: NET and LEI both classify a taken
+/// branch as *backward* when its target address is less than or equal to
+/// its source address, and the paper's Figure 2 relies on functions being
+/// laid out at lower or higher addresses than their callers.
+///
+/// ```
+/// use rsel_program::Addr;
+/// let a = Addr::new(0x1000);
+/// assert!(a < a + 4);
+/// assert_eq!((a + 4) - a, 4);
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Addr(u64);
+
+impl Addr {
+    /// The null address; never occupied by an instruction.
+    pub const NULL: Addr = Addr(0);
+
+    /// Creates an address from a raw byte offset.
+    pub const fn new(raw: u64) -> Self {
+        Addr(raw)
+    }
+
+    /// Returns the raw byte offset.
+    pub const fn raw(self) -> u64 {
+        self.0
+    }
+
+    /// Returns `true` if a taken branch from `src` to `self` is a
+    /// *backward* branch in the sense used by NET and LEI
+    /// (`target <= source`).
+    pub fn is_backward_from(self, src: Addr) -> bool {
+        self <= src
+    }
+
+    /// Returns the address advanced by `bytes`.
+    #[must_use]
+    pub fn offset(self, bytes: u64) -> Addr {
+        Addr(self.0 + bytes)
+    }
+}
+
+impl fmt::Debug for Addr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Addr({:#x})", self.0)
+    }
+}
+
+impl fmt::Display for Addr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:#x}", self.0)
+    }
+}
+
+impl fmt::LowerHex for Addr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::LowerHex::fmt(&self.0, f)
+    }
+}
+
+impl From<u64> for Addr {
+    fn from(raw: u64) -> Self {
+        Addr(raw)
+    }
+}
+
+impl From<Addr> for u64 {
+    fn from(a: Addr) -> Self {
+        a.0
+    }
+}
+
+impl std::ops::Add<u64> for Addr {
+    type Output = Addr;
+    fn add(self, rhs: u64) -> Addr {
+        Addr(self.0 + rhs)
+    }
+}
+
+impl std::ops::Sub<Addr> for Addr {
+    type Output = u64;
+    fn sub(self, rhs: Addr) -> u64 {
+        self.0 - rhs.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ordering_and_arithmetic() {
+        let a = Addr::new(0x100);
+        let b = a + 0x10;
+        assert!(a < b);
+        assert_eq!(b - a, 0x10);
+        assert_eq!(a.offset(0x10), b);
+    }
+
+    #[test]
+    fn backwardness_matches_paper_definition() {
+        let src = Addr::new(0x200);
+        assert!(Addr::new(0x100).is_backward_from(src));
+        assert!(Addr::new(0x200).is_backward_from(src), "self-branch is backward");
+        assert!(!Addr::new(0x201).is_backward_from(src));
+    }
+
+    #[test]
+    fn conversions_round_trip() {
+        let a = Addr::from(42u64);
+        assert_eq!(u64::from(a), 42);
+        assert_eq!(a.raw(), 42);
+    }
+
+    #[test]
+    fn display_is_hex() {
+        assert_eq!(Addr::new(0x1a2b).to_string(), "0x1a2b");
+        assert_eq!(format!("{:x}", Addr::new(255)), "ff");
+    }
+
+    #[test]
+    fn null_is_zero_and_minimal() {
+        assert_eq!(Addr::NULL.raw(), 0);
+        assert!(Addr::NULL <= Addr::new(1));
+        assert_eq!(Addr::default(), Addr::NULL);
+    }
+}

@@ -1,0 +1,203 @@
+//! Dynamic branch behaviour specifications.
+//!
+//! A [`BehaviorSpec`] describes, per branch-instruction address, how the
+//! branch behaves when executed: its bias, its loop trip count, or an
+//! explicit outcome pattern. Together with a
+//! [`Program`](crate::Program), a spec fully determines (given a seed)
+//! the dynamic execution the [`Executor`](crate::Executor) produces.
+//!
+//! The vocabulary maps onto the control-flow phenomena the paper
+//! studies: biased vs. *unbiased* branches (§2.2 "Unbiased branches"),
+//! loop trip counts (nested-loop duplication, §2.2 "Nested loops"), and
+//! phase changes (§4.3.1 cites Sherwood et al. on phase behaviour).
+
+use crate::addr::Addr;
+use std::collections::HashMap;
+
+/// Behaviour of one conditional branch.
+#[derive(Clone, Debug, PartialEq)]
+pub enum CondBehavior {
+    /// Always taken.
+    Taken,
+    /// Never taken.
+    NotTaken,
+    /// Taken with probability `p` (independently each execution).
+    Bernoulli(f64),
+    /// Loop back-edge executed as a counted loop: taken `n - 1` times,
+    /// then not taken once, repeating. `Trips(1)` and `Trips(0)` are
+    /// never taken.
+    Trips(u32),
+    /// Explicit cyclic outcome pattern (`true` = taken).
+    Pattern(Vec<bool>),
+    /// Phased behaviour: each `(executions, behaviour)` pair runs for
+    /// that many executions, then moves on; the last phase persists.
+    Phased(Vec<(u64, CondBehavior)>),
+}
+
+/// Behaviour of one indirect jump or indirect call.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum IndirectBehavior {
+    /// Targets chosen with the given relative integer weights.
+    Weighted(Vec<(Addr, u32)>),
+    /// Targets visited cyclically in order.
+    RoundRobin(Vec<Addr>),
+}
+
+/// Per-branch dynamic behaviour for a whole program.
+///
+/// Conditional branches with no entry default to an unbiased coin
+/// (`Bernoulli(0.5)`). Indirect branches *must* be given targets; the
+/// executor panics otherwise, because no sensible default exists.
+#[derive(Clone, Debug)]
+pub struct BehaviorSpec {
+    seed: u64,
+    cond: HashMap<Addr, CondBehavior>,
+    indirect: HashMap<Addr, IndirectBehavior>,
+}
+
+impl BehaviorSpec {
+    /// Creates a spec with the given RNG seed.
+    pub fn new(seed: u64) -> Self {
+        BehaviorSpec { seed, cond: HashMap::new(), indirect: HashMap::new() }
+    }
+
+    /// The RNG seed.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Sets an explicit behaviour for the conditional branch at `addr`.
+    pub fn set_cond(&mut self, addr: Addr, behavior: CondBehavior) -> &mut Self {
+        self.cond.insert(addr, behavior);
+        self
+    }
+
+    /// Marks the branch at `addr` always taken.
+    pub fn always(&mut self, addr: Addr) -> &mut Self {
+        self.set_cond(addr, CondBehavior::Taken)
+    }
+
+    /// Marks the branch at `addr` never taken.
+    pub fn never(&mut self, addr: Addr) -> &mut Self {
+        self.set_cond(addr, CondBehavior::NotTaken)
+    }
+
+    /// Marks the branch at `addr` taken with probability `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is not within `0.0..=1.0`.
+    pub fn bernoulli(&mut self, addr: Addr, p: f64) -> &mut Self {
+        assert!((0.0..=1.0).contains(&p), "probability out of range: {p}");
+        self.set_cond(addr, CondBehavior::Bernoulli(p))
+    }
+
+    /// Treats the branch at `addr` as the back edge of a counted loop
+    /// with `trips` iterations per entry.
+    pub fn loop_trips(&mut self, addr: Addr, trips: u32) -> &mut Self {
+        self.set_cond(addr, CondBehavior::Trips(trips))
+    }
+
+    /// Gives the branch at `addr` an explicit cyclic outcome pattern.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pattern` is empty.
+    pub fn pattern(&mut self, addr: Addr, pattern: Vec<bool>) -> &mut Self {
+        assert!(!pattern.is_empty(), "pattern must be non-empty");
+        self.set_cond(addr, CondBehavior::Pattern(pattern))
+    }
+
+    /// Sets weighted targets for the indirect branch at `addr`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `targets` is empty or all weights are zero.
+    pub fn indirect_weighted(&mut self, addr: Addr, targets: Vec<(Addr, u32)>) -> &mut Self {
+        assert!(!targets.is_empty(), "indirect branch needs targets");
+        assert!(targets.iter().any(|(_, w)| *w > 0), "all weights are zero");
+        self.indirect.insert(addr, IndirectBehavior::Weighted(targets));
+        self
+    }
+
+    /// Sets round-robin targets for the indirect branch at `addr`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `targets` is empty.
+    pub fn indirect_round_robin(&mut self, addr: Addr, targets: Vec<Addr>) -> &mut Self {
+        assert!(!targets.is_empty(), "indirect branch needs targets");
+        self.indirect.insert(addr, IndirectBehavior::RoundRobin(targets));
+        self
+    }
+
+    /// The behaviour configured for the conditional branch at `addr`, if
+    /// any (the executor substitutes an unbiased coin otherwise).
+    pub fn cond(&self, addr: Addr) -> Option<&CondBehavior> {
+        self.cond.get(&addr)
+    }
+
+    /// The behaviour configured for the indirect branch at `addr`.
+    pub fn indirect(&self, addr: Addr) -> Option<&IndirectBehavior> {
+        self.indirect.get(&addr)
+    }
+
+    /// Number of branches with explicit behaviours (diagnostics).
+    pub fn len(&self) -> usize {
+        self.cond.len() + self.indirect.len()
+    }
+
+    /// Whether no behaviours have been configured.
+    pub fn is_empty(&self) -> bool {
+        self.cond.is_empty() && self.indirect.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn setters_store_behaviours() {
+        let mut s = BehaviorSpec::new(1);
+        let a = Addr::new(0x10);
+        s.loop_trips(a, 8);
+        assert_eq!(s.cond(a), Some(&CondBehavior::Trips(8)));
+        s.set_cond(a, CondBehavior::Taken);
+        assert_eq!(s.cond(a), Some(&CondBehavior::Taken));
+        assert_eq!(s.len(), 1);
+        assert!(!s.is_empty());
+    }
+
+    #[test]
+    fn empty_spec() {
+        let s = BehaviorSpec::new(0);
+        assert!(s.is_empty());
+        assert_eq!(s.cond(Addr::new(1)), None);
+        assert_eq!(s.indirect(Addr::new(1)), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "probability")]
+    fn bernoulli_range_checked() {
+        BehaviorSpec::new(0).bernoulli(Addr::new(1), 1.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn empty_pattern_rejected() {
+        BehaviorSpec::new(0).pattern(Addr::new(1), vec![]);
+    }
+
+    #[test]
+    #[should_panic(expected = "targets")]
+    fn empty_indirect_rejected() {
+        BehaviorSpec::new(0).indirect_weighted(Addr::new(1), vec![]);
+    }
+
+    #[test]
+    #[should_panic(expected = "weights")]
+    fn zero_weights_rejected() {
+        BehaviorSpec::new(0).indirect_weighted(Addr::new(1), vec![(Addr::new(2), 0)]);
+    }
+}

@@ -1,0 +1,172 @@
+//! Basic blocks of the simulated program.
+
+use crate::addr::Addr;
+use crate::inst::{InstKind, Instruction};
+use std::fmt;
+
+/// Identifier of a basic block within a [`Program`](crate::Program).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct BlockId(pub(crate) u32);
+
+impl BlockId {
+    /// The raw index of this block in the program's block table.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for BlockId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "B{}", self.0)
+    }
+}
+
+/// A maximal single-entry straight-line sequence of instructions.
+///
+/// Only the final instruction of a block may transfer control; this is
+/// the granularity at which Pin reports execution to the paper's
+/// simulation framework, and the granularity at which regions are built.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct BasicBlock {
+    id: BlockId,
+    instructions: Vec<Instruction>,
+}
+
+impl BasicBlock {
+    pub(crate) fn new(id: BlockId, instructions: Vec<Instruction>) -> Self {
+        debug_assert!(!instructions.is_empty(), "blocks are non-empty");
+        debug_assert!(
+            instructions[..instructions.len() - 1]
+                .iter()
+                .all(|i| !i.kind().is_branch()),
+            "only the terminator may branch"
+        );
+        BasicBlock { id, instructions }
+    }
+
+    /// This block's identifier.
+    pub fn id(&self) -> BlockId {
+        self.id
+    }
+
+    /// The address of the first instruction.
+    pub fn start(&self) -> Addr {
+        self.instructions[0].addr()
+    }
+
+    /// The instructions of the block, in address order.
+    pub fn instructions(&self) -> &[Instruction] {
+        &self.instructions
+    }
+
+    /// Number of instructions in the block.
+    pub fn len(&self) -> usize {
+        self.instructions.len()
+    }
+
+    /// Whether the block is empty (never true for validated programs).
+    pub fn is_empty(&self) -> bool {
+        self.instructions.is_empty()
+    }
+
+    /// Total byte size of the block.
+    pub fn byte_size(&self) -> u64 {
+        self.instructions.iter().map(|i| u64::from(i.size())).sum()
+    }
+
+    /// The final (and only possibly-branching) instruction.
+    pub fn terminator(&self) -> &Instruction {
+        self.instructions.last().expect("blocks are non-empty")
+    }
+
+    /// Address of the terminator; this is the `src` of any taken branch
+    /// leaving this block.
+    pub fn branch_addr(&self) -> Option<Addr> {
+        let t = self.terminator();
+        t.kind().is_branch().then(|| t.addr())
+    }
+
+    /// Address immediately after the block (fall-through successor).
+    pub fn fallthrough_addr(&self) -> Addr {
+        self.terminator().fallthrough_addr()
+    }
+
+    /// Whether execution can fall through past this block.
+    pub fn can_fall_through(&self) -> bool {
+        !self.terminator().kind().is_unconditional_transfer()
+    }
+
+    /// The statically-known taken target of the terminator, if any.
+    pub fn taken_target(&self) -> Option<Addr> {
+        self.terminator().kind().static_target()
+    }
+
+    /// The control-flow kind of the terminator.
+    pub fn terminator_kind(&self) -> InstKind {
+        self.terminator().kind()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn block() -> BasicBlock {
+        BasicBlock::new(
+            BlockId(3),
+            vec![
+                Instruction::new(Addr::new(0x10), 4, InstKind::Straight),
+                Instruction::new(Addr::new(0x14), 3, InstKind::Straight),
+                Instruction::new(
+                    Addr::new(0x17),
+                    2,
+                    InstKind::CondBranch { target: Addr::new(0x40) },
+                ),
+            ],
+        )
+    }
+
+    #[test]
+    fn geometry() {
+        let b = block();
+        assert_eq!(b.start(), Addr::new(0x10));
+        assert_eq!(b.len(), 3);
+        assert!(!b.is_empty());
+        assert_eq!(b.byte_size(), 9);
+        assert_eq!(b.fallthrough_addr(), Addr::new(0x19));
+        assert_eq!(b.id().index(), 3);
+        assert_eq!(b.id().to_string(), "B3");
+    }
+
+    #[test]
+    fn terminator_queries() {
+        let b = block();
+        assert_eq!(b.branch_addr(), Some(Addr::new(0x17)));
+        assert!(b.can_fall_through());
+        assert_eq!(b.taken_target(), Some(Addr::new(0x40)));
+    }
+
+    #[test]
+    fn straight_block_has_no_branch_addr() {
+        let b = BasicBlock::new(
+            BlockId(0),
+            vec![Instruction::new(Addr::new(0x10), 4, InstKind::Straight)],
+        );
+        assert_eq!(b.branch_addr(), None);
+        assert!(b.can_fall_through());
+    }
+
+    #[test]
+    fn jump_block_cannot_fall_through() {
+        let b = BasicBlock::new(
+            BlockId(0),
+            vec![Instruction::new(
+                Addr::new(0x10),
+                2,
+                InstKind::Jump { target: Addr::new(0x80) },
+            )],
+        );
+        assert!(!b.can_fall_through());
+        assert_eq!(b.taken_target(), Some(Addr::new(0x80)));
+    }
+}

@@ -1,0 +1,397 @@
+//! Incremental construction of [`Program`]s.
+
+use crate::addr::Addr;
+use crate::block::{BasicBlock, BlockId};
+use crate::error::BuildError;
+use crate::function::{Function, FunctionId};
+use crate::inst::{InstKind, Instruction};
+use crate::program::Program;
+
+/// Byte size assigned to branch instructions.
+const BRANCH_SIZE: u8 = 2;
+/// Byte sizes cycled through for straight-line instructions, giving the
+/// 3–4 byte average the paper reports for selected instructions (§4.3.4).
+const STRAIGHT_SIZES: [u8; 2] = [4, 3];
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Term {
+    /// Fall through to the next block laid out.
+    Fallthrough,
+    CondBranch(BlockId),
+    Jump(BlockId),
+    IndirectJump,
+    Call(FunctionId),
+    IndirectCall,
+    Ret,
+}
+
+#[derive(Debug)]
+struct BlockDraft {
+    function: FunctionId,
+    straight: u32,
+    term: Term,
+    term_set: bool,
+}
+
+#[derive(Debug)]
+struct FunctionDraft {
+    name: String,
+    base: Addr,
+    blocks: Vec<BlockId>,
+}
+
+/// Builder for [`Program`]s.
+///
+/// Functions are placed at explicit base addresses (or immediately after
+/// the previous function with [`ProgramBuilder::function_auto`]); blocks
+/// within a function are laid out contiguously in creation order. A block
+/// without an explicit terminator falls through to the next block created
+/// in the same function.
+///
+/// # Example
+///
+/// ```
+/// use rsel_program::ProgramBuilder;
+///
+/// let mut b = ProgramBuilder::new();
+/// let f = b.function("f", 0x1000);
+/// let hot = b.block(f);
+/// let exit = b.block_with(f, 0);
+/// b.cond_branch(hot, hot); // self-loop while taken
+/// b.ret(exit);
+/// let program = b.build()?;
+/// assert_eq!(program.entry(), 0x1000.into());
+/// # Ok::<(), rsel_program::BuildError>(())
+/// ```
+#[derive(Debug, Default)]
+pub struct ProgramBuilder {
+    functions: Vec<FunctionDraft>,
+    blocks: Vec<BlockDraft>,
+    next_auto: u64,
+    entry: Option<FunctionId>,
+}
+
+impl ProgramBuilder {
+    /// Creates an empty builder.
+    pub fn new() -> Self {
+        ProgramBuilder {
+            functions: Vec::new(),
+            blocks: Vec::new(),
+            next_auto: 0x1000,
+            entry: None,
+        }
+    }
+
+    /// Makes `f` the program entry point (default: the first function
+    /// declared).
+    pub fn set_entry(&mut self, f: FunctionId) {
+        self.entry = Some(f);
+    }
+
+    /// Declares a function named `name` with its entry at `base`.
+    ///
+    /// The first function declared provides the program entry point.
+    pub fn function(&mut self, name: &str, base: u64) -> FunctionId {
+        let id = FunctionId(self.functions.len() as u32);
+        self.functions.push(FunctionDraft {
+            name: name.to_string(),
+            base: Addr::new(base),
+            blocks: Vec::new(),
+        });
+        self.next_auto = self.next_auto.max(base);
+        id
+    }
+
+    /// Declares a function placed after everything declared so far, with
+    /// `gap` padding bytes before its entry.
+    pub fn function_auto(&mut self, name: &str, gap: u64) -> FunctionId {
+        // Upper bound on bytes already laid out: every instruction is at
+        // most 4 bytes.
+        let laid: u64 = self
+            .blocks
+            .iter()
+            .map(|b| u64::from(b.straight) * 4 + u64::from(BRANCH_SIZE))
+            .sum();
+        let base = self.next_auto + laid + gap;
+        self.function(name, base)
+    }
+
+    /// Adds a block with one straight-line instruction to `f`.
+    pub fn block(&mut self, f: FunctionId) -> BlockId {
+        self.block_with(f, 1)
+    }
+
+    /// Adds a block with `straight` straight-line instructions to `f`.
+    ///
+    /// A terminator may be attached later with one of the terminator
+    /// methods; otherwise the block falls through. A block with zero
+    /// straight instructions must receive a branching terminator.
+    pub fn block_with(&mut self, f: FunctionId, straight: u32) -> BlockId {
+        let id = BlockId(self.blocks.len() as u32);
+        self.blocks.push(BlockDraft {
+            function: f,
+            straight,
+            term: Term::Fallthrough,
+            term_set: false,
+        });
+        self.functions[f.index()].blocks.push(id);
+        id
+    }
+
+    fn set_term(&mut self, b: BlockId, term: Term) {
+        let d = &mut self.blocks[b.index()];
+        assert!(!d.term_set, "terminator of {b} set twice");
+        d.term = term;
+        d.term_set = true;
+    }
+
+    /// Marks `b` as falling through to the next block (the default).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `b` already has a terminator.
+    pub fn fallthrough(&mut self, b: BlockId, _next: BlockId) {
+        self.set_term(b, Term::Fallthrough);
+    }
+
+    /// Ends `b` with a conditional branch to `target` (falls through when
+    /// not taken).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `b` already has a terminator.
+    pub fn cond_branch(&mut self, b: BlockId, target: BlockId) {
+        self.set_term(b, Term::CondBranch(target));
+    }
+
+    /// Ends `b` with an unconditional jump to `target`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `b` already has a terminator.
+    pub fn jump(&mut self, b: BlockId, target: BlockId) {
+        self.set_term(b, Term::Jump(target));
+    }
+
+    /// Ends `b` with an indirect jump (targets supplied by behaviour).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `b` already has a terminator.
+    pub fn indirect_jump(&mut self, b: BlockId) {
+        self.set_term(b, Term::IndirectJump);
+    }
+
+    /// Ends `b` with a direct call to function `callee`; execution
+    /// resumes at `b`'s fall-through address when the callee returns.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `b` already has a terminator.
+    pub fn call(&mut self, b: BlockId, callee: FunctionId) {
+        self.set_term(b, Term::Call(callee));
+    }
+
+    /// Ends `b` with an indirect call (callee supplied by behaviour).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `b` already has a terminator.
+    pub fn indirect_call(&mut self, b: BlockId) {
+        self.set_term(b, Term::IndirectCall);
+    }
+
+    /// Ends `b` with a return.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `b` already has a terminator.
+    pub fn ret(&mut self, b: BlockId) {
+        self.set_term(b, Term::Ret);
+    }
+
+    /// Lays out all functions and blocks, resolves branch targets, and
+    /// validates the program.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`BuildError`] if instructions overlap, a branch targets
+    /// a non-block address, a fall-through dangles, or the program or a
+    /// function is empty.
+    pub fn build(self) -> Result<Program, BuildError> {
+        // Pass 1: assign addresses to every block.
+        let mut starts = vec![Addr::NULL; self.blocks.len()];
+        let mut term_addrs = vec![Addr::NULL; self.blocks.len()];
+        for f in &self.functions {
+            let mut cursor = f.base;
+            for &bid in &f.blocks {
+                let d = &self.blocks[bid.index()];
+                starts[bid.index()] = cursor;
+                for k in 0..d.straight {
+                    cursor = cursor + u64::from(STRAIGHT_SIZES[k as usize % 2]);
+                }
+                term_addrs[bid.index()] = cursor;
+                let has_branch = d.term_set && d.term != Term::Fallthrough;
+                if has_branch {
+                    cursor = cursor + u64::from(BRANCH_SIZE);
+                }
+            }
+        }
+        // Pass 2: materialize instructions with resolved targets.
+        let mut blocks = Vec::with_capacity(self.blocks.len());
+        for (idx, d) in self.blocks.iter().enumerate() {
+            let bid = BlockId(idx as u32);
+            let mut instrs = Vec::with_capacity(d.straight as usize + 1);
+            let mut cursor = starts[idx];
+            for k in 0..d.straight {
+                let size = STRAIGHT_SIZES[k as usize % 2];
+                instrs.push(Instruction::new(cursor, size, InstKind::Straight));
+                cursor = cursor + u64::from(size);
+            }
+            let term_kind = match d.term {
+                Term::Fallthrough => None,
+                Term::CondBranch(t) => {
+                    Some(InstKind::CondBranch { target: starts[t.index()] })
+                }
+                Term::Jump(t) => Some(InstKind::Jump { target: starts[t.index()] }),
+                Term::IndirectJump => Some(InstKind::IndirectJump),
+                Term::Call(callee) => {
+                    let entry = self.functions[callee.index()]
+                        .blocks
+                        .first()
+                        .map(|b| starts[b.index()])
+                        .unwrap_or(Addr::NULL);
+                    Some(InstKind::Call { target: entry })
+                }
+                Term::IndirectCall => Some(InstKind::IndirectCall),
+                Term::Ret => Some(InstKind::Ret),
+            };
+            if let Some(kind) = term_kind {
+                instrs.push(Instruction::new(cursor, BRANCH_SIZE, kind));
+            }
+            if instrs.is_empty() {
+                return Err(BuildError::EmptyFunction {
+                    name: self.functions[d.function.index()].name.clone(),
+                });
+            }
+            blocks.push(BasicBlock::new(bid, instrs));
+        }
+        let functions: Vec<Function> = self
+            .functions
+            .iter()
+            .enumerate()
+            .map(|(i, f)| {
+                Function::new(
+                    FunctionId(i as u32),
+                    f.name.clone(),
+                    f.base,
+                    f.blocks.clone(),
+                )
+            })
+            .collect();
+        let entry = self
+            .entry
+            .map(|f| self.functions[f.index()].base)
+            .or_else(|| self.functions.first().map(|f| f.base))
+            .unwrap_or(Addr::NULL);
+        Program::validated(blocks, functions, entry)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn simple_loop_builds() {
+        let mut b = ProgramBuilder::new();
+        let f = b.function("main", 0x100);
+        let head = b.block(f);
+        let exit = b.block_with(f, 0);
+        b.cond_branch(head, head);
+        b.ret(exit);
+        let p = b.build().unwrap();
+        assert_eq!(p.blocks().len(), 2);
+        let h = p.block(head);
+        assert_eq!(h.start(), Addr::new(0x100));
+        assert_eq!(h.taken_target(), Some(Addr::new(0x100)));
+        assert_eq!(h.len(), 2); // straight + branch
+    }
+
+    #[test]
+    fn dangling_fallthrough_rejected() {
+        let mut b = ProgramBuilder::new();
+        let f = b.function("main", 0x100);
+        let only = b.block(f); // straight block with nothing after
+        let _ = only;
+        assert!(matches!(
+            b.build(),
+            Err(BuildError::DanglingFallthrough { .. })
+        ));
+    }
+
+    #[test]
+    fn empty_program_rejected() {
+        assert_eq!(ProgramBuilder::new().build().unwrap_err(), BuildError::Empty);
+    }
+
+    #[test]
+    fn empty_function_rejected() {
+        let mut b = ProgramBuilder::new();
+        let _f = b.function("main", 0x100);
+        assert!(matches!(b.build(), Err(BuildError::EmptyFunction { .. })));
+    }
+
+    #[test]
+    fn call_resolves_to_function_entry() {
+        let mut b = ProgramBuilder::new();
+        let main = b.function("main", 0x1000);
+        let callee = b.function("callee", 0x100); // lower address: backward call
+        let c0 = b.block(main);
+        let c1 = b.block_with(main, 0);
+        b.call(c0, callee);
+        b.ret(c1);
+        let e0 = b.block_with(callee, 0);
+        b.ret(e0);
+        let p = b.build().unwrap();
+        let call_block = p.block(c0);
+        assert_eq!(call_block.taken_target(), Some(Addr::new(0x100)));
+        // The call is a backward branch (target below source).
+        let src = call_block.branch_addr().unwrap();
+        assert!(Addr::new(0x100).is_backward_from(src));
+    }
+
+    #[test]
+    #[should_panic(expected = "set twice")]
+    fn double_terminator_panics() {
+        let mut b = ProgramBuilder::new();
+        let f = b.function("main", 0x100);
+        let bb = b.block(f);
+        b.ret(bb);
+        b.ret(bb);
+    }
+
+    #[test]
+    fn function_auto_places_after_previous() {
+        let mut b = ProgramBuilder::new();
+        let f0 = b.function("a", 0x100);
+        let a0 = b.block_with(f0, 3);
+        b.ret(a0);
+        let f1 = b.function_auto("b", 64);
+        let b0 = b.block_with(f1, 0);
+        b.ret(b0);
+        let p = b.build().unwrap();
+        assert!(p.functions()[1].entry() > p.functions()[0].entry());
+    }
+
+    #[test]
+    fn straight_sizes_alternate() {
+        let mut b = ProgramBuilder::new();
+        let f = b.function("main", 0x100);
+        let bb = b.block_with(f, 3);
+        b.ret(bb);
+        let p = b.build().unwrap();
+        let sizes: Vec<u8> = p.block(bb).instructions().iter().map(|i| i.size()).collect();
+        assert_eq!(sizes, vec![4, 3, 4, BRANCH_SIZE]);
+    }
+}

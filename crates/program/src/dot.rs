@@ -1,0 +1,154 @@
+//! Graphviz (DOT) rendering of program control-flow graphs.
+//!
+//! Handy when designing workloads or debugging selection: render the
+//! static CFG with `dot -Tsvg`, with functions as clusters and edge
+//! styles distinguishing fall-through, conditional, call and return
+//! flow.
+
+use crate::addr::Addr;
+use crate::inst::InstKind;
+use crate::program::Program;
+use std::fmt::Write as _;
+
+/// Renders the whole program as a DOT digraph.
+///
+/// Every basic block is a node (labelled with its address and
+/// instruction count); functions become subgraph clusters. Conditional
+/// taken edges are solid, fall-through edges dashed, calls dotted with
+/// an open arrowhead, and the (static) return edge is omitted — returns
+/// are dynamic.
+pub fn program_to_dot(program: &Program) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "digraph program {{");
+    let _ = writeln!(out, "  node [shape=box, fontname=\"monospace\"];");
+    for f in program.functions() {
+        let _ = writeln!(out, "  subgraph cluster_{} {{", f.id().index());
+        let _ = writeln!(out, "    label=\"{}\";", escape(f.name()));
+        for &bid in f.blocks() {
+            let b = program.block(bid);
+            let _ = writeln!(
+                out,
+                "    {} [label=\"{}\\n{} insts\"];",
+                node(b.start()),
+                b.start(),
+                b.len()
+            );
+        }
+        let _ = writeln!(out, "  }}");
+    }
+    for b in program.blocks() {
+        let from = node(b.start());
+        match b.terminator_kind() {
+            InstKind::Straight => {
+                if program.block_at(b.fallthrough_addr()).is_some() {
+                    let _ = writeln!(
+                        out,
+                        "  {from} -> {} [style=dashed];",
+                        node(b.fallthrough_addr())
+                    );
+                }
+            }
+            InstKind::CondBranch { target } => {
+                let _ = writeln!(out, "  {from} -> {};", node(target));
+                if program.block_at(b.fallthrough_addr()).is_some() {
+                    let _ = writeln!(
+                        out,
+                        "  {from} -> {} [style=dashed];",
+                        node(b.fallthrough_addr())
+                    );
+                }
+            }
+            InstKind::Jump { target } => {
+                let _ = writeln!(out, "  {from} -> {} [color=blue];", node(target));
+            }
+            InstKind::Call { target } => {
+                let _ = writeln!(
+                    out,
+                    "  {from} -> {} [style=dotted, arrowhead=open];",
+                    node(target)
+                );
+            }
+            InstKind::IndirectJump | InstKind::IndirectCall => {
+                let _ = writeln!(
+                    out,
+                    "  {from} -> indirect_{} [style=dotted, color=gray];",
+                    b.start().raw()
+                );
+                let _ = writeln!(
+                    out,
+                    "  indirect_{} [label=\"*\", shape=circle, color=gray];",
+                    b.start().raw()
+                );
+            }
+            InstKind::Ret => {}
+        }
+    }
+    let _ = writeln!(out, "}}");
+    out
+}
+
+fn node(a: Addr) -> String {
+    format!("b{:x}", a.raw())
+}
+
+fn escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::ProgramBuilder;
+
+    fn program() -> Program {
+        let mut b = ProgramBuilder::new();
+        let main = b.function("main", 0x1000);
+        let callee = b.function("leaf\"x\"", 0x100);
+        let m0 = b.block(main);
+        let m1 = b.block(main);
+        let m2 = b.block_with(main, 0);
+        b.call(m0, callee);
+        b.cond_branch(m1, m0);
+        b.ret(m2);
+        let c0 = b.block(callee);
+        b.ret(c0);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn renders_clusters_nodes_and_edges() {
+        let p = program();
+        let dot = program_to_dot(&p);
+        assert!(dot.starts_with("digraph program {"));
+        assert!(dot.trim_end().ends_with('}'));
+        assert!(dot.contains("subgraph cluster_0"));
+        assert!(dot.contains("label=\"main\""));
+        // Call edge is dotted with an open arrowhead.
+        assert!(dot.contains("style=dotted, arrowhead=open"));
+        // The conditional's fall-through edge is dashed.
+        assert!(dot.contains("style=dashed"));
+        // One node per block.
+        for b in p.blocks() {
+            assert!(dot.contains(&format!("b{:x} [label=", b.start().raw())));
+        }
+    }
+
+    #[test]
+    fn quotes_in_names_are_escaped() {
+        let dot = program_to_dot(&program());
+        assert!(dot.contains("label=\"leaf\\\"x\\\"\""));
+    }
+
+    #[test]
+    fn indirect_branches_get_a_star_node() {
+        let mut b = ProgramBuilder::new();
+        let f = b.function("main", 0x100);
+        let sw = b.block(f);
+        let t = b.block_with(f, 0);
+        b.indirect_jump(sw);
+        b.ret(t);
+        let p = b.build().unwrap();
+        let dot = program_to_dot(&p);
+        assert!(dot.contains("shape=circle"));
+    }
+}

@@ -1,0 +1,125 @@
+//! Events emitted by the execution engine.
+
+use crate::addr::Addr;
+use crate::block::BlockId;
+use std::fmt;
+
+/// The kind of taken control transfer that entered a block.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum BranchKind {
+    /// A conditional branch that was taken.
+    Cond,
+    /// An unconditional direct jump.
+    Jump,
+    /// An indirect jump.
+    IndirectJump,
+    /// A direct call.
+    Call,
+    /// An indirect call.
+    IndirectCall,
+    /// A return.
+    Ret,
+}
+
+impl BranchKind {
+    /// Returns `true` when the dynamic target of this transfer is not
+    /// statically encoded in the instruction.
+    pub fn is_indirect(self) -> bool {
+        matches!(
+            self,
+            BranchKind::IndirectJump | BranchKind::IndirectCall | BranchKind::Ret
+        )
+    }
+}
+
+impl fmt::Display for BranchKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            BranchKind::Cond => "cond",
+            BranchKind::Jump => "jump",
+            BranchKind::IndirectJump => "ijump",
+            BranchKind::Call => "call",
+            BranchKind::IndirectCall => "icall",
+            BranchKind::Ret => "ret",
+        };
+        f.write_str(s)
+    }
+}
+
+/// How control arrived at an executed block.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Entry {
+    /// The first block of the run.
+    Start,
+    /// Sequential fall-through from the previous block (including the
+    /// not-taken direction of a conditional branch).
+    Fallthrough,
+    /// A taken branch.
+    Taken {
+        /// Address of the branching instruction.
+        src: Addr,
+        /// The kind of transfer.
+        kind: BranchKind,
+    },
+}
+
+impl Entry {
+    /// Returns the source address if this entry was a taken branch.
+    pub fn taken_src(self) -> Option<Addr> {
+        match self {
+            Entry::Taken { src, .. } => Some(src),
+            _ => None,
+        }
+    }
+
+    /// Returns `true` for [`Entry::Taken`].
+    pub fn is_taken(self) -> bool {
+        matches!(self, Entry::Taken { .. })
+    }
+}
+
+/// One executed basic block, as reported by the execution engine.
+///
+/// This mirrors what the paper's framework receives from Pin: "the
+/// sequence of basic blocks executed by a program" (§2.3), along with
+/// enough information to recognise each taken branch.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct Step {
+    /// The executed block.
+    pub block: BlockId,
+    /// Start address of the executed block (the branch target when
+    /// `entry` is a taken branch).
+    pub start: Addr,
+    /// How control arrived here.
+    pub entry: Entry,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn taken_src_extraction() {
+        let e = Entry::Taken { src: Addr::new(5), kind: BranchKind::Cond };
+        assert_eq!(e.taken_src(), Some(Addr::new(5)));
+        assert!(e.is_taken());
+        assert_eq!(Entry::Fallthrough.taken_src(), None);
+        assert!(!Entry::Start.is_taken());
+    }
+
+    #[test]
+    fn indirectness() {
+        assert!(BranchKind::Ret.is_indirect());
+        assert!(BranchKind::IndirectJump.is_indirect());
+        assert!(BranchKind::IndirectCall.is_indirect());
+        assert!(!BranchKind::Cond.is_indirect());
+        assert!(!BranchKind::Call.is_indirect());
+        assert!(!BranchKind::Jump.is_indirect());
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(BranchKind::Cond.to_string(), "cond");
+        assert_eq!(BranchKind::Ret.to_string(), "ret");
+    }
+}

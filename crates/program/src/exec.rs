@@ -1,0 +1,361 @@
+//! The execution engine: walks a program under a behaviour spec.
+
+use crate::addr::Addr;
+use crate::behavior::{BehaviorSpec, CondBehavior, IndirectBehavior};
+use crate::block::BlockId;
+use crate::event::{BranchKind, Entry, Step};
+use crate::inst::InstKind;
+use crate::program::Program;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use std::collections::HashMap;
+
+/// Key for per-branch mutable state: the branch address plus the phase
+/// index it belongs to (`usize::MAX` for non-phased behaviours).
+type StateKey = (Addr, usize);
+
+/// Deterministic execution engine.
+///
+/// Yields the stream of executed basic blocks ([`Step`]s) that a dynamic
+/// optimization system observes — the stand-in for Pin in the paper's
+/// methodology (§2.3). The walk is fully determined by the program, the
+/// [`BehaviorSpec`] and its seed, so every experiment is reproducible.
+///
+/// Execution ends when the outermost function returns (a `ret` with an
+/// empty call stack). Use [`Iterator::take`] to bound runs on programs
+/// that loop forever.
+///
+/// # Panics
+///
+/// The iterator panics if an indirect jump or call executes without
+/// configured targets, or if the behaviour names a target address that
+/// is not the start of a basic block.
+#[derive(Debug)]
+pub struct Executor<'p> {
+    program: &'p Program,
+    spec: BehaviorSpec,
+    rng: SmallRng,
+    stack: Vec<Addr>,
+    cur: Option<BlockId>,
+    entry: Entry,
+    trips: HashMap<StateKey, u32>,
+    cursors: HashMap<StateKey, usize>,
+    executions: HashMap<Addr, u64>,
+}
+
+impl<'p> Executor<'p> {
+    /// Creates an executor positioned at the program entry.
+    pub fn new(program: &'p Program, spec: BehaviorSpec) -> Self {
+        let rng = SmallRng::seed_from_u64(spec.seed());
+        let cur = program.block_at(program.entry()).map(|b| b.id());
+        Executor {
+            program,
+            spec,
+            rng,
+            stack: Vec::new(),
+            cur,
+            entry: Entry::Start,
+            trips: HashMap::new(),
+            cursors: HashMap::new(),
+            executions: HashMap::new(),
+        }
+    }
+
+    /// The program being executed.
+    pub fn program(&self) -> &'p Program {
+        self.program
+    }
+
+    /// Current call-stack depth (for tests and diagnostics).
+    pub fn stack_depth(&self) -> usize {
+        self.stack.len()
+    }
+
+    fn decide(&mut self, addr: Addr, behavior: &CondBehavior, phase: usize) -> bool {
+        match behavior {
+            CondBehavior::Taken => true,
+            CondBehavior::NotTaken => false,
+            CondBehavior::Bernoulli(p) => self.rng.gen_bool(*p),
+            CondBehavior::Trips(n) => {
+                let c = self.trips.entry((addr, phase)).or_insert(0);
+                if *c + 1 < *n {
+                    *c += 1;
+                    true
+                } else {
+                    *c = 0;
+                    false
+                }
+            }
+            CondBehavior::Pattern(pat) => {
+                let cursor = self.cursors.entry((addr, phase)).or_insert(0);
+                let taken = pat[*cursor % pat.len()];
+                *cursor = (*cursor + 1) % pat.len();
+                taken
+            }
+            CondBehavior::Phased(phases) => {
+                let count = *self.executions.get(&addr).unwrap_or(&0);
+                let mut cumulative = 0u64;
+                let mut chosen = phases.len() - 1;
+                for (i, (len, _)) in phases.iter().enumerate() {
+                    cumulative += len;
+                    if count < cumulative {
+                        chosen = i;
+                        break;
+                    }
+                }
+                let inner = phases[chosen].1.clone();
+                self.decide(addr, &inner, chosen)
+            }
+        }
+    }
+
+    fn cond_taken(&mut self, addr: Addr) -> bool {
+        // Phase selection reads the execution count *before* this
+        // execution, so the count is incremented after deciding.
+        let taken = match self.spec.cond(addr).cloned() {
+            Some(b) => self.decide(addr, &b, usize::MAX),
+            None => self.rng.gen_bool(0.5),
+        };
+        *self.executions.entry(addr).or_insert(0) += 1;
+        taken
+    }
+
+    fn indirect_target(&mut self, addr: Addr) -> Addr {
+        let behavior = self
+            .spec
+            .indirect(addr)
+            .unwrap_or_else(|| panic!("indirect branch at {addr} has no configured targets"))
+            .clone();
+        match behavior {
+            IndirectBehavior::Weighted(targets) => {
+                let total: u64 = targets.iter().map(|(_, w)| u64::from(*w)).sum();
+                let mut x = self.rng.gen_range(0..total);
+                for (t, w) in &targets {
+                    let w = u64::from(*w);
+                    if x < w {
+                        return *t;
+                    }
+                    x -= w;
+                }
+                targets.last().expect("non-empty").0
+            }
+            IndirectBehavior::RoundRobin(targets) => {
+                let cursor = self.cursors.entry((addr, usize::MAX)).or_insert(0);
+                let t = targets[*cursor % targets.len()];
+                *cursor = (*cursor + 1) % targets.len();
+                t
+            }
+        }
+    }
+
+    fn block_id_at(&self, addr: Addr) -> BlockId {
+        self.program
+            .block_at(addr)
+            .unwrap_or_else(|| panic!("no basic block starts at {addr}"))
+            .id()
+    }
+}
+
+impl Iterator for Executor<'_> {
+    type Item = Step;
+
+    fn next(&mut self) -> Option<Step> {
+        let id = self.cur?;
+        let block = self.program.block(id);
+        let step = Step { block: id, start: block.start(), entry: self.entry };
+
+        // Compute the successor.
+        let term = block.terminator();
+        let src = term.addr();
+        let (next_addr, entry) = match term.kind() {
+            InstKind::Straight => (Some(block.fallthrough_addr()), Entry::Fallthrough),
+            InstKind::CondBranch { target } => {
+                if self.cond_taken(src) {
+                    (Some(target), Entry::Taken { src, kind: BranchKind::Cond })
+                } else {
+                    (Some(block.fallthrough_addr()), Entry::Fallthrough)
+                }
+            }
+            InstKind::Jump { target } => {
+                (Some(target), Entry::Taken { src, kind: BranchKind::Jump })
+            }
+            InstKind::IndirectJump => {
+                let t = self.indirect_target(src);
+                (Some(t), Entry::Taken { src, kind: BranchKind::IndirectJump })
+            }
+            InstKind::Call { target } => {
+                self.stack.push(term.fallthrough_addr());
+                (Some(target), Entry::Taken { src, kind: BranchKind::Call })
+            }
+            InstKind::IndirectCall => {
+                self.stack.push(term.fallthrough_addr());
+                let t = self.indirect_target(src);
+                (Some(t), Entry::Taken { src, kind: BranchKind::IndirectCall })
+            }
+            InstKind::Ret => match self.stack.pop() {
+                Some(ra) => (Some(ra), Entry::Taken { src, kind: BranchKind::Ret }),
+                None => (None, Entry::Start),
+            },
+        };
+        self.cur = next_addr.map(|a| self.block_id_at(a));
+        self.entry = entry;
+        Some(step)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::ProgramBuilder;
+
+    /// main: A(loop head) -> B -> ret; B cond-branches back to A.
+    fn looping_program() -> (Program, Addr) {
+        let mut b = ProgramBuilder::new();
+        let f = b.function("main", 0x100);
+        let head = b.block(f);
+        let body = b.block(f);
+        let exit = b.block_with(f, 0);
+        let _ = head;
+        b.cond_branch(body, head);
+        b.ret(exit);
+        let p = b.build().unwrap();
+        let back = p.block(body).branch_addr().unwrap();
+        (p, back)
+    }
+
+    #[test]
+    fn counted_loop_runs_exact_trips() {
+        let (p, back) = looping_program();
+        let mut spec = BehaviorSpec::new(1);
+        spec.loop_trips(back, 5);
+        let steps: Vec<Step> = Executor::new(&p, spec).collect();
+        // head+body five times, then exit.
+        let bodies = steps.iter().filter(|s| s.block.index() == 1).count();
+        assert_eq!(bodies, 5);
+        let heads = steps.iter().filter(|s| s.block.index() == 0).count();
+        assert_eq!(heads, 5);
+        assert_eq!(steps.last().unwrap().block.index(), 2);
+        assert_eq!(steps[0].entry, Entry::Start);
+    }
+
+    #[test]
+    fn taken_entries_carry_src() {
+        let (p, back) = looping_program();
+        let mut spec = BehaviorSpec::new(1);
+        spec.loop_trips(back, 2);
+        let steps: Vec<Step> = Executor::new(&p, spec).collect();
+        let taken: Vec<&Step> = steps.iter().filter(|s| s.entry.is_taken()).collect();
+        assert_eq!(taken.len(), 1);
+        assert_eq!(taken[0].entry.taken_src(), Some(back));
+        assert_eq!(taken[0].block.index(), 0, "loop-back targets the head");
+    }
+
+    #[test]
+    fn calls_and_returns_balance() {
+        let mut b = ProgramBuilder::new();
+        let main = b.function("main", 0x1000);
+        let callee = b.function("leaf", 0x100);
+        let m0 = b.block(main);
+        let m1 = b.block_with(main, 0);
+        b.call(m0, callee);
+        b.ret(m1);
+        let c0 = b.block(callee);
+        b.ret(c0);
+        let p = b.build().unwrap();
+        let steps: Vec<Step> = Executor::new(&p, BehaviorSpec::new(0)).collect();
+        // m0 -> (call) c0 -> (ret) m1 -> program end
+        assert_eq!(steps.len(), 3);
+        assert!(matches!(
+            steps[1].entry,
+            Entry::Taken { kind: BranchKind::Call, .. }
+        ));
+        assert!(matches!(
+            steps[2].entry,
+            Entry::Taken { kind: BranchKind::Ret, .. }
+        ));
+    }
+
+    #[test]
+    fn pattern_behaviour_is_cyclic() {
+        let (p, back) = looping_program();
+        let mut spec = BehaviorSpec::new(1);
+        spec.pattern(back, vec![true, true, false]);
+        let steps: Vec<Step> = Executor::new(&p, spec).take(50).collect();
+        let bodies = steps.iter().filter(|s| s.block.index() == 1).count();
+        assert_eq!(bodies, 3, "pattern exits after third body execution");
+    }
+
+    #[test]
+    fn round_robin_indirect_targets() {
+        let mut b = ProgramBuilder::new();
+        let f = b.function("main", 0x100);
+        let sw = b.block(f);
+        let t1 = b.block(f);
+        let t2 = b.block(f);
+        let exit = b.block_with(f, 0);
+        b.indirect_jump(sw);
+        b.jump(t1, exit);
+        b.jump(t2, exit);
+        b.ret(exit);
+        let p = b.build().unwrap();
+        let sw_addr = p.block(sw).branch_addr().unwrap();
+        let mut spec = BehaviorSpec::new(0);
+        spec.indirect_round_robin(sw_addr, vec![p.block(t1).start(), p.block(t2).start()]);
+        let steps: Vec<Step> = Executor::new(&p, spec).take(3).collect();
+        assert_eq!(steps[1].block, t1);
+        // Program ends after exit's ret; a fresh executor alternates.
+        assert!(matches!(
+            steps[1].entry,
+            Entry::Taken { kind: BranchKind::IndirectJump, .. }
+        ));
+    }
+
+    #[test]
+    #[should_panic(expected = "no configured targets")]
+    fn unconfigured_indirect_panics() {
+        let mut b = ProgramBuilder::new();
+        let f = b.function("main", 0x100);
+        let sw = b.block(f);
+        b.indirect_jump(sw);
+        let p = b.build().unwrap();
+        let _: Vec<Step> = Executor::new(&p, BehaviorSpec::new(0)).take(5).collect();
+    }
+
+    #[test]
+    fn bernoulli_is_seed_deterministic() {
+        let (p, back) = looping_program();
+        let run = |seed| {
+            let mut spec = BehaviorSpec::new(seed);
+            spec.bernoulli(back, 0.7);
+            Executor::new(&p, spec).take(100).map(|s| s.block).collect::<Vec<_>>()
+        };
+        assert_eq!(run(42), run(42));
+    }
+
+    #[test]
+    fn phased_behaviour_switches() {
+        let (p, back) = looping_program();
+        let mut spec = BehaviorSpec::new(1);
+        spec.set_cond(
+            back,
+            CondBehavior::Phased(vec![
+                (4, CondBehavior::Taken),
+                (1, CondBehavior::NotTaken),
+            ]),
+        );
+        let steps: Vec<Step> = Executor::new(&p, spec).take(40).collect();
+        // Taken 4 times then not taken: 5 bodies before exit.
+        let bodies = steps.iter().filter(|s| s.block.index() == 1).count();
+        assert_eq!(bodies, 5);
+        assert_eq!(steps.last().unwrap().block.index(), 2);
+    }
+
+    #[test]
+    fn trips_one_never_takes() {
+        let (p, back) = looping_program();
+        let mut spec = BehaviorSpec::new(1);
+        spec.loop_trips(back, 1);
+        let steps: Vec<Step> = Executor::new(&p, spec).collect();
+        assert_eq!(steps.len(), 3); // head, body, exit
+    }
+}

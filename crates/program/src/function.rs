@@ -1,0 +1,90 @@
+//! Functions (procedures) of the simulated program.
+
+use crate::addr::Addr;
+use crate::block::BlockId;
+use std::fmt;
+
+/// Identifier of a function within a [`Program`](crate::Program).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct FunctionId(pub(crate) u32);
+
+impl FunctionId {
+    /// The raw index of this function in the program's function table.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for FunctionId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "F{}", self.0)
+    }
+}
+
+/// A procedure: a named, contiguous range of basic blocks.
+///
+/// Function placement matters: the paper's Figure 2 places a callee at a
+/// *lower* address than its caller so the call is a backward branch,
+/// which is what prevents NET from spanning the interprocedural cycle.
+/// [`ProgramBuilder`](crate::ProgramBuilder) lets workloads choose the
+/// base address of every function for exactly this reason.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Function {
+    id: FunctionId,
+    name: String,
+    entry: Addr,
+    blocks: Vec<BlockId>,
+}
+
+impl Function {
+    pub(crate) fn new(id: FunctionId, name: String, entry: Addr, blocks: Vec<BlockId>) -> Self {
+        Function { id, name, entry, blocks }
+    }
+
+    /// This function's identifier.
+    pub fn id(&self) -> FunctionId {
+        self.id
+    }
+
+    /// The function's name (for diagnostics and reports).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The entry address (address of the first block).
+    pub fn entry(&self) -> Addr {
+        self.entry
+    }
+
+    /// The blocks of the function, in address order.
+    pub fn blocks(&self) -> &[BlockId] {
+        &self.blocks
+    }
+}
+
+impl fmt::Display for Function {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}@{}", self.name, self.entry)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accessors() {
+        let f = Function::new(
+            FunctionId(2),
+            "main".to_string(),
+            Addr::new(0x400),
+            vec![BlockId(0), BlockId(1)],
+        );
+        assert_eq!(f.id().index(), 2);
+        assert_eq!(f.name(), "main");
+        assert_eq!(f.entry(), Addr::new(0x400));
+        assert_eq!(f.blocks().len(), 2);
+        assert_eq!(f.to_string(), "main@0x400");
+        assert_eq!(f.id().to_string(), "F2");
+    }
+}

@@ -1,0 +1,181 @@
+//! Instructions of the simulated ISA.
+
+use crate::addr::Addr;
+use std::fmt;
+
+/// The control-flow kind of an [`Instruction`].
+///
+/// The simulated ISA distinguishes exactly the cases that matter to the
+/// paper's region-selection algorithms: whether an instruction can
+/// transfer control, whether the transfer is conditional, and whether the
+/// target is encoded in the instruction (direct) or only known at run
+/// time (indirect). Calls and returns are modelled explicitly because NET
+/// treats a call to a lower address or a return to a higher address as a
+/// backward branch (paper §2.2, Figure 2).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum InstKind {
+    /// A non-control-flow instruction; execution falls through.
+    Straight,
+    /// A conditional branch: taken to `target`, or falls through.
+    CondBranch {
+        /// Address executed when the branch is taken.
+        target: Addr,
+    },
+    /// An unconditional direct jump to `target`.
+    Jump {
+        /// Address always executed next.
+        target: Addr,
+    },
+    /// An unconditional indirect jump; the target is chosen dynamically.
+    IndirectJump,
+    /// A direct call to `target` (pushes the return address).
+    Call {
+        /// Entry address of the callee.
+        target: Addr,
+    },
+    /// An indirect call; the callee is chosen dynamically.
+    IndirectCall,
+    /// A return to the address saved by the matching call.
+    Ret,
+}
+
+impl InstKind {
+    /// Returns `true` if the instruction always transfers control
+    /// (i.e. never falls through).
+    pub fn is_unconditional_transfer(self) -> bool {
+        !matches!(self, InstKind::Straight | InstKind::CondBranch { .. })
+    }
+
+    /// Returns `true` if the instruction may transfer control somewhere
+    /// other than the next sequential instruction.
+    pub fn is_branch(self) -> bool {
+        !matches!(self, InstKind::Straight)
+    }
+
+    /// Returns `true` if the dynamic target is not encoded in the
+    /// instruction (indirect jump/call and return).
+    pub fn is_indirect(self) -> bool {
+        matches!(
+            self,
+            InstKind::IndirectJump | InstKind::IndirectCall | InstKind::Ret
+        )
+    }
+
+    /// Returns the statically known taken-target, if any.
+    pub fn static_target(self) -> Option<Addr> {
+        match self {
+            InstKind::CondBranch { target }
+            | InstKind::Jump { target }
+            | InstKind::Call { target } => Some(target),
+            _ => None,
+        }
+    }
+}
+
+/// One instruction of the simulated program.
+///
+/// Instructions occupy `size` bytes starting at `addr`; the byte size is
+/// used by the code-cache size estimate exactly as in the paper (§4.3.4:
+/// "for all benchmarks the average size of a selected instruction is
+/// between three and four bytes").
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct Instruction {
+    addr: Addr,
+    size: u8,
+    kind: InstKind,
+}
+
+impl Instruction {
+    /// Creates an instruction.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `size` is zero.
+    pub fn new(addr: Addr, size: u8, kind: InstKind) -> Self {
+        assert!(size > 0, "instruction size must be nonzero");
+        Instruction { addr, size, kind }
+    }
+
+    /// The instruction's address.
+    pub fn addr(&self) -> Addr {
+        self.addr
+    }
+
+    /// The instruction's size in bytes.
+    pub fn size(&self) -> u8 {
+        self.size
+    }
+
+    /// The instruction's control-flow kind.
+    pub fn kind(&self) -> InstKind {
+        self.kind
+    }
+
+    /// Address of the next sequential instruction.
+    pub fn fallthrough_addr(&self) -> Addr {
+        self.addr + u64::from(self.size)
+    }
+}
+
+impl fmt::Display for Instruction {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.kind {
+            InstKind::Straight => write!(f, "{}: op", self.addr),
+            InstKind::CondBranch { target } => write!(f, "{}: jcc {}", self.addr, target),
+            InstKind::Jump { target } => write!(f, "{}: jmp {}", self.addr, target),
+            InstKind::IndirectJump => write!(f, "{}: jmp *r", self.addr),
+            InstKind::Call { target } => write!(f, "{}: call {}", self.addr, target),
+            InstKind::IndirectCall => write!(f, "{}: call *r", self.addr),
+            InstKind::Ret => write!(f, "{}: ret", self.addr),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fallthrough_address_uses_size() {
+        let i = Instruction::new(Addr::new(0x10), 4, InstKind::Straight);
+        assert_eq!(i.fallthrough_addr(), Addr::new(0x14));
+    }
+
+    #[test]
+    #[should_panic(expected = "nonzero")]
+    fn zero_size_rejected() {
+        let _ = Instruction::new(Addr::new(0x10), 0, InstKind::Straight);
+    }
+
+    #[test]
+    fn kind_classification() {
+        assert!(!InstKind::Straight.is_branch());
+        assert!(InstKind::Ret.is_branch());
+        assert!(InstKind::Ret.is_indirect());
+        assert!(InstKind::Ret.is_unconditional_transfer());
+        assert!(!InstKind::CondBranch { target: Addr::new(1) }.is_unconditional_transfer());
+        assert!(InstKind::Jump { target: Addr::new(1) }.is_unconditional_transfer());
+        assert!(!InstKind::Call { target: Addr::new(1) }.is_indirect());
+        assert!(InstKind::IndirectCall.is_indirect());
+    }
+
+    #[test]
+    fn static_targets() {
+        let t = Addr::new(0x99);
+        assert_eq!(InstKind::CondBranch { target: t }.static_target(), Some(t));
+        assert_eq!(InstKind::Jump { target: t }.static_target(), Some(t));
+        assert_eq!(InstKind::Call { target: t }.static_target(), Some(t));
+        assert_eq!(InstKind::Ret.static_target(), None);
+        assert_eq!(InstKind::IndirectJump.static_target(), None);
+        assert_eq!(InstKind::Straight.static_target(), None);
+    }
+
+    #[test]
+    fn display_forms() {
+        let t = Addr::new(0x20);
+        let d = |k| Instruction::new(Addr::new(0x10), 2, k).to_string();
+        assert_eq!(d(InstKind::Straight), "0x10: op");
+        assert_eq!(d(InstKind::CondBranch { target: t }), "0x10: jcc 0x20");
+        assert_eq!(d(InstKind::Ret), "0x10: ret");
+    }
+}

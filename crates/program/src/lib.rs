@@ -1,0 +1,67 @@
+//! Program model and execution engine for the `regionsel` workspace.
+//!
+//! This crate is the substrate standing in for the Pin-instrumented
+//! SPECint2000 binaries used by the paper *Improving Region Selection in
+//! Dynamic Optimization Systems* (MICRO 2005). It provides:
+//!
+//! - an ISA-like static program model: [`Instruction`]s with concrete
+//!   byte [`Addr`]esses grouped into [`BasicBlock`]s, [`Function`]s and a
+//!   whole [`Program`];
+//! - a [`ProgramBuilder`] for laying out control-flow graphs at concrete
+//!   addresses (so forward vs. backward branches are meaningful, as they
+//!   are to the NET and LEI trace-selection algorithms);
+//! - per-branch dynamic [`behavior`] specifications (branch bias, loop
+//!   trip counts, periodic patterns, weighted indirect targets);
+//! - an [`Executor`] that walks a program under a behaviour specification
+//!   and yields the executed basic-block stream — exactly the event
+//!   stream the paper's simulation framework obtains from Pin.
+//!
+//! # Example
+//!
+//! ```
+//! use rsel_program::{ProgramBuilder, behavior::BehaviorSpec, Executor};
+//!
+//! // A single function that loops ten times and returns.
+//! let mut b = ProgramBuilder::new();
+//! let f = b.function("main", 0x1000);
+//! let head = b.block(f);          // falls through to body
+//! let body = b.block(f);
+//! let exit = b.block_with(f, 0);
+//! b.cond_branch(body, head);     // backward branch closing the loop
+//! b.ret(exit);
+//! let program = b.build().unwrap();
+//!
+//! let mut spec = BehaviorSpec::new(7);
+//! spec.loop_trips(program.block(body).branch_addr().unwrap(), 10);
+//! let steps: Vec<_> = Executor::new(&program, spec).collect();
+//! // 10 × (head, body), then exit.
+//! assert_eq!(steps.len(), 21);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod addr;
+pub mod behavior;
+pub mod block;
+pub mod builder;
+pub mod dot;
+pub mod error;
+pub mod event;
+pub mod exec;
+pub mod function;
+pub mod inst;
+pub mod patterns;
+pub mod program;
+
+pub use addr::Addr;
+pub use behavior::BehaviorSpec;
+pub use block::{BasicBlock, BlockId};
+pub use builder::ProgramBuilder;
+pub use dot::program_to_dot;
+pub use error::BuildError;
+pub use event::{BranchKind, Entry, Step};
+pub use exec::Executor;
+pub use function::{Function, FunctionId};
+pub use inst::{InstKind, Instruction};
+pub use program::Program;

@@ -1,0 +1,230 @@
+//! The whole-program container with address-indexed lookups.
+
+use crate::addr::Addr;
+use crate::block::{BasicBlock, BlockId};
+use crate::error::BuildError;
+use crate::function::{Function, FunctionId};
+use crate::inst::Instruction;
+use std::collections::HashMap;
+
+/// A validated, immutable program: functions, basic blocks and
+/// address-indexed lookup tables.
+///
+/// Construct with [`ProgramBuilder`](crate::ProgramBuilder). Validation
+/// guarantees that every direct branch target and every reachable
+/// fall-through address is the start of a basic block, so the execution
+/// engine and the trace-formation algorithms can navigate by address
+/// without error handling at every step.
+#[derive(Clone, Debug)]
+pub struct Program {
+    blocks: Vec<BasicBlock>,
+    functions: Vec<Function>,
+    entry: Addr,
+    by_start: HashMap<Addr, BlockId>,
+    by_inst: HashMap<Addr, BlockId>,
+}
+
+impl Program {
+    pub(crate) fn validated(
+        blocks: Vec<BasicBlock>,
+        functions: Vec<Function>,
+        entry: Addr,
+    ) -> Result<Self, BuildError> {
+        if functions.is_empty() {
+            return Err(BuildError::Empty);
+        }
+        for f in &functions {
+            if f.blocks().is_empty() {
+                return Err(BuildError::EmptyFunction { name: f.name().to_string() });
+            }
+        }
+        let mut by_start = HashMap::with_capacity(blocks.len());
+        let mut by_inst = HashMap::new();
+        for b in &blocks {
+            by_start.insert(b.start(), b.id());
+            for i in b.instructions() {
+                if by_inst.insert(i.addr(), b.id()).is_some() {
+                    return Err(BuildError::OverlappingAddresses { addr: i.addr() });
+                }
+            }
+        }
+        // Byte-range overlap: every instruction's bytes must not cross
+        // into the next instruction's start address.
+        {
+            let mut addrs: Vec<&Instruction> =
+                blocks.iter().flat_map(|b| b.instructions()).collect();
+            addrs.sort_by_key(|i| i.addr());
+            for w in addrs.windows(2) {
+                if w[0].fallthrough_addr() > w[1].addr() {
+                    return Err(BuildError::OverlappingAddresses { addr: w[1].addr() });
+                }
+            }
+        }
+        for b in &blocks {
+            if let Some(target) = b.taken_target() {
+                if !by_inst.contains_key(&target) {
+                    return Err(BuildError::DanglingTarget {
+                        src: b.terminator().addr(),
+                        target,
+                    });
+                }
+                if !by_start.contains_key(&target) {
+                    return Err(BuildError::MidBlockTarget {
+                        src: b.terminator().addr(),
+                        target,
+                    });
+                }
+            }
+            if b.can_fall_through() && !by_start.contains_key(&b.fallthrough_addr()) {
+                return Err(BuildError::DanglingFallthrough { from: b.fallthrough_addr() });
+            }
+        }
+        Ok(Program { blocks, functions, entry, by_start, by_inst })
+    }
+
+    /// The program's entry address (start of the first function built).
+    pub fn entry(&self) -> Addr {
+        self.entry
+    }
+
+    /// All basic blocks, in creation order.
+    pub fn blocks(&self) -> &[BasicBlock] {
+        &self.blocks
+    }
+
+    /// All functions, in creation order.
+    pub fn functions(&self) -> &[Function] {
+        &self.functions
+    }
+
+    /// The block with the given id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` does not belong to this program.
+    pub fn block(&self, id: BlockId) -> &BasicBlock {
+        &self.blocks[id.index()]
+    }
+
+    /// The function with the given id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` does not belong to this program.
+    pub fn function(&self, id: FunctionId) -> &Function {
+        &self.functions[id.index()]
+    }
+
+    /// The block starting exactly at `addr`, if any.
+    pub fn block_at(&self, addr: Addr) -> Option<&BasicBlock> {
+        self.by_start.get(&addr).map(|id| self.block(*id))
+    }
+
+    /// The block containing the instruction at `addr`, if any.
+    pub fn block_containing(&self, addr: Addr) -> Option<&BasicBlock> {
+        self.by_inst.get(&addr).map(|id| self.block(*id))
+    }
+
+    /// The instruction at exactly `addr`, if any.
+    pub fn inst_at(&self, addr: Addr) -> Option<&Instruction> {
+        let b = self.block_containing(addr)?;
+        b.instructions().iter().find(|i| i.addr() == addr)
+    }
+
+    /// Iterates over instructions along the fall-through path starting at
+    /// `addr`, crossing block boundaries, until a block terminator that
+    /// cannot fall through (or a dangling address) is passed.
+    ///
+    /// This is the walk used by LEI's FORM-TRACE (paper Figure 6) to copy
+    /// "each inst in fall-through path from *prev* to *branch.src*".
+    pub fn fallthrough_walk(&self, addr: Addr) -> FallthroughWalk<'_> {
+        FallthroughWalk { program: self, next: Some(addr) }
+    }
+
+    /// Total number of instructions in the program.
+    pub fn inst_count(&self) -> usize {
+        self.blocks.iter().map(|b| b.len()).sum()
+    }
+
+    /// Total byte size of all instructions.
+    pub fn byte_size(&self) -> u64 {
+        self.blocks.iter().map(|b| b.byte_size()).sum()
+    }
+}
+
+/// Iterator over the fall-through instruction path from an address.
+///
+/// Produced by [`Program::fallthrough_walk`].
+#[derive(Debug)]
+pub struct FallthroughWalk<'p> {
+    program: &'p Program,
+    next: Option<Addr>,
+}
+
+impl<'p> Iterator for FallthroughWalk<'p> {
+    type Item = &'p Instruction;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        let addr = self.next?;
+        let inst = self.program.inst_at(addr)?;
+        self.next = if inst.kind().is_unconditional_transfer() {
+            None
+        } else {
+            Some(inst.fallthrough_addr())
+        };
+        Some(inst)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::ProgramBuilder;
+
+    fn two_block_program() -> Program {
+        let mut b = ProgramBuilder::new();
+        let f = b.function("f", 0x100);
+        let b0 = b.block_with(f, 2);
+        let b1 = b.block(f);
+        b.fallthrough(b0, b1);
+        b.ret(b1);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn lookup_by_start_and_inst() {
+        let p = two_block_program();
+        let b0 = &p.blocks()[0];
+        assert_eq!(p.block_at(b0.start()).unwrap().id(), b0.id());
+        let second_inst = b0.instructions()[1].addr();
+        assert!(p.block_at(second_inst).is_none());
+        assert_eq!(p.block_containing(second_inst).unwrap().id(), b0.id());
+        assert_eq!(p.inst_at(second_inst).unwrap().addr(), second_inst);
+        assert!(p.inst_at(Addr::new(0x9999)).is_none());
+    }
+
+    #[test]
+    fn fallthrough_walk_crosses_blocks_and_stops_at_ret() {
+        let p = two_block_program();
+        let walked: Vec<Addr> =
+            p.fallthrough_walk(p.entry()).map(|i| i.addr()).collect();
+        // 2 instructions in b0 + straight + ret in b1.
+        assert_eq!(walked.len(), 4);
+        assert_eq!(walked[0], p.entry());
+    }
+
+    #[test]
+    fn inst_count_and_bytes() {
+        let p = two_block_program();
+        assert_eq!(p.inst_count(), 4);
+        assert!(p.byte_size() >= 3);
+    }
+
+    #[test]
+    fn entry_is_first_function() {
+        let p = two_block_program();
+        assert_eq!(p.entry(), Addr::new(0x100));
+        assert_eq!(p.functions().len(), 1);
+        assert_eq!(p.function(p.functions()[0].id()).name(), "f");
+    }
+}

@@ -1,0 +1,31 @@
+//! Event streams and the compact trace codec.
+//!
+//! This crate supplies the pieces of the paper's framework that deal
+//! with *recorded execution*:
+//!
+//! - [`BitString`]: a bit-packed append/read buffer;
+//! - [`CompactTrace`]: the exact compact trace representation of the
+//!   paper's Figure 14 (two bits for most branches, explicit targets for
+//!   indirect branches, a terminator code plus the trace-end address),
+//!   with faithful byte accounting so the observed-trace memory overhead
+//!   of Figure 18 can be measured;
+//! - [`CompactTrace::decode`]: reconstruction of the recorded path
+//!   against a [`Program`](rsel_program::Program), as used when
+//!   combining observed traces into a region (paper §4.2.2);
+//! - [`stream`]: recording/replaying executor streams and summary
+//!   statistics.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bitstring;
+pub mod compact;
+pub mod paths;
+pub mod stream;
+pub mod stream_io;
+
+pub use bitstring::{BitReader, BitString};
+pub use compact::{AddrWidth, CompactTrace, DecodeError, DecodedPath, TraceRecorder};
+pub use paths::PathProfile;
+pub use stream::{RecordedStream, StreamStats};
+pub use stream_io::{StreamIoError, load_stream, save_stream};

@@ -1,0 +1,173 @@
+//! Hot-path diversity statistics over an execution stream.
+//!
+//! The paper's motivation leans on Ball and Larus ("Programs Follow
+//! Paths"): "the number of paths that comprise 90% of execution in
+//! modern commercial software is often one to two orders of magnitude
+//! greater than in the standard benchmark programs used to develop NET"
+//! (§1). This module measures exactly that over our streams: fixed-
+//! length block paths (n-grams of the executed block sequence) and the
+//! number of distinct hot paths needed to cover a fraction of all path
+//! occurrences — the knob our synthetic workloads turn to model gzip
+//! (few paths) vs. gcc (many).
+
+use rsel_program::{Addr, Step};
+use std::collections::HashMap;
+
+/// Distribution of fixed-length paths in one execution.
+#[derive(Clone, Debug)]
+pub struct PathProfile {
+    length: usize,
+    counts: HashMap<Vec<Addr>, u64>,
+    total: u64,
+}
+
+impl PathProfile {
+    /// Collects the profile of block paths of `length` consecutive
+    /// blocks from `steps`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `length` is zero.
+    pub fn collect<'a>(length: usize, steps: impl IntoIterator<Item = &'a Step>) -> Self {
+        assert!(length > 0, "path length must be positive");
+        let mut window: Vec<Addr> = Vec::with_capacity(length);
+        let mut counts: HashMap<Vec<Addr>, u64> = HashMap::new();
+        let mut total = 0u64;
+        for step in steps {
+            window.push(step.start);
+            if window.len() > length {
+                window.remove(0);
+            }
+            if window.len() == length {
+                *counts.entry(window.clone()).or_insert(0) += 1;
+                total += 1;
+            }
+        }
+        PathProfile { length, counts, total }
+    }
+
+    /// The path length this profile was collected at.
+    pub fn length(&self) -> usize {
+        self.length
+    }
+
+    /// Number of distinct paths observed.
+    pub fn distinct(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// Total path occurrences (stream length − length + 1 for a single
+    /// uninterrupted stream).
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// The smallest number of distinct paths whose occurrences comprise
+    /// at least `frac` of all path occurrences — the Ball–Larus-style
+    /// "paths that comprise X% of execution" count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `frac` is not within `0.0..=1.0`.
+    pub fn hot_path_count(&self, frac: f64) -> usize {
+        assert!((0.0..=1.0).contains(&frac), "fraction out of range: {frac}");
+        let goal = self.total as f64 * frac;
+        let mut sorted: Vec<u64> = self.counts.values().copied().collect();
+        sorted.sort_unstable_by(|a, b| b.cmp(a));
+        let mut sum = 0u64;
+        for (i, c) in sorted.iter().enumerate() {
+            sum += c;
+            if sum as f64 >= goal {
+                return i + 1;
+            }
+        }
+        sorted.len()
+    }
+
+    /// The most frequent path and its occurrence count.
+    pub fn hottest(&self) -> Option<(&[Addr], u64)> {
+        self.counts
+            .iter()
+            .max_by_key(|(p, c)| (**c, std::cmp::Reverse(p.as_slice())))
+            .map(|(p, c)| (p.as_slice(), *c))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rsel_program::{BehaviorSpec, Executor, ProgramBuilder};
+
+    fn looped_diamond(p_taken: f64, trips: u32, seed: u64) -> Vec<Step> {
+        let mut b = ProgramBuilder::new();
+        let f = b.function("main", 0x100);
+        let head = b.block(f);
+        let fall = b.block(f);
+        let taken = b.block(f);
+        let join = b.block(f);
+        let latch = b.block(f);
+        let out = b.block_with(f, 0);
+        let _ = head;
+        b.cond_branch(head, taken);
+        b.jump(fall, join);
+        // taken falls into join; join falls into latch
+        b.cond_branch(latch, head);
+        b.ret(out);
+        let prog = b.build().unwrap();
+        let mut spec = BehaviorSpec::new(seed);
+        spec.bernoulli(prog.block(head).branch_addr().unwrap(), p_taken);
+        spec.loop_trips(prog.block(latch).branch_addr().unwrap(), trips);
+        Executor::new(&prog, spec).collect()
+    }
+
+    #[test]
+    fn single_dominant_path_means_one_hot_path() {
+        let steps = looped_diamond(1.0, 500, 1); // always the taken side
+        let prof = PathProfile::collect(4, &steps);
+        assert_eq!(prof.length(), 4);
+        // A single 4-block cyclic path shows up as its four sliding
+        // rotations, each equally frequent.
+        assert_eq!(prof.hot_path_count(0.9), 4);
+        // Four rotations plus the one-off loop-exit window.
+        assert!(prof.distinct() <= 6, "distinct {}", prof.distinct());
+        assert!(prof.total() > 400);
+    }
+
+    #[test]
+    fn unbiased_branch_doubles_path_diversity() {
+        let biased = PathProfile::collect(4, &looped_diamond(0.98, 2_000, 1));
+        let unbiased = PathProfile::collect(4, &looped_diamond(0.5, 2_000, 1));
+        // The unbiased branch splits the hot set across both diamond
+        // sides; the biased one concentrates it (its rare side appears
+        // among the distinct paths but not among the hot ones).
+        assert!(
+            unbiased.hot_path_count(0.9) > biased.hot_path_count(0.9),
+            "unbiased {} vs biased {}",
+            unbiased.hot_path_count(0.9),
+            biased.hot_path_count(0.9)
+        );
+    }
+
+    #[test]
+    fn hottest_path_has_max_count() {
+        let steps = looped_diamond(0.5, 1_000, 3);
+        let prof = PathProfile::collect(3, &steps);
+        let (_, hottest) = prof.hottest().expect("non-empty");
+        assert!(prof.counts.values().all(|&c| c <= hottest));
+    }
+
+    #[test]
+    fn short_stream_has_no_paths() {
+        let steps = looped_diamond(0.5, 1, 1);
+        let prof = PathProfile::collect(50, &steps);
+        assert_eq!(prof.total(), 0);
+        assert_eq!(prof.hot_path_count(0.9), 0);
+        assert!(prof.hottest().is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_length_rejected() {
+        let _ = PathProfile::collect(0, &[]);
+    }
+}

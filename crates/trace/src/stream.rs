@@ -1,0 +1,172 @@
+//! Recording and replaying executor event streams.
+
+use rsel_program::{Entry, Program, Step};
+
+/// A recorded execution: the full [`Step`] stream of one run.
+///
+/// Recording lets the same dynamic execution be fed to several
+/// region-selection algorithms, guaranteeing an identical input stream —
+/// the property the paper gets by abstracting "all details of region
+/// selection ... out of the framework" (§2.3, footnote 4).
+///
+/// ```
+/// use rsel_program::{ProgramBuilder, BehaviorSpec, Executor};
+/// use rsel_trace::RecordedStream;
+///
+/// let mut b = ProgramBuilder::new();
+/// let f = b.function("main", 0x100);
+/// let bb = b.block(f);
+/// let ex = b.block_with(f, 0);
+/// b.cond_branch(bb, bb);
+/// b.ret(ex);
+/// let p = b.build().unwrap();
+/// let mut spec = BehaviorSpec::new(1);
+/// spec.loop_trips(p.block(bb).branch_addr().unwrap(), 3);
+/// let rec = RecordedStream::record(Executor::new(&p, spec));
+/// assert_eq!(rec.len(), rec.replay().count());
+/// ```
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct RecordedStream {
+    steps: Vec<Step>,
+}
+
+impl RecordedStream {
+    /// Records every step of `source` to completion.
+    pub fn record<I: IntoIterator<Item = Step>>(source: I) -> Self {
+        RecordedStream { steps: source.into_iter().collect() }
+    }
+
+    /// Records at most `limit` steps of `source`.
+    pub fn record_bounded<I: IntoIterator<Item = Step>>(source: I, limit: usize) -> Self {
+        RecordedStream { steps: source.into_iter().take(limit).collect() }
+    }
+
+    /// Number of recorded steps.
+    pub fn len(&self) -> usize {
+        self.steps.len()
+    }
+
+    /// Whether nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.steps.is_empty()
+    }
+
+    /// The recorded steps.
+    pub fn steps(&self) -> &[Step] {
+        &self.steps
+    }
+
+    /// Iterates over the recorded steps by value.
+    pub fn replay(&self) -> impl Iterator<Item = Step> + '_ {
+        self.steps.iter().copied()
+    }
+}
+
+impl FromIterator<Step> for RecordedStream {
+    fn from_iter<I: IntoIterator<Item = Step>>(iter: I) -> Self {
+        RecordedStream::record(iter)
+    }
+}
+
+impl Extend<Step> for RecordedStream {
+    fn extend<I: IntoIterator<Item = Step>>(&mut self, iter: I) {
+        self.steps.extend(iter);
+    }
+}
+
+/// Summary statistics of an execution stream.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct StreamStats {
+    /// Basic blocks executed.
+    pub blocks: u64,
+    /// Instructions executed.
+    pub instructions: u64,
+    /// Taken branches observed.
+    pub taken_branches: u64,
+    /// Taken branches whose target is at or below the source
+    /// (*backward* branches, the NET/LEI profiling trigger).
+    pub backward_taken: u64,
+}
+
+impl StreamStats {
+    /// Computes statistics for `steps` executed over `program`.
+    pub fn collect<'a>(
+        program: &Program,
+        steps: impl IntoIterator<Item = &'a Step>,
+    ) -> Self {
+        let mut s = StreamStats::default();
+        for step in steps {
+            s.blocks += 1;
+            s.instructions += program.block(step.block).len() as u64;
+            if let Entry::Taken { src, .. } = step.entry {
+                s.taken_branches += 1;
+                if step.start.is_backward_from(src) {
+                    s.backward_taken += 1;
+                }
+            }
+        }
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rsel_program::{BehaviorSpec, Executor, ProgramBuilder};
+
+    fn run() -> (Program, RecordedStream) {
+        let mut b = ProgramBuilder::new();
+        let f = b.function("main", 0x100);
+        let head = b.block(f);
+        let body = b.block(f);
+        let exit = b.block_with(f, 0);
+        let _ = head;
+        b.cond_branch(body, head);
+        b.ret(exit);
+        let p = b.build().unwrap();
+        let mut spec = BehaviorSpec::new(1);
+        spec.loop_trips(p.block(body).branch_addr().unwrap(), 4);
+        let rec = RecordedStream::record(Executor::new(&p, spec));
+        (p, rec)
+    }
+
+    #[test]
+    fn replay_matches_recording() {
+        let (_, rec) = run();
+        let replayed: Vec<Step> = rec.replay().collect();
+        assert_eq!(replayed.as_slice(), rec.steps());
+        assert!(!rec.is_empty());
+    }
+
+    #[test]
+    fn stats_count_backward_branches() {
+        let (p, rec) = run();
+        let stats = StreamStats::collect(&p, rec.steps());
+        // 4 iterations -> 3 backward taken branches (the 4th falls out).
+        assert_eq!(stats.backward_taken, 3);
+        assert_eq!(stats.blocks, rec.len() as u64);
+        assert!(stats.instructions >= stats.blocks);
+    }
+
+    #[test]
+    fn bounded_recording_truncates() {
+        let mut b = ProgramBuilder::new();
+        let f = b.function("main", 0x100);
+        let spin = b.block(f);
+        let exit = b.block_with(f, 0);
+        b.cond_branch(spin, spin);
+        b.ret(exit);
+        let p = b.build().unwrap();
+        let mut spec = BehaviorSpec::new(0);
+        spec.always(p.block(spin).branch_addr().unwrap());
+        let rec = RecordedStream::record_bounded(Executor::new(&p, spec), 10);
+        assert_eq!(rec.len(), 10);
+    }
+
+    #[test]
+    fn collect_from_iterator() {
+        let (_, rec) = run();
+        let again: RecordedStream = rec.replay().collect();
+        assert_eq!(again, rec);
+    }
+}

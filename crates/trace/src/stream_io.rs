@@ -1,0 +1,251 @@
+//! Binary serialization of recorded execution streams.
+//!
+//! Record a workload's execution once and replay it offline against any
+//! number of selectors — what the paper's framework does by replaying
+//! Pin-collected block streams. The format is a small fixed-width
+//! little-endian encoding (magic, version, step count, then one record
+//! per step); loading validates every address against the program, so a
+//! stream can never desynchronize silently from the binary it claims to
+//! describe.
+
+use crate::stream::RecordedStream;
+use rsel_program::{Addr, BranchKind, Entry, Program, Step};
+use std::error::Error;
+use std::fmt;
+use std::io::{self, Read, Write};
+
+const MAGIC: &[u8; 4] = b"RSEL";
+const VERSION: u16 = 1;
+
+const TAG_START: u8 = 0;
+const TAG_FALLTHROUGH: u8 = 1;
+const TAG_TAKEN: u8 = 2;
+
+/// An error loading a recorded stream.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum StreamIoError {
+    /// Underlying I/O failure.
+    Io(io::Error),
+    /// The input does not start with the stream magic.
+    BadMagic,
+    /// The format version is not supported.
+    BadVersion(u16),
+    /// A structural tag byte is invalid.
+    BadTag(u8),
+    /// A step names an address that is not a block start in the
+    /// program.
+    UnknownBlock(Addr),
+}
+
+impl fmt::Display for StreamIoError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StreamIoError::Io(e) => write!(f, "stream i/o failed: {e}"),
+            StreamIoError::BadMagic => write!(f, "not a recorded stream (bad magic)"),
+            StreamIoError::BadVersion(v) => write!(f, "unsupported stream version {v}"),
+            StreamIoError::BadTag(t) => write!(f, "invalid record tag {t}"),
+            StreamIoError::UnknownBlock(a) => {
+                write!(f, "stream references unknown block {a}")
+            }
+        }
+    }
+}
+
+impl Error for StreamIoError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            StreamIoError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for StreamIoError {
+    fn from(e: io::Error) -> Self {
+        StreamIoError::Io(e)
+    }
+}
+
+fn kind_tag(kind: BranchKind) -> u8 {
+    match kind {
+        BranchKind::Cond => 0,
+        BranchKind::Jump => 1,
+        BranchKind::IndirectJump => 2,
+        BranchKind::Call => 3,
+        BranchKind::IndirectCall => 4,
+        BranchKind::Ret => 5,
+    }
+}
+
+fn tag_kind(tag: u8) -> Result<BranchKind, StreamIoError> {
+    Ok(match tag {
+        0 => BranchKind::Cond,
+        1 => BranchKind::Jump,
+        2 => BranchKind::IndirectJump,
+        3 => BranchKind::Call,
+        4 => BranchKind::IndirectCall,
+        5 => BranchKind::Ret,
+        t => return Err(StreamIoError::BadTag(t)),
+    })
+}
+
+/// Writes `stream` to `writer` (a `&mut` reference works too, as for
+/// all `W: Write` APIs).
+///
+/// # Errors
+///
+/// Propagates any I/O error from the writer.
+pub fn save_stream<W: Write>(stream: &RecordedStream, mut writer: W) -> io::Result<()> {
+    writer.write_all(MAGIC)?;
+    writer.write_all(&VERSION.to_le_bytes())?;
+    writer.write_all(&(stream.len() as u64).to_le_bytes())?;
+    for step in stream.steps() {
+        writer.write_all(&step.start.raw().to_le_bytes())?;
+        match step.entry {
+            Entry::Start => writer.write_all(&[TAG_START])?,
+            Entry::Fallthrough => writer.write_all(&[TAG_FALLTHROUGH])?,
+            Entry::Taken { src, kind } => {
+                writer.write_all(&[TAG_TAKEN, kind_tag(kind)])?;
+                writer.write_all(&src.raw().to_le_bytes())?;
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Reads a stream from `reader`, resolving every block against
+/// `program`.
+///
+/// # Errors
+///
+/// Returns a [`StreamIoError`] on I/O failure, malformed input, or an
+/// address that is not a block start of `program`.
+pub fn load_stream<R: Read>(
+    program: &Program,
+    mut reader: R,
+) -> Result<RecordedStream, StreamIoError> {
+    let mut magic = [0u8; 4];
+    reader.read_exact(&mut magic)?;
+    if &magic != MAGIC {
+        return Err(StreamIoError::BadMagic);
+    }
+    let mut u16b = [0u8; 2];
+    reader.read_exact(&mut u16b)?;
+    let version = u16::from_le_bytes(u16b);
+    if version != VERSION {
+        return Err(StreamIoError::BadVersion(version));
+    }
+    let mut u64b = [0u8; 8];
+    reader.read_exact(&mut u64b)?;
+    let count = u64::from_le_bytes(u64b);
+    let mut steps = Vec::with_capacity(count.min(1 << 24) as usize);
+    for _ in 0..count {
+        reader.read_exact(&mut u64b)?;
+        let start = Addr::new(u64::from_le_bytes(u64b));
+        let block = program
+            .block_at(start)
+            .ok_or(StreamIoError::UnknownBlock(start))?
+            .id();
+        let mut tag = [0u8; 1];
+        reader.read_exact(&mut tag)?;
+        let entry = match tag[0] {
+            TAG_START => Entry::Start,
+            TAG_FALLTHROUGH => Entry::Fallthrough,
+            TAG_TAKEN => {
+                let mut kt = [0u8; 1];
+                reader.read_exact(&mut kt)?;
+                let kind = tag_kind(kt[0])?;
+                reader.read_exact(&mut u64b)?;
+                Entry::Taken { src: Addr::new(u64::from_le_bytes(u64b)), kind }
+            }
+            t => return Err(StreamIoError::BadTag(t)),
+        };
+        steps.push(Step { block, start, entry });
+    }
+    Ok(steps.into_iter().collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rsel_program::{BehaviorSpec, Executor, ProgramBuilder};
+
+    fn program_and_stream() -> (Program, RecordedStream) {
+        let mut b = ProgramBuilder::new();
+        let f = b.function("main", 0x100);
+        let head = b.block(f);
+        let body = b.block(f);
+        let exit = b.block_with(f, 0);
+        let _ = head;
+        b.cond_branch(body, head);
+        b.ret(exit);
+        let p = b.build().unwrap();
+        let mut spec = BehaviorSpec::new(1);
+        spec.loop_trips(p.block(body).branch_addr().unwrap(), 20);
+        let stream = RecordedStream::record(Executor::new(&p, spec));
+        (p, stream)
+    }
+
+    #[test]
+    fn round_trip() {
+        let (p, stream) = program_and_stream();
+        let mut buf = Vec::new();
+        save_stream(&stream, &mut buf).unwrap();
+        let loaded = load_stream(&p, buf.as_slice()).unwrap();
+        assert_eq!(loaded, stream);
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        let (p, _) = program_and_stream();
+        let err = load_stream(&p, b"NOPE".as_slice()).unwrap_err();
+        assert!(matches!(err, StreamIoError::BadMagic), "{err}");
+    }
+
+    #[test]
+    fn truncated_input_is_an_io_error() {
+        let (p, stream) = program_and_stream();
+        let mut buf = Vec::new();
+        save_stream(&stream, &mut buf).unwrap();
+        buf.truncate(buf.len() - 3);
+        let err = load_stream(&p, buf.as_slice()).unwrap_err();
+        assert!(matches!(err, StreamIoError::Io(_)), "{err}");
+    }
+
+    #[test]
+    fn wrong_program_detected() {
+        let (_, stream) = program_and_stream();
+        let mut buf = Vec::new();
+        save_stream(&stream, &mut buf).unwrap();
+        // A different program whose blocks sit elsewhere.
+        let mut b = ProgramBuilder::new();
+        let f = b.function("other", 0x9000);
+        let x = b.block(f);
+        b.ret(x);
+        let other = b.build().unwrap();
+        let err = load_stream(&other, buf.as_slice()).unwrap_err();
+        assert!(matches!(err, StreamIoError::UnknownBlock(_)), "{err}");
+    }
+
+    #[test]
+    fn version_mismatch_detected() {
+        let (p, stream) = program_and_stream();
+        let mut buf = Vec::new();
+        save_stream(&stream, &mut buf).unwrap();
+        buf[4] = 0xff; // corrupt the version field
+        let err = load_stream(&p, buf.as_slice()).unwrap_err();
+        assert!(matches!(err, StreamIoError::BadVersion(_)), "{err}");
+    }
+
+    #[test]
+    fn replayed_stream_drives_identical_simulation() {
+        // The serialized stream is byte-for-byte sufficient to drive a
+        // simulation to the same result as the live executor.
+        let (p, stream) = program_and_stream();
+        let mut buf = Vec::new();
+        save_stream(&stream, &mut buf).unwrap();
+        let loaded = load_stream(&p, buf.as_slice()).unwrap();
+        assert_eq!(loaded.steps(), stream.steps());
+    }
+}

@@ -1,0 +1,68 @@
+//! `crafty`-like workload: deep biased forward logic, little for LEI
+//! to add.
+//!
+//! 186.crafty (chess) burns its time in long stretches of biased
+//! intraprocedural forward control — attack tables, move ordering —
+//! rather than in compact interprocedural cycles. It is the paper's
+//! counterexample benchmark: Figure 7 shows LEI spanning the fewest
+//! additional cycles on crafty, and in Figure 8 crafty is the only
+//! benchmark where LEI's code expansion is no better than NET's.
+
+use crate::spec::Scale;
+use crate::synth::{self, AddrAlloc};
+use rsel_program::patterns::ScenarioBuilder;
+use rsel_program::{BehaviorSpec, Program};
+
+/// Builds the workload.
+pub fn build(seed: u64, scale: Scale) -> (Program, BehaviorSpec) {
+    let mut rng = synth::build_rng(seed);
+    let mut s = ScenarioBuilder::new(seed);
+    s.set_block_scale(3);
+    let mut alloc = AddrAlloc::new();
+
+    // A rarely-taken evaluator at a high address (forward call).
+    let evaluate = synth::branchy(&mut s, "evaluate", alloc.high(), 6, &[0.9, 0.85]);
+
+    let d = synth::begin_driver(&mut s, "search", 2);
+    // The hot path: three long chains of biased forward diamonds,
+    // entirely inside `search` — no calls, no inner back edges.
+    for _ in 0..3 {
+        let p1 = synth::biased_prob(&mut rng);
+        let p2 = synth::biased_prob(&mut rng);
+        let (_, _join) = s.diamond_chain(d.f, 4, &[p1, p2]);
+    }
+    // Evaluation happens on a small fraction of iterations.
+    let guard = s.block(d.f, 1);
+    let call_e = s.block(d.f, 0);
+    s.call(call_e, evaluate);
+    let after = s.block(d.f, 1);
+    s.branch_p(guard, after, 0.88);
+    let _ = after;
+    synth::end_driver(&mut s, d, scale.trips(30_000));
+
+    s.build().expect("crafty workload is well-formed")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rsel_program::{BranchKind, Entry, Executor};
+
+    #[test]
+    fn hot_path_is_call_free_forward_logic() {
+        let (p, spec) = build(2, Scale::Test);
+        let mut calls = 0u64;
+        let mut taken = 0u64;
+        for st in Executor::new(&p, spec) {
+            if let Entry::Taken { kind, .. } = st.entry {
+                taken += 1;
+                if matches!(kind, BranchKind::Call | BranchKind::IndirectCall) {
+                    calls += 1;
+                }
+            }
+        }
+        assert!(taken > 1_000);
+        // Calls are a small minority of taken branches.
+        assert!(calls * 5 < taken, "calls {calls} of {taken}");
+    }
+}

@@ -1,0 +1,88 @@
+//! `eon`-like workload: hot shared constructors called from many
+//! sites — the paper's exit-domination outlier.
+//!
+//! 252.eon (C++ ray tracer) constructs `ggPoint3`-style objects
+//! everywhere. The paper explains its Figure 12 spike: "three of these
+//! exit-dominating traces correspond to constructors of the widely used
+//! ggPoint3 class. Once a trace is selected for such a constructor, an
+//! exit-dominated trace will be selected for each frequently executed
+//! function that calls it" (§4.1). This model has three tiny
+//! constructor functions shared by a dozen hot callers, each caller
+//! reached from a distinct driver call site.
+
+use crate::spec::Scale;
+use crate::synth::{self, AddrAlloc};
+use rsel_program::patterns::ScenarioBuilder;
+use rsel_program::{BehaviorSpec, Program};
+
+const CALLERS: usize = 12;
+
+/// Builds the workload.
+pub fn build(seed: u64, scale: Scale) -> (Program, BehaviorSpec) {
+    let mut rng = synth::build_rng(seed);
+    let mut s = ScenarioBuilder::new(seed);
+    s.set_block_scale(3);
+    let mut alloc = AddrAlloc::new();
+
+    // The three shared constructors, at LOW addresses so the calls are
+    // backward branches (loop-like to NET's profiler).
+    let ctor3 = synth::leaf(&mut s, "ggPoint3_ctor", alloc.low(), 3);
+    let ctor_vec = synth::leaf(&mut s, "ggVector3_ctor", alloc.low(), 3);
+    let ctor_ray = synth::leaf(&mut s, "ggRay3_ctor", alloc.low(), 4);
+    let ctors = [ctor3, ctor_vec, ctor_ray];
+
+    // A dozen shading/intersection functions, each calling two
+    // constructors and doing some biased work.
+    let mut callers = Vec::with_capacity(CALLERS);
+    for i in 0..CALLERS {
+        let name = format!("shade_{i}");
+        let f = s.function(&name, alloc.high());
+        let entry = s.block(f, 2);
+        s.call(entry, ctors[i % 3]);
+        let mid = s.block(f, 2);
+        s.call(mid, ctors[(i + 1) % 3]);
+        let dia = s.diamond(f, synth::biased_prob(&mut rng), 1);
+        let _ = dia;
+        let out = s.block(f, 1);
+        s.ret(out);
+        callers.push(f);
+    }
+
+    let d = synth::begin_driver(&mut s, "render", 2);
+    for (i, &c) in callers.iter().enumerate() {
+        let guard = s.block(d.f, 1);
+        let call = s.block(d.f, 0);
+        s.call(call, c);
+        let after = s.block(d.f, 1);
+        // All callers are hot (that is what makes eon the outlier).
+        let skip = 0.1 + 0.02 * (i % 4) as f64;
+        s.branch_p(guard, after, skip);
+        let _ = after;
+    }
+    synth::end_driver(&mut s, d, scale.trips(10_000));
+
+    s.build().expect("eon workload is well-formed")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rsel_program::{BranchKind, Entry, Executor};
+    use std::collections::HashSet;
+
+    #[test]
+    fn constructors_have_many_distinct_callers() {
+        let (p, spec) = build(6, Scale::Test);
+        let ctor_entries: HashSet<_> =
+            p.functions().iter().take(3).map(|f| f.entry()).collect();
+        let mut call_srcs: HashSet<_> = HashSet::new();
+        for st in Executor::new(&p, spec) {
+            if let Entry::Taken { src, kind: BranchKind::Call } = st.entry {
+                if ctor_entries.contains(&st.start) {
+                    call_srcs.insert(src);
+                }
+            }
+        }
+        assert!(call_srcs.len() >= 12, "distinct ctor call sites: {}", call_srcs.len());
+    }
+}

@@ -1,0 +1,68 @@
+//! `gap`-like workload: arithmetic kernels behind forward calls.
+//!
+//! 254.gap (computational group theory) alternates between a handful of
+//! bag-allocation and arithmetic kernels, each with its own counted
+//! inner loop. Hot cycles are mostly intraprocedural but sit behind a
+//! layer of calls, so LEI picks up the kernels' loops while NET starts
+//! traces at their back edges.
+
+use crate::spec::Scale;
+use crate::synth::{self, AddrAlloc};
+use rsel_program::patterns::ScenarioBuilder;
+use rsel_program::{BehaviorSpec, Program};
+
+/// Builds the workload.
+pub fn build(seed: u64, scale: Scale) -> (Program, BehaviorSpec) {
+    let mut rng = synth::build_rng(seed);
+    let mut s = ScenarioBuilder::new(seed);
+    s.set_block_scale(3);
+    let mut alloc = AddrAlloc::new();
+
+    let kernels = [
+        synth::worker(&mut s, "prod_int", alloc.high(), 3, 20),
+        synth::worker(&mut s, "sum_vec", alloc.high(), 2, 45),
+        synth::worker(&mut s, "quo_int", alloc.high(), 3, 9),
+        synth::worker(&mut s, "collect_garbage", alloc.high(), 4, 30),
+    ];
+    let new_bag = synth::leaf(&mut s, "new_bag", alloc.low(), 3);
+
+    let d = synth::begin_driver(&mut s, "eval_loop", 2);
+    synth::call_site(&mut s, d, new_bag, 1);
+    for (i, &k) in kernels.iter().enumerate() {
+        let guard = s.block(d.f, 1);
+        let call = s.block(d.f, 0);
+        s.call(call, k);
+        let after = s.block(d.f, 1);
+        let skip = match i {
+            3 => 0.95, // garbage collection is rare
+            _ => synth::biased_prob(&mut rng).min(0.3),
+        };
+        s.branch_p(guard, after, skip);
+        let _ = after;
+    }
+    synth::end_driver(&mut s, d, scale.trips(14_000));
+
+    s.build().expect("gap workload is well-formed")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rsel_program::Executor;
+
+    #[test]
+    fn kernels_dominate_execution() {
+        let (p, spec) = build(9, Scale::Test);
+        // Main occupies [MAIN_BASE, 0x80_0000); kernels live above.
+        let mut in_main = 0u64;
+        let mut total = 0u64;
+        for st in Executor::new(&p, spec) {
+            total += 1;
+            if (synth::MAIN_BASE..0x80_0000).contains(&st.start.raw()) {
+                in_main += 1;
+            }
+        }
+        // Most block executions happen inside the kernels, not main.
+        assert!(in_main * 2 < total, "main blocks {in_main} of {total}");
+    }
+}

@@ -1,0 +1,101 @@
+//! `gcc`-like workload: path-rich code with unbiased branches and
+//! phase behaviour.
+//!
+//! 176.gcc is the paper's canonical hard case: "large applications with
+//! many important procedures and a mix of biased and unbiased branches
+//! (e.g., 176.gcc)" (§6). It has by far the largest 90% cover set in
+//! Figure 9 and the lowest hit rates in §3.2/§4.3. This model gives it:
+//!
+//! - many mid-sized functions (compiler passes) full of unbiased
+//!   diamonds, so execution spreads over many paths;
+//! - phased guards, so the set of hot functions changes over the run
+//!   (§4.3.1 cites phase behaviour as a limit on combination);
+//! - both backward and forward calls.
+
+use crate::spec::Scale;
+use crate::synth::{self, AddrAlloc};
+use rsel_program::behavior::CondBehavior;
+use rsel_program::patterns::ScenarioBuilder;
+use rsel_program::{BehaviorSpec, Program};
+
+const PASSES: usize = 24;
+
+/// Builds the workload.
+pub fn build(seed: u64, scale: Scale) -> (Program, BehaviorSpec) {
+    let mut rng = synth::build_rng(seed);
+    let mut s = ScenarioBuilder::new(seed);
+    s.set_block_scale(3);
+    let mut alloc = AddrAlloc::new();
+
+    // Compiler passes: branchy functions with plenty of unbiased
+    // decisions; alternate low/high placement.
+    let mut passes = Vec::with_capacity(PASSES);
+    for i in 0..PASSES {
+        let base = if i % 2 == 0 { alloc.low() } else { alloc.high() };
+        let depth = 3 + i % 4;
+        // Roughly one unbiased decision per three; the rest biased, as
+        // in real compiler code (even gcc keeps a 99% hit rate in the
+        // paper).
+        let p1 = synth::unbiased_prob(&mut rng);
+        let p2 = synth::biased_prob(&mut rng);
+        let p3 = synth::biased_prob(&mut rng);
+        let name = format!("pass_{i}");
+        passes.push(synth::branchy(&mut s, &name, base, depth, &[p2, p1, p3]));
+    }
+
+    let trips = scale.trips(12_000);
+    let phase_len = u64::from(trips) / 3;
+    let d = synth::begin_driver(&mut s, "compile_file", 2);
+    for (i, &pass) in passes.iter().enumerate() {
+        // Guard: taken = skip the pass. Each pass is hot in one of
+        // three phases and mostly idle in the others.
+        let guard = s.block(d.f, 1);
+        let call = s.block(d.f, 0);
+        s.call(call, pass);
+        let after = s.block(d.f, 1);
+        let hot_phase = i % 3;
+        let mut phases = Vec::new();
+        for ph in 0..3 {
+            let skip_prob = if ph == hot_phase { 0.1 } else { 0.92 };
+            phases.push((phase_len, CondBehavior::Bernoulli(skip_prob)));
+        }
+        s.branch_custom(guard, after, CondBehavior::Phased(phases));
+        let _ = after;
+    }
+    synth::end_driver(&mut s, d, trips);
+
+    s.build().expect("gcc workload is well-formed")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rsel_program::Executor;
+    use std::collections::HashMap;
+
+    #[test]
+    fn has_many_functions_and_wide_execution() {
+        let (p, spec) = build(5, Scale::Test);
+        assert_eq!(p.functions().len(), PASSES + 1);
+        let mut counts: HashMap<_, u64> = HashMap::new();
+        for st in Executor::new(&p, spec) {
+            *counts.entry(st.block).or_insert(0) += 1;
+        }
+        // Execution is spread over many blocks (path-rich).
+        let hot_blocks = counts.values().filter(|&&c| c > 50).count();
+        assert!(hot_blocks > 60, "hot blocks {hot_blocks}");
+    }
+
+    #[test]
+    fn phases_shift_the_hot_set() {
+        let (p, spec) = build(5, Scale::Test);
+        let steps: Vec<_> = Executor::new(&p, spec).collect();
+        let third = steps.len() / 3;
+        let early: std::collections::HashSet<_> =
+            steps[..third].iter().map(|s| s.block).collect();
+        let late: std::collections::HashSet<_> =
+            steps[steps.len() - third..].iter().map(|s| s.block).collect();
+        let only_late = late.difference(&early).count();
+        assert!(only_late > 3, "phase change introduces new blocks: {only_late}");
+    }
+}

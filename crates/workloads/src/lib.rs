@@ -1,0 +1,87 @@
+//! The twelve SPECint2000-like synthetic workloads.
+//!
+//! The paper evaluates region selection on the SPECint2000 suite run to
+//! completion on its test inputs (§2.3). Region-selection behaviour is a
+//! function of *dynamic control-flow shape* — branch bias, loop
+//! structure, call structure — not of the computation performed, so each
+//! workload here is a synthetic program constructed to exhibit the
+//! control-flow character the paper attributes to its namesake:
+//!
+//! | workload | character modelled |
+//! |---|---|
+//! | [`gzip`] | few very hot biased loops, tiny hot set |
+//! | [`vpr`] | placement loops with moderate diamonds |
+//! | [`gcc`] | path-rich: many functions, unbiased branches, phases |
+//! | [`mcf`] | pointer-chase loops calling helpers (interproc. cycles) |
+//! | [`crafty`] | deep biased forward logic, few extra cycles for LEI |
+//! | [`parser`] | many small functions, moderate branching |
+//! | [`eon`] | hot shared constructors ⇒ exit-domination outlier |
+//! | [`perlbmk`] | interpreter dispatch via indirect jumps |
+//! | [`gap`] | arithmetic kernels with forward calls |
+//! | [`vortex`] | many medium-frequency blocks and call sites |
+//! | [`bzip2`] | nested-loop dominated (paper Figure 3's pattern) |
+//! | [`twolf`] | annealing loop with unbiased accept/reject diamonds |
+//!
+//! Every workload is a deterministic function of its seed and
+//! [`Scale`], so experiments are exactly reproducible.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bzip2;
+pub mod crafty;
+pub mod eon;
+pub mod gap;
+pub mod gcc;
+pub mod gzip;
+pub mod mcf;
+pub mod parser;
+pub mod perlbmk;
+pub mod spec;
+pub mod synth;
+pub mod twolf;
+pub mod vortex;
+pub mod vpr;
+
+pub use spec::{Scale, Workload, suite};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rsel_program::Executor;
+
+    #[test]
+    fn suite_has_twelve_distinct_workloads() {
+        let s = suite();
+        assert_eq!(s.len(), 12);
+        let mut names: Vec<&str> = s.iter().map(|w| w.name()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), 12);
+    }
+
+    #[test]
+    fn every_workload_builds_and_terminates_at_test_scale() {
+        for w in suite() {
+            let (program, spec) = w.build(42, Scale::Test);
+            let mut steps = 0u64;
+            let limit = 60_000_000;
+            for _ in Executor::new(&program, spec) {
+                steps += 1;
+                assert!(steps < limit, "{} did not terminate", w.name());
+            }
+            assert!(steps > 1_000, "{} too short: {steps} steps", w.name());
+        }
+    }
+
+    #[test]
+    fn workloads_are_seed_deterministic() {
+        for w in suite().into_iter().take(3) {
+            let (p1, s1) = w.build(7, Scale::Test);
+            let (p2, s2) = w.build(7, Scale::Test);
+            let run1: Vec<_> = Executor::new(&p1, s1).take(5_000).collect();
+            let run2: Vec<_> = Executor::new(&p2, s2).take(5_000).collect();
+            assert_eq!(run1, run2, "{}", w.name());
+        }
+    }
+}

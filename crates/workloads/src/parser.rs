@@ -1,0 +1,89 @@
+//! `parser`-like workload: many small functions and moderate
+//! branching.
+//!
+//! 197.parser (link grammar) walks dictionaries through layers of small
+//! helper functions. Like crafty, it is one of the two benchmarks where
+//! LEI's locality gain is smallest (Figure 8: region transitions no
+//! better than NET) because its hot paths already fit in short
+//! intraprocedural traces.
+
+use crate::spec::Scale;
+use crate::synth::{self, AddrAlloc};
+use rsel_program::patterns::ScenarioBuilder;
+use rsel_program::{BehaviorSpec, Program};
+
+/// Builds the workload.
+pub fn build(seed: u64, scale: Scale) -> (Program, BehaviorSpec) {
+    let mut rng = synth::build_rng(seed);
+    let mut s = ScenarioBuilder::new(seed);
+    s.set_block_scale(3);
+    let mut alloc = AddrAlloc::new();
+
+    // Two tiers of helpers, all at HIGH addresses with the leaves
+    // topmost: every call (main -> helper -> leaf) is a forward branch,
+    // so only the returns are backward — short intraprocedural hot
+    // paths, which is what keeps LEI's gains small on parser.
+    let mut leaves = Vec::new();
+    for i in 0..6 {
+        let name = format!("hash_{i}");
+        leaves.push(synth::leaf(&mut s, &name, 0x100_0000 + 0x1000 * i as u64, 2 + i % 3));
+    }
+    let mut helpers = Vec::new();
+    for i in 0..8 {
+        let name = format!("match_{i}");
+        let f = s.function(&name, alloc.high());
+        let entry = s.block(f, 2);
+        s.call(entry, leaves[i % leaves.len()]);
+        // A short scan loop: these small intraprocedural cycles are the
+        // hot spots that get cached first, keeping every later trace —
+        // NET tail or LEI cycle — short.
+        let scan = s.block(f, 2);
+        let scan_latch = s.block(f, 1);
+        s.branch_trips(scan_latch, scan, 3 + (i % 4) as u32);
+        let mid = s.diamond(f, synth::biased_prob(&mut rng), 1);
+        let _ = mid;
+        let out = s.block(f, 1);
+        s.ret(out);
+        helpers.push(f);
+    }
+
+    let d = synth::begin_driver(&mut s, "parse", 2);
+    for (i, &h) in helpers.iter().enumerate() {
+        let guard = s.block(d.f, 1);
+        let call = s.block(d.f, 0);
+        s.call(call, h);
+        let after = s.block(d.f, 1);
+        // Parser's loop body is stable: nearly every helper runs every
+        // iteration, so there is one dominant path with little variance
+        // (which is why LEI has so little to add on this benchmark).
+        let skip = if i % 3 == 0 { 0.12 } else { 0.04 };
+        s.branch_p(guard, after, skip);
+        let _ = after;
+    }
+    synth::end_driver(&mut s, d, scale.trips(18_000));
+
+    s.build().expect("parser workload is well-formed")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rsel_program::Executor;
+
+    #[test]
+    fn two_tier_call_structure_executes() {
+        let (p, spec) = build(4, Scale::Test);
+        assert_eq!(p.functions().len(), 6 + 8 + 1);
+        let mut depth2 = false;
+        let mut ex = Executor::new(&p, spec);
+        for _ in 0..200_000 {
+            if ex.next().is_none() {
+                break;
+            }
+            if ex.stack_depth() >= 2 {
+                depth2 = true;
+            }
+        }
+        assert!(depth2, "helpers call leaves (depth 2 reached)");
+    }
+}

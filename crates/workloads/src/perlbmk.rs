@@ -1,0 +1,91 @@
+//! `perlbmk`-like workload: bytecode interpreter dispatch through
+//! indirect jumps.
+//!
+//! 253.perlbmk runs Perl's opcode loop: an indirect dispatch whose
+//! handlers share a common loop back edge. A few opcodes dominate, many
+//! execute occasionally — giving region selection a hot indirect branch
+//! whose observed targets differ from trace to trace.
+
+use crate::spec::Scale;
+use crate::synth::{self, AddrAlloc};
+use rand::Rng;
+use rsel_program::patterns::ScenarioBuilder;
+use rsel_program::{BehaviorSpec, Program};
+
+const HANDLERS: usize = 14;
+
+/// Builds the workload.
+pub fn build(seed: u64, scale: Scale) -> (Program, BehaviorSpec) {
+    let mut rng = synth::build_rng(seed);
+    let mut s = ScenarioBuilder::new(seed);
+    s.set_block_scale(3);
+    let mut alloc = AddrAlloc::new();
+
+    let sv_new = synth::leaf(&mut s, "sv_newmortal", alloc.low(), 3);
+    let hash_fetch = synth::worker(&mut s, "hv_fetch", alloc.low(), 2, 6);
+
+    // Hand-rolled driver: head, dispatch, handlers, latch, exit.
+    let f = s.function("runops", synth::MAIN_BASE);
+    s.set_entry(f);
+    let head = s.block(f, 2);
+    let _ = head;
+    let dispatch = s.block(f, 1);
+    let mut handlers = Vec::with_capacity(HANDLERS);
+    for i in 0..HANDLERS {
+        let h = s.block(f, 2 + (i % 4) as u32);
+        handlers.push(h);
+    }
+    let latch = s.block(f, 1);
+    let exit = s.block(f, 0);
+    s.ret(exit);
+
+    // Two handlers call helpers; the rest are straight-line.
+    for (i, &h) in handlers.iter().enumerate() {
+        match i {
+            2 => s.call(h, sv_new),
+            5 => s.call(h, hash_fetch),
+            _ => s.jump(h, latch),
+        }
+    }
+    // Handlers that called helpers fall through to the next handler
+    // block after the call returns — realistic opcode fallthrough; all
+    // others jump straight to the latch.
+
+    // Dispatch weights: three hot opcodes, a tail of cold ones.
+    let mut targets = Vec::with_capacity(HANDLERS);
+    for (i, &h) in handlers.iter().enumerate() {
+        let w = match i {
+            0 | 2 | 7 => 25 + rng.gen_range(0..10),
+            _ => 1 + rng.gen_range(0..2),
+        };
+        targets.push((h, w));
+    }
+    s.indirect_jump_weighted(dispatch, targets);
+
+    let trips = scale.trips(50_000);
+    s.branch_trips(latch, head, trips);
+
+    s.build().expect("perlbmk workload is well-formed")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rsel_program::{BranchKind, Entry, Executor};
+    use std::collections::HashMap;
+
+    #[test]
+    fn dispatch_spreads_over_handlers_with_hot_heads() {
+        let (p, spec) = build(8, Scale::Test);
+        let mut targets: HashMap<_, u64> = HashMap::new();
+        for st in Executor::new(&p, spec) {
+            if let Entry::Taken { kind: BranchKind::IndirectJump, .. } = st.entry {
+                *targets.entry(st.start).or_insert(0) += 1;
+            }
+        }
+        assert!(targets.len() >= 10, "distinct handlers hit: {}", targets.len());
+        let max = targets.values().max().copied().unwrap_or(0);
+        let min = targets.values().min().copied().unwrap_or(0);
+        assert!(max > 8 * min.max(1), "hot/cold skew: {max} vs {min}");
+    }
+}

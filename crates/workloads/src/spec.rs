@@ -1,0 +1,131 @@
+//! Workload descriptors and the benchmark suite.
+
+use rsel_program::{BehaviorSpec, Program};
+
+/// How long a workload runs.
+///
+/// `Full` approximates a benchmark run long enough for every selection
+/// threshold and phase change to play out (tens of millions of executed
+/// instructions); `Test` shrinks the driver loops for fast unit tests
+/// while preserving the control-flow shape.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Scale {
+    /// Small driver loops for tests (~10⁵ executed blocks).
+    Test,
+    /// Full experiment scale (~10⁷ executed blocks).
+    Full,
+}
+
+impl Scale {
+    /// Scales a full-size driver-loop trip count.
+    pub fn trips(self, full: u32) -> u32 {
+        match self {
+            Scale::Full => full,
+            Scale::Test => (full / 64).max(8),
+        }
+    }
+}
+
+/// A named synthetic benchmark.
+#[derive(Clone)]
+pub struct Workload {
+    name: &'static str,
+    summary: &'static str,
+    builder: fn(u64, Scale) -> (Program, BehaviorSpec),
+}
+
+impl Workload {
+    pub(crate) fn new(
+        name: &'static str,
+        summary: &'static str,
+        builder: fn(u64, Scale) -> (Program, BehaviorSpec),
+    ) -> Self {
+        Workload { name, summary, builder }
+    }
+
+    /// The SPECint2000 name this workload models.
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// One-line description of the control-flow character modelled.
+    pub fn summary(&self) -> &'static str {
+        self.summary
+    }
+
+    /// Builds the program and its branch behaviours.
+    pub fn build(&self, seed: u64, scale: Scale) -> (Program, BehaviorSpec) {
+        (self.builder)(seed, scale)
+    }
+}
+
+impl std::fmt::Debug for Workload {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Workload").field("name", &self.name).finish()
+    }
+}
+
+/// The full twelve-benchmark suite, in the paper's figure order.
+pub fn suite() -> Vec<Workload> {
+    vec![
+        Workload::new("gzip", "few very hot biased compression loops", crate::gzip::build),
+        Workload::new("vpr", "placement loops with moderate diamonds", crate::vpr::build),
+        Workload::new(
+            "gcc",
+            "path-rich code: many functions, unbiased branches, phases",
+            crate::gcc::build,
+        ),
+        Workload::new(
+            "mcf",
+            "pointer-chase loops calling helpers: interprocedural cycles",
+            crate::mcf::build,
+        ),
+        Workload::new(
+            "crafty",
+            "deep biased forward logic; few additional cycles for LEI",
+            crate::crafty::build,
+        ),
+        Workload::new("parser", "many small functions, moderate branching", crate::parser::build),
+        Workload::new(
+            "eon",
+            "hot shared constructors called from many sites (exit-domination outlier)",
+            crate::eon::build,
+        ),
+        Workload::new(
+            "perlbmk",
+            "bytecode interpreter dispatch via indirect jumps",
+            crate::perlbmk::build,
+        ),
+        Workload::new("gap", "arithmetic kernels with forward calls", crate::gap::build),
+        Workload::new(
+            "vortex",
+            "many medium-frequency blocks across wide call fan-out",
+            crate::vortex::build,
+        ),
+        Workload::new("bzip2", "nested-loop dominated sorting kernels", crate::bzip2::build),
+        Workload::new(
+            "twolf",
+            "annealing loop with unbiased accept/reject diamonds",
+            crate::twolf::build,
+        ),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scale_shrinks_but_keeps_minimum() {
+        assert_eq!(Scale::Full.trips(6400), 6400);
+        assert_eq!(Scale::Test.trips(6400), 100);
+        assert_eq!(Scale::Test.trips(100), 8, "clamped at the minimum");
+    }
+
+    #[test]
+    fn workload_debug_shows_name() {
+        let w = &suite()[0];
+        assert!(format!("{w:?}").contains("gzip"));
+        assert!(!w.summary().is_empty());
+    }
+}

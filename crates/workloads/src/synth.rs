@@ -1,0 +1,214 @@
+//! Shared generators for the synthetic workloads.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use rsel_program::patterns::ScenarioBuilder;
+use rsel_program::{BlockId, FunctionId};
+
+/// Address layout for a workload: `main` sits in the middle of the
+/// address space so callees can be placed *below* it (making calls
+/// backward branches, as in the paper's Figure 2) or *above* it (making
+/// the returns backward instead).
+#[derive(Debug)]
+pub struct AddrAlloc {
+    next_low: u64,
+    next_high: u64,
+}
+
+/// Base address used for the `main` function of every workload.
+pub const MAIN_BASE: u64 = 0x40_0000;
+
+impl Default for AddrAlloc {
+    fn default() -> Self {
+        AddrAlloc::new()
+    }
+}
+
+impl AddrAlloc {
+    /// Creates the allocator with the standard layout.
+    pub fn new() -> Self {
+        AddrAlloc { next_low: 0x1000, next_high: 0x80_0000 }
+    }
+
+    /// Allocates a function base below `main` (calls to it are
+    /// backward branches).
+    pub fn low(&mut self) -> u64 {
+        let a = self.next_low;
+        self.next_low += 0x1000;
+        assert!(self.next_low < MAIN_BASE, "low address space exhausted");
+        a
+    }
+
+    /// Allocates a function base above `main` (returns from it are
+    /// backward branches).
+    pub fn high(&mut self) -> u64 {
+        let a = self.next_high;
+        self.next_high += 0x1000;
+        a
+    }
+}
+
+/// A driver loop under construction: create with [`begin_driver`], add
+/// body blocks/calls to `f`, then close with [`end_driver`].
+#[derive(Clone, Copy, Debug)]
+pub struct Driver {
+    /// The function holding the loop.
+    pub f: FunctionId,
+    /// The loop head (target of the backward latch branch).
+    pub head: BlockId,
+}
+
+/// Opens a `main`-style function with a loop head at [`MAIN_BASE`].
+pub fn begin_driver(s: &mut ScenarioBuilder, name: &str, head_work: u32) -> Driver {
+    let f = s.function(name, MAIN_BASE);
+    s.set_entry(f);
+    let head = s.block(f, head_work);
+    Driver { f, head }
+}
+
+/// Closes a driver loop: adds the backward latch branch (executed
+/// `trips` times per program run) and a returning exit block.
+pub fn end_driver(s: &mut ScenarioBuilder, d: Driver, trips: u32) {
+    let latch = s.block(d.f, 1);
+    s.branch_trips(latch, d.head, trips);
+    let exit = s.block(d.f, 0);
+    s.ret(exit);
+}
+
+/// A leaf function: `work` straight instructions and a return.
+pub fn leaf(s: &mut ScenarioBuilder, name: &str, base: u64, work: u32) -> FunctionId {
+    let f = s.function(name, base);
+    let b = s.block(f, work);
+    s.ret(b);
+    f
+}
+
+/// A worker function containing its own counted inner loop.
+pub fn worker(
+    s: &mut ScenarioBuilder,
+    name: &str,
+    base: u64,
+    work: u32,
+    inner_trips: u32,
+) -> FunctionId {
+    let f = s.function(name, base);
+    let head = s.block(f, work);
+    let latch = s.block(f, 1);
+    s.branch_trips(latch, head, inner_trips);
+    let out = s.block(f, 0);
+    s.ret(out);
+    f
+}
+
+/// A function that is a chain of `depth` if/else diamonds with the
+/// given taken-probabilities (cycled), then returns.
+pub fn branchy(
+    s: &mut ScenarioBuilder,
+    name: &str,
+    base: u64,
+    depth: usize,
+    probs: &[f64],
+) -> FunctionId {
+    let f = s.function(name, base);
+    let (_, last_join) = s.diamond_chain(f, depth, probs);
+    s.ret_from(f, last_join);
+    f
+}
+
+/// Adds a call-site block in `d.f` that calls `callee` and falls
+/// through to whatever the caller adds next.
+pub fn call_site(s: &mut ScenarioBuilder, d: Driver, callee: FunctionId, lead_work: u32) -> BlockId {
+    let b = s.block(d.f, lead_work);
+    s.call(b, callee);
+    b
+}
+
+/// A deterministic build-time RNG for structural choices (trip counts,
+/// probabilities) so the *program*, not just its execution, varies with
+/// the seed.
+pub fn build_rng(seed: u64) -> SmallRng {
+    SmallRng::seed_from_u64(seed ^ 0x5eed_5eed_5eed_5eed)
+}
+
+/// A random probability biased away from 0.5 (a "biased branch").
+pub fn biased_prob(rng: &mut SmallRng) -> f64 {
+    if rng.gen_bool(0.5) {
+        rng.gen_range(0.02..0.15)
+    } else {
+        rng.gen_range(0.85..0.98)
+    }
+}
+
+/// A random probability near 0.5 (an "unbiased branch", §2.2).
+pub fn unbiased_prob(rng: &mut SmallRng) -> f64 {
+    rng.gen_range(0.4..0.6)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rsel_program::{BehaviorSpec, Executor, Program};
+
+    fn run(p: &Program, spec: BehaviorSpec) -> usize {
+        Executor::new(p, spec).take(2_000_000).count()
+    }
+
+    #[test]
+    fn driver_with_leaf_terminates() {
+        let mut s = ScenarioBuilder::new(1);
+        let mut alloc = AddrAlloc::new();
+        let lf = leaf(&mut s, "leaf", alloc.low(), 3);
+        let d = begin_driver(&mut s, "main", 1);
+        call_site(&mut s, d, lf, 1);
+        end_driver(&mut s, d, 100);
+        let (p, spec) = s.build().unwrap();
+        let n = run(&p, spec);
+        assert!(n > 300 && n < 2_000_000, "steps {n}");
+    }
+
+    #[test]
+    fn worker_inner_loop_executes() {
+        let mut s = ScenarioBuilder::new(1);
+        let mut alloc = AddrAlloc::new();
+        let w = worker(&mut s, "w", alloc.high(), 2, 10);
+        let d = begin_driver(&mut s, "main", 1);
+        call_site(&mut s, d, w, 1);
+        end_driver(&mut s, d, 50);
+        let (p, spec) = s.build().unwrap();
+        // 50 outer x ~10 inner iterations plus overhead.
+        let n = run(&p, spec);
+        assert!(n > 50 * 10, "steps {n}");
+    }
+
+    #[test]
+    fn low_and_high_allocations_bracket_main() {
+        let mut alloc = AddrAlloc::new();
+        assert!(alloc.low() < MAIN_BASE);
+        assert!(alloc.high() > MAIN_BASE);
+        assert_ne!(alloc.low(), alloc.low());
+    }
+
+    #[test]
+    fn probabilities_in_range() {
+        let mut rng = build_rng(9);
+        for _ in 0..100 {
+            let b = biased_prob(&mut rng);
+            assert!(!(0.15..0.85).contains(&b), "biased {b}");
+            let u = unbiased_prob(&mut rng);
+            assert!((0.4..0.6).contains(&u), "unbiased {u}");
+        }
+    }
+
+    #[test]
+    fn branchy_function_returns() {
+        let mut s = ScenarioBuilder::new(2);
+        let mut alloc = AddrAlloc::new();
+        let bf = branchy(&mut s, "b", alloc.low(), 4, &[0.5, 0.9]);
+        let d = begin_driver(&mut s, "main", 1);
+        call_site(&mut s, d, bf, 1);
+        end_driver(&mut s, d, 30);
+        let (p, spec) = s.build().unwrap();
+        let n = run(&p, spec);
+        assert!(n > 30 * 5, "steps {n}");
+    }
+}

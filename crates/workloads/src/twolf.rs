@@ -1,0 +1,64 @@
+//! `twolf`-like workload: annealing loop with unbiased accept/reject
+//! diamonds.
+//!
+//! 300.twolf's simulated-annealing placer decides accept/reject with
+//! temperature-dependent randomness — unbiased branches followed by a
+//! shared cost-update tail, the paper's Figure 4 situation where NET
+//! duplicates the tail in both traces and trace combination removes the
+//! duplication.
+
+use crate::spec::Scale;
+use crate::synth::{self, AddrAlloc};
+use rsel_program::patterns::ScenarioBuilder;
+use rsel_program::{BehaviorSpec, Program};
+
+/// Builds the workload.
+pub fn build(seed: u64, scale: Scale) -> (Program, BehaviorSpec) {
+    let mut rng = synth::build_rng(seed);
+    let mut s = ScenarioBuilder::new(seed);
+    s.set_block_scale(3);
+    let mut alloc = AddrAlloc::new();
+
+    // Cost helper below main: the call is a backward branch on the
+    // dominant path (an interprocedural cycle for LEI).
+    let cost = synth::worker(&mut s, "new_dbox", alloc.low(), 2, 8);
+    let pick = synth::leaf(&mut s, "pick_cell", alloc.low(), 3);
+
+    let d = synth::begin_driver(&mut s, "uloop", 2);
+    synth::call_site(&mut s, d, pick, 1);
+    synth::call_site(&mut s, d, cost, 1);
+    // The unbiased accept/reject diamond followed by a *shared* tail
+    // (Figure 4: unbiased branch, then a biased one at the join).
+    let accept = s.diamond(d.f, synth::unbiased_prob(&mut rng), 2);
+    let _ = accept;
+    let tail = s.diamond(d.f, synth::biased_prob(&mut rng), 1);
+    let _ = tail;
+    // Second unbiased decision (orientation flip).
+    let flip = s.diamond(d.f, synth::unbiased_prob(&mut rng), 1);
+    let _ = flip;
+    synth::end_driver(&mut s, d, scale.trips(24_000));
+
+    s.build().expect("twolf workload is well-formed")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rsel_program::Executor;
+    use std::collections::HashMap;
+
+    #[test]
+    fn accept_and_reject_sides_both_hot() {
+        let (p, spec) = build(12, Scale::Test);
+        let mut counts: HashMap<_, u64> = HashMap::new();
+        for st in Executor::new(&p, spec) {
+            *counts.entry(st.block).or_insert(0) += 1;
+        }
+        let trips = Scale::Test.trips(24_000) as u64;
+        // At least four blocks run at 30–70% of the driver frequency
+        // (the two unbiased diamonds' sides).
+        let halfish =
+            counts.values().filter(|&&c| c > trips * 3 / 10 && c < trips * 7 / 10).count();
+        assert!(halfish >= 4, "half-frequency blocks: {halfish}");
+    }
+}

@@ -1,0 +1,83 @@
+//! `vortex`-like workload: many medium-frequency blocks across wide
+//! call fan-out.
+//!
+//! 255.vortex (OO database) touches a large number of moderately hot
+//! routines rather than a few scorching ones. The paper notes vortex as
+//! the one benchmark where combined NET slightly *increases* region
+//! transitions, because the `T_min` cut can keep only parts of each
+//! observed trace when block frequencies hover near the threshold
+//! (§4.3.2). The model therefore spreads execution thinly: sixteen
+//! object-manager routines with middling guard probabilities and small
+//! internal diamonds.
+
+use crate::spec::Scale;
+use crate::synth::{self, AddrAlloc};
+use rand::Rng;
+use rsel_program::patterns::ScenarioBuilder;
+use rsel_program::{BehaviorSpec, Program};
+
+const ROUTINES: usize = 16;
+
+/// Builds the workload.
+pub fn build(seed: u64, scale: Scale) -> (Program, BehaviorSpec) {
+    let mut rng = synth::build_rng(seed);
+    let mut s = ScenarioBuilder::new(seed);
+    s.set_block_scale(3);
+    let mut alloc = AddrAlloc::new();
+
+    let mem_get = synth::leaf(&mut s, "mem_get_word", alloc.low(), 2);
+
+    let mut routines = Vec::with_capacity(ROUTINES);
+    for i in 0..ROUTINES {
+        let name = format!("chunk_{i}");
+        let base = if i % 2 == 0 { alloc.low() } else { alloc.high() };
+        let f = s.function(&name, base);
+        let entry = s.block(f, 2);
+        s.call(entry, mem_get);
+        // Near-threshold branch frequencies are vortex's signature.
+        let dia = s.diamond(f, rng.gen_range(0.25..0.75), 1);
+        let _ = dia;
+        let out = s.block(f, 1);
+        s.ret(out);
+        routines.push(f);
+    }
+
+    let d = synth::begin_driver(&mut s, "do_transaction", 2);
+    for &r in &routines {
+        let guard = s.block(d.f, 1);
+        let call = s.block(d.f, 0);
+        s.call(call, r);
+        let after = s.block(d.f, 1);
+        // Medium frequency: each routine runs on 30–70% of iterations.
+        s.branch_p(guard, after, rng.gen_range(0.3..0.7));
+        let _ = after;
+    }
+    synth::end_driver(&mut s, d, scale.trips(12_000));
+
+    s.build().expect("vortex workload is well-formed")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rsel_program::Executor;
+    use std::collections::HashMap;
+
+    #[test]
+    fn frequencies_are_medium_not_bimodal() {
+        let (p, spec) = build(10, Scale::Test);
+        let mut counts: HashMap<_, u64> = HashMap::new();
+        let mut total = 0u64;
+        for st in Executor::new(&p, spec) {
+            *counts.entry(st.block).or_insert(0) += 1;
+            total += 1;
+        }
+        // Many blocks execute between 10% and 90% of the driver trips.
+        let trips = Scale::Test.trips(12_000) as u64;
+        let medium = counts
+            .values()
+            .filter(|&&c| c > trips / 10 && c < trips * 9 / 10)
+            .count();
+        assert!(medium > 30, "medium-frequency blocks: {medium} (total {total})");
+    }
+}

@@ -1,0 +1,64 @@
+//! `vpr`-like workload: placement loops with moderate diamonds.
+//!
+//! 175.vpr (FPGA place & route) alternates a hot swap-evaluation loop
+//! with cost computations. Its branches are a mix of biased checks and
+//! a few unbiased decisions, giving it mid-pack behaviour in all of the
+//! paper's figures.
+
+use crate::spec::Scale;
+use crate::synth::{self, AddrAlloc};
+use rsel_program::patterns::ScenarioBuilder;
+use rsel_program::{BehaviorSpec, Program};
+
+/// Builds the workload.
+pub fn build(seed: u64, scale: Scale) -> (Program, BehaviorSpec) {
+    let mut rng = synth::build_rng(seed);
+    let mut s = ScenarioBuilder::new(seed);
+    s.set_block_scale(3);
+    let mut alloc = AddrAlloc::new();
+
+    // Cost helpers: one below main (backward call), one above.
+    let net_cost = synth::worker(&mut s, "net_cost", alloc.low(), 2, 6);
+    let timing = synth::leaf(&mut s, "timing_driven_cost", alloc.high(), 5);
+    let find_to = synth::branchy(&mut s, "find_to", alloc.high(), 3, &[0.7, 0.5]);
+
+    let d = synth::begin_driver(&mut s, "try_swap", 2);
+    synth::call_site(&mut s, d, find_to, 1);
+    synth::call_site(&mut s, d, net_cost, 1);
+    // Swap accepted? Moderately unbiased.
+    let accept = s.diamond(d.f, synth::unbiased_prob(&mut rng), 2);
+    let _ = accept;
+    // Timing update happens on most iterations.
+    let guard = s.block(d.f, 1);
+    let call_t = s.block(d.f, 0);
+    s.call(call_t, timing);
+    let after = s.block(d.f, 1);
+    s.branch_p(guard, after, 0.2);
+    let _ = after;
+    // A second, biased diamond (bounds check).
+    let bounds = s.diamond(d.f, synth::biased_prob(&mut rng), 1);
+    let _ = bounds;
+    synth::end_driver(&mut s, d, scale.trips(40_000));
+
+    s.build().expect("vpr workload is well-formed")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rsel_program::Executor;
+
+    #[test]
+    fn both_diamond_sides_execute() {
+        let (p, spec) = build(3, Scale::Test);
+        let steps: Vec<_> = Executor::new(&p, spec).collect();
+        assert!(steps.len() > 10_000, "steps {}", steps.len());
+        // The accept diamond is unbiased: both sides run.
+        let counts = steps.iter().fold(std::collections::HashMap::new(), |mut m, st| {
+            *m.entry(st.block).or_insert(0u32) += 1;
+            m
+        });
+        let executed_blocks = counts.len();
+        assert!(executed_blocks > 15, "blocks {executed_blocks}");
+    }
+}

@@ -1,0 +1,20 @@
+//! Facade crate re-exporting the `regionsel` workspace.
+//!
+//! `regionsel` reproduces the MICRO 2005 paper *Improving Region
+//! Selection in Dynamic Optimization Systems* (Hiniker, Hazelwood,
+//! Smith): the NET baseline, the LEI cyclic-trace selector, and the
+//! trace-combination region builder, together with the trace-driven
+//! simulation framework and metrics used by the paper's evaluation.
+//!
+//! See the individual crates for details:
+//!
+//! - [`program`]: program model, behaviours and the execution engine;
+//! - [`trace`]: event streams and the compact trace codec;
+//! - [`core`]: code cache, interpreter simulation, NET/LEI/combination
+//!   and all evaluation metrics;
+//! - [`workloads`]: the twelve SPECint2000-like synthetic benchmarks.
+
+pub use rsel_core as core;
+pub use rsel_program as program;
+pub use rsel_trace as trace;
+pub use rsel_workloads as workloads;

@@ -1,0 +1,207 @@
+//! The paper's three motivating scenarios (Figures 2–4) as assertions.
+
+use regionsel::core::select::SelectorKind;
+use regionsel::core::{SimConfig, Simulator};
+use regionsel::program::patterns::ScenarioBuilder;
+use regionsel::program::{BehaviorSpec, Executor, Program};
+
+fn run(
+    program: &Program,
+    spec: BehaviorSpec,
+    kind: SelectorKind,
+) -> (regionsel::core::RunReport, usize, Vec<Vec<regionsel::program::Addr>>) {
+    let config = SimConfig::default();
+    let mut sim = Simulator::new(program, kind.make(program, &config), &config);
+    sim.run(Executor::new(program, spec));
+    let paths = sim
+        .cache()
+        .regions()
+        .iter()
+        .map(|r| r.blocks().iter().map(|b| b.start()).collect())
+        .collect();
+    (sim.report(), sim.cache().len(), paths)
+}
+
+/// Figure 2: a loop with a function call on its dominant path.
+mod figure2 {
+    use super::*;
+
+    fn scenario() -> (Program, BehaviorSpec, [regionsel::program::Addr; 4]) {
+        let mut s = ScenarioBuilder::new(2);
+        let caller = s.function("loop_fn", 0x40_0000);
+        let callee = s.function("callee", 0x1000);
+        let a = s.block(caller, 2);
+        s.call(a, callee);
+        let latch = s.block(caller, 1);
+        s.branch_trips(latch, a, 20_000);
+        let out = s.block(caller, 0);
+        s.ret(out);
+        let e = s.block(callee, 2);
+        s.ret(e);
+        let (p, spec) = s.build().unwrap();
+        let addrs = [
+            p.block(a).start(),
+            p.block(latch).start(),
+            p.block(e).start(),
+            p.block(out).start(),
+        ];
+        (p, spec, addrs)
+    }
+
+    #[test]
+    fn net_splits_the_cycle_into_separate_traces() {
+        let (p, spec, _) = scenario();
+        let (rep, regions, paths) = run(&p, spec, SelectorKind::Net);
+        assert!(regions >= 2, "NET needs at least two traces");
+        assert!(
+            paths.iter().all(|path| path.len() < 4),
+            "no NET trace contains the whole cycle"
+        );
+        assert_eq!(rep.regions.iter().filter(|r| r.spans_cycle).count(), 0);
+        assert!(rep.region_transitions > 10_000, "iterating bounces between traces");
+    }
+
+    #[test]
+    fn lei_selects_one_cycle_spanning_trace() {
+        let (p, spec, [a, latch, e, _]) = scenario();
+        let (rep, _, paths) = run(&p, spec, SelectorKind::Lei);
+        let spanning = rep.regions.iter().filter(|r| r.spans_cycle).count();
+        assert!(spanning >= 1, "LEI spans the interprocedural cycle");
+        assert!(
+            paths.iter().any(|p| p.contains(&a) && p.contains(&latch) && p.contains(&e)),
+            "one trace holds the whole cycle"
+        );
+        assert_eq!(rep.region_transitions, 0, "iteration never leaves the trace");
+        assert!(rep.executed_cycle_ratio() > 0.99);
+    }
+
+    #[test]
+    fn lei_needs_fewer_exit_stubs_than_net() {
+        let (p, spec, _) = scenario();
+        let (net, ..) = run(&p, spec, SelectorKind::Net);
+        let (p, spec, _) = scenario();
+        let (lei, ..) = run(&p, spec, SelectorKind::Lei);
+        // Figure 2: "it would require two fewer exit stubs".
+        assert!(
+            lei.stub_count() + 2 <= net.stub_count(),
+            "LEI {} vs NET {}",
+            lei.stub_count(),
+            net.stub_count()
+        );
+    }
+}
+
+/// Figure 3: nested loops.
+mod figure3 {
+    use super::*;
+
+    fn scenario() -> (Program, BehaviorSpec, regionsel::program::Addr) {
+        let mut s = ScenarioBuilder::new(5);
+        let f = s.function("nest", 0x1000);
+        let a = s.block(f, 2);
+        let b = s.block(f, 2);
+        s.branch_trips(b, b, 12);
+        let c = s.block(f, 2);
+        s.branch_trips(c, a, 30_000);
+        let out = s.block(f, 0);
+        s.ret(out);
+        let _ = a;
+        let (p, spec) = s.build().unwrap();
+        let b_addr = p.block(b).start();
+        (p, spec, b_addr)
+    }
+
+    fn copies_of(paths: &[Vec<regionsel::program::Addr>], addr: regionsel::program::Addr) -> usize {
+        paths.iter().flat_map(|p| p.iter()).filter(|&&x| x == addr).count()
+    }
+
+    #[test]
+    fn net_duplicates_the_inner_loop() {
+        let (p, spec, b) = scenario();
+        let (_, _, paths) = run(&p, spec, SelectorKind::Net);
+        assert!(copies_of(&paths, b) >= 2, "NET copies the inner loop twice");
+    }
+
+    #[test]
+    fn lei_copies_the_inner_loop_once() {
+        let (p, spec, b) = scenario();
+        let (_, _, paths) = run(&p, spec, SelectorKind::Lei);
+        assert_eq!(copies_of(&paths, b), 1, "LEI avoids duplicating the nested cycle");
+    }
+
+    #[test]
+    fn lei_expands_less_code_than_net() {
+        let (p, spec, _) = scenario();
+        let (net, ..) = run(&p, spec, SelectorKind::Net);
+        let (p, spec, _) = scenario();
+        let (lei, ..) = run(&p, spec, SelectorKind::Lei);
+        assert!(lei.insts_copied() < net.insts_copied());
+    }
+}
+
+/// Figure 4: an unbiased branch whose sides rejoin.
+mod figure4 {
+    use super::*;
+    use regionsel::program::Addr;
+
+    #[allow(clippy::type_complexity)]
+    fn scenario() -> (Program, BehaviorSpec, (Addr, Addr, Addr, Addr)) {
+        let mut s = ScenarioBuilder::new(9);
+        let f = s.function("diamond", 0x1000);
+        let head = s.block(f, 1);
+        let a = s.block(f, 1);
+        let b = s.block(f, 2);
+        let c = s.block(f, 2);
+        let d = s.block(f, 1);
+        let tail = s.block(f, 1);
+        let e = s.block(f, 2);
+        let latch = s.block(f, 1);
+        let out = s.block(f, 0);
+        let _ = head;
+        s.branch_p(a, c, 0.5);
+        s.jump(b, d);
+        s.branch_p(d, e, 0.1);
+        s.jump(tail, latch);
+        let _ = e;
+        s.branch_trips(latch, head, 40_000);
+        s.ret(out);
+        let (p, spec) = s.build().unwrap();
+        let at = |id| p.block(id).start();
+        (p.clone(), spec, (at(b), at(c), at(d), at(tail)))
+    }
+
+    #[test]
+    fn net_duplicates_the_rejoining_tail() {
+        let (p, spec, (_, _, d, tail)) = scenario();
+        let (_, _, paths) = run(&p, spec, SelectorKind::Net);
+        let copies_d = paths.iter().flat_map(|x| x.iter()).filter(|&&x| x == d).count();
+        let copies_t = paths.iter().flat_map(|x| x.iter()).filter(|&&x| x == tail).count();
+        assert!(copies_d >= 2 && copies_t >= 2, "tail duplicated: D x{copies_d}, F x{copies_t}");
+    }
+
+    #[test]
+    fn combined_net_holds_both_sides_without_duplication() {
+        let (p, spec, (b, c, d, tail)) = scenario();
+        let (rep, _, paths) = run(&p, spec, SelectorKind::CombinedNet);
+        // One region contains both sides and one copy of the tail.
+        let big = paths
+            .iter()
+            .find(|x| x.contains(&b) && x.contains(&c))
+            .expect("a combined region holds both sides");
+        assert!(big.contains(&d) && big.contains(&tail));
+        let copies_d: usize =
+            paths.iter().flat_map(|x| x.iter()).filter(|&&x| x == d).count();
+        assert_eq!(copies_d, 1, "no duplication of the join");
+        assert!(rep.region_transitions < 100, "control stays in the region");
+    }
+
+    #[test]
+    fn combination_cuts_stubs_and_transitions() {
+        let (p, spec, _) = scenario();
+        let (net, ..) = run(&p, spec, SelectorKind::Net);
+        let (p, spec, _) = scenario();
+        let (comb, ..) = run(&p, spec, SelectorKind::CombinedNet);
+        assert!(comb.stub_count() < net.stub_count());
+        assert!(comb.region_transitions < net.region_transitions / 2);
+    }
+}

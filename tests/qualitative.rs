@@ -1,0 +1,136 @@
+//! Aggregate qualitative orderings from the paper's evaluation,
+//! checked at test scale across the whole suite.
+//!
+//! These assert the *shape* of the results — who wins and in which
+//! direction — with generous margins; the figure binaries in
+//! `rsel-bench` regenerate the quantitative tables at full scale.
+
+use regionsel::core::select::SelectorKind;
+use regionsel::core::{RunReport, SimConfig, Simulator};
+use regionsel::program::Executor;
+use regionsel::workloads::{Scale, suite};
+use std::collections::HashMap;
+
+fn matrix() -> HashMap<(&'static str, &'static str), RunReport> {
+    let config = SimConfig::default();
+    let mut out = HashMap::new();
+    for w in suite() {
+        for kind in SelectorKind::all() {
+            let (program, spec) = w.build(2005, Scale::Test);
+            let mut sim = Simulator::new(&program, kind.make(&program, &config), &config);
+            sim.run(Executor::new(&program, spec));
+            out.insert((w.name(), kind.name()), sim.report());
+        }
+    }
+    out
+}
+
+fn geomean(v: &[f64]) -> f64 {
+    (v.iter().map(|x| x.max(1e-9).ln()).sum::<f64>() / v.len() as f64).exp()
+}
+
+#[test]
+fn paper_shape_holds_in_aggregate() {
+    let m = matrix();
+    let workloads: Vec<&str> = suite().iter().map(|w| w.name()).collect();
+    let ratio = |num: &dyn Fn(&RunReport) -> f64, a: &'static str, b: &'static str| {
+        let rs: Vec<f64> = workloads
+            .iter()
+            .map(|&w| num(&m[&(w, a)]) / num(&m[&(w, b)]).max(1e-9))
+            .collect();
+        geomean(&rs)
+    };
+
+    // Figure 7: LEI selects at least as many cycle-spanning traces.
+    let spanned = |sel: &'static str| -> usize {
+        workloads
+            .iter()
+            .map(|&w| m[&(w, sel)].regions.iter().filter(|r| r.spans_cycle).count())
+            .sum()
+    };
+    assert!(
+        spanned("LEI") > spanned("NET"),
+        "LEI spans more cycles: {} vs {}",
+        spanned("LEI"),
+        spanned("NET")
+    );
+
+    // Figure 8: LEI reduces region transitions.
+    let transitions = |r: &RunReport| r.region_transitions as f64;
+    let t_ratio = ratio(&transitions, "LEI", "NET");
+    assert!(t_ratio < 0.95, "LEI/NET transitions {t_ratio:.3}");
+
+    // Figure 9: LEI needs no larger 90% cover sets on average.
+    let covers: Vec<f64> = workloads
+        .iter()
+        .filter_map(|&w| {
+            let lei = m[&(w, "LEI")].cover_set_size(0.9)?;
+            let net = m[&(w, "NET")].cover_set_size(0.9)?;
+            Some(lei as f64 / net as f64)
+        })
+        .collect();
+    assert!(!covers.is_empty());
+    let c_ratio = geomean(&covers);
+    assert!(c_ratio < 1.0, "LEI/NET cover sets {c_ratio:.3}");
+
+    // Figure 16: combination reduces transitions for both bases, and
+    // helps LEI at least as much as NET.
+    let cn = ratio(&transitions, "combined NET", "NET");
+    let cl = ratio(&transitions, "combined LEI", "LEI");
+    assert!(cn < 1.0, "cNET/NET transitions {cn:.3}");
+    assert!(cl < 1.0, "cLEI/LEI transitions {cl:.3}");
+    assert!(cl <= cn + 0.05, "combination helps LEI more: {cl:.3} vs {cn:.3}");
+
+    // Figure 19: combination reduces exit stubs for both bases.
+    let stubs = |r: &RunReport| r.stub_count() as f64;
+    assert!(ratio(&stubs, "combined NET", "NET") < 1.0);
+    assert!(ratio(&stubs, "combined LEI", "LEI") < 1.0);
+
+    // §6 headline: combined LEI cuts transitions against plain NET by a
+    // large factor ("cutting the number of region transitions in half").
+    let headline = ratio(&transitions, "combined LEI", "NET");
+    assert!(headline < 0.6, "combined LEI/NET transitions {headline:.3}");
+}
+
+#[test]
+fn mcf_is_the_interprocedural_cycle_showcase() {
+    // The paper's Figure 2 story is most visible on mcf-like code:
+    // LEI's executed-cycle ratio dwarfs NET's and its transitions
+    // collapse.
+    let config = SimConfig::default();
+    let w = suite().into_iter().find(|w| w.name() == "mcf").unwrap();
+    let mut reports = HashMap::new();
+    for kind in [SelectorKind::Net, SelectorKind::Lei] {
+        let (program, spec) = w.build(2005, Scale::Test);
+        let mut sim = Simulator::new(&program, kind.make(&program, &config), &config);
+        sim.run(Executor::new(&program, spec));
+        reports.insert(kind.name(), sim.report());
+    }
+    let net = &reports["NET"];
+    let lei = &reports["LEI"];
+    assert!(
+        lei.executed_cycle_ratio() > net.executed_cycle_ratio() + 0.3,
+        "LEI {:.2} vs NET {:.2}",
+        lei.executed_cycle_ratio(),
+        net.executed_cycle_ratio()
+    );
+    assert!(lei.region_transitions * 5 < net.region_transitions);
+}
+
+#[test]
+fn combination_never_wrecks_hit_rate() {
+    // §4.3: combination moves hit rates by well under a point in the
+    // paper; allow a few points at our miniature test scale.
+    let m = matrix();
+    for w in suite() {
+        let base = m[&(w.name(), "NET")].hit_rate();
+        let comb = m[&(w.name(), "combined NET")].hit_rate();
+        assert!(
+            comb + 0.1 >= base,
+            "{}: combined NET hit {:.3} vs NET {:.3}",
+            w.name(),
+            comb,
+            base
+        );
+    }
+}
