@@ -40,7 +40,11 @@ fn record(p: &Program, flips: usize) -> CompactTrace {
                 let taken = k % 3 == 0;
                 rec.record_cond(taken);
                 k += 1;
-                if taken { target } else { inst.fallthrough_addr() }
+                if taken {
+                    target
+                } else {
+                    inst.fallthrough_addr()
+                }
             }
             _ => break,
         };
@@ -53,13 +57,9 @@ fn codec(c: &mut Criterion) {
     for branches in [16usize, 128, 1024] {
         let p = chain(4 * branches + 8);
         group.throughput(Throughput::Elements(branches as u64));
-        group.bench_with_input(
-            BenchmarkId::new("encode", branches),
-            &branches,
-            |b, &n| {
-                b.iter(|| std::hint::black_box(record(&p, n).byte_len()));
-            },
-        );
+        group.bench_with_input(BenchmarkId::new("encode", branches), &branches, |b, &n| {
+            b.iter(|| std::hint::black_box(record(&p, n).byte_len()));
+        });
         let ct = record(&p, branches);
         group.bench_with_input(BenchmarkId::new("decode", branches), &branches, |b, _| {
             b.iter(|| std::hint::black_box(ct.decode(&p).expect("round trip").insts.len()));

@@ -14,7 +14,10 @@ use rsel_trace::RecordedStream;
 use rsel_workloads::{Scale, suite};
 
 fn selection_overhead(c: &mut Criterion) {
-    let workload = suite().into_iter().find(|w| w.name() == "vpr").expect("vpr exists");
+    let workload = suite()
+        .into_iter()
+        .find(|w| w.name() == "vpr")
+        .expect("vpr exists");
     let (program, spec) = workload.build(7, Scale::Test);
     let stream = RecordedStream::record(Executor::new(&program, spec));
     let config = SimConfig::default();
@@ -24,8 +27,7 @@ fn selection_overhead(c: &mut Criterion) {
     for kind in SelectorKind::all() {
         group.bench_function(kind.name(), |b| {
             b.iter(|| {
-                let mut sim =
-                    Simulator::new(&program, kind.make(&program, &config), &config);
+                let mut sim = Simulator::new(&program, kind.make(&program, &config), &config);
                 sim.run(stream.replay());
                 std::hint::black_box(sim.total_insts())
             });

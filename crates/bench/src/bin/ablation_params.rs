@@ -6,7 +6,7 @@
 //! Reports the LEI/NET region-transition ratio and LEI hit rate per
 //! setting, aggregated over the suite.
 
-use rsel_bench::{geomean, run_matrix, DEFAULT_SEED};
+use rsel_bench::{DEFAULT_SEED, geomean, run_matrix};
 use rsel_core::SimConfig;
 use rsel_core::select::SelectorKind;
 use rsel_workloads::Scale;
@@ -21,16 +21,26 @@ fn main() {
         "{:>8}  {:>6}  {:>12}  {:>9}  {:>8}",
         "buffer", "T_cyc", "trans./NET", "hit rate", "regions"
     );
-    for (history, threshold) in
-        [(50usize, 35u32), (200, 35), (500, 35), (2000, 35), (500, 10), (500, 50), (500, 100)]
-    {
+    for (history, threshold) in [
+        (50usize, 35u32),
+        (200, 35),
+        (500, 35),
+        (2000, 35),
+        (500, 10),
+        (500, 50),
+        (500, 100),
+    ] {
         let config = SimConfig {
             history_size: history,
             lei_threshold: threshold,
             ..SimConfig::default()
         };
-        let m =
-            run_matrix(&[SelectorKind::Net, SelectorKind::Lei], DEFAULT_SEED, scale, &config);
+        let m = run_matrix(
+            &[SelectorKind::Net, SelectorKind::Lei],
+            DEFAULT_SEED,
+            scale,
+            &config,
+        );
         let mut ratios = Vec::new();
         let mut hits = Vec::new();
         let mut regions = 0usize;

@@ -5,7 +5,7 @@
 //! similar improvements" — combination remains effective with far fewer
 //! observations.
 
-use rsel_bench::{Table, geomean, run_matrix, DEFAULT_SEED};
+use rsel_bench::{DEFAULT_SEED, Table, geomean, run_matrix};
 use rsel_core::SimConfig;
 use rsel_core::select::SelectorKind;
 use rsel_workloads::Scale;
@@ -19,7 +19,11 @@ fn main() {
     let mut rows: Vec<(String, Vec<f64>)> = Vec::new();
     let mut per_setting = Vec::new();
     for (t_prof, t_min) in [(15u32, 5u32), (5, 2)] {
-        let config = SimConfig { t_prof, t_min, ..SimConfig::default() };
+        let config = SimConfig {
+            t_prof,
+            t_min,
+            ..SimConfig::default()
+        };
         eprintln!("running T_prof={t_prof}, T_min={t_min}...");
         let m = run_matrix(&kinds, DEFAULT_SEED, scale, &config);
         let mut ratios = Vec::new();

@@ -29,16 +29,17 @@ fn main() {
     );
     for capacity in [2_000u64, 6_000, 20_000] {
         for kind in SelectorKind::all() {
-            let config =
-                SimConfig { cache_capacity: Some(capacity), ..SimConfig::default() };
+            let config = SimConfig {
+                cache_capacity: Some(capacity),
+                ..SimConfig::default()
+            };
             let mut flushes = 0u64;
             let mut regions = 0usize;
             let mut cache_insts = 0u64;
             let mut total_insts = 0u64;
             for w in suite() {
                 let (program, spec) = w.build(2005, scale);
-                let mut sim =
-                    Simulator::new(&program, kind.make(&program, &config), &config);
+                let mut sim = Simulator::new(&program, kind.make(&program, &config), &config);
                 sim.run(Executor::new(&program, spec));
                 let r = sim.report();
                 flushes += r.cache_flushes;

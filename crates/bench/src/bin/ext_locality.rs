@@ -24,17 +24,24 @@ fn main() {
     )
     .percentages();
     for &w in m.workloads() {
-        let vals: Vec<f64> =
-            kinds.iter().map(|&k| m.report(w, k).page_crossing_fraction()).collect();
+        let vals: Vec<f64> = kinds
+            .iter()
+            .map(|&k| m.report(w, k).page_crossing_fraction())
+            .collect();
         t.row(w, &vals);
     }
     print!("{}", t.render());
 
     println!("\nmean transition distance (bytes of cache layout):");
-    println!("{:<10} {:>10} {:>10} {:>10} {:>10}", "benchmark", "NET", "LEI", "cNET", "cLEI");
+    println!(
+        "{:<10} {:>10} {:>10} {:>10} {:>10}",
+        "benchmark", "NET", "LEI", "cNET", "cLEI"
+    );
     for &w in m.workloads() {
-        let d: Vec<f64> =
-            kinds.iter().map(|&k| m.report(w, k).mean_transition_distance()).collect();
+        let d: Vec<f64> = kinds
+            .iter()
+            .map(|&k| m.report(w, k).mean_transition_distance())
+            .collect();
         println!(
             "{w:<10} {:>10.0} {:>10.0} {:>10.0} {:>10.0}",
             d[0], d[1], d[2], d[3]
@@ -43,7 +50,10 @@ fn main() {
     // Absolute separation cost: page-crossing transitions per million
     // executed instructions.
     println!("\npage-crossing transitions per million executed instructions:");
-    println!("{:<10} {:>10} {:>10} {:>10} {:>10}", "benchmark", "NET", "LEI", "cNET", "cLEI");
+    println!(
+        "{:<10} {:>10} {:>10} {:>10} {:>10}",
+        "benchmark", "NET", "LEI", "cNET", "cLEI"
+    );
     for &w in m.workloads() {
         let d: Vec<f64> = kinds
             .iter()

@@ -21,8 +21,7 @@ fn main() {
         let net = m.report(w, SelectorKind::Net);
         let lei = m.report(w, SelectorKind::Lei);
         let expansion = lei.insts_copied() as f64 / net.insts_copied().max(1) as f64;
-        let transitions =
-            lei.region_transitions as f64 / net.region_transitions.max(1) as f64;
+        let transitions = lei.region_transitions as f64 / net.region_transitions.max(1) as f64;
         t.row(w, &[expansion, transitions]);
     }
     print!("{}", t.render());

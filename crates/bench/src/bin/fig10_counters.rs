@@ -13,8 +13,10 @@ use rsel_core::select::SelectorKind;
 fn main() {
     let config = SimConfig::default();
     let m = run_matrix_from_env(&[SelectorKind::Net, SelectorKind::Lei], &config);
-    let mut t =
-        Table::new("Figure 10: peak profiling counters", &["NET", "LEI", "LEI/NET"]);
+    let mut t = Table::new(
+        "Figure 10: peak profiling counters",
+        &["NET", "LEI", "LEI/NET"],
+    );
     let mut ratios = Vec::new();
     for &w in m.workloads() {
         let net = m.report(w, SelectorKind::Net).peak_counters as f64;

@@ -27,12 +27,19 @@ fn main() {
     let mut base = 0usize;
     let mut comb = 0usize;
     for &w in m.workloads() {
-        let vals: Vec<f64> =
-            kinds.iter().map(|&k| m.report(w, k).exit_dominated_fraction()).collect();
+        let vals: Vec<f64> = kinds
+            .iter()
+            .map(|&k| m.report(w, k).exit_dominated_fraction())
+            .collect();
         base += m.report(w, SelectorKind::Net).domination.dominated_regions
             + m.report(w, SelectorKind::Lei).domination.dominated_regions;
-        comb += m.report(w, SelectorKind::CombinedNet).domination.dominated_regions
-            + m.report(w, SelectorKind::CombinedLei).domination.dominated_regions;
+        comb += m
+            .report(w, SelectorKind::CombinedNet)
+            .domination
+            .dominated_regions
+            + m.report(w, SelectorKind::CombinedLei)
+                .domination
+                .dominated_regions;
         t.row(w, &vals);
     }
     print!("{}", t.render());

@@ -25,8 +25,10 @@ fn main() {
     let mut net_ratios = Vec::new();
     let mut lei_ratios = Vec::new();
     for &w in m.workloads() {
-        let sizes: Vec<Option<usize>> =
-            kinds.iter().map(|&k| m.report(w, k).cover_set_size(0.9)).collect();
+        let sizes: Vec<Option<usize>> = kinds
+            .iter()
+            .map(|&k| m.report(w, k).cover_set_size(0.9))
+            .collect();
         let [Some(n), Some(l), Some(cn), Some(cl)] = sizes.as_slice() else {
             eprintln!("{w}: cover set unattainable {sizes:?}");
             continue;
@@ -43,7 +45,10 @@ fn main() {
     );
     // Total regions selected (paper: -9% for NET, -30% for LEI).
     let total = |k| {
-        m.workloads().iter().map(|&w| m.report(w, k).region_count()).sum::<usize>() as f64
+        m.workloads()
+            .iter()
+            .map(|&w| m.report(w, k).region_count())
+            .sum::<usize>() as f64
     };
     println!(
         "total regions: NET {} -> cNET {} ({:+.0}%), LEI {} -> cLEI {} ({:+.0}%)",

@@ -21,8 +21,12 @@ fn main() {
     let mut net_sum = 0.0;
     let mut lei_sum = 0.0;
     for &w in m.workloads() {
-        let n = m.report(w, SelectorKind::CombinedNet).observed_memory_fraction();
-        let l = m.report(w, SelectorKind::CombinedLei).observed_memory_fraction();
+        let n = m
+            .report(w, SelectorKind::CombinedNet)
+            .observed_memory_fraction();
+        let l = m
+            .report(w, SelectorKind::CombinedLei)
+            .observed_memory_fraction();
         t.row(w, &[n, l]);
         net_sum += n;
         lei_sum += l;

@@ -18,9 +18,11 @@ fn main() {
         SelectorKind::CombinedLei,
     ];
     let m = run_matrix_from_env(&kinds, &config);
-    let mut t =
-        Table::new("Hit rate (instructions executed from cache)", &["NET", "LEI", "cNET", "cLEI"])
-            .percentages();
+    let mut t = Table::new(
+        "Hit rate (instructions executed from cache)",
+        &["NET", "LEI", "cNET", "cLEI"],
+    )
+    .percentages();
     for &w in m.workloads() {
         let vals: Vec<f64> = kinds.iter().map(|&k| m.report(w, k).hit_rate()).collect();
         t.row(w, &vals);

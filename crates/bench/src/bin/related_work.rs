@@ -44,9 +44,16 @@ fn main() {
     }
     print!("{}", t.render());
     println!("\ngeomeans vs NET (over workloads where the selector cached anything):");
-    for (name, col) in ["Mojo", "BOA", "W/R", "ADORE", "LEI", "cLEI"].iter().zip(&cols) {
+    for (name, col) in ["Mojo", "BOA", "W/R", "ADORE", "LEI", "cLEI"]
+        .iter()
+        .zip(&cols)
+    {
         let nonzero: Vec<f64> = col.iter().copied().filter(|v| *v > 0.0).collect();
-        println!("  {name:<6} {:.2}  ({} of 12 workloads)", geomean(&nonzero), nonzero.len());
+        println!(
+            "  {name:<6} {:.2}  ({} of 12 workloads)",
+            geomean(&nonzero),
+            nonzero.len()
+        );
     }
     println!("\nNOTE: read the transition ratios together with the hit rates below —");
     println!("the sampling selectors (W/R, ADORE) transition rarely partly because");

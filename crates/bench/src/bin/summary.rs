@@ -24,8 +24,7 @@ fn main() {
         let cl = m.report(w, SelectorKind::CombinedLei);
         let expansion = cl.insts_copied() as f64 / net.insts_copied().max(1) as f64;
         let stubs = cl.stub_count() as f64 / net.stub_count().max(1) as f64;
-        let transitions =
-            cl.region_transitions as f64 / net.region_transitions.max(1) as f64;
+        let transitions = cl.region_transitions as f64 / net.region_transitions.max(1) as f64;
         let cover = match (cl.cover_set_size(0.9), net.cover_set_size(0.9)) {
             (Some(c), Some(n)) => c as f64 / n as f64,
             _ => {

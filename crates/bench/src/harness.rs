@@ -92,7 +92,10 @@ pub fn run_matrix(
             reports.insert((w.name(), k), rep);
         }
     }
-    MatrixResults { workload_names: names, reports }
+    MatrixResults {
+        workload_names: names,
+        reports,
+    }
 }
 
 /// Reads the experiment scale from `RSEL_SCALE` (`test` or `full`,
@@ -102,7 +105,11 @@ pub fn run_matrix_from_env(kinds: &[SelectorKind], config: &SimConfig) -> Matrix
         Ok("test") => Scale::Test,
         _ => Scale::Full,
     };
-    eprintln!("running {} workloads x {} selectors ({scale:?} scale)...", 12, kinds.len());
+    eprintln!(
+        "running {} workloads x {} selectors ({scale:?} scale)...",
+        12,
+        kinds.len()
+    );
     run_matrix(kinds, DEFAULT_SEED, scale, config)
 }
 
@@ -124,7 +131,12 @@ mod tests {
     #[test]
     fn compare_yields_one_row_per_workload() {
         let cfg = SimConfig::default();
-        let m = run_matrix(&[SelectorKind::Net, SelectorKind::Lei], 1, Scale::Test, &cfg);
+        let m = run_matrix(
+            &[SelectorKind::Net, SelectorKind::Lei],
+            1,
+            Scale::Test,
+            &cfg,
+        );
         let rows = m.compare(SelectorKind::Lei, SelectorKind::Net, |a, b| {
             (a.region_count(), b.region_count())
         });

@@ -88,7 +88,11 @@ impl Table {
             .max()
             .unwrap_or(8)
             .max(9);
-        let col_w = self.columns.iter().map(|c| c.len().max(10)).collect::<Vec<_>>();
+        let col_w = self
+            .columns
+            .iter()
+            .map(|c| c.len().max(10))
+            .collect::<Vec<_>>();
         let _ = write!(out, "{:name_w$}", "benchmark");
         for (c, w) in self.columns.iter().zip(&col_w) {
             let _ = write!(out, "  {c:>w$}");

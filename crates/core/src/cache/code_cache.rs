@@ -1,8 +1,19 @@
 //! The unbounded code cache holding selected regions.
 
 use super::region::{Region, RegionId};
+use crate::error::SimError;
 use rsel_program::Addr;
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
+
+/// The outcome of removing regions from the cache (a self-modifying-code
+/// invalidation or a cache-pressure eviction wave).
+#[derive(Debug, Default)]
+pub struct Removal {
+    /// The regions removed, in selection order, with their final state.
+    pub removed: Vec<Region>,
+    /// Inter-region links severed because one endpoint was removed.
+    pub severed_links: u64,
+}
 
 /// The simulated code cache.
 ///
@@ -13,10 +24,34 @@ use std::collections::HashMap;
 /// over — the experiment §2.3 predicts its algorithms help with,
 /// "because our algorithms reduce code duplication and produce fewer
 /// cached regions ... and \[regenerates\] fewer evicted regions".
+///
+/// Beyond the paper, the cache supports *partial* removal, which real
+/// systems need to survive self-modifying code and memory pressure:
+///
+/// - [`CodeCache::invalidate_range`] removes every region whose copied
+///   blocks overlap a dirtied byte range;
+/// - [`CodeCache::evict_oldest`] removes the oldest regions under a
+///   pressure wave.
+///
+/// Region ids are *stable*: they are assigned monotonically and keep
+/// naming the same region until it is removed (they restart only at a
+/// full [`CodeCache::flush`]). Inter-region links installed by lazy
+/// linking are registered with [`CodeCache::record_link`] and severed
+/// automatically when either endpoint is removed, so no link ever
+/// dangles.
 #[derive(Clone, Debug)]
 pub struct CodeCache {
+    /// Live regions in selection order.
     regions: Vec<Region>,
+    /// Live entry address → region id.
     entries: HashMap<Addr, RegionId>,
+    /// Live region id → index in `regions`.
+    index_of: HashMap<RegionId, usize>,
+    /// Next id to assign; monotonic until a full flush.
+    next_id: u32,
+    /// Lazy links installed between live regions.
+    links_out: HashMap<RegionId, HashSet<RegionId>>,
+    links_in: HashMap<RegionId, HashSet<RegionId>>,
     capacity: Option<u64>,
     stub_bytes: u64,
     flushes: u64,
@@ -28,6 +63,10 @@ impl Default for CodeCache {
         CodeCache {
             regions: Vec::new(),
             entries: HashMap::new(),
+            index_of: HashMap::new(),
+            next_id: 0,
+            links_out: HashMap::new(),
+            links_in: HashMap::new(),
             capacity: None,
             stub_bytes: 10, // the paper's layout estimate (§4.3.4)
             flushes: 0,
@@ -66,18 +105,21 @@ impl CodeCache {
     pub fn would_overflow(&self, region: &Region) -> bool {
         match self.capacity {
             Some(cap) => {
-                self.size_estimate(self.stub_bytes) + region.size_estimate(self.stub_bytes)
-                    > cap
+                self.size_estimate(self.stub_bytes) + region.size_estimate(self.stub_bytes) > cap
             }
             None => false,
         }
     }
 
     /// Empties the cache (the bounded-cache flush policy). Region ids
-    /// restart from zero.
+    /// restart from zero and all links are dropped.
     pub fn flush(&mut self) {
         self.regions.clear();
         self.entries.clear();
+        self.index_of.clear();
+        self.links_out.clear();
+        self.links_in.clear();
+        self.next_id = 0;
         self.flushes += 1;
         self.next_offset = 0;
     }
@@ -97,33 +139,63 @@ impl CodeCache {
     /// # Panics
     ///
     /// Panics if a region with the same entry address already exists:
-    /// selectors only select targets that miss the cache.
-    pub fn insert(&mut self, mut region: Region) -> RegionId {
-        let id = RegionId(self.regions.len() as u32);
+    /// selectors only select targets that miss the cache. Use
+    /// [`CodeCache::try_insert`] where a duplicate must be tolerated
+    /// (fault recovery can race a re-selection against a re-formation).
+    pub fn insert(&mut self, region: Region) -> RegionId {
+        match self.try_insert(region) {
+            Ok(id) => id,
+            Err(e) => panic!("duplicate region entry: {e}"),
+        }
+    }
+
+    /// Inserts a region, assigning its id; rejects a duplicate entry
+    /// address with [`SimError::DuplicateRegionEntry`] (the region is
+    /// dropped).
+    pub fn try_insert(&mut self, mut region: Region) -> Result<RegionId, SimError> {
+        if self.entries.contains_key(&region.entry()) {
+            return Err(SimError::DuplicateRegionEntry(region.entry()));
+        }
+        let id = RegionId(self.next_id);
+        self.next_id += 1;
         region.set_id(id);
         region.set_cache_offset(self.next_offset);
         self.next_offset += region.size_estimate(self.stub_bytes);
-        let prev = self.entries.insert(region.entry(), id);
-        assert!(prev.is_none(), "duplicate region entry {}", region.entry());
+        self.entries.insert(region.entry(), id);
+        self.index_of.insert(id, self.regions.len());
         self.regions.push(region);
-        id
+        Ok(id)
     }
 
     /// The region with the given id.
     ///
     /// # Panics
     ///
-    /// Panics if `id` does not belong to this cache.
+    /// Panics if `id` does not name a live region. Use
+    /// [`CodeCache::try_region`] where the id may have been
+    /// invalidated.
     pub fn region(&self, id: RegionId) -> &Region {
-        &self.regions[id.index()]
+        match self.try_region(id) {
+            Ok(r) => r,
+            Err(e) => panic!("{e}"),
+        }
     }
 
-    /// All regions in selection order.
+    /// The region with the given id, or [`SimError::UnknownRegion`] if
+    /// it is not live (never existed, was invalidated, or was flushed).
+    pub fn try_region(&self, id: RegionId) -> Result<&Region, SimError> {
+        self.index_of
+            .get(&id)
+            .map(|&i| &self.regions[i])
+            .ok_or(SimError::UnknownRegion(id))
+    }
+
+    /// All live regions in selection order.
     pub fn regions(&self) -> &[Region] {
         &self.regions
     }
 
-    /// Number of regions selected.
+    /// Number of live regions.
     pub fn len(&self) -> usize {
         self.regions.len()
     }
@@ -133,21 +205,123 @@ impl CodeCache {
         self.regions.is_empty()
     }
 
+    /// Records a lazy link `from → to` (an exit stub of `from` patched
+    /// to jump straight into `to`). Self-links are ignored; dead ids
+    /// are ignored.
+    pub fn record_link(&mut self, from: RegionId, to: RegionId) {
+        if from == to || !self.index_of.contains_key(&from) || !self.index_of.contains_key(&to) {
+            return;
+        }
+        if self.links_out.entry(from).or_default().insert(to) {
+            self.links_in.entry(to).or_default().insert(from);
+        }
+    }
+
+    /// Live inter-region links, as `(from, to)` pairs in unspecified
+    /// order.
+    pub fn links(&self) -> impl Iterator<Item = (RegionId, RegionId)> + '_ {
+        self.links_out
+            .iter()
+            .flat_map(|(&from, tos)| tos.iter().map(move |&to| (from, to)))
+    }
+
+    /// Number of live inter-region links.
+    pub fn link_count(&self) -> u64 {
+        self.links_out.values().map(|s| s.len() as u64).sum()
+    }
+
+    /// Removes every live region whose copied blocks overlap the byte
+    /// range `[lo, hi)` — the recovery response to a self-modifying-code
+    /// write. Links touching a removed region are severed.
+    pub fn invalidate_range(&mut self, lo: Addr, hi: Addr) -> Removal {
+        let doomed: HashSet<RegionId> = self
+            .regions
+            .iter()
+            .filter(|r| r.overlaps_range(lo, hi))
+            .map(Region::id)
+            .collect();
+        self.remove_ids(&doomed)
+    }
+
+    /// Removes the `count` oldest (earliest-selected) live regions —
+    /// the recovery response to a cache-pressure flush wave. Links
+    /// touching a removed region are severed.
+    pub fn evict_oldest(&mut self, count: usize) -> Removal {
+        let doomed: HashSet<RegionId> = self.regions.iter().take(count).map(Region::id).collect();
+        self.remove_ids(&doomed)
+    }
+
+    fn remove_ids(&mut self, doomed: &HashSet<RegionId>) -> Removal {
+        if doomed.is_empty() {
+            return Removal::default();
+        }
+        let mut severed = 0;
+        for &id in doomed {
+            severed += self.unlink(id);
+        }
+        let mut removed = Vec::with_capacity(doomed.len());
+        let mut kept = Vec::with_capacity(self.regions.len() - doomed.len());
+        for r in std::mem::take(&mut self.regions) {
+            if doomed.contains(&r.id()) {
+                self.entries.remove(&r.entry());
+                self.index_of.remove(&r.id());
+                removed.push(r);
+            } else {
+                kept.push(r);
+            }
+        }
+        self.regions = kept;
+        for (i, r) in self.regions.iter().enumerate() {
+            self.index_of.insert(r.id(), i);
+        }
+        Removal {
+            removed,
+            severed_links: severed,
+        }
+    }
+
+    /// Severs every link with `id` as an endpoint, returning how many
+    /// were cut.
+    fn unlink(&mut self, id: RegionId) -> u64 {
+        let mut severed = 0;
+        if let Some(outs) = self.links_out.remove(&id) {
+            for o in outs {
+                if let Some(ins) = self.links_in.get_mut(&o) {
+                    ins.remove(&id);
+                }
+                severed += 1;
+            }
+        }
+        if let Some(ins) = self.links_in.remove(&id) {
+            for i in ins {
+                if let Some(outs) = self.links_out.get_mut(&i) {
+                    if outs.remove(&id) {
+                        severed += 1;
+                    }
+                }
+            }
+        }
+        severed
+    }
+
     /// Total instructions copied into the cache (the paper's *code
-    /// expansion* metric, §2.3).
+    /// expansion* metric, §2.3); live regions only.
     pub fn insts_copied(&self) -> u64 {
         self.regions.iter().map(Region::inst_count).sum()
     }
 
-    /// Total exit stubs across all regions (Figure 19's metric).
+    /// Total exit stubs across all live regions (Figure 19's metric).
     pub fn stub_count(&self) -> u64 {
         self.regions.iter().map(|r| r.stub_count() as u64).sum()
     }
 
     /// Estimated total cache size in bytes: instruction bytes plus
-    /// `stub_bytes` per stub (paper §4.3.4).
+    /// `stub_bytes` per stub (paper §4.3.4); live regions only.
     pub fn size_estimate(&self, stub_bytes: u64) -> u64 {
-        self.regions.iter().map(|r| r.size_estimate(stub_bytes)).sum()
+        self.regions
+            .iter()
+            .map(|r| r.size_estimate(stub_bytes))
+            .sum()
     }
 }
 
@@ -204,11 +378,25 @@ mod tests {
     }
 
     #[test]
+    fn try_insert_reports_duplicates_gracefully() {
+        let p = program();
+        let mut cache = CodeCache::new();
+        let a = p.blocks()[0].start();
+        cache.try_insert(Region::trace(&p, &[a])).unwrap();
+        let err = cache.try_insert(Region::trace(&p, &[a])).unwrap_err();
+        assert_eq!(err, SimError::DuplicateRegionEntry(a));
+        assert_eq!(cache.len(), 1, "the duplicate was dropped");
+    }
+
+    #[test]
     fn aggregates_sum_regions() {
         let p = program();
         let mut cache = CodeCache::new();
         cache.insert(Region::trace(&p, &[p.blocks()[0].start()]));
-        cache.insert(Region::trace(&p, &[p.blocks()[1].start(), p.blocks()[0].start()]));
+        cache.insert(Region::trace(
+            &p,
+            &[p.blocks()[1].start(), p.blocks()[0].start()],
+        ));
         assert_eq!(
             cache.insts_copied(),
             cache.regions().iter().map(|r| r.inst_count()).sum::<u64>()
@@ -216,7 +404,93 @@ mod tests {
         assert!(cache.stub_count() > 0);
         assert_eq!(
             cache.size_estimate(10),
-            cache.regions().iter().map(|r| r.size_estimate(10)).sum::<u64>()
+            cache
+                .regions()
+                .iter()
+                .map(|r| r.size_estimate(10))
+                .sum::<u64>()
         );
+    }
+
+    #[test]
+    fn invalidation_keeps_ids_stable() {
+        let p = program();
+        let mut cache = CodeCache::new();
+        let s: Vec<Addr> = p.blocks().iter().map(|b| b.start()).collect();
+        let id0 = cache.insert(Region::trace(&p, &[s[0]]));
+        let id1 = cache.insert(Region::trace(&p, &[s[1]]));
+        let id2 = cache.insert(Region::trace(&p, &[s[2]]));
+        // Dirty block 1's bytes: only the middle region dies.
+        let out = cache.invalidate_range(s[1], s[1].offset(1));
+        assert_eq!(out.removed.len(), 1);
+        assert_eq!(out.removed[0].id(), id1);
+        assert_eq!(cache.len(), 2);
+        // Survivors keep their ids and stay addressable.
+        assert_eq!(cache.region(id0).entry(), s[0]);
+        assert_eq!(cache.region(id2).entry(), s[2]);
+        assert!(matches!(cache.try_region(id1), Err(SimError::UnknownRegion(i)) if i == id1));
+        assert_eq!(cache.lookup(s[1]), None);
+        // A later insertion continues the monotonic id sequence.
+        let id3 = cache.insert(Region::trace(&p, &[s[1]]));
+        assert!(id3 > id2);
+    }
+
+    #[test]
+    fn invalidation_severs_links_both_ways() {
+        let p = program();
+        let mut cache = CodeCache::new();
+        let s: Vec<Addr> = p.blocks().iter().map(|b| b.start()).collect();
+        let id0 = cache.insert(Region::trace(&p, &[s[0]]));
+        let id1 = cache.insert(Region::trace(&p, &[s[1]]));
+        let id2 = cache.insert(Region::trace(&p, &[s[2]]));
+        cache.record_link(id0, id1);
+        cache.record_link(id1, id2);
+        cache.record_link(id2, id0);
+        cache.record_link(id2, id0); // duplicate: not double counted
+        assert_eq!(cache.link_count(), 3);
+        let out = cache.invalidate_range(s[1], s[1].offset(1));
+        assert_eq!(out.severed_links, 2, "both links touching id1 cut");
+        assert_eq!(cache.link_count(), 1);
+        let remaining: Vec<_> = cache.links().collect();
+        assert_eq!(remaining, vec![(id2, id0)]);
+        // No link references a dead region.
+        for (a, b) in cache.links() {
+            assert!(cache.try_region(a).is_ok() && cache.try_region(b).is_ok());
+        }
+    }
+
+    #[test]
+    fn evict_oldest_removes_in_selection_order() {
+        let p = program();
+        let mut cache = CodeCache::new();
+        let s: Vec<Addr> = p.blocks().iter().map(|b| b.start()).collect();
+        let id0 = cache.insert(Region::trace(&p, &[s[0]]));
+        let id1 = cache.insert(Region::trace(&p, &[s[1]]));
+        let id2 = cache.insert(Region::trace(&p, &[s[2]]));
+        let out = cache.evict_oldest(2);
+        let gone: Vec<RegionId> = out.removed.iter().map(Region::id).collect();
+        assert_eq!(gone, vec![id0, id1]);
+        assert_eq!(cache.len(), 1);
+        assert_eq!(cache.regions()[0].id(), id2);
+        // Evicting more than live is harmless.
+        let out = cache.evict_oldest(10);
+        assert_eq!(out.removed.len(), 1);
+        assert!(cache.is_empty());
+    }
+
+    #[test]
+    fn flush_restarts_ids_and_drops_links() {
+        let p = program();
+        let mut cache = CodeCache::new();
+        let s: Vec<Addr> = p.blocks().iter().map(|b| b.start()).collect();
+        let id0 = cache.insert(Region::trace(&p, &[s[0]]));
+        let id1 = cache.insert(Region::trace(&p, &[s[1]]));
+        cache.record_link(id0, id1);
+        cache.flush();
+        assert!(cache.is_empty());
+        assert_eq!(cache.link_count(), 0);
+        assert_eq!(cache.flushes(), 1);
+        let id = cache.insert(Region::trace(&p, &[s[0]]));
+        assert_eq!(id.index(), 0, "ids restart after a full flush");
     }
 }

@@ -57,7 +57,11 @@ fn render_region(out: &mut String, region: &Region, prefix: &str) {
             style
         );
         for &succ in region.successors(b.start()) {
-            let loop_back = if succ == region.entry() { " [color=red]" } else { "" };
+            let loop_back = if succ == region.entry() {
+                " [color=red]"
+            } else {
+                ""
+            };
             let _ = writeln!(out, "  {} -> {}{};", node(b.start()), node(succ), loop_back);
         }
     }
@@ -68,7 +72,11 @@ fn render_region(out: &mut String, region: &Region, prefix: &str) {
         };
         let sn = format!("{prefix}stub{i}");
         let _ = writeln!(out, "  {sn} [label=\"{label}\", shape=note, color=gray];");
-        let _ = writeln!(out, "  {} -> {sn} [style=dashed, color=gray];", node(stub.from));
+        let _ = writeln!(
+            out,
+            "  {} -> {sn} [style=dashed, color=gray];",
+            node(stub.from)
+        );
     }
 }
 

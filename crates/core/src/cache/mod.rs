@@ -4,6 +4,6 @@ pub mod code_cache;
 pub mod dot;
 pub mod region;
 
-pub use code_cache::CodeCache;
+pub use code_cache::{CodeCache, Removal};
 pub use dot::{cache_to_dot, region_to_dot};
 pub use region::{ExitStub, Region, RegionBlock, RegionId, RegionKind, TransferClass};

@@ -13,6 +13,7 @@
 //! leaves through an exit stub, which either links directly to another
 //! cached region or falls back to the interpreter.
 
+use crate::error::SimError;
 use rsel_program::{Addr, InstKind, Program};
 use std::collections::{HashMap, HashSet};
 use std::fmt;
@@ -56,17 +57,17 @@ pub struct RegionBlock {
 }
 
 impl RegionBlock {
-    fn from_program(program: &Program, start: Addr) -> Self {
+    fn try_from_program(program: &Program, start: Addr) -> Result<Self, SimError> {
         let b = program
             .block_at(start)
-            .unwrap_or_else(|| panic!("region block {start} is not a program block"));
-        RegionBlock {
+            .ok_or(SimError::UnknownBlock(start))?;
+        Ok(RegionBlock {
             start,
             insts: b.len() as u32,
             bytes: b.byte_size(),
             term: b.terminator_kind(),
             fallthrough: b.fallthrough_addr(),
-        }
+        })
     }
 
     /// The block's original start address.
@@ -156,16 +157,27 @@ impl Region {
     /// # Panics
     ///
     /// Panics if `path` is empty, contains duplicates, or names
-    /// addresses that do not start program blocks.
+    /// addresses that do not start program blocks. Use
+    /// [`Region::try_trace`] for a fallible variant.
     pub fn trace(program: &Program, path: &[Addr]) -> Self {
-        assert!(!path.is_empty(), "a trace needs at least one block");
-        let blocks: Vec<RegionBlock> =
-            path.iter().map(|&a| RegionBlock::from_program(program, a)).collect();
+        Region::try_trace(program, path).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible variant of [`Region::trace`].
+    pub fn try_trace(program: &Program, path: &[Addr]) -> Result<Self, SimError> {
+        if path.is_empty() {
+            return Err(SimError::EmptyRegion);
+        }
+        let mut blocks = Vec::with_capacity(path.len());
+        for &a in path {
+            blocks.push(RegionBlock::try_from_program(program, a)?);
+        }
         let entry = path[0];
         let mut index = HashMap::with_capacity(blocks.len());
         for (i, b) in blocks.iter().enumerate() {
-            let prev = index.insert(b.start(), i);
-            assert!(prev.is_none(), "duplicate block {} in trace", b.start());
+            if index.insert(b.start(), i).is_some() {
+                return Err(SimError::DuplicateBlock(b.start()));
+            }
         }
         let mut edges: HashMap<Addr, Vec<Addr>> = HashMap::new();
         for w in blocks.windows(2) {
@@ -191,7 +203,7 @@ impl Region {
             cache_offset: 0,
         };
         r.derive_stubs();
-        r
+        Ok(r)
     }
 
     /// Builds a combined multi-path region.
@@ -205,25 +217,38 @@ impl Region {
     ///
     /// Panics if `blocks` is empty, contains duplicates, its first
     /// element is not the entry of every path, or edges reference
-    /// unknown blocks.
-    pub fn combined(
+    /// unknown blocks. Use [`Region::try_combined`] for a fallible
+    /// variant.
+    pub fn combined(program: &Program, blocks: &[Addr], observed_edges: &[(Addr, Addr)]) -> Self {
+        Region::try_combined(program, blocks, observed_edges).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible variant of [`Region::combined`].
+    pub fn try_combined(
         program: &Program,
         blocks: &[Addr],
         observed_edges: &[(Addr, Addr)],
-    ) -> Self {
-        assert!(!blocks.is_empty(), "a region needs at least one block");
+    ) -> Result<Self, SimError> {
+        if blocks.is_empty() {
+            return Err(SimError::EmptyRegion);
+        }
         let entry = blocks[0];
-        let rblocks: Vec<RegionBlock> =
-            blocks.iter().map(|&a| RegionBlock::from_program(program, a)).collect();
+        let mut rblocks = Vec::with_capacity(blocks.len());
+        for &a in blocks {
+            rblocks.push(RegionBlock::try_from_program(program, a)?);
+        }
         let mut index = HashMap::with_capacity(rblocks.len());
         for (i, b) in rblocks.iter().enumerate() {
-            let prev = index.insert(b.start(), i);
-            assert!(prev.is_none(), "duplicate block {} in region", b.start());
+            if index.insert(b.start(), i).is_some() {
+                return Err(SimError::DuplicateBlock(b.start()));
+            }
         }
         let mut edges: HashMap<Addr, Vec<Addr>> = HashMap::new();
         let mut seen: HashSet<(Addr, Addr)> = HashSet::new();
         for &(from, to) in observed_edges {
-            assert!(index.contains_key(&from), "edge from unknown block {from}");
+            if !index.contains_key(&from) {
+                return Err(SimError::EdgeFromUnknownBlock(from));
+            }
             if index.contains_key(&to) && seen.insert((from, to)) {
                 edges.entry(from).or_default().push(to);
             }
@@ -247,7 +272,7 @@ impl Region {
             cache_offset: 0,
         };
         r.derive_stubs();
-        r
+        Ok(r)
     }
 
     /// Enumerates exit stubs: every continuation of every block that is
@@ -258,11 +283,13 @@ impl Region {
         let mut stubs = Vec::new();
         for b in &self.blocks {
             let from = b.start();
-            let internal: &[Addr] =
-                self.edges.get(&from).map(Vec::as_slice).unwrap_or(&[]);
+            let internal: &[Addr] = self.edges.get(&from).map(Vec::as_slice).unwrap_or(&[]);
             for c in b.static_continuations() {
                 if !internal.contains(&c) {
-                    stubs.push(ExitStub { from, target: Some(c) });
+                    stubs.push(ExitStub {
+                        from,
+                        target: Some(c),
+                    });
                 }
             }
             if b.has_indirect_terminator() {
@@ -352,6 +379,20 @@ impl Region {
         self.byte_size() + stub_bytes * self.stubs.len() as u64
     }
 
+    /// Whether any copied block's original bytes intersect the address
+    /// range `[lo, hi)` — the test a self-modifying-code write uses to
+    /// decide which cached regions its dirtied range invalidates.
+    pub fn overlaps_range(&self, lo: Addr, hi: Addr) -> bool {
+        if lo >= hi {
+            return false;
+        }
+        self.blocks.iter().any(|b| {
+            let start = b.start().raw();
+            let end = start.saturating_add(b.byte_size().max(1));
+            start < hi.raw() && end > lo.raw()
+        })
+    }
+
     /// Whether the region contains a branch back to its entry — the
     /// static "spans a cycle" property of §3.2.1.
     pub fn spans_cycle(&self) -> bool {
@@ -365,7 +406,10 @@ impl Region {
     ///
     /// Panics (in debug builds) if `from` is not a block of this region.
     pub fn classify(&self, from: Addr, target: Addr) -> TransferClass {
-        debug_assert!(self.contains_block(from), "transfer from foreign block {from}");
+        debug_assert!(
+            self.contains_block(from),
+            "transfer from foreign block {from}"
+        );
         if target == self.entry {
             TransferClass::Cycle
         } else if self.has_edge(from, target) {
@@ -513,6 +557,47 @@ mod tests {
         assert_eq!(t.inst_count(), 4); // 2 blocks x (straight + branch)
         assert!(t.byte_size() > 0);
         assert_eq!(t.size_estimate(10), t.byte_size() + 20);
+    }
+
+    #[test]
+    fn overlap_tracks_block_byte_ranges() {
+        let p = program();
+        let s = starts(&p);
+        let t = Region::trace(&p, &[s[0], s[2]]);
+        let a_end = s[0].offset(p.block_at(s[0]).unwrap().byte_size());
+        // A range inside block A overlaps; the gap block B does not.
+        assert!(t.overlaps_range(s[0], s[0].offset(1)));
+        assert!(t.overlaps_range(s[0].offset(1), a_end));
+        assert!(!t.overlaps_range(s[1], s[1].offset(1)));
+        // Empty and inverted ranges never overlap.
+        assert!(!t.overlaps_range(s[0], s[0]));
+        assert!(!t.overlaps_range(a_end, s[0]));
+        // A range spanning the whole program overlaps everything.
+        assert!(t.overlaps_range(Addr::new(0), Addr::new(u64::MAX)));
+    }
+
+    #[test]
+    fn try_constructors_return_errors_not_panics() {
+        use crate::error::SimError;
+        let p = program();
+        let s = starts(&p);
+        assert!(matches!(
+            Region::try_trace(&p, &[]),
+            Err(SimError::EmptyRegion)
+        ));
+        assert!(matches!(
+            Region::try_trace(&p, &[s[0], s[0]]),
+            Err(SimError::DuplicateBlock(a)) if a == s[0]
+        ));
+        assert!(matches!(
+            Region::try_trace(&p, &[Addr::new(0xdead)]),
+            Err(SimError::UnknownBlock(_))
+        ));
+        assert!(matches!(
+            Region::try_combined(&p, &[s[0]], &[(Addr::new(0xdead), s[0])]),
+            Err(SimError::EdgeFromUnknownBlock(_))
+        ));
+        assert!(Region::try_trace(&p, &[s[0], s[2]]).is_ok());
     }
 
     #[test]

@@ -1,5 +1,7 @@
 //! Simulation and algorithm parameters.
 
+use crate::error::SimError;
+use crate::sim::faults::FaultConfig;
 use rsel_trace::AddrWidth;
 
 /// Parameters of the simulated dynamic optimization system.
@@ -59,6 +61,11 @@ pub struct SimConfig {
     /// setting, §2.3) means unbounded. Bounded caches flush completely
     /// when an insertion would overflow.
     pub cache_capacity: Option<u64>,
+    /// Fault-injection schedule (see [`crate::sim::faults`]). The
+    /// default has every rate at zero, which makes the fault layer
+    /// completely inert: runs are bit-identical to a simulator without
+    /// it.
+    pub faults: FaultConfig,
 }
 
 impl Default for SimConfig {
@@ -79,6 +86,7 @@ impl Default for SimConfig {
             adore_sample_period: 61,
             adore_path_threshold: 4,
             cache_capacity: None,
+            faults: FaultConfig::default(),
         }
     }
 }
@@ -96,25 +104,58 @@ impl SimConfig {
         self.lei_threshold.saturating_sub(self.t_prof).max(1)
     }
 
+    /// Validates cross-parameter consistency, reporting the first
+    /// violated constraint.
+    pub fn check(&self) -> Result<(), SimError> {
+        fn ensure(ok: bool, what: &'static str) -> Result<(), SimError> {
+            if ok {
+                Ok(())
+            } else {
+                Err(SimError::InvalidConfig(what))
+            }
+        }
+        ensure(self.net_threshold > 0, "net_threshold must be positive")?;
+        ensure(self.lei_threshold > 0, "lei_threshold must be positive")?;
+        ensure(self.history_size > 0, "history_size must be positive")?;
+        ensure(self.max_trace_insts > 0, "max_trace_insts must be positive")?;
+        ensure(self.t_prof > 0, "t_prof must be positive")?;
+        ensure(
+            self.t_min > 0 && self.t_min <= self.t_prof,
+            "need 0 < t_min <= t_prof",
+        )?;
+        ensure(
+            self.mojo_exit_threshold > 0,
+            "mojo_exit_threshold must be positive",
+        )?;
+        ensure(self.boa_threshold > 0, "boa_threshold must be positive")?;
+        ensure(
+            self.wr_sample_period > 0,
+            "wr_sample_period must be positive",
+        )?;
+        ensure(
+            self.wr_sample_threshold > 0,
+            "wr_sample_threshold must be positive",
+        )?;
+        ensure(
+            self.adore_sample_period > 0,
+            "adore_sample_period must be positive",
+        )?;
+        ensure(
+            self.adore_path_threshold > 0,
+            "adore_path_threshold must be positive",
+        )?;
+        self.faults.check()
+    }
+
     /// Validates cross-parameter consistency.
     ///
     /// # Panics
     ///
-    /// Panics if a threshold is zero, `t_min > t_prof`, or the history
-    /// buffer is empty.
+    /// Panics on the first constraint [`SimConfig::check`] reports.
     pub fn validate(&self) {
-        assert!(self.net_threshold > 0, "net_threshold must be positive");
-        assert!(self.lei_threshold > 0, "lei_threshold must be positive");
-        assert!(self.history_size > 0, "history_size must be positive");
-        assert!(self.max_trace_insts > 0, "max_trace_insts must be positive");
-        assert!(self.t_prof > 0, "t_prof must be positive");
-        assert!(self.t_min > 0 && self.t_min <= self.t_prof, "need 0 < t_min <= t_prof");
-        assert!(self.mojo_exit_threshold > 0, "mojo_exit_threshold must be positive");
-        assert!(self.boa_threshold > 0, "boa_threshold must be positive");
-        assert!(self.wr_sample_period > 0, "wr_sample_period must be positive");
-        assert!(self.wr_sample_threshold > 0, "wr_sample_threshold must be positive");
-        assert!(self.adore_sample_period > 0, "adore_sample_period must be positive");
-        assert!(self.adore_path_threshold > 0, "adore_path_threshold must be positive");
+        if let Err(e) = self.check() {
+            panic!("{e}");
+        }
     }
 }
 
@@ -148,13 +189,35 @@ mod tests {
     #[test]
     #[should_panic(expected = "t_min")]
     fn t_min_above_t_prof_rejected() {
-        let c = SimConfig { t_min: 20, ..SimConfig::default() };
+        let c = SimConfig {
+            t_min: 20,
+            ..SimConfig::default()
+        };
         c.validate();
     }
 
     #[test]
+    fn default_faults_are_inert_and_checked() {
+        let c = SimConfig::default();
+        assert!(!c.faults.active());
+        assert!(c.check().is_ok());
+        let bad = SimConfig {
+            faults: FaultConfig {
+                smc_max_span: 0,
+                ..FaultConfig::default()
+            },
+            ..SimConfig::default()
+        };
+        assert!(bad.check().is_err());
+    }
+
+    #[test]
     fn t_start_clamps_at_one() {
-        let c = SimConfig { net_threshold: 5, lei_threshold: 5, ..SimConfig::default() };
+        let c = SimConfig {
+            net_threshold: 5,
+            lei_threshold: 5,
+            ..SimConfig::default()
+        };
         assert_eq!(c.net_t_start(), 1);
         assert_eq!(c.lei_t_start(), 1);
     }

@@ -1,0 +1,77 @@
+//! Typed errors for the cache and simulator hot paths.
+//!
+//! Policy (see `DESIGN.md`, "Error handling"): operations that can fail
+//! because of *data* — a duplicate entry raced in by fault recovery, a
+//! region id that was invalidated, an address that no longer starts a
+//! block — return [`SimError`] through `try_*` constructors and are
+//! handled gracefully by the simulator. Panics are reserved for true
+//! internal invariants (a caller violating a documented precondition of
+//! an infallible convenience wrapper).
+
+use crate::cache::RegionId;
+use rsel_program::Addr;
+use std::fmt;
+
+/// An error surfaced by the cache or simulator instead of a panic.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SimError {
+    /// A region with this entry address is already cached.
+    DuplicateRegionEntry(Addr),
+    /// The region id does not name a live region (never existed, was
+    /// invalidated, or was flushed).
+    UnknownRegion(RegionId),
+    /// A region needs at least one block.
+    EmptyRegion,
+    /// The same block appears twice in one region.
+    DuplicateBlock(Addr),
+    /// The address does not start a block of the program.
+    UnknownBlock(Addr),
+    /// An observed edge references a block outside the region.
+    EdgeFromUnknownBlock(Addr),
+    /// A configuration parameter is out of range.
+    InvalidConfig(&'static str),
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::DuplicateRegionEntry(a) => {
+                write!(f, "a region entered at {a} is already cached")
+            }
+            SimError::UnknownRegion(id) => write!(f, "{id} is not a live region"),
+            SimError::EmptyRegion => write!(f, "a region needs at least one block"),
+            SimError::DuplicateBlock(a) => write!(f, "duplicate block {a} in region"),
+            SimError::UnknownBlock(a) => write!(f, "{a} does not start a program block"),
+            SimError::EdgeFromUnknownBlock(a) => {
+                write!(f, "edge from block {a} outside the region")
+            }
+            SimError::InvalidConfig(what) => write!(f, "invalid configuration: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_are_specific() {
+        let a = Addr::new(0x40);
+        assert!(
+            SimError::DuplicateRegionEntry(a)
+                .to_string()
+                .contains("0x40")
+        );
+        assert!(SimError::UnknownBlock(a).to_string().contains("0x40"));
+        assert!(
+            SimError::InvalidConfig("net_threshold must be positive")
+                .to_string()
+                .contains("net_threshold")
+        );
+        // The error type is usable through the std trait object.
+        let e: Box<dyn std::error::Error> = Box::new(SimError::EmptyRegion);
+        assert!(e.to_string().contains("at least one block"));
+    }
+}

@@ -53,12 +53,15 @@
 
 pub mod cache;
 pub mod config;
+pub mod error;
 pub mod metrics;
 pub mod select;
 pub mod sim;
 
 pub use cache::{CodeCache, Region, RegionId, RegionKind};
 pub use config::SimConfig;
-pub use metrics::RunReport;
+pub use error::SimError;
+pub use metrics::{ResilienceStats, RunReport};
 pub use select::{RegionSelector, SelectorKind};
 pub use sim::Simulator;
+pub use sim::faults::FaultConfig;

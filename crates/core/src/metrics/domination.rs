@@ -65,7 +65,9 @@ pub fn analyze_domination(
     let empty_preds: HashSet<Addr> = HashSet::new();
     for s in cache.regions() {
         let entry = s.entry();
-        let Some(candidates) = exit_edges.get(&entry) else { continue };
+        let Some(candidates) = exit_edges.get(&entry) else {
+            continue;
+        };
         // Condition 2: executed predecessors of S's entry outside S.
         let outside: Vec<Addr> = exec_preds
             .get(&entry)
@@ -75,11 +77,12 @@ pub fn analyze_domination(
             .filter(|p| !s.contains_block(*p))
             .collect();
         let [only] = outside.as_slice() else { continue };
-        // Conditions 1 and 3: some earlier region exits from that block
-        // to S's entry.
+        // Conditions 1 and 3: some earlier *live* region exits from
+        // that block to S's entry (fault invalidation can leave exit
+        // observations whose region is gone; they cannot dominate).
         let dominator = candidates
             .iter()
-            .filter(|(rid, fb)| *rid < s.id() && fb == only)
+            .filter(|(rid, fb)| *rid < s.id() && fb == only && cache.try_region(*rid).is_ok())
             .map(|(rid, _)| *rid)
             .min();
         let Some(rid) = dominator else { continue };

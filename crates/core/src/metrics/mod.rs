@@ -8,4 +8,4 @@ pub mod report;
 pub use cover::cover_set_size;
 pub use domination::{DominationStats, analyze_domination};
 pub use optimization::{OptimizationOpportunities, analyze_optimization, analyze_region};
-pub use report::{RegionReport, RunReport};
+pub use report::{RegionReport, ResilienceStats, RunReport};

@@ -131,7 +131,11 @@ fn tarjan_sccs(nodes: &[Addr], region: &Region) -> Vec<Vec<Addr>> {
         let mut dfs: Vec<(Addr, usize)> = vec![(root, 0)];
         state.insert(
             root,
-            NodeState { index: next_index, lowlink: next_index, on_stack: true },
+            NodeState {
+                index: next_index,
+                lowlink: next_index,
+                on_stack: true,
+            },
         );
         stack.push(root);
         next_index += 1;
@@ -254,7 +258,12 @@ mod tests {
         let r = Region::combined(
             &p,
             &[at(sp), at(fall), at(taken), at(j)],
-            &[(at(sp), at(fall)), (at(sp), at(taken)), (at(fall), at(j)), (at(taken), at(j))],
+            &[
+                (at(sp), at(fall)),
+                (at(sp), at(taken)),
+                (at(fall), at(j)),
+                (at(taken), at(j)),
+            ],
         );
         let opp = analyze_region(&r);
         assert_eq!(opp.internal_splits, 1, "S splits");

@@ -29,6 +29,49 @@ pub struct RegionReport {
     pub insts_executed: u64,
 }
 
+/// Fault-injection and recovery statistics for one run (see
+/// [`sim::faults`](crate::sim::faults)). All zeros when the fault layer
+/// is inert (the default).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct ResilienceStats {
+    /// Self-modifying-code write events that struck.
+    pub smc_events: u64,
+    /// Cache-pressure flush waves that struck.
+    pub flush_waves: u64,
+    /// Profiling-counter faults delivered to the selector.
+    pub counter_faults: u64,
+    /// Regions invalidated by self-modifying-code writes.
+    pub invalidated_regions: u64,
+    /// Regions evicted by pressure waves (beyond bounded-cache
+    /// flushes, which [`RunReport::cache_flushes`] counts).
+    pub pressure_evicted_regions: u64,
+    /// Inter-region links severed because an endpoint was removed.
+    pub severed_links: u64,
+    /// Regions re-formed at an entry address that had previously been
+    /// invalidated or evicted.
+    pub reformations: u64,
+    /// Selections dropped because their entry was blacklisted.
+    pub blacklist_hits: u64,
+    /// Entry addresses ever demoted to the blacklist.
+    pub blacklisted_targets: u64,
+    /// Times execution fell back from a removed region to the
+    /// interpreter mid-flight.
+    pub recovery_transitions: u64,
+    /// Snapshot of [`RunReport::total_insts`] when the first fault
+    /// struck; `None` when no fault ever struck.
+    pub total_insts_at_first_fault: Option<u64>,
+    /// Snapshot of [`RunReport::cache_insts`] when the first fault
+    /// struck.
+    pub cache_insts_at_first_fault: Option<u64>,
+}
+
+impl ResilienceStats {
+    /// Total fault events of any class.
+    pub fn fault_events(&self) -> u64 {
+        self.smc_events + self.flush_waves + self.counter_faults
+    }
+}
+
 /// Everything measured over one simulated run; produced by
 /// [`Simulator::report`](crate::Simulator::report).
 #[derive(Clone, Debug, PartialEq)]
@@ -65,6 +108,9 @@ pub struct RunReport {
     /// Region transitions whose endpoints lie on different 4 KiB pages
     /// of the cache layout.
     pub transition_page_crossings: u64,
+    /// Fault-injection and recovery statistics (all zeros without
+    /// faults).
+    pub resilience: ResilienceStats,
 }
 
 impl RunReport {
@@ -170,6 +216,19 @@ impl RunReport {
             self.transition_page_crossings as f64 / self.region_transitions as f64
         }
     }
+
+    /// Hit rate over the part of the run at or after the first injected
+    /// fault — how well the system kept serving execution from the
+    /// cache while being disrupted. `None` when no fault ever struck.
+    pub fn hit_rate_under_faults(&self) -> Option<f64> {
+        let t0 = self.resilience.total_insts_at_first_fault?;
+        let c0 = self.resilience.cache_insts_at_first_fault?;
+        let total = self.total_insts.saturating_sub(t0);
+        if total == 0 {
+            return Some(0.0);
+        }
+        Some(self.cache_insts.saturating_sub(c0) as f64 / total as f64)
+    }
 }
 
 impl fmt::Display for RunReport {
@@ -197,7 +256,28 @@ impl fmt::Display for RunReport {
             self.cover_set_size(0.9),
             self.peak_counters,
             100.0 * self.exit_dominated_fraction()
-        )
+        )?;
+        if self.resilience.fault_events() > 0 {
+            let r = &self.resilience;
+            write!(
+                f,
+                "\nfaults {:5} (smc {} waves {} ctr {})  invalidated {:4}  evicted {:4}  \
+                 reformed {:4}  blacklist hits {:3}  hit-under-faults {}",
+                r.fault_events(),
+                r.smc_events,
+                r.flush_waves,
+                r.counter_faults,
+                r.invalidated_regions,
+                r.pressure_evicted_regions,
+                r.reformations,
+                r.blacklist_hits,
+                match self.hit_rate_under_faults() {
+                    Some(h) => format!("{:5.2}%", 100.0 * h),
+                    None => "n/a".to_string(),
+                }
+            )?;
+        }
+        Ok(())
     }
 }
 
@@ -237,6 +317,7 @@ mod tests {
             cache_flushes: 0,
             transition_distance_sum: 2400,
             transition_page_crossings: 3,
+            resilience: ResilienceStats::default(),
         }
     }
 
@@ -272,6 +353,7 @@ mod tests {
             cache_flushes: 0,
             transition_distance_sum: 0,
             transition_page_crossings: 0,
+            resilience: ResilienceStats::default(),
         };
         assert_eq!(r.hit_rate(), 0.0);
         assert_eq!(r.avg_region_insts(), 0.0);
@@ -287,5 +369,24 @@ mod tests {
         let text = report().to_string();
         assert!(text.contains("NET"));
         assert!(text.contains("hit rate"));
+        // No faults: the resilience line is omitted.
+        assert!(!text.contains("faults"));
+    }
+
+    #[test]
+    fn hit_rate_under_faults_uses_the_first_fault_snapshot() {
+        let mut r = report();
+        assert_eq!(r.hit_rate_under_faults(), None, "no faults, no rate");
+        r.resilience.smc_events = 1;
+        r.resilience.total_insts_at_first_fault = Some(500);
+        r.resilience.cache_insts_at_first_fault = Some(550);
+        // After the fault: 500 insts total, 400 from the cache.
+        let h = r.hit_rate_under_faults().unwrap();
+        assert!((h - 0.8).abs() < 1e-9, "{h}");
+        assert!(r.to_string().contains("faults"));
+        // Fault on the very last instruction: defined, zero.
+        r.resilience.total_insts_at_first_fault = Some(r.total_insts);
+        r.resilience.cache_insts_at_first_fault = Some(r.cache_insts);
+        assert_eq!(r.hit_rate_under_faults(), Some(0.0));
     }
 }

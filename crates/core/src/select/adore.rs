@@ -92,7 +92,7 @@ impl RegionSelector for AdoreSelector<'_> {
             return Vec::new();
         }
         let c = self.path_counts.entry(key).or_insert(0);
-        *c += 1;
+        *c = c.saturating_add(1);
         let hot = *c >= self.path_threshold;
         self.peak_paths = self.peak_paths.max(self.path_counts.len());
         self.counters.increment(entry);
@@ -112,6 +112,21 @@ impl RegionSelector for AdoreSelector<'_> {
 
     fn on_block(&mut self, _: &CodeCache, _: Addr) -> Vec<Region> {
         Vec::new()
+    }
+
+    fn on_fault(&mut self, fault: super::CounterFault) {
+        match fault {
+            super::CounterFault::Saturate => {
+                self.counters.saturate_all();
+                for c in self.path_counts.values_mut() {
+                    *c = u32::MAX;
+                }
+            }
+            super::CounterFault::Reset => {
+                self.counters.reset_all();
+                self.path_counts.clear();
+            }
+        }
     }
 
     fn counters_in_use(&self) -> usize {

@@ -72,8 +72,13 @@ impl RegionSelector for BoaSelector<'_> {
             return Vec::new();
         }
         self.counters.recycle(a.tgt);
-        let blocks =
-            majority_walk(self.program, cache, &self.profile, a.tgt, self.max_trace_insts);
+        let blocks = majority_walk(
+            self.program,
+            cache,
+            &self.profile,
+            a.tgt,
+            self.max_trace_insts,
+        );
         if blocks.is_empty() {
             return Vec::new();
         }
@@ -82,6 +87,13 @@ impl RegionSelector for BoaSelector<'_> {
 
     fn on_block(&mut self, _: &CodeCache, _: Addr) -> Vec<Region> {
         Vec::new()
+    }
+
+    fn on_fault(&mut self, fault: super::CounterFault) {
+        match fault {
+            super::CounterFault::Saturate => self.counters.saturate_all(),
+            super::CounterFault::Reset => self.counters.reset_all(),
+        }
     }
 
     fn counters_in_use(&self) -> usize {
@@ -106,8 +118,8 @@ mod tests {
     use super::*;
     use crate::select::SelectorKind;
     use crate::sim::Simulator;
-    use rsel_program::patterns::ScenarioBuilder;
     use rsel_program::Executor;
+    use rsel_program::patterns::ScenarioBuilder;
 
     #[test]
     fn selects_the_dominant_direction() {

@@ -84,8 +84,11 @@ impl RegionSelector for CombinedLeiSelector<'_> {
             self.buf.update_hash(a.tgt, new_seq);
             return Vec::new();
         };
-        let old_follows_exit =
-            self.buf.entry(old_seq).map(|e| e.follows_exit).unwrap_or(false);
+        let old_follows_exit = self
+            .buf
+            .entry(old_seq)
+            .map(|e| e.follows_exit)
+            .unwrap_or(false);
         self.buf.update_hash(a.tgt, new_seq);
         if !(a.tgt.is_backward_from(src) || old_follows_exit) {
             return Vec::new();
@@ -96,8 +99,7 @@ impl RegionSelector for CombinedLeiSelector<'_> {
         }
         // Observe the just-executed cycle (Figure 13, line 8: "form a
         // trace t beginning at dest; store COMPACT-TRACE(t)").
-        if let Some(t) =
-            form_lei_trace(self.program, cache, &self.buf, a.tgt, old_seq, self.width)
+        if let Some(t) = form_lei_trace(self.program, cache, &self.buf, a.tgt, old_seq, self.width)
         {
             self.store.add(a.tgt, t.compact);
         }
@@ -123,6 +125,13 @@ impl RegionSelector for CombinedLeiSelector<'_> {
 
     fn on_block(&mut self, _: &CodeCache, _: Addr) -> Vec<Region> {
         Vec::new()
+    }
+
+    fn on_fault(&mut self, fault: super::CounterFault) {
+        match fault {
+            super::CounterFault::Saturate => self.counters.saturate_all(),
+            super::CounterFault::Reset => self.counters.reset_all(),
+        }
     }
 
     fn counters_in_use(&self) -> usize {
@@ -166,8 +175,10 @@ mod tests {
         b.cond_branch(back, s);
         b.ret(x);
         let p = b.build().unwrap();
-        let addrs =
-            [s, fall, taken, j, back, x].iter().map(|&id| p.block(id).start()).collect();
+        let addrs = [s, fall, taken, j, back, x]
+            .iter()
+            .map(|&id| p.block(id).start())
+            .collect();
         (p, addrs)
     }
 
@@ -187,19 +198,34 @@ mod tests {
             // back -> S backward taken branch completes the cycle.
             out.extend(sel.on_arrival(
                 cache,
-                Arrival { src: Some(term(a[4])), tgt: a[0], taken: true, from_cache_exit: false },
+                Arrival {
+                    src: Some(term(a[4])),
+                    tgt: a[0],
+                    taken: true,
+                    from_cache_exit: false,
+                },
             ));
             if i % 2 == 0 {
                 // S takes its branch to T.
                 out.extend(sel.on_arrival(
                     cache,
-                    Arrival { src: Some(term(a[0])), tgt: a[2], taken: true, from_cache_exit: false },
+                    Arrival {
+                        src: Some(term(a[0])),
+                        tgt: a[2],
+                        taken: true,
+                        from_cache_exit: false,
+                    },
                 ));
             } else {
                 // S falls to F, which jumps to J.
                 out.extend(sel.on_arrival(
                     cache,
-                    Arrival { src: Some(term(a[1])), tgt: a[3], taken: true, from_cache_exit: false },
+                    Arrival {
+                        src: Some(term(a[1])),
+                        tgt: a[3],
+                        taken: true,
+                        from_cache_exit: false,
+                    },
                 ));
             }
         }
@@ -207,7 +233,12 @@ mod tests {
     }
 
     fn config() -> SimConfig {
-        SimConfig { lei_threshold: 7, t_prof: 4, t_min: 2, ..SimConfig::default() }
+        SimConfig {
+            lei_threshold: 7,
+            t_prof: 4,
+            t_min: 2,
+            ..SimConfig::default()
+        }
     }
 
     #[test]
@@ -229,7 +260,10 @@ mod tests {
         assert_eq!(regions.len(), 1);
         let r = &regions[0];
         assert_eq!(r.entry(), a[0]);
-        assert!(r.contains_block(a[2]) && r.contains_block(a[1]), "both sides kept");
+        assert!(
+            r.contains_block(a[2]) && r.contains_block(a[1]),
+            "both sides kept"
+        );
         assert!(r.spans_cycle());
         assert_eq!(sel.observed_bytes(), 0, "storage released after combine");
         assert!(sel.peak_observed_bytes() > 0);

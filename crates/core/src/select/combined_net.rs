@@ -2,8 +2,8 @@
 
 use super::counters::CounterTable;
 use super::form::TraceGrower;
-use super::region_cfg::combine_traces;
 use super::observe::ObservationStore;
+use super::region_cfg::combine_traces;
 use super::{Arrival, RegionSelector};
 use crate::cache::{CodeCache, Region};
 use crate::config::SimConfig;
@@ -82,13 +82,7 @@ impl<'p> CombinedNetSelector<'p> {
 }
 
 impl RegionSelector for CombinedNetSelector<'_> {
-    fn on_transfer(
-        &mut self,
-        cache: &CodeCache,
-        src: Addr,
-        tgt: Addr,
-        taken: bool,
-    ) -> Vec<Region> {
+    fn on_transfer(&mut self, cache: &CodeCache, src: Addr, tgt: Addr, taken: bool) -> Vec<Region> {
         let mut done = Vec::new();
         let mut still = Vec::with_capacity(self.observers.len());
         for mut g in std::mem::take(&mut self.observers) {
@@ -98,7 +92,9 @@ impl RegionSelector for CombinedNetSelector<'_> {
             }
         }
         self.observers = still;
-        done.into_iter().filter_map(|(e, c)| self.observation_done(e, c)).collect()
+        done.into_iter()
+            .filter_map(|(e, c)| self.observation_done(e, c))
+            .collect()
     }
 
     fn on_arrival(&mut self, _cache: &CodeCache, a: Arrival) -> Vec<Region> {
@@ -119,7 +115,8 @@ impl RegionSelector for CombinedNetSelector<'_> {
             self.combine_on_complete.insert(a.tgt);
         }
         if !self.observers.iter().any(|g| g.entry() == a.tgt) {
-            self.observers.push(TraceGrower::new(a.tgt, self.max_insts, self.width));
+            self.observers
+                .push(TraceGrower::new(a.tgt, self.max_insts, self.width));
         }
         Vec::new()
     }
@@ -134,7 +131,16 @@ impl RegionSelector for CombinedNetSelector<'_> {
             }
         }
         self.observers = still;
-        done.into_iter().filter_map(|(e, c)| self.observation_done(e, c)).collect()
+        done.into_iter()
+            .filter_map(|(e, c)| self.observation_done(e, c))
+            .collect()
+    }
+
+    fn on_fault(&mut self, fault: super::CounterFault) {
+        match fault {
+            super::CounterFault::Saturate => self.counters.saturate_all(),
+            super::CounterFault::Reset => self.counters.reset_all(),
+        }
     }
 
     fn counters_in_use(&self) -> usize {
@@ -179,8 +185,10 @@ mod tests {
         b.cond_branch(back, s);
         b.ret(x);
         let p = b.build().unwrap();
-        let addrs =
-            [s, fall, taken, j, back, x].iter().map(|&id| p.block(id).start()).collect();
+        let addrs = [s, fall, taken, j, back, x]
+            .iter()
+            .map(|&id| p.block(id).start())
+            .collect();
         (p, addrs)
     }
 
@@ -202,7 +210,12 @@ mod tests {
             out.extend(sel.on_transfer(cache, term(a[4]), a[0], true));
             out.extend(sel.on_arrival(
                 cache,
-                Arrival { src: Some(term(a[4])), tgt: a[0], taken: true, from_cache_exit: false },
+                Arrival {
+                    src: Some(term(a[4])),
+                    tgt: a[0],
+                    taken: true,
+                    from_cache_exit: false,
+                },
             ));
             out.extend(sel.on_block(cache, a[0]));
             if take {
@@ -222,7 +235,12 @@ mod tests {
     }
 
     fn config() -> SimConfig {
-        SimConfig { net_threshold: 8, t_prof: 4, t_min: 2, ..SimConfig::default() }
+        SimConfig {
+            net_threshold: 8,
+            t_prof: 4,
+            t_min: 2,
+            ..SimConfig::default()
+        }
     }
 
     #[test]

@@ -24,14 +24,30 @@ impl CounterTable {
     }
 
     /// Increments the counter for `addr` (creating it at 1) and returns
-    /// the new value.
+    /// the new value. Increments saturate at `u32::MAX` so a counter
+    /// corrupted to the ceiling never wraps back below its threshold.
     pub fn increment(&mut self, addr: Addr) -> u32 {
         self.ever.insert(addr);
         let c = self.counts.entry(addr).or_insert(0);
-        *c += 1;
+        *c = c.saturating_add(1);
         let v = *c;
         self.peak = self.peak.max(self.counts.len());
         v
+    }
+
+    /// Forces every live counter to `u32::MAX` (a saturation fault:
+    /// every profiled target looks scorching hot at once).
+    pub fn saturate_all(&mut self) {
+        for c in self.counts.values_mut() {
+            *c = u32::MAX;
+        }
+    }
+
+    /// Drops every live counter (a corruption fault: the profiling
+    /// state is lost and accumulation starts over). The peak
+    /// high-water mark survives.
+    pub fn reset_all(&mut self) {
+        self.counts.clear();
     }
 
     /// Current value of the counter for `addr`, if present.
@@ -92,6 +108,27 @@ mod tests {
         assert_eq!(t.in_use(), 2);
         assert_eq!(t.peak(), 3, "peak is a high-water mark");
         assert_eq!(t.recycle(Addr::new(2)), None);
+    }
+
+    #[test]
+    fn increment_saturates_at_max() {
+        let mut t = CounterTable::new();
+        let a = Addr::new(9);
+        t.increment(a);
+        t.saturate_all();
+        assert_eq!(t.get(a), Some(u32::MAX));
+        assert_eq!(t.increment(a), u32::MAX, "no wraparound");
+    }
+
+    #[test]
+    fn reset_drops_counters_but_keeps_peak() {
+        let mut t = CounterTable::new();
+        t.increment(Addr::new(1));
+        t.increment(Addr::new(2));
+        t.reset_all();
+        assert_eq!(t.in_use(), 0);
+        assert_eq!(t.peak(), 2);
+        assert_eq!(t.increment(Addr::new(1)), 1, "profiling starts over");
     }
 
     #[test]

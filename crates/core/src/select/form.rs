@@ -92,7 +92,8 @@ impl TraceGrower {
         if taken
             && (tgt.is_backward_from(src) // backward branch ends the trace
                 || cache.contains(tgt)    // targets the start of another trace
-                || tgt == self.entry)     // completes a cycle at our own head
+                || tgt == self.entry)
+        // completes a cycle at our own head
         {
             return Some(self.finish());
         }
@@ -172,7 +173,9 @@ mod tests {
         assert!(g.feed_block(&p, s[2]).is_none());
         // C takes its backward branch to A: trace ends (and loops).
         let src_c = p.blocks()[2].terminator().addr();
-        let t = g.feed_transfer(&cache, src_c, s[0], true).expect("backward ends trace");
+        let t = g
+            .feed_transfer(&cache, src_c, s[0], true)
+            .expect("backward ends trace");
         assert_eq!(t.blocks, vec![s[0], s[2]]);
         let region = Region::trace(&p, &t.blocks);
         assert!(region.spans_cycle());
@@ -191,7 +194,9 @@ mod tests {
         let mut g = TraceGrower::new(s[0], 100, AddrWidth::W32);
         g.feed_block(&p, s[0]);
         let src_a = p.blocks()[0].terminator().addr();
-        let t = g.feed_transfer(&cache, src_a, s[2], true).expect("hits cached entry");
+        let t = g
+            .feed_transfer(&cache, src_a, s[2], true)
+            .expect("hits cached entry");
         assert_eq!(t.blocks, vec![s[0]], "the cached block is excluded");
     }
 
@@ -222,7 +227,9 @@ mod tests {
         let p = program();
         let s = starts(&p);
         let mut g = TraceGrower::new(s[0], 2, AddrWidth::W32);
-        let t = g.feed_block(&p, s[0]).expect("limit of 2 insts hit by first block");
+        let t = g
+            .feed_block(&p, s[0])
+            .expect("limit of 2 insts hit by first block");
         assert_eq!(t.blocks, vec![s[0]]);
         assert!(t.insts >= 2);
     }
@@ -239,11 +246,7 @@ mod tests {
         g.feed_block(&p, s[2]);
         let src_c = p.blocks()[2].terminator().addr();
         let t = g.feed_transfer(&cache, src_c, s[0], true).unwrap();
-        let expected: usize = t
-            .blocks
-            .iter()
-            .map(|&a| p.block_at(a).unwrap().len())
-            .sum();
+        let expected: usize = t.blocks.iter().map(|&a| p.block_at(a).unwrap().len()).sum();
         assert_eq!(t.insts, expected);
     }
 }

@@ -67,7 +67,12 @@ impl HistoryBuffer {
         }
         let seq = self.next_seq;
         self.next_seq += 1;
-        self.entries.push_back(HistoryEntry { seq, src, tgt, follows_exit });
+        self.entries.push_back(HistoryEntry {
+            seq,
+            src,
+            tgt,
+            follows_exit,
+        });
         (seq, dropped)
     }
 
@@ -213,7 +218,11 @@ mod tests {
         let gone = b.truncate_after(s1);
         assert!(gone.is_empty(), "target 2 still has an older occurrence");
         assert_eq!(b.len(), 2);
-        assert_eq!(b.lookup(a(2)), Some(s1), "hash points at surviving occurrence");
+        assert_eq!(
+            b.lookup(a(2)),
+            Some(s1),
+            "hash points at surviving occurrence"
+        );
         assert_eq!(b.lookup(a(1)), Some(s0));
         assert!(b.entry(s2).is_none());
         assert!(b.entry(s1).is_some());

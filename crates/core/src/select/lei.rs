@@ -40,8 +40,10 @@ pub fn form_lei_trace(
     old_seq: u64,
     width: AddrWidth,
 ) -> Option<FormedTrace> {
-    let branches: Vec<(Addr, Addr)> =
-        buf.branches_after(old_seq).map(|e| (e.src, e.tgt)).collect();
+    let branches: Vec<(Addr, Addr)> = buf
+        .branches_after(old_seq)
+        .map(|e| (e.src, e.tgt))
+        .collect();
     form_trace_from_branches(program, cache, start, &branches, width)
 }
 
@@ -73,7 +75,9 @@ pub fn form_trace_from_branches(
             if in_trace.contains(&cur) {
                 break 'branches;
             }
-            let Some(inst) = program.inst_at(cur) else { break 'branches };
+            let Some(inst) = program.inst_at(cur) else {
+                break 'branches;
+            };
             in_trace.insert(cur);
             if program.block_at(cur).is_some() {
                 blocks.push(cur);
@@ -136,7 +140,11 @@ pub fn form_trace_from_branches(
         return None;
     }
     let insts = in_trace.len();
-    Some(FormedTrace { blocks, compact: rec.finish(last_inst), insts })
+    Some(FormedTrace {
+        blocks,
+        compact: rec.finish(last_inst),
+        insts,
+    })
 }
 
 /// The LEI selector (paper Figure 5).
@@ -206,8 +214,11 @@ impl RegionSelector for LeiSelector<'_> {
             self.buf.update_hash(a.tgt, new_seq);
             return Vec::new();
         };
-        let old_follows_exit =
-            self.buf.entry(old_seq).map(|e| e.follows_exit).unwrap_or(false);
+        let old_follows_exit = self
+            .buf
+            .entry(old_seq)
+            .map(|e| e.follows_exit)
+            .unwrap_or(false);
         // Line 8: point the hash at the new occurrence.
         self.buf.update_hash(a.tgt, new_seq);
         // Line 9: can this target begin a trace?
@@ -219,8 +230,7 @@ impl RegionSelector for LeiSelector<'_> {
         if c < self.threshold {
             return Vec::new();
         }
-        let formed =
-            form_lei_trace(self.program, cache, &self.buf, a.tgt, old_seq, self.width);
+        let formed = form_lei_trace(self.program, cache, &self.buf, a.tgt, old_seq, self.width);
         for gone in self.buf.truncate_after(old_seq) {
             self.counters.recycle(gone);
         }
@@ -233,6 +243,13 @@ impl RegionSelector for LeiSelector<'_> {
 
     fn on_block(&mut self, _: &CodeCache, _: Addr) -> Vec<Region> {
         Vec::new()
+    }
+
+    fn on_fault(&mut self, fault: super::CounterFault) {
+        match fault {
+            super::CounterFault::Saturate => self.counters.saturate_all(),
+            super::CounterFault::Reset => self.counters.reset_all(),
+        }
     }
 
     fn counters_in_use(&self) -> usize {
@@ -281,7 +298,10 @@ mod tests {
     }
 
     fn lei_cfg(threshold: u32) -> SimConfig {
-        SimConfig { lei_threshold: threshold, ..SimConfig::default() }
+        SimConfig {
+            lei_threshold: threshold,
+            ..SimConfig::default()
+        }
     }
 
     /// Drives one loop iteration's taken branches through the selector.
@@ -299,7 +319,12 @@ mod tests {
         for (src, tgt) in [(call_src, e), (ret_src, l), (latch_src, h)] {
             out.extend(lei.on_arrival(
                 cache,
-                Arrival { src: Some(src), tgt, taken: true, from_cache_exit: false },
+                Arrival {
+                    src: Some(src),
+                    tgt,
+                    taken: true,
+                    from_cache_exit: false,
+                },
             ));
         }
         out
@@ -385,11 +410,7 @@ mod tests {
             }
         }
         let r = &regions[0];
-        let expected: u64 = r
-            .blocks()
-            .iter()
-            .map(|b| u64::from(b.inst_count()))
-            .sum();
+        let expected: u64 = r.blocks().iter().map(|b| u64::from(b.inst_count())).sum();
         assert_eq!(r.inst_count(), expected);
     }
 

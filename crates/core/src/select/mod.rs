@@ -50,6 +50,7 @@ pub use wiggins::WigginsRedstoneSelector;
 
 use crate::cache::{CodeCache, Region};
 use crate::config::SimConfig;
+use crate::sim::faults::CounterFault;
 use rsel_program::{Addr, Program};
 
 /// An interpreter arrival at a block whose address missed the code
@@ -78,14 +79,21 @@ pub trait RegionSelector {
     /// A control transfer observed while interpreting, before the
     /// target block executes. `taken` distinguishes taken branches from
     /// fall-through.
-    fn on_transfer(&mut self, cache: &CodeCache, src: Addr, tgt: Addr, taken: bool)
-        -> Vec<Region>;
+    fn on_transfer(&mut self, cache: &CodeCache, src: Addr, tgt: Addr, taken: bool) -> Vec<Region>;
 
     /// An interpreter arrival whose target missed the cache.
     fn on_arrival(&mut self, cache: &CodeCache, arrival: Arrival) -> Vec<Region>;
 
     /// A block executed by the interpreter.
     fn on_block(&mut self, cache: &CodeCache, start: Addr) -> Vec<Region>;
+
+    /// A profiling-counter fault struck (see
+    /// [`sim::faults`](crate::sim::faults)): the selector's counters
+    /// were saturated or lost. Implementations must absorb either
+    /// without panicking; profiling quality may degrade, correctness
+    /// may not. The default ignores the fault (for selectors with no
+    /// mutable profiling state).
+    fn on_fault(&mut self, _fault: CounterFault) {}
 
     /// Profiling counters currently allocated.
     fn counters_in_use(&self) -> usize;

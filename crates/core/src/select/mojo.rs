@@ -55,14 +55,10 @@ impl<'p> MojoSelector<'p> {
 }
 
 impl RegionSelector for MojoSelector<'_> {
-    fn on_transfer(
-        &mut self,
-        cache: &CodeCache,
-        src: Addr,
-        tgt: Addr,
-        taken: bool,
-    ) -> Vec<Region> {
-        let Some(g) = self.grower.as_mut() else { return Vec::new() };
+    fn on_transfer(&mut self, cache: &CodeCache, src: Addr, tgt: Addr, taken: bool) -> Vec<Region> {
+        let Some(g) = self.grower.as_mut() else {
+            return Vec::new();
+        };
         match g.feed_transfer(cache, src, tgt, taken) {
             Some(t) => {
                 self.grower = None;
@@ -96,13 +92,22 @@ impl RegionSelector for MojoSelector<'_> {
     }
 
     fn on_block(&mut self, _cache: &CodeCache, start: Addr) -> Vec<Region> {
-        let Some(g) = self.grower.as_mut() else { return Vec::new() };
+        let Some(g) = self.grower.as_mut() else {
+            return Vec::new();
+        };
         match g.feed_block(self.program, start) {
             Some(t) => {
                 self.grower = None;
                 vec![Region::trace(self.program, &t.blocks)]
             }
             None => Vec::new(),
+        }
+    }
+
+    fn on_fault(&mut self, fault: super::CounterFault) {
+        match fault {
+            super::CounterFault::Saturate => self.counters.saturate_all(),
+            super::CounterFault::Reset => self.counters.reset_all(),
         }
     }
 
@@ -139,7 +144,11 @@ mod tests {
     }
 
     fn cfg() -> SimConfig {
-        SimConfig { net_threshold: 10, mojo_exit_threshold: 3, ..SimConfig::default() }
+        SimConfig {
+            net_threshold: 10,
+            mojo_exit_threshold: 3,
+            ..SimConfig::default()
+        }
     }
 
     #[test]
@@ -151,10 +160,19 @@ mod tests {
         for i in 1..=3u32 {
             mojo.on_arrival(
                 &cache,
-                Arrival { src: None, tgt: d, taken: false, from_cache_exit: true },
+                Arrival {
+                    src: None,
+                    tgt: d,
+                    taken: false,
+                    from_cache_exit: true,
+                },
             );
             let growing = mojo.grower.is_some();
-            assert_eq!(growing, i == 3, "exit threshold 3 fires on the third landing");
+            assert_eq!(
+                growing,
+                i == 3,
+                "exit threshold 3 fires on the third landing"
+            );
         }
         assert_eq!(mojo.exit_target_count(), 1);
     }
@@ -169,13 +187,26 @@ mod tests {
         for _ in 0..9 {
             mojo.on_arrival(
                 &cache,
-                Arrival { src: Some(src), tgt: a, taken: true, from_cache_exit: false },
+                Arrival {
+                    src: Some(src),
+                    tgt: a,
+                    taken: true,
+                    from_cache_exit: false,
+                },
             );
         }
-        assert!(mojo.grower.is_none(), "nine backward arrivals stay below 10");
+        assert!(
+            mojo.grower.is_none(),
+            "nine backward arrivals stay below 10"
+        );
         mojo.on_arrival(
             &cache,
-            Arrival { src: Some(src), tgt: a, taken: true, from_cache_exit: false },
+            Arrival {
+                src: Some(src),
+                tgt: a,
+                taken: true,
+                from_cache_exit: false,
+            },
         );
         assert!(mojo.grower.is_some());
     }
@@ -190,13 +221,23 @@ mod tests {
         // One exit landing classifies `a` as an exit target...
         mojo.on_arrival(
             &cache,
-            Arrival { src: Some(src), tgt: a, taken: true, from_cache_exit: true },
+            Arrival {
+                src: Some(src),
+                tgt: a,
+                taken: true,
+                from_cache_exit: true,
+            },
         );
         // ...so two more backward arrivals reach the lower threshold.
         for _ in 0..2 {
             mojo.on_arrival(
                 &cache,
-                Arrival { src: Some(src), tgt: a, taken: true, from_cache_exit: false },
+                Arrival {
+                    src: Some(src),
+                    tgt: a,
+                    taken: true,
+                    from_cache_exit: false,
+                },
             );
         }
         assert!(mojo.grower.is_some());

@@ -46,14 +46,10 @@ impl<'p> NetSelector<'p> {
 }
 
 impl RegionSelector for NetSelector<'_> {
-    fn on_transfer(
-        &mut self,
-        cache: &CodeCache,
-        src: Addr,
-        tgt: Addr,
-        taken: bool,
-    ) -> Vec<Region> {
-        let Some(g) = self.grower.as_mut() else { return Vec::new() };
+    fn on_transfer(&mut self, cache: &CodeCache, src: Addr, tgt: Addr, taken: bool) -> Vec<Region> {
+        let Some(g) = self.grower.as_mut() else {
+            return Vec::new();
+        };
         match g.feed_transfer(cache, src, tgt, taken) {
             Some(t) => {
                 self.grower = None;
@@ -79,13 +75,22 @@ impl RegionSelector for NetSelector<'_> {
     }
 
     fn on_block(&mut self, _cache: &CodeCache, start: Addr) -> Vec<Region> {
-        let Some(g) = self.grower.as_mut() else { return Vec::new() };
+        let Some(g) = self.grower.as_mut() else {
+            return Vec::new();
+        };
         match g.feed_block(self.program, start) {
             Some(t) => {
                 self.grower = None;
                 vec![Region::trace(self.program, &t.blocks)]
             }
             None => Vec::new(),
+        }
+    }
+
+    fn on_fault(&mut self, fault: super::CounterFault) {
+        match fault {
+            super::CounterFault::Saturate => self.counters.saturate_all(),
+            super::CounterFault::Reset => self.counters.reset_all(),
         }
     }
 
@@ -124,7 +129,10 @@ mod tests {
     }
 
     fn cfg() -> SimConfig {
-        SimConfig { net_threshold: 3, ..SimConfig::default() }
+        SimConfig {
+            net_threshold: 3,
+            ..SimConfig::default()
+        }
     }
 
     #[test]
@@ -137,7 +145,12 @@ mod tests {
         for _ in 0..10 {
             net.on_arrival(
                 &cache,
-                Arrival { src: Some(lo), tgt: hi, taken: true, from_cache_exit: false },
+                Arrival {
+                    src: Some(lo),
+                    tgt: hi,
+                    taken: true,
+                    from_cache_exit: false,
+                },
             );
         }
         assert_eq!(net.counters_in_use(), 0);
@@ -154,7 +167,12 @@ mod tests {
         for i in 1..=3u32 {
             net.on_arrival(
                 &cache,
-                Arrival { src: Some(src), tgt: a, taken: true, from_cache_exit: false },
+                Arrival {
+                    src: Some(src),
+                    tgt: a,
+                    taken: true,
+                    from_cache_exit: false,
+                },
             );
             assert_eq!(net.is_growing(), i == 3);
         }
@@ -179,13 +197,23 @@ mod tests {
         for _ in 0..2 {
             net.on_arrival(
                 &cache,
-                Arrival { src: None, tgt: d, taken: false, from_cache_exit: true },
+                Arrival {
+                    src: None,
+                    tgt: d,
+                    taken: false,
+                    from_cache_exit: true,
+                },
             );
         }
         assert_eq!(net.counters_in_use(), 1);
         net.on_arrival(
             &cache,
-            Arrival { src: None, tgt: d, taken: false, from_cache_exit: true },
+            Arrival {
+                src: None,
+                tgt: d,
+                taken: false,
+                from_cache_exit: true,
+            },
         );
         assert!(net.is_growing(), "third exit landing reaches threshold");
     }
@@ -201,7 +229,12 @@ mod tests {
         for _ in 0..3 {
             net.on_arrival(
                 &cache,
-                Arrival { src: Some(src), tgt: a, taken: true, from_cache_exit: false },
+                Arrival {
+                    src: Some(src),
+                    tgt: a,
+                    taken: true,
+                    from_cache_exit: false,
+                },
             );
         }
         assert!(net.is_growing());
@@ -210,7 +243,12 @@ mod tests {
         for _ in 0..4 {
             net.on_arrival(
                 &cache,
-                Arrival { src: Some(src), tgt: c, taken: true, from_cache_exit: false },
+                Arrival {
+                    src: Some(src),
+                    tgt: c,
+                    taken: true,
+                    from_cache_exit: false,
+                },
             );
         }
         assert_eq!(net.counters_in_use(), 1);

@@ -27,7 +27,9 @@ impl EdgeProfile {
     /// Records one interpreted transfer out of the instruction at
     /// `src` (classified against the program text).
     pub fn record(&mut self, program: &Program, src: Addr, tgt: Addr, taken: bool) {
-        let Some(inst) = program.inst_at(src) else { return };
+        let Some(inst) = program.inst_at(src) else {
+            return;
+        };
         match inst.kind() {
             InstKind::CondBranch { .. } => {
                 let e = self.cond.entry(src).or_insert((0, 0));
@@ -38,7 +40,12 @@ impl EdgeProfile {
                 }
             }
             InstKind::IndirectJump | InstKind::IndirectCall | InstKind::Ret if taken => {
-                *self.indirect.entry(src).or_default().entry(tgt).or_insert(0) += 1;
+                *self
+                    .indirect
+                    .entry(src)
+                    .or_default()
+                    .entry(tgt)
+                    .or_insert(0) += 1;
             }
             _ => {}
         }
@@ -90,7 +97,9 @@ pub fn majority_walk(
         if blocks.contains(&addr) || (cache.contains(addr) && addr != entry) {
             break;
         }
-        let Some(block) = program.block_at(addr) else { break };
+        let Some(block) = program.block_at(addr) else {
+            break;
+        };
         blocks.push(addr);
         insts += block.len();
         if insts >= max_insts {

@@ -49,7 +49,11 @@ impl ObservedCfg {
         let mut known: HashSet<Addr> = HashSet::new();
         let mut edge_set: HashSet<(Addr, Addr)> = HashSet::new();
         for t in traces {
-            assert_eq!(t.start(), entry, "observed trace starts at the region entry");
+            assert_eq!(
+                t.start(),
+                entry,
+                "observed trace starts at the region entry"
+            );
             let path = t.decode(program)?;
             let mut seen_this_trace: HashSet<Addr> = HashSet::new();
             for &b in &path.blocks {
@@ -139,8 +143,12 @@ pub fn combine_traces(
         "the entry occurs in every observed trace"
     );
     let rejoin = mark_rejoining_paths(entry, cfg.nodes(), cfg.edges(), &initially_marked);
-    let kept: Vec<Addr> =
-        cfg.nodes().iter().copied().filter(|b| rejoin.marked.contains(b)).collect();
+    let kept: Vec<Addr> = cfg
+        .nodes()
+        .iter()
+        .copied()
+        .filter(|b| rejoin.marked.contains(b))
+        .collect();
     let dropped = cfg.nodes().len() - kept.len();
     let kept_set: HashSet<Addr> = kept.iter().copied().collect();
     let mut edge_pairs: Vec<(Addr, Addr)> = Vec::new();
@@ -157,7 +165,11 @@ pub fn combine_traces(
     // Deterministic ordering (HashMap iteration order is not).
     edge_pairs.sort();
     let region = Region::combined(program, &kept, &edge_pairs);
-    Ok(CombineResult { region, rejoin_iterations: rejoin.iterations, dropped_blocks: dropped })
+    Ok(CombineResult {
+        region,
+        rejoin_iterations: rejoin.iterations,
+        dropped_blocks: dropped,
+    })
 }
 
 #[cfg(test)]
@@ -182,7 +194,10 @@ mod tests {
         b.ret(x);
         let p = b.build().unwrap();
         let addr = |id| p.block(id).start();
-        (p.clone(), [addr(s), addr(fall), addr(taken), addr(j), addr(x)])
+        (
+            p.clone(),
+            [addr(s), addr(fall), addr(taken), addr(j), addr(x)],
+        )
     }
 
     /// Records a trace through the diamond, taking or falling at S.
@@ -197,8 +212,11 @@ mod tests {
     #[test]
     fn cfg_counts_occurrences_per_trace() {
         let (p, s) = diamond();
-        let traces =
-            vec![observe(&p, &s, true), observe(&p, &s, false), observe(&p, &s, true)];
+        let traces = vec![
+            observe(&p, &s, true),
+            observe(&p, &s, false),
+            observe(&p, &s, true),
+        ];
         let cfg = ObservedCfg::build(&p, s[0], &traces).unwrap();
         assert_eq!(cfg.occurrences(s[0]), 3);
         assert_eq!(cfg.occurrences(s[2]), 2); // taken side

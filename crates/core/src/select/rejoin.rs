@@ -138,7 +138,11 @@ mod tests {
         let r = mark_rejoining_paths(a(1), &nodes, &e, &init);
         assert_eq!(r.marked.len(), 5);
         // One productive iteration + one to detect the fixpoint.
-        assert!(r.iterations <= 2, "post-order converges fast: {}", r.iterations);
+        assert!(
+            r.iterations <= 2,
+            "post-order converges fast: {}",
+            r.iterations
+        );
     }
 
     #[test]

@@ -77,12 +77,24 @@ impl RegionSelector for WigginsRedstoneSelector<'_> {
             return Vec::new();
         }
         self.samples.recycle(start);
-        let blocks =
-            majority_walk(self.program, cache, &self.profile, start, self.max_trace_insts);
+        let blocks = majority_walk(
+            self.program,
+            cache,
+            &self.profile,
+            start,
+            self.max_trace_insts,
+        );
         if blocks.is_empty() {
             return Vec::new();
         }
         vec![Region::trace(self.program, &blocks)]
+    }
+
+    fn on_fault(&mut self, fault: super::CounterFault) {
+        match fault {
+            super::CounterFault::Saturate => self.samples.saturate_all(),
+            super::CounterFault::Reset => self.samples.reset_all(),
+        }
     }
 
     fn counters_in_use(&self) -> usize {

@@ -1,0 +1,361 @@
+//! Deterministic fault injection for the simulated system.
+//!
+//! Real Dynamo/DynamoRIO-style systems survive events the paper's
+//! evaluation never models: self-modifying code invalidating cached
+//! regions, code-cache flush waves under memory pressure, and corrupted
+//! or saturated profiling counters. This module injects those events
+//! into a run from a seeded schedule so the recovery machinery —
+//! range-based invalidation, the hot-target blacklist, counter
+//! tolerance — can be exercised and measured reproducibly.
+//!
+//! Determinism contract:
+//!
+//! - with [`FaultConfig::default`] (all rates zero) the injector is
+//!   inert: it draws no random numbers and the simulation is
+//!   bit-identical to one without the fault layer;
+//! - with nonzero rates, two runs over the same event stream with the
+//!   same [`FaultConfig`] produce the identical fault schedule and so
+//!   the identical [`RunReport`](crate::RunReport).
+//!
+//! Rates are expressed in events per million executed blocks (ppm) so
+//! the configuration stays `Eq`/hashable and the schedule is exact
+//! integer arithmetic over the PRNG stream.
+
+use rsel_program::Addr;
+
+/// Fault-injection rates and knobs, carried by
+/// [`SimConfig`](crate::SimConfig).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct FaultConfig {
+    /// PRNG seed for the fault schedule.
+    pub seed: u64,
+    /// Self-modifying-code writes per million executed blocks. Each
+    /// write dirties a byte range near the faulting block and
+    /// invalidates every cached region overlapping it.
+    pub smc_write_ppm: u32,
+    /// Cache-pressure flush waves per million executed blocks. Each
+    /// wave evicts the oldest 25–75 % of live regions (beyond the
+    /// bounded cache's own whole-cache flushes).
+    pub flush_wave_ppm: u32,
+    /// Profiling-counter faults per million executed blocks. Each
+    /// fault either saturates or resets the selector's counters; the
+    /// selector must tolerate both without panicking.
+    pub counter_fault_ppm: u32,
+    /// Maximum span (bytes) of one self-modifying-code write.
+    pub smc_max_span: u64,
+    /// Invalidations of the same entry address before the target is
+    /// blacklisted (demoted to interpretation for a cooldown).
+    pub blacklist_after: u32,
+    /// Base blacklist cooldown in executed instructions; doubles with
+    /// every further invalidation of the same target (exponential
+    /// backoff).
+    pub blacklist_cooldown_insts: u64,
+}
+
+impl Default for FaultConfig {
+    fn default() -> Self {
+        FaultConfig {
+            seed: 0,
+            smc_write_ppm: 0,
+            flush_wave_ppm: 0,
+            counter_fault_ppm: 0,
+            smc_max_span: 64,
+            blacklist_after: 3,
+            blacklist_cooldown_insts: 10_000,
+        }
+    }
+}
+
+impl FaultConfig {
+    /// Whether any fault rate is nonzero (the injector does work).
+    pub fn active(&self) -> bool {
+        self.smc_write_ppm > 0 || self.flush_wave_ppm > 0 || self.counter_fault_ppm > 0
+    }
+
+    /// Validates the knobs.
+    pub fn check(&self) -> Result<(), crate::error::SimError> {
+        use crate::error::SimError::InvalidConfig;
+        const MILLION: u32 = 1_000_000;
+        if self.smc_write_ppm > MILLION
+            || self.flush_wave_ppm > MILLION
+            || self.counter_fault_ppm > MILLION
+        {
+            return Err(InvalidConfig(
+                "fault rates are per-million, at most 1_000_000",
+            ));
+        }
+        if self.smc_max_span == 0 {
+            return Err(InvalidConfig("smc_max_span must be positive"));
+        }
+        if self.blacklist_after == 0 {
+            return Err(InvalidConfig("blacklist_after must be positive"));
+        }
+        if self.blacklist_cooldown_insts == 0 {
+            return Err(InvalidConfig("blacklist_cooldown_insts must be positive"));
+        }
+        Ok(())
+    }
+}
+
+/// How a counter fault perturbs the selector's profiling state.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CounterFault {
+    /// Every live counter jumps to `u32::MAX` (hardware saturation /
+    /// runaway increment): selection fires spuriously.
+    Saturate,
+    /// Every live counter is lost (corrupted page dropped): profiling
+    /// starts over.
+    Reset,
+}
+
+/// One scheduled fault event.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Fault {
+    /// Self-modifying code wrote the byte range `[lo, hi)`: every
+    /// cached region overlapping it must be invalidated and unlinked.
+    SmcWrite {
+        /// First dirtied byte.
+        lo: Addr,
+        /// One past the last dirtied byte.
+        hi: Addr,
+    },
+    /// Memory pressure: evict the oldest `percent` of live regions.
+    FlushWave {
+        /// Fraction of live regions to evict, in percent (25–75).
+        percent: u8,
+    },
+    /// Perturb the selector's profiling counters.
+    Counter(CounterFault),
+}
+
+/// SplitMix64: tiny, seedable, and statistically fine for schedules.
+/// Kept private to the fault layer so the injector owes nothing to the
+/// workload RNG and its stream survives dependency changes.
+#[derive(Clone, Debug)]
+struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    fn new(seed: u64) -> Self {
+        SplitMix64 { state: seed }
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform value in `[0, n)`; `n` must be nonzero.
+    fn below(&mut self, n: u64) -> u64 {
+        ((u128::from(self.next_u64()) * u128::from(n)) >> 64) as u64
+    }
+}
+
+/// The seeded fault scheduler. Poll it once per executed block.
+#[derive(Clone, Debug)]
+pub struct FaultInjector {
+    rng: SplitMix64,
+    config: FaultConfig,
+    active: bool,
+    emitted: u64,
+}
+
+impl FaultInjector {
+    /// Builds an injector over `config`.
+    pub fn new(config: &FaultConfig) -> Self {
+        FaultInjector {
+            rng: SplitMix64::new(config.seed ^ 0xfa17_c0de_5eed_2005),
+            config: config.clone(),
+            active: config.active(),
+            emitted: 0,
+        }
+    }
+
+    /// Whether any fault can ever fire. When `false`, [`poll`] is free
+    /// and draws nothing: a zero-rate run is bit-identical to a run
+    /// without the fault layer.
+    ///
+    /// [`poll`]: FaultInjector::poll
+    pub fn active(&self) -> bool {
+        self.active
+    }
+
+    /// Total faults emitted so far.
+    pub fn emitted(&self) -> u64 {
+        self.emitted
+    }
+
+    /// Draws the faults striking at the executed block starting at
+    /// `at`. Independent Bernoulli draws per fault class keep the
+    /// schedule deterministic in the PRNG stream; the returned vector
+    /// is empty (and unallocated) on the overwhelmingly common no-fault
+    /// path.
+    pub fn poll(&mut self, at: Addr) -> Vec<Fault> {
+        let mut faults = Vec::new();
+        if !self.active {
+            return faults;
+        }
+        const MILLION: u64 = 1_000_000;
+        if self.config.smc_write_ppm > 0
+            && self.rng.below(MILLION) < u64::from(self.config.smc_write_ppm)
+        {
+            // A write near the code being executed: offset the dirtied
+            // span around the faulting block so overlap with hot
+            // regions is common (self-modifying code patches what it
+            // runs).
+            let span = 1 + self.rng.below(self.config.smc_max_span);
+            let back = self.rng.below(span + 1);
+            let lo = Addr::new(at.raw().saturating_sub(back));
+            faults.push(Fault::SmcWrite {
+                lo,
+                hi: lo.offset(span),
+            });
+        }
+        if self.config.flush_wave_ppm > 0
+            && self.rng.below(MILLION) < u64::from(self.config.flush_wave_ppm)
+        {
+            let percent = 25 + self.rng.below(51) as u8;
+            faults.push(Fault::FlushWave { percent });
+        }
+        if self.config.counter_fault_ppm > 0
+            && self.rng.below(MILLION) < u64::from(self.config.counter_fault_ppm)
+        {
+            let kind = if self.rng.below(2) == 0 {
+                CounterFault::Saturate
+            } else {
+                CounterFault::Reset
+            };
+            faults.push(Fault::Counter(kind));
+        }
+        self.emitted += faults.len() as u64;
+        faults
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_config_is_inert() {
+        let cfg = FaultConfig::default();
+        assert!(!cfg.active());
+        cfg.check().unwrap();
+        let mut inj = FaultInjector::new(&cfg);
+        assert!(!inj.active());
+        for i in 0..10_000 {
+            assert!(inj.poll(Addr::new(0x1000 + i)).is_empty());
+        }
+        assert_eq!(inj.emitted(), 0);
+    }
+
+    #[test]
+    fn seeded_schedules_are_identical() {
+        let cfg = FaultConfig {
+            seed: 99,
+            smc_write_ppm: 5_000,
+            flush_wave_ppm: 2_000,
+            counter_fault_ppm: 1_000,
+            ..FaultConfig::default()
+        };
+        let mut a = FaultInjector::new(&cfg);
+        let mut b = FaultInjector::new(&cfg);
+        for i in 0..200_000u64 {
+            let at = Addr::new(0x4000 + (i % 512) * 8);
+            assert_eq!(a.poll(at), b.poll(at));
+        }
+        assert!(
+            a.emitted() > 0,
+            "rates this high must fire over 200k blocks"
+        );
+        assert_eq!(a.emitted(), b.emitted());
+    }
+
+    #[test]
+    fn different_seeds_give_different_schedules() {
+        let mk = |seed| FaultConfig {
+            seed,
+            smc_write_ppm: 20_000,
+            ..FaultConfig::default()
+        };
+        let mut a = FaultInjector::new(&mk(1));
+        let mut b = FaultInjector::new(&mk(2));
+        let schedule = |inj: &mut FaultInjector| {
+            (0..50_000u64)
+                .flat_map(|i| inj.poll(Addr::new(0x1000 + i * 4)))
+                .collect::<Vec<_>>()
+        };
+        assert_ne!(schedule(&mut a), schedule(&mut b));
+    }
+
+    #[test]
+    fn smc_ranges_bracket_the_faulting_block() {
+        let cfg = FaultConfig {
+            seed: 7,
+            smc_write_ppm: 100_000,
+            smc_max_span: 32,
+            ..FaultConfig::default()
+        };
+        let mut inj = FaultInjector::new(&cfg);
+        let mut seen = 0;
+        for i in 0..100_000u64 {
+            let at = Addr::new(0x8000 + (i % 64) * 16);
+            for f in inj.poll(at) {
+                if let Fault::SmcWrite { lo, hi } = f {
+                    seen += 1;
+                    assert!(lo < hi);
+                    assert!(hi.raw() - lo.raw() <= 2 * cfg.smc_max_span);
+                    // The dirtied range stays near the faulting block.
+                    assert!(lo.raw() <= at.raw() && at.raw() <= hi.raw() + cfg.smc_max_span);
+                }
+            }
+        }
+        assert!(seen > 1_000);
+    }
+
+    #[test]
+    fn flush_percent_stays_in_band() {
+        let cfg = FaultConfig {
+            seed: 3,
+            flush_wave_ppm: 200_000,
+            ..FaultConfig::default()
+        };
+        let mut inj = FaultInjector::new(&cfg);
+        for i in 0..20_000u64 {
+            for f in inj.poll(Addr::new(i)) {
+                let Fault::FlushWave { percent } = f else {
+                    panic!("only waves enabled")
+                };
+                assert!((25..=75).contains(&percent));
+            }
+        }
+    }
+
+    #[test]
+    fn config_check_rejects_bad_knobs() {
+        let bad = FaultConfig {
+            smc_write_ppm: 2_000_000,
+            ..FaultConfig::default()
+        };
+        assert!(bad.check().is_err());
+        let bad = FaultConfig {
+            smc_max_span: 0,
+            ..FaultConfig::default()
+        };
+        assert!(bad.check().is_err());
+        let bad = FaultConfig {
+            blacklist_after: 0,
+            ..FaultConfig::default()
+        };
+        assert!(bad.check().is_err());
+        let bad = FaultConfig {
+            blacklist_cooldown_insts: 0,
+            ..FaultConfig::default()
+        };
+        assert!(bad.check().is_err());
+    }
+}

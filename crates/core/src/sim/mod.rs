@@ -6,12 +6,23 @@
 //! branch profiling, region selection, an unbounded code cache, lazy
 //! inter-region linking, and execution from the cache — while measuring
 //! every quantity the evaluation reports.
+//!
+//! Beyond the paper, the simulator carries a deterministic
+//! fault-injection layer ([`faults`]) exercising the recovery machinery
+//! real systems need: range invalidation for self-modifying code,
+//! pressure-wave eviction, counter-fault tolerance, and an
+//! exponential-backoff blacklist for targets that keep being
+//! invalidated. With the default all-zero fault rates the layer is
+//! inert and runs are bit-identical to a simulator without it.
 
-use crate::cache::{CodeCache, RegionId, TransferClass};
+pub mod faults;
+
+use crate::cache::{CodeCache, Region, RegionId, TransferClass};
 use crate::config::SimConfig;
 use crate::metrics::domination::analyze_domination;
-use crate::metrics::report::{RegionReport, RunReport};
+use crate::metrics::report::{RegionReport, ResilienceStats, RunReport};
 use crate::select::{Arrival, RegionSelector};
+use faults::{Fault, FaultConfig, FaultInjector};
 use rsel_program::{Addr, Entry, Program, Step};
 use std::collections::{HashMap, HashSet};
 
@@ -29,6 +40,16 @@ struct RegionRuntime {
     executions: u64,
     cycle_ends: u64,
     insts_executed: u64,
+}
+
+/// Backoff state for an entry address whose regions keep being
+/// invalidated by self-modifying code.
+#[derive(Clone, Copy, Debug, Default)]
+struct BlacklistEntry {
+    /// Self-modifying-code invalidations suffered at this entry.
+    invalidations: u32,
+    /// Instruction count (total) until which selection is suppressed.
+    cooldown_until: u64,
 }
 
 /// The trace-driven simulator.
@@ -51,14 +72,23 @@ pub struct Simulator<'p> {
     transitions: u64,
     transition_distance_sum: u64,
     transition_page_crossings: u64,
-    // Per-region runtime stats, indexed by RegionId.
+    // Per-region runtime stats, indexed by RegionId raw value (ids are
+    // monotonic within a cache generation, so the vec only grows; it
+    // resets at a full flush together with the id sequence).
     runtime: Vec<RegionRuntime>,
     // Executed-predecessor relation over program blocks.
     exec_preds: HashMap<Addr, HashSet<Addr>>,
     // Exits observed leaving the cache: target -> {(region, from block)}.
     exit_edges: HashMap<Addr, HashSet<(RegionId, Addr)>>,
-    // Regions evicted by bounded-cache flushes, with their final stats.
+    // Regions removed from the cache (bounded-cache flushes, fault
+    // invalidations, pressure evictions), with their final stats.
     retired: Vec<RegionReport>,
+    // Fault-injection layer.
+    injector: FaultInjector,
+    fault_cfg: FaultConfig,
+    blacklist: HashMap<Addr, BlacklistEntry>,
+    invalidated_entries: HashSet<Addr>,
+    resilience: ResilienceStats,
 }
 
 impl<'p> Simulator<'p> {
@@ -90,6 +120,11 @@ impl<'p> Simulator<'p> {
             exec_preds: HashMap::new(),
             exit_edges: HashMap::new(),
             retired: Vec::new(),
+            injector: FaultInjector::new(&config.faults),
+            fault_cfg: config.faults.clone(),
+            blacklist: HashMap::new(),
+            invalidated_entries: HashSet::new(),
+            resilience: ResilienceStats::default(),
         }
     }
 
@@ -115,58 +150,182 @@ impl<'p> Simulator<'p> {
         self.total_insts
     }
 
-    fn insert_regions(&mut self, regions: Vec<crate::cache::Region>) {
+    /// Resilience statistics accumulated so far (all zeros when the
+    /// fault layer is inert).
+    pub fn resilience(&self) -> &ResilienceStats {
+        &self.resilience
+    }
+
+    fn insert_regions(&mut self, regions: Vec<Region>) {
         for r in regions {
+            // Targets demoted by the blacklist stay interpreted until
+            // their cooldown expires.
+            if self.is_blacklisted(r.entry()) {
+                self.resilience.blacklist_hits += 1;
+                continue;
+            }
             if self.cache.would_overflow(&r) {
                 self.retire_all();
             }
-            let id = self.cache.insert(r);
-            debug_assert_eq!(id.index(), self.runtime.len());
-            self.runtime.push(RegionRuntime::default());
+            let entry = r.entry();
+            if let Ok(id) = self.cache.try_insert(r) {
+                if self.runtime.len() <= id.index() {
+                    self.runtime
+                        .resize(id.index() + 1, RegionRuntime::default());
+                }
+                if self.invalidated_entries.contains(&entry) {
+                    self.resilience.reformations += 1;
+                }
+            }
+            // A duplicate entry (fault recovery racing a re-selection
+            // against a re-formation in the same event) is dropped.
         }
+    }
+
+    fn is_blacklisted(&self, entry: Addr) -> bool {
+        self.blacklist.get(&entry).is_some_and(|b| {
+            b.invalidations >= self.fault_cfg.blacklist_after && self.total_insts < b.cooldown_until
+        })
     }
 
     /// Bounded-cache flush: every live region's final statistics move
     /// to the retired list, the cache empties, and region ids restart.
     fn retire_all(&mut self) {
         debug_assert_eq!(self.mode, Mode::Interp, "flushes happen while interpreting");
-        self.retired.extend(Self::region_reports(&self.cache, &self.runtime));
+        self.retired
+            .extend(Self::region_reports(&self.cache, &self.runtime));
         self.cache.flush();
         self.runtime.clear();
         // Exit edges refer to now-recycled region ids.
         self.exit_edges.clear();
     }
 
+    fn report_for(r: &Region, rt: RegionRuntime) -> RegionReport {
+        RegionReport {
+            entry: r.entry(),
+            kind: r.kind(),
+            insts_copied: r.inst_count(),
+            bytes: r.byte_size(),
+            stubs: r.stub_count(),
+            spans_cycle: r.spans_cycle(),
+            executions: rt.executions,
+            cycle_ends: rt.cycle_ends,
+            insts_executed: rt.insts_executed,
+        }
+    }
+
     fn region_reports(cache: &CodeCache, runtime: &[RegionRuntime]) -> Vec<RegionReport> {
         cache
             .regions()
             .iter()
-            .zip(runtime)
-            .map(|(r, rt)| RegionReport {
-                entry: r.entry(),
-                kind: r.kind(),
-                insts_copied: r.inst_count(),
-                bytes: r.byte_size(),
-                stubs: r.stub_count(),
-                spans_cycle: r.spans_cycle(),
-                executions: rt.executions,
-                cycle_ends: rt.cycle_ends,
-                insts_executed: rt.insts_executed,
+            .map(|r| {
+                let rt = runtime.get(r.id().index()).copied().unwrap_or_default();
+                Self::report_for(r, rt)
             })
             .collect()
+    }
+
+    /// Draws and applies this block's scheduled faults. A no-op (and
+    /// draw-free, preserving bit-identity) when every rate is zero.
+    fn apply_faults(&mut self, at: Addr) {
+        let struck = self.injector.poll(at);
+        for fault in struck {
+            if self.resilience.total_insts_at_first_fault.is_none() {
+                self.resilience.total_insts_at_first_fault = Some(self.total_insts);
+                self.resilience.cache_insts_at_first_fault = Some(self.cache_insts);
+            }
+            match fault {
+                Fault::SmcWrite { lo, hi } => {
+                    self.resilience.smc_events += 1;
+                    let out = self.cache.invalidate_range(lo, hi);
+                    self.resilience.invalidated_regions += out.removed.len() as u64;
+                    self.handle_removal(out.removed, out.severed_links, true);
+                }
+                Fault::FlushWave { percent } => {
+                    self.resilience.flush_waves += 1;
+                    let count = (self.cache.len() * usize::from(percent)).div_ceil(100);
+                    let out = self.cache.evict_oldest(count);
+                    self.resilience.pressure_evicted_regions += out.removed.len() as u64;
+                    self.handle_removal(out.removed, out.severed_links, false);
+                }
+                Fault::Counter(kind) => {
+                    self.resilience.counter_faults += 1;
+                    self.selector.on_fault(kind);
+                }
+            }
+        }
+    }
+
+    /// Bookkeeping after regions left the cache mid-run: retire their
+    /// stats, recover the execution mode, prune exit edges, and (for
+    /// self-modifying-code invalidations) advance the blacklist.
+    fn handle_removal(&mut self, removed: Vec<Region>, severed: u64, blame_target: bool) {
+        self.resilience.severed_links += severed;
+        if removed.is_empty() {
+            return;
+        }
+        let dead: HashSet<RegionId> = removed.iter().map(Region::id).collect();
+        // The region being executed vanished: fall back to the
+        // interpreter, landing as if through an exit stub.
+        if let Mode::InCache { region, .. } = self.mode {
+            if dead.contains(&region) {
+                self.mode = Mode::Interp;
+                self.pending_exit = true;
+                self.resilience.recovery_transitions += 1;
+            }
+        }
+        for r in &removed {
+            let rt = self
+                .runtime
+                .get(r.id().index())
+                .copied()
+                .unwrap_or_default();
+            self.retired.push(Self::report_for(r, rt));
+            self.invalidated_entries.insert(r.entry());
+            if blame_target {
+                let after = self.fault_cfg.blacklist_after;
+                let base = self.fault_cfg.blacklist_cooldown_insts;
+                let b = self.blacklist.entry(r.entry()).or_default();
+                b.invalidations += 1;
+                if b.invalidations >= after {
+                    // Exponential backoff: the cooldown doubles with
+                    // every invalidation past the demotion point.
+                    let shift = (b.invalidations - after).min(16);
+                    b.cooldown_until = self
+                        .total_insts
+                        .saturating_add(base.saturating_mul(1 << shift));
+                    if b.invalidations == after {
+                        self.resilience.blacklisted_targets += 1;
+                    }
+                }
+            }
+        }
+        // Exit bookkeeping must not name dead regions.
+        for set in self.exit_edges.values_mut() {
+            set.retain(|(rid, _)| !dead.contains(rid));
+        }
+        self.exit_edges.retain(|_, set| !set.is_empty());
     }
 
     fn enter_region(&mut self, id: RegionId, target: Addr, len: u64) {
         self.runtime[id.index()].executions += 1;
         self.runtime[id.index()].insts_executed += len;
         self.cache_insts += len;
-        self.mode = Mode::InCache { region: id, block: target };
+        self.mode = Mode::InCache {
+            region: id,
+            block: target,
+        };
     }
 
     /// Processes one executed block.
     pub fn arrive(&mut self, step: &Step) {
-        let len = self.program.block(step.block).len() as u64;
         let target = step.start;
+        // Scheduled faults strike before the block runs (draw-free and
+        // bit-identical to no fault layer when every rate is zero).
+        if self.injector.active() {
+            self.apply_faults(target);
+        }
+        let len = self.program.block(step.block).len() as u64;
         self.total_insts += len;
         let prev = self.prev_block;
         self.prev_block = Some(target);
@@ -176,28 +335,46 @@ impl<'p> Simulator<'p> {
 
         // --- In-cache execution ---------------------------------------
         if let Mode::InCache { region, block } = self.mode {
-            match self.cache.region(region).classify(block, target) {
-                TransferClass::Cycle => {
+            // The region is live: fault recovery resets the mode when
+            // the current region is removed. Classify gracefully
+            // anyway — an unknown id degrades to an interpreter
+            // recovery instead of a panic.
+            let class = self
+                .cache
+                .try_region(region)
+                .map(|r| r.classify(block, target));
+            match class {
+                Ok(TransferClass::Cycle) => {
                     let rt = &mut self.runtime[region.index()];
                     rt.cycle_ends += 1;
                     rt.executions += 1;
                     rt.insts_executed += len;
                     self.cache_insts += len;
-                    self.mode = Mode::InCache { region, block: target };
+                    self.mode = Mode::InCache {
+                        region,
+                        block: target,
+                    };
                     return;
                 }
-                TransferClass::Internal => {
+                Ok(TransferClass::Internal) => {
                     self.runtime[region.index()].insts_executed += len;
                     self.cache_insts += len;
-                    self.mode = Mode::InCache { region, block: target };
+                    self.mode = Mode::InCache {
+                        region,
+                        block: target,
+                    };
                     return;
                 }
-                TransferClass::Exit => {
-                    self.exit_edges.entry(target).or_default().insert((region, block));
+                Ok(TransferClass::Exit) => {
+                    self.exit_edges
+                        .entry(target)
+                        .or_default()
+                        .insert((region, block));
                     if let Some(r2) = self.cache.lookup(target) {
                         // Lazy linking: the exit stub jumps straight to
                         // the other region — a region transition.
                         self.transitions += 1;
+                        self.cache.record_link(region, r2);
                         let from = self.cache.region(region).cache_offset();
                         let to = self.cache.region(r2).cache_offset();
                         self.transition_distance_sum += from.abs_diff(to);
@@ -211,6 +388,11 @@ impl<'p> Simulator<'p> {
                     // interpreter arrival logic below.
                     self.mode = Mode::Interp;
                     self.pending_exit = true;
+                }
+                Err(_) => {
+                    self.mode = Mode::Interp;
+                    self.pending_exit = true;
+                    self.resilience.recovery_transitions += 1;
                 }
             }
         }
@@ -234,7 +416,12 @@ impl<'p> Simulator<'p> {
                 }
                 let done = self.selector.on_arrival(
                     &self.cache,
-                    Arrival { src: Some(src), tgt: target, taken: true, from_cache_exit: from_exit },
+                    Arrival {
+                        src: Some(src),
+                        tgt: target,
+                        taken: true,
+                        from_cache_exit: from_exit,
+                    },
                 );
                 self.insert_regions(done);
                 // "jump newT" (Figure 5, line 15): a freshly selected
@@ -245,19 +432,26 @@ impl<'p> Simulator<'p> {
                 }
             }
             Entry::Fallthrough => {
+                // `prev` always starts a program block (it came from an
+                // executed step); resolve it gracefully regardless —
+                // under fault injection a missing block degrades to an
+                // unattributed arrival, never a panic.
+                let src = prev
+                    .and_then(|p| self.program.block_at(p))
+                    .map(|b| b.terminator().addr());
                 if from_exit {
                     // Landing from a fall-through exit stub.
-                    let src = prev.map(|p| {
-                        self.program.block_at(p).expect("prev is a block").terminator().addr()
-                    });
                     let done = self.selector.on_arrival(
                         &self.cache,
-                        Arrival { src, tgt: target, taken: false, from_cache_exit: true },
+                        Arrival {
+                            src,
+                            tgt: target,
+                            taken: false,
+                            from_cache_exit: true,
+                        },
                     );
                     self.insert_regions(done);
-                } else if let Some(p) = prev {
-                    let src =
-                        self.program.block_at(p).expect("prev is a block").terminator().addr();
+                } else if let Some(src) = src {
                     let done = self.selector.on_transfer(&self.cache, src, target, false);
                     self.insert_regions(done);
                 }
@@ -290,6 +484,7 @@ impl<'p> Simulator<'p> {
             cache_flushes: self.cache.flushes(),
             transition_distance_sum: self.transition_distance_sum,
             transition_page_crossings: self.transition_page_crossings,
+            resilience: self.resilience.clone(),
         }
     }
 }
@@ -298,8 +493,8 @@ impl<'p> Simulator<'p> {
 mod tests {
     use super::*;
     use crate::select::SelectorKind;
-    use rsel_program::patterns::ScenarioBuilder;
     use rsel_program::Executor;
+    use rsel_program::patterns::ScenarioBuilder;
 
     fn run_kind(
         kind: SelectorKind,
@@ -361,7 +556,11 @@ mod tests {
         let net = run_kind(SelectorKind::Net, interproc_loop, 1, &cfg);
         let lei = run_kind(SelectorKind::Lei, interproc_loop, 1, &cfg);
         // NET splits the cycle into multiple traces, none spanning it.
-        assert!(net.region_count() >= 2, "NET regions: {}", net.region_count());
+        assert!(
+            net.region_count() >= 2,
+            "NET regions: {}",
+            net.region_count()
+        );
         assert_eq!(net.regions.iter().filter(|r| r.spans_cycle).count(), 0);
         // LEI selects one cycle-spanning trace.
         assert!(lei.regions.iter().any(|r| r.spans_cycle));
@@ -383,7 +582,10 @@ mod tests {
 
     #[test]
     fn bounded_cache_flushes_and_recovers() {
-        let cfg = SimConfig { cache_capacity: Some(60), ..SimConfig::default() };
+        let cfg = SimConfig {
+            cache_capacity: Some(60),
+            ..SimConfig::default()
+        };
         let mut s = ScenarioBuilder::new(1);
         interproc_loop(&mut s);
         let (p, spec) = s.build().unwrap();
@@ -440,7 +642,10 @@ mod tests {
         let cfg = SimConfig::default();
         for kind in SelectorKind::all() {
             let r = run_kind(kind, interproc_loop, 1, &cfg);
-            assert!(r.transition_page_crossings <= r.region_transitions, "{kind}");
+            assert!(
+                r.transition_page_crossings <= r.region_transitions,
+                "{kind}"
+            );
             if r.region_transitions > 0 {
                 assert!(r.mean_transition_distance() >= 0.0);
             }
@@ -456,6 +661,144 @@ mod tests {
             // Every algorithm eventually caches this scorching loop.
             assert!(r.region_count() >= 1, "{kind} selected nothing");
             assert!(r.hit_rate() > 0.5, "{kind} hit {:.3}", r.hit_rate());
+        }
+    }
+
+    fn fault_cfg(seed: u64) -> SimConfig {
+        SimConfig {
+            faults: FaultConfig {
+                seed,
+                smc_write_ppm: 2_000,
+                flush_wave_ppm: 500,
+                counter_fault_ppm: 300,
+                ..FaultConfig::default()
+            },
+            ..SimConfig::default()
+        }
+    }
+
+    #[test]
+    fn faulty_runs_are_deterministic() {
+        let cfg = fault_cfg(42);
+        let a = run_kind(SelectorKind::Lei, interproc_loop, 1, &cfg);
+        let b = run_kind(SelectorKind::Lei, interproc_loop, 1, &cfg);
+        assert!(
+            a.resilience.fault_events() > 0,
+            "rates this high must strike"
+        );
+        assert_eq!(a, b, "same seed, same schedule, same report");
+    }
+
+    #[test]
+    fn zero_rates_match_regardless_of_fault_seed() {
+        // The injector is never polled when every rate is zero, so the
+        // fault seed cannot leak into the run.
+        let base = SimConfig::default();
+        let seeded = SimConfig {
+            faults: FaultConfig {
+                seed: 0xdead_beef,
+                ..FaultConfig::default()
+            },
+            ..SimConfig::default()
+        };
+        let a = run_kind(SelectorKind::CombinedNet, interproc_loop, 1, &base);
+        let b = run_kind(SelectorKind::CombinedNet, interproc_loop, 1, &seeded);
+        assert_eq!(a.resilience, crate::metrics::ResilienceStats::default());
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn smc_invalidation_recovers_and_reforms() {
+        // Demotion is pushed out of reach so the loop keeps reforming
+        // after every invalidation instead of being blacklisted.
+        let cfg = SimConfig {
+            faults: FaultConfig {
+                seed: 7,
+                smc_write_ppm: 500,
+                blacklist_after: 1_000_000,
+                ..FaultConfig::default()
+            },
+            ..SimConfig::default()
+        };
+        let r = run_kind(SelectorKind::Net, hot_loop, 1, &cfg);
+        let res = &r.resilience;
+        assert!(res.smc_events > 0);
+        assert!(
+            res.invalidated_regions > 0,
+            "the hot loop sits in the write path"
+        );
+        assert!(
+            res.reformations > 0,
+            "the loop gets re-selected after invalidation"
+        );
+        // Conservation still holds and the cache keeps serving most of
+        // the run between invalidations.
+        assert!(r.cache_insts <= r.total_insts);
+        assert!(r.hit_rate() > 0.5, "hit {:.3}", r.hit_rate());
+        let under = r.hit_rate_under_faults().expect("faults struck");
+        assert!((0.0..=1.0).contains(&under));
+    }
+
+    #[test]
+    fn repeated_invalidation_blacklists_the_target() {
+        // Saturate the loop with SMC writes so its entry is invalidated
+        // well past blacklist_after; with a long cooldown the target is
+        // demoted and selections get dropped.
+        let cfg = SimConfig {
+            faults: FaultConfig {
+                seed: 3,
+                smc_write_ppm: 50_000,
+                blacklist_after: 2,
+                blacklist_cooldown_insts: 1_000_000,
+                ..FaultConfig::default()
+            },
+            ..SimConfig::default()
+        };
+        let r = run_kind(SelectorKind::Net, hot_loop, 1, &cfg);
+        let res = &r.resilience;
+        assert!(res.blacklisted_targets > 0, "resilience: {res:?}");
+        assert!(
+            res.blacklist_hits > 0,
+            "demoted selections are dropped: {res:?}"
+        );
+    }
+
+    #[test]
+    fn pressure_waves_evict_and_execution_continues() {
+        let cfg = SimConfig {
+            faults: FaultConfig {
+                seed: 11,
+                flush_wave_ppm: 5_000,
+                ..FaultConfig::default()
+            },
+            ..SimConfig::default()
+        };
+        let r = run_kind(SelectorKind::Lei, interproc_loop, 1, &cfg);
+        let res = &r.resilience;
+        assert!(res.flush_waves > 0);
+        assert!(res.pressure_evicted_regions > 0);
+        assert_eq!(res.invalidated_regions, 0, "no SMC faults were enabled");
+        assert_eq!(
+            res.blacklisted_targets, 0,
+            "pressure does not blame targets"
+        );
+        assert!(r.hit_rate() > 0.3, "hit {:.3}", r.hit_rate());
+    }
+
+    #[test]
+    fn counter_faults_leave_selectors_standing() {
+        let cfg = SimConfig {
+            faults: FaultConfig {
+                seed: 5,
+                counter_fault_ppm: 20_000,
+                ..FaultConfig::default()
+            },
+            ..SimConfig::default()
+        };
+        for kind in SelectorKind::extended() {
+            let r = run_kind(kind, interproc_loop, 1, &cfg);
+            assert!(r.resilience.counter_faults > 0, "{kind}");
+            assert!(r.cache_insts <= r.total_insts, "{kind}");
         }
     }
 

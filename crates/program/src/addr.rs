@@ -107,7 +107,10 @@ mod tests {
     fn backwardness_matches_paper_definition() {
         let src = Addr::new(0x200);
         assert!(Addr::new(0x100).is_backward_from(src));
-        assert!(Addr::new(0x200).is_backward_from(src), "self-branch is backward");
+        assert!(
+            Addr::new(0x200).is_backward_from(src),
+            "self-branch is backward"
+        );
         assert!(!Addr::new(0x201).is_backward_from(src));
     }
 

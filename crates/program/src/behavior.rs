@@ -58,7 +58,11 @@ pub struct BehaviorSpec {
 impl BehaviorSpec {
     /// Creates a spec with the given RNG seed.
     pub fn new(seed: u64) -> Self {
-        BehaviorSpec { seed, cond: HashMap::new(), indirect: HashMap::new() }
+        BehaviorSpec {
+            seed,
+            cond: HashMap::new(),
+            indirect: HashMap::new(),
+        }
     }
 
     /// The RNG seed.
@@ -116,7 +120,8 @@ impl BehaviorSpec {
     pub fn indirect_weighted(&mut self, addr: Addr, targets: Vec<(Addr, u32)>) -> &mut Self {
         assert!(!targets.is_empty(), "indirect branch needs targets");
         assert!(targets.iter().any(|(_, w)| *w > 0), "all weights are zero");
-        self.indirect.insert(addr, IndirectBehavior::Weighted(targets));
+        self.indirect
+            .insert(addr, IndirectBehavior::Weighted(targets));
         self
     }
 
@@ -127,7 +132,8 @@ impl BehaviorSpec {
     /// Panics if `targets` is empty.
     pub fn indirect_round_robin(&mut self, addr: Addr, targets: Vec<Addr>) -> &mut Self {
         assert!(!targets.is_empty(), "indirect branch needs targets");
-        self.indirect.insert(addr, IndirectBehavior::RoundRobin(targets));
+        self.indirect
+            .insert(addr, IndirectBehavior::RoundRobin(targets));
         self
     }
 

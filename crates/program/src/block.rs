@@ -120,7 +120,9 @@ mod tests {
                 Instruction::new(
                     Addr::new(0x17),
                     2,
-                    InstKind::CondBranch { target: Addr::new(0x40) },
+                    InstKind::CondBranch {
+                        target: Addr::new(0x40),
+                    },
                 ),
             ],
         )
@@ -163,7 +165,9 @@ mod tests {
             vec![Instruction::new(
                 Addr::new(0x10),
                 2,
-                InstKind::Jump { target: Addr::new(0x80) },
+                InstKind::Jump {
+                    target: Addr::new(0x80),
+                },
             )],
         );
         assert!(!b.can_fall_through());

@@ -250,10 +250,12 @@ impl ProgramBuilder {
             }
             let term_kind = match d.term {
                 Term::Fallthrough => None,
-                Term::CondBranch(t) => {
-                    Some(InstKind::CondBranch { target: starts[t.index()] })
-                }
-                Term::Jump(t) => Some(InstKind::Jump { target: starts[t.index()] }),
+                Term::CondBranch(t) => Some(InstKind::CondBranch {
+                    target: starts[t.index()],
+                }),
+                Term::Jump(t) => Some(InstKind::Jump {
+                    target: starts[t.index()],
+                }),
                 Term::IndirectJump => Some(InstKind::IndirectJump),
                 Term::Call(callee) => {
                     let entry = self.functions[callee.index()]
@@ -332,7 +334,10 @@ mod tests {
 
     #[test]
     fn empty_program_rejected() {
-        assert_eq!(ProgramBuilder::new().build().unwrap_err(), BuildError::Empty);
+        assert_eq!(
+            ProgramBuilder::new().build().unwrap_err(),
+            BuildError::Empty
+        );
     }
 
     #[test]
@@ -391,7 +396,12 @@ mod tests {
         let bb = b.block_with(f, 3);
         b.ret(bb);
         let p = b.build().unwrap();
-        let sizes: Vec<u8> = p.block(bb).instructions().iter().map(|i| i.size()).collect();
+        let sizes: Vec<u8> = p
+            .block(bb)
+            .instructions()
+            .iter()
+            .map(|i| i.size())
+            .collect();
         assert_eq!(sizes, vec![4, 3, 4, BRANCH_SIZE]);
     }
 }

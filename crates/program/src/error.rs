@@ -51,7 +51,10 @@ impl fmt::Display for BuildError {
                 write!(f, "instructions overlap at {addr}")
             }
             BuildError::DanglingTarget { src, target } => {
-                write!(f, "branch at {src} targets {target}, which holds no instruction")
+                write!(
+                    f,
+                    "branch at {src} targets {target}, which holds no instruction"
+                )
             }
             BuildError::MidBlockTarget { src, target } => {
                 write!(f, "branch at {src} targets mid-block address {target}")
@@ -75,7 +78,10 @@ mod tests {
 
     #[test]
     fn messages_are_lowercase_and_specific() {
-        let e = BuildError::DanglingTarget { src: Addr::new(1), target: Addr::new(2) };
+        let e = BuildError::DanglingTarget {
+            src: Addr::new(1),
+            target: Addr::new(2),
+        };
         let msg = e.to_string();
         assert!(msg.contains("0x1") && msg.contains("0x2"));
         assert!(msg.chars().next().unwrap().is_lowercase());

@@ -100,7 +100,10 @@ mod tests {
 
     #[test]
     fn taken_src_extraction() {
-        let e = Entry::Taken { src: Addr::new(5), kind: BranchKind::Cond };
+        let e = Entry::Taken {
+            src: Addr::new(5),
+            kind: BranchKind::Cond,
+        };
         assert_eq!(e.taken_src(), Some(Addr::new(5)));
         assert!(e.is_taken());
         assert_eq!(Entry::Fallthrough.taken_src(), None);

@@ -162,7 +162,11 @@ impl Iterator for Executor<'_> {
     fn next(&mut self) -> Option<Step> {
         let id = self.cur?;
         let block = self.program.block(id);
-        let step = Step { block: id, start: block.start(), entry: self.entry };
+        let step = Step {
+            block: id,
+            start: block.start(),
+            entry: self.entry,
+        };
 
         // Compute the successor.
         let term = block.terminator();
@@ -171,29 +175,63 @@ impl Iterator for Executor<'_> {
             InstKind::Straight => (Some(block.fallthrough_addr()), Entry::Fallthrough),
             InstKind::CondBranch { target } => {
                 if self.cond_taken(src) {
-                    (Some(target), Entry::Taken { src, kind: BranchKind::Cond })
+                    (
+                        Some(target),
+                        Entry::Taken {
+                            src,
+                            kind: BranchKind::Cond,
+                        },
+                    )
                 } else {
                     (Some(block.fallthrough_addr()), Entry::Fallthrough)
                 }
             }
-            InstKind::Jump { target } => {
-                (Some(target), Entry::Taken { src, kind: BranchKind::Jump })
-            }
+            InstKind::Jump { target } => (
+                Some(target),
+                Entry::Taken {
+                    src,
+                    kind: BranchKind::Jump,
+                },
+            ),
             InstKind::IndirectJump => {
                 let t = self.indirect_target(src);
-                (Some(t), Entry::Taken { src, kind: BranchKind::IndirectJump })
+                (
+                    Some(t),
+                    Entry::Taken {
+                        src,
+                        kind: BranchKind::IndirectJump,
+                    },
+                )
             }
             InstKind::Call { target } => {
                 self.stack.push(term.fallthrough_addr());
-                (Some(target), Entry::Taken { src, kind: BranchKind::Call })
+                (
+                    Some(target),
+                    Entry::Taken {
+                        src,
+                        kind: BranchKind::Call,
+                    },
+                )
             }
             InstKind::IndirectCall => {
                 self.stack.push(term.fallthrough_addr());
                 let t = self.indirect_target(src);
-                (Some(t), Entry::Taken { src, kind: BranchKind::IndirectCall })
+                (
+                    Some(t),
+                    Entry::Taken {
+                        src,
+                        kind: BranchKind::IndirectCall,
+                    },
+                )
             }
             InstKind::Ret => match self.stack.pop() {
-                Some(ra) => (Some(ra), Entry::Taken { src, kind: BranchKind::Ret }),
+                Some(ra) => (
+                    Some(ra),
+                    Entry::Taken {
+                        src,
+                        kind: BranchKind::Ret,
+                    },
+                ),
                 None => (None, Entry::Start),
             },
         };
@@ -267,11 +305,17 @@ mod tests {
         assert_eq!(steps.len(), 3);
         assert!(matches!(
             steps[1].entry,
-            Entry::Taken { kind: BranchKind::Call, .. }
+            Entry::Taken {
+                kind: BranchKind::Call,
+                ..
+            }
         ));
         assert!(matches!(
             steps[2].entry,
-            Entry::Taken { kind: BranchKind::Ret, .. }
+            Entry::Taken {
+                kind: BranchKind::Ret,
+                ..
+            }
         ));
     }
 
@@ -306,7 +350,10 @@ mod tests {
         // Program ends after exit's ret; a fresh executor alternates.
         assert!(matches!(
             steps[1].entry,
-            Entry::Taken { kind: BranchKind::IndirectJump, .. }
+            Entry::Taken {
+                kind: BranchKind::IndirectJump,
+                ..
+            }
         ));
     }
 
@@ -327,7 +374,10 @@ mod tests {
         let run = |seed| {
             let mut spec = BehaviorSpec::new(seed);
             spec.bernoulli(back, 0.7);
-            Executor::new(&p, spec).take(100).map(|s| s.block).collect::<Vec<_>>()
+            Executor::new(&p, spec)
+                .take(100)
+                .map(|s| s.block)
+                .collect::<Vec<_>>()
         };
         assert_eq!(run(42), run(42));
     }
@@ -338,10 +388,7 @@ mod tests {
         let mut spec = BehaviorSpec::new(1);
         spec.set_cond(
             back,
-            CondBehavior::Phased(vec![
-                (4, CondBehavior::Taken),
-                (1, CondBehavior::NotTaken),
-            ]),
+            CondBehavior::Phased(vec![(4, CondBehavior::Taken), (1, CondBehavior::NotTaken)]),
         );
         let steps: Vec<Step> = Executor::new(&p, spec).take(40).collect();
         // Taken 4 times then not taken: 5 bodies before exit.

@@ -38,7 +38,12 @@ pub struct Function {
 
 impl Function {
     pub(crate) fn new(id: FunctionId, name: String, entry: Addr, blocks: Vec<BlockId>) -> Self {
-        Function { id, name, entry, blocks }
+        Function {
+            id,
+            name,
+            entry,
+            blocks,
+        }
     }
 
     /// This function's identifier.

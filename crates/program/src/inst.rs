@@ -153,9 +153,24 @@ mod tests {
         assert!(InstKind::Ret.is_branch());
         assert!(InstKind::Ret.is_indirect());
         assert!(InstKind::Ret.is_unconditional_transfer());
-        assert!(!InstKind::CondBranch { target: Addr::new(1) }.is_unconditional_transfer());
-        assert!(InstKind::Jump { target: Addr::new(1) }.is_unconditional_transfer());
-        assert!(!InstKind::Call { target: Addr::new(1) }.is_indirect());
+        assert!(
+            !InstKind::CondBranch {
+                target: Addr::new(1)
+            }
+            .is_unconditional_transfer()
+        );
+        assert!(
+            InstKind::Jump {
+                target: Addr::new(1)
+            }
+            .is_unconditional_transfer()
+        );
+        assert!(
+            !InstKind::Call {
+                target: Addr::new(1)
+            }
+            .is_indirect()
+        );
         assert!(InstKind::IndirectCall.is_indirect());
     }
 

@@ -212,7 +212,12 @@ impl ScenarioBuilder {
         self.branch_p(split, taken, p);
         self.jump(fallthrough, join);
         // `taken` falls through to `join` (laid out immediately before).
-        DiamondShape { split, taken, fallthrough, join }
+        DiamondShape {
+            split,
+            taken,
+            fallthrough,
+            join,
+        }
     }
 
     /// Adds a chain of `n` diamonds with the given taken-probabilities
@@ -272,8 +277,10 @@ impl ScenarioBuilder {
                     spec.indirect_weighted(addr, resolved);
                 }
                 IndirectIntent::RoundRobin(targets) => {
-                    let resolved =
-                        targets.into_iter().map(|t| program.block(t).start()).collect();
+                    let resolved = targets
+                        .into_iter()
+                        .map(|t| program.block(t).start())
+                        .collect();
                     spec.indirect_round_robin(addr, resolved);
                 }
             }

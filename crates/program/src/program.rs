@@ -35,7 +35,9 @@ impl Program {
         }
         for f in &functions {
             if f.blocks().is_empty() {
-                return Err(BuildError::EmptyFunction { name: f.name().to_string() });
+                return Err(BuildError::EmptyFunction {
+                    name: f.name().to_string(),
+                });
             }
         }
         let mut by_start = HashMap::with_capacity(blocks.len());
@@ -76,10 +78,18 @@ impl Program {
                 }
             }
             if b.can_fall_through() && !by_start.contains_key(&b.fallthrough_addr()) {
-                return Err(BuildError::DanglingFallthrough { from: b.fallthrough_addr() });
+                return Err(BuildError::DanglingFallthrough {
+                    from: b.fallthrough_addr(),
+                });
             }
         }
-        Ok(Program { blocks, functions, entry, by_start, by_inst })
+        Ok(Program {
+            blocks,
+            functions,
+            entry,
+            by_start,
+            by_inst,
+        })
     }
 
     /// The program's entry address (start of the first function built).
@@ -138,7 +148,10 @@ impl Program {
     /// This is the walk used by LEI's FORM-TRACE (paper Figure 6) to copy
     /// "each inst in fall-through path from *prev* to *branch.src*".
     pub fn fallthrough_walk(&self, addr: Addr) -> FallthroughWalk<'_> {
-        FallthroughWalk { program: self, next: Some(addr) }
+        FallthroughWalk {
+            program: self,
+            next: Some(addr),
+        }
     }
 
     /// Total number of instructions in the program.
@@ -206,8 +219,7 @@ mod tests {
     #[test]
     fn fallthrough_walk_crosses_blocks_and_stops_at_ret() {
         let p = two_block_program();
-        let walked: Vec<Addr> =
-            p.fallthrough_walk(p.entry()).map(|i| i.addr()).collect();
+        let walked: Vec<Addr> = p.fallthrough_walk(p.entry()).map(|i| i.addr()).collect();
         // 2 instructions in b0 + straight + ret in b1.
         assert_eq!(walked.len(), 4);
         assert_eq!(walked[0], p.entry());

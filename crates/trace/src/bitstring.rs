@@ -76,7 +76,11 @@ impl BitString {
 
     /// A sequential reader positioned at the first bit.
     pub fn reader(&self) -> BitReader<'_> {
-        BitReader { bits: self, pos: 0, end: self.bit_len }
+        BitReader {
+            bits: self,
+            pos: 0,
+            end: self.bit_len,
+        }
     }
 
     /// A sequential reader over the bit range `start..end`.
@@ -85,8 +89,15 @@ impl BitString {
     ///
     /// Panics if `start > end` or `end > bit_len()`.
     pub fn range_reader(&self, start: usize, end: usize) -> BitReader<'_> {
-        assert!(start <= end && end <= self.bit_len, "bit range out of bounds");
-        BitReader { bits: self, pos: start, end }
+        assert!(
+            start <= end && end <= self.bit_len,
+            "bit range out of bounds"
+        );
+        BitReader {
+            bits: self,
+            pos: start,
+            end,
+        }
     }
 
     /// Reads `n` bits starting at bit position `pos` without a reader.

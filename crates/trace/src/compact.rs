@@ -69,20 +69,28 @@ pub struct TraceRecorder {
 impl TraceRecorder {
     /// Starts recording a trace whose first instruction is at `start`.
     pub fn new(start: Addr, width: AddrWidth) -> Self {
-        TraceRecorder { start, width, bits: BitString::new() }
+        TraceRecorder {
+            start,
+            width,
+            bits: BitString::new(),
+        }
     }
 
     fn push_addr(&mut self, addr: Addr) {
         let raw = addr.raw();
         if self.width == AddrWidth::W32 {
-            assert!(raw <= u64::from(u32::MAX), "address {addr} exceeds 32-bit width");
+            assert!(
+                raw <= u64::from(u32::MAX),
+                "address {addr} exceeds 32-bit width"
+            );
         }
         self.bits.push_bits(raw, self.width.bits());
     }
 
     /// Records the outcome of a conditional branch.
     pub fn record_cond(&mut self, taken: bool) {
-        self.bits.push_bits(if taken { CODE_TAKEN } else { CODE_NOT_TAKEN }, 2);
+        self.bits
+            .push_bits(if taken { CODE_TAKEN } else { CODE_NOT_TAKEN }, 2);
     }
 
     /// Records a taken branch whose target is not statically known.
@@ -95,7 +103,11 @@ impl TraceRecorder {
     pub fn finish(mut self, last_inst: Addr) -> CompactTrace {
         self.bits.push_bits(CODE_END, 2);
         self.push_addr(last_inst);
-        CompactTrace { start: self.start, width: self.width, bits: self.bits }
+        CompactTrace {
+            start: self.start,
+            width: self.width,
+            bits: self.bits,
+        }
     }
 }
 
@@ -219,7 +231,11 @@ impl CompactTrace {
             if addr == end_addr {
                 let exit_target =
                     self.read_exit(&mut r, inst.kind(), inst.fallthrough_addr(), addr)?;
-                return Ok(DecodedPath { insts, blocks, exit_target });
+                return Ok(DecodedPath {
+                    insts,
+                    blocks,
+                    exit_target,
+                });
             }
             addr = match inst.kind() {
                 InstKind::Straight => inst.fallthrough_addr(),
@@ -233,9 +249,7 @@ impl CompactTrace {
                 }
                 InstKind::IndirectJump | InstKind::IndirectCall | InstKind::Ret => {
                     match r.read_bits(2).ok_or(DecodeError::OutOfBits)? {
-                        CODE_INDIRECT => Addr::new(
-                            r.read_bits(aw).ok_or(DecodeError::OutOfBits)?,
-                        ),
+                        CODE_INDIRECT => Addr::new(r.read_bits(aw).ok_or(DecodeError::OutOfBits)?),
                         _ => return Err(DecodeError::UnexpectedCode { at: addr }),
                     }
                 }
@@ -259,7 +273,8 @@ impl CompactTrace {
             CODE_TAKEN => last_kind.static_target(),
             CODE_NOT_TAKEN => Some(fallthrough),
             CODE_INDIRECT => Some(Addr::new(
-                r.read_bits(self.width.bits()).ok_or(DecodeError::OutOfBits)?,
+                r.read_bits(self.width.bits())
+                    .ok_or(DecodeError::OutOfBits)?,
             )),
             _ => return Err(DecodeError::UnexpectedCode { at: end }),
         };

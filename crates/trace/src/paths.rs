@@ -43,7 +43,11 @@ impl PathProfile {
                 total += 1;
             }
         }
-        PathProfile { length, counts, total }
+        PathProfile {
+            length,
+            counts,
+            total,
+        }
     }
 
     /// The path length this profile was collected at.

@@ -33,12 +33,16 @@ pub struct RecordedStream {
 impl RecordedStream {
     /// Records every step of `source` to completion.
     pub fn record<I: IntoIterator<Item = Step>>(source: I) -> Self {
-        RecordedStream { steps: source.into_iter().collect() }
+        RecordedStream {
+            steps: source.into_iter().collect(),
+        }
     }
 
     /// Records at most `limit` steps of `source`.
     pub fn record_bounded<I: IntoIterator<Item = Step>>(source: I, limit: usize) -> Self {
-        RecordedStream { steps: source.into_iter().take(limit).collect() }
+        RecordedStream {
+            steps: source.into_iter().take(limit).collect(),
+        }
     }
 
     /// Number of recorded steps.
@@ -90,10 +94,7 @@ pub struct StreamStats {
 
 impl StreamStats {
     /// Computes statistics for `steps` executed over `program`.
-    pub fn collect<'a>(
-        program: &Program,
-        steps: impl IntoIterator<Item = &'a Step>,
-    ) -> Self {
+    pub fn collect<'a>(program: &Program, steps: impl IntoIterator<Item = &'a Step>) -> Self {
         let mut s = StreamStats::default();
         for step in steps {
             s.blocks += 1;

@@ -157,11 +157,18 @@ pub fn load_stream<R: Read>(
                 reader.read_exact(&mut kt)?;
                 let kind = tag_kind(kt[0])?;
                 reader.read_exact(&mut u64b)?;
-                Entry::Taken { src: Addr::new(u64::from_le_bytes(u64b)), kind }
+                Entry::Taken {
+                    src: Addr::new(u64::from_le_bytes(u64b)),
+                    kind,
+                }
             }
             t => return Err(StreamIoError::BadTag(t)),
         };
-        steps.push(Step { block, start, entry });
+        steps.push(Step {
+            block,
+            start,
+            entry,
+        });
     }
     Ok(steps.into_iter().collect())
 }

@@ -21,7 +21,7 @@ pub fn build(seed: u64, scale: Scale) -> (Program, BehaviorSpec) {
 
     // Block-sort helper with its own deep nest.
     let sort = {
-        let f = s.function("qsort3", alloc.low(), );
+        let f = s.function("qsort3", alloc.low());
         let outer_head = s.block(f, 2);
         let inner_head = s.block(f, 2);
         let inner_latch = s.block(f, 1);

@@ -73,16 +73,23 @@ mod tests {
     #[test]
     fn constructors_have_many_distinct_callers() {
         let (p, spec) = build(6, Scale::Test);
-        let ctor_entries: HashSet<_> =
-            p.functions().iter().take(3).map(|f| f.entry()).collect();
+        let ctor_entries: HashSet<_> = p.functions().iter().take(3).map(|f| f.entry()).collect();
         let mut call_srcs: HashSet<_> = HashSet::new();
         for st in Executor::new(&p, spec) {
-            if let Entry::Taken { src, kind: BranchKind::Call } = st.entry {
+            if let Entry::Taken {
+                src,
+                kind: BranchKind::Call,
+            } = st.entry
+            {
                 if ctor_entries.contains(&st.start) {
                     call_srcs.insert(src);
                 }
             }
         }
-        assert!(call_srcs.len() >= 12, "distinct ctor call sites: {}", call_srcs.len());
+        assert!(
+            call_srcs.len() >= 12,
+            "distinct ctor call sites: {}",
+            call_srcs.len()
+        );
     }
 }

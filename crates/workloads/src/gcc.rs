@@ -31,7 +31,11 @@ pub fn build(seed: u64, scale: Scale) -> (Program, BehaviorSpec) {
     // decisions; alternate low/high placement.
     let mut passes = Vec::with_capacity(PASSES);
     for i in 0..PASSES {
-        let base = if i % 2 == 0 { alloc.low() } else { alloc.high() };
+        let base = if i % 2 == 0 {
+            alloc.low()
+        } else {
+            alloc.high()
+        };
         let depth = 3 + i % 4;
         // Roughly one unbiased decision per three; the rest biased, as
         // in real compiler code (even gcc keeps a 99% hit rate in the
@@ -91,11 +95,15 @@ mod tests {
         let (p, spec) = build(5, Scale::Test);
         let steps: Vec<_> = Executor::new(&p, spec).collect();
         let third = steps.len() / 3;
-        let early: std::collections::HashSet<_> =
-            steps[..third].iter().map(|s| s.block).collect();
-        let late: std::collections::HashSet<_> =
-            steps[steps.len() - third..].iter().map(|s| s.block).collect();
+        let early: std::collections::HashSet<_> = steps[..third].iter().map(|s| s.block).collect();
+        let late: std::collections::HashSet<_> = steps[steps.len() - third..]
+            .iter()
+            .map(|s| s.block)
+            .collect();
         let only_late = late.difference(&early).count();
-        assert!(only_late > 3, "phase change introduces new blocks: {only_late}");
+        assert!(
+            only_late > 3,
+            "phase change introduces new blocks: {only_late}"
+        );
     }
 }

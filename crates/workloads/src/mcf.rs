@@ -67,13 +67,20 @@ mod tests {
         let mut steps = 0u64;
         for st in Executor::new(&p, spec) {
             steps += 1;
-            if let Entry::Taken { src, kind: rsel_program::BranchKind::Call } = st.entry {
+            if let Entry::Taken {
+                src,
+                kind: rsel_program::BranchKind::Call,
+            } = st.entry
+            {
                 if st.start.is_backward_from(src) {
                     backward_calls += 1;
                 }
             }
         }
         // The inner scan loop calls compare ~40x per driver iteration.
-        assert!(backward_calls * 4 > steps / 10, "backward calls {backward_calls} of {steps}");
+        assert!(
+            backward_calls * 4 > steps / 10,
+            "backward calls {backward_calls} of {steps}"
+        );
     }
 }

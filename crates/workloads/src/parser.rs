@@ -26,7 +26,12 @@ pub fn build(seed: u64, scale: Scale) -> (Program, BehaviorSpec) {
     let mut leaves = Vec::new();
     for i in 0..6 {
         let name = format!("hash_{i}");
-        leaves.push(synth::leaf(&mut s, &name, 0x100_0000 + 0x1000 * i as u64, 2 + i % 3));
+        leaves.push(synth::leaf(
+            &mut s,
+            &name,
+            0x100_0000 + 0x1000 * i as u64,
+            2 + i % 3,
+        ));
     }
     let mut helpers = Vec::new();
     for i in 0..8 {

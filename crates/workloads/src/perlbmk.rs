@@ -55,8 +55,8 @@ pub fn build(seed: u64, scale: Scale) -> (Program, BehaviorSpec) {
     let mut targets = Vec::with_capacity(HANDLERS);
     for (i, &h) in handlers.iter().enumerate() {
         let w = match i {
-            0 | 2 | 7 => 25 + rng.gen_range(0..10),
-            _ => 1 + rng.gen_range(0..2),
+            0 | 2 | 7 => 25 + rng.gen_range(0u32..10),
+            _ => 1 + rng.gen_range(0u32..2),
         };
         targets.push((h, w));
     }
@@ -79,11 +79,19 @@ mod tests {
         let (p, spec) = build(8, Scale::Test);
         let mut targets: HashMap<_, u64> = HashMap::new();
         for st in Executor::new(&p, spec) {
-            if let Entry::Taken { kind: BranchKind::IndirectJump, .. } = st.entry {
+            if let Entry::Taken {
+                kind: BranchKind::IndirectJump,
+                ..
+            } = st.entry
+            {
                 *targets.entry(st.start).or_insert(0) += 1;
             }
         }
-        assert!(targets.len() >= 10, "distinct handlers hit: {}", targets.len());
+        assert!(
+            targets.len() >= 10,
+            "distinct handlers hit: {}",
+            targets.len()
+        );
         let max = targets.values().max().copied().unwrap_or(0);
         let min = targets.values().min().copied().unwrap_or(0);
         assert!(max > 8 * min.max(1), "hot/cold skew: {max} vs {min}");

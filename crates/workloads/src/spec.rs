@@ -40,7 +40,11 @@ impl Workload {
         summary: &'static str,
         builder: fn(u64, Scale) -> (Program, BehaviorSpec),
     ) -> Self {
-        Workload { name, summary, builder }
+        Workload {
+            name,
+            summary,
+            builder,
+        }
     }
 
     /// The SPECint2000 name this workload models.
@@ -61,15 +65,25 @@ impl Workload {
 
 impl std::fmt::Debug for Workload {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("Workload").field("name", &self.name).finish()
+        f.debug_struct("Workload")
+            .field("name", &self.name)
+            .finish()
     }
 }
 
 /// The full twelve-benchmark suite, in the paper's figure order.
 pub fn suite() -> Vec<Workload> {
     vec![
-        Workload::new("gzip", "few very hot biased compression loops", crate::gzip::build),
-        Workload::new("vpr", "placement loops with moderate diamonds", crate::vpr::build),
+        Workload::new(
+            "gzip",
+            "few very hot biased compression loops",
+            crate::gzip::build,
+        ),
+        Workload::new(
+            "vpr",
+            "placement loops with moderate diamonds",
+            crate::vpr::build,
+        ),
         Workload::new(
             "gcc",
             "path-rich code: many functions, unbiased branches, phases",
@@ -85,7 +99,11 @@ pub fn suite() -> Vec<Workload> {
             "deep biased forward logic; few additional cycles for LEI",
             crate::crafty::build,
         ),
-        Workload::new("parser", "many small functions, moderate branching", crate::parser::build),
+        Workload::new(
+            "parser",
+            "many small functions, moderate branching",
+            crate::parser::build,
+        ),
         Workload::new(
             "eon",
             "hot shared constructors called from many sites (exit-domination outlier)",
@@ -96,13 +114,21 @@ pub fn suite() -> Vec<Workload> {
             "bytecode interpreter dispatch via indirect jumps",
             crate::perlbmk::build,
         ),
-        Workload::new("gap", "arithmetic kernels with forward calls", crate::gap::build),
+        Workload::new(
+            "gap",
+            "arithmetic kernels with forward calls",
+            crate::gap::build,
+        ),
         Workload::new(
             "vortex",
             "many medium-frequency blocks across wide call fan-out",
             crate::vortex::build,
         ),
-        Workload::new("bzip2", "nested-loop dominated sorting kernels", crate::bzip2::build),
+        Workload::new(
+            "bzip2",
+            "nested-loop dominated sorting kernels",
+            crate::bzip2::build,
+        ),
         Workload::new(
             "twolf",
             "annealing loop with unbiased accept/reject diamonds",

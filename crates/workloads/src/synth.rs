@@ -27,7 +27,10 @@ impl Default for AddrAlloc {
 impl AddrAlloc {
     /// Creates the allocator with the standard layout.
     pub fn new() -> Self {
-        AddrAlloc { next_low: 0x1000, next_high: 0x80_0000 }
+        AddrAlloc {
+            next_low: 0x1000,
+            next_high: 0x80_0000,
+        }
     }
 
     /// Allocates a function base below `main` (calls to it are
@@ -117,7 +120,12 @@ pub fn branchy(
 
 /// Adds a call-site block in `d.f` that calls `callee` and falls
 /// through to whatever the caller adds next.
-pub fn call_site(s: &mut ScenarioBuilder, d: Driver, callee: FunctionId, lead_work: u32) -> BlockId {
+pub fn call_site(
+    s: &mut ScenarioBuilder,
+    d: Driver,
+    callee: FunctionId,
+    lead_work: u32,
+) -> BlockId {
     let b = s.block(d.f, lead_work);
     s.call(b, callee);
     b

@@ -57,8 +57,10 @@ mod tests {
         let trips = Scale::Test.trips(24_000) as u64;
         // At least four blocks run at 30–70% of the driver frequency
         // (the two unbiased diamonds' sides).
-        let halfish =
-            counts.values().filter(|&&c| c > trips * 3 / 10 && c < trips * 7 / 10).count();
+        let halfish = counts
+            .values()
+            .filter(|&&c| c > trips * 3 / 10 && c < trips * 7 / 10)
+            .count();
         assert!(halfish >= 4, "half-frequency blocks: {halfish}");
     }
 }

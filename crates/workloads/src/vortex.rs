@@ -30,7 +30,11 @@ pub fn build(seed: u64, scale: Scale) -> (Program, BehaviorSpec) {
     let mut routines = Vec::with_capacity(ROUTINES);
     for i in 0..ROUTINES {
         let name = format!("chunk_{i}");
-        let base = if i % 2 == 0 { alloc.low() } else { alloc.high() };
+        let base = if i % 2 == 0 {
+            alloc.low()
+        } else {
+            alloc.high()
+        };
         let f = s.function(&name, base);
         let entry = s.block(f, 2);
         s.call(entry, mem_get);
@@ -78,6 +82,9 @@ mod tests {
             .values()
             .filter(|&&c| c > trips / 10 && c < trips * 9 / 10)
             .count();
-        assert!(medium > 30, "medium-frequency blocks: {medium} (total {total})");
+        assert!(
+            medium > 30,
+            "medium-frequency blocks: {medium} (total {total})"
+        );
     }
 }

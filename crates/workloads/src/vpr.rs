@@ -54,10 +54,12 @@ mod tests {
         let steps: Vec<_> = Executor::new(&p, spec).collect();
         assert!(steps.len() > 10_000, "steps {}", steps.len());
         // The accept diamond is unbiased: both sides run.
-        let counts = steps.iter().fold(std::collections::HashMap::new(), |mut m, st| {
-            *m.entry(st.block).or_insert(0u32) += 1;
-            m
-        });
+        let counts = steps
+            .iter()
+            .fold(std::collections::HashMap::new(), |mut m, st| {
+                *m.entry(st.block).or_insert(0u32) += 1;
+                m
+            });
         let executed_blocks = counts.len();
         assert!(executed_blocks > 15, "blocks {executed_blocks}");
     }

@@ -15,7 +15,10 @@ use regionsel::program::Executor;
 use regionsel::workloads::{Scale, suite};
 
 fn main() {
-    let workload = suite().into_iter().find(|w| w.name() == "eon").expect("eon exists");
+    let workload = suite()
+        .into_iter()
+        .find(|w| w.name() == "eon")
+        .expect("eon exists");
     println!("workload: {} ({})\n", workload.name(), workload.summary());
     println!(
         "{:>10}  {:<13} {:>8} {:>9} {:>10}",
@@ -23,7 +26,10 @@ fn main() {
     );
     for capacity in [None, Some(4_000u64), Some(1_500), Some(600)] {
         for kind in SelectorKind::all() {
-            let config = SimConfig { cache_capacity: capacity, ..SimConfig::default() };
+            let config = SimConfig {
+                cache_capacity: capacity,
+                ..SimConfig::default()
+            };
             let (program, spec) = workload.build(7, Scale::Test);
             let mut sim = Simulator::new(&program, kind.make(&program, &config), &config);
             sim.run(Executor::new(&program, spec));

@@ -35,7 +35,12 @@ struct SingleBlockSelector<'p> {
 
 impl<'p> SingleBlockSelector<'p> {
     fn new(program: &'p Program, threshold: u32) -> Self {
-        SingleBlockSelector { program, threshold, counters: HashMap::new(), peak: 0 }
+        SingleBlockSelector {
+            program,
+            threshold,
+            counters: HashMap::new(),
+            peak: 0,
+        }
     }
 }
 
@@ -79,7 +84,10 @@ impl RegionSelector for SingleBlockSelector<'_> {
 
 fn main() {
     let config = SimConfig::default();
-    let workload = suite().into_iter().find(|w| w.name() == "gzip").expect("gzip exists");
+    let workload = suite()
+        .into_iter()
+        .find(|w| w.name() == "gzip")
+        .expect("gzip exists");
     println!("workload: {} ({})\n", workload.name(), workload.summary());
 
     // The custom selector.

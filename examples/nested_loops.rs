@@ -47,10 +47,12 @@ fn main() {
         println!("=== {kind} ===");
         let mut copies_of_b = 0;
         for r in sim.cache().regions() {
-            let path: Vec<&str> =
-                r.blocks().iter().map(|blk| labels[&blk.start()]).collect();
-            copies_of_b +=
-                r.blocks().iter().filter(|blk| labels[&blk.start()] == "B").count();
+            let path: Vec<&str> = r.blocks().iter().map(|blk| labels[&blk.start()]).collect();
+            copies_of_b += r
+                .blocks()
+                .iter()
+                .filter(|blk| labels[&blk.start()] == "B")
+                .count();
             println!(
                 "  {}: [{}]  spans cycle: {}",
                 r.id(),
@@ -58,12 +60,8 @@ fn main() {
                 r.spans_cycle()
             );
         }
-        println!(
-            "  copies of inner-loop block B in the cache: {copies_of_b}");
-        println!(
-            "  instructions copied: {}\n",
-            sim.report().insts_copied()
-        );
+        println!("  copies of inner-loop block B in the cache: {copies_of_b}");
+        println!("  instructions copied: {}\n", sim.report().insts_copied());
     }
 
     println!("NET's trace for the outer loop duplicates the first iteration of");

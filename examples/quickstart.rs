@@ -7,8 +7,8 @@
 
 use regionsel::core::select::SelectorKind;
 use regionsel::core::{SimConfig, Simulator};
-use regionsel::program::patterns::ScenarioBuilder;
 use regionsel::program::Executor;
+use regionsel::program::patterns::ScenarioBuilder;
 
 fn main() {
     // A small program: a hot loop that calls a helper function at a

@@ -67,12 +67,16 @@ fn main() {
         println!("=== {kind} ===");
         let mut block_copies: HashMap<&str, usize> = HashMap::new();
         for r in sim.cache().regions() {
-            let path: Vec<&str> =
-                r.blocks().iter().map(|blk| labels[&blk.start()]).collect();
+            let path: Vec<&str> = r.blocks().iter().map(|blk| labels[&blk.start()]).collect();
             for p in &path {
                 *block_copies.entry(p).or_insert(0) += 1;
             }
-            println!("  {}: [{}]  stubs {}", r.id(), path.join(" "), r.stub_count());
+            println!(
+                "  {}: [{}]  stubs {}",
+                r.id(),
+                path.join(" "),
+                r.stub_count()
+            );
         }
         let dup: Vec<String> = ["D", "F"]
             .iter()

@@ -13,7 +13,7 @@ use regionsel::core::cache::cache_to_dot;
 use regionsel::core::select::SelectorKind;
 use regionsel::core::{SimConfig, Simulator};
 use regionsel::program::patterns::ScenarioBuilder;
-use regionsel::program::{program_to_dot, Executor};
+use regionsel::program::{Executor, program_to_dot};
 
 fn main() {
     let kind = match std::env::args().nth(1).as_deref() {

@@ -1,0 +1,172 @@
+//! Property-based tests of the fault-injection layer: under arbitrary
+//! seeded fault schedules, every selector must degrade gracefully —
+//! no panics, no dangling cache links, balanced accounting, and fully
+//! deterministic reports.
+
+use proptest::prelude::*;
+use regionsel::core::select::SelectorKind;
+use regionsel::core::{FaultConfig, ResilienceStats, RunReport, SimConfig, Simulator};
+use regionsel::program::patterns::ScenarioBuilder;
+use regionsel::program::{BehaviorSpec, Executor, Program};
+
+/// A small terminating scenario with enough structure to exercise
+/// multi-region selection: a driver loop calling a low-address leaf,
+/// with a biased diamond and an inner loop in the body.
+fn build(trips: u32, inner: u32, bias: f64, seed: u64) -> (Program, BehaviorSpec) {
+    let mut s = ScenarioBuilder::new(seed);
+    let callee = s.function("leaf", 0x1000);
+    let cb = s.block(callee, 2);
+    s.ret(cb);
+    let main = s.function("main", 0x40_0000);
+    s.set_entry(main);
+    let head = s.block(main, 1);
+    let _ = s.diamond(main, bias, 1);
+    let ih = s.block(main, 1);
+    let il = s.block(main, 1);
+    s.branch_trips(il, ih, inner);
+    let call = s.block(main, 1);
+    s.call(call, callee);
+    let latch = s.block(main, 1);
+    s.branch_trips(latch, head, trips);
+    let out = s.block(main, 0);
+    s.ret(out);
+    s.build().expect("generated scenario is well-formed")
+}
+
+fn low_thresholds(faults: FaultConfig) -> SimConfig {
+    SimConfig {
+        net_threshold: 8,
+        lei_threshold: 6,
+        t_prof: 4,
+        t_min: 2,
+        boa_threshold: 5,
+        wr_sample_period: 13,
+        wr_sample_threshold: 3,
+        adore_sample_period: 7,
+        adore_path_threshold: 2,
+        mojo_exit_threshold: 4,
+        faults,
+        ..SimConfig::default()
+    }
+}
+
+/// Runs to completion and returns both the report and the finished
+/// simulator (for cache-structure assertions).
+fn run<'p>(
+    p: &'p Program,
+    spec: BehaviorSpec,
+    kind: SelectorKind,
+    cfg: &SimConfig,
+) -> (RunReport, Simulator<'p>) {
+    let mut sim = Simulator::new(p, kind.make(p, cfg), cfg);
+    sim.run(Executor::new(p, spec).take(120_000));
+    (sim.report(), sim)
+}
+
+fn fault_strategy() -> impl Strategy<Value = FaultConfig> {
+    (
+        0u64..u64::MAX,
+        0u32..=20_000,
+        0u32..=5_000,
+        0u32..=5_000,
+        1u32..=6,
+    )
+        .prop_map(|(seed, smc, wave, ctr, after)| FaultConfig {
+            seed,
+            smc_write_ppm: smc,
+            flush_wave_ppm: wave,
+            counter_fault_ppm: ctr,
+            blacklist_after: after,
+            ..FaultConfig::default()
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Every selector survives an arbitrary fault schedule with its
+    /// invariants intact.
+    #[test]
+    fn selectors_degrade_gracefully_under_faults(
+        faults in fault_strategy(),
+        trips in 40u32..300,
+        inner in 1u32..10,
+        seed in 0u64..500,
+    ) {
+        let cfg = low_thresholds(faults);
+        let (p, spec) = build(trips, inner, 0.9, seed);
+        for kind in SelectorKind::extended() {
+            let (r, sim) = run(&p, spec.clone(), kind, &cfg);
+            // Conservation: cache execution never exceeds the total,
+            // and every cached instruction is attributed to exactly
+            // one region report (retired regions included).
+            prop_assert!(r.cache_insts <= r.total_insts, "{kind}");
+            let per: u64 = r.regions.iter().map(|x| x.insts_executed).sum();
+            prop_assert_eq!(per, r.cache_insts, "{}", kind);
+            // Rates stay in range even when faults truncate windows.
+            let hit = r.hit_rate();
+            prop_assert!((0.0..=1.0).contains(&hit), "{kind}: {hit}");
+            if let Some(under) = r.hit_rate_under_faults() {
+                prop_assert!((0.0..=1.0).contains(&under), "{kind}: {under}");
+                prop_assert!(r.resilience.fault_events() > 0, "{kind}");
+            }
+            // No dangling links: invalidation severs both directions.
+            for (from, to) in sim.cache().links() {
+                prop_assert!(sim.cache().try_region(from).is_ok(), "{kind}: {from:?}");
+                prop_assert!(sim.cache().try_region(to).is_ok(), "{kind}: {to:?}");
+            }
+            // Fault bookkeeping is internally consistent.
+            let res = &r.resilience;
+            // Every reformation follows a distinct removal (the cache
+            // rejects duplicate entries, so an entry cannot reform
+            // twice without being removed in between).
+            prop_assert!(
+                res.reformations <= res.invalidated_regions + res.pressure_evicted_regions,
+                "{kind}: {res:?}"
+            );
+            prop_assert!(res.blacklisted_targets <= res.invalidated_regions, "{kind}");
+            if res.smc_events == 0 {
+                prop_assert_eq!(res.invalidated_regions, 0, "{}", kind);
+                prop_assert_eq!(res.blacklisted_targets, 0, "{}", kind);
+            }
+            if res.flush_waves == 0 {
+                prop_assert_eq!(res.pressure_evicted_regions, 0, "{}", kind);
+            }
+        }
+    }
+
+    /// The same fault seed replays the same schedule: two runs produce
+    /// bit-identical reports.
+    #[test]
+    fn seeded_fault_schedules_are_deterministic(
+        faults in fault_strategy(),
+        trips in 40u32..200,
+        kind_ix in 0usize..SelectorKind::extended().len(),
+    ) {
+        let kind = SelectorKind::extended()[kind_ix];
+        let cfg = low_thresholds(faults);
+        let (p, spec) = build(trips, 3, 0.8, 1);
+        let (a, _) = run(&p, spec.clone(), kind, &cfg);
+        let (b, _) = run(&p, spec, kind, &cfg);
+        prop_assert_eq!(a, b);
+    }
+
+    /// With every rate at zero the fault layer is invisible: reports
+    /// are bit-identical to a default-config run no matter the seed.
+    #[test]
+    fn zero_rates_are_bit_identical_to_no_fault_layer(
+        seed in 0u64..u64::MAX,
+        trips in 40u32..200,
+        kind_ix in 0usize..SelectorKind::extended().len(),
+    ) {
+        let kind = SelectorKind::extended()[kind_ix];
+        let base = low_thresholds(FaultConfig::default());
+        let seeded = low_thresholds(FaultConfig { seed, ..FaultConfig::default() });
+        let (p, spec) = build(trips, 3, 0.8, 1);
+        let (a, _) = run(&p, spec.clone(), kind, &base);
+        let (b, _) = run(&p, spec, kind, &seeded);
+        prop_assert_eq!(&a.resilience, &ResilienceStats::default());
+        prop_assert_eq!(a.hit_rate_under_faults(), None);
+        prop_assert_eq!(a, b);
+    }
+}

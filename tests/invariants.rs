@@ -96,8 +96,10 @@ fn total_execution_is_selector_independent() {
     // The executor is oblivious to the optimization system: every
     // selector must observe the identical dynamic execution.
     for w in suite() {
-        let totals: Vec<u64> =
-            SelectorKind::all().iter().map(|&k| run(&w, k, 11).total_insts).collect();
+        let totals: Vec<u64> = SelectorKind::all()
+            .iter()
+            .map(|&k| run(&w, k, 11).total_insts)
+            .collect();
         assert!(
             totals.windows(2).all(|x| x[0] == x[1]),
             "{}: totals differ {totals:?}",

@@ -9,7 +9,11 @@ fn run(
     program: &Program,
     spec: BehaviorSpec,
     kind: SelectorKind,
-) -> (regionsel::core::RunReport, usize, Vec<Vec<regionsel::program::Addr>>) {
+) -> (
+    regionsel::core::RunReport,
+    usize,
+    Vec<Vec<regionsel::program::Addr>>,
+) {
     let config = SimConfig::default();
     let mut sim = Simulator::new(program, kind.make(program, &config), &config);
     sim.run(Executor::new(program, spec));
@@ -58,7 +62,10 @@ mod figure2 {
             "no NET trace contains the whole cycle"
         );
         assert_eq!(rep.regions.iter().filter(|r| r.spans_cycle).count(), 0);
-        assert!(rep.region_transitions > 10_000, "iterating bounces between traces");
+        assert!(
+            rep.region_transitions > 10_000,
+            "iterating bounces between traces"
+        );
     }
 
     #[test]
@@ -68,10 +75,15 @@ mod figure2 {
         let spanning = rep.regions.iter().filter(|r| r.spans_cycle).count();
         assert!(spanning >= 1, "LEI spans the interprocedural cycle");
         assert!(
-            paths.iter().any(|p| p.contains(&a) && p.contains(&latch) && p.contains(&e)),
+            paths
+                .iter()
+                .any(|p| p.contains(&a) && p.contains(&latch) && p.contains(&e)),
             "one trace holds the whole cycle"
         );
-        assert_eq!(rep.region_transitions, 0, "iteration never leaves the trace");
+        assert_eq!(
+            rep.region_transitions, 0,
+            "iteration never leaves the trace"
+        );
         assert!(rep.executed_cycle_ratio() > 0.99);
     }
 
@@ -112,7 +124,11 @@ mod figure3 {
     }
 
     fn copies_of(paths: &[Vec<regionsel::program::Addr>], addr: regionsel::program::Addr) -> usize {
-        paths.iter().flat_map(|p| p.iter()).filter(|&&x| x == addr).count()
+        paths
+            .iter()
+            .flat_map(|p| p.iter())
+            .filter(|&&x| x == addr)
+            .count()
     }
 
     #[test]
@@ -126,7 +142,11 @@ mod figure3 {
     fn lei_copies_the_inner_loop_once() {
         let (p, spec, b) = scenario();
         let (_, _, paths) = run(&p, spec, SelectorKind::Lei);
-        assert_eq!(copies_of(&paths, b), 1, "LEI avoids duplicating the nested cycle");
+        assert_eq!(
+            copies_of(&paths, b),
+            1,
+            "LEI avoids duplicating the nested cycle"
+        );
     }
 
     #[test]
@@ -174,9 +194,20 @@ mod figure4 {
     fn net_duplicates_the_rejoining_tail() {
         let (p, spec, (_, _, d, tail)) = scenario();
         let (_, _, paths) = run(&p, spec, SelectorKind::Net);
-        let copies_d = paths.iter().flat_map(|x| x.iter()).filter(|&&x| x == d).count();
-        let copies_t = paths.iter().flat_map(|x| x.iter()).filter(|&&x| x == tail).count();
-        assert!(copies_d >= 2 && copies_t >= 2, "tail duplicated: D x{copies_d}, F x{copies_t}");
+        let copies_d = paths
+            .iter()
+            .flat_map(|x| x.iter())
+            .filter(|&&x| x == d)
+            .count();
+        let copies_t = paths
+            .iter()
+            .flat_map(|x| x.iter())
+            .filter(|&&x| x == tail)
+            .count();
+        assert!(
+            copies_d >= 2 && copies_t >= 2,
+            "tail duplicated: D x{copies_d}, F x{copies_t}"
+        );
     }
 
     #[test]
@@ -189,8 +220,11 @@ mod figure4 {
             .find(|x| x.contains(&b) && x.contains(&c))
             .expect("a combined region holds both sides");
         assert!(big.contains(&d) && big.contains(&tail));
-        let copies_d: usize =
-            paths.iter().flat_map(|x| x.iter()).filter(|&&x| x == d).count();
+        let copies_d: usize = paths
+            .iter()
+            .flat_map(|x| x.iter())
+            .filter(|&&x| x == d)
+            .count();
         assert_eq!(copies_d, 1, "no duplication of the join");
         assert!(rep.region_transitions < 100, "control stays in the region");
     }

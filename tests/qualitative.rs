@@ -45,7 +45,13 @@ fn paper_shape_holds_in_aggregate() {
     let spanned = |sel: &'static str| -> usize {
         workloads
             .iter()
-            .map(|&w| m[&(w, sel)].regions.iter().filter(|r| r.spans_cycle).count())
+            .map(|&w| {
+                m[&(w, sel)]
+                    .regions
+                    .iter()
+                    .filter(|r| r.spans_cycle)
+                    .count()
+            })
             .sum()
     };
     assert!(
@@ -79,7 +85,10 @@ fn paper_shape_holds_in_aggregate() {
     let cl = ratio(&transitions, "combined LEI", "LEI");
     assert!(cn < 1.0, "cNET/NET transitions {cn:.3}");
     assert!(cl < 1.0, "cLEI/LEI transitions {cl:.3}");
-    assert!(cl <= cn + 0.05, "combination helps LEI more: {cl:.3} vs {cn:.3}");
+    assert!(
+        cl <= cn + 0.05,
+        "combination helps LEI more: {cl:.3} vs {cn:.3}"
+    );
 
     // Figure 19: combination reduces exit stubs for both bases.
     let stubs = |r: &RunReport| r.stub_count() as f64;

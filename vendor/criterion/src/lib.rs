@@ -1,0 +1,215 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The build environment has no registry access, so this workspace
+//! vendors the benchmark-facing subset it uses: [`Criterion`],
+//! benchmark groups, [`Throughput`], [`BenchmarkId`], and the
+//! [`criterion_group!`] / [`criterion_main!`] macros. Measurement is a
+//! plain wall-clock mean over a fixed warm-up + sample schedule — good
+//! enough for the relative comparisons the bench binaries print, with
+//! none of upstream's statistics.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Throughput annotation for a benchmark group.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Identifies one benchmark within a group.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// An id made of a function name and a parameter.
+    pub fn new(name: impl fmt::Display, parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            label: format!("{name}/{parameter}"),
+        }
+    }
+
+    /// An id made of a parameter alone.
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            label: parameter.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.label)
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId {
+            label: s.to_string(),
+        }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { label: s }
+    }
+}
+
+/// Passed to the measured closure; call [`Bencher::iter`].
+pub struct Bencher {
+    elapsed: Duration,
+    iters: u64,
+}
+
+impl Bencher {
+    /// Times `routine` over a warm-up pass plus measured iterations.
+    pub fn iter<O>(&mut self, mut routine: impl FnMut() -> O) {
+        // Warm-up and calibration: find an iteration count that runs
+        // for roughly 100 ms, capped to keep huge routines bounded.
+        let probe = Instant::now();
+        std::hint::black_box(routine());
+        let once = probe.elapsed().max(Duration::from_nanos(50));
+        let target = Duration::from_millis(100);
+        let iters = (target.as_nanos() / once.as_nanos()).clamp(1, 10_000) as u64;
+        let start = Instant::now();
+        for _ in 0..iters {
+            std::hint::black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+        self.iters = iters;
+    }
+}
+
+/// A named set of related benchmarks.
+pub struct BenchmarkGroup<'c> {
+    name: String,
+    throughput: Option<Throughput>,
+    _criterion: &'c mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the group's per-iteration throughput annotation.
+    pub fn throughput(&mut self, throughput: Throughput) {
+        self.throughput = Some(throughput);
+    }
+
+    /// Runs one benchmark.
+    pub fn bench_function<I: Into<BenchmarkId>>(&mut self, id: I, mut f: impl FnMut(&mut Bencher)) {
+        self.run(id.into(), &mut f);
+    }
+
+    /// Runs one benchmark with an input value.
+    pub fn bench_with_input<I: Into<BenchmarkId>, T: ?Sized>(
+        &mut self,
+        id: I,
+        input: &T,
+        mut f: impl FnMut(&mut Bencher, &T),
+    ) {
+        self.run(id.into(), &mut |b| f(b, input));
+    }
+
+    fn run(&mut self, id: BenchmarkId, f: &mut dyn FnMut(&mut Bencher)) {
+        let mut b = Bencher {
+            elapsed: Duration::ZERO,
+            iters: 0,
+        };
+        f(&mut b);
+        let per_iter = if b.iters == 0 {
+            Duration::ZERO
+        } else {
+            b.elapsed / (b.iters as u32)
+        };
+        let rate = match self.throughput {
+            Some(Throughput::Elements(n)) if per_iter > Duration::ZERO => {
+                format!("  {:>12.0} elem/s", n as f64 / per_iter.as_secs_f64())
+            }
+            Some(Throughput::Bytes(n)) if per_iter > Duration::ZERO => {
+                format!("  {:>12.0} B/s", n as f64 / per_iter.as_secs_f64())
+            }
+            _ => String::new(),
+        };
+        println!(
+            "{}/{:<24} {:>12.3?}/iter  ({} iters){rate}",
+            self.name, id.label, per_iter, b.iters
+        );
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+/// The benchmark harness entry point.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        println!("\n== bench group: {name} ==");
+        BenchmarkGroup {
+            name,
+            throughput: None,
+            _criterion: self,
+        }
+    }
+
+    /// Runs one stand-alone benchmark.
+    pub fn bench_function(&mut self, name: &str, f: impl FnMut(&mut Bencher)) {
+        let mut g = self.benchmark_group(name.to_string());
+        g.bench_function(name, f);
+        g.finish();
+    }
+}
+
+/// Re-export matching upstream's `criterion::black_box`.
+pub use std::hint::black_box;
+
+/// Declares a group of benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the benchmark `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_api_runs() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("smoke");
+        g.throughput(Throughput::Elements(4));
+        g.bench_function("id", |b| b.iter(|| black_box(2 + 2)));
+        g.bench_with_input(BenchmarkId::from_parameter(8), &8u32, |b, &n| {
+            b.iter(|| black_box(n * 2))
+        });
+        g.finish();
+        assert_eq!(BenchmarkId::new("f", 3).to_string(), "f/3");
+    }
+}
