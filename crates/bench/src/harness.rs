@@ -1,17 +1,40 @@
 //! Running the full workload × selector matrix.
+//!
+//! The matrix is executed with a *record-once / replay-many* pipeline:
+//! each workload's dynamic block stream is recorded compactly a single
+//! time per `(seed, scale)`, then replayed through every selector.
+//! Selectors only observe the step stream, so replaying the recording
+//! produces bit-identical [`RunReport`]s to live execution while paying
+//! the executor cost once per workload instead of once per cell — the
+//! same economy the paper gets by collecting Pin traces once and
+//! feeding them to every region-selection algorithm (§2.3).
+//!
+//! Cells are independently replayable, so the matrix fans them out
+//! across scoped worker threads (`RSEL_JOBS` workers, defaulting to the
+//! machine's available parallelism). Results are collected by cell
+//! index, so the assembled [`MatrixResults`] is identical to a serial
+//! run regardless of worker count or scheduling.
 
 use rsel_core::metrics::RunReport;
 use rsel_core::select::SelectorKind;
 use rsel_core::{SimConfig, Simulator};
-use rsel_program::Executor;
+use rsel_program::{Executor, Program};
+use rsel_trace::CompactStream;
 use rsel_workloads::{Scale, Workload, suite};
 use std::collections::HashMap;
+use std::sync::Mutex;
+use std::sync::atomic::{AtomicUsize, Ordering};
 
 /// Seed used by every figure binary, so all figures describe the same
 /// runs.
 pub const DEFAULT_SEED: u64 = 2005;
 
 /// Runs one workload under one selector and returns the full report.
+///
+/// This is the *live* pipeline: it builds the program and re-executes
+/// it under the behavior spec. The matrix instead records each
+/// workload once ([`RecordedWorkload`]) and replays; the two produce
+/// bit-identical reports.
 pub fn run_one(
     workload: &Workload,
     kind: SelectorKind,
@@ -23,6 +46,100 @@ pub fn run_one(
     let mut sim = Simulator::new(&program, kind.make(&program, config), config);
     sim.run(Executor::new(&program, spec));
     sim.report()
+}
+
+/// One workload's program plus its compactly recorded execution,
+/// replayable against any number of selectors.
+pub struct RecordedWorkload {
+    name: &'static str,
+    program: Program,
+    stream: CompactStream,
+}
+
+impl RecordedWorkload {
+    /// Builds the workload and records its full execution once.
+    pub fn record(workload: &Workload, seed: u64, scale: Scale) -> Self {
+        let (program, spec) = workload.build(seed, scale);
+        let stream = CompactStream::record(Executor::new(&program, spec));
+        RecordedWorkload {
+            name: workload.name(),
+            program,
+            stream,
+        }
+    }
+
+    /// The workload's name.
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// The built program.
+    pub fn program(&self) -> &Program {
+        &self.program
+    }
+
+    /// The recorded execution stream.
+    pub fn stream(&self) -> &CompactStream {
+        &self.stream
+    }
+
+    /// Replays the recording through one selector.
+    pub fn replay(&self, kind: SelectorKind, config: &SimConfig) -> RunReport {
+        let mut sim = Simulator::new(&self.program, kind.make(&self.program, config), config);
+        sim.run(self.stream.replay(&self.program));
+        sim.report()
+    }
+}
+
+/// Number of matrix worker threads: `RSEL_JOBS` when set to a positive
+/// integer, otherwise the machine's available parallelism.
+pub fn jobs_from_env() -> usize {
+    match std::env::var("RSEL_JOBS")
+        .ok()
+        .and_then(|v| v.trim().parse::<usize>().ok())
+    {
+        Some(n) if n >= 1 => n,
+        _ => std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1),
+    }
+}
+
+/// Applies `f` to every item on up to `jobs` scoped worker threads,
+/// returning results in item order (deterministic regardless of
+/// scheduling). `jobs <= 1` degenerates to a plain serial map.
+fn par_map<T, R, F>(items: &[T], jobs: usize, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    let jobs = jobs.min(items.len());
+    if jobs <= 1 {
+        return items.iter().map(f).collect();
+    }
+    let next = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<R>>> = items.iter().map(|_| Mutex::new(None)).collect();
+    std::thread::scope(|scope| {
+        for _ in 0..jobs {
+            scope.spawn(|| {
+                loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    let Some(item) = items.get(i) else { break };
+                    let r = f(item);
+                    *slots[i].lock().expect("result slot poisoned") = Some(r);
+                }
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|m| {
+            m.into_inner()
+                .expect("result slot poisoned")
+                .expect("worker filled every claimed slot")
+        })
+        .collect()
 }
 
 /// Reports for every workload under every requested selector.
@@ -71,12 +188,71 @@ impl MatrixResults {
     }
 }
 
+/// Records the whole suite once at `(seed, scale)`.
+pub fn record_suite(seed: u64, scale: Scale) -> Vec<RecordedWorkload> {
+    suite()
+        .iter()
+        .map(|w| RecordedWorkload::record(w, seed, scale))
+        .collect()
+}
+
+/// Replays previously recorded workloads through every selector on
+/// `jobs` worker threads, assembling the same deterministic
+/// [`MatrixResults`] a serial run would produce.
+pub fn replay_matrix(
+    recorded: &[RecordedWorkload],
+    kinds: &[SelectorKind],
+    config: &SimConfig,
+    jobs: usize,
+) -> MatrixResults {
+    let cells: Vec<(usize, SelectorKind)> = recorded
+        .iter()
+        .enumerate()
+        .flat_map(|(wi, _)| kinds.iter().map(move |&k| (wi, k)))
+        .collect();
+    let results = par_map(&cells, jobs, |&(wi, k)| recorded[wi].replay(k, config));
+    let mut reports = HashMap::with_capacity(cells.len());
+    for (&(wi, k), rep) in cells.iter().zip(results) {
+        reports.insert((recorded[wi].name(), k), rep);
+    }
+    MatrixResults {
+        workload_names: recorded.iter().map(|r| r.name()).collect(),
+        reports,
+    }
+}
+
 /// Runs the whole suite under the given selectors.
 ///
-/// `scale` is read from the `RSEL_SCALE` environment variable when
-/// `None` is passed to the figure binaries' wrapper
-/// ([`run_matrix_from_env`]).
+/// Records each workload once, then replays the recording through
+/// every selector across [`jobs_from_env`] worker threads. `scale` is
+/// read from the `RSEL_SCALE` environment variable when `None` is
+/// passed to the figure binaries' wrapper ([`run_matrix_from_env`]).
 pub fn run_matrix(
+    kinds: &[SelectorKind],
+    seed: u64,
+    scale: Scale,
+    config: &SimConfig,
+) -> MatrixResults {
+    run_matrix_with_jobs(kinds, seed, scale, config, jobs_from_env())
+}
+
+/// [`run_matrix`] with an explicit worker count (1 forces a fully
+/// serial replay).
+pub fn run_matrix_with_jobs(
+    kinds: &[SelectorKind],
+    seed: u64,
+    scale: Scale,
+    config: &SimConfig,
+    jobs: usize,
+) -> MatrixResults {
+    let recorded = record_suite(seed, scale);
+    replay_matrix(&recorded, kinds, config, jobs)
+}
+
+/// Runs the suite with the pre-recording pipeline: every cell builds
+/// and re-executes its workload live, serially. Kept as the perf
+/// baseline the record/replay matrix is measured against.
+pub fn run_matrix_serial_live(
     kinds: &[SelectorKind],
     seed: u64,
     scale: Scale,
@@ -107,7 +283,7 @@ pub fn run_matrix_from_env(kinds: &[SelectorKind], config: &SimConfig) -> Matrix
     };
     eprintln!(
         "running {} workloads x {} selectors ({scale:?} scale)...",
-        12,
+        suite().len(),
         kinds.len()
     );
     run_matrix(kinds, DEFAULT_SEED, scale, config)
@@ -121,7 +297,7 @@ mod tests {
     fn matrix_covers_all_cells() {
         let cfg = SimConfig::default();
         let m = run_matrix(&[SelectorKind::Net], 1, Scale::Test, &cfg);
-        assert_eq!(m.workloads().len(), 12);
+        assert_eq!(m.workloads().len(), suite().len());
         for &w in m.workloads() {
             let r = m.report(w, SelectorKind::Net);
             assert!(r.total_insts > 0, "{w}");
@@ -149,5 +325,35 @@ mod tests {
         let cfg = SimConfig::default();
         let m = run_matrix(&[SelectorKind::Net], 1, Scale::Test, &cfg);
         let _ = m.report("nonesuch", SelectorKind::Net);
+    }
+
+    #[test]
+    fn replay_matches_live_run() {
+        let cfg = SimConfig::default();
+        let w = &suite()[0];
+        let rec = RecordedWorkload::record(w, 7, Scale::Test);
+        let live = run_one(w, SelectorKind::Lei, 7, Scale::Test, &cfg);
+        let replayed = rec.replay(SelectorKind::Lei, &cfg);
+        assert_eq!(replayed, live);
+    }
+
+    #[test]
+    fn parallel_jobs_do_not_change_results() {
+        let cfg = SimConfig::default();
+        let kinds = [SelectorKind::Net, SelectorKind::Boa];
+        let serial = run_matrix_with_jobs(&kinds, 3, Scale::Test, &cfg, 1);
+        let parallel = run_matrix_with_jobs(&kinds, 3, Scale::Test, &cfg, 4);
+        for &w in serial.workloads() {
+            for &k in &kinds {
+                assert_eq!(serial.report(w, k), parallel.report(w, k), "{w} {k}");
+            }
+        }
+    }
+
+    #[test]
+    fn par_map_preserves_order() {
+        let items: Vec<usize> = (0..100).collect();
+        let doubled = par_map(&items, 8, |&x| x * 2);
+        assert_eq!(doubled, (0..100).map(|x| x * 2).collect::<Vec<_>>());
     }
 }

@@ -2,8 +2,8 @@
 
 use super::region::{Region, RegionId};
 use crate::error::SimError;
+use crate::fxhash::{FxHashMap, FxHashSet};
 use rsel_program::Addr;
-use std::collections::{HashMap, HashSet};
 
 /// The outcome of removing regions from the cache (a self-modifying-code
 /// invalidation or a cache-pressure eviction wave).
@@ -44,14 +44,14 @@ pub struct CodeCache {
     /// Live regions in selection order.
     regions: Vec<Region>,
     /// Live entry address → region id.
-    entries: HashMap<Addr, RegionId>,
+    entries: FxHashMap<Addr, RegionId>,
     /// Live region id → index in `regions`.
-    index_of: HashMap<RegionId, usize>,
+    index_of: FxHashMap<RegionId, usize>,
     /// Next id to assign; monotonic until a full flush.
     next_id: u32,
     /// Lazy links installed between live regions.
-    links_out: HashMap<RegionId, HashSet<RegionId>>,
-    links_in: HashMap<RegionId, HashSet<RegionId>>,
+    links_out: FxHashMap<RegionId, FxHashSet<RegionId>>,
+    links_in: FxHashMap<RegionId, FxHashSet<RegionId>>,
     capacity: Option<u64>,
     stub_bytes: u64,
     flushes: u64,
@@ -62,11 +62,11 @@ impl Default for CodeCache {
     fn default() -> Self {
         CodeCache {
             regions: Vec::new(),
-            entries: HashMap::new(),
-            index_of: HashMap::new(),
+            entries: FxHashMap::default(),
+            index_of: FxHashMap::default(),
             next_id: 0,
-            links_out: HashMap::new(),
-            links_in: HashMap::new(),
+            links_out: FxHashMap::default(),
+            links_in: FxHashMap::default(),
             capacity: None,
             stub_bytes: 10, // the paper's layout estimate (§4.3.4)
             flushes: 0,
@@ -234,7 +234,7 @@ impl CodeCache {
     /// range `[lo, hi)` — the recovery response to a self-modifying-code
     /// write. Links touching a removed region are severed.
     pub fn invalidate_range(&mut self, lo: Addr, hi: Addr) -> Removal {
-        let doomed: HashSet<RegionId> = self
+        let doomed: FxHashSet<RegionId> = self
             .regions
             .iter()
             .filter(|r| r.overlaps_range(lo, hi))
@@ -247,11 +247,11 @@ impl CodeCache {
     /// the recovery response to a cache-pressure flush wave. Links
     /// touching a removed region are severed.
     pub fn evict_oldest(&mut self, count: usize) -> Removal {
-        let doomed: HashSet<RegionId> = self.regions.iter().take(count).map(Region::id).collect();
+        let doomed: FxHashSet<RegionId> = self.regions.iter().take(count).map(Region::id).collect();
         self.remove_ids(&doomed)
     }
 
-    fn remove_ids(&mut self, doomed: &HashSet<RegionId>) -> Removal {
+    fn remove_ids(&mut self, doomed: &FxHashSet<RegionId>) -> Removal {
         if doomed.is_empty() {
             return Removal::default();
         }

@@ -1,0 +1,11 @@
+//! Fast deterministic hashing for simulator hot paths.
+//!
+//! Re-exports the vendored FxHash-style hasher from
+//! [`rsel_program::fxhash`] so every layer of the system — executor,
+//! selectors, cache, simulator — shares one hasher with no per-instance
+//! random state. See the source module for the algorithm and the
+//! determinism argument.
+
+pub use rsel_program::fxhash::{
+    FxBuildHasher, FxHashMap, FxHashSet, FxHasher, map_with_capacity, set_with_capacity,
+};

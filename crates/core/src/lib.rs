@@ -54,6 +54,7 @@
 pub mod cache;
 pub mod config;
 pub mod error;
+pub mod fxhash;
 pub mod metrics;
 pub mod select;
 pub mod sim;

@@ -1,8 +1,8 @@
 //! Exit-domination analysis (paper §4.1).
 
 use crate::cache::{CodeCache, RegionId};
-use rsel_program::Addr;
-use std::collections::{HashMap, HashSet};
+use crate::fxhash::FxHashSet;
+use rsel_program::{Addr, Program};
 
 /// Aggregate exit-domination statistics for one run.
 ///
@@ -51,28 +51,33 @@ impl DominationStats {
 
 /// Runs the §4.1 analysis over a finished simulation.
 ///
-/// `exec_preds` maps each block start to the set of block starts that
-/// executed an edge into it (the *executed* predecessor relation —
-/// footnote 5 explains why unexecuted static edges are ignored).
-/// `exit_edges` maps each exit-target address to the set of
-/// `(region, exit block)` pairs observed leaving the cache towards it.
+/// `exec_preds` holds, for each block of `program` (dense, indexed by
+/// block index), the set of block starts that executed an edge into it
+/// (the *executed* predecessor relation — footnote 5 explains why
+/// unexecuted static edges are ignored). `exit_edges` holds, for each
+/// block, the set of `(region, exit block)` pairs observed leaving the
+/// cache towards it. Both tables are dense by block index, as the
+/// simulator maintains them.
 pub fn analyze_domination(
+    program: &Program,
     cache: &CodeCache,
-    exec_preds: &HashMap<Addr, HashSet<Addr>>,
-    exit_edges: &HashMap<Addr, HashSet<(RegionId, Addr)>>,
+    exec_preds: &[FxHashSet<Addr>],
+    exit_edges: &[FxHashSet<(RegionId, Addr)>],
 ) -> DominationStats {
     let mut stats = DominationStats::default();
-    let empty_preds: HashSet<Addr> = HashSet::new();
     for s in cache.regions() {
         let entry = s.entry();
-        let Some(candidates) = exit_edges.get(&entry) else {
+        let Some(idx) = program.block_at(entry).map(|b| b.id().index()) else {
+            continue;
+        };
+        let Some(candidates) = exit_edges.get(idx).filter(|c| !c.is_empty()) else {
             continue;
         };
         // Condition 2: executed predecessors of S's entry outside S.
         let outside: Vec<Addr> = exec_preds
-            .get(&entry)
-            .unwrap_or(&empty_preds)
-            .iter()
+            .get(idx)
+            .into_iter()
+            .flatten()
             .copied()
             .filter(|p| !s.contains_block(*p))
             .collect();
@@ -125,6 +130,15 @@ mod tests {
         p.blocks().iter().map(|b| b.start()).collect()
     }
 
+    type PredTable = Vec<FxHashSet<Addr>>;
+    type ExitTable = Vec<FxHashSet<(RegionId, Addr)>>;
+
+    /// Empty dense tables sized for `p` (one slot per block).
+    fn tables(p: &Program) -> (PredTable, ExitTable) {
+        let n = p.blocks().len();
+        (vec![FxHashSet::default(); n], vec![FxHashSet::default(); n])
+    }
+
     #[test]
     fn detects_exit_domination_with_duplication() {
         let p = program();
@@ -134,11 +148,10 @@ mod tests {
         // fall-through exit from A and shares block C.
         let r_id = cache.insert(Region::trace(&p, &[s[0], s[2]]));
         let s_id = cache.insert(Region::trace(&p, &[s[1], s[2]]));
-        let mut preds: HashMap<Addr, HashSet<Addr>> = HashMap::new();
-        preds.entry(s[1]).or_default().insert(s[0]); // only A reaches B
-        let mut exits: HashMap<Addr, HashSet<(RegionId, Addr)>> = HashMap::new();
-        exits.entry(s[1]).or_default().insert((r_id, s[0]));
-        let stats = analyze_domination(&cache, &preds, &exits);
+        let (mut preds, mut exits) = tables(&p);
+        preds[1].insert(s[0]); // only A reaches B
+        exits[1].insert((r_id, s[0]));
+        let stats = analyze_domination(&p, &cache, &preds, &exits);
         assert_eq!(stats.dominated_regions, 1);
         assert_eq!(stats.pairs, vec![(r_id, s_id)]);
         // Shared block C's instructions are duplication.
@@ -154,12 +167,11 @@ mod tests {
         let mut cache = CodeCache::new();
         let r_id = cache.insert(Region::trace(&p, &[s[0], s[2]]));
         cache.insert(Region::trace(&p, &[s[1], s[2]]));
-        let mut preds: HashMap<Addr, HashSet<Addr>> = HashMap::new();
+        let (mut preds, mut exits) = tables(&p);
         // B is also entered from D (some other executed path).
-        preds.entry(s[1]).or_default().extend([s[0], s[3]]);
-        let mut exits: HashMap<Addr, HashSet<(RegionId, Addr)>> = HashMap::new();
-        exits.entry(s[1]).or_default().insert((r_id, s[0]));
-        let stats = analyze_domination(&cache, &preds, &exits);
+        preds[1].extend([s[0], s[3]]);
+        exits[1].insert((r_id, s[0]));
+        let stats = analyze_domination(&p, &cache, &preds, &exits);
         assert_eq!(stats.dominated_regions, 0);
     }
 
@@ -171,11 +183,10 @@ mod tests {
         // S selected FIRST, R second: condition 3 fails.
         cache.insert(Region::trace(&p, &[s[1], s[2]]));
         let r_id = cache.insert(Region::trace(&p, &[s[0], s[2]]));
-        let mut preds: HashMap<Addr, HashSet<Addr>> = HashMap::new();
-        preds.entry(s[1]).or_default().insert(s[0]);
-        let mut exits: HashMap<Addr, HashSet<(RegionId, Addr)>> = HashMap::new();
-        exits.entry(s[1]).or_default().insert((r_id, s[0]));
-        let stats = analyze_domination(&cache, &preds, &exits);
+        let (mut preds, mut exits) = tables(&p);
+        preds[1].insert(s[0]);
+        exits[1].insert((r_id, s[0]));
+        let stats = analyze_domination(&p, &cache, &preds, &exits);
         assert_eq!(stats.dominated_regions, 0);
     }
 
@@ -187,18 +198,18 @@ mod tests {
         // S = [B, C] with an internal cycle pred C -> B would not count.
         let r_id = cache.insert(Region::trace(&p, &[s[0], s[2]]));
         cache.insert(Region::trace(&p, &[s[1], s[2]]));
-        let mut preds: HashMap<Addr, HashSet<Addr>> = HashMap::new();
-        preds.entry(s[1]).or_default().extend([s[0], s[2]]); // C is inside S
-        let mut exits: HashMap<Addr, HashSet<(RegionId, Addr)>> = HashMap::new();
-        exits.entry(s[1]).or_default().insert((r_id, s[0]));
-        let stats = analyze_domination(&cache, &preds, &exits);
+        let (mut preds, mut exits) = tables(&p);
+        preds[1].extend([s[0], s[2]]); // C is inside S
+        exits[1].insert((r_id, s[0]));
+        let stats = analyze_domination(&p, &cache, &preds, &exits);
         assert_eq!(stats.dominated_regions, 1);
     }
 
     #[test]
     fn empty_inputs_mean_no_domination() {
+        let p = program();
         let cache = CodeCache::new();
-        let stats = analyze_domination(&cache, &HashMap::new(), &HashMap::new());
+        let stats = analyze_domination(&p, &cache, &[], &[]);
         assert_eq!(stats, DominationStats::default());
         assert_eq!(stats.dominated_fraction(0), 0.0);
         assert_eq!(stats.duplication_fraction(0), 0.0);

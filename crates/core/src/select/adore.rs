@@ -22,9 +22,10 @@ use super::lei::form_trace_from_branches;
 use super::{Arrival, RegionSelector};
 use crate::cache::{CodeCache, Region};
 use crate::config::SimConfig;
+use crate::fxhash::FxHashMap;
 use rsel_program::{Addr, Program};
 use rsel_trace::AddrWidth;
-use std::collections::{HashMap, VecDeque};
+use std::collections::VecDeque;
 
 /// The ADORE-style sampling selector.
 #[derive(Debug)]
@@ -35,7 +36,7 @@ pub struct AdoreSelector<'p> {
     width: AddrWidth,
     recent: VecDeque<(Addr, Addr)>,
     taken_seen: u64,
-    path_counts: HashMap<[(Addr, Addr); 4], u32>,
+    path_counts: FxHashMap<[(Addr, Addr); 4], u32>,
     peak_paths: usize,
     // Counter bookkeeping reported through the selector interface: the
     // path table is ADORE's profiling memory.
@@ -52,7 +53,7 @@ impl<'p> AdoreSelector<'p> {
             width: config.addr_width,
             recent: VecDeque::with_capacity(4),
             taken_seen: 0,
-            path_counts: HashMap::new(),
+            path_counts: FxHashMap::default(),
             peak_paths: 0,
             counters: CounterTable::new(),
         }

@@ -7,9 +7,9 @@ use super::region_cfg::combine_traces;
 use super::{Arrival, RegionSelector};
 use crate::cache::{CodeCache, Region};
 use crate::config::SimConfig;
+use crate::fxhash::FxHashSet;
 use rsel_program::{Addr, Program};
 use rsel_trace::AddrWidth;
-use std::collections::HashSet;
 
 /// NET with trace combination (paper Figure 13).
 ///
@@ -29,7 +29,7 @@ pub struct CombinedNetSelector<'p> {
     width: AddrWidth,
     counters: CounterTable,
     observers: Vec<TraceGrower>,
-    combine_on_complete: HashSet<Addr>,
+    combine_on_complete: FxHashSet<Addr>,
     store: ObservationStore,
     rejoin_iterations: u64,
 }
@@ -46,7 +46,7 @@ impl<'p> CombinedNetSelector<'p> {
             width: config.addr_width,
             counters: CounterTable::new(),
             observers: Vec::new(),
-            combine_on_complete: HashSet::new(),
+            combine_on_complete: FxHashSet::default(),
             store: ObservationStore::new(),
             rejoin_iterations: 0,
         }

@@ -1,7 +1,7 @@
 //! Profiling counters with recycling and peak tracking.
 
+use crate::fxhash::{FxHashMap, FxHashSet};
 use rsel_program::Addr;
-use std::collections::HashMap;
 
 /// The table of execution counters used by NET and LEI profiling.
 ///
@@ -12,9 +12,9 @@ use std::collections::HashMap;
 /// peak occupancy.
 #[derive(Clone, Debug, Default)]
 pub struct CounterTable {
-    counts: HashMap<Addr, u32>,
+    counts: FxHashMap<Addr, u32>,
     peak: usize,
-    ever: std::collections::HashSet<Addr>,
+    ever: FxHashSet<Addr>,
 }
 
 impl CounterTable {

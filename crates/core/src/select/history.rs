@@ -1,7 +1,8 @@
 //! LEI's circular branch-history buffer (paper Figure 5).
 
+use crate::fxhash::{self, FxHashMap};
 use rsel_program::Addr;
-use std::collections::{HashMap, VecDeque};
+use std::collections::VecDeque;
 
 /// One recorded taken branch.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -30,7 +31,7 @@ pub struct HistoryEntry {
 pub struct HistoryBuffer {
     capacity: usize,
     entries: VecDeque<HistoryEntry>,
-    hash: HashMap<Addr, u64>,
+    hash: FxHashMap<Addr, u64>,
     next_seq: u64,
 }
 
@@ -45,7 +46,7 @@ impl HistoryBuffer {
         HistoryBuffer {
             capacity,
             entries: VecDeque::with_capacity(capacity),
-            hash: HashMap::new(),
+            hash: fxhash::map_with_capacity(capacity),
             next_seq: 0,
         }
     }

@@ -15,9 +15,9 @@ use super::form::TraceGrower;
 use super::{Arrival, RegionSelector};
 use crate::cache::{CodeCache, Region};
 use crate::config::SimConfig;
+use crate::fxhash::FxHashSet;
 use rsel_program::{Addr, Program};
 use rsel_trace::AddrWidth;
-use std::collections::HashSet;
 
 /// NET with Mojo's split thresholds: backward-branch targets use the
 /// full threshold, code-cache exit targets a lower one.
@@ -29,7 +29,7 @@ pub struct MojoSelector<'p> {
     max_trace_insts: usize,
     width: AddrWidth,
     counters: CounterTable,
-    exit_targets: HashSet<Addr>,
+    exit_targets: FxHashSet<Addr>,
     grower: Option<TraceGrower>,
 }
 
@@ -43,7 +43,7 @@ impl<'p> MojoSelector<'p> {
             max_trace_insts: config.max_trace_insts,
             width: config.addr_width,
             counters: CounterTable::new(),
-            exit_targets: HashSet::new(),
+            exit_targets: FxHashSet::default(),
             grower: None,
         }
     }

@@ -1,8 +1,8 @@
 //! Storage for observed traces under trace combination (paper §4.2.1).
 
+use crate::fxhash::FxHashMap;
 use rsel_program::Addr;
 use rsel_trace::CompactTrace;
-use std::collections::HashMap;
 
 /// Stores the compact observed traces per hot branch target, with the
 /// byte accounting behind the paper's Figure 18.
@@ -14,7 +14,7 @@ use std::collections::HashMap;
 /// memory.
 #[derive(Clone, Debug, Default)]
 pub struct ObservationStore {
-    traces: HashMap<Addr, Vec<CompactTrace>>,
+    traces: FxHashMap<Addr, Vec<CompactTrace>>,
     bytes: usize,
     peak: usize,
 }

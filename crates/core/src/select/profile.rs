@@ -8,14 +8,14 @@
 //! the shared machinery.
 
 use crate::cache::CodeCache;
+use crate::fxhash::FxHashMap;
 use rsel_program::{Addr, InstKind, Program};
-use std::collections::HashMap;
 
 /// Per-branch execution profile gathered while interpreting.
 #[derive(Clone, Debug, Default)]
 pub struct EdgeProfile {
-    cond: HashMap<Addr, (u64, u64)>, // (taken, not taken)
-    indirect: HashMap<Addr, HashMap<Addr, u64>>,
+    cond: FxHashMap<Addr, (u64, u64)>, // (taken, not taken)
+    indirect: FxHashMap<Addr, FxHashMap<Addr, u64>>,
 }
 
 impl EdgeProfile {

@@ -19,12 +19,12 @@ pub mod faults;
 
 use crate::cache::{CodeCache, Region, RegionId, TransferClass};
 use crate::config::SimConfig;
+use crate::fxhash::{FxHashMap, FxHashSet};
 use crate::metrics::domination::analyze_domination;
 use crate::metrics::report::{RegionReport, ResilienceStats, RunReport};
 use crate::select::{Arrival, RegionSelector};
 use faults::{Fault, FaultConfig, FaultInjector};
 use rsel_program::{Addr, Entry, Program, Step};
-use std::collections::{HashMap, HashSet};
 
 /// Virtual-memory page size used for the layout-locality metric.
 const PAGE_BYTES: u64 = 4096;
@@ -76,18 +76,20 @@ pub struct Simulator<'p> {
     // monotonic within a cache generation, so the vec only grows; it
     // resets at a full flush together with the id sequence).
     runtime: Vec<RegionRuntime>,
-    // Executed-predecessor relation over program blocks.
-    exec_preds: HashMap<Addr, HashSet<Addr>>,
-    // Exits observed leaving the cache: target -> {(region, from block)}.
-    exit_edges: HashMap<Addr, HashSet<(RegionId, Addr)>>,
+    // Executed-predecessor relation over program blocks, dense by the
+    // target's block index (arrival targets are always block starts).
+    exec_preds: Vec<FxHashSet<Addr>>,
+    // Exits observed leaving the cache towards each block:
+    // {(region, from block)}, dense by the target's block index.
+    exit_edges: Vec<FxHashSet<(RegionId, Addr)>>,
     // Regions removed from the cache (bounded-cache flushes, fault
     // invalidations, pressure evictions), with their final stats.
     retired: Vec<RegionReport>,
     // Fault-injection layer.
     injector: FaultInjector,
     fault_cfg: FaultConfig,
-    blacklist: HashMap<Addr, BlacklistEntry>,
-    invalidated_entries: HashSet<Addr>,
+    blacklist: FxHashMap<Addr, BlacklistEntry>,
+    invalidated_entries: FxHashSet<Addr>,
     resilience: ResilienceStats,
 }
 
@@ -102,6 +104,10 @@ impl<'p> Simulator<'p> {
             Some(cap) => CodeCache::bounded(cap, config.stub_bytes),
             None => CodeCache::new(),
         };
+        // Pre-size the per-step side tables from the program's shape so
+        // the hot path never grows them: the dense tables are indexed by
+        // block, and region count scales with block count.
+        let block_count = program.blocks().len();
         Simulator {
             program,
             selector,
@@ -116,14 +122,14 @@ impl<'p> Simulator<'p> {
             transitions: 0,
             transition_distance_sum: 0,
             transition_page_crossings: 0,
-            runtime: Vec::new(),
-            exec_preds: HashMap::new(),
-            exit_edges: HashMap::new(),
+            runtime: Vec::with_capacity(block_count),
+            exec_preds: vec![FxHashSet::default(); block_count],
+            exit_edges: vec![FxHashSet::default(); block_count],
             retired: Vec::new(),
             injector: FaultInjector::new(&config.faults),
             fault_cfg: config.faults.clone(),
-            blacklist: HashMap::new(),
-            invalidated_entries: HashSet::new(),
+            blacklist: FxHashMap::default(),
+            invalidated_entries: FxHashSet::default(),
             resilience: ResilienceStats::default(),
         }
     }
@@ -197,7 +203,9 @@ impl<'p> Simulator<'p> {
         self.cache.flush();
         self.runtime.clear();
         // Exit edges refer to now-recycled region ids.
-        self.exit_edges.clear();
+        for set in &mut self.exit_edges {
+            set.clear();
+        }
     }
 
     fn report_for(r: &Region, rt: RegionRuntime) -> RegionReport {
@@ -264,7 +272,7 @@ impl<'p> Simulator<'p> {
         if removed.is_empty() {
             return;
         }
-        let dead: HashSet<RegionId> = removed.iter().map(Region::id).collect();
+        let dead: FxHashSet<RegionId> = removed.iter().map(Region::id).collect();
         // The region being executed vanished: fall back to the
         // interpreter, landing as if through an exit stub.
         if let Mode::InCache { region, .. } = self.mode {
@@ -301,10 +309,9 @@ impl<'p> Simulator<'p> {
             }
         }
         // Exit bookkeeping must not name dead regions.
-        for set in self.exit_edges.values_mut() {
+        for set in &mut self.exit_edges {
             set.retain(|(rid, _)| !dead.contains(rid));
         }
-        self.exit_edges.retain(|_, set| !set.is_empty());
     }
 
     fn enter_region(&mut self, id: RegionId, target: Addr, len: u64) {
@@ -330,7 +337,7 @@ impl<'p> Simulator<'p> {
         let prev = self.prev_block;
         self.prev_block = Some(target);
         if let Some(p) = prev {
-            self.exec_preds.entry(target).or_default().insert(p);
+            self.exec_preds[step.block.index()].insert(p);
         }
 
         // --- In-cache execution ---------------------------------------
@@ -366,10 +373,7 @@ impl<'p> Simulator<'p> {
                     return;
                 }
                 Ok(TransferClass::Exit) => {
-                    self.exit_edges
-                        .entry(target)
-                        .or_default()
-                        .insert((region, block));
+                    self.exit_edges[step.block.index()].insert((region, block));
                     if let Some(r2) = self.cache.lookup(target) {
                         // Lazy linking: the exit stub jumps straight to
                         // the other region — a region transition.
@@ -480,7 +484,12 @@ impl<'p> Simulator<'p> {
             peak_counters: self.selector.peak_counters(),
             peak_observed_bytes: self.selector.peak_observed_bytes(),
             cache_size_estimate: self.cache.size_estimate(self.stub_bytes),
-            domination: analyze_domination(&self.cache, &self.exec_preds, &self.exit_edges),
+            domination: analyze_domination(
+                self.program,
+                &self.cache,
+                &self.exec_preds,
+                &self.exit_edges,
+            ),
             cache_flushes: self.cache.flushes(),
             transition_distance_sum: self.transition_distance_sum,
             transition_page_crossings: self.transition_page_crossings,

@@ -4,11 +4,11 @@ use crate::addr::Addr;
 use crate::behavior::{BehaviorSpec, CondBehavior, IndirectBehavior};
 use crate::block::BlockId;
 use crate::event::{BranchKind, Entry, Step};
+use crate::fxhash::FxHashMap;
 use crate::inst::InstKind;
 use crate::program::Program;
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
-use std::collections::HashMap;
 
 /// Key for per-branch mutable state: the branch address plus the phase
 /// index it belongs to (`usize::MAX` for non-phased behaviours).
@@ -38,9 +38,11 @@ pub struct Executor<'p> {
     stack: Vec<Addr>,
     cur: Option<BlockId>,
     entry: Entry,
-    trips: HashMap<StateKey, u32>,
-    cursors: HashMap<StateKey, usize>,
-    executions: HashMap<Addr, u64>,
+    trips: FxHashMap<StateKey, u32>,
+    cursors: FxHashMap<StateKey, usize>,
+    // Executions of each block's conditional branch, dense by block
+    // index (every conditional branch is a block terminator).
+    executions: Vec<u64>,
 }
 
 impl<'p> Executor<'p> {
@@ -55,9 +57,9 @@ impl<'p> Executor<'p> {
             stack: Vec::new(),
             cur,
             entry: Entry::Start,
-            trips: HashMap::new(),
-            cursors: HashMap::new(),
-            executions: HashMap::new(),
+            trips: FxHashMap::default(),
+            cursors: FxHashMap::default(),
+            executions: vec![0; program.blocks().len()],
         }
     }
 
@@ -71,7 +73,7 @@ impl<'p> Executor<'p> {
         self.stack.len()
     }
 
-    fn decide(&mut self, addr: Addr, behavior: &CondBehavior, phase: usize) -> bool {
+    fn decide(&mut self, addr: Addr, behavior: &CondBehavior, phase: usize, count: u64) -> bool {
         match behavior {
             CondBehavior::Taken => true,
             CondBehavior::NotTaken => false,
@@ -93,7 +95,6 @@ impl<'p> Executor<'p> {
                 taken
             }
             CondBehavior::Phased(phases) => {
-                let count = *self.executions.get(&addr).unwrap_or(&0);
                 let mut cumulative = 0u64;
                 let mut chosen = phases.len() - 1;
                 for (i, (len, _)) in phases.iter().enumerate() {
@@ -104,19 +105,20 @@ impl<'p> Executor<'p> {
                     }
                 }
                 let inner = phases[chosen].1.clone();
-                self.decide(addr, &inner, chosen)
+                self.decide(addr, &inner, chosen, count)
             }
         }
     }
 
-    fn cond_taken(&mut self, addr: Addr) -> bool {
+    fn cond_taken(&mut self, block: BlockId, addr: Addr) -> bool {
         // Phase selection reads the execution count *before* this
         // execution, so the count is incremented after deciding.
+        let count = self.executions[block.index()];
         let taken = match self.spec.cond(addr).cloned() {
-            Some(b) => self.decide(addr, &b, usize::MAX),
+            Some(b) => self.decide(addr, &b, usize::MAX, count),
             None => self.rng.gen_bool(0.5),
         };
-        *self.executions.entry(addr).or_insert(0) += 1;
+        self.executions[block.index()] += 1;
         taken
     }
 
@@ -174,7 +176,7 @@ impl Iterator for Executor<'_> {
         let (next_addr, entry) = match term.kind() {
             InstKind::Straight => (Some(block.fallthrough_addr()), Entry::Fallthrough),
             InstKind::CondBranch { target } => {
-                if self.cond_taken(src) {
+                if self.cond_taken(id, src) {
                     (
                         Some(target),
                         Entry::Taken {

@@ -1,0 +1,175 @@
+//! A fast, deterministic hasher for hot-path tables.
+//!
+//! The per-step tables of the executor and simulator are keyed by small
+//! fixed-width values ([`Addr`](crate::Addr), block ids, region ids).
+//! The standard library's default SipHash is DoS-resistant but costs
+//! tens of cycles per lookup, which dominates the simulator's arrival
+//! loop. This module vendors an FxHash-style multiply-rotate hasher
+//! (the algorithm used by rustc's internal tables): one rotate, one
+//! xor and one multiply per word, with no per-instance random state —
+//! so iteration order is identical across runs, keeping every
+//! experiment bit-reproducible.
+//!
+//! None of these tables are exposed to untrusted input, so hash-flood
+//! resistance is not needed.
+
+use std::collections::{HashMap, HashSet};
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// Multiplier from the golden ratio, as used by FxHash/rustc-hash.
+const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+/// The FxHash word-at-a-time hasher state.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+impl FxHasher {
+    #[inline]
+    fn add_to_hash(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(5) ^ word).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for c in &mut chunks {
+            self.add_to_hash(u64::from_le_bytes(c.try_into().expect("8-byte chunk")));
+        }
+        let rest = chunks.remainder();
+        if !rest.is_empty() {
+            let mut tail = [0u8; 8];
+            tail[..rest.len()].copy_from_slice(rest);
+            self.add_to_hash(u64::from_le_bytes(tail));
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, i: u8) {
+        self.add_to_hash(u64::from(i));
+    }
+
+    #[inline]
+    fn write_u16(&mut self, i: u16) {
+        self.add_to_hash(u64::from(i));
+    }
+
+    #[inline]
+    fn write_u32(&mut self, i: u32) {
+        self.add_to_hash(u64::from(i));
+    }
+
+    #[inline]
+    fn write_u64(&mut self, i: u64) {
+        self.add_to_hash(i);
+    }
+
+    #[inline]
+    fn write_u128(&mut self, i: u128) {
+        self.add_to_hash(i as u64);
+        self.add_to_hash((i >> 64) as u64);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, i: usize) {
+        self.add_to_hash(i as u64);
+    }
+
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+}
+
+/// A [`std::hash::BuildHasher`] producing [`FxHasher`]s; zero-sized and
+/// state-free, so maps built with it iterate identically across runs.
+pub type FxBuildHasher = BuildHasherDefault<FxHasher>;
+
+/// A `HashMap` using [`FxHasher`].
+pub type FxHashMap<K, V> = HashMap<K, V, FxBuildHasher>;
+
+/// A `HashSet` using [`FxHasher`].
+pub type FxHashSet<T> = HashSet<T, FxBuildHasher>;
+
+/// An empty [`FxHashMap`] with room for `cap` entries.
+pub fn map_with_capacity<K, V>(cap: usize) -> FxHashMap<K, V> {
+    FxHashMap::with_capacity_and_hasher(cap, FxBuildHasher::default())
+}
+
+/// An empty [`FxHashSet`] with room for `cap` entries.
+pub fn set_with_capacity<T>(cap: usize) -> FxHashSet<T> {
+    FxHashSet::with_capacity_and_hasher(cap, FxBuildHasher::default())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Addr;
+    use std::hash::{BuildHasher, Hash};
+
+    fn hash_of<T: Hash>(v: &T) -> u64 {
+        FxBuildHasher::default().hash_one(v)
+    }
+
+    #[test]
+    fn deterministic_across_instances() {
+        let a = Addr::new(0xdead_beef);
+        assert_eq!(hash_of(&a), hash_of(&a));
+        assert_eq!(hash_of(&(a, 3usize)), hash_of(&(a, 3usize)));
+    }
+
+    #[test]
+    fn distinguishes_nearby_keys() {
+        let h1 = hash_of(&Addr::new(0x1000));
+        let h2 = hash_of(&Addr::new(0x1001));
+        assert_ne!(h1, h2);
+    }
+
+    #[test]
+    fn byte_stream_matches_word_writes() {
+        // write() folds 8-byte chunks the same way write_u64 does.
+        let mut a = FxHasher::default();
+        a.write(&42u64.to_le_bytes());
+        let mut b = FxHasher::default();
+        b.write_u64(42);
+        assert_eq!(a.finish(), b.finish());
+    }
+
+    #[test]
+    fn short_tails_are_hashed() {
+        let mut a = FxHasher::default();
+        a.write(b"abc");
+        let mut b = FxHasher::default();
+        b.write(b"abd");
+        assert_ne!(a.finish(), b.finish());
+        assert_ne!(a.finish(), 0);
+    }
+
+    #[test]
+    fn map_and_set_round_trip() {
+        let mut m: FxHashMap<Addr, u32> = map_with_capacity(8);
+        m.insert(Addr::new(1), 10);
+        m.insert(Addr::new(2), 20);
+        assert_eq!(m.get(&Addr::new(1)), Some(&10));
+        let mut s: FxHashSet<Addr> = set_with_capacity(8);
+        assert!(s.insert(Addr::new(7)));
+        assert!(!s.insert(Addr::new(7)));
+        assert!(s.contains(&Addr::new(7)));
+    }
+
+    #[test]
+    fn iteration_order_is_stable_across_maps() {
+        let build = |keys: &[u64]| -> Vec<u64> {
+            let mut m: FxHashMap<u64, ()> = FxHashMap::default();
+            for &k in keys {
+                m.insert(k, ());
+            }
+            m.keys().copied().collect()
+        };
+        let keys: Vec<u64> = (0..100).map(|i| i * 977).collect();
+        assert_eq!(build(&keys), build(&keys));
+    }
+}

@@ -50,6 +50,7 @@ pub mod error;
 pub mod event;
 pub mod exec;
 pub mod function;
+pub mod fxhash;
 pub mod inst;
 pub mod patterns;
 pub mod program;
@@ -63,5 +64,6 @@ pub use error::BuildError;
 pub use event::{BranchKind, Entry, Step};
 pub use exec::Executor;
 pub use function::{Function, FunctionId};
+pub use fxhash::{FxHashMap, FxHashSet};
 pub use inst::{InstKind, Instruction};
 pub use program::Program;

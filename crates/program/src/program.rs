@@ -4,8 +4,8 @@ use crate::addr::Addr;
 use crate::block::{BasicBlock, BlockId};
 use crate::error::BuildError;
 use crate::function::{Function, FunctionId};
+use crate::fxhash::{self, FxHashMap};
 use crate::inst::Instruction;
-use std::collections::HashMap;
 
 /// A validated, immutable program: functions, basic blocks and
 /// address-indexed lookup tables.
@@ -20,8 +20,8 @@ pub struct Program {
     blocks: Vec<BasicBlock>,
     functions: Vec<Function>,
     entry: Addr,
-    by_start: HashMap<Addr, BlockId>,
-    by_inst: HashMap<Addr, BlockId>,
+    by_start: FxHashMap<Addr, BlockId>,
+    by_inst: FxHashMap<Addr, BlockId>,
 }
 
 impl Program {
@@ -40,8 +40,8 @@ impl Program {
                 });
             }
         }
-        let mut by_start = HashMap::with_capacity(blocks.len());
-        let mut by_inst = HashMap::new();
+        let mut by_start = fxhash::map_with_capacity(blocks.len());
+        let mut by_inst = FxHashMap::default();
         for b in &blocks {
             by_start.insert(b.start(), b.id());
             for i in b.instructions() {

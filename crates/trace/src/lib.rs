@@ -27,5 +27,7 @@ pub mod stream_io;
 pub use bitstring::{BitReader, BitString};
 pub use compact::{AddrWidth, CompactTrace, DecodeError, DecodedPath, TraceRecorder};
 pub use paths::PathProfile;
-pub use stream::{RecordedStream, StreamStats};
-pub use stream_io::{StreamIoError, load_stream, save_stream};
+pub use stream::{CompactStream, RecordedStream, StreamStats};
+pub use stream_io::{
+    StreamIoError, load_compact_stream, load_stream, save_compact_stream, save_stream,
+};

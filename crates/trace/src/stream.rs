@@ -1,6 +1,6 @@
 //! Recording and replaying executor event streams.
 
-use rsel_program::{Entry, Program, Step};
+use rsel_program::{BranchKind, Entry, Program, Step};
 
 /// A recorded execution: the full [`Step`] stream of one run.
 ///
@@ -75,6 +75,193 @@ impl FromIterator<Step> for RecordedStream {
 impl Extend<Step> for RecordedStream {
     fn extend<I: IntoIterator<Item = Step>>(&mut self, iter: I) {
         self.steps.extend(iter);
+    }
+}
+
+pub(crate) fn kind_to_tag(kind: BranchKind) -> u8 {
+    match kind {
+        BranchKind::Cond => 0,
+        BranchKind::Jump => 1,
+        BranchKind::IndirectJump => 2,
+        BranchKind::Call => 3,
+        BranchKind::IndirectCall => 4,
+        BranchKind::Ret => 5,
+    }
+}
+
+pub(crate) fn tag_to_kind(tag: u8) -> Option<BranchKind> {
+    Some(match tag {
+        0 => BranchKind::Cond,
+        1 => BranchKind::Jump,
+        2 => BranchKind::IndirectJump,
+        3 => BranchKind::Call,
+        4 => BranchKind::IndirectCall,
+        5 => BranchKind::Ret,
+        _ => return None,
+    })
+}
+
+const ENTRY_START: u8 = 0;
+const ENTRY_FALLTHROUGH: u8 = 1;
+const ENTRY_TAKEN_BASE: u8 = 2;
+
+/// A compactly recorded execution: one `u32` block index and one tag
+/// byte per step, with taken-branch sources in a side table.
+///
+/// [`RecordedStream`] stores 32 bytes per step (a full [`Step`]).
+/// Because a step's `start` is always the start address of its block,
+/// the stream is fully determined by the block-index sequence, the
+/// entry tags, and — for taken entries only — the branch source. The
+/// compact form stores exactly that, cutting the per-step footprint to
+/// 5 bytes plus 8 per taken branch, so an entire workload matrix worth
+/// of executions fits comfortably in memory and can be replayed once
+/// per selector instead of re-executing the program.
+///
+/// Replay requires the [`Program`] the stream was recorded from: block
+/// indices are resolved back to [`Step`]s against it.
+///
+/// ```
+/// use rsel_program::{ProgramBuilder, BehaviorSpec, Executor, Step};
+/// use rsel_trace::{CompactStream, RecordedStream};
+///
+/// let mut b = ProgramBuilder::new();
+/// let f = b.function("main", 0x100);
+/// let bb = b.block(f);
+/// let ex = b.block_with(f, 0);
+/// b.cond_branch(bb, bb);
+/// b.ret(ex);
+/// let p = b.build().unwrap();
+/// let mut spec = BehaviorSpec::new(1);
+/// spec.loop_trips(p.block(bb).branch_addr().unwrap(), 3);
+/// let live: Vec<Step> = Executor::new(&p, spec.clone()).collect();
+/// let compact = CompactStream::record(Executor::new(&p, spec));
+/// let replayed: Vec<Step> = compact.replay(&p).collect();
+/// assert_eq!(replayed, live);
+/// ```
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct CompactStream {
+    /// Block index of each step, in execution order.
+    blocks: Vec<u32>,
+    /// Entry tag of each step: 0 start, 1 fall-through, 2 + kind tag
+    /// for taken entries.
+    tags: Vec<u8>,
+    /// Branch source of each taken entry, in execution order.
+    taken_srcs: Vec<rsel_program::Addr>,
+}
+
+impl CompactStream {
+    /// Records every step of `source` to completion.
+    pub fn record<I: IntoIterator<Item = Step>>(source: I) -> Self {
+        let mut s = CompactStream::default();
+        s.extend(source);
+        s
+    }
+
+    /// Records at most `limit` steps of `source`.
+    pub fn record_bounded<I: IntoIterator<Item = Step>>(source: I, limit: usize) -> Self {
+        CompactStream::record(source.into_iter().take(limit))
+    }
+
+    /// Compacts an already-recorded stream.
+    pub fn from_recorded(rec: &RecordedStream) -> Self {
+        CompactStream::record(rec.replay())
+    }
+
+    /// Expands back into a full [`RecordedStream`].
+    pub fn to_recorded(&self, program: &Program) -> RecordedStream {
+        self.replay(program).collect()
+    }
+
+    /// Number of recorded steps.
+    pub fn len(&self) -> usize {
+        self.blocks.len()
+    }
+
+    /// Whether nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.blocks.is_empty()
+    }
+
+    /// Number of taken-branch entries recorded.
+    pub fn taken_count(&self) -> usize {
+        self.taken_srcs.len()
+    }
+
+    /// Payload bytes held by the compact encoding (excluding `Vec`
+    /// headers and spare capacity) — 5 per step plus 8 per taken
+    /// branch.
+    pub fn byte_size(&self) -> usize {
+        self.blocks.len() * 4 + self.tags.len() + self.taken_srcs.len() * 8
+    }
+
+    /// Iterates the recorded steps, reconstructing each [`Step`]
+    /// against `program`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a recorded block index is out of range for `program`
+    /// (i.e. the stream was recorded from a different program).
+    pub fn replay<'p>(&'p self, program: &'p Program) -> impl Iterator<Item = Step> + 'p {
+        let mut srcs = self.taken_srcs.iter();
+        self.blocks
+            .iter()
+            .zip(self.tags.iter())
+            .map(move |(&idx, &tag)| {
+                let block = program.blocks()[idx as usize].id();
+                let entry = match tag {
+                    ENTRY_START => Entry::Start,
+                    ENTRY_FALLTHROUGH => Entry::Fallthrough,
+                    t => Entry::Taken {
+                        src: *srcs.next().expect("taken entry has a recorded source"),
+                        kind: tag_to_kind(t - ENTRY_TAKEN_BASE)
+                            .expect("recorded tag encodes a branch kind"),
+                    },
+                };
+                Step {
+                    block,
+                    start: program.block(block).start(),
+                    entry,
+                }
+            })
+    }
+
+    pub(crate) fn raw_parts(&self) -> (&[u32], &[u8], &[rsel_program::Addr]) {
+        (&self.blocks, &self.tags, &self.taken_srcs)
+    }
+
+    pub(crate) fn from_raw_parts(
+        blocks: Vec<u32>,
+        tags: Vec<u8>,
+        taken_srcs: Vec<rsel_program::Addr>,
+    ) -> Self {
+        CompactStream {
+            blocks,
+            tags,
+            taken_srcs,
+        }
+    }
+}
+
+impl FromIterator<Step> for CompactStream {
+    fn from_iter<I: IntoIterator<Item = Step>>(iter: I) -> Self {
+        CompactStream::record(iter)
+    }
+}
+
+impl Extend<Step> for CompactStream {
+    fn extend<I: IntoIterator<Item = Step>>(&mut self, iter: I) {
+        for step in iter {
+            self.blocks
+                .push(u32::try_from(step.block.index()).expect("block index fits in 32 bits"));
+            match step.entry {
+                Entry::Start => self.tags.push(ENTRY_START),
+                Entry::Fallthrough => self.tags.push(ENTRY_FALLTHROUGH),
+                Entry::Taken { src, kind } => {
+                    self.tags.push(ENTRY_TAKEN_BASE + kind_to_tag(kind));
+                    self.taken_srcs.push(src);
+                }
+            }
+        }
     }
 }
 
@@ -169,5 +356,68 @@ mod tests {
         let (_, rec) = run();
         let again: RecordedStream = rec.replay().collect();
         assert_eq!(again, rec);
+    }
+
+    #[test]
+    fn compact_replay_is_bit_identical() {
+        let (p, rec) = run();
+        let compact = CompactStream::from_recorded(&rec);
+        let replayed: Vec<Step> = compact.replay(&p).collect();
+        assert_eq!(replayed.as_slice(), rec.steps());
+        assert_eq!(compact.to_recorded(&p), rec);
+        assert_eq!(compact.len(), rec.len());
+    }
+
+    #[test]
+    fn compact_is_smaller_than_full_steps() {
+        let (_, rec) = run();
+        let compact = CompactStream::from_recorded(&rec);
+        assert!(!compact.is_empty());
+        assert!(compact.byte_size() < rec.len() * std::mem::size_of::<Step>());
+    }
+
+    #[test]
+    fn compact_taken_sources_preserved() {
+        let (p, rec) = run();
+        let compact = CompactStream::from_recorded(&rec);
+        let live_taken: Vec<_> = rec
+            .replay()
+            .filter_map(|s| match s.entry {
+                Entry::Taken { src, kind } => Some((src, kind)),
+                _ => None,
+            })
+            .collect();
+        let replayed_taken: Vec<_> = compact
+            .replay(&p)
+            .filter_map(|s| match s.entry {
+                Entry::Taken { src, kind } => Some((src, kind)),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(live_taken, replayed_taken);
+        assert_eq!(compact.taken_count(), live_taken.len());
+    }
+
+    #[test]
+    fn compact_bounded_recording_truncates() {
+        let mut b = ProgramBuilder::new();
+        let f = b.function("main", 0x100);
+        let spin = b.block(f);
+        let exit = b.block_with(f, 0);
+        b.cond_branch(spin, spin);
+        b.ret(exit);
+        let p = b.build().unwrap();
+        let mut spec = BehaviorSpec::new(0);
+        spec.always(p.block(spin).branch_addr().unwrap());
+        let rec = CompactStream::record_bounded(Executor::new(&p, spec), 10);
+        assert_eq!(rec.len(), 10);
+        assert_eq!(rec.replay(&p).count(), 10);
+    }
+
+    #[test]
+    fn compact_collects_from_iterator() {
+        let (p, rec) = run();
+        let compact: CompactStream = rec.replay().collect();
+        assert_eq!(compact.to_recorded(&p), rec);
     }
 }

@@ -8,7 +8,7 @@
 //! stream can never desynchronize silently from the binary it claims to
 //! describe.
 
-use crate::stream::RecordedStream;
+use crate::stream::{CompactStream, RecordedStream, kind_to_tag, tag_to_kind};
 use rsel_program::{Addr, BranchKind, Entry, Program, Step};
 use std::error::Error;
 use std::fmt;
@@ -16,6 +16,7 @@ use std::io::{self, Read, Write};
 
 const MAGIC: &[u8; 4] = b"RSEL";
 const VERSION: u16 = 1;
+const COMPACT_VERSION: u16 = 2;
 
 const TAG_START: u8 = 0;
 const TAG_FALLTHROUGH: u8 = 1;
@@ -68,26 +69,11 @@ impl From<io::Error> for StreamIoError {
 }
 
 fn kind_tag(kind: BranchKind) -> u8 {
-    match kind {
-        BranchKind::Cond => 0,
-        BranchKind::Jump => 1,
-        BranchKind::IndirectJump => 2,
-        BranchKind::Call => 3,
-        BranchKind::IndirectCall => 4,
-        BranchKind::Ret => 5,
-    }
+    kind_to_tag(kind)
 }
 
 fn tag_kind(tag: u8) -> Result<BranchKind, StreamIoError> {
-    Ok(match tag {
-        0 => BranchKind::Cond,
-        1 => BranchKind::Jump,
-        2 => BranchKind::IndirectJump,
-        3 => BranchKind::Call,
-        4 => BranchKind::IndirectCall,
-        5 => BranchKind::Ret,
-        t => return Err(StreamIoError::BadTag(t)),
-    })
+    tag_to_kind(tag).ok_or(StreamIoError::BadTag(tag))
 }
 
 /// Writes `stream` to `writer` (a `&mut` reference works too, as for
@@ -173,6 +159,91 @@ pub fn load_stream<R: Read>(
     Ok(steps.into_iter().collect())
 }
 
+/// Writes `stream` in the compact (version 2) on-disk format: block
+/// indices, entry tags, and taken-branch sources as three contiguous
+/// little-endian arrays.
+///
+/// # Errors
+///
+/// Propagates any I/O error from the writer.
+pub fn save_compact_stream<W: Write>(stream: &CompactStream, mut writer: W) -> io::Result<()> {
+    let (blocks, tags, srcs) = stream.raw_parts();
+    writer.write_all(MAGIC)?;
+    writer.write_all(&COMPACT_VERSION.to_le_bytes())?;
+    writer.write_all(&(blocks.len() as u64).to_le_bytes())?;
+    writer.write_all(&(srcs.len() as u64).to_le_bytes())?;
+    for b in blocks {
+        writer.write_all(&b.to_le_bytes())?;
+    }
+    writer.write_all(tags)?;
+    for s in srcs {
+        writer.write_all(&s.raw().to_le_bytes())?;
+    }
+    Ok(())
+}
+
+/// Reads a compact (version 2) stream from `reader`, validating every
+/// block index and entry tag against `program`.
+///
+/// # Errors
+///
+/// Returns a [`StreamIoError`] on I/O failure, malformed input, a
+/// block index out of range for `program`, or a taken-source count
+/// that does not match the tags.
+pub fn load_compact_stream<R: Read>(
+    program: &Program,
+    mut reader: R,
+) -> Result<CompactStream, StreamIoError> {
+    let mut magic = [0u8; 4];
+    reader.read_exact(&mut magic)?;
+    if &magic != MAGIC {
+        return Err(StreamIoError::BadMagic);
+    }
+    let mut u16b = [0u8; 2];
+    reader.read_exact(&mut u16b)?;
+    let version = u16::from_le_bytes(u16b);
+    if version != COMPACT_VERSION {
+        return Err(StreamIoError::BadVersion(version));
+    }
+    let mut u64b = [0u8; 8];
+    reader.read_exact(&mut u64b)?;
+    let count = u64::from_le_bytes(u64b) as usize;
+    reader.read_exact(&mut u64b)?;
+    let taken = u64::from_le_bytes(u64b) as usize;
+    let block_count = program.blocks().len();
+    let mut blocks = Vec::with_capacity(count.min(1 << 24));
+    let mut u32b = [0u8; 4];
+    for _ in 0..count {
+        reader.read_exact(&mut u32b)?;
+        let idx = u32::from_le_bytes(u32b);
+        if idx as usize >= block_count {
+            // Out-of-range indices have no address to report; surface
+            // the raw index as an address-shaped diagnostic.
+            return Err(StreamIoError::UnknownBlock(Addr::new(u64::from(idx))));
+        }
+        blocks.push(idx);
+    }
+    let mut tags = vec![0u8; count];
+    reader.read_exact(&mut tags)?;
+    let mut expected_taken = 0usize;
+    for &t in &tags {
+        match t {
+            TAG_START | TAG_FALLTHROUGH => {}
+            t if (2..8).contains(&t) => expected_taken += 1,
+            t => return Err(StreamIoError::BadTag(t)),
+        }
+    }
+    if expected_taken != taken {
+        return Err(StreamIoError::BadTag(u8::MAX));
+    }
+    let mut srcs = Vec::with_capacity(taken.min(1 << 24));
+    for _ in 0..taken {
+        reader.read_exact(&mut u64b)?;
+        srcs.push(Addr::new(u64::from_le_bytes(u64b)));
+    }
+    Ok(CompactStream::from_raw_parts(blocks, tags, srcs))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -243,6 +314,58 @@ mod tests {
         buf[4] = 0xff; // corrupt the version field
         let err = load_stream(&p, buf.as_slice()).unwrap_err();
         assert!(matches!(err, StreamIoError::BadVersion(_)), "{err}");
+    }
+
+    #[test]
+    fn compact_round_trip() {
+        let (p, stream) = program_and_stream();
+        let compact = CompactStream::from_recorded(&stream);
+        let mut buf = Vec::new();
+        save_compact_stream(&compact, &mut buf).unwrap();
+        let loaded = load_compact_stream(&p, buf.as_slice()).unwrap();
+        assert_eq!(loaded, compact);
+        assert_eq!(loaded.to_recorded(&p), stream);
+    }
+
+    #[test]
+    fn compact_is_denser_on_disk() {
+        let (_, stream) = program_and_stream();
+        let compact = CompactStream::from_recorded(&stream);
+        let mut full = Vec::new();
+        save_stream(&stream, &mut full).unwrap();
+        let mut small = Vec::new();
+        save_compact_stream(&compact, &mut small).unwrap();
+        assert!(small.len() < full.len());
+    }
+
+    #[test]
+    fn compact_rejects_foreign_program() {
+        let (_, stream) = program_and_stream();
+        let compact = CompactStream::from_recorded(&stream);
+        let mut buf = Vec::new();
+        save_compact_stream(&compact, &mut buf).unwrap();
+        let mut b = ProgramBuilder::new();
+        let f = b.function("other", 0x9000);
+        let x = b.block(f);
+        b.ret(x);
+        let other = b.build().unwrap();
+        let err = load_compact_stream(&other, buf.as_slice()).unwrap_err();
+        assert!(matches!(err, StreamIoError::UnknownBlock(_)), "{err}");
+    }
+
+    #[test]
+    fn compact_version_field_distinguishes_formats() {
+        let (p, stream) = program_and_stream();
+        let compact = CompactStream::from_recorded(&stream);
+        let mut buf = Vec::new();
+        save_compact_stream(&compact, &mut buf).unwrap();
+        // The v1 loader refuses a compact stream and vice versa.
+        let err = load_stream(&p, buf.as_slice()).unwrap_err();
+        assert!(matches!(err, StreamIoError::BadVersion(2)), "{err}");
+        let mut v1 = Vec::new();
+        save_stream(&stream, &mut v1).unwrap();
+        let err = load_compact_stream(&p, v1.as_slice()).unwrap_err();
+        assert!(matches!(err, StreamIoError::BadVersion(1)), "{err}");
     }
 
     #[test]
