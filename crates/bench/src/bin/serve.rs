@@ -1,0 +1,75 @@
+//! Multi-tenant serving benchmark: serves the twelve-workload suite
+//! through the `rsel-runtime` scheduler, cross-checks that the outcome
+//! is identical for 1 and 8 workers, and writes `BENCH_serve.json`.
+//!
+//! Scale follows `RSEL_SCALE` (`test` or `full`, default `test` — a
+//! full-scale serve replays ~10⁸ recorded steps). Worker count for the
+//! headline run follows `RSEL_JOBS`. The JSON contains nothing
+//! wall-clock- or worker-count-dependent, so the file is byte-identical
+//! for every `RSEL_JOBS`; wall time goes to stderr only. Exits
+//! non-zero if the serial and parallel outcomes diverge.
+
+use rsel_bench::harness::DEFAULT_SEED;
+use rsel_bench::jobs_from_env;
+use rsel_runtime::{ServeConfig, TenantSpec, serve};
+use rsel_workloads::Scale;
+use std::time::Instant;
+
+fn main() {
+    let jobs = jobs_from_env();
+    let scale = match std::env::var("RSEL_SCALE").as_deref() {
+        Ok("full") => Scale::Full,
+        _ => Scale::Test,
+    };
+    let config = ServeConfig::default();
+
+    eprintln!("recording the suite ({scale:?} scale)...");
+    let t = Instant::now();
+    let specs = TenantSpec::record_suite(DEFAULT_SEED, scale);
+    eprintln!("  recorded in {:.1} ms", t.elapsed().as_secs_f64() * 1e3);
+
+    eprintln!("serving {} tenants on {jobs} workers...", specs.len());
+    let t = Instant::now();
+    let out = serve(&specs, &config, jobs);
+    let serve_ms = t.elapsed().as_secs_f64() * 1e3;
+    let rep = &out.report;
+    eprintln!(
+        "  served in {serve_ms:.1} ms: {} rounds, {:.0} insts/round, \
+         peak {} active, {} pressure waves, {} selector switches",
+        rep.queue.rounds,
+        rep.insts_per_round(),
+        rep.queue.peak_active,
+        rep.pressure_waves(),
+        rep.switches.len()
+    );
+
+    // Cross-check: the serving outcome may not depend on the worker
+    // count. Run serial and 8-way and demand identity (reports and
+    // rendered bytes).
+    eprintln!("cross-checking RSEL_JOBS=1 vs RSEL_JOBS=8...");
+    let serial = serve(&specs, &config, 1);
+    let parallel = serve(&specs, &config, 8);
+    let mut ok = true;
+    if serial.report.to_json() != parallel.report.to_json() || serial.report != parallel.report {
+        eprintln!("DIVERGENCE: ServeReport differs between 1 and 8 workers");
+        ok = false;
+    }
+    if serial.run_reports != parallel.run_reports {
+        eprintln!("DIVERGENCE: per-tenant RunReports differ between 1 and 8 workers");
+        ok = false;
+    }
+    if out.report != serial.report {
+        eprintln!("DIVERGENCE: headline run ({jobs} workers) differs from serial");
+        ok = false;
+    }
+
+    let json = out.report.to_json();
+    std::fs::write("BENCH_serve.json", &json).expect("write BENCH_serve.json");
+    println!("{json}");
+
+    if !ok {
+        eprintln!("FAIL: serving outcome depends on the worker count");
+        std::process::exit(1);
+    }
+    eprintln!("ok: outcome identical across worker counts");
+}

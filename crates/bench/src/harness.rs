@@ -93,15 +93,29 @@ impl RecordedWorkload {
 
 /// Number of matrix worker threads: `RSEL_JOBS` when set to a positive
 /// integer, otherwise the machine's available parallelism.
+///
+/// A set-but-invalid `RSEL_JOBS` (not a positive integer) is reported
+/// to stderr before falling back, so a typo'd job count cannot
+/// silently change how a benchmark runs.
 pub fn jobs_from_env() -> usize {
-    match std::env::var("RSEL_JOBS")
-        .ok()
-        .and_then(|v| v.trim().parse::<usize>().ok())
-    {
-        Some(n) if n >= 1 => n,
-        _ => std::thread::available_parallelism()
+    let fallback = || {
+        std::thread::available_parallelism()
             .map(|n| n.get())
-            .unwrap_or(1),
+            .unwrap_or(1)
+    };
+    match std::env::var("RSEL_JOBS") {
+        Ok(v) => match v.trim().parse::<usize>() {
+            Ok(n) if n >= 1 => n,
+            _ => {
+                let jobs = fallback();
+                eprintln!(
+                    "warning: ignoring invalid RSEL_JOBS={v:?} \
+                     (expected a positive integer); using {jobs} workers"
+                );
+                jobs
+            }
+        },
+        Err(_) => fallback(),
     }
 }
 

@@ -251,6 +251,19 @@ impl CodeCache {
         self.remove_ids(&doomed)
     }
 
+    /// Removes the named live regions (dead ids are ignored) — the
+    /// hook an external cache-management policy uses to shed specific
+    /// regions, e.g. the multi-tenant runtime's shard-pressure
+    /// eviction. Links touching a removed region are severed.
+    pub fn remove_regions(&mut self, ids: &[RegionId]) -> Removal {
+        let doomed: FxHashSet<RegionId> = ids
+            .iter()
+            .copied()
+            .filter(|id| self.index_of.contains_key(id))
+            .collect();
+        self.remove_ids(&doomed)
+    }
+
     fn remove_ids(&mut self, doomed: &FxHashSet<RegionId>) -> Removal {
         if doomed.is_empty() {
             return Removal::default();

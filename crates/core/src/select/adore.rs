@@ -165,7 +165,7 @@ mod tests {
         let config = SimConfig::default();
         let mut sim = Simulator::new(
             &p,
-            Box::new(AdoreSelector::new(&p, &config)) as Box<dyn RegionSelector>,
+            Box::new(AdoreSelector::new(&p, &config)) as Box<dyn RegionSelector + Send>,
             &config,
         );
         sim.run(Executor::new(&p, spec));
@@ -186,7 +186,7 @@ mod tests {
         {
             let mut sim = Simulator::new(
                 &p,
-                Box::new(AdoreSelector::new(&p, &config)) as Box<dyn RegionSelector>,
+                Box::new(AdoreSelector::new(&p, &config)) as Box<dyn RegionSelector + Send>,
                 &config,
             );
             sim.run(Executor::new(&p, spec));

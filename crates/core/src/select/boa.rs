@@ -138,7 +138,7 @@ mod tests {
         let config = SimConfig::default();
         let mut sim = Simulator::new(
             &p,
-            Box::new(BoaSelector::new(&p, &config)) as Box<dyn RegionSelector>,
+            Box::new(BoaSelector::new(&p, &config)) as Box<dyn RegionSelector + Send>,
             &config,
         );
         sim.run(Executor::new(&p, spec));
@@ -169,7 +169,7 @@ mod tests {
         let config = SimConfig::default();
         let mut boa = Simulator::new(
             &p,
-            Box::new(BoaSelector::new(&p, &config)) as Box<dyn RegionSelector>,
+            Box::new(BoaSelector::new(&p, &config)) as Box<dyn RegionSelector + Send>,
             &config,
         );
         boa.run(Executor::new(&p, spec.clone()));

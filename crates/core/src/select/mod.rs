@@ -186,11 +186,15 @@ impl SelectorKind {
     }
 
     /// Instantiates the selector over `program` with `config`.
+    ///
+    /// The returned selector is `Send`, so a simulator holding it can
+    /// migrate between worker threads (the multi-tenant runtime moves
+    /// sessions across a thread pool between epochs).
     pub fn make<'p>(
         self,
         program: &'p Program,
         config: &SimConfig,
-    ) -> Box<dyn RegionSelector + 'p> {
+    ) -> Box<dyn RegionSelector + Send + 'p> {
         config.validate();
         match self {
             SelectorKind::Net => Box::new(NetSelector::new(program, config)),

@@ -127,7 +127,7 @@ mod tests {
         let config = SimConfig::default();
         let mut sim = Simulator::new(
             &p,
-            Box::new(WigginsRedstoneSelector::new(&p, &config)) as Box<dyn RegionSelector>,
+            Box::new(WigginsRedstoneSelector::new(&p, &config)) as Box<dyn RegionSelector + Send>,
             &config,
         );
         sim.run(Executor::new(&p, spec));
@@ -147,7 +147,7 @@ mod tests {
         let config = SimConfig::default();
         let mut sim = Simulator::new(
             &p,
-            Box::new(WigginsRedstoneSelector::new(&p, &config)) as Box<dyn RegionSelector>,
+            Box::new(WigginsRedstoneSelector::new(&p, &config)) as Box<dyn RegionSelector + Send>,
             &config,
         );
         sim.run(Executor::new(&p, spec));

@@ -59,7 +59,7 @@ struct BlacklistEntry {
 /// [`Simulator::report`].
 pub struct Simulator<'p> {
     program: &'p Program,
-    selector: Box<dyn RegionSelector + 'p>,
+    selector: Box<dyn RegionSelector + Send + 'p>,
     cache: CodeCache,
     stub_bytes: u64,
     mode: Mode,
@@ -85,6 +85,13 @@ pub struct Simulator<'p> {
     // Regions removed from the cache (bounded-cache flushes, fault
     // invalidations, pressure evictions), with their final stats.
     retired: Vec<RegionReport>,
+    // Monotone selection totals surviving flushes and evictions.
+    regions_selected: u64,
+    insts_selected: u64,
+    // Peaks carried over from selectors replaced by set_selector, so
+    // reported peaks cover the whole run, not just the last selector.
+    peak_counters_floor: usize,
+    peak_observed_floor: usize,
     // Fault-injection layer.
     injector: FaultInjector,
     fault_cfg: FaultConfig,
@@ -97,7 +104,7 @@ impl<'p> Simulator<'p> {
     /// Creates a simulator over `program` with the given selector.
     pub fn new(
         program: &'p Program,
-        selector: Box<dyn RegionSelector + 'p>,
+        selector: Box<dyn RegionSelector + Send + 'p>,
         config: &SimConfig,
     ) -> Self {
         let cache = match config.cache_capacity {
@@ -126,6 +133,10 @@ impl<'p> Simulator<'p> {
             exec_preds: vec![FxHashSet::default(); block_count],
             exit_edges: vec![FxHashSet::default(); block_count],
             retired: Vec::new(),
+            regions_selected: 0,
+            insts_selected: 0,
+            peak_counters_floor: 0,
+            peak_observed_floor: 0,
             injector: FaultInjector::new(&config.faults),
             fault_cfg: config.faults.clone(),
             blacklist: FxHashMap::default(),
@@ -156,6 +167,59 @@ impl<'p> Simulator<'p> {
         self.total_insts
     }
 
+    /// Instructions executed from the code cache so far.
+    pub fn cache_insts(&self) -> u64 {
+        self.cache_insts
+    }
+
+    /// Regions ever inserted into the cache (monotone: survives
+    /// flushes, invalidations and evictions).
+    pub fn regions_selected(&self) -> u64 {
+        self.regions_selected
+    }
+
+    /// Instructions ever copied into the cache (monotone code
+    /// expansion: survives flushes, invalidations and evictions).
+    pub fn insts_selected(&self) -> u64 {
+        self.insts_selected
+    }
+
+    /// Replaces the region-selection algorithm mid-run, returning the
+    /// old selector.
+    ///
+    /// This is the epoch-switch hook of the adaptive runtime: the new
+    /// selector starts with fresh profiling state (counters, history
+    /// buffers, observed traces), while the code cache, all cached
+    /// regions, and every accumulated metric survive. Peak counter and
+    /// observed-trace figures are folded into run-level floors so the
+    /// final report covers every selector that ran, not just the last.
+    pub fn set_selector(
+        &mut self,
+        selector: Box<dyn RegionSelector + Send + 'p>,
+    ) -> Box<dyn RegionSelector + Send + 'p> {
+        self.peak_counters_floor = self.peak_counters_floor.max(self.selector.peak_counters());
+        self.peak_observed_floor = self
+            .peak_observed_floor
+            .max(self.selector.peak_observed_bytes());
+        std::mem::replace(&mut self.selector, selector)
+    }
+
+    /// Removes the named regions from the cache under external
+    /// pressure (the multi-tenant runtime's shard-capacity policy),
+    /// running the same recovery bookkeeping as a pressure-wave fault:
+    /// stats are retired, severed links counted, execution falls back
+    /// to the interpreter if it was inside a removed region, and
+    /// re-selection at the same entry later counts as a reformation.
+    /// Returns how many regions were actually removed (dead ids are
+    /// ignored). No target is blamed, so nothing is blacklisted.
+    pub fn evict_regions(&mut self, ids: &[RegionId]) -> usize {
+        let out = self.cache.remove_regions(ids);
+        let count = out.removed.len();
+        self.resilience.pressure_evicted_regions += count as u64;
+        self.handle_removal(out.removed, out.severed_links, false);
+        count
+    }
+
     /// Resilience statistics accumulated so far (all zeros when the
     /// fault layer is inert).
     pub fn resilience(&self) -> &ResilienceStats {
@@ -174,7 +238,10 @@ impl<'p> Simulator<'p> {
                 self.retire_all();
             }
             let entry = r.entry();
+            let insts = r.inst_count();
             if let Ok(id) = self.cache.try_insert(r) {
+                self.regions_selected += 1;
+                self.insts_selected += insts;
                 if self.runtime.len() <= id.index() {
                     self.runtime
                         .resize(id.index() + 1, RegionRuntime::default());
@@ -481,8 +548,10 @@ impl<'p> Simulator<'p> {
             interpreted_taken: self.interpreted_taken,
             region_transitions: self.transitions,
             regions,
-            peak_counters: self.selector.peak_counters(),
-            peak_observed_bytes: self.selector.peak_observed_bytes(),
+            peak_counters: self.peak_counters_floor.max(self.selector.peak_counters()),
+            peak_observed_bytes: self
+                .peak_observed_floor
+                .max(self.selector.peak_observed_bytes()),
             cache_size_estimate: self.cache.size_estimate(self.stub_bytes),
             domination: analyze_domination(
                 self.program,

@@ -1,0 +1,61 @@
+//! Multi-tenant serving runtime for region selection.
+//!
+//! The paper's framework simulates one program at a time; this crate
+//! turns that machinery into a *serving subsystem* that runs many
+//! tenant sessions concurrently against shared selection
+//! infrastructure — the production shape the roadmap aims at, and the
+//! setting "Beyond Static Policies" motivates: no single selection
+//! policy wins across workloads and phases, so the selector must be
+//! picked per tenant, online.
+//!
+//! Four pieces:
+//!
+//! - [`shard`] — a **sharded shared code cache**: every tenant still
+//!   owns its region namespace (regions from different programs can
+//!   never collide or be shared), but all tenants draw from shared
+//!   capacity, accounted across N fxhash-addressed shards with
+//!   per-shard locking. A shard over its byte budget triggers a
+//!   pressure wave that sheds the heaviest tenants' oldest regions
+//!   through the resilience hooks (`Simulator::evict_regions`), so
+//!   evictions show up in each tenant's [`ResilienceStats`]
+//!   (reformations, severed links, recovery transitions) exactly like
+//!   any other cache-pressure event.
+//! - [`session`] — a **tenant session**: one recorded workload replayed
+//!   epoch by epoch through a [`Simulator`](rsel_core::Simulator) that
+//!   persists across epochs (cache and metrics survive; the selector
+//!   may be swapped at epoch boundaries).
+//! - [`policy`] — an **adaptive policy engine** per tenant: explores
+//!   the candidate [`SelectorKind`](rsel_core::SelectorKind)s one
+//!   epoch each, scores them by observed hit rate minus a code
+//!   expansion penalty, then exploits the winner — re-exploring when
+//!   the score collapses (a phase shift).
+//! - [`serve`] — the **session scheduler**: a bounded admission queue
+//!   feeds up to `max_active` concurrent sessions; each round runs one
+//!   epoch of every active session across `jobs` worker threads, then
+//!   a deterministic barrier applies shard pressure and policy
+//!   decisions in tenant order.
+//!
+//! # Determinism
+//!
+//! The merged per-tenant [`RunReport`](rsel_core::RunReport)s and the
+//! [`ServeReport`] are **byte-identical for any worker count**. Within
+//! a round, sessions only touch their own simulator plus commutative
+//! shard accounting; every cross-tenant decision (admission, pressure
+//! eviction, policy switching) happens at the round barrier in tenant
+//! order. Nothing wall-clock-dependent enters a report: throughput is
+//! measured in simulated instructions per scheduler round.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod policy;
+pub mod report;
+pub mod serve;
+pub mod session;
+pub mod shard;
+
+pub use policy::{PolicyConfig, PolicyEngine, SwitchReason, SwitchRecord};
+pub use report::{QueueStats, ServeOutcome, ServeReport, ShardReport, TenantSummary};
+pub use serve::{ServeConfig, serve};
+pub use session::{EpochStats, TenantSession, TenantSpec};
+pub use shard::{SharedCacheMap, shard_of};

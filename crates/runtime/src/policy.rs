@@ -1,0 +1,303 @@
+//! The adaptive selector policy engine.
+//!
+//! The paper's central observation is that no single region-selection
+//! algorithm dominates: which selector wins depends on the workload's
+//! control-flow character, and (for phased programs) on *when* you ask.
+//! The engine turns that observation into an online policy, one engine
+//! per tenant:
+//!
+//! 1. **Explore** — run each candidate [`SelectorKind`] for one epoch
+//!    and score it by observed hit rate minus a code-expansion penalty
+//!    (cache capacity is shared, so expansion is charged, not free);
+//! 2. **Exploit** — switch to the best-scoring candidate and stay on
+//!    it, tracking an exponential moving average of its score;
+//! 3. **Re-explore** — when the score drops well below the moving
+//!    average (a phase shift: the program's hot working set changed),
+//!    restart exploration from scratch.
+//!
+//! Every decision is a pure function of epoch deltas, so the engine is
+//! deterministic and never couples tenants to each other or to the
+//! worker count.
+
+use crate::session::EpochStats;
+use rsel_core::select::SelectorKind;
+
+/// Smoothing factor for the exploit-phase score average.
+const EMA_ALPHA: f64 = 0.3;
+
+/// Tuning knobs for the policy engine.
+#[derive(Clone, Debug)]
+pub struct PolicyConfig {
+    /// Candidate selectors, explored in order. Must be non-empty.
+    pub candidates: Vec<SelectorKind>,
+    /// Weight of the code-expansion term in the score
+    /// (`hit_rate - expansion_weight * expansion`). Expansion per epoch
+    /// is small (insts copied / insts executed), so the weight is
+    /// large.
+    pub expansion_weight: f64,
+    /// How far the score must fall below the exploit-phase average
+    /// before the engine declares a phase shift and re-explores.
+    pub drop_margin: f64,
+    /// Epochs executing fewer instructions than this carry no signal
+    /// (e.g. the trailing sliver of a stream) and make no decision.
+    pub min_epoch_insts: u64,
+}
+
+impl Default for PolicyConfig {
+    fn default() -> Self {
+        PolicyConfig {
+            candidates: SelectorKind::all().to_vec(),
+            expansion_weight: 8.0,
+            drop_margin: 0.15,
+            min_epoch_insts: 1000,
+        }
+    }
+}
+
+/// Why the engine switched selectors.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SwitchReason {
+    /// Moving on to the next unexplored candidate.
+    Explore,
+    /// Exploration finished; adopting the best-scoring candidate.
+    Exploit,
+    /// The exploited score collapsed; restarting exploration.
+    PhaseShift,
+}
+
+impl SwitchReason {
+    /// Stable lower-case label for reports.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            SwitchReason::Explore => "explore",
+            SwitchReason::Exploit => "exploit",
+            SwitchReason::PhaseShift => "phase-shift",
+        }
+    }
+}
+
+/// One selector switch, as logged in the [`ServeReport`](crate::ServeReport).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SwitchRecord {
+    /// The tenant that switched.
+    pub tenant: u16,
+    /// Its workload name.
+    pub workload: &'static str,
+    /// The tenant's epoch count at the switch.
+    pub epoch: u64,
+    /// Selector before the switch.
+    pub from: SelectorKind,
+    /// Selector after the switch.
+    pub to: SelectorKind,
+    /// Why.
+    pub reason: SwitchReason,
+}
+
+#[derive(Clone, Copy, Debug)]
+enum Phase {
+    /// Exploring; `next` is the index of the next candidate to try.
+    Explore { next: usize },
+    /// Settled on the current candidate.
+    Exploit,
+}
+
+/// Per-tenant online selector choice (see the module docs).
+#[derive(Debug)]
+pub struct PolicyEngine {
+    config: PolicyConfig,
+    phase: Phase,
+    /// Index of the candidate currently running.
+    current: usize,
+    /// Exploration scores, one per candidate.
+    scores: Vec<Option<f64>>,
+    /// Exploit-phase moving average of the score.
+    ema: f64,
+    switches: u64,
+}
+
+impl PolicyEngine {
+    /// Creates an engine; the session must start on
+    /// [`PolicyEngine::current`], the first candidate.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `config.candidates` is empty.
+    pub fn new(config: PolicyConfig) -> Self {
+        assert!(!config.candidates.is_empty(), "need at least one candidate");
+        let n = config.candidates.len();
+        PolicyEngine {
+            config,
+            phase: Phase::Explore { next: 1 },
+            current: 0,
+            scores: vec![None; n],
+            ema: 0.0,
+            switches: 0,
+        }
+    }
+
+    /// The selector the engine wants running now.
+    pub fn current(&self) -> SelectorKind {
+        self.config.candidates[self.current]
+    }
+
+    /// Switches decided so far.
+    pub fn switches(&self) -> u64 {
+        self.switches
+    }
+
+    /// Scores one epoch of the current selector.
+    fn score(&self, stats: &EpochStats) -> f64 {
+        stats.hit_rate() - self.config.expansion_weight * stats.expansion()
+    }
+
+    /// Feeds one epoch's deltas; returns the selector to switch to (and
+    /// why) if the engine decided to move, `None` to stay put.
+    pub fn on_epoch(&mut self, stats: &EpochStats) -> Option<(SelectorKind, SwitchReason)> {
+        if stats.insts < self.config.min_epoch_insts {
+            return None; // too little signal; keep the current selector
+        }
+        let score = self.score(stats);
+        match self.phase {
+            Phase::Explore { next } => {
+                self.scores[self.current] = Some(score);
+                if next < self.config.candidates.len() {
+                    // Try the next candidate for one epoch.
+                    self.phase = Phase::Explore { next: next + 1 };
+                    self.switch_to(next, SwitchReason::Explore)
+                } else {
+                    // Everyone scored: adopt the best (ties fall to the
+                    // earliest candidate, deterministically).
+                    let best = self
+                        .scores
+                        .iter()
+                        .enumerate()
+                        .max_by(|(ai, a), (bi, b)| {
+                            a.partial_cmp(b)
+                                .expect("scores are finite")
+                                .then(bi.cmp(ai))
+                        })
+                        .map(|(i, _)| i)
+                        .expect("candidates is non-empty");
+                    self.phase = Phase::Exploit;
+                    self.ema = self.scores[best].expect("explored every candidate");
+                    if best == self.current {
+                        None
+                    } else {
+                        self.switch_to(best, SwitchReason::Exploit)
+                    }
+                }
+            }
+            Phase::Exploit => {
+                if score < self.ema - self.config.drop_margin {
+                    // Phase shift: the winner stopped winning. Restart
+                    // exploration from candidate 0.
+                    self.scores.fill(None);
+                    self.phase = Phase::Explore { next: 1 };
+                    if self.current == 0 {
+                        // Already on candidate 0: next epoch scores it.
+                        None
+                    } else {
+                        self.switch_to(0, SwitchReason::PhaseShift)
+                    }
+                } else {
+                    self.ema = (1.0 - EMA_ALPHA) * self.ema + EMA_ALPHA * score;
+                    None
+                }
+            }
+        }
+    }
+
+    fn switch_to(
+        &mut self,
+        index: usize,
+        reason: SwitchReason,
+    ) -> Option<(SelectorKind, SwitchReason)> {
+        self.current = index;
+        self.switches += 1;
+        Some((self.config.candidates[index], reason))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn epoch(insts: u64, cache: u64, selected: u64) -> EpochStats {
+        EpochStats {
+            steps: insts / 3,
+            insts,
+            cache_insts: cache,
+            insts_selected: selected,
+            regions_selected: selected / 10,
+        }
+    }
+
+    #[test]
+    fn explores_every_candidate_then_exploits_the_best() {
+        let mut e = PolicyEngine::new(PolicyConfig::default());
+        assert_eq!(e.current(), SelectorKind::Net);
+        // NET scores 0.50, LEI 0.90, combined NET 0.40, combined LEI 0.60.
+        let scores = [5000u64, 9000, 4000, 6000];
+        let mut moves = Vec::new();
+        for &cache in &scores {
+            if let Some(m) = e.on_epoch(&epoch(10_000, cache, 0)) {
+                moves.push(m);
+            }
+        }
+        assert_eq!(moves.len(), 4, "three explore hops plus the adoption");
+        assert_eq!(moves[3], (SelectorKind::Lei, SwitchReason::Exploit));
+        assert_eq!(e.current(), SelectorKind::Lei);
+        assert_eq!(e.switches(), 4);
+        // Steady scores keep it exploiting.
+        assert_eq!(e.on_epoch(&epoch(10_000, 9000, 0)), None);
+    }
+
+    #[test]
+    fn expansion_is_charged_against_the_score() {
+        let mut e = PolicyEngine::new(PolicyConfig::default());
+        // NET: hit 0.9 but copies 5% of executed insts -> 0.9 - 8*0.05 = 0.5.
+        // LEI: hit 0.8, copies nothing -> 0.8. LEI wins.
+        e.on_epoch(&epoch(10_000, 9000, 500));
+        e.on_epoch(&epoch(10_000, 8000, 0));
+        e.on_epoch(&epoch(10_000, 1000, 0));
+        let last = e.on_epoch(&epoch(10_000, 1000, 0));
+        assert_eq!(last, Some((SelectorKind::Lei, SwitchReason::Exploit)));
+    }
+
+    #[test]
+    fn score_collapse_triggers_re_exploration() {
+        let mut e = PolicyEngine::new(PolicyConfig::default());
+        for _ in 0..4 {
+            e.on_epoch(&epoch(10_000, 9000, 0)); // everyone scores 0.9
+        }
+        assert_eq!(e.current(), SelectorKind::Net, "tie falls to the first");
+        assert_eq!(e.on_epoch(&epoch(10_000, 8800, 0)), None, "small dip: stay");
+        // The hot set changed: hit rate collapses far below the average.
+        let m = e.on_epoch(&epoch(10_000, 2000, 0));
+        // Already on candidate 0, so no switch is emitted, but the next
+        // epochs walk the candidates again.
+        assert_eq!(m, None);
+        let m = e.on_epoch(&epoch(10_000, 2000, 0));
+        assert_eq!(m, Some((SelectorKind::Lei, SwitchReason::Explore)));
+    }
+
+    #[test]
+    fn phase_shift_switches_back_to_first_candidate() {
+        let mut e = PolicyEngine::new(PolicyConfig::default());
+        // LEI ends up the winner.
+        for &cache in &[5000u64, 9000, 4000, 6000] {
+            e.on_epoch(&epoch(10_000, cache, 0));
+        }
+        assert_eq!(e.current(), SelectorKind::Lei);
+        let m = e.on_epoch(&epoch(10_000, 1000, 0));
+        assert_eq!(m, Some((SelectorKind::Net, SwitchReason::PhaseShift)));
+    }
+
+    #[test]
+    fn tiny_epochs_make_no_decision() {
+        let mut e = PolicyEngine::new(PolicyConfig::default());
+        assert_eq!(e.on_epoch(&epoch(10, 10, 0)), None);
+        assert_eq!(e.current(), SelectorKind::Net, "still on the first");
+        assert_eq!(e.switches(), 0);
+    }
+}

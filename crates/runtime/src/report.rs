@@ -1,0 +1,240 @@
+//! Serving-run reports: deterministic aggregates and their JSON form.
+//!
+//! Nothing in a [`ServeReport`] depends on wall-clock time or the
+//! worker count: throughput is measured in simulated instructions per
+//! scheduler round, contention in rounds where a shard was updated by
+//! several tenants, queue depths in tenant-rounds. The JSON rendering
+//! is hand-rolled with a fixed field order, so equal reports produce
+//! byte-identical files.
+
+use crate::policy::SwitchRecord;
+use rsel_core::metrics::RunReport;
+
+/// Admission-queue and scheduler statistics for a serving run.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct QueueStats {
+    /// Scheduler rounds executed.
+    pub rounds: u64,
+    /// Sessions admitted from the queue into the active set.
+    pub admissions: u64,
+    /// Most sessions ever concurrently active in one round.
+    pub peak_active: u64,
+    /// Most sessions ever waiting in the admission queue.
+    pub peak_queue_depth: u64,
+    /// Tenant-rounds spent waiting in the bounded queue.
+    pub queued_tenant_rounds: u64,
+    /// Tenant-rounds spent deferred *behind* the full queue — the
+    /// backpressure the bounded queue exerts on arrivals.
+    pub deferred_tenant_rounds: u64,
+}
+
+/// One shard's lifetime statistics.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ShardReport {
+    /// Shard index.
+    pub shard: usize,
+    /// Peak occupancy observed at any round barrier.
+    pub peak_bytes: u64,
+    /// Rounds in which two or more tenants updated the shard.
+    pub contended_rounds: u64,
+    /// Pressure waves (shed actions) applied to the shard.
+    pub pressure_waves: u64,
+    /// Regions evicted from the shard by pressure.
+    pub evicted_regions: u64,
+    /// Occupancy when the run ended.
+    pub final_bytes: u64,
+}
+
+/// One tenant's serving summary.
+#[derive(Clone, Debug, PartialEq)]
+pub struct TenantSummary {
+    /// Tenant id (admission order).
+    pub tenant: u16,
+    /// Workload name.
+    pub workload: &'static str,
+    /// Selector driving the session when it ended.
+    pub final_selector: &'static str,
+    /// Epochs the session ran.
+    pub epochs: u64,
+    /// Selector switches applied to the session.
+    pub switches: u64,
+    /// Round the session entered the active set.
+    pub admitted_round: u64,
+    /// Round the session finished.
+    pub finished_round: u64,
+    /// Total instructions executed.
+    pub total_insts: u64,
+    /// Instructions served from the code cache.
+    pub cache_insts: u64,
+    /// Instructions ever copied into the cache (monotone expansion).
+    pub insts_selected: u64,
+    /// Regions ever selected (monotone).
+    pub regions_selected: u64,
+    /// Regions evicted from this tenant by shard pressure.
+    pub pressure_evicted: u64,
+}
+
+impl TenantSummary {
+    /// Fraction of the tenant's instructions served from the cache.
+    pub fn hit_rate(&self) -> f64 {
+        if self.total_insts == 0 {
+            0.0
+        } else {
+            self.cache_insts as f64 / self.total_insts as f64
+        }
+    }
+}
+
+/// Everything measured over one serving run.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ServeReport {
+    /// Steps per epoch.
+    pub epoch_len: usize,
+    /// Shards in the shared cache map.
+    pub shard_count: usize,
+    /// Per-shard byte budget.
+    pub shard_capacity: u64,
+    /// Active-session ceiling.
+    pub max_active: usize,
+    /// Admission-queue capacity.
+    pub queue_capacity: usize,
+    /// Scheduler and queue statistics.
+    pub queue: QueueStats,
+    /// Per-tenant summaries, in tenant order.
+    pub tenants: Vec<TenantSummary>,
+    /// Per-shard statistics, in shard order.
+    pub shards: Vec<ShardReport>,
+    /// Every selector switch, in decision order.
+    pub switches: Vec<SwitchRecord>,
+    /// Total simulated instructions across all tenants.
+    pub total_insts: u64,
+}
+
+impl ServeReport {
+    /// Serving throughput: simulated instructions per scheduler round
+    /// (the run's deterministic stand-in for wall-clock throughput).
+    pub fn insts_per_round(&self) -> f64 {
+        if self.queue.rounds == 0 {
+            0.0
+        } else {
+            self.total_insts as f64 / self.queue.rounds as f64
+        }
+    }
+
+    /// Pressure waves summed over all shards.
+    pub fn pressure_waves(&self) -> u64 {
+        self.shards.iter().map(|s| s.pressure_waves).sum()
+    }
+
+    /// Shard-contended rounds summed over all shards.
+    pub fn contended_rounds(&self) -> u64 {
+        self.shards.iter().map(|s| s.contended_rounds).sum()
+    }
+
+    /// Renders the report as JSON with a fixed field order: equal
+    /// reports yield byte-identical strings, for any worker count.
+    pub fn to_json(&self) -> String {
+        let mut o = String::from("{\n");
+        o.push_str("  \"bench\": \"serve\",\n");
+        o.push_str(&format!("  \"epoch_len\": {},\n", self.epoch_len));
+        o.push_str(&format!("  \"shard_count\": {},\n", self.shard_count));
+        o.push_str(&format!("  \"shard_capacity\": {},\n", self.shard_capacity));
+        o.push_str(&format!("  \"max_active\": {},\n", self.max_active));
+        o.push_str(&format!("  \"queue_capacity\": {},\n", self.queue_capacity));
+        o.push_str(&format!("  \"rounds\": {},\n", self.queue.rounds));
+        o.push_str(&format!("  \"total_insts\": {},\n", self.total_insts));
+        o.push_str(&format!(
+            "  \"insts_per_round\": {:.1},\n",
+            self.insts_per_round()
+        ));
+        o.push_str(&format!("  \"admissions\": {},\n", self.queue.admissions));
+        o.push_str(&format!("  \"peak_active\": {},\n", self.queue.peak_active));
+        o.push_str(&format!(
+            "  \"peak_queue_depth\": {},\n",
+            self.queue.peak_queue_depth
+        ));
+        o.push_str(&format!(
+            "  \"queued_tenant_rounds\": {},\n",
+            self.queue.queued_tenant_rounds
+        ));
+        o.push_str(&format!(
+            "  \"deferred_tenant_rounds\": {},\n",
+            self.queue.deferred_tenant_rounds
+        ));
+        o.push_str(&format!(
+            "  \"pressure_waves\": {},\n",
+            self.pressure_waves()
+        ));
+        o.push_str(&format!(
+            "  \"contended_rounds\": {},\n",
+            self.contended_rounds()
+        ));
+        o.push_str("  \"tenants\": [\n");
+        for (i, t) in self.tenants.iter().enumerate() {
+            o.push_str(&format!(
+                "    {{\"tenant\": {}, \"workload\": \"{}\", \"final_selector\": \"{}\", \
+                 \"epochs\": {}, \"switches\": {}, \"admitted_round\": {}, \
+                 \"finished_round\": {}, \"total_insts\": {}, \"cache_insts\": {}, \
+                 \"hit_rate\": {:.4}, \"insts_selected\": {}, \"regions_selected\": {}, \
+                 \"pressure_evicted\": {}}}{}\n",
+                t.tenant,
+                t.workload,
+                t.final_selector,
+                t.epochs,
+                t.switches,
+                t.admitted_round,
+                t.finished_round,
+                t.total_insts,
+                t.cache_insts,
+                t.hit_rate(),
+                t.insts_selected,
+                t.regions_selected,
+                t.pressure_evicted,
+                if i + 1 < self.tenants.len() { "," } else { "" }
+            ));
+        }
+        o.push_str("  ],\n");
+        o.push_str("  \"shards\": [\n");
+        for (i, s) in self.shards.iter().enumerate() {
+            o.push_str(&format!(
+                "    {{\"shard\": {}, \"peak_bytes\": {}, \"contended_rounds\": {}, \
+                 \"pressure_waves\": {}, \"evicted_regions\": {}, \"final_bytes\": {}}}{}\n",
+                s.shard,
+                s.peak_bytes,
+                s.contended_rounds,
+                s.pressure_waves,
+                s.evicted_regions,
+                s.final_bytes,
+                if i + 1 < self.shards.len() { "," } else { "" }
+            ));
+        }
+        o.push_str("  ],\n");
+        o.push_str("  \"switches\": [\n");
+        for (i, s) in self.switches.iter().enumerate() {
+            o.push_str(&format!(
+                "    {{\"tenant\": {}, \"workload\": \"{}\", \"epoch\": {}, \
+                 \"from\": \"{}\", \"to\": \"{}\", \"reason\": \"{}\"}}{}\n",
+                s.tenant,
+                s.workload,
+                s.epoch,
+                s.from.name(),
+                s.to.name(),
+                s.reason.as_str(),
+                if i + 1 < self.switches.len() { "," } else { "" }
+            ));
+        }
+        o.push_str("  ]\n}\n");
+        o
+    }
+}
+
+/// A serving run's full outcome: the aggregate report plus every
+/// tenant's complete [`RunReport`], in tenant order (for the
+/// determinism cross-check and downstream figure code).
+#[derive(Clone, Debug, PartialEq)]
+pub struct ServeOutcome {
+    /// The aggregate serving report.
+    pub report: ServeReport,
+    /// Per-tenant full run reports, in tenant order.
+    pub run_reports: Vec<RunReport>,
+}

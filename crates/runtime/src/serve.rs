@@ -1,0 +1,386 @@
+//! The session scheduler: bounded admission, parallel epochs, and a
+//! deterministic decision barrier.
+//!
+//! [`serve`] drives every tenant through three stages:
+//!
+//! 1. **Admission** — tenants arrive in id order into a bounded queue
+//!    (`queue_capacity`); at most `max_active` sessions run
+//!    concurrently. A full queue defers arrivals — the backpressure
+//!    the [`QueueStats`](crate::QueueStats) expose.
+//! 2. **Rounds** — each round runs one epoch of every active session,
+//!    fanned out over `jobs` scoped worker threads. Sessions only
+//!    touch their own simulator and publish commutative occupancy
+//!    updates to the shared map, so worker scheduling cannot affect
+//!    any result.
+//! 3. **Barrier** — with the workers joined, all cross-tenant
+//!    decisions happen serially in deterministic order: contention and
+//!    peak accounting, departures (finished tenants release their
+//!    shard bytes), shard-pressure eviction (heaviest tenant in each
+//!    overflowing shard sheds its oldest regions there, repeatedly,
+//!    until the shard fits), and per-tenant policy decisions.
+//!
+//! The outcome is byte-identical for every `jobs` value.
+
+use crate::policy::{PolicyConfig, PolicyEngine, SwitchRecord};
+use crate::report::{QueueStats, ServeOutcome, ServeReport, ShardReport, TenantSummary};
+use crate::session::{EpochStats, TenantSession, TenantSpec};
+use crate::shard::SharedCacheMap;
+use rsel_core::SimConfig;
+use std::collections::VecDeque;
+use std::sync::Mutex;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Configuration for a serving run.
+#[derive(Clone, Debug)]
+pub struct ServeConfig {
+    /// Per-session simulator configuration.
+    pub sim: SimConfig,
+    /// Adaptive-policy tuning (candidates, scoring, phase-shift
+    /// sensitivity).
+    pub policy: PolicyConfig,
+    /// Steps each session replays per round.
+    pub epoch_len: usize,
+    /// Most sessions allowed to run concurrently.
+    pub max_active: usize,
+    /// Bounded admission-queue capacity.
+    pub queue_capacity: usize,
+    /// Shards in the shared cache map.
+    pub shard_count: usize,
+    /// Per-shard byte budget; overflowing a shard triggers pressure
+    /// eviction at the next barrier.
+    pub shard_capacity: u64,
+    /// Whether the policy engine may switch selectors; `false` serves
+    /// every session on the first candidate forever.
+    pub adaptive: bool,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            sim: SimConfig::default(),
+            policy: PolicyConfig::default(),
+            epoch_len: 4096,
+            max_active: 8,
+            queue_capacity: 2,
+            shard_count: 16,
+            shard_capacity: 2048,
+            adaptive: true,
+        }
+    }
+}
+
+/// Serves every spec to completion on `jobs` worker threads; the
+/// result is identical for any `jobs >= 1`.
+///
+/// # Panics
+///
+/// Panics if `specs` holds more than `u16::MAX` tenants or the
+/// configuration is degenerate (zero epoch length, active limit, or
+/// shard count).
+pub fn serve(specs: &[TenantSpec], config: &ServeConfig, jobs: usize) -> ServeOutcome {
+    assert!(specs.len() <= u16::MAX as usize, "too many tenants");
+    assert!(config.epoch_len > 0, "epochs must make progress");
+    assert!(config.max_active > 0, "need at least one active session");
+    assert!(config.shard_count > 0, "need at least one shard");
+    let jobs = jobs.max(1);
+
+    let mut map = SharedCacheMap::new(config.shard_count, config.shard_capacity, specs.len());
+    let mut engines: Vec<PolicyEngine> = specs
+        .iter()
+        .map(|_| PolicyEngine::new(config.policy.clone()))
+        .collect();
+    let mut sessions: Vec<Mutex<TenantSession<'_>>> = specs
+        .iter()
+        .enumerate()
+        .map(|(t, spec)| {
+            Mutex::new(TenantSession::new(
+                t as u16,
+                spec,
+                engines[t].current(),
+                &config.sim,
+                config.shard_count,
+            ))
+        })
+        .collect();
+
+    let mut pending: VecDeque<usize> = (0..specs.len()).collect();
+    let mut queue: VecDeque<usize> = VecDeque::new();
+    let mut active: Vec<usize> = Vec::new();
+    let mut q = QueueStats::default();
+    let mut switches: Vec<SwitchRecord> = Vec::new();
+    let mut admitted_round = vec![0u64; specs.len()];
+    let mut finished_round = vec![0u64; specs.len()];
+    let mut total_insts = 0u64;
+    let mut round = 0u64;
+
+    while !(pending.is_empty() && queue.is_empty() && active.is_empty()) {
+        // --- Admission (serial, tenant order) -------------------------
+        while queue.len() < config.queue_capacity {
+            match pending.pop_front() {
+                Some(t) => queue.push_back(t),
+                None => break,
+            }
+        }
+        while active.len() < config.max_active {
+            match queue.pop_front() {
+                Some(t) => {
+                    active.push(t);
+                    admitted_round[t] = round;
+                    q.admissions += 1;
+                }
+                None => break,
+            }
+        }
+        // Arrivals keep the bounded queue full while the round runs;
+        // whoever does not fit is deferred behind it (backpressure).
+        while queue.len() < config.queue_capacity {
+            match pending.pop_front() {
+                Some(t) => queue.push_back(t),
+                None => break,
+            }
+        }
+        active.sort_unstable();
+        q.peak_active = q.peak_active.max(active.len() as u64);
+        q.peak_queue_depth = q.peak_queue_depth.max(queue.len() as u64);
+        q.queued_tenant_rounds += queue.len() as u64;
+        q.deferred_tenant_rounds += pending.len() as u64;
+
+        // --- Parallel epoch execution --------------------------------
+        let mut stats: Vec<Option<EpochStats>> = vec![None; specs.len()];
+        if jobs <= 1 || active.len() <= 1 {
+            for &t in &active {
+                let session = sessions[t].get_mut().expect("session lock poisoned");
+                stats[t] = Some(session.run_epoch(config.epoch_len));
+                session.publish_occupancy(&map);
+            }
+        } else {
+            let slots: Vec<Mutex<Option<EpochStats>>> =
+                active.iter().map(|_| Mutex::new(None)).collect();
+            let next = AtomicUsize::new(0);
+            let workers = jobs.min(active.len());
+            let (sessions_ref, active_ref, map_ref) = (&sessions, &active, &map);
+            std::thread::scope(|scope| {
+                for _ in 0..workers {
+                    scope.spawn(|| {
+                        loop {
+                            let i = next.fetch_add(1, Ordering::Relaxed);
+                            let Some(&t) = active_ref.get(i) else { break };
+                            let mut session =
+                                sessions_ref[t].lock().expect("session lock poisoned");
+                            let e = session.run_epoch(config.epoch_len);
+                            session.publish_occupancy(map_ref);
+                            *slots[i].lock().expect("stat slot poisoned") = Some(e);
+                        }
+                    });
+                }
+            });
+            for (i, &t) in active.iter().enumerate() {
+                stats[t] = slots[i].lock().expect("stat slot poisoned").take();
+            }
+        }
+
+        // --- Barrier: all cross-tenant decisions, serial --------------
+        map.end_round();
+        for &t in &active {
+            total_insts += stats[t].expect("active session ran").insts;
+        }
+
+        // Departures release their shard bytes before pressure resolves.
+        let mut still_active = Vec::with_capacity(active.len());
+        for &t in &active {
+            let session = sessions[t].get_mut().expect("session lock poisoned");
+            if session.finished() {
+                finished_round[t] = round;
+                map.clear_tenant(t as u16);
+            } else {
+                still_active.push(t);
+            }
+        }
+        active = still_active;
+
+        // Shard pressure: each overflowing shard sheds the heaviest
+        // tenant's oldest regions, repeatedly, until it fits.
+        for shard in map.overflowing() {
+            loop {
+                let bytes = map.shard_bytes(shard);
+                if bytes.iter().sum::<u64>() <= map.capacity() {
+                    break;
+                }
+                let mut victim = 0usize;
+                for (t, &b) in bytes.iter().enumerate() {
+                    if b > bytes[victim] {
+                        victim = t;
+                    }
+                }
+                if bytes[victim] == 0 {
+                    break; // nothing shedable is left in this shard
+                }
+                let session = sessions[victim].get_mut().expect("session lock poisoned");
+                let (evicted, left) = session.shed_shard(shard);
+                map.set_bytes(shard, victim as u16, left);
+                map.note_pressure(shard, evicted);
+                if evicted == 0 {
+                    break;
+                }
+            }
+        }
+
+        // Policy decisions, tenant order.
+        if config.adaptive {
+            for &t in &active {
+                let e = stats[t].expect("active session ran");
+                if let Some((kind, reason)) = engines[t].on_epoch(&e) {
+                    let session = sessions[t].get_mut().expect("session lock poisoned");
+                    switches.push(SwitchRecord {
+                        tenant: t as u16,
+                        workload: session.workload(),
+                        epoch: session.epochs_run(),
+                        from: session.kind(),
+                        to: kind,
+                        reason,
+                    });
+                    session.switch_selector(kind, &config.sim);
+                }
+            }
+        }
+
+        round += 1;
+    }
+    q.rounds = round;
+
+    // --- Assemble the deterministic reports --------------------------
+    let mut tenants = Vec::with_capacity(specs.len());
+    let mut run_reports = Vec::with_capacity(specs.len());
+    for (t, cell) in sessions.iter_mut().enumerate() {
+        let session = cell.get_mut().expect("session lock poisoned");
+        tenants.push(TenantSummary {
+            tenant: t as u16,
+            workload: session.workload(),
+            final_selector: session.kind().name(),
+            epochs: session.epochs_run(),
+            switches: switches.iter().filter(|s| s.tenant == t as u16).count() as u64,
+            admitted_round: admitted_round[t],
+            finished_round: finished_round[t],
+            total_insts: session.total_insts(),
+            cache_insts: session.cache_insts(),
+            insts_selected: session.insts_selected(),
+            regions_selected: session.regions_selected(),
+            pressure_evicted: session.pressure_evicted(),
+        });
+        run_reports.push(session.report());
+    }
+    let shards = map
+        .into_stats()
+        .into_iter()
+        .enumerate()
+        .map(|(i, (s, final_bytes))| ShardReport {
+            shard: i,
+            peak_bytes: s.peak_bytes,
+            contended_rounds: s.contended_rounds,
+            pressure_waves: s.pressure_waves,
+            evicted_regions: s.evicted_regions,
+            final_bytes,
+        })
+        .collect();
+
+    ServeOutcome {
+        report: ServeReport {
+            epoch_len: config.epoch_len,
+            shard_count: config.shard_count,
+            shard_capacity: config.shard_capacity,
+            max_active: config.max_active,
+            queue_capacity: config.queue_capacity,
+            queue: q,
+            tenants,
+            shards,
+            switches,
+            total_insts,
+        },
+        run_reports,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rsel_workloads::{Scale, suite};
+
+    fn two_specs() -> Vec<TenantSpec> {
+        suite()
+            .iter()
+            .take(2)
+            .map(|w| TenantSpec::record(w, 7, Scale::Test))
+            .collect()
+    }
+
+    #[test]
+    fn serves_everything_to_completion() {
+        let specs = two_specs();
+        let out = serve(&specs, &ServeConfig::default(), 1);
+        assert_eq!(out.report.tenants.len(), 2);
+        assert_eq!(out.run_reports.len(), 2);
+        for (t, rep) in out.report.tenants.iter().zip(&out.run_reports) {
+            assert!(t.total_insts > 0);
+            assert_eq!(t.total_insts, rep.total_insts);
+            assert_eq!(t.cache_insts, rep.cache_insts);
+        }
+        let sum: u64 = out.report.tenants.iter().map(|t| t.total_insts).sum();
+        assert_eq!(out.report.total_insts, sum);
+        assert!(out.report.insts_per_round() > 0.0);
+    }
+
+    #[test]
+    fn bounded_queue_exerts_backpressure() {
+        let specs: Vec<TenantSpec> = suite()
+            .iter()
+            .take(6)
+            .map(|w| TenantSpec::record(w, 7, Scale::Test))
+            .collect();
+        let config = ServeConfig {
+            max_active: 2,
+            queue_capacity: 1,
+            ..ServeConfig::default()
+        };
+        let out = serve(&specs, &config, 2);
+        let q = &out.report.queue;
+        assert_eq!(q.admissions, 6, "everyone is eventually admitted");
+        assert_eq!(q.peak_active, 2);
+        assert_eq!(q.peak_queue_depth, 1);
+        assert!(q.deferred_tenant_rounds > 0, "arrivals piled up: {q:?}");
+        // Later tenants were admitted later.
+        let rounds: Vec<u64> = out
+            .report
+            .tenants
+            .iter()
+            .map(|t| t.admitted_round)
+            .collect();
+        assert!(rounds.windows(2).all(|w| w[0] <= w[1]), "{rounds:?}");
+        assert!(rounds[5] > rounds[0]);
+    }
+
+    #[test]
+    fn static_mode_never_switches() {
+        let specs = two_specs();
+        let config = ServeConfig {
+            adaptive: false,
+            ..ServeConfig::default()
+        };
+        let out = serve(&specs, &config, 1);
+        assert!(out.report.switches.is_empty());
+        for t in &out.report.tenants {
+            assert_eq!(t.final_selector, "NET");
+            assert_eq!(t.switches, 0);
+        }
+    }
+
+    #[test]
+    fn degenerate_epoch_panics() {
+        let specs = two_specs();
+        let config = ServeConfig {
+            epoch_len: 0,
+            ..ServeConfig::default()
+        };
+        let r = std::panic::catch_unwind(|| serve(&specs, &config, 1));
+        assert!(r.is_err());
+    }
+}

@@ -1,0 +1,391 @@
+//! Tenant sessions: one recorded workload replayed epoch by epoch.
+//!
+//! A [`TenantSpec`] owns a workload's program and its compactly
+//! recorded execution (record once, serve many). A [`TenantSession`]
+//! borrows the spec and drives a persistent
+//! [`Simulator`](rsel_core::Simulator) through it in fixed-length
+//! epochs: the code cache and every metric survive across epochs, the
+//! selector may be swapped at epoch boundaries, and the scheduler may
+//! run different epochs of the same session on different worker
+//! threads (everything inside is `Send`).
+
+use crate::shard::{SharedCacheMap, shard_of};
+use rsel_core::metrics::RunReport;
+use rsel_core::select::SelectorKind;
+use rsel_core::{Region, RegionId, SimConfig, Simulator};
+use rsel_program::{Executor, Program, Step};
+use rsel_trace::CompactStream;
+use rsel_workloads::{Scale, Workload, suite};
+
+/// A workload prepared for serving: the built program plus its full
+/// recorded execution, replayable by any number of sessions.
+pub struct TenantSpec {
+    name: &'static str,
+    program: Program,
+    stream: CompactStream,
+}
+
+impl TenantSpec {
+    /// Builds `workload` at `(seed, scale)` and records its execution.
+    pub fn record(workload: &Workload, seed: u64, scale: Scale) -> Self {
+        let (program, spec) = workload.build(seed, scale);
+        let stream = CompactStream::record(Executor::new(&program, spec));
+        TenantSpec {
+            name: workload.name(),
+            program,
+            stream,
+        }
+    }
+
+    /// Records the whole twelve-workload suite at `(seed, scale)` —
+    /// the standard serving population.
+    pub fn record_suite(seed: u64, scale: Scale) -> Vec<TenantSpec> {
+        suite()
+            .iter()
+            .map(|w| TenantSpec::record(w, seed, scale))
+            .collect()
+    }
+
+    /// The workload's name.
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// The built program.
+    pub fn program(&self) -> &Program {
+        &self.program
+    }
+
+    /// Recorded steps in the stream.
+    pub fn len(&self) -> usize {
+        self.stream.len()
+    }
+
+    /// Whether the recording is empty.
+    pub fn is_empty(&self) -> bool {
+        self.stream.is_empty()
+    }
+}
+
+/// What one session executed during one epoch (deltas, not totals).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct EpochStats {
+    /// Steps (executed blocks) replayed this epoch.
+    pub steps: u64,
+    /// Instructions executed this epoch.
+    pub insts: u64,
+    /// Instructions executed from the code cache this epoch.
+    pub cache_insts: u64,
+    /// Instructions copied into the cache this epoch (code expansion).
+    pub insts_selected: u64,
+    /// Regions selected this epoch.
+    pub regions_selected: u64,
+}
+
+impl EpochStats {
+    /// Fraction of this epoch's instructions served from the cache.
+    pub fn hit_rate(&self) -> f64 {
+        if self.insts == 0 {
+            0.0
+        } else {
+            self.cache_insts as f64 / self.insts as f64
+        }
+    }
+
+    /// Instructions copied per instruction executed this epoch.
+    pub fn expansion(&self) -> f64 {
+        if self.insts == 0 {
+            0.0
+        } else {
+            self.insts_selected as f64 / self.insts as f64
+        }
+    }
+}
+
+/// One tenant's live serving session.
+pub struct TenantSession<'p> {
+    tenant: u16,
+    workload: &'static str,
+    sim: Simulator<'p>,
+    steps: Box<dyn Iterator<Item = Step> + Send + 'p>,
+    program: &'p Program,
+    kind: SelectorKind,
+    shard_count: usize,
+    stub_bytes: u64,
+    /// Occupancy last published to the shared map, per shard.
+    published: Vec<u64>,
+    epochs_run: u64,
+    finished: bool,
+    // Simulator totals at the previous epoch boundary, for deltas.
+    prev_insts: u64,
+    prev_cache_insts: u64,
+    prev_insts_selected: u64,
+    prev_regions_selected: u64,
+}
+
+impl<'p> TenantSession<'p> {
+    /// Opens a session over `spec` as tenant `tenant`, starting with
+    /// `kind` as its selector.
+    pub fn new(
+        tenant: u16,
+        spec: &'p TenantSpec,
+        kind: SelectorKind,
+        config: &SimConfig,
+        shard_count: usize,
+    ) -> Self {
+        let sim = Simulator::new(&spec.program, kind.make(&spec.program, config), config);
+        TenantSession {
+            tenant,
+            workload: spec.name,
+            sim,
+            steps: Box::new(spec.stream.replay(&spec.program)),
+            program: &spec.program,
+            kind,
+            shard_count,
+            stub_bytes: config.stub_bytes,
+            published: vec![0; shard_count],
+            epochs_run: 0,
+            finished: false,
+            prev_insts: 0,
+            prev_cache_insts: 0,
+            prev_insts_selected: 0,
+            prev_regions_selected: 0,
+        }
+    }
+
+    /// The tenant id.
+    pub fn tenant(&self) -> u16 {
+        self.tenant
+    }
+
+    /// The workload this session replays.
+    pub fn workload(&self) -> &'static str {
+        self.workload
+    }
+
+    /// The selector currently driving the session.
+    pub fn kind(&self) -> SelectorKind {
+        self.kind
+    }
+
+    /// Epochs executed so far.
+    pub fn epochs_run(&self) -> u64 {
+        self.epochs_run
+    }
+
+    /// Whether the recorded stream is exhausted.
+    pub fn finished(&self) -> bool {
+        self.finished
+    }
+
+    /// Replays up to `epoch_len` steps, returning this epoch's deltas.
+    /// Marks the session finished when the stream runs dry.
+    pub fn run_epoch(&mut self, epoch_len: usize) -> EpochStats {
+        let mut steps = 0u64;
+        while steps < epoch_len as u64 {
+            match self.steps.next() {
+                Some(step) => {
+                    self.sim.arrive(&step);
+                    steps += 1;
+                }
+                None => {
+                    self.finished = true;
+                    break;
+                }
+            }
+        }
+        self.epochs_run += 1;
+        let stats = EpochStats {
+            steps,
+            insts: self.sim.total_insts() - self.prev_insts,
+            cache_insts: self.sim.cache_insts() - self.prev_cache_insts,
+            insts_selected: self.sim.insts_selected() - self.prev_insts_selected,
+            regions_selected: self.sim.regions_selected() - self.prev_regions_selected,
+        };
+        self.prev_insts = self.sim.total_insts();
+        self.prev_cache_insts = self.sim.cache_insts();
+        self.prev_insts_selected = self.sim.insts_selected();
+        self.prev_regions_selected = self.sim.regions_selected();
+        stats
+    }
+
+    /// This tenant's estimated bytes currently cached in `shard`.
+    fn shard_occupancy(&self, shard: usize) -> u64 {
+        self.sim
+            .cache()
+            .regions()
+            .iter()
+            .filter(|r| shard_of(self.tenant, r.entry(), self.shard_count) == shard)
+            .map(|r| r.size_estimate(self.stub_bytes))
+            .sum()
+    }
+
+    /// Full per-shard occupancy of this tenant's live regions.
+    fn occupancy(&self) -> Vec<u64> {
+        let mut occ = vec![0u64; self.shard_count];
+        for r in self.sim.cache().regions() {
+            occ[shard_of(self.tenant, r.entry(), self.shard_count)] +=
+                r.size_estimate(self.stub_bytes);
+        }
+        occ
+    }
+
+    /// Publishes this tenant's occupancy to the shared map (worker
+    /// side; only shards whose occupancy changed are written, so a
+    /// quiet epoch takes no locks).
+    pub fn publish_occupancy(&mut self, map: &SharedCacheMap) {
+        let occ = self.occupancy();
+        let changes: Vec<(usize, u64)> = occ
+            .iter()
+            .enumerate()
+            .filter(|&(s, &b)| b != self.published[s])
+            .map(|(s, &b)| (s, b))
+            .collect();
+        if !changes.is_empty() {
+            map.publish(self.tenant, &changes);
+            self.published = occ;
+        }
+    }
+
+    /// Barrier-side pressure response: evicts the oldest half of this
+    /// tenant's regions living in `shard` (at least one), returning
+    /// `(regions evicted, bytes still held in the shard)`. Evicting
+    /// nothing means the tenant has no live region left there.
+    pub fn shed_shard(&mut self, shard: usize) -> (u64, u64) {
+        let ids: Vec<RegionId> = self
+            .sim
+            .cache()
+            .regions()
+            .iter()
+            .filter(|r| shard_of(self.tenant, r.entry(), self.shard_count) == shard)
+            .map(Region::id)
+            .collect();
+        if ids.is_empty() {
+            return (0, 0);
+        }
+        let count = ids.len().div_ceil(2);
+        let evicted = self.sim.evict_regions(&ids[..count]) as u64;
+        let left = self.shard_occupancy(shard);
+        self.published[shard] = left;
+        (evicted, left)
+    }
+
+    /// Barrier-side selector switch: swaps the session onto `kind`
+    /// with fresh profiling state; cache and metrics survive.
+    pub fn switch_selector(&mut self, kind: SelectorKind, config: &SimConfig) {
+        self.sim.set_selector(kind.make(self.program, config));
+        self.kind = kind;
+    }
+
+    /// Total instructions executed so far.
+    pub fn total_insts(&self) -> u64 {
+        self.sim.total_insts()
+    }
+
+    /// Instructions served from the cache so far.
+    pub fn cache_insts(&self) -> u64 {
+        self.sim.cache_insts()
+    }
+
+    /// Instructions ever copied into the cache (monotone).
+    pub fn insts_selected(&self) -> u64 {
+        self.sim.insts_selected()
+    }
+
+    /// Regions ever selected (monotone).
+    pub fn regions_selected(&self) -> u64 {
+        self.sim.regions_selected()
+    }
+
+    /// Regions evicted from this session by shard pressure.
+    pub fn pressure_evicted(&self) -> u64 {
+        self.sim.resilience().pressure_evicted_regions
+    }
+
+    /// The session's full run report.
+    pub fn report(&self) -> RunReport {
+        self.sim.report()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec() -> TenantSpec {
+        TenantSpec::record(&suite()[0], 7, Scale::Test)
+    }
+
+    #[test]
+    fn epochs_partition_the_stream() {
+        let spec = spec();
+        let cfg = SimConfig::default();
+        let mut s = TenantSession::new(0, &spec, SelectorKind::Net, &cfg, 8);
+        let mut steps = 0;
+        let mut insts = 0;
+        while !s.finished() {
+            let e = s.run_epoch(1000);
+            steps += e.steps;
+            insts += e.insts;
+        }
+        assert_eq!(steps as usize, spec.len(), "every step replayed once");
+        assert_eq!(insts, s.total_insts(), "deltas sum to the total");
+        assert!(s.epochs_run() >= spec.len() as u64 / 1000);
+    }
+
+    #[test]
+    fn epoch_run_matches_monolithic_run() {
+        let spec = spec();
+        let cfg = SimConfig::default();
+        let mut epoch = TenantSession::new(0, &spec, SelectorKind::Lei, &cfg, 8);
+        while !epoch.finished() {
+            epoch.run_epoch(777);
+        }
+        let mut mono = Simulator::new(
+            spec.program(),
+            SelectorKind::Lei.make(spec.program(), &cfg),
+            &cfg,
+        );
+        mono.run(spec.stream.replay(spec.program()));
+        assert_eq!(epoch.report(), mono.report(), "epoching is invisible");
+    }
+
+    #[test]
+    fn occupancy_tracks_cache_and_shedding() {
+        let spec = spec();
+        let cfg = SimConfig::default();
+        let map = SharedCacheMap::new(8, u64::MAX, 1);
+        let mut s = TenantSession::new(0, &spec, SelectorKind::Net, &cfg, 8);
+        while !s.finished() {
+            s.run_epoch(2000);
+            s.publish_occupancy(&map);
+        }
+        let total: u64 = s.occupancy().iter().sum();
+        assert_eq!(total, s.sim.cache().size_estimate(cfg.stub_bytes));
+        assert!(total > 0, "the hot workload cached something");
+        // Shed the heaviest shard down.
+        let heavy = (0..8).max_by_key(|&i| s.occupancy()[i]).unwrap();
+        let before = s.occupancy()[heavy];
+        let (evicted, left) = s.shed_shard(heavy);
+        assert!(evicted > 0);
+        assert!(left < before);
+        assert_eq!(left, s.occupancy()[heavy]);
+        assert_eq!(s.pressure_evicted(), evicted);
+    }
+
+    #[test]
+    fn switching_keeps_cache_and_totals() {
+        let spec = spec();
+        let cfg = SimConfig::default();
+        let mut s = TenantSession::new(0, &spec, SelectorKind::Net, &cfg, 8);
+        s.run_epoch(3000);
+        let insts = s.total_insts();
+        let cached = s.sim.cache().len();
+        s.switch_selector(SelectorKind::Lei, &cfg);
+        assert_eq!(s.kind(), SelectorKind::Lei);
+        assert_eq!(s.total_insts(), insts);
+        assert_eq!(s.sim.cache().len(), cached, "regions survive the switch");
+        s.run_epoch(3000);
+        assert!(s.total_insts() > insts, "the new selector keeps serving");
+    }
+}

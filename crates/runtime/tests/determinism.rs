@@ -1,0 +1,149 @@
+//! Golden determinism and acceptance tests for the serving runtime.
+//!
+//! The full twelve-tenant suite is served at test scale with the
+//! default configuration, once serially and once on eight workers; the
+//! [`ServeReport`] JSON, the aggregate report, and every per-tenant
+//! [`RunReport`] must be byte-for-byte / structurally identical. The
+//! same run must exhibit the behaviours the runtime exists to produce:
+//! a full active set, shard pressure, backpressure, and adaptive
+//! selector switches.
+
+use rsel_runtime::{ServeConfig, ServeOutcome, TenantSpec, serve};
+use rsel_workloads::Scale;
+
+const SEED: u64 = 2005;
+
+fn run(jobs: usize) -> ServeOutcome {
+    let specs = TenantSpec::record_suite(SEED, Scale::Test);
+    serve(&specs, &ServeConfig::default(), jobs)
+}
+
+#[test]
+fn serial_and_parallel_runs_are_identical() {
+    let serial = run(1);
+    let parallel = run(8);
+    // Byte-identical JSON, structurally identical report.
+    assert_eq!(
+        serial.report.to_json(),
+        parallel.report.to_json(),
+        "ServeReport JSON must not depend on the worker count"
+    );
+    assert_eq!(serial.report, parallel.report);
+    // Every tenant's full run report matches too — down to per-region
+    // stats, resilience counters, and domination analysis.
+    assert_eq!(serial.run_reports.len(), parallel.run_reports.len());
+    for (t, (a, b)) in serial
+        .run_reports
+        .iter()
+        .zip(&parallel.run_reports)
+        .enumerate()
+    {
+        assert_eq!(a, b, "tenant {t} diverged across worker counts");
+    }
+}
+
+#[test]
+fn default_run_exhibits_the_serving_behaviours() {
+    let out = run(8);
+    let rep = &out.report;
+
+    // All twelve tenants served to completion.
+    assert_eq!(rep.tenants.len(), 12);
+    for t in &rep.tenants {
+        assert!(t.total_insts > 0, "{} never ran", t.workload);
+        assert!(t.epochs > 0);
+        assert!(t.finished_round >= t.admitted_round);
+    }
+
+    // The active set actually filled: >= 8 concurrent tenant sessions
+    // over the shared sharded cache.
+    assert!(
+        rep.queue.peak_active >= 8,
+        "peak_active = {}",
+        rep.queue.peak_active
+    );
+    // The bounded queue was exercised.
+    assert!(rep.queue.peak_queue_depth > 0);
+    assert!(
+        rep.queue.deferred_tenant_rounds > 0,
+        "twelve arrivals behind a two-slot queue must defer"
+    );
+
+    // Shard pressure fired and evicted regions; the evictions surface
+    // in tenants' resilience stats exactly like any pressure event.
+    assert!(rep.pressure_waves() > 0, "no shard ever overflowed");
+    let evicted: u64 = rep.shards.iter().map(|s| s.evicted_regions).sum();
+    let shed: u64 = rep.tenants.iter().map(|t| t.pressure_evicted).sum();
+    assert!(evicted > 0);
+    assert_eq!(evicted, shed, "shard ledger and tenant ledger agree");
+    let resilience: u64 = out
+        .run_reports
+        .iter()
+        .map(|r| r.resilience.pressure_evicted_regions)
+        .sum();
+    assert_eq!(shed, resilience);
+
+    // Multiple tenants shared shards within single rounds.
+    assert!(rep.contended_rounds() > 0, "no shard was ever shared");
+
+    // The policy engine switched selectors — including on gcc, the
+    // phase-shifting workload.
+    assert!(!rep.switches.is_empty());
+    assert!(
+        rep.switches.iter().any(|s| s.workload == "gcc"),
+        "gcc (phased) never switched"
+    );
+    // Every switch log entry is attributable to a served tenant.
+    for s in &rep.switches {
+        assert!((s.tenant as usize) < rep.tenants.len());
+        assert_ne!(s.from, s.to, "a switch must change the selector");
+    }
+
+    // Throughput is reported in simulated instructions per round.
+    assert!(rep.insts_per_round() > 0.0);
+    let sum: u64 = rep.tenants.iter().map(|t| t.total_insts).sum();
+    assert_eq!(rep.total_insts, sum);
+}
+
+#[test]
+fn shard_capacity_bounds_hold_at_every_report() {
+    // After the final barrier every shard must be at or under budget:
+    // pressure waves shed until the shard fits (or nothing is left).
+    let out = run(4);
+    for s in &out.report.shards {
+        assert!(
+            s.final_bytes <= out.report.shard_capacity,
+            "shard {} closed over budget ({} > {})",
+            s.shard,
+            s.final_bytes,
+            out.report.shard_capacity
+        );
+    }
+}
+
+#[test]
+fn json_is_well_formed_enough_to_diff() {
+    let rep = run(2).report;
+    let json = rep.to_json();
+    assert!(json.starts_with("{\n"));
+    assert!(json.ends_with("}\n"));
+    assert_eq!(
+        json.matches('{').count(),
+        json.matches('}').count(),
+        "balanced braces"
+    );
+    for key in [
+        "\"bench\": \"serve\"",
+        "\"rounds\":",
+        "\"insts_per_round\":",
+        "\"pressure_waves\":",
+        "\"tenants\":",
+        "\"shards\":",
+        "\"switches\":",
+    ] {
+        assert!(json.contains(key), "missing {key}");
+    }
+    // Nothing wall-clock or worker-count shaped may appear.
+    assert!(!json.contains("jobs"), "worker count must not leak");
+    assert!(!json.contains("_ms"), "wall time must not leak");
+}

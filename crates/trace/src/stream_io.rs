@@ -37,6 +37,17 @@ pub enum StreamIoError {
     /// A step names an address that is not a block start in the
     /// program.
     UnknownBlock(Addr),
+    /// The input continues past the end of a well-formed stream — a
+    /// corrupted length field would otherwise be parsed as a silently
+    /// shorter stream.
+    TrailingData,
+    /// The taken-branch source count does not match the entry tags.
+    TakenCountMismatch {
+        /// Count stored in the stream header.
+        header: u64,
+        /// Taken entries implied by the tag array.
+        tags: u64,
+    },
 }
 
 impl fmt::Display for StreamIoError {
@@ -48,6 +59,15 @@ impl fmt::Display for StreamIoError {
             StreamIoError::BadTag(t) => write!(f, "invalid record tag {t}"),
             StreamIoError::UnknownBlock(a) => {
                 write!(f, "stream references unknown block {a}")
+            }
+            StreamIoError::TrailingData => {
+                write!(f, "input continues past the end of the stream")
+            }
+            StreamIoError::TakenCountMismatch { header, tags } => {
+                write!(
+                    f,
+                    "header claims {header} taken branches but tags encode {tags}"
+                )
             }
         }
     }
@@ -234,12 +254,24 @@ pub fn load_compact_stream<R: Read>(
         }
     }
     if expected_taken != taken {
-        return Err(StreamIoError::BadTag(u8::MAX));
+        return Err(StreamIoError::TakenCountMismatch {
+            header: taken as u64,
+            tags: expected_taken as u64,
+        });
     }
     let mut srcs = Vec::with_capacity(taken.min(1 << 24));
     for _ in 0..taken {
         reader.read_exact(&mut u64b)?;
         srcs.push(Addr::new(u64::from_le_bytes(u64b)));
+    }
+    // A well-formed stream consumes the input exactly; anything left
+    // means a corrupted length field shrank the parse, and accepting it
+    // would silently yield a short stream.
+    let mut probe = [0u8; 1];
+    match reader.read(&mut probe) {
+        Ok(0) => {}
+        Ok(_) => return Err(StreamIoError::TrailingData),
+        Err(e) => return Err(StreamIoError::Io(e)),
     }
     Ok(CompactStream::from_raw_parts(blocks, tags, srcs))
 }

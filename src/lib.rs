@@ -12,9 +12,15 @@
 //! - [`trace`]: event streams and the compact trace codec;
 //! - [`core`]: code cache, interpreter simulation, NET/LEI/combination
 //!   and all evaluation metrics;
-//! - [`workloads`]: the twelve SPECint2000-like synthetic benchmarks.
+//! - [`workloads`]: the twelve SPECint2000-like synthetic benchmarks;
+//! - [`runtime`]: the multi-tenant serving runtime — sharded shared
+//!   code cache, session scheduler, and adaptive selector policy.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
 
 pub use rsel_core as core;
 pub use rsel_program as program;
+pub use rsel_runtime as runtime;
 pub use rsel_trace as trace;
 pub use rsel_workloads as workloads;
