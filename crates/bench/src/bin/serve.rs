@@ -1,17 +1,28 @@
 //! Multi-tenant serving benchmark: serves the twelve-workload suite
-//! through the `rsel-runtime` scheduler, cross-checks that the outcome
-//! is identical for 1 and 8 workers, and writes `BENCH_serve.json`.
+//! through the `rsel-runtime` scheduler and writes `BENCH_serve.json`.
 //!
 //! Scale follows `RSEL_SCALE` (`test` or `full`, default `test` — a
 //! full-scale serve replays ~10⁸ recorded steps). Worker count for the
 //! headline run follows `RSEL_JOBS`. The JSON contains nothing
 //! wall-clock- or worker-count-dependent, so the file is byte-identical
-//! for every `RSEL_JOBS`; wall time goes to stderr only. Exits
-//! non-zero if the serial and parallel outcomes diverge.
+//! for every `RSEL_JOBS`; wall time goes to stderr only.
+//!
+//! `RSEL_SNAPSHOT=path` enables warm-start persistence: if the file
+//! exists the run warm-starts from it (after strict validation — a
+//! corrupt or mismatched snapshot is a hard error), a cold run is
+//! served alongside for comparison, and the cold-vs-warm hit rate and
+//! rounds-to-first-exploit go to stderr. The end-of-run snapshot is
+//! always written back to the path.
+//!
+//! At test scale (or whenever `RSEL_CROSSCHECK` is set) the outcome is
+//! re-served on 1 and 8 workers and the bin exits non-zero if the
+//! outcomes diverge. Full-scale runs skip the cross-check by default:
+//! it triples an already ~10⁸-step serve, and the determinism suite
+//! covers the invariant at test scale.
 
 use rsel_bench::harness::DEFAULT_SEED;
 use rsel_bench::jobs_from_env;
-use rsel_runtime::{ServeConfig, TenantSpec, serve};
+use rsel_runtime::{ServeConfig, ServeReport, ServeSnapshot, TenantSpec, serve_with};
 use rsel_workloads::Scale;
 use std::time::Instant;
 
@@ -21,6 +32,8 @@ fn main() {
         Ok("full") => Scale::Full,
         _ => Scale::Test,
     };
+    let crosscheck = matches!(scale, Scale::Test) || std::env::var_os("RSEL_CROSSCHECK").is_some();
+    let snapshot_path = std::env::var_os("RSEL_SNAPSHOT").map(std::path::PathBuf::from);
     let config = ServeConfig::default();
 
     eprintln!("recording the suite ({scale:?} scale)...");
@@ -28,39 +41,109 @@ fn main() {
     let specs = TenantSpec::record_suite(DEFAULT_SEED, scale);
     eprintln!("  recorded in {:.1} ms", t.elapsed().as_secs_f64() * 1e3);
 
+    // Warm-start from the snapshot when one is present on disk. The
+    // loader is strict: anything short of a well-formed snapshot for
+    // exactly this suite and policy is a typed error, and a bad file is
+    // a hard failure rather than a silent cold start.
+    let warm = match &snapshot_path {
+        Some(path) if path.exists() => {
+            match ServeSnapshot::load_from_path(&specs, &config.policy, path) {
+                Ok(snap) => {
+                    eprintln!(
+                        "warm-starting from {} ({} regions)",
+                        path.display(),
+                        snap.region_count()
+                    );
+                    Some(snap)
+                }
+                Err(e) => {
+                    eprintln!("FAIL: snapshot {} rejected: {e}", path.display());
+                    std::process::exit(1);
+                }
+            }
+        }
+        _ => None,
+    };
+
     eprintln!("serving {} tenants on {jobs} workers...", specs.len());
     let t = Instant::now();
-    let out = serve(&specs, &config, jobs);
+    let out = serve_with(&specs, &config, jobs, warm.as_ref());
     let serve_ms = t.elapsed().as_secs_f64() * 1e3;
     let rep = &out.report;
     eprintln!(
         "  served in {serve_ms:.1} ms: {} rounds, {:.0} insts/round, \
-         peak {} active, {} pressure waves, {} selector switches",
+         peak {} active, {} pressure waves ({} shed actions), {} selector switches",
         rep.queue.rounds,
         rep.insts_per_round(),
         rep.queue.peak_active,
         rep.pressure_waves(),
+        rep.shed_actions(),
         rep.switches.len()
     );
 
+    // When warm-started, serve the same suite cold and report what the
+    // snapshot bought: aggregate hit rate and mean rounds from
+    // admission to the first exploit-phase decision.
+    if warm.is_some() {
+        eprintln!("serving cold for comparison...");
+        let cold = serve_with(&specs, &config, jobs, None);
+        let hit = |r: &ServeReport| {
+            let cached: u64 = r.tenants.iter().map(|t| t.cache_insts).sum();
+            cached as f64 / r.total_insts as f64
+        };
+        let exploit = |r: &ServeReport| match r.mean_rounds_to_first_exploit() {
+            Some(v) => format!("{v:.1}"),
+            None => "n/a".to_string(),
+        };
+        eprintln!(
+            "  cold: {:.4} hit rate, {} mean rounds to first exploit",
+            hit(&cold.report),
+            exploit(&cold.report)
+        );
+        eprintln!(
+            "  warm: {:.4} hit rate, {} mean rounds to first exploit",
+            hit(rep),
+            exploit(rep)
+        );
+    }
+
     // Cross-check: the serving outcome may not depend on the worker
-    // count. Run serial and 8-way and demand identity (reports and
-    // rendered bytes).
-    eprintln!("cross-checking RSEL_JOBS=1 vs RSEL_JOBS=8...");
-    let serial = serve(&specs, &config, 1);
-    let parallel = serve(&specs, &config, 8);
+    // count. Run serial and 8-way (warm-started the same way as the
+    // headline run) and demand identity — reports and rendered bytes.
     let mut ok = true;
-    if serial.report.to_json() != parallel.report.to_json() || serial.report != parallel.report {
-        eprintln!("DIVERGENCE: ServeReport differs between 1 and 8 workers");
-        ok = false;
+    if crosscheck {
+        eprintln!("cross-checking RSEL_JOBS=1 vs RSEL_JOBS=8...");
+        let serial = serve_with(&specs, &config, 1, warm.as_ref());
+        let parallel = serve_with(&specs, &config, 8, warm.as_ref());
+        if serial.report.to_json() != parallel.report.to_json() || serial.report != parallel.report
+        {
+            eprintln!("DIVERGENCE: ServeReport differs between 1 and 8 workers");
+            ok = false;
+        }
+        if serial.run_reports != parallel.run_reports {
+            eprintln!("DIVERGENCE: per-tenant RunReports differ between 1 and 8 workers");
+            ok = false;
+        }
+        if serial.snapshot != parallel.snapshot {
+            eprintln!("DIVERGENCE: end-of-run snapshot differs between 1 and 8 workers");
+            ok = false;
+        }
+        if out.report != serial.report {
+            eprintln!("DIVERGENCE: headline run ({jobs} workers) differs from serial");
+            ok = false;
+        }
+    } else {
+        eprintln!("skipping 1-vs-8 cross-check (full scale; set RSEL_CROSSCHECK to force)");
     }
-    if serial.run_reports != parallel.run_reports {
-        eprintln!("DIVERGENCE: per-tenant RunReports differ between 1 and 8 workers");
-        ok = false;
-    }
-    if out.report != serial.report {
-        eprintln!("DIVERGENCE: headline run ({jobs} workers) differs from serial");
-        ok = false;
+
+    // Persist the end-of-run state so the next invocation warm-starts.
+    if let Some(path) = &snapshot_path {
+        out.snapshot.save_to_path(path).expect("write snapshot");
+        eprintln!(
+            "wrote snapshot to {} ({} regions)",
+            path.display(),
+            out.snapshot.region_count()
+        );
     }
 
     let json = out.report.to_json();
@@ -71,5 +154,7 @@ fn main() {
         eprintln!("FAIL: serving outcome depends on the worker count");
         std::process::exit(1);
     }
-    eprintln!("ok: outcome identical across worker counts");
+    if crosscheck {
+        eprintln!("ok: outcome identical across worker counts");
+    }
 }

@@ -19,6 +19,7 @@ pub mod faults;
 
 use crate::cache::{CodeCache, Region, RegionId, TransferClass};
 use crate::config::SimConfig;
+use crate::error::SimError;
 use crate::fxhash::{FxHashMap, FxHashSet};
 use crate::metrics::domination::analyze_domination;
 use crate::metrics::report::{RegionReport, ResilienceStats, RunReport};
@@ -202,6 +203,42 @@ impl<'p> Simulator<'p> {
             .peak_observed_floor
             .max(self.selector.peak_observed_bytes());
         std::mem::replace(&mut self.selector, selector)
+    }
+
+    /// Re-inserts previously captured regions into the cache of a
+    /// simulator that has not executed yet — the warm-start hook of the
+    /// multi-tenant runtime's snapshot layer.
+    ///
+    /// Regions are inserted in the given order and receive fresh ids
+    /// (0, 1, …), so the restored cache's selection order is the order
+    /// of `regions`. Restored capacity is *not* charged to the monotone
+    /// selection totals ([`Simulator::regions_selected`],
+    /// [`Simulator::insts_selected`]): the code expansion was paid for
+    /// by the run that produced the snapshot, and a warm run reports
+    /// only what it selects itself. Like [`Simulator::set_selector`],
+    /// restoring never loses run-level bookkeeping — at construction
+    /// time every peak floor is still zero, so there is nothing to
+    /// fold.
+    ///
+    /// Returns how many regions were inserted.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::DuplicateRegionEntry`] if two regions share
+    /// an entry address. The cache may hold a prefix of `regions` after
+    /// an error; callers treat that as fatal and discard the simulator.
+    pub fn restore_regions(&mut self, regions: Vec<Region>) -> Result<usize, SimError> {
+        debug_assert_eq!(self.total_insts, 0, "warm starts precede execution");
+        let mut restored = 0;
+        for r in regions {
+            let id = self.cache.try_insert(r)?;
+            if self.runtime.len() <= id.index() {
+                self.runtime
+                    .resize(id.index() + 1, RegionRuntime::default());
+            }
+            restored += 1;
+        }
+        Ok(restored)
     }
 
     /// Removes the named regions from the cache under external

@@ -34,6 +34,11 @@
 //!   epoch of every active session across `jobs` worker threads, then
 //!   a deterministic barrier applies shard pressure and policy
 //!   decisions in tenant order.
+//! - [`snapshot`] — **persistence**: a versioned binary
+//!   [`ServeSnapshot`] format capturing every tenant's learned policy
+//!   state and cached regions, with a strict-validation loader, so the
+//!   next run can warm-start ([`serve_with`]) instead of re-exploring
+//!   from scratch.
 //!
 //! # Determinism
 //!
@@ -53,9 +58,13 @@ pub mod report;
 pub mod serve;
 pub mod session;
 pub mod shard;
+pub mod snapshot;
 
-pub use policy::{PolicyConfig, PolicyEngine, SwitchReason, SwitchRecord};
+pub use policy::{PolicyConfig, PolicyEngine, PolicyState, SwitchReason, SwitchRecord};
 pub use report::{QueueStats, ServeOutcome, ServeReport, ShardReport, TenantSummary};
-pub use serve::{ServeConfig, serve};
+pub use serve::{ServeConfig, serve, serve_with};
 pub use session::{EpochStats, TenantSession, TenantSpec};
 pub use shard::{SharedCacheMap, shard_of};
+pub use snapshot::{
+    RegionSnapshot, ServeSnapshot, SnapshotError, TenantSnapshot, load_snapshot, save_snapshot,
+};

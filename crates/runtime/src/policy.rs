@@ -93,6 +93,36 @@ pub struct SwitchRecord {
     pub reason: SwitchReason,
 }
 
+/// A [`PolicyEngine`]'s exportable state: everything the engine has
+/// learned, detached from its configuration. Produced by
+/// [`PolicyEngine::export`], persisted by the snapshot layer
+/// ([`crate::snapshot`]), and turned back into a live engine by
+/// [`PolicyEngine::restore`].
+///
+/// Scores are positional with the candidate list, and the state
+/// carries the candidates it was learned under: a snapshot can never
+/// be replayed against a different candidate set silently
+/// ([`PolicyEngine::restore`] rejects the mismatch).
+#[derive(Clone, Debug, PartialEq)]
+pub struct PolicyState {
+    /// Whether the engine is exploring (`true`) or exploiting.
+    pub exploring: bool,
+    /// Index of the next candidate to explore (meaningful only while
+    /// exploring; always in `1..=candidates.len()`).
+    pub next: u32,
+    /// Index of the candidate currently running.
+    pub current: u32,
+    /// The candidate selectors the state was learned under, in
+    /// exploration order.
+    pub candidates: Vec<SelectorKind>,
+    /// Exploration scores, one slot per candidate.
+    pub scores: Vec<Option<f64>>,
+    /// Exploit-phase moving average of the score.
+    pub ema: f64,
+    /// Switches decided so far.
+    pub switches: u64,
+}
+
 #[derive(Clone, Copy, Debug)]
 enum Phase {
     /// Exploring; `next` is the index of the next candidate to try.
@@ -138,6 +168,73 @@ impl PolicyEngine {
     /// The selector the engine wants running now.
     pub fn current(&self) -> SelectorKind {
         self.config.candidates[self.current]
+    }
+
+    /// Whether the engine has settled on a candidate (exploit phase).
+    pub fn exploiting(&self) -> bool {
+        matches!(self.phase, Phase::Exploit)
+    }
+
+    /// The candidate selectors, in exploration order.
+    pub fn candidates(&self) -> &[SelectorKind] {
+        &self.config.candidates
+    }
+
+    /// Exports the engine's learned state (see [`PolicyState`]).
+    pub fn export(&self) -> PolicyState {
+        PolicyState {
+            exploring: matches!(self.phase, Phase::Explore { .. }),
+            next: match self.phase {
+                Phase::Explore { next } => next as u32,
+                Phase::Exploit => 0,
+            },
+            current: self.current as u32,
+            candidates: self.config.candidates.clone(),
+            scores: self.scores.clone(),
+            ema: self.ema,
+            switches: self.switches,
+        }
+    }
+
+    /// Rebuilds an engine from exported state, continuing exactly where
+    /// the exporting engine left off — the same phase, per-candidate
+    /// scores, moving average, and switch count ([`PolicyEngine::switches`]
+    /// keeps accumulating across the restore, the way
+    /// `Simulator::set_selector` carries peak floors across selector
+    /// swaps).
+    ///
+    /// Returns `None` when `state` is inconsistent with `config`: a
+    /// candidate list or score-slot count that does not match the
+    /// configuration, an index out of range, or a non-finite
+    /// score/average.
+    pub fn restore(config: PolicyConfig, state: &PolicyState) -> Option<Self> {
+        let n = config.candidates.len();
+        if n == 0 || state.candidates != config.candidates {
+            return None;
+        }
+        if state.scores.len() != n || (state.current as usize) >= n {
+            return None;
+        }
+        if state.exploring && !(1..=n).contains(&(state.next as usize)) {
+            return None;
+        }
+        if !state.ema.is_finite() || state.scores.iter().flatten().any(|s| !s.is_finite()) {
+            return None;
+        }
+        Some(PolicyEngine {
+            config,
+            phase: if state.exploring {
+                Phase::Explore {
+                    next: state.next as usize,
+                }
+            } else {
+                Phase::Exploit
+            },
+            current: state.current as usize,
+            scores: state.scores.clone(),
+            ema: state.ema,
+            switches: state.switches,
+        })
     }
 
     /// Switches decided so far.
@@ -291,6 +388,60 @@ mod tests {
         assert_eq!(e.current(), SelectorKind::Lei);
         let m = e.on_epoch(&epoch(10_000, 1000, 0));
         assert_eq!(m, Some((SelectorKind::Net, SwitchReason::PhaseShift)));
+    }
+
+    #[test]
+    fn export_restore_round_trips_and_keeps_deciding() {
+        // Drive an engine mid-exploration, freeze it, thaw it, and
+        // check the thawed engine is indistinguishable from the
+        // original — state-identical and decision-identical.
+        let mut e = PolicyEngine::new(PolicyConfig::default());
+        e.on_epoch(&epoch(10_000, 5000, 0));
+        e.on_epoch(&epoch(10_000, 9000, 0));
+        let state = e.export();
+        assert!(state.exploring);
+        assert_eq!(state.switches, 2);
+        let mut r = PolicyEngine::restore(PolicyConfig::default(), &state).unwrap();
+        assert_eq!(r.export(), state);
+        assert_eq!(r.current(), e.current());
+        let next = epoch(10_000, 4000, 0);
+        assert_eq!(r.on_epoch(&next), e.on_epoch(&next));
+        assert_eq!(r.export(), e.export());
+        // An exploit-phase engine round-trips too, including the EMA.
+        e.on_epoch(&epoch(10_000, 6000, 0));
+        assert!(e.exploiting());
+        let state = e.export();
+        let r = PolicyEngine::restore(PolicyConfig::default(), &state).unwrap();
+        assert!(r.exploiting());
+        assert_eq!(r.export(), state);
+    }
+
+    #[test]
+    fn restore_rejects_inconsistent_state() {
+        let good = PolicyEngine::new(PolicyConfig::default()).export();
+        let cfg = PolicyConfig::default;
+        assert!(PolicyEngine::restore(cfg(), &good).is_some());
+        let mut bad = good.clone();
+        bad.scores.pop();
+        assert!(PolicyEngine::restore(cfg(), &bad).is_none(), "score count");
+        let mut bad = good.clone();
+        bad.candidates.reverse();
+        assert!(
+            PolicyEngine::restore(cfg(), &bad).is_none(),
+            "foreign candidate list"
+        );
+        let mut bad = good.clone();
+        bad.current = 99;
+        assert!(PolicyEngine::restore(cfg(), &bad).is_none(), "current oob");
+        let mut bad = good.clone();
+        bad.next = 0;
+        assert!(PolicyEngine::restore(cfg(), &bad).is_none(), "next oob");
+        let mut bad = good.clone();
+        bad.ema = f64::NAN;
+        assert!(PolicyEngine::restore(cfg(), &bad).is_none(), "NaN ema");
+        let mut bad = good;
+        bad.scores[0] = Some(f64::INFINITY);
+        assert!(PolicyEngine::restore(cfg(), &bad).is_none(), "inf score");
     }
 
     #[test]

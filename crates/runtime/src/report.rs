@@ -8,6 +8,7 @@
 //! byte-identical files.
 
 use crate::policy::SwitchRecord;
+use crate::snapshot::ServeSnapshot;
 use rsel_core::metrics::RunReport;
 
 /// Admission-queue and scheduler statistics for a serving run.
@@ -37,8 +38,12 @@ pub struct ShardReport {
     pub peak_bytes: u64,
     /// Rounds in which two or more tenants updated the shard.
     pub contended_rounds: u64,
-    /// Pressure waves (shed actions) applied to the shard.
+    /// Barriers at which the shard exceeded capacity (at most one per
+    /// round, however many shed actions resolving the wave took).
     pub pressure_waves: u64,
+    /// Individual eviction calls applied while resolving pressure
+    /// waves.
+    pub shed_actions: u64,
     /// Regions evicted from the shard by pressure.
     pub evicted_regions: u64,
     /// Occupancy when the run ended.
@@ -56,12 +61,18 @@ pub struct TenantSummary {
     pub final_selector: &'static str,
     /// Epochs the session ran.
     pub epochs: u64,
-    /// Selector switches applied to the session.
+    /// Selector switches decided by the tenant's policy engine. A
+    /// warm-started engine keeps accumulating across the restore, so
+    /// this includes switches carried over from the snapshot.
     pub switches: u64,
     /// Round the session entered the active set.
     pub admitted_round: u64,
     /// Round the session finished.
     pub finished_round: u64,
+    /// First round at which the tenant's policy engine was in the
+    /// exploit phase (`None` if it never got there). A warm-started
+    /// tenant restored mid-exploit records its first active round.
+    pub first_exploit_round: Option<u64>,
     /// Total instructions executed.
     pub total_insts: u64,
     /// Instructions served from the code cache.
@@ -98,6 +109,10 @@ pub struct ServeReport {
     pub max_active: usize,
     /// Admission-queue capacity.
     pub queue_capacity: usize,
+    /// Whether the run was warm-started from a snapshot.
+    pub warm_started: bool,
+    /// Regions restored into tenant caches before the first round.
+    pub warm_regions_restored: u64,
     /// Scheduler and queue statistics.
     pub queue: QueueStats,
     /// Per-tenant summaries, in tenant order.
@@ -126,6 +141,28 @@ impl ServeReport {
         self.shards.iter().map(|s| s.pressure_waves).sum()
     }
 
+    /// Shed actions summed over all shards.
+    pub fn shed_actions(&self) -> u64 {
+        self.shards.iter().map(|s| s.shed_actions).sum()
+    }
+
+    /// Mean rounds from admission to the first exploit-phase round,
+    /// over the tenants that got there; `None` if none did. The
+    /// warm-start payoff metric: a restored mid-exploit engine scores
+    /// zero.
+    pub fn mean_rounds_to_first_exploit(&self) -> Option<f64> {
+        let waits: Vec<u64> = self
+            .tenants
+            .iter()
+            .filter_map(|t| t.first_exploit_round.map(|r| r - t.admitted_round))
+            .collect();
+        if waits.is_empty() {
+            None
+        } else {
+            Some(waits.iter().sum::<u64>() as f64 / waits.len() as f64)
+        }
+    }
+
     /// Shard-contended rounds summed over all shards.
     pub fn contended_rounds(&self) -> u64 {
         self.shards.iter().map(|s| s.contended_rounds).sum()
@@ -141,6 +178,11 @@ impl ServeReport {
         o.push_str(&format!("  \"shard_capacity\": {},\n", self.shard_capacity));
         o.push_str(&format!("  \"max_active\": {},\n", self.max_active));
         o.push_str(&format!("  \"queue_capacity\": {},\n", self.queue_capacity));
+        o.push_str(&format!("  \"warm_started\": {},\n", self.warm_started));
+        o.push_str(&format!(
+            "  \"warm_regions_restored\": {},\n",
+            self.warm_regions_restored
+        ));
         o.push_str(&format!("  \"rounds\": {},\n", self.queue.rounds));
         o.push_str(&format!("  \"total_insts\": {},\n", self.total_insts));
         o.push_str(&format!(
@@ -165,18 +207,23 @@ impl ServeReport {
             "  \"pressure_waves\": {},\n",
             self.pressure_waves()
         ));
+        o.push_str(&format!("  \"shed_actions\": {},\n", self.shed_actions()));
         o.push_str(&format!(
             "  \"contended_rounds\": {},\n",
             self.contended_rounds()
         ));
         o.push_str("  \"tenants\": [\n");
         for (i, t) in self.tenants.iter().enumerate() {
+            let first_exploit = match t.first_exploit_round {
+                Some(r) => r.to_string(),
+                None => "null".to_string(),
+            };
             o.push_str(&format!(
                 "    {{\"tenant\": {}, \"workload\": \"{}\", \"final_selector\": \"{}\", \
                  \"epochs\": {}, \"switches\": {}, \"admitted_round\": {}, \
-                 \"finished_round\": {}, \"total_insts\": {}, \"cache_insts\": {}, \
-                 \"hit_rate\": {:.4}, \"insts_selected\": {}, \"regions_selected\": {}, \
-                 \"pressure_evicted\": {}}}{}\n",
+                 \"finished_round\": {}, \"first_exploit_round\": {}, \"total_insts\": {}, \
+                 \"cache_insts\": {}, \"hit_rate\": {:.4}, \"insts_selected\": {}, \
+                 \"regions_selected\": {}, \"pressure_evicted\": {}}}{}\n",
                 t.tenant,
                 t.workload,
                 t.final_selector,
@@ -184,6 +231,7 @@ impl ServeReport {
                 t.switches,
                 t.admitted_round,
                 t.finished_round,
+                first_exploit,
                 t.total_insts,
                 t.cache_insts,
                 t.hit_rate(),
@@ -198,11 +246,13 @@ impl ServeReport {
         for (i, s) in self.shards.iter().enumerate() {
             o.push_str(&format!(
                 "    {{\"shard\": {}, \"peak_bytes\": {}, \"contended_rounds\": {}, \
-                 \"pressure_waves\": {}, \"evicted_regions\": {}, \"final_bytes\": {}}}{}\n",
+                 \"pressure_waves\": {}, \"shed_actions\": {}, \"evicted_regions\": {}, \
+                 \"final_bytes\": {}}}{}\n",
                 s.shard,
                 s.peak_bytes,
                 s.contended_rounds,
                 s.pressure_waves,
+                s.shed_actions,
                 s.evicted_regions,
                 s.final_bytes,
                 if i + 1 < self.shards.len() { "," } else { "" }
@@ -228,13 +278,18 @@ impl ServeReport {
     }
 }
 
-/// A serving run's full outcome: the aggregate report plus every
-/// tenant's complete [`RunReport`], in tenant order (for the
-/// determinism cross-check and downstream figure code).
+/// A serving run's full outcome: the aggregate report, every tenant's
+/// complete [`RunReport`] in tenant order (for the determinism
+/// cross-check and downstream figure code), and a snapshot of the
+/// final serving state for the next run to warm-start from.
 #[derive(Clone, Debug, PartialEq)]
 pub struct ServeOutcome {
     /// The aggregate serving report.
     pub report: ServeReport,
     /// Per-tenant full run reports, in tenant order.
     pub run_reports: Vec<RunReport>,
+    /// The run's final state (policy engines and cached regions),
+    /// ready to persist with
+    /// [`save_snapshot`](crate::snapshot::save_snapshot).
+    pub snapshot: ServeSnapshot,
 }

@@ -1,12 +1,15 @@
 //! The session scheduler: bounded admission, parallel epochs, and a
 //! deterministic decision barrier.
 //!
-//! [`serve`] drives every tenant through three stages:
+//! [`serve`] (and its warm-starting variant [`serve_with`]) drives
+//! every tenant through three stages:
 //!
 //! 1. **Admission** — tenants arrive in id order into a bounded queue
 //!    (`queue_capacity`); at most `max_active` sessions run
 //!    concurrently. A full queue defers arrivals — the backpressure
-//!    the [`QueueStats`](crate::QueueStats) expose.
+//!    the [`QueueStats`](crate::QueueStats) expose. A zero-capacity
+//!    queue means "no buffering": arrivals are admitted directly up to
+//!    `max_active` and the rest stay deferred.
 //! 2. **Rounds** — each round runs one epoch of every active session,
 //!    fanned out over `jobs` scoped worker threads. Sessions only
 //!    touch their own simulator and publish commutative occupancy
@@ -15,17 +18,23 @@
 //! 3. **Barrier** — with the workers joined, all cross-tenant
 //!    decisions happen serially in deterministic order: contention and
 //!    peak accounting, departures (finished tenants release their
-//!    shard bytes), shard-pressure eviction (heaviest tenant in each
-//!    overflowing shard sheds its oldest regions there, repeatedly,
-//!    until the shard fits), and per-tenant policy decisions.
+//!    shard bytes), shard-pressure eviction (each overflowing shard
+//!    plans its whole victim set — heaviest tenant sheds the oldest
+//!    half of its regions there, repeatedly, until the shard fits —
+//!    then applies it with one eviction pass per victim tenant), and
+//!    per-tenant policy decisions.
 //!
-//! The outcome is byte-identical for every `jobs` value.
+//! The outcome is byte-identical for every `jobs` value, warm-started
+//! or not, and every outcome carries a
+//! [`ServeSnapshot`](crate::ServeSnapshot) of the final state so the
+//! next run can warm-start from it.
 
 use crate::policy::{PolicyConfig, PolicyEngine, SwitchRecord};
 use crate::report::{QueueStats, ServeOutcome, ServeReport, ShardReport, TenantSummary};
 use crate::session::{EpochStats, TenantSession, TenantSpec};
 use crate::shard::SharedCacheMap;
-use rsel_core::SimConfig;
+use crate::snapshot::{ServeSnapshot, TenantSnapshot};
+use rsel_core::{RegionId, SimConfig};
 use std::collections::VecDeque;
 use std::sync::Mutex;
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -69,8 +78,9 @@ impl Default for ServeConfig {
     }
 }
 
-/// Serves every spec to completion on `jobs` worker threads; the
-/// result is identical for any `jobs >= 1`.
+/// Serves every spec to completion on `jobs` worker threads from a
+/// cold start; the result is identical for any `jobs >= 1`. See
+/// [`serve_with`] to warm-start from a snapshot.
 ///
 /// # Panics
 ///
@@ -78,6 +88,34 @@ impl Default for ServeConfig {
 /// configuration is degenerate (zero epoch length, active limit, or
 /// shard count).
 pub fn serve(specs: &[TenantSpec], config: &ServeConfig, jobs: usize) -> ServeOutcome {
+    serve_with(specs, config, jobs, None)
+}
+
+/// Serves every spec to completion on `jobs` worker threads,
+/// warm-starting from `warm` when given: each tenant's policy engine
+/// resumes with the snapshot's learned scores and phase, and its code
+/// cache starts pre-populated with the snapshot's regions (rebuilt
+/// against the live program). The result is identical for any
+/// `jobs >= 1`, warm or cold.
+///
+/// `warm` must come from [`load_snapshot`](crate::load_snapshot) (or
+/// an outcome of a run over the same specs and policy configuration)
+/// — the loader is the validation boundary that turns corrupt or
+/// mismatched snapshots into typed errors.
+///
+/// # Panics
+///
+/// Panics if `specs` holds more than `u16::MAX` tenants, the
+/// configuration is degenerate (zero epoch length, active limit, or
+/// shard count), or `warm` does not match `specs`/`config` (tenant
+/// count, workload names, candidate list) — states the loader never
+/// produces.
+pub fn serve_with(
+    specs: &[TenantSpec],
+    config: &ServeConfig,
+    jobs: usize,
+    warm: Option<&ServeSnapshot>,
+) -> ServeOutcome {
     assert!(specs.len() <= u16::MAX as usize, "too many tenants");
     assert!(config.epoch_len > 0, "epochs must make progress");
     assert!(config.max_active > 0, "need at least one active session");
@@ -85,23 +123,57 @@ pub fn serve(specs: &[TenantSpec], config: &ServeConfig, jobs: usize) -> ServeOu
     let jobs = jobs.max(1);
 
     let mut map = SharedCacheMap::new(config.shard_count, config.shard_capacity, specs.len());
-    let mut engines: Vec<PolicyEngine> = specs
-        .iter()
-        .map(|_| PolicyEngine::new(config.policy.clone()))
-        .collect();
-    let mut sessions: Vec<Mutex<TenantSession<'_>>> = specs
-        .iter()
-        .enumerate()
-        .map(|(t, spec)| {
-            Mutex::new(TenantSession::new(
-                t as u16,
-                spec,
-                engines[t].current(),
-                &config.sim,
-                config.shard_count,
-            ))
-        })
-        .collect();
+    let mut engines: Vec<PolicyEngine>;
+    let mut sessions: Vec<Mutex<TenantSession<'_>>>;
+    let mut warm_regions_restored = 0u64;
+    match warm {
+        None => {
+            engines = specs
+                .iter()
+                .map(|_| PolicyEngine::new(config.policy.clone()))
+                .collect();
+            sessions = specs
+                .iter()
+                .enumerate()
+                .map(|(t, spec)| {
+                    Mutex::new(TenantSession::new(
+                        t as u16,
+                        spec,
+                        engines[t].current(),
+                        &config.sim,
+                        config.shard_count,
+                    ))
+                })
+                .collect();
+        }
+        Some(snap) => {
+            assert_eq!(
+                snap.tenants.len(),
+                specs.len(),
+                "snapshot tenant count must match the specs"
+            );
+            engines = snap
+                .tenants
+                .iter()
+                .map(|t| {
+                    PolicyEngine::restore(config.policy.clone(), &t.policy)
+                        .expect("snapshot policy state must match the configuration")
+                })
+                .collect();
+            sessions = specs
+                .iter()
+                .zip(&snap.tenants)
+                .enumerate()
+                .map(|(t, (spec, ts))| {
+                    let session =
+                        TenantSession::restore(t as u16, spec, ts, &config.sim, config.shard_count)
+                            .unwrap_or_else(|e| panic!("snapshot must match the specs: {e}"));
+                    warm_regions_restored += ts.regions.len() as u64;
+                    Mutex::new(session)
+                })
+                .collect();
+        }
+    }
 
     let mut pending: VecDeque<usize> = (0..specs.len()).collect();
     let mut queue: VecDeque<usize> = VecDeque::new();
@@ -110,33 +182,52 @@ pub fn serve(specs: &[TenantSpec], config: &ServeConfig, jobs: usize) -> ServeOu
     let mut switches: Vec<SwitchRecord> = Vec::new();
     let mut admitted_round = vec![0u64; specs.len()];
     let mut finished_round = vec![0u64; specs.len()];
+    let mut first_exploit_round: Vec<Option<u64>> = vec![None; specs.len()];
     let mut total_insts = 0u64;
     let mut round = 0u64;
 
     while !(pending.is_empty() && queue.is_empty() && active.is_empty()) {
         // --- Admission (serial, tenant order) -------------------------
-        while queue.len() < config.queue_capacity {
-            match pending.pop_front() {
-                Some(t) => queue.push_back(t),
-                None => break,
-            }
-        }
-        while active.len() < config.max_active {
-            match queue.pop_front() {
-                Some(t) => {
-                    active.push(t);
-                    admitted_round[t] = round;
-                    q.admissions += 1;
+        if config.queue_capacity == 0 {
+            // A zero-capacity queue buffers nothing: arrivals are
+            // admitted directly up to the active limit. (Routing them
+            // through the queue would livelock — nothing could ever
+            // enter a queue that holds zero tenants.)
+            while active.len() < config.max_active {
+                match pending.pop_front() {
+                    Some(t) => {
+                        active.push(t);
+                        admitted_round[t] = round;
+                        q.admissions += 1;
+                    }
+                    None => break,
                 }
-                None => break,
             }
-        }
-        // Arrivals keep the bounded queue full while the round runs;
-        // whoever does not fit is deferred behind it (backpressure).
-        while queue.len() < config.queue_capacity {
-            match pending.pop_front() {
-                Some(t) => queue.push_back(t),
-                None => break,
+        } else {
+            while queue.len() < config.queue_capacity {
+                match pending.pop_front() {
+                    Some(t) => queue.push_back(t),
+                    None => break,
+                }
+            }
+            while active.len() < config.max_active {
+                match queue.pop_front() {
+                    Some(t) => {
+                        active.push(t);
+                        admitted_round[t] = round;
+                        q.admissions += 1;
+                    }
+                    None => break,
+                }
+            }
+            // Arrivals keep the bounded queue full while the round
+            // runs; whoever does not fit is deferred behind it
+            // (backpressure).
+            while queue.len() < config.queue_capacity {
+                match pending.pop_front() {
+                    Some(t) => queue.push_back(t),
+                    None => break,
+                }
             }
         }
         active.sort_unstable();
@@ -186,6 +277,7 @@ pub fn serve(specs: &[TenantSpec], config: &ServeConfig, jobs: usize) -> ServeOu
         }
 
         // Departures release their shard bytes before pressure resolves.
+        let ran = active.clone();
         let mut still_active = Vec::with_capacity(active.len());
         for &t in &active {
             let session = sessions[t].get_mut().expect("session lock poisoned");
@@ -198,14 +290,21 @@ pub fn serve(specs: &[TenantSpec], config: &ServeConfig, jobs: usize) -> ServeOu
         }
         active = still_active;
 
-        // Shard pressure: each overflowing shard sheds the heaviest
-        // tenant's oldest regions, repeatedly, until it fits.
+        // Shard pressure: each overflowing shard is one pressure wave.
+        // The wave's whole victim set is planned first (heaviest tenant
+        // sheds the oldest half of its regions there, repeatedly, until
+        // the shard fits), then applied with a single eviction pass per
+        // victim tenant — the repeated cache rebuilds of per-batch
+        // eviction were quadratic in the region count.
         for shard in map.overflowing() {
-            loop {
-                let bytes = map.shard_bytes(shard);
-                if bytes.iter().sum::<u64>() <= map.capacity() {
-                    break;
-                }
+            map.note_wave(shard);
+            let mut bytes = map.shard_bytes(shard);
+            // Per-tenant surviving regions in the shard (fetched
+            // lazily; only victims pay the scan) and planned victims.
+            let mut remaining: Vec<Option<VecDeque<(RegionId, u64)>>> = vec![None; specs.len()];
+            let mut doomed: Vec<Vec<RegionId>> = vec![Vec::new(); specs.len()];
+            let mut zeroed: Vec<usize> = Vec::new();
+            while bytes.iter().sum::<u64>() > map.capacity() {
                 let mut victim = 0usize;
                 for (t, &b) in bytes.iter().enumerate() {
                     if b > bytes[victim] {
@@ -215,13 +314,40 @@ pub fn serve(specs: &[TenantSpec], config: &ServeConfig, jobs: usize) -> ServeOu
                 if bytes[victim] == 0 {
                     break; // nothing shedable is left in this shard
                 }
-                let session = sessions[victim].get_mut().expect("session lock poisoned");
-                let (evicted, left) = session.shed_shard(shard);
-                map.set_bytes(shard, victim as u16, left);
-                map.note_pressure(shard, evicted);
-                if evicted == 0 {
+                let regs = remaining[victim].get_or_insert_with(|| {
+                    sessions[victim]
+                        .get_mut()
+                        .expect("session lock poisoned")
+                        .shard_regions(shard)
+                        .into()
+                });
+                if regs.is_empty() {
+                    // The ledger says the tenant holds bytes here but
+                    // no live region backs them; zero the entry so the
+                    // wave cannot spin on it.
+                    bytes[victim] = 0;
+                    zeroed.push(victim);
+                    map.note_shed(shard, 0);
                     break;
                 }
+                let count = regs.len().div_ceil(2);
+                for _ in 0..count {
+                    let (id, _) = regs.pop_front().expect("count <= len");
+                    doomed[victim].push(id);
+                }
+                map.note_shed(shard, count as u64);
+                bytes[victim] = regs.iter().map(|&(_, b)| b).sum();
+            }
+            // Apply the plan, one eviction pass per victim tenant.
+            for (t, ids) in doomed.iter().enumerate() {
+                if !ids.is_empty() {
+                    let session = sessions[t].get_mut().expect("session lock poisoned");
+                    session.evict_planned(shard, ids, bytes[t]);
+                    map.set_bytes(shard, t as u16, bytes[t]);
+                }
+            }
+            for &t in &zeroed {
+                map.set_bytes(shard, t as u16, 0);
             }
         }
 
@@ -243,6 +369,14 @@ pub fn serve(specs: &[TenantSpec], config: &ServeConfig, jobs: usize) -> ServeOu
                 }
             }
         }
+        // First round at which each tenant's engine was exploiting —
+        // for warm-restored engines already past exploration, that is
+        // their first active round (even if they also finish in it).
+        for &t in &ran {
+            if first_exploit_round[t].is_none() && engines[t].exploiting() {
+                first_exploit_round[t] = Some(round);
+            }
+        }
 
         round += 1;
     }
@@ -251,16 +385,26 @@ pub fn serve(specs: &[TenantSpec], config: &ServeConfig, jobs: usize) -> ServeOu
     // --- Assemble the deterministic reports --------------------------
     let mut tenants = Vec::with_capacity(specs.len());
     let mut run_reports = Vec::with_capacity(specs.len());
+    let mut snapshot_tenants = Vec::with_capacity(specs.len());
     for (t, cell) in sessions.iter_mut().enumerate() {
         let session = cell.get_mut().expect("session lock poisoned");
+        // The engine is the authority on its own switch count; the
+        // global log must agree with it.
+        debug_assert_eq!(
+            engines[t].switches(),
+            switches.iter().filter(|s| s.tenant == t as u16).count() as u64
+                + warm.map_or(0, |s| s.tenants[t].policy.switches),
+            "engine switch count drifted from the switch log"
+        );
         tenants.push(TenantSummary {
             tenant: t as u16,
             workload: session.workload(),
             final_selector: session.kind().name(),
             epochs: session.epochs_run(),
-            switches: switches.iter().filter(|s| s.tenant == t as u16).count() as u64,
+            switches: engines[t].switches(),
             admitted_round: admitted_round[t],
             finished_round: finished_round[t],
+            first_exploit_round: first_exploit_round[t],
             total_insts: session.total_insts(),
             cache_insts: session.cache_insts(),
             insts_selected: session.insts_selected(),
@@ -268,6 +412,12 @@ pub fn serve(specs: &[TenantSpec], config: &ServeConfig, jobs: usize) -> ServeOu
             pressure_evicted: session.pressure_evicted(),
         });
         run_reports.push(session.report());
+        snapshot_tenants.push(TenantSnapshot {
+            workload: session.workload().to_string(),
+            selector: session.kind(),
+            policy: engines[t].export(),
+            regions: session.region_snapshots(),
+        });
     }
     let shards = map
         .into_stats()
@@ -278,6 +428,7 @@ pub fn serve(specs: &[TenantSpec], config: &ServeConfig, jobs: usize) -> ServeOu
             peak_bytes: s.peak_bytes,
             contended_rounds: s.contended_rounds,
             pressure_waves: s.pressure_waves,
+            shed_actions: s.shed_actions,
             evicted_regions: s.evicted_regions,
             final_bytes,
         })
@@ -290,6 +441,8 @@ pub fn serve(specs: &[TenantSpec], config: &ServeConfig, jobs: usize) -> ServeOu
             shard_capacity: config.shard_capacity,
             max_active: config.max_active,
             queue_capacity: config.queue_capacity,
+            warm_started: warm.is_some(),
+            warm_regions_restored,
             queue: q,
             tenants,
             shards,
@@ -297,6 +450,9 @@ pub fn serve(specs: &[TenantSpec], config: &ServeConfig, jobs: usize) -> ServeOu
             total_insts,
         },
         run_reports,
+        snapshot: ServeSnapshot {
+            tenants: snapshot_tenants,
+        },
     }
 }
 
@@ -382,5 +538,79 @@ mod tests {
         };
         let r = std::panic::catch_unwind(|| serve(&specs, &config, 1));
         assert!(r.is_err());
+    }
+
+    #[test]
+    fn zero_capacity_queue_terminates_and_admits_everyone() {
+        // Regression: queue_capacity = 0 used to livelock — nothing
+        // could ever enter a queue that holds zero tenants, so the
+        // admission loop spun forever with everybody pending.
+        let specs: Vec<TenantSpec> = suite()
+            .iter()
+            .take(4)
+            .map(|w| TenantSpec::record(w, 7, Scale::Test))
+            .collect();
+        let config = ServeConfig {
+            max_active: 2,
+            queue_capacity: 0,
+            ..ServeConfig::default()
+        };
+        let out = serve(&specs, &config, 2);
+        let q = &out.report.queue;
+        assert_eq!(q.admissions, 4, "everyone is admitted directly");
+        assert_eq!(q.peak_active, 2);
+        assert_eq!(q.peak_queue_depth, 0, "nothing is ever buffered");
+        assert_eq!(q.queued_tenant_rounds, 0);
+        assert!(q.deferred_tenant_rounds > 0, "arrivals still wait: {q:?}");
+        for t in &out.report.tenants {
+            assert!(t.total_insts > 0, "every tenant ran to completion");
+        }
+    }
+
+    #[test]
+    fn summary_switches_agree_with_the_switch_log() {
+        let specs = two_specs();
+        let out = serve(&specs, &ServeConfig::default(), 1);
+        for t in &out.report.tenants {
+            let logged = out
+                .report
+                .switches
+                .iter()
+                .filter(|s| s.tenant == t.tenant)
+                .count() as u64;
+            assert_eq!(t.switches, logged, "tenant {}", t.tenant);
+        }
+    }
+
+    #[test]
+    fn warm_start_runs_from_the_snapshot() {
+        let specs = two_specs();
+        let config = ServeConfig::default();
+        let cold = serve(&specs, &config, 1);
+        let warm = serve_with(&specs, &config, 1, Some(&cold.snapshot));
+        assert!(warm.report.warm_started);
+        assert!(!cold.report.warm_started);
+        assert_eq!(cold.report.warm_regions_restored, 0);
+        assert_eq!(
+            warm.report.warm_regions_restored,
+            cold.snapshot.region_count()
+        );
+        // The warm run replays the same streams, so totals agree even
+        // though the cache starts hot.
+        assert_eq!(cold.report.total_insts, warm.report.total_insts);
+        for (c, w) in cold.report.tenants.iter().zip(&warm.report.tenants) {
+            assert!(w.switches >= c.switches, "switch count carries over");
+        }
+    }
+
+    #[test]
+    fn mismatched_snapshot_panics() {
+        let specs = two_specs();
+        let config = ServeConfig::default();
+        let cold = serve(&specs, &config, 1);
+        let mut snap = cold.snapshot;
+        snap.tenants.pop();
+        let r = std::panic::catch_unwind(|| serve_with(&specs, &config, 1, Some(&snap)));
+        assert!(r.is_err(), "tenant-count mismatch must not serve");
     }
 }

@@ -10,9 +10,10 @@
 //! threads (everything inside is `Send`).
 
 use crate::shard::{SharedCacheMap, shard_of};
+use crate::snapshot::{RegionSnapshot, SnapshotError, TenantSnapshot};
 use rsel_core::metrics::RunReport;
 use rsel_core::select::SelectorKind;
-use rsel_core::{Region, RegionId, SimConfig, Simulator};
+use rsel_core::{RegionId, SimConfig, Simulator};
 use rsel_program::{Executor, Program, Step};
 use rsel_trace::CompactStream;
 use rsel_workloads::{Scale, Workload, suite};
@@ -153,6 +154,49 @@ impl<'p> TenantSession<'p> {
         }
     }
 
+    /// Opens a warm session over `spec` from a tenant's persisted
+    /// state: the simulator starts on the snapshot's selector with
+    /// every snapshotted region rebuilt against the spec's program
+    /// (stubs and size estimates re-derived, nothing trusted from
+    /// disk), then replays the recorded stream from the top.
+    ///
+    /// # Errors
+    ///
+    /// [`SnapshotError::WorkloadMismatch`] if `snap` records a
+    /// different workload than `spec`; [`SnapshotError::BadRegion`]
+    /// (or [`SnapshotError::Malformed`]) if a region does not rebuild
+    /// against the program.
+    pub fn restore(
+        tenant: u16,
+        spec: &'p TenantSpec,
+        snap: &TenantSnapshot,
+        config: &SimConfig,
+        shard_count: usize,
+    ) -> Result<Self, SnapshotError> {
+        if snap.workload != spec.name {
+            return Err(SnapshotError::WorkloadMismatch {
+                tenant,
+                snapshot: snap.workload.clone(),
+                spec: spec.name,
+            });
+        }
+        let mut session = TenantSession::new(tenant, spec, snap.selector, config, shard_count);
+        let mut regions = Vec::with_capacity(snap.regions.len());
+        for r in &snap.regions {
+            regions.push(r.rebuild(&spec.program).map_err(|e| match e {
+                SnapshotError::BadRegion { source, .. } => {
+                    SnapshotError::BadRegion { tenant, source }
+                }
+                other => other,
+            })?);
+        }
+        session
+            .sim
+            .restore_regions(regions)
+            .map_err(|source| SnapshotError::BadRegion { tenant, source })?;
+        Ok(session)
+    }
+
     /// The tenant id.
     pub fn tenant(&self) -> u16 {
         self.tenant
@@ -247,27 +291,41 @@ impl<'p> TenantSession<'p> {
         }
     }
 
-    /// Barrier-side pressure response: evicts the oldest half of this
-    /// tenant's regions living in `shard` (at least one), returning
-    /// `(regions evicted, bytes still held in the shard)`. Evicting
-    /// nothing means the tenant has no live region left there.
-    pub fn shed_shard(&mut self, shard: usize) -> (u64, u64) {
-        let ids: Vec<RegionId> = self
-            .sim
+    /// Barrier-side pressure planning: this tenant's live regions in
+    /// `shard`, in selection order, each with its size estimate. The
+    /// scheduler plans a shard's whole victim set against these lists
+    /// and then applies it with one [`TenantSession::evict_planned`]
+    /// call per tenant.
+    pub fn shard_regions(&self, shard: usize) -> Vec<(RegionId, u64)> {
+        self.sim
             .cache()
             .regions()
             .iter()
             .filter(|r| shard_of(self.tenant, r.entry(), self.shard_count) == shard)
-            .map(Region::id)
-            .collect();
-        if ids.is_empty() {
-            return (0, 0);
-        }
-        let count = ids.len().div_ceil(2);
-        let evicted = self.sim.evict_regions(&ids[..count]) as u64;
-        let left = self.shard_occupancy(shard);
+            .map(|r| (r.id(), r.size_estimate(self.stub_bytes)))
+            .collect()
+    }
+
+    /// Barrier-side pressure response: evicts the planned victim set
+    /// `ids` from `shard` in one pass, recording `left` (the planner's
+    /// byte total for the surviving regions) as the published
+    /// occupancy. Returns the regions actually evicted.
+    pub fn evict_planned(&mut self, shard: usize, ids: &[RegionId], left: u64) -> u64 {
+        let evicted = self.sim.evict_regions(ids) as u64;
+        debug_assert_eq!(left, self.shard_occupancy(shard), "planned bytes drifted");
         self.published[shard] = left;
-        (evicted, left)
+        evicted
+    }
+
+    /// The persisted shape of every cached region, in selection order
+    /// (see [`RegionSnapshot`]).
+    pub fn region_snapshots(&self) -> Vec<RegionSnapshot> {
+        self.sim
+            .cache()
+            .regions()
+            .iter()
+            .map(RegionSnapshot::capture)
+            .collect()
     }
 
     /// Barrier-side selector switch: swaps the session onto `kind`
@@ -363,11 +421,17 @@ mod tests {
         let total: u64 = s.occupancy().iter().sum();
         assert_eq!(total, s.sim.cache().size_estimate(cfg.stub_bytes));
         assert!(total > 0, "the hot workload cached something");
-        // Shed the heaviest shard down.
+        // Shed the oldest half of the heaviest shard in one planned
+        // eviction, the way the scheduler's barrier does.
         let heavy = (0..8).max_by_key(|&i| s.occupancy()[i]).unwrap();
         let before = s.occupancy()[heavy];
-        let (evicted, left) = s.shed_shard(heavy);
-        assert!(evicted > 0);
+        let regs = s.shard_regions(heavy);
+        assert_eq!(regs.iter().map(|&(_, b)| b).sum::<u64>(), before);
+        let count = regs.len().div_ceil(2);
+        let doomed: Vec<RegionId> = regs[..count].iter().map(|&(id, _)| id).collect();
+        let left: u64 = regs[count..].iter().map(|&(_, b)| b).sum();
+        let evicted = s.evict_planned(heavy, &doomed, left);
+        assert_eq!(evicted, count as u64);
         assert!(left < before);
         assert_eq!(left, s.occupancy()[heavy]);
         assert_eq!(s.pressure_evicted(), evicted);

@@ -53,8 +53,14 @@ pub struct ShardLifetime {
     pub peak_bytes: u64,
     /// Rounds in which two or more tenants updated this shard.
     pub contended_rounds: u64,
-    /// Pressure waves triggered (rounds the shard exceeded capacity).
+    /// Pressure waves: barriers at which the shard exceeded capacity
+    /// (at most one per round, however many evictions resolving the
+    /// wave took).
     pub pressure_waves: u64,
+    /// Shed actions: individual eviction calls applied while resolving
+    /// pressure waves (one wave may shed several times before the
+    /// shard fits).
+    pub shed_actions: u64,
     /// Regions evicted from this shard by pressure waves.
     pub evicted_regions: u64,
 }
@@ -154,10 +160,17 @@ impl SharedCacheMap {
             .bytes[tenant as usize] = bytes;
     }
 
-    /// Barrier: records a pressure wave against `shard` that evicted
-    /// `evicted` regions.
-    pub fn note_pressure(&mut self, shard: usize, evicted: u64) {
+    /// Barrier: records that `shard` was over capacity at this round's
+    /// barrier — one pressure wave, regardless of how many shed
+    /// actions resolving it takes.
+    pub fn note_wave(&mut self, shard: usize) {
         self.stats[shard].pressure_waves += 1;
+    }
+
+    /// Barrier: records one shed action against `shard` that evicted
+    /// `evicted` regions.
+    pub fn note_shed(&mut self, shard: usize, evicted: u64) {
+        self.stats[shard].shed_actions += 1;
         self.stats[shard].evicted_regions += evicted;
     }
 
@@ -223,13 +236,17 @@ mod tests {
         let stats = {
             map.set_bytes(1, 1, 0);
             assert_eq!(map.overflowing(), Vec::<usize>::new());
-            map.note_pressure(1, 5);
+            // One wave over the shard, resolved by two shed actions.
+            map.note_wave(1);
+            map.note_shed(1, 3);
+            map.note_shed(1, 2);
             map.clear_tenant(0);
             map.into_stats()
         };
         assert_eq!(stats[1].0.contended_rounds, 1);
         assert_eq!(stats[2].0.contended_rounds, 0);
         assert_eq!(stats[1].0.pressure_waves, 1);
+        assert_eq!(stats[1].0.shed_actions, 2);
         assert_eq!(stats[1].0.evicted_regions, 5);
         assert_eq!(stats[1].0.peak_bytes, 130);
         assert_eq!(stats[1].1, 0, "shard 1 emptied");

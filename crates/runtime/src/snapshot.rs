@@ -1,0 +1,739 @@
+//! Snapshot/warm-start persistence for the serving runtime.
+//!
+//! A serving run ends with everything the paper says is expensive to
+//! learn: which selector wins for each tenant (the policy engine's
+//! scores and phase) and the hot working set itself (the code cache).
+//! A cold restart throws both away and re-explores from scratch. This
+//! module persists that learned state in a versioned binary
+//! [`ServeSnapshot`] so the next run can warm-start.
+//!
+//! Two design rules, both borrowed from `rsel_trace`'s compact stream
+//! format:
+//!
+//! - **Strict validation.** The loader resolves every field against
+//!   the tenant specs and policy configuration it will be replayed
+//!   under: wrong magic/version, unknown selector tags, candidate
+//!   lists that differ from the configuration, policy state the engine
+//!   rejects, region blocks that do not exist in the tenant's program,
+//!   and trailing bytes all produce a typed [`SnapshotError`] — never
+//!   a panic, never a silent partial restore.
+//! - **Re-derive, don't trust.** A snapshot stores only region
+//!   *shape* — entry address, block path, observed edges. Stubs, size
+//!   estimates, and cache offsets are rebuilt against the live
+//!   [`Program`](rsel_program::Program) on restore, so a snapshot can
+//!   never smuggle stale layout into a run.
+//!
+//! # Format (version 1)
+//!
+//! Little-endian throughout.
+//!
+//! ```text
+//! magic            b"RSNP"
+//! version          u16 (= 1)
+//! tenant_count     u16
+//! per tenant:
+//!   name_len       u8, then name bytes (UTF-8 workload name)
+//!   selector       u8 (selector tag, see below)
+//!   exploring      u8 (0 = exploit, 1 = explore)
+//!   next           u32 (next candidate while exploring, else 0)
+//!   current        u32 (index of the running candidate)
+//!   candidates     u32, then per candidate:
+//!     kind         u8 (selector tag)
+//!     has_score    u8 (0/1), then score f64 bits if 1
+//!   ema            f64 bits
+//!   switches       u64
+//!   region_count   u32, then per region:
+//!     kind         u8 (0 = trace, 1 = combined)
+//!     entry        u64
+//!     block_count  u32, then block start addresses u64 each
+//!     edge_count   u32, then (from u64, to u64) pairs
+//! ```
+//!
+//! Selector tags are the positions in
+//! [`SelectorKind::extended`](rsel_core::SelectorKind::extended)
+//! (0 = NET … 7 = ADORE). Storing each candidate's kind next to its
+//! score means a snapshot saved under one candidate configuration can
+//! never be replayed against another silently
+//! ([`SnapshotError::CandidateMismatch`]).
+
+use crate::policy::{PolicyConfig, PolicyEngine, PolicyState};
+use crate::session::TenantSpec;
+use rsel_core::select::SelectorKind;
+use rsel_core::{Region, RegionKind, SimError};
+use rsel_program::Addr;
+use std::collections::HashSet;
+use std::error::Error;
+use std::fmt;
+use std::fs::File;
+use std::io::{self, BufReader, BufWriter, Read, Write};
+use std::path::Path;
+
+const MAGIC: &[u8; 4] = b"RSNP";
+const VERSION: u16 = 1;
+
+const KIND_TRACE: u8 = 0;
+const KIND_COMBINED: u8 = 1;
+
+/// An error loading a serve snapshot.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum SnapshotError {
+    /// Underlying I/O failure.
+    Io(io::Error),
+    /// The input does not start with the snapshot magic.
+    BadMagic,
+    /// The format version is not supported.
+    BadVersion(u16),
+    /// A structural tag byte (exploring flag, score presence, region
+    /// kind) is invalid.
+    BadTag(u8),
+    /// A selector tag names no implemented selector.
+    UnknownSelector(u8),
+    /// The snapshot serves a different tenant population.
+    TenantCountMismatch {
+        /// Tenants stored in the snapshot.
+        snapshot: u16,
+        /// Tenant specs it was asked to warm.
+        specs: usize,
+    },
+    /// A tenant's workload name disagrees with its spec.
+    WorkloadMismatch {
+        /// The tenant id.
+        tenant: u16,
+        /// Workload name stored in the snapshot.
+        snapshot: String,
+        /// Workload name of the spec at that position.
+        spec: &'static str,
+    },
+    /// A tenant's stored candidate list disagrees with the policy
+    /// configuration the snapshot is being replayed under.
+    CandidateMismatch {
+        /// The tenant id.
+        tenant: u16,
+    },
+    /// A tenant's policy state is internally inconsistent (indices out
+    /// of range, non-finite scores, or a running selector that is not
+    /// the current candidate).
+    BadPolicyState(u16),
+    /// A tenant's region cannot be rebuilt against its program.
+    BadRegion {
+        /// The tenant id.
+        tenant: u16,
+        /// Why the rebuild failed.
+        source: SimError,
+    },
+    /// A structural invariant of the format is violated.
+    Malformed(&'static str),
+    /// The input continues past the end of a well-formed snapshot.
+    TrailingData,
+}
+
+impl fmt::Display for SnapshotError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SnapshotError::Io(e) => write!(f, "snapshot i/o failed: {e}"),
+            SnapshotError::BadMagic => write!(f, "not a serve snapshot (bad magic)"),
+            SnapshotError::BadVersion(v) => write!(f, "unsupported snapshot version {v}"),
+            SnapshotError::BadTag(t) => write!(f, "invalid snapshot tag {t}"),
+            SnapshotError::UnknownSelector(t) => write!(f, "unknown selector tag {t}"),
+            SnapshotError::TenantCountMismatch { snapshot, specs } => {
+                write!(
+                    f,
+                    "snapshot holds {snapshot} tenants but {specs} specs given"
+                )
+            }
+            SnapshotError::WorkloadMismatch {
+                tenant,
+                snapshot,
+                spec,
+            } => write!(
+                f,
+                "tenant {tenant} snapshot records workload {snapshot:?} but spec is {spec:?}"
+            ),
+            SnapshotError::CandidateMismatch { tenant } => {
+                write!(
+                    f,
+                    "tenant {tenant} candidate list differs from the configuration"
+                )
+            }
+            SnapshotError::BadPolicyState(t) => {
+                write!(f, "tenant {t} policy state is inconsistent")
+            }
+            SnapshotError::BadRegion { tenant, source } => {
+                write!(f, "tenant {tenant} region cannot be rebuilt: {source}")
+            }
+            SnapshotError::Malformed(what) => write!(f, "malformed snapshot: {what}"),
+            SnapshotError::TrailingData => {
+                write!(f, "input continues past the end of the snapshot")
+            }
+        }
+    }
+}
+
+impl Error for SnapshotError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            SnapshotError::Io(e) => Some(e),
+            SnapshotError::BadRegion { source, .. } => Some(source),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for SnapshotError {
+    fn from(e: io::Error) -> Self {
+        SnapshotError::Io(e)
+    }
+}
+
+/// Stable on-disk tag for a selector kind (its position in
+/// [`SelectorKind::extended`]).
+fn selector_tag(kind: SelectorKind) -> u8 {
+    SelectorKind::extended()
+        .iter()
+        .position(|&k| k == kind)
+        .expect("extended() lists every selector") as u8
+}
+
+fn tag_selector(tag: u8) -> Result<SelectorKind, SnapshotError> {
+    SelectorKind::extended()
+        .get(tag as usize)
+        .copied()
+        .ok_or(SnapshotError::UnknownSelector(tag))
+}
+
+/// One cached region's persisted shape: just enough to rebuild it
+/// against the tenant's program ([`RegionSnapshot::rebuild`]). Stubs,
+/// sizes, and layout are re-derived on restore, never stored.
+#[derive(Clone, Debug, PartialEq)]
+pub struct RegionSnapshot {
+    /// Trace or combined.
+    pub kind: RegionKind,
+    /// The region's single entry address (always `blocks[0]`).
+    pub entry: Addr,
+    /// Copied block start addresses, in region order (the trace path
+    /// for trace regions).
+    pub blocks: Vec<Addr>,
+    /// Internal edges. Empty for trace regions, whose edges are a pure
+    /// function of the path; the full observed set for combined
+    /// regions.
+    pub edges: Vec<(Addr, Addr)>,
+}
+
+impl RegionSnapshot {
+    /// Captures a live region's shape.
+    pub fn capture(region: &Region) -> Self {
+        let blocks: Vec<Addr> = region.blocks().iter().map(|b| b.start()).collect();
+        let edges = match region.kind() {
+            RegionKind::Trace => Vec::new(),
+            RegionKind::Combined => blocks
+                .iter()
+                .flat_map(|&from| region.successors(from).iter().map(move |&to| (from, to)))
+                .collect(),
+        };
+        RegionSnapshot {
+            kind: region.kind(),
+            entry: region.entry(),
+            blocks,
+            edges,
+        }
+    }
+
+    /// Rebuilds the region against `program`, re-deriving edges, exit
+    /// stubs, and size estimates from the live block bodies.
+    ///
+    /// # Errors
+    ///
+    /// [`SnapshotError::Malformed`] if the snapshot's own invariants
+    /// are broken (trace with stored edges, entry not the first
+    /// block); the underlying [`SimError`] if a block or edge does not
+    /// exist in `program`.
+    pub fn rebuild(&self, program: &rsel_program::Program) -> Result<Region, SnapshotError> {
+        if self.blocks.first() != Some(&self.entry) {
+            return Err(SnapshotError::Malformed(
+                "region entry is not its first block",
+            ));
+        }
+        let build = match self.kind {
+            RegionKind::Trace => {
+                if !self.edges.is_empty() {
+                    return Err(SnapshotError::Malformed("trace region stores edges"));
+                }
+                Region::try_trace(program, &self.blocks)
+            }
+            RegionKind::Combined => Region::try_combined(program, &self.blocks, &self.edges),
+        };
+        build.map_err(|source| SnapshotError::BadRegion { tenant: 0, source })
+    }
+}
+
+/// One tenant's persisted serving state: its identity, the selector
+/// it was running, everything its policy engine had learned, and the
+/// shape of every region in its code cache.
+#[derive(Clone, Debug, PartialEq)]
+pub struct TenantSnapshot {
+    /// Workload name, validated against the spec on load.
+    pub workload: String,
+    /// The selector driving the session when the snapshot was taken.
+    pub selector: SelectorKind,
+    /// The policy engine's exported state.
+    pub policy: PolicyState,
+    /// Every cached region, in selection order.
+    pub regions: Vec<RegionSnapshot>,
+}
+
+/// A whole serving run's persisted state, one [`TenantSnapshot`] per
+/// tenant in tenant order. Produced at the end of
+/// [`serve_with`](crate::serve::serve_with) (every
+/// [`ServeOutcome`](crate::ServeOutcome) carries one) and fed back to
+/// warm-start the next run.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ServeSnapshot {
+    /// Per-tenant state, in tenant order.
+    pub tenants: Vec<TenantSnapshot>,
+}
+
+impl ServeSnapshot {
+    /// Total regions stored across all tenants.
+    pub fn region_count(&self) -> u64 {
+        self.tenants.iter().map(|t| t.regions.len() as u64).sum()
+    }
+
+    /// Saves the snapshot to `path` (see [`save_snapshot`]).
+    ///
+    /// # Errors
+    ///
+    /// Propagates any I/O error.
+    pub fn save_to_path<P: AsRef<Path>>(&self, path: P) -> io::Result<()> {
+        let mut w = BufWriter::new(File::create(path)?);
+        save_snapshot(self, &mut w)?;
+        w.flush()
+    }
+
+    /// Loads and validates a snapshot from `path` (see
+    /// [`load_snapshot`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`SnapshotError`] on I/O failure or any validation
+    /// failure against `specs`/`policy`.
+    pub fn load_from_path<P: AsRef<Path>>(
+        specs: &[TenantSpec],
+        policy: &PolicyConfig,
+        path: P,
+    ) -> Result<Self, SnapshotError> {
+        load_snapshot(specs, policy, BufReader::new(File::open(path)?))
+    }
+}
+
+/// Writes `snapshot` to `writer` in the version-1 binary format.
+///
+/// # Errors
+///
+/// Propagates any I/O error from the writer.
+///
+/// # Panics
+///
+/// Panics if a workload name exceeds 255 bytes or a tenant holds more
+/// than `u32::MAX` regions — neither can come from a real serving run.
+pub fn save_snapshot<W: Write>(snapshot: &ServeSnapshot, mut writer: W) -> io::Result<()> {
+    writer.write_all(MAGIC)?;
+    writer.write_all(&VERSION.to_le_bytes())?;
+    writer.write_all(&(snapshot.tenants.len() as u16).to_le_bytes())?;
+    for t in &snapshot.tenants {
+        assert!(
+            t.workload.len() <= u8::MAX as usize,
+            "workload name too long"
+        );
+        writer.write_all(&[t.workload.len() as u8])?;
+        writer.write_all(t.workload.as_bytes())?;
+        writer.write_all(&[selector_tag(t.selector)])?;
+        writer.write_all(&[t.policy.exploring as u8])?;
+        writer.write_all(&t.policy.next.to_le_bytes())?;
+        writer.write_all(&t.policy.current.to_le_bytes())?;
+        writer.write_all(&(t.policy.scores.len() as u32).to_le_bytes())?;
+        for (i, score) in t.policy.scores.iter().enumerate() {
+            // Candidate kinds ride next to their scores so the loader
+            // can refuse a foreign candidate configuration.
+            let kind = t
+                .policy
+                .candidates
+                .get(i)
+                .copied()
+                .expect("one candidate per score slot");
+            writer.write_all(&[selector_tag(kind)])?;
+            match score {
+                Some(s) => {
+                    writer.write_all(&[1])?;
+                    writer.write_all(&s.to_bits().to_le_bytes())?;
+                }
+                None => writer.write_all(&[0])?,
+            }
+        }
+        writer.write_all(&t.policy.ema.to_bits().to_le_bytes())?;
+        writer.write_all(&t.policy.switches.to_le_bytes())?;
+        writer.write_all(&(t.regions.len() as u32).to_le_bytes())?;
+        for r in &t.regions {
+            let kind = match r.kind {
+                RegionKind::Trace => KIND_TRACE,
+                RegionKind::Combined => KIND_COMBINED,
+            };
+            writer.write_all(&[kind])?;
+            writer.write_all(&r.entry.raw().to_le_bytes())?;
+            writer.write_all(&(r.blocks.len() as u32).to_le_bytes())?;
+            for b in &r.blocks {
+                writer.write_all(&b.raw().to_le_bytes())?;
+            }
+            writer.write_all(&(r.edges.len() as u32).to_le_bytes())?;
+            for &(from, to) in &r.edges {
+                writer.write_all(&from.raw().to_le_bytes())?;
+                writer.write_all(&to.raw().to_le_bytes())?;
+            }
+        }
+    }
+    Ok(())
+}
+
+fn read_u8<R: Read>(r: &mut R) -> Result<u8, SnapshotError> {
+    let mut b = [0u8; 1];
+    r.read_exact(&mut b)?;
+    Ok(b[0])
+}
+
+fn read_u32<R: Read>(r: &mut R) -> Result<u32, SnapshotError> {
+    let mut b = [0u8; 4];
+    r.read_exact(&mut b)?;
+    Ok(u32::from_le_bytes(b))
+}
+
+fn read_u64<R: Read>(r: &mut R) -> Result<u64, SnapshotError> {
+    let mut b = [0u8; 8];
+    r.read_exact(&mut b)?;
+    Ok(u64::from_le_bytes(b))
+}
+
+fn read_flag<R: Read>(r: &mut R) -> Result<bool, SnapshotError> {
+    match read_u8(r)? {
+        0 => Ok(false),
+        1 => Ok(true),
+        t => Err(SnapshotError::BadTag(t)),
+    }
+}
+
+/// Reads and fully validates a snapshot from `reader` against the
+/// tenant `specs` and `policy` configuration it will warm.
+///
+/// Validation is strict: every region is rebuilt against its tenant's
+/// program (and discarded — [`TenantSession::restore`]
+/// (crate::TenantSession::restore) rebuilds again into a live
+/// simulator), every policy state must be one
+/// [`PolicyEngine::restore`] accepts, and the input must end exactly
+/// where the format says it does.
+///
+/// # Errors
+///
+/// Returns a [`SnapshotError`] describing the first violation found.
+pub fn load_snapshot<R: Read>(
+    specs: &[TenantSpec],
+    policy: &PolicyConfig,
+    mut reader: R,
+) -> Result<ServeSnapshot, SnapshotError> {
+    let mut magic = [0u8; 4];
+    reader.read_exact(&mut magic)?;
+    if &magic != MAGIC {
+        return Err(SnapshotError::BadMagic);
+    }
+    let mut u16b = [0u8; 2];
+    reader.read_exact(&mut u16b)?;
+    let version = u16::from_le_bytes(u16b);
+    if version != VERSION {
+        return Err(SnapshotError::BadVersion(version));
+    }
+    reader.read_exact(&mut u16b)?;
+    let tenant_count = u16::from_le_bytes(u16b);
+    if tenant_count as usize != specs.len() {
+        return Err(SnapshotError::TenantCountMismatch {
+            snapshot: tenant_count,
+            specs: specs.len(),
+        });
+    }
+    let mut tenants = Vec::with_capacity(tenant_count as usize);
+    for (t, spec) in specs.iter().enumerate() {
+        let tenant = t as u16;
+        let name_len = read_u8(&mut reader)? as usize;
+        let mut name = vec![0u8; name_len];
+        reader.read_exact(&mut name)?;
+        let workload = String::from_utf8(name)
+            .map_err(|_| SnapshotError::Malformed("workload name is not UTF-8"))?;
+        if workload != spec.name() {
+            return Err(SnapshotError::WorkloadMismatch {
+                tenant,
+                snapshot: workload,
+                spec: spec.name(),
+            });
+        }
+        let selector = tag_selector(read_u8(&mut reader)?)?;
+        let exploring = read_flag(&mut reader)?;
+        let next = read_u32(&mut reader)?;
+        let current = read_u32(&mut reader)?;
+        let candidate_count = read_u32(&mut reader)? as usize;
+        if candidate_count != policy.candidates.len() {
+            return Err(SnapshotError::CandidateMismatch { tenant });
+        }
+        let mut scores = Vec::with_capacity(candidate_count);
+        for i in 0..candidate_count {
+            let kind = tag_selector(read_u8(&mut reader)?)?;
+            if kind != policy.candidates[i] {
+                return Err(SnapshotError::CandidateMismatch { tenant });
+            }
+            scores.push(if read_flag(&mut reader)? {
+                Some(f64::from_bits(read_u64(&mut reader)?))
+            } else {
+                None
+            });
+        }
+        let ema = f64::from_bits(read_u64(&mut reader)?);
+        let switches = read_u64(&mut reader)?;
+        let state = PolicyState {
+            exploring,
+            next,
+            current,
+            scores,
+            ema,
+            switches,
+            candidates: policy.candidates.clone(),
+        };
+        // The engine is the authority on state consistency; anything it
+        // rejects, the loader rejects.
+        if PolicyEngine::restore(policy.clone(), &state).is_none() {
+            return Err(SnapshotError::BadPolicyState(tenant));
+        }
+        if policy.candidates[current as usize] != selector {
+            return Err(SnapshotError::BadPolicyState(tenant));
+        }
+        let region_count = read_u32(&mut reader)? as usize;
+        let mut regions = Vec::with_capacity(region_count.min(1 << 20));
+        let mut entries = HashSet::with_capacity(region_count.min(1 << 20));
+        for _ in 0..region_count {
+            let kind = match read_u8(&mut reader)? {
+                KIND_TRACE => RegionKind::Trace,
+                KIND_COMBINED => RegionKind::Combined,
+                tag => return Err(SnapshotError::BadTag(tag)),
+            };
+            let entry = Addr::new(read_u64(&mut reader)?);
+            let block_count = read_u32(&mut reader)? as usize;
+            let mut blocks = Vec::with_capacity(block_count.min(1 << 20));
+            for _ in 0..block_count {
+                blocks.push(Addr::new(read_u64(&mut reader)?));
+            }
+            let edge_count = read_u32(&mut reader)? as usize;
+            let mut edges = Vec::with_capacity(edge_count.min(1 << 20));
+            for _ in 0..edge_count {
+                let from = Addr::new(read_u64(&mut reader)?);
+                let to = Addr::new(read_u64(&mut reader)?);
+                edges.push((from, to));
+            }
+            if !entries.insert(entry) {
+                return Err(SnapshotError::BadRegion {
+                    tenant,
+                    source: SimError::DuplicateRegionEntry(entry),
+                });
+            }
+            let snap = RegionSnapshot {
+                kind,
+                entry,
+                blocks,
+                edges,
+            };
+            // Prove the region rebuilds against the live program now,
+            // so a warm start can only fail before any state is built.
+            snap.rebuild(spec.program()).map_err(|e| match e {
+                SnapshotError::BadRegion { source, .. } => {
+                    SnapshotError::BadRegion { tenant, source }
+                }
+                other => other,
+            })?;
+            regions.push(snap);
+        }
+        tenants.push(TenantSnapshot {
+            workload,
+            selector,
+            policy: state,
+            regions,
+        });
+    }
+    // A well-formed snapshot consumes the input exactly.
+    let mut probe = [0u8; 1];
+    match reader.read(&mut probe) {
+        Ok(0) => {}
+        Ok(_) => return Err(SnapshotError::TrailingData),
+        Err(e) => return Err(SnapshotError::Io(e)),
+    }
+    Ok(ServeSnapshot { tenants })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::serve::{ServeConfig, serve};
+    use rsel_workloads::{Scale, suite};
+
+    fn specs() -> Vec<TenantSpec> {
+        suite()
+            .iter()
+            .take(2)
+            .map(|w| TenantSpec::record(w, 7, Scale::Test))
+            .collect()
+    }
+
+    fn served_snapshot(specs: &[TenantSpec]) -> ServeSnapshot {
+        serve(specs, &ServeConfig::default(), 1).snapshot
+    }
+
+    fn to_bytes(snap: &ServeSnapshot) -> Vec<u8> {
+        let mut buf = Vec::new();
+        save_snapshot(snap, &mut buf).unwrap();
+        buf
+    }
+
+    #[test]
+    fn round_trips_bytewise_and_structurally() {
+        let specs = specs();
+        let snap = served_snapshot(&specs);
+        assert!(snap.region_count() > 0, "the run cached something");
+        let buf = to_bytes(&snap);
+        let loaded = load_snapshot(&specs, &PolicyConfig::default(), buf.as_slice()).unwrap();
+        assert_eq!(loaded, snap);
+        // Saving the loaded snapshot reproduces the bytes exactly.
+        assert_eq!(to_bytes(&loaded), buf);
+    }
+
+    #[test]
+    fn bad_magic_version_and_trailing_data_rejected() {
+        let specs = specs();
+        let snap = served_snapshot(&specs);
+        let policy = PolicyConfig::default();
+        let err = load_snapshot(&specs, &policy, b"NOPE".as_slice()).unwrap_err();
+        assert!(matches!(err, SnapshotError::BadMagic), "{err}");
+        let mut buf = to_bytes(&snap);
+        buf[4] = 0xff;
+        let err = load_snapshot(&specs, &policy, buf.as_slice()).unwrap_err();
+        assert!(matches!(err, SnapshotError::BadVersion(_)), "{err}");
+        let mut buf = to_bytes(&snap);
+        buf.push(0);
+        let err = load_snapshot(&specs, &policy, buf.as_slice()).unwrap_err();
+        assert!(matches!(err, SnapshotError::TrailingData), "{err}");
+        let mut buf = to_bytes(&snap);
+        buf.truncate(buf.len() - 3);
+        let err = load_snapshot(&specs, &policy, buf.as_slice()).unwrap_err();
+        assert!(matches!(err, SnapshotError::Io(_)), "{err}");
+    }
+
+    #[test]
+    fn foreign_population_rejected() {
+        let specs = specs();
+        let snap = served_snapshot(&specs);
+        let policy = PolicyConfig::default();
+        let buf = to_bytes(&snap);
+        // Fewer specs than the snapshot serves.
+        let err = load_snapshot(&specs[..1], &policy, buf.as_slice()).unwrap_err();
+        assert!(
+            matches!(err, SnapshotError::TenantCountMismatch { .. }),
+            "{err}"
+        );
+        // Same count, different workloads.
+        let reordered: Vec<TenantSpec> = suite()
+            .iter()
+            .skip(2)
+            .take(2)
+            .map(|w| TenantSpec::record(w, 7, Scale::Test))
+            .collect();
+        let err = load_snapshot(&reordered, &policy, buf.as_slice()).unwrap_err();
+        assert!(
+            matches!(err, SnapshotError::WorkloadMismatch { .. }),
+            "{err}"
+        );
+        // Same workloads, different candidate configuration.
+        let extended = PolicyConfig {
+            candidates: SelectorKind::extended().to_vec(),
+            ..PolicyConfig::default()
+        };
+        let err = load_snapshot(&specs, &extended, buf.as_slice()).unwrap_err();
+        assert!(
+            matches!(err, SnapshotError::CandidateMismatch { .. }),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn corrupt_selector_and_policy_rejected() {
+        let specs = specs();
+        let snap = served_snapshot(&specs);
+        let policy = PolicyConfig::default();
+        // The selector tag sits right after the tenant's name.
+        let name_len = snap.tenants[0].workload.len();
+        let mut buf = to_bytes(&snap);
+        let tag_at = 4 + 2 + 2 + 1 + name_len;
+        buf[tag_at] = 0xee;
+        let err = load_snapshot(&specs, &policy, buf.as_slice()).unwrap_err();
+        assert!(matches!(err, SnapshotError::UnknownSelector(0xee)), "{err}");
+        // A selector that is a real candidate but not the policy's
+        // current one is inconsistent state, not a corruption.
+        let mut bad = snap.clone();
+        let current = bad.tenants[0].policy.current as usize;
+        bad.tenants[0].selector = PolicyConfig::default().candidates[(current + 1) % 4];
+        let err = load_snapshot(&specs, &policy, to_bytes(&bad).as_slice()).unwrap_err();
+        assert!(matches!(err, SnapshotError::BadPolicyState(0)), "{err}");
+        let mut bad = snap.clone();
+        bad.tenants[0].policy.ema = f64::NAN;
+        let err = load_snapshot(&specs, &policy, to_bytes(&bad).as_slice()).unwrap_err();
+        assert!(matches!(err, SnapshotError::BadPolicyState(0)), "{err}");
+    }
+
+    #[test]
+    fn regions_are_validated_against_the_program() {
+        let specs = specs();
+        let snap = served_snapshot(&specs);
+        let policy = PolicyConfig::default();
+        // A region whose blocks exist nowhere in the program.
+        let mut bad = snap.clone();
+        bad.tenants[0].regions.push(RegionSnapshot {
+            kind: RegionKind::Trace,
+            entry: Addr::new(0xdead_beef),
+            blocks: vec![Addr::new(0xdead_beef)],
+            edges: Vec::new(),
+        });
+        let err = load_snapshot(&specs, &policy, to_bytes(&bad).as_slice()).unwrap_err();
+        assert!(
+            matches!(err, SnapshotError::BadRegion { tenant: 0, .. }),
+            "{err}"
+        );
+        // Two regions with the same entry cannot coexist in a cache.
+        let mut bad = snap.clone();
+        let dup = bad.tenants[0].regions[0].clone();
+        bad.tenants[0].regions.push(dup);
+        let err = load_snapshot(&specs, &policy, to_bytes(&bad).as_slice()).unwrap_err();
+        assert!(
+            matches!(
+                err,
+                SnapshotError::BadRegion {
+                    tenant: 0,
+                    source: SimError::DuplicateRegionEntry(_),
+                }
+            ),
+            "{err}"
+        );
+        // A trace region must not store edges.
+        let mut bad = snap;
+        if let Some(i) = bad.tenants[0]
+            .regions
+            .iter()
+            .position(|r| r.kind == RegionKind::Trace)
+        {
+            let entry = bad.tenants[0].regions[i].entry;
+            bad.tenants[0].regions[i].edges.push((entry, entry));
+            let err = load_snapshot(&specs, &policy, to_bytes(&bad).as_slice()).unwrap_err();
+            assert!(matches!(err, SnapshotError::Malformed(_)), "{err}");
+        }
+    }
+}

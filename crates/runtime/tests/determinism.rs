@@ -8,7 +8,7 @@
 //! a full active set, shard pressure, backpressure, and adaptive
 //! selector switches.
 
-use rsel_runtime::{ServeConfig, ServeOutcome, TenantSpec, serve};
+use rsel_runtime::{ServeConfig, ServeOutcome, TenantSpec, serve, serve_with};
 use rsel_workloads::Scale;
 
 const SEED: u64 = 2005;
@@ -40,6 +40,29 @@ fn serial_and_parallel_runs_are_identical() {
     {
         assert_eq!(a, b, "tenant {t} diverged across worker counts");
     }
+    // The captured snapshot is part of the deterministic outcome.
+    assert_eq!(serial.snapshot, parallel.snapshot);
+}
+
+#[test]
+fn warm_started_runs_are_identical_across_worker_counts() {
+    // The core invariant must survive a warm start: a run restored
+    // from a snapshot is byte-identical for every worker count.
+    let specs = TenantSpec::record_suite(SEED, Scale::Test);
+    let config = ServeConfig::default();
+    let snapshot = serve(&specs, &config, 2).snapshot;
+    let warm1 = serve_with(&specs, &config, 1, Some(&snapshot));
+    let warm8 = serve_with(&specs, &config, 8, Some(&snapshot));
+    assert!(warm1.report.warm_started && warm8.report.warm_started);
+    assert!(warm1.report.warm_regions_restored > 0);
+    assert_eq!(
+        warm1.report.to_json(),
+        warm8.report.to_json(),
+        "warm ServeReport JSON must not depend on the worker count"
+    );
+    assert_eq!(warm1.report, warm8.report);
+    assert_eq!(warm1.run_reports, warm8.run_reports);
+    assert_eq!(warm1.snapshot, warm8.snapshot);
 }
 
 #[test]
@@ -72,6 +95,10 @@ fn default_run_exhibits_the_serving_behaviours() {
     // Shard pressure fired and evicted regions; the evictions surface
     // in tenants' resilience stats exactly like any pressure event.
     assert!(rep.pressure_waves() > 0, "no shard ever overflowed");
+    assert!(
+        rep.shed_actions() >= rep.pressure_waves(),
+        "every wave sheds at least once"
+    );
     let evicted: u64 = rep.shards.iter().map(|s| s.evicted_regions).sum();
     let shed: u64 = rep.tenants.iter().map(|t| t.pressure_evicted).sum();
     assert!(evicted > 0);
@@ -136,7 +163,11 @@ fn json_is_well_formed_enough_to_diff() {
         "\"bench\": \"serve\"",
         "\"rounds\":",
         "\"insts_per_round\":",
+        "\"warm_started\": false",
+        "\"warm_regions_restored\": 0",
         "\"pressure_waves\":",
+        "\"shed_actions\":",
+        "\"first_exploit_round\":",
         "\"tenants\":",
         "\"shards\":",
         "\"switches\":",

@@ -1,0 +1,102 @@
+//! Property tests for the snapshot loader's robustness, mirroring the
+//! compact-stream suite in `rsel-trace`.
+//!
+//! `load_snapshot` is fed corrupted inputs — truncations at every
+//! possible length and single-bit flips at arbitrary positions — and
+//! must always either return a typed [`SnapshotError`]
+//! (rsel_runtime::SnapshotError) or a snapshot that is fully valid:
+//! the right tenant population, every region rebuildable, every
+//! session restorable. It must never panic and never silently yield a
+//! partial restore.
+
+use proptest::prelude::*;
+use rsel_runtime::snapshot::{load_snapshot, save_snapshot};
+use rsel_runtime::{PolicyConfig, PolicyEngine, ServeConfig, TenantSession, TenantSpec, serve};
+use rsel_workloads::{Scale, suite};
+use std::sync::OnceLock;
+
+/// One recorded two-tenant serving run and its snapshot bytes, built
+/// once — the corpus every corruption case perturbs.
+fn fixture() -> &'static (Vec<TenantSpec>, Vec<u8>) {
+    static FIX: OnceLock<(Vec<TenantSpec>, Vec<u8>)> = OnceLock::new();
+    FIX.get_or_init(|| {
+        let specs: Vec<TenantSpec> = suite()
+            .iter()
+            .take(2)
+            .map(|w| TenantSpec::record(w, 2005, Scale::Test))
+            .collect();
+        let out = serve(&specs, &ServeConfig::default(), 1);
+        let mut buf = Vec::new();
+        save_snapshot(&out.snapshot, &mut buf).unwrap();
+        (specs, buf)
+    })
+}
+
+proptest! {
+    /// Every proper prefix of a snapshot file is rejected with a typed
+    /// error; no truncation parses as a smaller-but-valid snapshot.
+    #[test]
+    fn truncation_always_errors(cut in 0usize..1 << 16) {
+        let (specs, buf) = fixture();
+        let cut = cut % buf.len();
+        let r = load_snapshot(specs, &PolicyConfig::default(), &buf[..cut]);
+        prop_assert!(r.is_err(), "prefix of {cut} bytes must not parse");
+    }
+
+    /// A single flipped bit anywhere in the file never panics the
+    /// loader, and whatever parses is fully valid: the right tenant
+    /// count, and every tenant restorable into a live session.
+    #[test]
+    fn bit_flips_error_or_stay_fully_valid(byte in 0usize..1 << 16, bit in 0u8..8) {
+        let (specs, buf) = fixture();
+        let mut buf = buf.clone();
+        let byte = byte % buf.len();
+        buf[byte] ^= 1 << bit;
+        let config = ServeConfig::default();
+        match load_snapshot(specs, &config.policy, buf.as_slice()) {
+            Err(_) => {} // typed rejection is always acceptable
+            Ok(snap) => {
+                // The flip hit a payload byte the format cannot
+                // distinguish from legitimate data (another valid
+                // address, a different score). The snapshot must still
+                // restore completely: every engine and every session.
+                prop_assert_eq!(snap.tenants.len(), specs.len(),
+                    "accepted snapshot silently changed population");
+                for (t, (spec, ts)) in specs.iter().zip(&snap.tenants).enumerate() {
+                    let engine = PolicyEngine::restore(config.policy.clone(), &ts.policy);
+                    prop_assert!(engine.is_some(), "tenant {} engine", t);
+                    let session = TenantSession::restore(
+                        t as u16, spec, ts, &config.sim, config.shard_count,
+                    );
+                    prop_assert!(session.is_ok(), "tenant {} session", t);
+                    prop_assert_eq!(
+                        session.unwrap().region_snapshots().len(),
+                        ts.regions.len(),
+                        "accepted snapshot dropped regions"
+                    );
+                }
+            }
+        }
+    }
+
+    /// Appending garbage after a well-formed snapshot is detected: a
+    /// corrupted count field can never make the loader stop early and
+    /// accept the rest as slack.
+    #[test]
+    fn trailing_bytes_rejected(extra in 1usize..16) {
+        let (specs, buf) = fixture();
+        let mut buf = buf.clone();
+        buf.extend(vec![0u8; extra]);
+        let r = load_snapshot(specs, &PolicyConfig::default(), buf.as_slice());
+        prop_assert!(r.is_err(), "trailing {extra} bytes must be rejected");
+    }
+}
+
+#[test]
+fn pristine_snapshot_still_round_trips() {
+    let (specs, buf) = fixture();
+    let snap = load_snapshot(specs, &PolicyConfig::default(), buf.as_slice()).unwrap();
+    let mut again = Vec::new();
+    save_snapshot(&snap, &mut again).unwrap();
+    assert_eq!(&again, buf, "load ∘ save is the identity on valid files");
+}

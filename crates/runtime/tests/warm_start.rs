@@ -1,0 +1,132 @@
+//! Warm-start acceptance tests: a snapshot restores the serving state
+//! exactly, and a warm-started session reaches the cold run's final
+//! hit rate in strictly fewer epochs.
+
+use rsel_core::SimConfig;
+use rsel_core::select::SelectorKind;
+use rsel_runtime::snapshot::{ServeSnapshot, TenantSnapshot, load_snapshot, save_snapshot};
+use rsel_runtime::{PolicyConfig, PolicyEngine, ServeConfig, TenantSession, TenantSpec, serve};
+use rsel_workloads::{Scale, suite};
+
+const SEED: u64 = 2005;
+
+#[test]
+fn snapshot_restores_selector_scores_and_regions_exactly() {
+    let specs = TenantSpec::record_suite(SEED, Scale::Test);
+    let config = ServeConfig::default();
+    let out = serve(&specs, &config, 2);
+
+    // Through bytes and back: the loaded snapshot is the saved one.
+    let mut buf = Vec::new();
+    save_snapshot(&out.snapshot, &mut buf).unwrap();
+    let loaded = load_snapshot(&specs, &config.policy, buf.as_slice()).unwrap();
+    assert_eq!(loaded, out.snapshot);
+
+    for (t, (spec, snap)) in specs.iter().zip(&loaded.tenants).enumerate() {
+        // The policy engine restores to exactly the exported state.
+        let engine = PolicyEngine::restore(config.policy.clone(), &snap.policy)
+            .expect("loader-validated state restores");
+        assert_eq!(engine.export(), snap.policy, "tenant {t} policy drifted");
+        assert_eq!(engine.current(), snap.selector);
+        assert_eq!(
+            engine.switches(),
+            out.report.tenants[t].switches,
+            "switch count carries across the restore"
+        );
+        // The session restores every cached region, re-derived against
+        // the program but shape-identical to what was saved.
+        let session = TenantSession::restore(t as u16, spec, snap, &config.sim, config.shard_count)
+            .expect("loader-validated snapshot restores");
+        assert_eq!(session.kind(), snap.selector, "tenant {t} selector");
+        assert_eq!(
+            session.region_snapshots(),
+            snap.regions,
+            "tenant {t} cache contents drifted through the round trip"
+        );
+    }
+}
+
+/// Cumulative hit rate after each epoch of a session, driven to
+/// completion on a fixed selector.
+fn hit_rate_curve(session: &mut TenantSession<'_>, epoch_len: usize) -> Vec<f64> {
+    let mut curve = Vec::new();
+    while !session.finished() {
+        session.run_epoch(epoch_len);
+        let total = session.total_insts();
+        let rate = if total == 0 {
+            0.0
+        } else {
+            session.cache_insts() as f64 / total as f64
+        };
+        curve.push(rate);
+    }
+    curve
+}
+
+/// First epoch (1-based) at which the curve reaches `target`, if it
+/// ever does.
+fn epochs_to_reach(curve: &[f64], target: f64) -> Option<usize> {
+    curve
+        .iter()
+        .position(|&r| r >= target - 1e-12)
+        .map(|i| i + 1)
+}
+
+#[test]
+fn warm_session_reaches_cold_final_hit_rate_in_fewer_epochs() {
+    // For each suite workload: run one tenant cold to completion, then
+    // warm-start a fresh session from its final cache and measure how
+    // many epochs each needs to reach the cold run's final hit rate.
+    // The snapshot must pay off on at least one workload (in practice
+    // it pays off on nearly all of them).
+    let config = SimConfig::default();
+    let policy = PolicyConfig::default();
+    const EPOCH: usize = 2048;
+    let mut faster = 0usize;
+    let mut tried = 0usize;
+    for w in suite() {
+        let spec = TenantSpec::record(&w, SEED, Scale::Test);
+        let mut cold = TenantSession::new(0, &spec, SelectorKind::Net, &config, 16);
+        let cold_curve = hit_rate_curve(&mut cold, EPOCH);
+        let target = *cold_curve.last().unwrap();
+        if target == 0.0 || cold_curve.len() < 2 {
+            continue; // nothing to learn or too short to compare
+        }
+        let snap = TenantSnapshot {
+            workload: spec.name().to_string(),
+            selector: SelectorKind::Net,
+            policy: PolicyEngine::new(policy.clone()).export(),
+            regions: cold.region_snapshots(),
+        };
+        let mut warm = TenantSession::restore(0, &spec, &snap, &config, 16).unwrap();
+        let warm_curve = hit_rate_curve(&mut warm, EPOCH);
+        tried += 1;
+        let cold_epochs = epochs_to_reach(&cold_curve, target).expect("reaches its own final");
+        if epochs_to_reach(&warm_curve, target).is_some_and(|w| w < cold_epochs) {
+            faster += 1;
+        }
+    }
+    assert!(tried > 0, "the suite produced comparable workloads");
+    assert!(
+        faster >= 1,
+        "warm start never reached the cold hit rate earlier ({faster}/{tried})"
+    );
+}
+
+#[test]
+fn serve_snapshot_round_trips_through_disk() {
+    let specs: Vec<TenantSpec> = suite()
+        .iter()
+        .take(3)
+        .map(|w| TenantSpec::record(w, SEED, Scale::Test))
+        .collect();
+    let config = ServeConfig::default();
+    let out = serve(&specs, &config, 1);
+    let dir = std::env::temp_dir().join(format!("rsel-snap-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("serve.snap");
+    out.snapshot.save_to_path(&path).unwrap();
+    let loaded = ServeSnapshot::load_from_path(&specs, &config.policy, &path).unwrap();
+    assert_eq!(loaded, out.snapshot);
+    std::fs::remove_dir_all(&dir).unwrap();
+}
