@@ -7,12 +7,26 @@
 //! wall-clock- or worker-count-dependent, so the file is byte-identical
 //! for every `RSEL_JOBS`; wall time goes to stderr only.
 //!
-//! `RSEL_SNAPSHOT=path` enables warm-start persistence: if the file
-//! exists the run warm-starts from it (after strict validation — a
-//! corrupt or mismatched snapshot is a hard error), a cold run is
-//! served alongside for comparison, and the cold-vs-warm hit rate and
-//! rounds-to-first-exploit go to stderr. The end-of-run snapshot is
-//! always written back to the path.
+//! Fault traffic is enabled with the `RSEL_SMC_*` knobs (all rates in
+//! events per million executed blocks):
+//!
+//! - `RSEL_SMC_PPM` — self-modifying-code write rate;
+//! - `RSEL_SMC_SPAN` — maximum bytes one write dirties (default 64);
+//! - `RSEL_SMC_SEED` — base fault seed (each tenant's schedule is
+//!   derived from it and the tenant id, so the outcome stays
+//!   byte-identical across worker counts);
+//! - `RSEL_FLUSH_PPM` — cache-pressure flush-wave rate;
+//! - `RSEL_BLACKLIST_AFTER` — invalidations of one entry before it is
+//!   demoted to interpretation (default 3).
+//!
+//! `RSEL_SNAPSHOT=path` enables warm-start persistence. Loading is
+//! *lenient* by default: a tenant whose saved state no longer matches
+//! the serving configuration cold-starts with a stderr warning (and is
+//! counted in `warm_rejected_tenants`), and a structurally unreadable
+//! file downgrades the whole run to a cold start. Set
+//! `RSEL_SNAPSHOT_STRICT` to restore the old behaviour where any
+//! defect is a hard error. The end-of-run snapshot is always written
+//! back to the path.
 //!
 //! At test scale (or whenever `RSEL_CROSSCHECK` is set) the outcome is
 //! re-served on 1 and 8 workers and the bin exits non-zero if the
@@ -22,9 +36,23 @@
 
 use rsel_bench::harness::DEFAULT_SEED;
 use rsel_bench::jobs_from_env;
-use rsel_runtime::{ServeConfig, ServeReport, ServeSnapshot, TenantSpec, serve_with};
+use rsel_runtime::{
+    ServeConfig, ServeOutcome, ServeReport, ServeSnapshot, TenantSpec, WarmStart, serve, serve_warm,
+};
 use rsel_workloads::Scale;
 use std::time::Instant;
+
+/// Parses env var `name` as a `u64`, defaulting when unset. A set but
+/// unparsable value is a hard error — a typo must not silently serve
+/// an unfaulted run.
+fn env_u64(name: &str, default: u64) -> u64 {
+    match std::env::var(name) {
+        Ok(v) => v
+            .parse()
+            .unwrap_or_else(|_| panic!("{name} must be an unsigned integer, got {v:?}")),
+        Err(_) => default,
+    }
+}
 
 fn main() {
     let jobs = jobs_from_env();
@@ -33,8 +61,31 @@ fn main() {
         _ => Scale::Test,
     };
     let crosscheck = matches!(scale, Scale::Test) || std::env::var_os("RSEL_CROSSCHECK").is_some();
+    let strict = std::env::var_os("RSEL_SNAPSHOT_STRICT").is_some();
     let snapshot_path = std::env::var_os("RSEL_SNAPSHOT").map(std::path::PathBuf::from);
-    let config = ServeConfig::default();
+
+    let mut config = ServeConfig::default();
+    config.sim.faults.smc_write_ppm = env_u64("RSEL_SMC_PPM", 0) as u32;
+    config.sim.faults.smc_max_span = env_u64("RSEL_SMC_SPAN", 64);
+    config.sim.faults.seed = env_u64("RSEL_SMC_SEED", 0);
+    config.sim.faults.flush_wave_ppm = env_u64("RSEL_FLUSH_PPM", 0) as u32;
+    config.sim.faults.blacklist_after = env_u64("RSEL_BLACKLIST_AFTER", 3) as u32;
+    config
+        .sim
+        .faults
+        .check()
+        .expect("RSEL_SMC_* knobs are sane");
+    if config.sim.faults.active() {
+        eprintln!(
+            "fault traffic enabled: {} smc ppm (span {} B), {} flush ppm, \
+             blacklist after {}, seed {}",
+            config.sim.faults.smc_write_ppm,
+            config.sim.faults.smc_max_span,
+            config.sim.faults.flush_wave_ppm,
+            config.sim.faults.blacklist_after,
+            config.sim.faults.seed,
+        );
+    }
 
     eprintln!("recording the suite ({scale:?} scale)...");
     let t = Instant::now();
@@ -42,32 +93,61 @@ fn main() {
     eprintln!("  recorded in {:.1} ms", t.elapsed().as_secs_f64() * 1e3);
 
     // Warm-start from the snapshot when one is present on disk. The
-    // loader is strict: anything short of a well-formed snapshot for
-    // exactly this suite and policy is a typed error, and a bad file is
-    // a hard failure rather than a silent cold start.
-    let warm = match &snapshot_path {
+    // lenient loader degrades semantically stale tenants to cold
+    // slots; under RSEL_SNAPSHOT_STRICT anything short of a fully
+    // valid snapshot is a hard failure.
+    let warm: Option<WarmStart> = match &snapshot_path {
         Some(path) if path.exists() => {
-            match ServeSnapshot::load_from_path(&specs, &config.policy, path) {
-                Ok(snap) => {
-                    eprintln!(
-                        "warm-starting from {} ({} regions)",
-                        path.display(),
-                        snap.region_count()
-                    );
-                    Some(snap)
+            if strict {
+                match ServeSnapshot::load_from_path(&specs, &config.policy, path) {
+                    Ok(snap) => {
+                        eprintln!(
+                            "warm-starting from {} ({} regions, strict)",
+                            path.display(),
+                            snap.region_count()
+                        );
+                        Some(snap.into_warm_start())
+                    }
+                    Err(e) => {
+                        eprintln!("FAIL: snapshot {} rejected: {e}", path.display());
+                        std::process::exit(1);
+                    }
                 }
-                Err(e) => {
-                    eprintln!("FAIL: snapshot {} rejected: {e}", path.display());
-                    std::process::exit(1);
+            } else {
+                match WarmStart::load_from_path(&specs, &config.policy, path) {
+                    Ok(w) => {
+                        eprintln!(
+                            "warm-starting from {} ({} regions, {}/{} tenants restored)",
+                            path.display(),
+                            w.region_count(),
+                            w.restored_tenants(),
+                            specs.len()
+                        );
+                        Some(w)
+                    }
+                    Err(e) => {
+                        eprintln!(
+                            "warning: snapshot {} unreadable, cold-starting the run: {e}",
+                            path.display()
+                        );
+                        None
+                    }
                 }
             }
         }
         _ => None,
     };
 
+    let run = |jobs: usize| -> ServeOutcome {
+        match &warm {
+            Some(w) => serve_warm(&specs, &config, jobs, w),
+            None => serve(&specs, &config, jobs),
+        }
+    };
+
     eprintln!("serving {} tenants on {jobs} workers...", specs.len());
     let t = Instant::now();
-    let out = serve_with(&specs, &config, jobs, warm.as_ref());
+    let out = run(jobs);
     let serve_ms = t.elapsed().as_secs_f64() * 1e3;
     let rep = &out.report;
     eprintln!(
@@ -80,13 +160,35 @@ fn main() {
         rep.shed_actions(),
         rep.switches.len()
     );
+    if config.sim.faults.active() {
+        let dips: u64 = rep.tenants.iter().map(|t| t.smc_dips).sum();
+        let worst = rep
+            .tenants
+            .iter()
+            .map(|t| t.max_dip_depth)
+            .fold(0.0f64, f64::max);
+        eprintln!(
+            "  resilience: {} regions invalidated, {} targets blacklisted, \
+             {} hit-rate dips (deepest {:.4})",
+            rep.smc_invalidated_regions(),
+            rep.blacklisted_targets(),
+            dips,
+            worst,
+        );
+    }
+    if rep.warm_rejected_tenants > 0 {
+        eprintln!(
+            "  {} tenant(s) cold-started after snapshot rejection",
+            rep.warm_rejected_tenants
+        );
+    }
 
     // When warm-started, serve the same suite cold and report what the
     // snapshot bought: aggregate hit rate and mean rounds from
     // admission to the first exploit-phase decision.
     if warm.is_some() {
         eprintln!("serving cold for comparison...");
-        let cold = serve_with(&specs, &config, jobs, None);
+        let cold = serve(&specs, &config, jobs);
         let hit = |r: &ServeReport| {
             let cached: u64 = r.tenants.iter().map(|t| t.cache_insts).sum();
             cached as f64 / r.total_insts as f64
@@ -113,8 +215,8 @@ fn main() {
     let mut ok = true;
     if crosscheck {
         eprintln!("cross-checking RSEL_JOBS=1 vs RSEL_JOBS=8...");
-        let serial = serve_with(&specs, &config, 1, warm.as_ref());
-        let parallel = serve_with(&specs, &config, 8, warm.as_ref());
+        let serial = run(1);
+        let parallel = run(8);
         if serial.report.to_json() != parallel.report.to_json() || serial.report != parallel.report
         {
             eprintln!("DIVERGENCE: ServeReport differs between 1 and 8 workers");

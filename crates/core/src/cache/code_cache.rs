@@ -5,6 +5,17 @@ use crate::error::SimError;
 use crate::fxhash::{FxHashMap, FxHashSet};
 use rsel_program::Addr;
 
+/// Bytes per page of the invalidation index (512 = 2⁹).
+///
+/// Self-modifying-code writes dirty small ranges (a couple of patched
+/// instructions — [`FaultConfig::smc_max_span`](crate::FaultConfig)
+/// defaults to 64 bytes), so a fine page keeps the per-write lookup to
+/// one or two buckets while still amortizing index maintenance across
+/// a block's bytes. 512 B is deliberately finer than the 4 KiB
+/// virtual-memory page the locality metrics use: the index models the
+/// dirty-tracking granularity of the code cache, not the MMU.
+pub const INDEX_PAGE_BYTES: u64 = 512;
+
 /// The outcome of removing regions from the cache (a self-modifying-code
 /// invalidation or a cache-pressure eviction wave).
 #[derive(Debug, Default)]
@@ -47,6 +58,13 @@ pub struct CodeCache {
     entries: FxHashMap<Addr, RegionId>,
     /// Live region id → index in `regions`.
     index_of: FxHashMap<RegionId, usize>,
+    /// Page-granular invalidation index: page number (at
+    /// [`INDEX_PAGE_BYTES`] per page) → ids of live regions with a
+    /// copied block whose bytes touch that page. Regions register
+    /// their pages at insert time and deregister on removal, so an
+    /// SMC write resolves its doomed set in O(pages touched) instead
+    /// of scanning every live region.
+    page_index: FxHashMap<u64, Vec<RegionId>>,
     /// Next id to assign; monotonic until a full flush.
     next_id: u32,
     /// Lazy links installed between live regions.
@@ -64,6 +82,7 @@ impl Default for CodeCache {
             regions: Vec::new(),
             entries: FxHashMap::default(),
             index_of: FxHashMap::default(),
+            page_index: FxHashMap::default(),
             next_id: 0,
             links_out: FxHashMap::default(),
             links_in: FxHashMap::default(),
@@ -117,6 +136,7 @@ impl CodeCache {
         self.regions.clear();
         self.entries.clear();
         self.index_of.clear();
+        self.page_index.clear();
         self.links_out.clear();
         self.links_in.clear();
         self.next_id = 0;
@@ -163,6 +183,9 @@ impl CodeCache {
         self.next_offset += region.size_estimate(self.stub_bytes);
         self.entries.insert(region.entry(), id);
         self.index_of.insert(id, self.regions.len());
+        for page in region.pages_spanned(INDEX_PAGE_BYTES) {
+            self.page_index.entry(page).or_default().push(id);
+        }
         self.regions.push(region);
         Ok(id)
     }
@@ -230,16 +253,78 @@ impl CodeCache {
         self.links_out.values().map(|s| s.len() as u64).sum()
     }
 
-    /// Removes every live region whose copied blocks overlap the byte
-    /// range `[lo, hi)` — the recovery response to a self-modifying-code
-    /// write. Links touching a removed region are severed.
-    pub fn invalidate_range(&mut self, lo: Addr, hi: Addr) -> Removal {
-        let doomed: FxHashSet<RegionId> = self
+    /// Ids of the live regions whose copied blocks overlap the byte
+    /// range `[lo, hi)`, in ascending id order, resolved through the
+    /// page-granular invalidation index: only regions filed under a
+    /// page the range touches are tested, so the cost scales with
+    /// pages touched (plus candidates on them), not with the live
+    /// region count.
+    ///
+    /// Degenerate ranges spanning more pages than the index holds
+    /// (e.g. a whole-address-space probe) walk the index's occupied
+    /// pages instead of the range, so the cost is also bounded by the
+    /// cache's own footprint.
+    pub fn regions_overlapping(&self, lo: Addr, hi: Addr) -> Vec<RegionId> {
+        if lo >= hi {
+            return Vec::new();
+        }
+        let first = lo.raw() / INDEX_PAGE_BYTES;
+        let last = (hi.raw() - 1) / INDEX_PAGE_BYTES;
+        let mut ids: Vec<RegionId> = Vec::new();
+        let candidates = |page_ids: &[RegionId], ids: &mut Vec<RegionId>| {
+            for &id in page_ids {
+                if self.regions[self.index_of[&id]].overlaps_range(lo, hi) {
+                    ids.push(id);
+                }
+            }
+        };
+        if last - first < self.page_index.len() as u64 {
+            for page in first..=last {
+                if let Some(page_ids) = self.page_index.get(&page) {
+                    candidates(page_ids, &mut ids);
+                }
+            }
+        } else {
+            for (&page, page_ids) in &self.page_index {
+                if (first..=last).contains(&page) {
+                    candidates(page_ids, &mut ids);
+                }
+            }
+        }
+        ids.sort_unstable();
+        ids.dedup();
+        ids
+    }
+
+    /// The pre-index implementation of [`CodeCache::regions_overlapping`]:
+    /// a linear scan over every live region. Kept as the oracle the
+    /// indexed path is checked against (a `debug_assert` on every
+    /// invalidation, and property tests over arbitrary
+    /// insert/invalidate/evict sequences).
+    pub fn regions_overlapping_scan(&self, lo: Addr, hi: Addr) -> Vec<RegionId> {
+        let mut ids: Vec<RegionId> = self
             .regions
             .iter()
             .filter(|r| r.overlaps_range(lo, hi))
             .map(Region::id)
             .collect();
+        ids.sort_unstable();
+        ids
+    }
+
+    /// Removes every live region whose copied blocks overlap the byte
+    /// range `[lo, hi)` — the recovery response to a self-modifying-code
+    /// write. Links touching a removed region are severed. Doomed
+    /// regions are resolved through the page index; debug builds
+    /// cross-check the result against the linear-scan oracle.
+    pub fn invalidate_range(&mut self, lo: Addr, hi: Addr) -> Removal {
+        let indexed = self.regions_overlapping(lo, hi);
+        debug_assert_eq!(
+            indexed,
+            self.regions_overlapping_scan(lo, hi),
+            "page index diverged from the scan oracle for [{lo}, {hi})"
+        );
+        let doomed: FxHashSet<RegionId> = indexed.into_iter().collect();
         self.remove_ids(&doomed)
     }
 
@@ -278,6 +363,16 @@ impl CodeCache {
             if doomed.contains(&r.id()) {
                 self.entries.remove(&r.entry());
                 self.index_of.remove(&r.id());
+                for page in r.pages_spanned(INDEX_PAGE_BYTES) {
+                    let bucket = self
+                        .page_index
+                        .get_mut(&page)
+                        .expect("removed region was filed under its pages");
+                    bucket.retain(|&id| id != r.id());
+                    if bucket.is_empty() {
+                        self.page_index.remove(&page);
+                    }
+                }
                 removed.push(r);
             } else {
                 kept.push(r);
@@ -489,6 +584,60 @@ mod tests {
         let out = cache.evict_oldest(10);
         assert_eq!(out.removed.len(), 1);
         assert!(cache.is_empty());
+    }
+
+    #[test]
+    fn page_index_matches_the_scan_oracle() {
+        let p = program();
+        let mut cache = CodeCache::new();
+        let s: Vec<Addr> = p.blocks().iter().map(|b| b.start()).collect();
+        let id0 = cache.insert(Region::trace(&p, &[s[0]]));
+        let id1 = cache.insert(Region::trace(&p, &[s[1], s[0]]));
+        let id2 = cache.insert(Region::trace(&p, &[s[2]]));
+        // Point probes, a multi-region span, and a miss.
+        let probes = [
+            (s[0], s[0].offset(1)),
+            (s[0], s[2].offset(1)),
+            (s[1], s[2]),
+            (Addr::new(0), Addr::new(0x50)),
+            (s[2], s[2]), // empty range
+        ];
+        for (lo, hi) in probes {
+            assert_eq!(
+                cache.regions_overlapping(lo, hi),
+                cache.regions_overlapping_scan(lo, hi),
+                "probe [{lo}, {hi})"
+            );
+        }
+        assert_eq!(
+            cache.regions_overlapping(s[0], s[0].offset(1)),
+            vec![id0, id1]
+        );
+        // A whole-address-space probe takes the index-walk path and
+        // still finds everything exactly once.
+        assert_eq!(
+            cache.regions_overlapping(Addr::new(0), Addr::new(u64::MAX)),
+            vec![id0, id1, id2]
+        );
+        // Removal deregisters: the dead region disappears from every
+        // probe, survivors stay findable.
+        cache.invalidate_range(s[1], s[1].offset(1));
+        assert_eq!(cache.regions_overlapping(s[0], s[0].offset(1)), vec![id0]);
+        assert_eq!(
+            cache.regions_overlapping(Addr::new(0), Addr::new(u64::MAX)),
+            vec![id0, id2]
+        );
+        cache.evict_oldest(1);
+        assert_eq!(
+            cache.regions_overlapping(Addr::new(0), Addr::new(u64::MAX)),
+            vec![id2]
+        );
+        cache.flush();
+        assert!(
+            cache
+                .regions_overlapping(Addr::new(0), Addr::new(u64::MAX))
+                .is_empty()
+        );
     }
 
     #[test]

@@ -393,6 +393,31 @@ impl Region {
         })
     }
 
+    /// The sorted, deduplicated page numbers the region's copied
+    /// blocks span, at `page_bytes` bytes per page — the keys under
+    /// which the code cache's page-granular invalidation index files
+    /// this region. A block occupies every page its byte range
+    /// `[start, start + byte_size)` intersects (zero-byte blocks are
+    /// charged one byte, matching [`Region::overlaps_range`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics (in debug builds) if `page_bytes` is not a power of two.
+    pub fn pages_spanned(&self, page_bytes: u64) -> Vec<u64> {
+        debug_assert!(page_bytes.is_power_of_two(), "page size must be 2^k");
+        let mut pages: Vec<u64> = Vec::with_capacity(self.blocks.len());
+        for b in &self.blocks {
+            let start = b.start().raw();
+            let last = start.saturating_add(b.byte_size().max(1) - 1);
+            for p in (start / page_bytes)..=(last / page_bytes) {
+                pages.push(p);
+            }
+        }
+        pages.sort_unstable();
+        pages.dedup();
+        pages
+    }
+
     /// Whether the region contains a branch back to its entry — the
     /// static "spans a cycle" property of §3.2.1.
     pub fn spans_cycle(&self) -> bool {
@@ -574,6 +599,25 @@ mod tests {
         assert!(!t.overlaps_range(a_end, s[0]));
         // A range spanning the whole program overlaps everything.
         assert!(t.overlaps_range(Addr::new(0), Addr::new(u64::MAX)));
+    }
+
+    #[test]
+    fn pages_spanned_covers_block_bytes() {
+        let p = program();
+        let s = starts(&p);
+        let t = Region::trace(&p, &[s[0], s[2]]);
+        // With a page as large as the whole layout, one page suffices.
+        assert_eq!(t.pages_spanned(1 << 20), vec![0]);
+        // At byte granularity every copied byte gets its own "page";
+        // zero-byte blocks are charged one byte.
+        let bytes: u64 = t.blocks().iter().map(|b| b.byte_size().max(1)).sum();
+        assert_eq!(t.pages_spanned(1).len() as u64, bytes);
+        // Pages come out sorted and deduplicated.
+        let pages = t.pages_spanned(8);
+        let mut sorted = pages.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(pages, sorted);
     }
 
     #[test]

@@ -54,7 +54,6 @@
 pub mod cache;
 pub mod config;
 pub mod error;
-pub mod fxhash;
 pub mod metrics;
 pub mod select;
 pub mod sim;
@@ -63,6 +62,7 @@ pub use cache::{CodeCache, Region, RegionId, RegionKind};
 pub use config::SimConfig;
 pub use error::SimError;
 pub use metrics::{ResilienceStats, RunReport};
+pub use rsel_program::fxhash;
 pub use select::{RegionSelector, SelectorKind};
 pub use sim::Simulator;
 pub use sim::faults::FaultConfig;

@@ -98,6 +98,9 @@ pub struct Simulator<'p> {
     fault_cfg: FaultConfig,
     blacklist: FxHashMap<Addr, BlacklistEntry>,
     invalidated_entries: FxHashSet<Addr>,
+    // Entry addresses of regions killed by SMC writes since the last
+    // drain — the runtime's per-epoch resilience feed.
+    invalidation_log: Vec<Addr>,
     resilience: ResilienceStats,
 }
 
@@ -142,6 +145,7 @@ impl<'p> Simulator<'p> {
             fault_cfg: config.faults.clone(),
             blacklist: FxHashMap::default(),
             invalidated_entries: FxHashSet::default(),
+            invalidation_log: Vec::new(),
             resilience: ResilienceStats::default(),
         }
     }
@@ -261,6 +265,48 @@ impl<'p> Simulator<'p> {
     /// fault layer is inert).
     pub fn resilience(&self) -> &ResilienceStats {
         &self.resilience
+    }
+
+    /// Drains the entry addresses of regions killed by
+    /// self-modifying-code writes since the last drain, in kill order —
+    /// the multi-tenant runtime attributes each to its cache shard at
+    /// the epoch boundary. Empty (and allocation-free) when no SMC
+    /// fault struck.
+    pub fn drain_invalidations(&mut self) -> Vec<Addr> {
+        std::mem::take(&mut self.invalidation_log)
+    }
+
+    /// The blacklist's persistent state: `(entry, invalidations)` in
+    /// ascending entry order. Cooldown deadlines are *not* exported —
+    /// they are denominated in this run's instruction count — so a
+    /// restored target resumes demotion only on its next invalidation.
+    pub fn export_blacklist(&self) -> Vec<(Addr, u32)> {
+        let mut out: Vec<(Addr, u32)> = self
+            .blacklist
+            .iter()
+            .map(|(&a, b)| (a, b.invalidations))
+            .collect();
+        out.sort_unstable_by_key(|&(a, _)| a);
+        out
+    }
+
+    /// Seeds the blacklist of a simulator that has not executed yet
+    /// with counts exported by [`Simulator::export_blacklist`] — the
+    /// warm-start path. Restored entries carry no cooldown (deadlines
+    /// do not translate across runs), so a restored target executes
+    /// until its next invalidation escalates it straight past
+    /// `blacklist_after`.
+    pub fn restore_blacklist(&mut self, entries: &[(Addr, u32)]) {
+        debug_assert_eq!(self.total_insts, 0, "warm starts precede execution");
+        for &(entry, invalidations) in entries {
+            self.blacklist.insert(
+                entry,
+                BlacklistEntry {
+                    invalidations,
+                    cooldown_until: 0,
+                },
+            );
+        }
     }
 
     fn insert_regions(&mut self, regions: Vec<Region>) {
@@ -395,6 +441,7 @@ impl<'p> Simulator<'p> {
             self.retired.push(Self::report_for(r, rt));
             self.invalidated_entries.insert(r.entry());
             if blame_target {
+                self.invalidation_log.push(r.entry());
                 let after = self.fault_cfg.blacklist_after;
                 let base = self.fault_cfg.blacklist_cooldown_insts;
                 let b = self.blacklist.entry(r.entry()).or_default();
@@ -876,6 +923,42 @@ mod tests {
             res.blacklist_hits > 0,
             "demoted selections are dropped: {res:?}"
         );
+    }
+
+    #[test]
+    fn blacklist_exports_and_restores_counts() {
+        let cfg = SimConfig {
+            faults: FaultConfig {
+                seed: 3,
+                smc_write_ppm: 50_000,
+                blacklist_after: 2,
+                blacklist_cooldown_insts: 1_000_000,
+                ..FaultConfig::default()
+            },
+            ..SimConfig::default()
+        };
+        let mut s = ScenarioBuilder::new(1);
+        hot_loop(&mut s);
+        let (p, spec) = s.build().unwrap();
+        let mut sim = Simulator::new(&p, SelectorKind::Net.make(&p, &cfg), &cfg);
+        sim.run(Executor::new(&p, spec));
+        // SMC kills were logged, in kill order, one per invalidation.
+        let log = sim.drain_invalidations();
+        assert_eq!(log.len() as u64, sim.resilience().invalidated_regions);
+        assert!(
+            sim.drain_invalidations().is_empty(),
+            "drain empties the log"
+        );
+        let exported = sim.export_blacklist();
+        assert!(!exported.is_empty());
+        assert!(exported.windows(2).all(|w| w[0].0 < w[1].0), "sorted");
+        assert!(exported.iter().any(|&(_, n)| n >= 2), "counts exported");
+        // A fresh simulator restored with saturated counts demotes the
+        // target on its *next* invalidation, not before (no cooldown is
+        // carried across runs).
+        let mut warm = Simulator::new(&p, SelectorKind::Net.make(&p, &cfg), &cfg);
+        warm.restore_blacklist(&exported);
+        assert_eq!(warm.export_blacklist(), exported, "counts round-trip");
     }
 
     #[test]

@@ -36,9 +36,19 @@
 //!   decisions in tenant order.
 //! - [`snapshot`] — **persistence**: a versioned binary
 //!   [`ServeSnapshot`] format capturing every tenant's learned policy
-//!   state and cached regions, with a strict-validation loader, so the
-//!   next run can warm-start ([`serve_with`]) instead of re-exploring
-//!   from scratch.
+//!   state, cached regions, and fault blacklist, with a
+//!   strict-validation loader ([`load_snapshot`]) and a lenient one
+//!   ([`load_warm_start`]) that degrades stale tenants to cold starts,
+//!   so the next run can warm-start ([`serve_with`], [`serve_warm`])
+//!   instead of re-exploring from scratch.
+//!
+//! Serving can also run **under fault traffic**: with nonzero
+//! [`FaultConfig`](rsel_core::FaultConfig) rates in
+//! [`ServeConfig::sim`], every tenant session carries its own
+//! deterministic self-modifying-code schedule (seeded per tenant via
+//! [`tenant_fault_seed`]), and the [`ServeReport`] breaks out
+//! invalidations taken, blacklist activity, and hit-rate dip
+//! depth/recovery per tenant and per shard.
 //!
 //! # Determinism
 //!
@@ -61,10 +71,13 @@ pub mod shard;
 pub mod snapshot;
 
 pub use policy::{PolicyConfig, PolicyEngine, PolicyState, SwitchReason, SwitchRecord};
-pub use report::{QueueStats, ServeOutcome, ServeReport, ShardReport, TenantSummary};
-pub use serve::{ServeConfig, serve, serve_with};
+pub use report::{
+    DipSummary, DipTracker, QueueStats, ServeOutcome, ServeReport, ShardReport, TenantSummary,
+};
+pub use serve::{ServeConfig, serve, serve_warm, serve_with, tenant_fault_seed};
 pub use session::{EpochStats, TenantSession, TenantSpec};
 pub use shard::{SharedCacheMap, shard_of};
 pub use snapshot::{
-    RegionSnapshot, ServeSnapshot, SnapshotError, TenantSnapshot, load_snapshot, save_snapshot,
+    RegionSnapshot, ServeSnapshot, SnapshotError, TenantSnapshot, WarmStart, load_snapshot,
+    load_warm_start, save_snapshot,
 };

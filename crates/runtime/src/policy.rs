@@ -326,6 +326,7 @@ mod tests {
             cache_insts: cache,
             insts_selected: selected,
             regions_selected: selected / 10,
+            ..EpochStats::default()
         }
     }
 

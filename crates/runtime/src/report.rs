@@ -46,6 +46,9 @@ pub struct ShardReport {
     pub shed_actions: u64,
     /// Regions evicted from the shard by pressure.
     pub evicted_regions: u64,
+    /// Regions killed in the shard by self-modifying-code writes
+    /// (attributed by the entry address of each invalidated region).
+    pub smc_invalidated: u64,
     /// Occupancy when the run ended.
     pub final_bytes: u64,
 }
@@ -83,6 +86,27 @@ pub struct TenantSummary {
     pub regions_selected: u64,
     /// Regions evicted from this tenant by shard pressure.
     pub pressure_evicted: u64,
+    /// Self-modifying-code writes that struck the tenant.
+    pub smc_events: u64,
+    /// Regions killed by those writes.
+    pub smc_invalidated: u64,
+    /// Regions re-formed at an entry address that had previously been
+    /// invalidated or evicted — the re-selection recovery work.
+    pub reformations: u64,
+    /// Entry addresses demoted to the blacklist (graceful
+    /// degradation: they serve from the interpreter for a cooldown
+    /// instead of thrashing the cache).
+    pub blacklisted_targets: u64,
+    /// Selections dropped because their entry was blacklisted.
+    pub blacklist_hits: u64,
+    /// Hit-rate dips opened by invalidation waves (see
+    /// [`DipTracker`]).
+    pub smc_dips: u64,
+    /// Deepest hit-rate drop below the pre-dip baseline, absolute.
+    pub max_dip_depth: f64,
+    /// Longest recovery, in epochs, from a dip back to 95 % of the
+    /// pre-dip baseline hit rate.
+    pub max_dip_recovery_epochs: u64,
 }
 
 impl TenantSummary {
@@ -113,6 +137,16 @@ pub struct ServeReport {
     pub warm_started: bool,
     /// Regions restored into tenant caches before the first round.
     pub warm_regions_restored: u64,
+    /// Tenants whose snapshot was rejected by the lenient loader and
+    /// who therefore cold-started (always zero under the strict
+    /// loader, which fails the whole file instead).
+    pub warm_rejected_tenants: u64,
+    /// Self-modifying-code write rate the run was served under, in
+    /// events per million executed blocks (zero = fault layer inert).
+    pub smc_write_ppm: u32,
+    /// Base fault seed; each tenant's schedule is derived from it and
+    /// the tenant id, so worker count cannot affect any schedule.
+    pub fault_seed: u64,
     /// Scheduler and queue statistics.
     pub queue: QueueStats,
     /// Per-tenant summaries, in tenant order.
@@ -168,6 +202,18 @@ impl ServeReport {
         self.shards.iter().map(|s| s.contended_rounds).sum()
     }
 
+    /// Regions killed by self-modifying-code writes, summed over all
+    /// tenants.
+    pub fn smc_invalidated_regions(&self) -> u64 {
+        self.tenants.iter().map(|t| t.smc_invalidated).sum()
+    }
+
+    /// Entry addresses demoted to the blacklist, summed over all
+    /// tenants.
+    pub fn blacklisted_targets(&self) -> u64 {
+        self.tenants.iter().map(|t| t.blacklisted_targets).sum()
+    }
+
     /// Renders the report as JSON with a fixed field order: equal
     /// reports yield byte-identical strings, for any worker count.
     pub fn to_json(&self) -> String {
@@ -183,6 +229,12 @@ impl ServeReport {
             "  \"warm_regions_restored\": {},\n",
             self.warm_regions_restored
         ));
+        o.push_str(&format!(
+            "  \"warm_rejected_tenants\": {},\n",
+            self.warm_rejected_tenants
+        ));
+        o.push_str(&format!("  \"smc_write_ppm\": {},\n", self.smc_write_ppm));
+        o.push_str(&format!("  \"fault_seed\": {},\n", self.fault_seed));
         o.push_str(&format!("  \"rounds\": {},\n", self.queue.rounds));
         o.push_str(&format!("  \"total_insts\": {},\n", self.total_insts));
         o.push_str(&format!(
@@ -212,6 +264,14 @@ impl ServeReport {
             "  \"contended_rounds\": {},\n",
             self.contended_rounds()
         ));
+        o.push_str(&format!(
+            "  \"smc_invalidated_regions\": {},\n",
+            self.smc_invalidated_regions()
+        ));
+        o.push_str(&format!(
+            "  \"blacklisted_targets\": {},\n",
+            self.blacklisted_targets()
+        ));
         o.push_str("  \"tenants\": [\n");
         for (i, t) in self.tenants.iter().enumerate() {
             let first_exploit = match t.first_exploit_round {
@@ -223,7 +283,10 @@ impl ServeReport {
                  \"epochs\": {}, \"switches\": {}, \"admitted_round\": {}, \
                  \"finished_round\": {}, \"first_exploit_round\": {}, \"total_insts\": {}, \
                  \"cache_insts\": {}, \"hit_rate\": {:.4}, \"insts_selected\": {}, \
-                 \"regions_selected\": {}, \"pressure_evicted\": {}}}{}\n",
+                 \"regions_selected\": {}, \"pressure_evicted\": {}, \"smc_events\": {}, \
+                 \"smc_invalidated\": {}, \"reformations\": {}, \"blacklisted_targets\": {}, \
+                 \"blacklist_hits\": {}, \"smc_dips\": {}, \"max_dip_depth\": {:.4}, \
+                 \"max_dip_recovery_epochs\": {}}}{}\n",
                 t.tenant,
                 t.workload,
                 t.final_selector,
@@ -238,6 +301,14 @@ impl ServeReport {
                 t.insts_selected,
                 t.regions_selected,
                 t.pressure_evicted,
+                t.smc_events,
+                t.smc_invalidated,
+                t.reformations,
+                t.blacklisted_targets,
+                t.blacklist_hits,
+                t.smc_dips,
+                t.max_dip_depth,
+                t.max_dip_recovery_epochs,
                 if i + 1 < self.tenants.len() { "," } else { "" }
             ));
         }
@@ -247,13 +318,14 @@ impl ServeReport {
             o.push_str(&format!(
                 "    {{\"shard\": {}, \"peak_bytes\": {}, \"contended_rounds\": {}, \
                  \"pressure_waves\": {}, \"shed_actions\": {}, \"evicted_regions\": {}, \
-                 \"final_bytes\": {}}}{}\n",
+                 \"smc_invalidated\": {}, \"final_bytes\": {}}}{}\n",
                 s.shard,
                 s.peak_bytes,
                 s.contended_rounds,
                 s.pressure_waves,
                 s.shed_actions,
                 s.evicted_regions,
+                s.smc_invalidated,
                 s.final_bytes,
                 if i + 1 < self.shards.len() { "," } else { "" }
             ));
@@ -292,4 +364,155 @@ pub struct ServeOutcome {
     /// ready to persist with
     /// [`save_snapshot`](crate::snapshot::save_snapshot).
     pub snapshot: ServeSnapshot,
+}
+
+/// Tracks hit-rate dips caused by invalidation waves over one
+/// tenant's epochs.
+///
+/// Calm epochs (no invalidations, no open dip) feed an exponential
+/// moving average of the hit rate — the *baseline*. An epoch that
+/// loses regions to self-modifying code opens a *dip*; the dip stays
+/// open (its depth is the worst shortfall below the baseline) until
+/// the hit rate climbs back to 95 % of the baseline, at which point
+/// the recovery length in epochs is recorded. The tracker is pure
+/// arithmetic over the deterministic epoch stream, so its summary is
+/// byte-identical for every worker count.
+#[derive(Clone, Debug, Default)]
+pub struct DipTracker {
+    baseline: Option<f64>,
+    open: Option<Dip>,
+    dips: u64,
+    max_depth: f64,
+    max_recovery: u64,
+}
+
+#[derive(Clone, Copy, Debug)]
+struct Dip {
+    depth: f64,
+    epochs: u64,
+}
+
+impl DipTracker {
+    /// Baseline EMA weight for the newest calm epoch.
+    const ALPHA: f64 = 0.25;
+    /// A dip closes when the hit rate reaches this fraction of the
+    /// pre-dip baseline.
+    const RECOVERY_FRACTION: f64 = 0.95;
+
+    /// Feeds one epoch: its cache hit rate and whether it lost any
+    /// regions to invalidation. Epochs that executed nothing should
+    /// not be fed — a 0/0 hit rate says nothing about the cache.
+    pub fn on_epoch(&mut self, hit_rate: f64, invalidated: bool) {
+        if invalidated && self.open.is_none() {
+            self.dips += 1;
+            self.open = Some(Dip {
+                depth: 0.0,
+                epochs: 0,
+            });
+        }
+        if let Some(mut dip) = self.open.take() {
+            let base = self.baseline.unwrap_or(hit_rate);
+            dip.epochs += 1;
+            dip.depth = dip.depth.max(base - hit_rate);
+            if hit_rate >= Self::RECOVERY_FRACTION * base {
+                self.max_depth = self.max_depth.max(dip.depth);
+                self.max_recovery = self.max_recovery.max(dip.epochs);
+            } else {
+                self.open = Some(dip);
+            }
+        } else {
+            let b = self.baseline.get_or_insert(hit_rate);
+            *b = Self::ALPHA * hit_rate + (1.0 - Self::ALPHA) * *b;
+        }
+    }
+
+    /// Closes any still-open dip (a run can end mid-recovery) and
+    /// returns the dip statistics.
+    pub fn finish(mut self) -> DipSummary {
+        if let Some(dip) = self.open.take() {
+            self.max_depth = self.max_depth.max(dip.depth);
+            self.max_recovery = self.max_recovery.max(dip.epochs);
+        }
+        DipSummary {
+            dips: self.dips,
+            max_depth: self.max_depth,
+            max_recovery_epochs: self.max_recovery,
+        }
+    }
+}
+
+/// What a [`DipTracker`] measured over a tenant's run.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct DipSummary {
+    /// Invalidation-induced dips observed.
+    pub dips: u64,
+    /// Deepest drop below the pre-dip baseline, absolute hit rate.
+    pub max_depth: f64,
+    /// Longest recovery back to 95 % of the baseline, in epochs.
+    pub max_recovery_epochs: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::DipTracker;
+
+    #[test]
+    fn calm_runs_report_no_dips() {
+        let mut t = DipTracker::default();
+        for _ in 0..50 {
+            t.on_epoch(0.9, false);
+        }
+        let s = t.finish();
+        assert_eq!(s.dips, 0);
+        assert_eq!(s.max_depth, 0.0);
+        assert_eq!(s.max_recovery_epochs, 0);
+    }
+
+    #[test]
+    fn a_wave_opens_one_dip_and_recovery_is_timed() {
+        let mut t = DipTracker::default();
+        for _ in 0..20 {
+            t.on_epoch(0.9, false); // baseline settles near 0.9
+        }
+        t.on_epoch(0.5, true); // wave strikes: dip opens
+        t.on_epoch(0.6, false); // still below 95 % of baseline
+        t.on_epoch(0.7, false);
+        t.on_epoch(0.89, false); // recovered
+        for _ in 0..5 {
+            t.on_epoch(0.9, false);
+        }
+        let s = t.finish();
+        assert_eq!(s.dips, 1);
+        assert!(s.max_depth > 0.35 && s.max_depth < 0.45, "{}", s.max_depth);
+        assert_eq!(s.max_recovery_epochs, 4);
+    }
+
+    #[test]
+    fn back_to_back_waves_extend_the_open_dip() {
+        let mut t = DipTracker::default();
+        for _ in 0..20 {
+            t.on_epoch(0.9, false);
+        }
+        t.on_epoch(0.5, true);
+        t.on_epoch(0.4, true); // second wave while still down: same dip
+        t.on_epoch(0.9, false);
+        let s = t.finish();
+        assert_eq!(s.dips, 1, "an open dip absorbs further waves");
+        assert!(s.max_depth > 0.45, "{}", s.max_depth);
+        assert_eq!(s.max_recovery_epochs, 3);
+    }
+
+    #[test]
+    fn a_run_ending_mid_dip_still_counts_it() {
+        let mut t = DipTracker::default();
+        for _ in 0..10 {
+            t.on_epoch(0.9, false);
+        }
+        t.on_epoch(0.3, true);
+        t.on_epoch(0.4, false);
+        let s = t.finish(); // never recovered
+        assert_eq!(s.dips, 1);
+        assert!(s.max_depth > 0.5);
+        assert_eq!(s.max_recovery_epochs, 2);
+    }
 }

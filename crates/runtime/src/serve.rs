@@ -30,14 +30,32 @@
 //! next run can warm-start from it.
 
 use crate::policy::{PolicyConfig, PolicyEngine, SwitchRecord};
-use crate::report::{QueueStats, ServeOutcome, ServeReport, ShardReport, TenantSummary};
+use crate::report::{
+    DipTracker, QueueStats, ServeOutcome, ServeReport, ShardReport, TenantSummary,
+};
 use crate::session::{EpochStats, TenantSession, TenantSpec};
 use crate::shard::SharedCacheMap;
-use crate::snapshot::{ServeSnapshot, TenantSnapshot};
+use crate::snapshot::{ServeSnapshot, TenantSnapshot, WarmStart};
 use rsel_core::{RegionId, SimConfig};
 use std::collections::VecDeque;
 use std::sync::Mutex;
 use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Derives tenant `tenant`'s fault-schedule seed from the run's base
+/// seed (a SplitMix64-style finalizer over the pair).
+///
+/// Every tenant session owns its own [`FaultInjector`]
+/// (rsel_core::sim::faults::FaultInjector) seeded with this value, so
+/// a tenant's self-modifying-code schedule is a function of the base
+/// seed and its id alone — worker count, admission order, and the
+/// other tenants cannot perturb it. That is what keeps a faulted
+/// serve byte-identical for every `jobs` value.
+pub fn tenant_fault_seed(base: u64, tenant: u16) -> u64 {
+    let mut z = base ^ 0x9e37_79b9_7f4a_7c15u64.wrapping_mul(u64::from(tenant) + 1);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
 
 /// Configuration for a serving run.
 #[derive(Clone, Debug)]
@@ -88,7 +106,7 @@ impl Default for ServeConfig {
 /// configuration is degenerate (zero epoch length, active limit, or
 /// shard count).
 pub fn serve(specs: &[TenantSpec], config: &ServeConfig, jobs: usize) -> ServeOutcome {
-    serve_with(specs, config, jobs, None)
+    serve_impl(specs, config, jobs, None, 0)
 }
 
 /// Serves every spec to completion on `jobs` worker threads,
@@ -116,62 +134,101 @@ pub fn serve_with(
     jobs: usize,
     warm: Option<&ServeSnapshot>,
 ) -> ServeOutcome {
+    match warm {
+        None => serve_impl(specs, config, jobs, None, 0),
+        Some(snap) => {
+            let slots: Vec<Option<&TenantSnapshot>> = snap.tenants.iter().map(Some).collect();
+            serve_impl(specs, config, jobs, Some(&slots), 0)
+        }
+    }
+}
+
+/// Serves every spec on `jobs` worker threads, warm-starting from a
+/// possibly partial [`WarmStart`]: tenants whose snapshot the lenient
+/// loader ([`load_warm_start`](crate::load_warm_start)) rejected hold
+/// a `None` slot and cold-start, everyone else resumes warm. The
+/// carried rejection count surfaces as
+/// [`warm_rejected_tenants`](ServeReport::warm_rejected_tenants) in
+/// the report. The result is identical for any `jobs >= 1`.
+///
+/// # Panics
+///
+/// Panics under the same conditions as [`serve_with`]; the restored
+/// slots must come from the loader run against the same specs and
+/// policy configuration.
+pub fn serve_warm(
+    specs: &[TenantSpec],
+    config: &ServeConfig,
+    jobs: usize,
+    warm: &WarmStart,
+) -> ServeOutcome {
+    let slots: Vec<Option<&TenantSnapshot>> = warm.tenants.iter().map(|t| t.as_ref()).collect();
+    serve_impl(specs, config, jobs, Some(&slots), warm.rejected)
+}
+
+fn serve_impl(
+    specs: &[TenantSpec],
+    config: &ServeConfig,
+    jobs: usize,
+    warm: Option<&[Option<&TenantSnapshot>]>,
+    warm_rejected_tenants: u64,
+) -> ServeOutcome {
     assert!(specs.len() <= u16::MAX as usize, "too many tenants");
     assert!(config.epoch_len > 0, "epochs must make progress");
     assert!(config.max_active > 0, "need at least one active session");
     assert!(config.shard_count > 0, "need at least one shard");
     let jobs = jobs.max(1);
 
-    let mut map = SharedCacheMap::new(config.shard_count, config.shard_capacity, specs.len());
-    let mut engines: Vec<PolicyEngine>;
-    let mut sessions: Vec<Mutex<TenantSession<'_>>>;
-    let mut warm_regions_restored = 0u64;
-    match warm {
-        None => {
-            engines = specs
-                .iter()
-                .map(|_| PolicyEngine::new(config.policy.clone()))
-                .collect();
-            sessions = specs
-                .iter()
-                .enumerate()
-                .map(|(t, spec)| {
-                    Mutex::new(TenantSession::new(
-                        t as u16,
-                        spec,
-                        engines[t].current(),
-                        &config.sim,
-                        config.shard_count,
-                    ))
-                })
-                .collect();
-        }
-        Some(snap) => {
+    // Per-tenant simulator configs: each tenant's fault schedule is
+    // seeded from the base seed and its id, so the schedule is a
+    // property of the tenant alone. With all fault rates zero the
+    // seed is never drawn and the clones are inert.
+    let sim_configs: Vec<SimConfig> = (0..specs.len())
+        .map(|t| {
+            let mut sim = config.sim.clone();
+            sim.faults.seed = tenant_fault_seed(config.sim.faults.seed, t as u16);
+            sim
+        })
+        .collect();
+
+    let slots: Vec<Option<&TenantSnapshot>> = match warm {
+        None => vec![None; specs.len()],
+        Some(s) => {
             assert_eq!(
-                snap.tenants.len(),
+                s.len(),
                 specs.len(),
                 "snapshot tenant count must match the specs"
             );
-            engines = snap
-                .tenants
-                .iter()
-                .map(|t| {
-                    PolicyEngine::restore(config.policy.clone(), &t.policy)
-                        .expect("snapshot policy state must match the configuration")
-                })
-                .collect();
-            sessions = specs
-                .iter()
-                .zip(&snap.tenants)
-                .enumerate()
-                .map(|(t, (spec, ts))| {
-                    let session =
-                        TenantSession::restore(t as u16, spec, ts, &config.sim, config.shard_count)
-                            .unwrap_or_else(|e| panic!("snapshot must match the specs: {e}"));
-                    warm_regions_restored += ts.regions.len() as u64;
-                    Mutex::new(session)
-                })
-                .collect();
+            s.to_vec()
+        }
+    };
+    let mut map = SharedCacheMap::new(config.shard_count, config.shard_capacity, specs.len());
+    let mut engines: Vec<PolicyEngine> = Vec::with_capacity(specs.len());
+    let mut sessions: Vec<Mutex<TenantSession<'_>>> = Vec::with_capacity(specs.len());
+    let mut warm_regions_restored = 0u64;
+    for (t, spec) in specs.iter().enumerate() {
+        match slots[t] {
+            Some(ts) => {
+                engines.push(
+                    PolicyEngine::restore(config.policy.clone(), &ts.policy)
+                        .expect("snapshot policy state must match the configuration"),
+                );
+                let session =
+                    TenantSession::restore(t as u16, spec, ts, &sim_configs[t], config.shard_count)
+                        .unwrap_or_else(|e| panic!("snapshot must match the specs: {e}"));
+                warm_regions_restored += ts.regions.len() as u64;
+                sessions.push(Mutex::new(session));
+            }
+            None => {
+                engines.push(PolicyEngine::new(config.policy.clone()));
+                sessions.push(Mutex::new(TenantSession::new(
+                    t as u16,
+                    spec,
+                    engines[t].current(),
+                    &sim_configs[t],
+                    config.shard_count,
+                )));
+            }
         }
     }
 
@@ -183,6 +240,7 @@ pub fn serve_with(
     let mut admitted_round = vec![0u64; specs.len()];
     let mut finished_round = vec![0u64; specs.len()];
     let mut first_exploit_round: Vec<Option<u64>> = vec![None; specs.len()];
+    let mut dips: Vec<DipTracker> = vec![DipTracker::default(); specs.len()];
     let mut total_insts = 0u64;
     let mut round = 0u64;
 
@@ -273,7 +331,14 @@ pub fn serve_with(
         // --- Barrier: all cross-tenant decisions, serial --------------
         map.end_round();
         for &t in &active {
-            total_insts += stats[t].expect("active session ran").insts;
+            let e = stats[t].expect("active session ran");
+            total_insts += e.insts;
+            // Feed the tenant's dip tracker in tenant order (`active`
+            // is sorted). Epochs that executed nothing say nothing
+            // about the cache and are skipped.
+            if e.insts > 0 {
+                dips[t].on_epoch(e.hit_rate(), e.smc_invalidated > 0);
+            }
         }
 
         // Departures release their shard bytes before pressure resolves.
@@ -365,7 +430,7 @@ pub fn serve_with(
                         to: kind,
                         reason,
                     });
-                    session.switch_selector(kind, &config.sim);
+                    session.switch_selector(kind, &sim_configs[t]);
                 }
             }
         }
@@ -386,6 +451,7 @@ pub fn serve_with(
     let mut tenants = Vec::with_capacity(specs.len());
     let mut run_reports = Vec::with_capacity(specs.len());
     let mut snapshot_tenants = Vec::with_capacity(specs.len());
+    let mut shard_smc = vec![0u64; config.shard_count];
     for (t, cell) in sessions.iter_mut().enumerate() {
         let session = cell.get_mut().expect("session lock poisoned");
         // The engine is the authority on its own switch count; the
@@ -393,9 +459,14 @@ pub fn serve_with(
         debug_assert_eq!(
             engines[t].switches(),
             switches.iter().filter(|s| s.tenant == t as u16).count() as u64
-                + warm.map_or(0, |s| s.tenants[t].policy.switches),
+                + slots[t].map_or(0, |ts| ts.policy.switches),
             "engine switch count drifted from the switch log"
         );
+        for (s, &n) in session.smc_by_shard().iter().enumerate() {
+            shard_smc[s] += n;
+        }
+        let dip = std::mem::take(&mut dips[t]).finish();
+        let res = session.resilience();
         tenants.push(TenantSummary {
             tenant: t as u16,
             workload: session.workload(),
@@ -410,6 +481,14 @@ pub fn serve_with(
             insts_selected: session.insts_selected(),
             regions_selected: session.regions_selected(),
             pressure_evicted: session.pressure_evicted(),
+            smc_events: res.smc_events,
+            smc_invalidated: res.invalidated_regions,
+            reformations: res.reformations,
+            blacklisted_targets: res.blacklisted_targets,
+            blacklist_hits: res.blacklist_hits,
+            smc_dips: dip.dips,
+            max_dip_depth: dip.max_depth,
+            max_dip_recovery_epochs: dip.max_recovery_epochs,
         });
         run_reports.push(session.report());
         snapshot_tenants.push(TenantSnapshot {
@@ -417,6 +496,7 @@ pub fn serve_with(
             selector: session.kind(),
             policy: engines[t].export(),
             regions: session.region_snapshots(),
+            blacklist: session.blacklist_snapshot(),
         });
     }
     let shards = map
@@ -430,6 +510,7 @@ pub fn serve_with(
             pressure_waves: s.pressure_waves,
             shed_actions: s.shed_actions,
             evicted_regions: s.evicted_regions,
+            smc_invalidated: shard_smc[i],
             final_bytes,
         })
         .collect();
@@ -443,6 +524,9 @@ pub fn serve_with(
             queue_capacity: config.queue_capacity,
             warm_started: warm.is_some(),
             warm_regions_restored,
+            warm_rejected_tenants,
+            smc_write_ppm: config.sim.faults.smc_write_ppm,
+            fault_seed: config.sim.faults.seed,
             queue: q,
             tenants,
             shards,
@@ -601,6 +685,106 @@ mod tests {
         for (c, w) in cold.report.tenants.iter().zip(&warm.report.tenants) {
             assert!(w.switches >= c.switches, "switch count carries over");
         }
+    }
+
+    #[test]
+    fn tenant_fault_seeds_are_distinct_and_stable() {
+        let a = tenant_fault_seed(7, 0);
+        let b = tenant_fault_seed(7, 1);
+        let c = tenant_fault_seed(8, 0);
+        assert_ne!(a, b, "tenants get distinct schedules");
+        assert_ne!(a, c, "the base seed matters");
+        assert_eq!(a, tenant_fault_seed(7, 0), "pure function of its inputs");
+    }
+
+    fn smc_config() -> ServeConfig {
+        let mut config = ServeConfig::default();
+        config.sim.faults.seed = 42;
+        config.sim.faults.smc_write_ppm = 4_000;
+        config
+    }
+
+    #[test]
+    fn smc_serving_is_identical_for_every_worker_count() {
+        let specs: Vec<TenantSpec> = suite()
+            .iter()
+            .take(4)
+            .map(|w| TenantSpec::record(w, 7, Scale::Test))
+            .collect();
+        let config = smc_config();
+        let one = serve(&specs, &config, 1);
+        let eight = serve(&specs, &config, 8);
+        assert_eq!(one.report, eight.report);
+        assert_eq!(one.run_reports, eight.run_reports);
+        assert_eq!(one.snapshot, eight.snapshot);
+        assert!(
+            one.report.smc_invalidated_regions() > 0,
+            "this rate must strike over the test streams: {:?}",
+            one.report.tenants
+        );
+        assert_eq!(one.report.smc_write_ppm, 4_000);
+        assert_eq!(one.report.fault_seed, 42);
+        // Shard attribution conserves the per-tenant counts.
+        let by_shard: u64 = one.report.shards.iter().map(|s| s.smc_invalidated).sum();
+        assert_eq!(by_shard, one.report.smc_invalidated_regions());
+    }
+
+    #[test]
+    fn smc_snapshot_round_trips_the_blacklist() {
+        let specs = two_specs();
+        let mut config = smc_config();
+        config.sim.faults.smc_write_ppm = 50_000; // hammer the cache
+        config.sim.faults.blacklist_after = 2;
+        let cold = serve(&specs, &config, 1);
+        assert!(
+            cold.report.blacklisted_targets() > 0,
+            "this rate must demote something: {:?}",
+            cold.report.tenants
+        );
+        assert!(
+            cold.snapshot
+                .tenants
+                .iter()
+                .any(|t| !t.blacklist.is_empty()),
+            "demotions persist in the snapshot"
+        );
+        let warm = serve_with(&specs, &config, 2, Some(&cold.snapshot));
+        assert!(warm.report.warm_started);
+        assert_eq!(warm.report.warm_rejected_tenants, 0);
+    }
+
+    #[test]
+    fn serve_warm_cold_starts_rejected_slots() {
+        let specs = two_specs();
+        let config = ServeConfig::default();
+        let cold = serve(&specs, &config, 1);
+        let mut warm = cold.snapshot.clone().into_warm_start();
+        warm.tenants[1] = None; // as if the lenient loader rejected it
+        warm.rejected = 1;
+        let out = serve_warm(&specs, &config, 1, &warm);
+        assert!(out.report.warm_started);
+        assert_eq!(out.report.warm_rejected_tenants, 1);
+        assert_eq!(
+            out.report.warm_regions_restored,
+            cold.snapshot.tenants[0].regions.len() as u64,
+            "only the surviving slot restores"
+        );
+        // The rejected tenant replays the same stream from cold, so
+        // totals still match the cold run.
+        assert_eq!(out.report.total_insts, cold.report.total_insts);
+        // A fully rejected warm start is just a cold run that says so.
+        let none = serve_warm(
+            &specs,
+            &config,
+            1,
+            &WarmStart {
+                tenants: vec![None, None],
+                rejected: 2,
+            },
+        );
+        assert_eq!(none.report.warm_rejected_tenants, 2);
+        assert_eq!(none.report.warm_regions_restored, 0);
+        assert_eq!(none.report.total_insts, cold.report.total_insts);
     }
 
     #[test]

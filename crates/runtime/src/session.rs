@@ -81,6 +81,10 @@ pub struct EpochStats {
     pub insts_selected: u64,
     /// Regions selected this epoch.
     pub regions_selected: u64,
+    /// Self-modifying-code write faults that struck this epoch.
+    pub smc_events: u64,
+    /// Regions killed by those writes this epoch.
+    pub smc_invalidated: u64,
 }
 
 impl EpochStats {
@@ -115,6 +119,9 @@ pub struct TenantSession<'p> {
     stub_bytes: u64,
     /// Occupancy last published to the shared map, per shard.
     published: Vec<u64>,
+    /// SMC invalidations attributed to each shard (by the killed
+    /// region's entry address), accumulated over the whole session.
+    smc_by_shard: Vec<u64>,
     epochs_run: u64,
     finished: bool,
     // Simulator totals at the previous epoch boundary, for deltas.
@@ -122,6 +129,8 @@ pub struct TenantSession<'p> {
     prev_cache_insts: u64,
     prev_insts_selected: u64,
     prev_regions_selected: u64,
+    prev_smc_events: u64,
+    prev_smc_invalidated: u64,
 }
 
 impl<'p> TenantSession<'p> {
@@ -145,12 +154,15 @@ impl<'p> TenantSession<'p> {
             shard_count,
             stub_bytes: config.stub_bytes,
             published: vec![0; shard_count],
+            smc_by_shard: vec![0; shard_count],
             epochs_run: 0,
             finished: false,
             prev_insts: 0,
             prev_cache_insts: 0,
             prev_insts_selected: 0,
             prev_regions_selected: 0,
+            prev_smc_events: 0,
+            prev_smc_invalidated: 0,
         }
     }
 
@@ -194,6 +206,7 @@ impl<'p> TenantSession<'p> {
             .sim
             .restore_regions(regions)
             .map_err(|source| SnapshotError::BadRegion { tenant, source })?;
+        session.sim.restore_blacklist(&snap.blacklist);
         Ok(session)
     }
 
@@ -239,17 +252,27 @@ impl<'p> TenantSession<'p> {
             }
         }
         self.epochs_run += 1;
+        // Attribute this epoch's SMC kills to their cache shards (the
+        // log is empty unless a fault schedule is active).
+        for entry in self.sim.drain_invalidations() {
+            self.smc_by_shard[shard_of(self.tenant, entry, self.shard_count)] += 1;
+        }
+        let res = self.sim.resilience();
         let stats = EpochStats {
             steps,
             insts: self.sim.total_insts() - self.prev_insts,
             cache_insts: self.sim.cache_insts() - self.prev_cache_insts,
             insts_selected: self.sim.insts_selected() - self.prev_insts_selected,
             regions_selected: self.sim.regions_selected() - self.prev_regions_selected,
+            smc_events: res.smc_events - self.prev_smc_events,
+            smc_invalidated: res.invalidated_regions - self.prev_smc_invalidated,
         };
         self.prev_insts = self.sim.total_insts();
         self.prev_cache_insts = self.sim.cache_insts();
         self.prev_insts_selected = self.sim.insts_selected();
         self.prev_regions_selected = self.sim.regions_selected();
+        self.prev_smc_events = self.sim.resilience().smc_events;
+        self.prev_smc_invalidated = self.sim.resilience().invalidated_regions;
         stats
     }
 
@@ -358,6 +381,24 @@ impl<'p> TenantSession<'p> {
     /// Regions evicted from this session by shard pressure.
     pub fn pressure_evicted(&self) -> u64 {
         self.sim.resilience().pressure_evicted_regions
+    }
+
+    /// The session's resilience statistics so far.
+    pub fn resilience(&self) -> &rsel_core::ResilienceStats {
+        self.sim.resilience()
+    }
+
+    /// SMC invalidations attributed to each cache shard over the whole
+    /// session (by the killed region's entry address).
+    pub fn smc_by_shard(&self) -> &[u64] {
+        &self.smc_by_shard
+    }
+
+    /// The persistent blacklist state: `(entry, invalidations)` in
+    /// ascending entry order (see
+    /// [`Simulator::export_blacklist`](rsel_core::Simulator::export_blacklist)).
+    pub fn blacklist_snapshot(&self) -> Vec<(rsel_program::Addr, u32)> {
+        self.sim.export_blacklist()
     }
 
     /// The session's full run report.

@@ -23,13 +23,22 @@
 //!   [`Program`](rsel_program::Program) on restore, so a snapshot can
 //!   never smuggle stale layout into a run.
 //!
-//! # Format (version 1)
+//! Strictness has one deliberate relief valve: [`load_warm_start`]
+//! parses with the same framing rules but downgrades *per-tenant
+//! semantic* failures (a candidate list from another configuration, a
+//! rejected policy state, a region that no longer rebuilds) to a cold
+//! start for that tenant, warning on stderr and counting the rejection
+//! — so one stale tenant in an otherwise good snapshot no longer
+//! throws away everyone else's warm state. Structural failures (bad
+//! magic, framing, truncation, trailing bytes) still reject the file.
+//!
+//! # Format (version 2)
 //!
 //! Little-endian throughout.
 //!
 //! ```text
 //! magic            b"RSNP"
-//! version          u16 (= 1)
+//! version          u16 (= 2)
 //! tenant_count     u16
 //! per tenant:
 //!   name_len       u8, then name bytes (UTF-8 workload name)
@@ -47,7 +56,15 @@
 //!     entry        u64
 //!     block_count  u32, then block start addresses u64 each
 //!     edge_count   u32, then (from u64, to u64) pairs
+//!   blacklist      u32, then per entry (strictly ascending by address):
+//!     entry        u64 (entry address)
+//!     count        u32 (invalidations suffered)
 //! ```
+//!
+//! Version 2 added the per-tenant blacklist section: the SMC-fault
+//! backoff counts survive a restart, so a warm-started run re-demotes
+//! a hostile target on its first new invalidation instead of
+//! re-learning the whole history.
 //!
 //! Selector tags are the positions in
 //! [`SelectorKind::extended`](rsel_core::SelectorKind::extended)
@@ -69,7 +86,7 @@ use std::io::{self, BufReader, BufWriter, Read, Write};
 use std::path::Path;
 
 const MAGIC: &[u8; 4] = b"RSNP";
-const VERSION: u16 = 1;
+const VERSION: u16 = 2;
 
 const KIND_TRACE: u8 = 0;
 const KIND_COMBINED: u8 = 1;
@@ -280,6 +297,10 @@ pub struct TenantSnapshot {
     pub policy: PolicyState,
     /// Every cached region, in selection order.
     pub regions: Vec<RegionSnapshot>,
+    /// The SMC-fault blacklist's persistent counts, `(entry,
+    /// invalidations)` in ascending entry order (cooldown deadlines
+    /// are run-relative and never persisted).
+    pub blacklist: Vec<(Addr, u32)>,
 }
 
 /// A whole serving run's persisted state, one [`TenantSnapshot`] per
@@ -324,9 +345,62 @@ impl ServeSnapshot {
     ) -> Result<Self, SnapshotError> {
         load_snapshot(specs, policy, BufReader::new(File::open(path)?))
     }
+
+    /// Converts a fully validated snapshot into a [`WarmStart`] with
+    /// every tenant restorable and no rejections.
+    pub fn into_warm_start(self) -> WarmStart {
+        WarmStart {
+            tenants: self.tenants.into_iter().map(Some).collect(),
+            rejected: 0,
+        }
+    }
 }
 
-/// Writes `snapshot` to `writer` in the version-1 binary format.
+/// A per-tenant warm-start plan: each slot either carries a validated
+/// [`TenantSnapshot`] to restore or is `None`, meaning that tenant
+/// starts cold. Produced by [`load_warm_start`] (which degrades
+/// semantically stale tenants instead of rejecting the file) or by
+/// [`ServeSnapshot::into_warm_start`] (all restorable).
+#[derive(Clone, Debug, PartialEq)]
+pub struct WarmStart {
+    /// Per-tenant restore state, in tenant order; `None` = cold start.
+    pub tenants: Vec<Option<TenantSnapshot>>,
+    /// Tenants whose snapshot state was rejected during loading.
+    pub rejected: u64,
+}
+
+impl WarmStart {
+    /// Tenants that will actually restore from snapshot state.
+    pub fn restored_tenants(&self) -> usize {
+        self.tenants.iter().filter(|t| t.is_some()).count()
+    }
+
+    /// Total regions staged for restoration.
+    pub fn region_count(&self) -> u64 {
+        self.tenants
+            .iter()
+            .flatten()
+            .map(|t| t.regions.len() as u64)
+            .sum()
+    }
+
+    /// Loads a warm-start plan from `path` (see [`load_warm_start`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`SnapshotError`] on I/O failure or a *structural*
+    /// defect of the file; per-tenant semantic mismatches degrade to
+    /// cold slots instead.
+    pub fn load_from_path<P: AsRef<Path>>(
+        specs: &[TenantSpec],
+        policy: &PolicyConfig,
+        path: P,
+    ) -> Result<Self, SnapshotError> {
+        load_warm_start(specs, policy, BufReader::new(File::open(path)?))
+    }
+}
+
+/// Writes `snapshot` to `writer` in the version-2 binary format.
 ///
 /// # Errors
 ///
@@ -390,6 +464,11 @@ pub fn save_snapshot<W: Write>(snapshot: &ServeSnapshot, mut writer: W) -> io::R
                 writer.write_all(&to.raw().to_le_bytes())?;
             }
         }
+        writer.write_all(&(t.blacklist.len() as u32).to_le_bytes())?;
+        for &(entry, count) in &t.blacklist {
+            writer.write_all(&entry.raw().to_le_bytes())?;
+            writer.write_all(&count.to_le_bytes())?;
+        }
     }
     Ok(())
 }
@@ -420,24 +499,175 @@ fn read_flag<R: Read>(r: &mut R) -> Result<bool, SnapshotError> {
     }
 }
 
-/// Reads and fully validates a snapshot from `reader` against the
-/// tenant `specs` and `policy` configuration it will warm.
-///
-/// Validation is strict: every region is rebuilt against its tenant's
-/// program (and discarded — [`TenantSession::restore`]
-/// (crate::TenantSession::restore) rebuilds again into a live
-/// simulator), every policy state must be one
-/// [`PolicyEngine::restore`] accepts, and the input must end exactly
-/// where the format says it does.
-///
-/// # Errors
-///
-/// Returns a [`SnapshotError`] describing the first violation found.
-pub fn load_snapshot<R: Read>(
-    specs: &[TenantSpec],
+/// One tenant's record as parsed off the wire, before any semantic
+/// validation. Everything that decides *framing* (counts, flag bytes,
+/// region kind tags) has been checked; everything that depends on the
+/// specs or the policy configuration has not.
+struct RawTenant {
+    workload: String,
+    selector: u8,
+    exploring: bool,
+    next: u32,
+    current: u32,
+    /// Per candidate: its selector tag and optional score.
+    candidates: Vec<(u8, Option<f64>)>,
+    ema: f64,
+    switches: u64,
+    regions: Vec<RegionSnapshot>,
+    blacklist: Vec<(Addr, u32)>,
+}
+
+/// Parses one tenant record. Errors here are structural — the reader
+/// cannot be trusted past them, so they always reject the whole file.
+fn read_tenant<R: Read>(reader: &mut R) -> Result<RawTenant, SnapshotError> {
+    let name_len = read_u8(reader)? as usize;
+    let mut name = vec![0u8; name_len];
+    reader.read_exact(&mut name)?;
+    let workload = String::from_utf8(name)
+        .map_err(|_| SnapshotError::Malformed("workload name is not UTF-8"))?;
+    let selector = read_u8(reader)?;
+    let exploring = read_flag(reader)?;
+    let next = read_u32(reader)?;
+    let current = read_u32(reader)?;
+    let candidate_count = read_u32(reader)? as usize;
+    let mut candidates = Vec::with_capacity(candidate_count.min(1 << 10));
+    for _ in 0..candidate_count {
+        let tag = read_u8(reader)?;
+        let score = if read_flag(reader)? {
+            Some(f64::from_bits(read_u64(reader)?))
+        } else {
+            None
+        };
+        candidates.push((tag, score));
+    }
+    let ema = f64::from_bits(read_u64(reader)?);
+    let switches = read_u64(reader)?;
+    let region_count = read_u32(reader)? as usize;
+    let mut regions = Vec::with_capacity(region_count.min(1 << 20));
+    for _ in 0..region_count {
+        let kind = match read_u8(reader)? {
+            KIND_TRACE => RegionKind::Trace,
+            KIND_COMBINED => RegionKind::Combined,
+            tag => return Err(SnapshotError::BadTag(tag)),
+        };
+        let entry = Addr::new(read_u64(reader)?);
+        let block_count = read_u32(reader)? as usize;
+        let mut blocks = Vec::with_capacity(block_count.min(1 << 20));
+        for _ in 0..block_count {
+            blocks.push(Addr::new(read_u64(reader)?));
+        }
+        let edge_count = read_u32(reader)? as usize;
+        let mut edges = Vec::with_capacity(edge_count.min(1 << 20));
+        for _ in 0..edge_count {
+            let from = Addr::new(read_u64(reader)?);
+            let to = Addr::new(read_u64(reader)?);
+            edges.push((from, to));
+        }
+        regions.push(RegionSnapshot {
+            kind,
+            entry,
+            blocks,
+            edges,
+        });
+    }
+    let blacklist_count = read_u32(reader)? as usize;
+    let mut blacklist = Vec::with_capacity(blacklist_count.min(1 << 20));
+    for _ in 0..blacklist_count {
+        let entry = Addr::new(read_u64(reader)?);
+        let count = read_u32(reader)?;
+        blacklist.push((entry, count));
+    }
+    Ok(RawTenant {
+        workload,
+        selector,
+        exploring,
+        next,
+        current,
+        candidates,
+        ema,
+        switches,
+        regions,
+        blacklist,
+    })
+}
+
+/// Validates a parsed tenant record against its spec and the policy
+/// configuration. Errors here are semantic: the file is well-formed
+/// but this tenant's state does not apply to this run — the strict
+/// loader rejects the file, the lenient loader cold-starts the tenant.
+fn validate_tenant(
+    tenant: u16,
+    raw: RawTenant,
+    spec: &TenantSpec,
     policy: &PolicyConfig,
-    mut reader: R,
-) -> Result<ServeSnapshot, SnapshotError> {
+) -> Result<TenantSnapshot, SnapshotError> {
+    if raw.workload != spec.name() {
+        return Err(SnapshotError::WorkloadMismatch {
+            tenant,
+            snapshot: raw.workload,
+            spec: spec.name(),
+        });
+    }
+    let selector = tag_selector(raw.selector)?;
+    if raw.candidates.len() != policy.candidates.len() {
+        return Err(SnapshotError::CandidateMismatch { tenant });
+    }
+    let mut scores = Vec::with_capacity(raw.candidates.len());
+    for (i, &(tag, score)) in raw.candidates.iter().enumerate() {
+        if tag_selector(tag)? != policy.candidates[i] {
+            return Err(SnapshotError::CandidateMismatch { tenant });
+        }
+        scores.push(score);
+    }
+    let state = PolicyState {
+        exploring: raw.exploring,
+        next: raw.next,
+        current: raw.current,
+        scores,
+        ema: raw.ema,
+        switches: raw.switches,
+        candidates: policy.candidates.clone(),
+    };
+    // The engine is the authority on state consistency; anything it
+    // rejects, the loader rejects.
+    if PolicyEngine::restore(policy.clone(), &state).is_none() {
+        return Err(SnapshotError::BadPolicyState(tenant));
+    }
+    if policy.candidates[raw.current as usize] != selector {
+        return Err(SnapshotError::BadPolicyState(tenant));
+    }
+    let mut entries = HashSet::with_capacity(raw.regions.len());
+    for snap in &raw.regions {
+        if !entries.insert(snap.entry) {
+            return Err(SnapshotError::BadRegion {
+                tenant,
+                source: SimError::DuplicateRegionEntry(snap.entry),
+            });
+        }
+        // Prove the region rebuilds against the live program now, so a
+        // warm start can only fail before any state is built.
+        snap.rebuild(spec.program()).map_err(|e| match e {
+            SnapshotError::BadRegion { source, .. } => SnapshotError::BadRegion { tenant, source },
+            other => other,
+        })?;
+    }
+    if !raw.blacklist.windows(2).all(|w| w[0].0 < w[1].0) {
+        return Err(SnapshotError::Malformed(
+            "blacklist entries are not strictly ascending",
+        ));
+    }
+    Ok(TenantSnapshot {
+        workload: spec.name().to_string(),
+        selector,
+        policy: state,
+        regions: raw.regions,
+        blacklist: raw.blacklist,
+    })
+}
+
+/// Reads the fixed header, leaving the reader at the first tenant
+/// record.
+fn read_header<R: Read>(reader: &mut R, specs: &[TenantSpec]) -> Result<(), SnapshotError> {
     let mut magic = [0u8; 4];
     reader.read_exact(&mut magic)?;
     if &magic != MAGIC {
@@ -457,119 +687,83 @@ pub fn load_snapshot<R: Read>(
             specs: specs.len(),
         });
     }
-    let mut tenants = Vec::with_capacity(tenant_count as usize);
-    for (t, spec) in specs.iter().enumerate() {
-        let tenant = t as u16;
-        let name_len = read_u8(&mut reader)? as usize;
-        let mut name = vec![0u8; name_len];
-        reader.read_exact(&mut name)?;
-        let workload = String::from_utf8(name)
-            .map_err(|_| SnapshotError::Malformed("workload name is not UTF-8"))?;
-        if workload != spec.name() {
-            return Err(SnapshotError::WorkloadMismatch {
-                tenant,
-                snapshot: workload,
-                spec: spec.name(),
-            });
-        }
-        let selector = tag_selector(read_u8(&mut reader)?)?;
-        let exploring = read_flag(&mut reader)?;
-        let next = read_u32(&mut reader)?;
-        let current = read_u32(&mut reader)?;
-        let candidate_count = read_u32(&mut reader)? as usize;
-        if candidate_count != policy.candidates.len() {
-            return Err(SnapshotError::CandidateMismatch { tenant });
-        }
-        let mut scores = Vec::with_capacity(candidate_count);
-        for i in 0..candidate_count {
-            let kind = tag_selector(read_u8(&mut reader)?)?;
-            if kind != policy.candidates[i] {
-                return Err(SnapshotError::CandidateMismatch { tenant });
-            }
-            scores.push(if read_flag(&mut reader)? {
-                Some(f64::from_bits(read_u64(&mut reader)?))
-            } else {
-                None
-            });
-        }
-        let ema = f64::from_bits(read_u64(&mut reader)?);
-        let switches = read_u64(&mut reader)?;
-        let state = PolicyState {
-            exploring,
-            next,
-            current,
-            scores,
-            ema,
-            switches,
-            candidates: policy.candidates.clone(),
-        };
-        // The engine is the authority on state consistency; anything it
-        // rejects, the loader rejects.
-        if PolicyEngine::restore(policy.clone(), &state).is_none() {
-            return Err(SnapshotError::BadPolicyState(tenant));
-        }
-        if policy.candidates[current as usize] != selector {
-            return Err(SnapshotError::BadPolicyState(tenant));
-        }
-        let region_count = read_u32(&mut reader)? as usize;
-        let mut regions = Vec::with_capacity(region_count.min(1 << 20));
-        let mut entries = HashSet::with_capacity(region_count.min(1 << 20));
-        for _ in 0..region_count {
-            let kind = match read_u8(&mut reader)? {
-                KIND_TRACE => RegionKind::Trace,
-                KIND_COMBINED => RegionKind::Combined,
-                tag => return Err(SnapshotError::BadTag(tag)),
-            };
-            let entry = Addr::new(read_u64(&mut reader)?);
-            let block_count = read_u32(&mut reader)? as usize;
-            let mut blocks = Vec::with_capacity(block_count.min(1 << 20));
-            for _ in 0..block_count {
-                blocks.push(Addr::new(read_u64(&mut reader)?));
-            }
-            let edge_count = read_u32(&mut reader)? as usize;
-            let mut edges = Vec::with_capacity(edge_count.min(1 << 20));
-            for _ in 0..edge_count {
-                let from = Addr::new(read_u64(&mut reader)?);
-                let to = Addr::new(read_u64(&mut reader)?);
-                edges.push((from, to));
-            }
-            if !entries.insert(entry) {
-                return Err(SnapshotError::BadRegion {
-                    tenant,
-                    source: SimError::DuplicateRegionEntry(entry),
-                });
-            }
-            let snap = RegionSnapshot {
-                kind,
-                entry,
-                blocks,
-                edges,
-            };
-            // Prove the region rebuilds against the live program now,
-            // so a warm start can only fail before any state is built.
-            snap.rebuild(spec.program()).map_err(|e| match e {
-                SnapshotError::BadRegion { source, .. } => {
-                    SnapshotError::BadRegion { tenant, source }
-                }
-                other => other,
-            })?;
-            regions.push(snap);
-        }
-        tenants.push(TenantSnapshot {
-            workload,
-            selector,
-            policy: state,
-            regions,
-        });
-    }
-    // A well-formed snapshot consumes the input exactly.
+    Ok(())
+}
+
+/// A well-formed snapshot consumes the input exactly.
+fn expect_eof<R: Read>(reader: &mut R) -> Result<(), SnapshotError> {
     let mut probe = [0u8; 1];
     match reader.read(&mut probe) {
-        Ok(0) => {}
-        Ok(_) => return Err(SnapshotError::TrailingData),
-        Err(e) => return Err(SnapshotError::Io(e)),
+        Ok(0) => Ok(()),
+        Ok(_) => Err(SnapshotError::TrailingData),
+        Err(e) => Err(SnapshotError::Io(e)),
     }
+}
+
+/// Reads and fully validates a snapshot from `reader` against the
+/// tenant `specs` and `policy` configuration it will warm.
+///
+/// Validation is strict: every region is rebuilt against its tenant's
+/// program (and discarded — [`TenantSession::restore`]
+/// (crate::TenantSession::restore) rebuilds again into a live
+/// simulator), every policy state must be one
+/// [`PolicyEngine::restore`] accepts, and the input must end exactly
+/// where the format says it does. For the variant that degrades stale
+/// tenants instead of rejecting the file, see [`load_warm_start`].
+///
+/// # Errors
+///
+/// Returns a [`SnapshotError`] describing the first violation found.
+pub fn load_snapshot<R: Read>(
+    specs: &[TenantSpec],
+    policy: &PolicyConfig,
+    mut reader: R,
+) -> Result<ServeSnapshot, SnapshotError> {
+    read_header(&mut reader, specs)?;
+    let mut tenants = Vec::with_capacity(specs.len());
+    for (t, spec) in specs.iter().enumerate() {
+        let raw = read_tenant(&mut reader)?;
+        tenants.push(validate_tenant(t as u16, raw, spec, policy)?);
+    }
+    expect_eof(&mut reader)?;
     Ok(ServeSnapshot { tenants })
+}
+
+/// Reads a snapshot from `reader` with graceful per-tenant
+/// degradation: framing is as strict as [`load_snapshot`], but a
+/// tenant whose state is *semantically* stale — recorded under a
+/// different candidate configuration, a policy state the engine
+/// rejects, a workload or region set that no longer matches the spec —
+/// is downgraded to a cold start (its slot in the returned
+/// [`WarmStart`] is `None`) with a warning on stderr, instead of
+/// rejecting every other tenant's warm state along with it.
+///
+/// # Errors
+///
+/// Returns a [`SnapshotError`] only for structural defects: I/O
+/// failure, bad magic/version, a tenant count that does not match
+/// `specs`, broken framing, or trailing bytes.
+pub fn load_warm_start<R: Read>(
+    specs: &[TenantSpec],
+    policy: &PolicyConfig,
+    mut reader: R,
+) -> Result<WarmStart, SnapshotError> {
+    read_header(&mut reader, specs)?;
+    let mut tenants = Vec::with_capacity(specs.len());
+    let mut rejected = 0u64;
+    for (t, spec) in specs.iter().enumerate() {
+        let raw = read_tenant(&mut reader)?;
+        match validate_tenant(t as u16, raw, spec, policy) {
+            Ok(snap) => tenants.push(Some(snap)),
+            Err(e) => {
+                eprintln!("warning: tenant {t} snapshot rejected, cold-starting it: {e}");
+                tenants.push(None);
+                rejected += 1;
+            }
+        }
+    }
+    expect_eof(&mut reader)?;
+    Ok(WarmStart { tenants, rejected })
 }
 
 #[cfg(test)]

@@ -66,6 +66,48 @@ fn warm_started_runs_are_identical_across_worker_counts() {
 }
 
 #[test]
+fn smc_faulted_runs_are_identical_across_worker_counts() {
+    // The robustness invariant: a serve under self-modifying-code
+    // traffic is still byte-identical for every worker count, because
+    // each tenant's fault schedule is seeded from the tenant id alone.
+    let specs = TenantSpec::record_suite(SEED, Scale::Test);
+    let mut config = ServeConfig::default();
+    config.sim.faults.seed = SEED;
+    config.sim.faults.smc_write_ppm = 2_000;
+    let one = serve(&specs, &config, 1);
+    let eight = serve(&specs, &config, 8);
+    assert_eq!(
+        one.report.to_json(),
+        eight.report.to_json(),
+        "faulted ServeReport JSON must not depend on the worker count"
+    );
+    assert_eq!(one.report, eight.report);
+    assert_eq!(one.run_reports, eight.run_reports);
+    assert_eq!(one.snapshot, eight.snapshot);
+    assert!(
+        one.report.smc_invalidated_regions() > 0,
+        "the fault schedule must actually strike at this rate"
+    );
+    assert!(
+        one.report.tenants.iter().any(|t| t.smc_dips > 0),
+        "invalidation waves must dent some hit-rate curve"
+    );
+
+    // The invariant survives warm-starting from the faulted snapshot
+    // (which carries each tenant's blacklist state).
+    let warm1 = serve_with(&specs, &config, 1, Some(&one.snapshot));
+    let warm8 = serve_with(&specs, &config, 8, Some(&one.snapshot));
+    assert_eq!(
+        warm1.report.to_json(),
+        warm8.report.to_json(),
+        "warm faulted ServeReport JSON must not depend on the worker count"
+    );
+    assert_eq!(warm1.report, warm8.report);
+    assert_eq!(warm1.run_reports, warm8.run_reports);
+    assert_eq!(warm1.snapshot, warm8.snapshot);
+}
+
+#[test]
 fn default_run_exhibits_the_serving_behaviours() {
     let out = run(8);
     let rep = &out.report;
@@ -165,6 +207,12 @@ fn json_is_well_formed_enough_to_diff() {
         "\"insts_per_round\":",
         "\"warm_started\": false",
         "\"warm_regions_restored\": 0",
+        "\"warm_rejected_tenants\": 0",
+        "\"smc_write_ppm\": 0",
+        "\"fault_seed\": 0",
+        "\"smc_invalidated_regions\": 0",
+        "\"blacklisted_targets\": 0",
+        "\"max_dip_depth\":",
         "\"pressure_waves\":",
         "\"shed_actions\":",
         "\"first_exploit_round\":",

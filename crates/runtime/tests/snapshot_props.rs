@@ -10,8 +10,10 @@
 //! partial restore.
 
 use proptest::prelude::*;
-use rsel_runtime::snapshot::{load_snapshot, save_snapshot};
-use rsel_runtime::{PolicyConfig, PolicyEngine, ServeConfig, TenantSession, TenantSpec, serve};
+use rsel_runtime::snapshot::{load_snapshot, load_warm_start, save_snapshot};
+use rsel_runtime::{
+    PolicyConfig, PolicyEngine, ServeConfig, TenantSession, TenantSpec, serve, serve_warm,
+};
 use rsel_workloads::{Scale, suite};
 use std::sync::OnceLock;
 
@@ -79,6 +81,36 @@ proptest! {
         }
     }
 
+    /// The lenient loader obeys the same no-partial-restore contract
+    /// under bit flips: it either fails structurally, or returns a
+    /// warm start whose restored slots all build live sessions and
+    /// whose rejection count matches the empty slots exactly.
+    #[test]
+    fn lenient_loader_degrades_but_never_lies(byte in 0usize..1 << 16, bit in 0u8..8) {
+        let (specs, buf) = fixture();
+        let mut buf = buf.clone();
+        let byte = byte % buf.len();
+        buf[byte] ^= 1 << bit;
+        let config = ServeConfig::default();
+        if let Ok(warm) = load_warm_start(specs, &config.policy, buf.as_slice()) {
+            prop_assert_eq!(warm.tenants.len(), specs.len());
+            let empty = warm.tenants.iter().filter(|t| t.is_none()).count() as u64;
+            prop_assert_eq!(warm.rejected, empty, "rejection count must match empty slots");
+            for (t, (spec, slot)) in specs.iter().zip(&warm.tenants).enumerate() {
+                let Some(ts) = slot else { continue };
+                prop_assert!(
+                    PolicyEngine::restore(config.policy.clone(), &ts.policy).is_some(),
+                    "tenant {} engine", t
+                );
+                prop_assert!(
+                    TenantSession::restore(t as u16, spec, ts, &config.sim, config.shard_count)
+                        .is_ok(),
+                    "tenant {} session", t
+                );
+            }
+        } // structural rejection is always acceptable
+    }
+
     /// Appending garbage after a well-formed snapshot is detected: a
     /// corrupted count field can never make the loader stop early and
     /// accept the rest as slack.
@@ -99,4 +131,42 @@ fn pristine_snapshot_still_round_trips() {
     let mut again = Vec::new();
     save_snapshot(&snap, &mut again).unwrap();
     assert_eq!(&again, buf, "load ∘ save is the identity on valid files");
+}
+
+#[test]
+fn lenient_loader_matches_strict_on_pristine_files() {
+    let (specs, buf) = fixture();
+    let policy = PolicyConfig::default();
+    let strict = load_snapshot(specs, &policy, buf.as_slice()).unwrap();
+    let warm = load_warm_start(specs, &policy, buf.as_slice()).unwrap();
+    assert_eq!(warm.rejected, 0);
+    assert_eq!(warm.restored_tenants(), specs.len());
+    for (ts, slot) in strict.tenants.iter().zip(&warm.tenants) {
+        assert_eq!(slot.as_ref(), Some(ts));
+    }
+}
+
+#[test]
+fn stale_policy_config_cold_starts_tenants_instead_of_failing() {
+    // The operator changed the candidate list since the snapshot was
+    // taken. The strict loader rejects the whole file; the lenient one
+    // degrades every mismatched tenant to a cold start and the serve
+    // still completes — the graceful path the serve bin takes by
+    // default.
+    let (specs, buf) = fixture();
+    let mut stale = ServeConfig::default();
+    stale.policy.candidates.truncate(2);
+    assert!(
+        load_snapshot(specs, &stale.policy, buf.as_slice()).is_err(),
+        "strict loading must hard-reject a candidate-list mismatch"
+    );
+    let warm = load_warm_start(specs, &stale.policy, buf.as_slice()).unwrap();
+    assert_eq!(warm.rejected, specs.len() as u64, "every tenant is stale");
+    assert_eq!(warm.restored_tenants(), 0);
+    let out = serve_warm(specs, &stale, 2, &warm);
+    assert_eq!(out.report.warm_rejected_tenants, specs.len() as u64);
+    assert_eq!(out.report.warm_regions_restored, 0);
+    for t in &out.report.tenants {
+        assert!(t.total_insts > 0, "{} still served cold", t.workload);
+    }
 }

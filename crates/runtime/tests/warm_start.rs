@@ -97,6 +97,7 @@ fn warm_session_reaches_cold_final_hit_rate_in_fewer_epochs() {
             selector: SelectorKind::Net,
             policy: PolicyEngine::new(policy.clone()).export(),
             regions: cold.region_snapshots(),
+            blacklist: Vec::new(),
         };
         let mut warm = TenantSession::restore(0, &spec, &snap, &config, 16).unwrap();
         let warm_curve = hit_rate_curve(&mut warm, EPOCH);

@@ -1,0 +1,118 @@
+//! Property test for the page-granular invalidation index: over
+//! arbitrary insert / invalidate / evict / flush sequences, the
+//! indexed overlap query must return exactly the region set the
+//! retained linear scan finds, and `invalidate_range` must therefore
+//! remove exactly that set. (Debug builds also cross-check the oracle
+//! inside `invalidate_range` itself; this test asserts it explicitly
+//! so release builds are covered too.)
+
+use proptest::prelude::*;
+use regionsel::core::cache::code_cache::INDEX_PAGE_BYTES;
+use regionsel::core::{CodeCache, Region};
+use regionsel::program::{Addr, FxHashSet, Program, ProgramBuilder};
+
+/// `n` single-block leaf functions spaced 0x180 bytes apart — three
+/// quarters of an index page, so regions straddle page boundaries at
+/// irregular offsets.
+fn program_with(n: usize) -> Program {
+    let mut b = ProgramBuilder::new();
+    for i in 0..n {
+        let f = b.function(&format!("f{i}"), 0x1000 + (i as u64) * 0x180);
+        let blk = b.block_with(f, 3);
+        b.ret(blk);
+    }
+    b.build().expect("disjoint leaf functions are well-formed")
+}
+
+const FUNCS: usize = 48;
+const BASE: u64 = 0x1000;
+const END: u64 = BASE + (FUNCS as u64) * 0x180 + 0x200;
+
+#[derive(Clone, Copy, Debug)]
+enum Op {
+    /// Insert the region for block `i` (skipped if its entry is live).
+    Insert(usize),
+    /// Invalidate `[lo, lo + span)`.
+    Invalidate(u64, u64),
+    /// Evict the `count` oldest regions.
+    Evict(usize),
+    /// Drop everything.
+    Flush,
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    // The vendored `prop_oneof!` is unweighted; inserts and
+    // invalidations are listed repeatedly to bias toward them.
+    prop_oneof![
+        (0usize..FUNCS).prop_map(Op::Insert),
+        (0usize..FUNCS).prop_map(Op::Insert),
+        (0usize..FUNCS).prop_map(Op::Insert),
+        (0usize..FUNCS).prop_map(Op::Insert),
+        (BASE..END, 1u64..1024).prop_map(|(lo, span)| Op::Invalidate(lo, span)),
+        (BASE..END, 1u64..1024).prop_map(|(lo, span)| Op::Invalidate(lo, span)),
+        (BASE..END, 1u64..1024).prop_map(|(lo, span)| Op::Invalidate(lo, span)),
+        (1usize..4).prop_map(Op::Evict),
+        Just(Op::Flush),
+    ]
+}
+
+/// The indexed query agrees with the scan at `[lo, hi)`, and on a few
+/// fixed probes that exercise the whole-cache walk path.
+fn assert_oracle(cache: &CodeCache, lo: Addr, hi: Addr) {
+    assert_eq!(
+        cache.regions_overlapping(lo, hi),
+        cache.regions_overlapping_scan(lo, hi),
+        "page index diverged from the scan oracle on [{lo}, {hi})"
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn indexed_invalidation_matches_the_scan_oracle(
+        ops in prop::collection::vec(op_strategy(), 1..80)
+    ) {
+        let p = program_with(FUNCS);
+        let mut cache = CodeCache::new();
+        let mut live_entries: FxHashSet<Addr> = FxHashSet::default();
+        let resync = |cache: &CodeCache, live: &mut FxHashSet<Addr>| {
+            live.clear();
+            live.extend(cache.regions().iter().map(|r| r.entry()));
+        };
+        for op in ops {
+            match op {
+                Op::Insert(i) => {
+                    let entry = p.blocks()[i].start();
+                    if live_entries.insert(entry) {
+                        cache.insert(Region::trace(&p, &[entry]));
+                    }
+                }
+                Op::Invalidate(lo, span) => {
+                    let (lo, hi) = (Addr::new(lo), Addr::new(lo.saturating_add(span)));
+                    assert_oracle(&cache, lo, hi);
+                    let expected = cache.regions_overlapping_scan(lo, hi);
+                    let removal = cache.invalidate_range(lo, hi);
+                    prop_assert_eq!(
+                        removal.removed.len(), expected.len(),
+                        "invalidate_range must remove exactly the overlap set"
+                    );
+                    resync(&cache, &mut live_entries);
+                }
+                Op::Evict(count) => {
+                    cache.evict_oldest(count);
+                    resync(&cache, &mut live_entries);
+                }
+                Op::Flush => {
+                    cache.flush();
+                    live_entries.clear();
+                }
+            }
+            // Probes after every op: an empty range, a single index
+            // page, and the whole address space (the index-walk path).
+            assert_oracle(&cache, Addr::new(BASE), Addr::new(BASE));
+            assert_oracle(&cache, Addr::new(BASE), Addr::new(BASE + INDEX_PAGE_BYTES));
+            assert_oracle(&cache, Addr::new(0), Addr::new(u64::MAX));
+        }
+    }
+}
