@@ -9,6 +9,13 @@
 //! same economy the paper gets by collecting Pin traces once and
 //! feeding them to every region-selection algorithm (§2.3).
 //!
+//! Recording is also *decode-once*: the compact byte stream is expanded
+//! to a dense [`DecodedStream`] a single time per workload, so the
+//! per-selector replays walk plain arrays (and fast-forward detected
+//! spin phases) instead of re-decoding varints and re-hashing block
+//! tables eight times over. Workers additionally recycle their
+//! simulator side tables ([`ReplayScratch`]) from cell to cell.
+//!
 //! Cells are independently replayable, so the matrix fans them out
 //! across scoped worker threads (`RSEL_JOBS` workers, defaulting to the
 //! machine's available parallelism). Results are collected by cell
@@ -17,9 +24,9 @@
 
 use rsel_core::metrics::RunReport;
 use rsel_core::select::SelectorKind;
-use rsel_core::{SimConfig, Simulator};
+use rsel_core::{ReplayScratch, SimConfig, Simulator};
 use rsel_program::{Executor, Program};
-use rsel_trace::CompactStream;
+use rsel_trace::{CompactStream, DecodedStream};
 use rsel_workloads::{Scale, Workload, suite};
 use std::collections::HashMap;
 use std::sync::Mutex;
@@ -53,18 +60,20 @@ pub fn run_one(
 pub struct RecordedWorkload {
     name: &'static str,
     program: Program,
-    stream: CompactStream,
+    decoded: DecodedStream,
 }
 
 impl RecordedWorkload {
-    /// Builds the workload and records its full execution once.
+    /// Builds the workload, records its full execution once, and
+    /// decodes the recording once for all subsequent replays.
     pub fn record(workload: &Workload, seed: u64, scale: Scale) -> Self {
         let (program, spec) = workload.build(seed, scale);
         let stream = CompactStream::record(Executor::new(&program, spec));
+        let decoded = DecodedStream::decode(stream, &program);
         RecordedWorkload {
             name: workload.name(),
             program,
-            stream,
+            decoded,
         }
     }
 
@@ -78,16 +87,41 @@ impl RecordedWorkload {
         &self.program
     }
 
-    /// The recorded execution stream.
+    /// The recorded execution stream (owned by the decoded form).
     pub fn stream(&self) -> &CompactStream {
-        &self.stream
+        self.decoded.compact()
+    }
+
+    /// The decode-once struct-of-arrays form of the recording.
+    pub fn decoded(&self) -> &DecodedStream {
+        &self.decoded
     }
 
     /// Replays the recording through one selector.
     pub fn replay(&self, kind: SelectorKind, config: &SimConfig) -> RunReport {
         let mut sim = Simulator::new(&self.program, kind.make(&self.program, config), config);
-        sim.run(self.stream.replay(&self.program));
+        sim.replay_decoded(&self.decoded);
         sim.report()
+    }
+
+    /// [`RecordedWorkload::replay`] on recycled simulator buffers; the
+    /// scratch is taken, reused, and replaced for the next cell.
+    pub fn replay_recycled(
+        &self,
+        kind: SelectorKind,
+        config: &SimConfig,
+        scratch: &mut ReplayScratch,
+    ) -> RunReport {
+        let mut sim = Simulator::recycled(
+            &self.program,
+            kind.make(&self.program, config),
+            config,
+            std::mem::take(scratch),
+        );
+        sim.replay_decoded(&self.decoded);
+        let report = sim.report();
+        *scratch = sim.into_scratch();
+        report
     }
 }
 
@@ -119,28 +153,33 @@ pub fn jobs_from_env() -> usize {
     }
 }
 
-/// Applies `f` to every item on up to `jobs` scoped worker threads,
-/// returning results in item order (deterministic regardless of
-/// scheduling). `jobs <= 1` degenerates to a plain serial map.
-fn par_map<T, R, F>(items: &[T], jobs: usize, f: F) -> Vec<R>
+/// Applies `f` to every item on up to `jobs` scoped worker threads
+/// with per-worker mutable state: each worker builds one `S` via
+/// `init` and threads it through every item it claims. Results are
+/// returned in item order (deterministic regardless of scheduling);
+/// the state must be scheduling-invisible (workers use it only for
+/// buffer recycling). `jobs <= 1` degenerates to a plain serial map.
+fn par_map_with<T, R, S, F>(items: &[T], jobs: usize, init: impl Fn() -> S + Sync, f: F) -> Vec<R>
 where
     T: Sync,
     R: Send,
-    F: Fn(&T) -> R + Sync,
+    F: Fn(&mut S, &T) -> R + Sync,
 {
     let jobs = jobs.min(items.len());
     if jobs <= 1 {
-        return items.iter().map(f).collect();
+        let mut state = init();
+        return items.iter().map(|item| f(&mut state, item)).collect();
     }
     let next = AtomicUsize::new(0);
     let slots: Vec<Mutex<Option<R>>> = items.iter().map(|_| Mutex::new(None)).collect();
     std::thread::scope(|scope| {
         for _ in 0..jobs {
             scope.spawn(|| {
+                let mut state = init();
                 loop {
                     let i = next.fetch_add(1, Ordering::Relaxed);
                     let Some(item) = items.get(i) else { break };
-                    let r = f(item);
+                    let r = f(&mut state, item);
                     *slots[i].lock().expect("result slot poisoned") = Some(r);
                 }
             });
@@ -224,7 +263,9 @@ pub fn replay_matrix(
         .enumerate()
         .flat_map(|(wi, _)| kinds.iter().map(move |&k| (wi, k)))
         .collect();
-    let results = par_map(&cells, jobs, |&(wi, k)| recorded[wi].replay(k, config));
+    let results = par_map_with(&cells, jobs, ReplayScratch::default, |scratch, &(wi, k)| {
+        recorded[wi].replay_recycled(k, config, scratch)
+    });
     let mut reports = HashMap::with_capacity(cells.len());
     for (&(wi, k), rep) in cells.iter().zip(results) {
         reports.insert((recorded[wi].name(), k), rep);
@@ -367,7 +408,7 @@ mod tests {
     #[test]
     fn par_map_preserves_order() {
         let items: Vec<usize> = (0..100).collect();
-        let doubled = par_map(&items, 8, |&x| x * 2);
+        let doubled = par_map_with(&items, 8, || (), |_, &x| x * 2);
         assert_eq!(doubled, (0..100).map(|x| x * 2).collect::<Vec<_>>());
     }
 }

@@ -213,6 +213,15 @@ impl CodeCache {
             .ok_or(SimError::UnknownRegion(id))
     }
 
+    /// The current index of a live region in [`CodeCache::regions`],
+    /// or `None` if the id is not live. Indices shift on removal, so
+    /// callers caching one as a hint must re-validate it against the
+    /// region's id before use.
+    #[inline]
+    pub fn region_index(&self, id: RegionId) -> Option<usize> {
+        self.index_of.get(&id).copied()
+    }
+
     /// All live regions in selection order.
     pub fn regions(&self) -> &[Region] {
         &self.regions

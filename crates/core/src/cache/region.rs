@@ -141,6 +141,15 @@ pub struct Region {
     blocks: Vec<RegionBlock>,
     index: HashMap<Addr, usize>,
     edges: HashMap<Addr, Vec<Addr>>,
+    /// Slot-indexed mirror of `edges` in CSR form: block slot `s`'s
+    /// internal successors are `succ[succ_off[s]..succ_off[s + 1]]`,
+    /// each `(start address, successor slot)`. The simulator's hot
+    /// loop classifies transfers against this table — a short linear
+    /// scan over one contiguous array (regions rarely have more than
+    /// two successors per block) instead of a hash lookup, with no
+    /// per-slot heap indirection.
+    succ_off: Vec<u32>,
+    succ: Vec<(Addr, u32)>,
     stubs: Vec<ExitStub>,
     cache_offset: u64,
 }
@@ -199,10 +208,13 @@ impl Region {
             blocks,
             index,
             edges,
+            succ_off: Vec::new(),
+            succ: Vec::new(),
             stubs: Vec::new(),
             cache_offset: 0,
         };
         r.derive_stubs();
+        r.build_succ_slots();
         Ok(r)
     }
 
@@ -268,10 +280,13 @@ impl Region {
             blocks: rblocks,
             index,
             edges,
+            succ_off: Vec::new(),
+            succ: Vec::new(),
             stubs: Vec::new(),
             cache_offset: 0,
         };
         r.derive_stubs();
+        r.build_succ_slots();
         Ok(r)
     }
 
@@ -297,6 +312,22 @@ impl Region {
             }
         }
         self.stubs = stubs;
+    }
+
+    /// Builds the slot-indexed successor table from `edges`. Every
+    /// edge target is a member block (both constructors only create
+    /// edges between kept blocks), so the slot lookup cannot fail.
+    fn build_succ_slots(&mut self) {
+        self.succ_off = Vec::with_capacity(self.blocks.len() + 1);
+        self.succ = Vec::new();
+        self.succ_off.push(0);
+        for b in &self.blocks {
+            if let Some(succs) = self.edges.get(&b.start()) {
+                self.succ
+                    .extend(succs.iter().map(|&t| (t, self.index[&t] as u32)));
+            }
+            self.succ_off.push(self.succ.len() as u32);
+        }
     }
 
     pub(crate) fn set_id(&mut self, id: RegionId) {
@@ -443,6 +474,38 @@ impl Region {
             TransferClass::Exit
         }
     }
+
+    /// The slot (index into [`Region::blocks`]) of the block starting
+    /// at `addr`, if it is a member. The entry block is always slot 0.
+    pub fn block_slot(&self, addr: Addr) -> Option<usize> {
+        self.index.get(&addr).copied()
+    }
+
+    /// Hash-free variant of [`Region::classify`] for the simulator's
+    /// hot loop: classifies a transfer out of the block at `from_slot`
+    /// towards `target`, returning the class together with the target's
+    /// slot (0 for a cycle back to the entry; unspecified for an exit).
+    /// Equivalent to `classify(blocks[from_slot].start(), target)` —
+    /// the classification order (cycle, then internal edge, then exit)
+    /// is identical.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `from_slot` is out of range.
+    #[inline]
+    pub fn classify_slot(&self, from_slot: u32, target: Addr) -> (TransferClass, u32) {
+        if target == self.entry {
+            return (TransferClass::Cycle, 0);
+        }
+        let lo = self.succ_off[from_slot as usize] as usize;
+        let hi = self.succ_off[from_slot as usize + 1] as usize;
+        for &(addr, slot) in &self.succ[lo..hi] {
+            if addr == target {
+                return (TransferClass::Internal, slot);
+            }
+        }
+        (TransferClass::Exit, 0)
+    }
 }
 
 impl fmt::Display for Region {
@@ -520,6 +583,31 @@ mod tests {
         assert_eq!(t.classify(s[0], s[2]), TransferClass::Internal);
         assert_eq!(t.classify(s[0], s[1]), TransferClass::Exit);
         assert_eq!(t.classify(s[2], s[3]), TransferClass::Exit);
+    }
+
+    #[test]
+    fn classify_slot_matches_classify() {
+        let p = program();
+        let s = starts(&p);
+        for r in [
+            Region::trace(&p, &[s[0], s[2]]),
+            Region::combined(&p, &[s[0], s[1], s[2]], &[(s[0], s[2]), (s[0], s[1])]),
+        ] {
+            assert_eq!(r.block_slot(r.entry()), Some(0), "entry is slot 0");
+            for (slot, b) in r.blocks().iter().enumerate() {
+                for &target in &s {
+                    let (class, tslot) = r.classify_slot(slot as u32, target);
+                    assert_eq!(class, r.classify(b.start(), target), "{slot} -> {target}");
+                    match class {
+                        TransferClass::Cycle => assert_eq!(tslot, 0),
+                        TransferClass::Internal => {
+                            assert_eq!(r.blocks()[tslot as usize].start(), target)
+                        }
+                        TransferClass::Exit => {}
+                    }
+                }
+            }
+        }
     }
 
     #[test]

@@ -64,5 +64,5 @@ pub use error::SimError;
 pub use metrics::{ResilienceStats, RunReport};
 pub use rsel_program::fxhash;
 pub use select::{RegionSelector, SelectorKind};
-pub use sim::Simulator;
 pub use sim::faults::FaultConfig;
+pub use sim::{ReplayScratch, Simulator};

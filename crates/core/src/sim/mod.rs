@@ -16,6 +16,9 @@
 //! inert and runs are bit-identical to a simulator without it.
 
 pub mod faults;
+mod replay;
+
+pub use replay::ReplayScratch;
 
 use crate::cache::{CodeCache, Region, RegionId, TransferClass};
 use crate::config::SimConfig;
@@ -33,10 +36,18 @@ const PAGE_BYTES: u64 = 4096;
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 enum Mode {
     Interp,
-    InCache { region: RegionId, block: Addr },
+    InCache {
+        region: RegionId,
+        block: Addr,
+        /// The current block's slot in the region (index into
+        /// [`Region::blocks`]); tracked alongside the address so the
+        /// hot path can classify transfers against the slot-indexed
+        /// successor table without hashing. The entry is always slot 0.
+        slot: u32,
+    },
 }
 
-#[derive(Clone, Copy, Debug, Default)]
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 struct RegionRuntime {
     executions: u64,
     cycle_ends: u64,
@@ -80,6 +91,15 @@ pub struct Simulator<'p> {
     // Executed-predecessor relation over program blocks, dense by the
     // target's block index (arrival targets are always block starts).
     exec_preds: Vec<FxHashSet<Addr>>,
+    // Last predecessor inserted into each block's exec_preds set (raw
+    // address; u64::MAX = none yet). Steps overwhelmingly repeat the
+    // previous edge, and the relation only ever grows, so this memo
+    // turns the common per-step set insert into one array compare.
+    last_pred: Vec<u64>,
+    // Index of the mode's current region within the cache's region
+    // list, validated by id before use (indices shift on removal).
+    // Pure lookup acceleration — never observable in reports.
+    region_idx_hint: usize,
     // Exits observed leaving the cache towards each block:
     // {(region, from block)}, dense by the target's block index.
     exit_edges: Vec<FxHashSet<(RegionId, Addr)>>,
@@ -111,6 +131,19 @@ impl<'p> Simulator<'p> {
         selector: Box<dyn RegionSelector + Send + 'p>,
         config: &SimConfig,
     ) -> Self {
+        Simulator::recycled(program, selector, config, ReplayScratch::default())
+    }
+
+    /// [`Simulator::new`] reusing the allocations of a previous run's
+    /// [`ReplayScratch`] (see [`Simulator::into_scratch`]). Behaviour
+    /// is identical to a fresh simulator — the scratch only donates
+    /// buffer capacity.
+    pub fn recycled(
+        program: &'p Program,
+        selector: Box<dyn RegionSelector + Send + 'p>,
+        config: &SimConfig,
+        scratch: ReplayScratch,
+    ) -> Self {
         let cache = match config.cache_capacity {
             Some(cap) => CodeCache::bounded(cap, config.stub_bytes),
             None => CodeCache::new(),
@@ -119,6 +152,7 @@ impl<'p> Simulator<'p> {
         // the hot path never grows them: the dense tables are indexed by
         // block, and region count scales with block count.
         let block_count = program.blocks().len();
+        let (exec_preds, exit_edges, last_pred, runtime, retired) = scratch.prepare(block_count);
         Simulator {
             program,
             selector,
@@ -133,10 +167,12 @@ impl<'p> Simulator<'p> {
             transitions: 0,
             transition_distance_sum: 0,
             transition_page_crossings: 0,
-            runtime: Vec::with_capacity(block_count),
-            exec_preds: vec![FxHashSet::default(); block_count],
-            exit_edges: vec![FxHashSet::default(); block_count],
-            retired: Vec::new(),
+            runtime,
+            exec_preds,
+            last_pred,
+            region_idx_hint: 0,
+            exit_edges,
+            retired,
             regions_selected: 0,
             insts_selected: 0,
             peak_counters_floor: 0,
@@ -469,82 +505,140 @@ impl<'p> Simulator<'p> {
         self.runtime[id.index()].executions += 1;
         self.runtime[id.index()].insts_executed += len;
         self.cache_insts += len;
+        // Entering always lands on the region entry — slot 0.
         self.mode = Mode::InCache {
             region: id,
             block: target,
+            slot: 0,
         };
+        if let Some(idx) = self.cache.region_index(id) {
+            self.region_idx_hint = idx;
+        }
     }
 
     /// Processes one executed block.
     pub fn arrive(&mut self, step: &Step) {
-        let target = step.start;
+        let len = self.program.block(step.block).len() as u64;
+        let program = self.program;
+        // `prev` always starts a program block (it came from an
+        // executed step); resolve it gracefully regardless — under
+        // fault injection a missing block degrades to an unattributed
+        // arrival, never a panic.
+        self.arrive_with(step.block.index(), step.start, len, step.entry, |prev| {
+            prev.and_then(|p| program.block_at(p))
+                .map(|b| b.terminator().addr())
+        });
+    }
+
+    /// The single arrival implementation shared by the live path
+    /// ([`Simulator::arrive`]) and the decoded batch path, so the two
+    /// cannot drift. `fall_src` resolves the fall-through source from
+    /// the previous block's address — the live path looks it up in the
+    /// program tables, the decoded path reads a precomputed terminator
+    /// table; it is only invoked for fall-through entries.
+    #[inline]
+    fn arrive_with(
+        &mut self,
+        block_idx: usize,
+        target: Addr,
+        len: u64,
+        entry: Entry,
+        fall_src: impl FnOnce(Option<Addr>) -> Option<Addr>,
+    ) {
         // Scheduled faults strike before the block runs (draw-free and
         // bit-identical to no fault layer when every rate is zero).
         if self.injector.active() {
             self.apply_faults(target);
         }
-        let len = self.program.block(step.block).len() as u64;
         self.total_insts += len;
         let prev = self.prev_block;
         self.prev_block = Some(target);
         if let Some(p) = prev {
-            self.exec_preds[step.block.index()].insert(p);
+            // Steps overwhelmingly repeat the last edge into a block;
+            // the relation only grows, so skipping the repeat insert
+            // is a pure no-op spared.
+            if self.last_pred[block_idx] != p.raw() {
+                self.exec_preds[block_idx].insert(p);
+                self.last_pred[block_idx] = p.raw();
+            }
         }
 
         // --- In-cache execution ---------------------------------------
-        if let Mode::InCache { region, block } = self.mode {
+        if let Mode::InCache {
+            region,
+            block,
+            slot,
+        } = self.mode
+        {
             // The region is live: fault recovery resets the mode when
             // the current region is removed. Classify gracefully
             // anyway — an unknown id degrades to an interpreter
-            // recovery instead of a panic.
-            let class = self
-                .cache
-                .try_region(region)
-                .map(|r| r.classify(block, target));
-            match class {
-                Ok(TransferClass::Cycle) => {
-                    let rt = &mut self.runtime[region.index()];
-                    rt.cycle_ends += 1;
-                    rt.executions += 1;
-                    rt.insts_executed += len;
-                    self.cache_insts += len;
-                    self.mode = Mode::InCache {
-                        region,
-                        block: target,
-                    };
-                    return;
+            // recovery instead of a panic. The common case (the same
+            // region as the previous step) revalidates the cached
+            // index with one id compare, then classifies against the
+            // slot-indexed successor table: no hash lookups.
+            let hint = self.region_idx_hint;
+            let idx = {
+                let regions = self.cache.regions();
+                if hint < regions.len() && regions[hint].id() == region {
+                    Some(hint)
+                } else {
+                    self.cache.region_index(region)
                 }
-                Ok(TransferClass::Internal) => {
-                    self.runtime[region.index()].insts_executed += len;
-                    self.cache_insts += len;
-                    self.mode = Mode::InCache {
-                        region,
-                        block: target,
-                    };
-                    return;
-                }
-                Ok(TransferClass::Exit) => {
-                    self.exit_edges[step.block.index()].insert((region, block));
-                    if let Some(r2) = self.cache.lookup(target) {
-                        // Lazy linking: the exit stub jumps straight to
-                        // the other region — a region transition.
-                        self.transitions += 1;
-                        self.cache.record_link(region, r2);
-                        let from = self.cache.region(region).cache_offset();
-                        let to = self.cache.region(r2).cache_offset();
-                        self.transition_distance_sum += from.abs_diff(to);
-                        if from / PAGE_BYTES != to / PAGE_BYTES {
-                            self.transition_page_crossings += 1;
+            };
+            match idx {
+                Some(i) => {
+                    self.region_idx_hint = i;
+                    let (class, tslot) = self.cache.regions()[i].classify_slot(slot, target);
+                    match class {
+                        TransferClass::Cycle => {
+                            let rt = &mut self.runtime[region.index()];
+                            rt.cycle_ends += 1;
+                            rt.executions += 1;
+                            rt.insts_executed += len;
+                            self.cache_insts += len;
+                            self.mode = Mode::InCache {
+                                region,
+                                block: target,
+                                slot: 0,
+                            };
+                            return;
                         }
-                        self.enter_region(r2, target, len);
-                        return;
+                        TransferClass::Internal => {
+                            self.runtime[region.index()].insts_executed += len;
+                            self.cache_insts += len;
+                            self.mode = Mode::InCache {
+                                region,
+                                block: target,
+                                slot: tslot,
+                            };
+                            return;
+                        }
+                        TransferClass::Exit => {
+                            self.exit_edges[block_idx].insert((region, block));
+                            if let Some(r2) = self.cache.lookup(target) {
+                                // Lazy linking: the exit stub jumps
+                                // straight to the other region — a
+                                // region transition.
+                                self.transitions += 1;
+                                self.cache.record_link(region, r2);
+                                let from = self.cache.region(region).cache_offset();
+                                let to = self.cache.region(r2).cache_offset();
+                                self.transition_distance_sum += from.abs_diff(to);
+                                if from / PAGE_BYTES != to / PAGE_BYTES {
+                                    self.transition_page_crossings += 1;
+                                }
+                                self.enter_region(r2, target, len);
+                                return;
+                            }
+                            // Exit to the interpreter; fall through to
+                            // the interpreter arrival logic below.
+                            self.mode = Mode::Interp;
+                            self.pending_exit = true;
+                        }
                     }
-                    // Exit to the interpreter; fall through to the
-                    // interpreter arrival logic below.
-                    self.mode = Mode::Interp;
-                    self.pending_exit = true;
                 }
-                Err(_) => {
+                None => {
                     self.mode = Mode::Interp;
                     self.pending_exit = true;
                     self.resilience.recovery_transitions += 1;
@@ -554,7 +648,7 @@ impl<'p> Simulator<'p> {
 
         // --- Interpreter arrival ---------------------------------------
         let from_exit = std::mem::take(&mut self.pending_exit);
-        match step.entry {
+        match entry {
             Entry::Taken { src, .. } => {
                 if !from_exit {
                     self.interpreted_taken += 1;
@@ -587,13 +681,7 @@ impl<'p> Simulator<'p> {
                 }
             }
             Entry::Fallthrough => {
-                // `prev` always starts a program block (it came from an
-                // executed step); resolve it gracefully regardless —
-                // under fault injection a missing block degrades to an
-                // unattributed arrival, never a panic.
-                let src = prev
-                    .and_then(|p| self.program.block_at(p))
-                    .map(|b| b.terminator().addr());
+                let src = fall_src(prev);
                 if from_exit {
                     // Landing from a fall-through exit stub.
                     let done = self.selector.on_arrival(

@@ -35,7 +35,10 @@ pub struct Executor<'p> {
     program: &'p Program,
     spec: BehaviorSpec,
     rng: SmallRng,
-    stack: Vec<Addr>,
+    /// Call stack: the return address plus its pre-resolved block id
+    /// (`None` when the address starts no block — the panic is
+    /// deferred to the `ret` that would actually jump there).
+    stack: Vec<(Addr, Option<BlockId>)>,
     cur: Option<BlockId>,
     entry: Entry,
     trips: FxHashMap<StateKey, u32>,
@@ -43,6 +46,19 @@ pub struct Executor<'p> {
     // Executions of each block's conditional branch, dense by block
     // index (every conditional branch is a block terminator).
     executions: Vec<u64>,
+    // Dense per-block successor and behavior tables, resolved once at
+    // construction so the per-step loop does no hash lookups for
+    // static control flow: the terminator's static target, the block's
+    // fall-through, and the conditional behavior attached to the
+    // terminator. `None` ids defer the unknown-block panic to the step
+    // that would actually jump there.
+    target_ids: Vec<Option<BlockId>>,
+    fall_ids: Vec<Option<BlockId>>,
+    conds: Vec<Option<CondBehavior>>,
+    // Trip counters for non-phased `CondBehavior::Trips`, dense by
+    // block index (phased trips stay in the `trips` map, keyed by
+    // phase).
+    plain_trips: Vec<u32>,
 }
 
 impl<'p> Executor<'p> {
@@ -50,6 +66,25 @@ impl<'p> Executor<'p> {
     pub fn new(program: &'p Program, spec: BehaviorSpec) -> Self {
         let rng = SmallRng::seed_from_u64(spec.seed());
         let cur = program.block_at(program.entry()).map(|b| b.id());
+        let n = program.blocks().len();
+        let mut target_ids = Vec::with_capacity(n);
+        let mut fall_ids = Vec::with_capacity(n);
+        let mut conds = Vec::with_capacity(n);
+        for b in program.blocks() {
+            let term = b.terminator();
+            let target = match term.kind() {
+                InstKind::CondBranch { target }
+                | InstKind::Jump { target }
+                | InstKind::Call { target } => Some(target),
+                _ => None,
+            };
+            target_ids.push(target.and_then(|t| program.block_at(t).map(|b| b.id())));
+            fall_ids.push(program.block_at(b.fallthrough_addr()).map(|b| b.id()));
+            conds.push(match term.kind() {
+                InstKind::CondBranch { .. } => spec.cond(term.addr()).cloned(),
+                _ => None,
+            });
+        }
         Executor {
             program,
             spec,
@@ -59,7 +94,11 @@ impl<'p> Executor<'p> {
             entry: Entry::Start,
             trips: FxHashMap::default(),
             cursors: FxHashMap::default(),
-            executions: vec![0; program.blocks().len()],
+            executions: vec![0; n],
+            target_ids,
+            fall_ids,
+            conds,
+            plain_trips: vec![0; n],
         }
     }
 
@@ -71,55 +110,6 @@ impl<'p> Executor<'p> {
     /// Current call-stack depth (for tests and diagnostics).
     pub fn stack_depth(&self) -> usize {
         self.stack.len()
-    }
-
-    fn decide(&mut self, addr: Addr, behavior: &CondBehavior, phase: usize, count: u64) -> bool {
-        match behavior {
-            CondBehavior::Taken => true,
-            CondBehavior::NotTaken => false,
-            CondBehavior::Bernoulli(p) => self.rng.gen_bool(*p),
-            CondBehavior::Trips(n) => {
-                let c = self.trips.entry((addr, phase)).or_insert(0);
-                if *c + 1 < *n {
-                    *c += 1;
-                    true
-                } else {
-                    *c = 0;
-                    false
-                }
-            }
-            CondBehavior::Pattern(pat) => {
-                let cursor = self.cursors.entry((addr, phase)).or_insert(0);
-                let taken = pat[*cursor % pat.len()];
-                *cursor = (*cursor + 1) % pat.len();
-                taken
-            }
-            CondBehavior::Phased(phases) => {
-                let mut cumulative = 0u64;
-                let mut chosen = phases.len() - 1;
-                for (i, (len, _)) in phases.iter().enumerate() {
-                    cumulative += len;
-                    if count < cumulative {
-                        chosen = i;
-                        break;
-                    }
-                }
-                let inner = phases[chosen].1.clone();
-                self.decide(addr, &inner, chosen, count)
-            }
-        }
-    }
-
-    fn cond_taken(&mut self, block: BlockId, addr: Addr) -> bool {
-        // Phase selection reads the execution count *before* this
-        // execution, so the count is incremented after deciding.
-        let count = self.executions[block.index()];
-        let taken = match self.spec.cond(addr).cloned() {
-            Some(b) => self.decide(addr, &b, usize::MAX, count),
-            None => self.rng.gen_bool(0.5),
-        };
-        self.executions[block.index()] += 1;
-        taken
     }
 
     fn indirect_target(&mut self, addr: Addr) -> Addr {
@@ -156,6 +146,85 @@ impl<'p> Executor<'p> {
             .unwrap_or_else(|| panic!("no basic block starts at {addr}"))
             .id()
     }
+
+    /// Pushes a call's return address with its pre-resolved block id
+    /// (the caller's fall-through in the common case, so the matching
+    /// `ret` pops straight to an id without hashing).
+    fn push_return(&mut self, idx: usize, block: &crate::block::BasicBlock, ra: Addr) {
+        let rid = if ra == block.fallthrough_addr() {
+            self.fall_ids[idx]
+        } else {
+            self.program.block_at(ra).map(|b| b.id())
+        };
+        self.stack.push((ra, rid));
+    }
+}
+
+/// Mutable decision state split out of [`Executor`] so a decision can
+/// borrow the behavior table immutably while mutating counters and the
+/// RNG. The RNG call sequence is identical to deciding through `&mut
+/// Executor`, so recorded streams are unaffected by the split.
+#[allow(clippy::too_many_arguments)]
+fn decide(
+    rng: &mut SmallRng,
+    trips: &mut FxHashMap<StateKey, u32>,
+    cursors: &mut FxHashMap<StateKey, usize>,
+    plain_trips: &mut [u32],
+    block_idx: usize,
+    addr: Addr,
+    behavior: &CondBehavior,
+    phase: usize,
+    count: u64,
+) -> bool {
+    match behavior {
+        CondBehavior::Taken => true,
+        CondBehavior::NotTaken => false,
+        CondBehavior::Bernoulli(p) => rng.gen_bool(*p),
+        CondBehavior::Trips(n) => {
+            // The hot case: a non-phased counted loop keeps its trip
+            // counter in the dense per-block table instead of the map.
+            let c = if phase == usize::MAX {
+                &mut plain_trips[block_idx]
+            } else {
+                trips.entry((addr, phase)).or_insert(0)
+            };
+            if *c + 1 < *n {
+                *c += 1;
+                true
+            } else {
+                *c = 0;
+                false
+            }
+        }
+        CondBehavior::Pattern(pat) => {
+            let cursor = cursors.entry((addr, phase)).or_insert(0);
+            let taken = pat[*cursor % pat.len()];
+            *cursor = (*cursor + 1) % pat.len();
+            taken
+        }
+        CondBehavior::Phased(phases) => {
+            let mut cumulative = 0u64;
+            let mut chosen = phases.len() - 1;
+            for (i, (len, _)) in phases.iter().enumerate() {
+                cumulative += len;
+                if count < cumulative {
+                    chosen = i;
+                    break;
+                }
+            }
+            decide(
+                rng,
+                trips,
+                cursors,
+                plain_trips,
+                block_idx,
+                addr,
+                &phases[chosen].1,
+                chosen,
+                count,
+            )
+        }
+    }
 }
 
 impl Iterator for Executor<'_> {
@@ -163,6 +232,7 @@ impl Iterator for Executor<'_> {
 
     fn next(&mut self) -> Option<Step> {
         let id = self.cur?;
+        let idx = id.index();
         let block = self.program.block(id);
         let step = Step {
             block: id,
@@ -170,26 +240,60 @@ impl Iterator for Executor<'_> {
             entry: self.entry,
         };
 
-        // Compute the successor.
+        // Compute the successor. Static edges resolve through the
+        // dense id tables; only dynamically-targeted transfers (and
+        // addresses the tables could not resolve, which panic exactly
+        // as the address walk did) fall back to the address hash.
+        enum Next {
+            End,
+            Id(BlockId),
+            At(Addr),
+        }
+        let id_or = |id: Option<BlockId>, addr: Addr| id.map(Next::Id).unwrap_or(Next::At(addr));
         let term = block.terminator();
         let src = term.addr();
-        let (next_addr, entry) = match term.kind() {
-            InstKind::Straight => (Some(block.fallthrough_addr()), Entry::Fallthrough),
+        let (next, entry) = match term.kind() {
+            InstKind::Straight => (
+                id_or(self.fall_ids[idx], block.fallthrough_addr()),
+                Entry::Fallthrough,
+            ),
             InstKind::CondBranch { target } => {
-                if self.cond_taken(id, src) {
+                // Phase selection reads the execution count *before*
+                // this execution, so the count is incremented after
+                // deciding.
+                let count = self.executions[idx];
+                let taken = match &self.conds[idx] {
+                    Some(b) => decide(
+                        &mut self.rng,
+                        &mut self.trips,
+                        &mut self.cursors,
+                        &mut self.plain_trips,
+                        idx,
+                        src,
+                        b,
+                        usize::MAX,
+                        count,
+                    ),
+                    None => self.rng.gen_bool(0.5),
+                };
+                self.executions[idx] += 1;
+                if taken {
                     (
-                        Some(target),
+                        id_or(self.target_ids[idx], target),
                         Entry::Taken {
                             src,
                             kind: BranchKind::Cond,
                         },
                     )
                 } else {
-                    (Some(block.fallthrough_addr()), Entry::Fallthrough)
+                    (
+                        id_or(self.fall_ids[idx], block.fallthrough_addr()),
+                        Entry::Fallthrough,
+                    )
                 }
             }
             InstKind::Jump { target } => (
-                Some(target),
+                id_or(self.target_ids[idx], target),
                 Entry::Taken {
                     src,
                     kind: BranchKind::Jump,
@@ -198,7 +302,7 @@ impl Iterator for Executor<'_> {
             InstKind::IndirectJump => {
                 let t = self.indirect_target(src);
                 (
-                    Some(t),
+                    Next::At(t),
                     Entry::Taken {
                         src,
                         kind: BranchKind::IndirectJump,
@@ -206,9 +310,9 @@ impl Iterator for Executor<'_> {
                 )
             }
             InstKind::Call { target } => {
-                self.stack.push(term.fallthrough_addr());
+                self.push_return(idx, block, term.fallthrough_addr());
                 (
-                    Some(target),
+                    id_or(self.target_ids[idx], target),
                     Entry::Taken {
                         src,
                         kind: BranchKind::Call,
@@ -216,10 +320,10 @@ impl Iterator for Executor<'_> {
                 )
             }
             InstKind::IndirectCall => {
-                self.stack.push(term.fallthrough_addr());
+                self.push_return(idx, block, term.fallthrough_addr());
                 let t = self.indirect_target(src);
                 (
-                    Some(t),
+                    Next::At(t),
                     Entry::Taken {
                         src,
                         kind: BranchKind::IndirectCall,
@@ -227,17 +331,21 @@ impl Iterator for Executor<'_> {
                 )
             }
             InstKind::Ret => match self.stack.pop() {
-                Some(ra) => (
-                    Some(ra),
+                Some((ra, rid)) => (
+                    rid.map(Next::Id).unwrap_or(Next::At(ra)),
                     Entry::Taken {
                         src,
                         kind: BranchKind::Ret,
                     },
                 ),
-                None => (None, Entry::Start),
+                None => (Next::End, Entry::Start),
             },
         };
-        self.cur = next_addr.map(|a| self.block_id_at(a));
+        self.cur = match next {
+            Next::End => None,
+            Next::Id(id) => Some(id),
+            Next::At(a) => Some(self.block_id_at(a)),
+        };
         self.entry = entry;
         Some(step)
     }

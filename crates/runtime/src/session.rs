@@ -14,16 +14,18 @@ use crate::snapshot::{RegionSnapshot, SnapshotError, TenantSnapshot};
 use rsel_core::metrics::RunReport;
 use rsel_core::select::SelectorKind;
 use rsel_core::{RegionId, SimConfig, Simulator};
-use rsel_program::{Executor, Program, Step};
-use rsel_trace::CompactStream;
+use rsel_program::{Executor, Program};
+use rsel_trace::{CompactStream, DecodedStream};
 use rsel_workloads::{Scale, Workload, suite};
 
 /// A workload prepared for serving: the built program plus its full
-/// recorded execution, replayable by any number of sessions.
+/// recorded execution (kept both compact, for persistence-shaped
+/// parity tests, and decoded once into dense arrays for serving),
+/// replayable by any number of sessions.
 pub struct TenantSpec {
     name: &'static str,
     program: Program,
-    stream: CompactStream,
+    decoded: DecodedStream,
 }
 
 impl TenantSpec {
@@ -31,10 +33,11 @@ impl TenantSpec {
     pub fn record(workload: &Workload, seed: u64, scale: Scale) -> Self {
         let (program, spec) = workload.build(seed, scale);
         let stream = CompactStream::record(Executor::new(&program, spec));
+        let decoded = DecodedStream::decode(stream, &program);
         TenantSpec {
             name: workload.name(),
             program,
-            stream,
+            decoded,
         }
     }
 
@@ -59,12 +62,12 @@ impl TenantSpec {
 
     /// Recorded steps in the stream.
     pub fn len(&self) -> usize {
-        self.stream.len()
+        self.decoded.len()
     }
 
     /// Whether the recording is empty.
     pub fn is_empty(&self) -> bool {
-        self.stream.is_empty()
+        self.decoded.is_empty()
     }
 }
 
@@ -112,7 +115,9 @@ pub struct TenantSession<'p> {
     tenant: u16,
     workload: &'static str,
     sim: Simulator<'p>,
-    steps: Box<dyn Iterator<Item = Step> + Send + 'p>,
+    decoded: &'p DecodedStream,
+    /// Next step of the decoded stream to replay.
+    pos: usize,
     program: &'p Program,
     kind: SelectorKind,
     shard_count: usize,
@@ -148,7 +153,8 @@ impl<'p> TenantSession<'p> {
             tenant,
             workload: spec.name,
             sim,
-            steps: Box::new(spec.stream.replay(&spec.program)),
+            decoded: &spec.decoded,
+            pos: 0,
             program: &spec.program,
             kind,
             shard_count,
@@ -237,20 +243,26 @@ impl<'p> TenantSession<'p> {
 
     /// Replays up to `epoch_len` steps, returning this epoch's deltas.
     /// Marks the session finished when the stream runs dry.
+    ///
+    /// Epochs are slices of the decoded recording replayed in one
+    /// batch call, so a session pays no per-step iterator or decode
+    /// overhead and spin phases fast-forward even across serving
+    /// epochs (the detector only engages on phases wholly inside the
+    /// epoch's range, keeping results bit-identical to stepping).
     pub fn run_epoch(&mut self, epoch_len: usize) -> EpochStats {
-        let mut steps = 0u64;
-        while steps < epoch_len as u64 {
-            match self.steps.next() {
-                Some(step) => {
-                    self.sim.arrive(&step);
-                    steps += 1;
-                }
-                None => {
-                    self.finished = true;
-                    break;
-                }
-            }
+        let remaining = self.decoded.len() - self.pos;
+        let executed = epoch_len.min(remaining);
+        self.sim
+            .replay_decoded_range(self.decoded, self.pos, self.pos + executed, true);
+        self.pos += executed;
+        // `finished` flips only when the stream came up short — an
+        // exactly-full final epoch leaves it unset until the next
+        // (empty) epoch observes the dry stream, matching the
+        // iterator-driven behavior this replaces.
+        if executed < epoch_len {
+            self.finished = true;
         }
+        let steps = executed as u64;
         self.epochs_run += 1;
         // Attribute this epoch's SMC kills to their cache shards (the
         // log is empty unless a fault schedule is active).
@@ -445,7 +457,7 @@ mod tests {
             SelectorKind::Lei.make(spec.program(), &cfg),
             &cfg,
         );
-        mono.run(spec.stream.replay(spec.program()));
+        mono.run(spec.decoded.compact().replay(spec.program()));
         assert_eq!(epoch.report(), mono.report(), "epoching is invisible");
     }
 

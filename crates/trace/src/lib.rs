@@ -13,19 +13,24 @@
 //!   against a [`Program`](rsel_program::Program), as used when
 //!   combining observed traces into a region (paper §4.2.2);
 //! - [`stream`]: recording/replaying executor streams and summary
-//!   statistics.
+//!   statistics;
+//! - [`decoded`]: the decode-once struct-of-arrays execution format
+//!   ([`DecodedStream`]) with spin-phase detection, the input of the
+//!   simulator's batch replay path.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod bitstring;
 pub mod compact;
+pub mod decoded;
 pub mod paths;
 pub mod stream;
 pub mod stream_io;
 
 pub use bitstring::{BitReader, BitString};
 pub use compact::{AddrWidth, CompactTrace, DecodeError, DecodedPath, TraceRecorder};
+pub use decoded::{DecodedStream, SpinPhase};
 pub use paths::PathProfile;
 pub use stream::{CompactStream, RecordedStream, StreamStats};
 pub use stream_io::{

@@ -280,7 +280,8 @@ pub struct StreamStats {
 }
 
 impl StreamStats {
-    /// Computes statistics for `steps` executed over `program`.
+    /// Computes statistics for `steps` executed over `program` in one
+    /// pass.
     pub fn collect<'a>(program: &Program, steps: impl IntoIterator<Item = &'a Step>) -> Self {
         let mut s = StreamStats::default();
         for step in steps {
@@ -289,6 +290,32 @@ impl StreamStats {
             if let Entry::Taken { src, .. } = step.entry {
                 s.taken_branches += 1;
                 if step.start.is_backward_from(src) {
+                    s.backward_taken += 1;
+                }
+            }
+        }
+        s
+    }
+
+    /// Computes statistics for a compact stream in one pass over its
+    /// raw arrays, without materializing a single [`Step`]. Equal to
+    /// [`StreamStats::collect`] over the replayed steps.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a recorded block index is out of range for `program`.
+    pub fn collect_compact(program: &Program, stream: &CompactStream) -> Self {
+        let mut s = StreamStats::default();
+        let blocks = program.blocks();
+        let mut srcs = stream.taken_srcs.iter();
+        for (&idx, &tag) in stream.blocks.iter().zip(&stream.tags) {
+            let b = &blocks[idx as usize];
+            s.blocks += 1;
+            s.instructions += b.len() as u64;
+            if tag >= ENTRY_TAKEN_BASE {
+                let src = *srcs.next().expect("taken entry has a recorded source");
+                s.taken_branches += 1;
+                if b.start().is_backward_from(src) {
                     s.backward_taken += 1;
                 }
             }
@@ -380,22 +407,29 @@ mod tests {
     fn compact_taken_sources_preserved() {
         let (p, rec) = run();
         let compact = CompactStream::from_recorded(&rec);
-        let live_taken: Vec<_> = rec
-            .replay()
-            .filter_map(|s| match s.entry {
-                Entry::Taken { src, kind } => Some((src, kind)),
-                _ => None,
-            })
-            .collect();
-        let replayed_taken: Vec<_> = compact
-            .replay(&p)
-            .filter_map(|s| match s.entry {
-                Entry::Taken { src, kind } => Some((src, kind)),
-                _ => None,
-            })
-            .collect();
-        assert_eq!(live_taken, replayed_taken);
-        assert_eq!(compact.taken_count(), live_taken.len());
+        // One zipped pass over both streams: every live taken entry
+        // replays with the same source and kind.
+        let mut live_taken = 0usize;
+        for (live, replayed) in rec.replay().zip(compact.replay(&p)) {
+            match (live.entry, replayed.entry) {
+                (Entry::Taken { src: a, kind: ka }, Entry::Taken { src: b, kind: kb }) => {
+                    assert_eq!((a, ka), (b, kb));
+                    live_taken += 1;
+                }
+                (l, r) => assert!(!l.is_taken() && !r.is_taken(), "{l:?} vs {r:?}"),
+            }
+        }
+        assert_eq!(compact.taken_count(), live_taken);
+    }
+
+    #[test]
+    fn compact_stats_match_step_stats() {
+        let (p, rec) = run();
+        let compact = CompactStream::from_recorded(&rec);
+        assert_eq!(
+            StreamStats::collect_compact(&p, &compact),
+            StreamStats::collect(&p, rec.steps())
+        );
     }
 
     #[test]

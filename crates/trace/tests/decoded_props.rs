@@ -1,0 +1,96 @@
+//! Property tests for the decode-once stream: a [`DecodedStream`]
+//! must be an exact, byte-identical reconstruction of the recording it
+//! was decoded from, for arbitrary recorded behaviors.
+
+use proptest::prelude::*;
+use rsel_program::{BehaviorSpec, Executor, Program, ProgramBuilder};
+use rsel_trace::{CompactStream, DecodedStream};
+
+/// A looping program with conditional, indirect, and return branches,
+/// so recorded streams exercise every entry-tag kind. `trips` and the
+/// indirect weights vary the stream's shape and periodicity.
+fn program(seed: u64, trips: u32, w1: u32, w2: u32) -> (Program, BehaviorSpec) {
+    let mut b = ProgramBuilder::new();
+    let f = b.function("main", 0x1000);
+    let head = b.block(f);
+    let sw = b.block(f);
+    let h1 = b.block(f);
+    let h2 = b.block(f);
+    let latch = b.block(f);
+    let out = b.block_with(f, 0);
+    let _ = head;
+    b.indirect_jump(sw);
+    b.jump(h1, latch);
+    b.jump(h2, latch);
+    b.cond_branch(latch, head);
+    b.ret(out);
+    let p = b.build().unwrap();
+    let mut spec = BehaviorSpec::new(seed);
+    spec.indirect_weighted(
+        p.block(sw).branch_addr().unwrap(),
+        vec![(p.block(h1).start(), w1), (p.block(h2).start(), w2)],
+    );
+    spec.loop_trips(p.block(latch).branch_addr().unwrap(), trips);
+    (p, spec)
+}
+
+proptest! {
+    /// Decoding then re-materializing steps reproduces the compact
+    /// replay exactly — block, start address, and entry (including the
+    /// taken-branch source and kind) for every step.
+    #[test]
+    fn decoded_steps_round_trip(
+        seed in 0u64..100,
+        trips in 1u32..200,
+        w1 in 1u32..8,
+        w2 in 1u32..8,
+    ) {
+        let (p, spec) = program(seed, trips, w1, w2);
+        let stream = CompactStream::record(Executor::new(&p, spec));
+        let n_steps = stream.len();
+        let decoded = DecodedStream::decode(stream, &p);
+        prop_assert_eq!(decoded.len(), n_steps);
+        let mut n = 0usize;
+        for (i, expected) in decoded.compact().replay(&p).enumerate() {
+            let got = decoded.step_at(i);
+            prop_assert_eq!(got.block, expected.block, "step {}", i);
+            prop_assert_eq!(got.start, expected.start, "step {}", i);
+            prop_assert_eq!(got.entry, expected.entry, "step {}", i);
+            n += 1;
+        }
+        prop_assert_eq!(n, decoded.len());
+    }
+
+    /// The decode-time statistics equal the stats of a step walk, and
+    /// detected spin phases are sorted, disjoint, in bounds, and
+    /// genuinely periodic in the decoded step sequence.
+    #[test]
+    fn stats_and_phases_are_consistent(
+        seed in 0u64..100,
+        trips in 1u32..400,
+        w1 in 1u32..4,
+        w2 in 1u32..4,
+    ) {
+        let (p, spec) = program(seed, trips, w1, w2);
+        let stream = CompactStream::record(Executor::new(&p, spec));
+        let decoded = DecodedStream::decode(stream, &p);
+        let steps: Vec<_> = decoded.compact().replay(&p).collect();
+        let walked = rsel_trace::StreamStats::collect(&p, &steps);
+        prop_assert_eq!(decoded.stats(), walked);
+        let mut prev_end = 0usize;
+        for ph in decoded.phases() {
+            let (start, end) = (ph.start as usize, ph.end());
+            prop_assert!(ph.period >= 1);
+            prop_assert!(ph.reps >= 4, "phases shorter than MIN_REPS");
+            prop_assert!(start >= prev_end, "phases overlap");
+            prop_assert!(end <= decoded.len(), "phase out of bounds");
+            for i in start + ph.period as usize..end {
+                let a = decoded.step_at(i);
+                let b = decoded.step_at(i - ph.period as usize);
+                prop_assert_eq!(a.block, b.block);
+                prop_assert_eq!(a.entry, b.entry);
+            }
+            prev_end = end;
+        }
+    }
+}
