@@ -16,8 +16,30 @@
 //!   derived from it and the tenant id, so the outcome stays
 //!   byte-identical across worker counts);
 //! - `RSEL_FLUSH_PPM` — cache-pressure flush-wave rate;
+//! - `RSEL_CTR_PPM` — hardware-counter fault rate (one epoch of
+//!   profile data dropped per strike);
 //! - `RSEL_BLACKLIST_AFTER` — invalidations of one entry before it is
 //!   demoted to interpretation (default 3).
+//!
+//! Tenant churn is enabled with the `RSEL_CHURN_*` knobs (the
+//! schedule is a pure function of the seed, so any combination stays
+//! byte-identical across worker counts):
+//!
+//! - `RSEL_CHURN_SEED` — base lifecycle seed (per-tenant schedules
+//!   derive from it and the tenant id);
+//! - `RSEL_CHURN_SPREAD` — arrivals staggered over this many rounds;
+//! - `RSEL_CHURN_DISCONNECTS` — max clean disconnects per tenant;
+//! - `RSEL_CHURN_GAP` — max rounds a tenant stays offline (default 4);
+//! - `RSEL_CHURN_CRASH_PCT` — percent chance one event is a crash
+//!   (recovers from the last checkpoint) instead of a clean
+//!   disconnect;
+//! - `RSEL_CHECKPOINT_EVERY` — write a per-tenant recovery checkpoint
+//!   every N rounds (0 disables; crashes then replay from scratch);
+//! - `RSEL_ADMIT_TIMEOUT` — shed arrivals that wait more than N
+//!   rounds for admission (0 = wait forever);
+//! - `RSEL_RECONNECT_COLD` — when set, reconnects discard the
+//!   checkpointed cache and rebuild from the top (for measuring what
+//!   warm reconnects buy).
 //!
 //! `RSEL_SNAPSHOT=path` enables warm-start persistence. Loading is
 //! *lenient* by default: a tenant whose saved state no longer matches
@@ -37,7 +59,8 @@
 use rsel_bench::harness::DEFAULT_SEED;
 use rsel_bench::jobs_from_env;
 use rsel_runtime::{
-    ServeConfig, ServeOutcome, ServeReport, ServeSnapshot, TenantSpec, WarmStart, serve, serve_warm,
+    ChurnConfig, ServeConfig, ServeOutcome, ServeReport, ServeSnapshot, TenantSpec, WarmStart,
+    serve, serve_warm,
 };
 use rsel_workloads::Scale;
 use std::time::Instant;
@@ -69,6 +92,7 @@ fn main() {
     config.sim.faults.smc_max_span = env_u64("RSEL_SMC_SPAN", 64);
     config.sim.faults.seed = env_u64("RSEL_SMC_SEED", 0);
     config.sim.faults.flush_wave_ppm = env_u64("RSEL_FLUSH_PPM", 0) as u32;
+    config.sim.faults.counter_fault_ppm = env_u64("RSEL_CTR_PPM", 0) as u32;
     config.sim.faults.blacklist_after = env_u64("RSEL_BLACKLIST_AFTER", 3) as u32;
     config
         .sim
@@ -78,12 +102,46 @@ fn main() {
     if config.sim.faults.active() {
         eprintln!(
             "fault traffic enabled: {} smc ppm (span {} B), {} flush ppm, \
-             blacklist after {}, seed {}",
+             {} counter ppm, blacklist after {}, seed {}",
             config.sim.faults.smc_write_ppm,
             config.sim.faults.smc_max_span,
             config.sim.faults.flush_wave_ppm,
+            config.sim.faults.counter_fault_ppm,
             config.sim.faults.blacklist_after,
             config.sim.faults.seed,
+        );
+    }
+
+    config.churn = ChurnConfig {
+        seed: env_u64("RSEL_CHURN_SEED", 0),
+        arrival_spread: env_u64("RSEL_CHURN_SPREAD", 0),
+        max_disconnects: env_u64("RSEL_CHURN_DISCONNECTS", 0) as u32,
+        max_gap: env_u64("RSEL_CHURN_GAP", 4),
+        crash_percent: env_u64("RSEL_CHURN_CRASH_PCT", 0) as u8,
+    };
+    config.checkpoint_every = env_u64("RSEL_CHECKPOINT_EVERY", 0);
+    config.admission_timeout = env_u64("RSEL_ADMIT_TIMEOUT", 0);
+    config.reconnect_cold = std::env::var_os("RSEL_RECONNECT_COLD").is_some();
+    if let Err(e) = config.churn.check() {
+        eprintln!("FAIL: RSEL_CHURN_* knobs rejected: {e}");
+        std::process::exit(1);
+    }
+    if config.churn.active() {
+        eprintln!(
+            "churn enabled: seed {}, spread {}, <= {} disconnects/tenant \
+             (gap <= {}, {}% crash), checkpoint every {}, admit timeout {}{}",
+            config.churn.seed,
+            config.churn.arrival_spread,
+            config.churn.max_disconnects,
+            config.churn.max_gap,
+            config.churn.crash_percent,
+            config.checkpoint_every,
+            config.admission_timeout,
+            if config.reconnect_cold {
+                ", cold reconnects"
+            } else {
+                ""
+            },
         );
     }
 
@@ -138,11 +196,17 @@ fn main() {
         _ => None,
     };
 
+    // A rejected configuration is a typed error, not a panic: report
+    // it and exit non-zero so a misconfigured CI leg fails loudly.
     let run = |jobs: usize| -> ServeOutcome {
-        match &warm {
+        let outcome = match &warm {
             Some(w) => serve_warm(&specs, &config, jobs, w),
             None => serve(&specs, &config, jobs),
-        }
+        };
+        outcome.unwrap_or_else(|e| {
+            eprintln!("FAIL: serve rejected the configuration: {e}");
+            std::process::exit(1);
+        })
     };
 
     eprintln!("serving {} tenants on {jobs} workers...", specs.len());
@@ -176,6 +240,22 @@ fn main() {
             worst,
         );
     }
+    if config.churn.active() {
+        eprintln!(
+            "  churn: {} disconnects, {} crashes, {} reconnects, \
+             {} recovered epochs, {} checkpoints ({} B), \
+             {} shed arrivals ({} retries), {} quarantined",
+            rep.disconnects(),
+            rep.crashes(),
+            rep.reconnects(),
+            rep.recovered_epochs(),
+            rep.checkpoints_taken(),
+            rep.checkpoint_bytes(),
+            rep.queue.shed_arrivals,
+            rep.queue.admission_retries,
+            rep.quarantined_tenants(),
+        );
+    }
     if rep.warm_rejected_tenants > 0 {
         eprintln!(
             "  {} tenant(s) cold-started after snapshot rejection",
@@ -188,7 +268,10 @@ fn main() {
     // admission to the first exploit-phase decision.
     if warm.is_some() {
         eprintln!("serving cold for comparison...");
-        let cold = serve(&specs, &config, jobs);
+        let cold = serve(&specs, &config, jobs).unwrap_or_else(|e| {
+            eprintln!("FAIL: cold comparison serve rejected: {e}");
+            std::process::exit(1);
+        });
         let hit = |r: &ServeReport| {
             let cached: u64 = r.tenants.iter().map(|t| t.cache_insts).sum();
             cached as f64 / r.total_insts as f64

@@ -20,6 +20,13 @@
 //! Rates are expressed in events per million executed blocks (ppm) so
 //! the configuration stays `Eq`/hashable and the schedule is exact
 //! integer arithmetic over the PRNG stream.
+//!
+//! The serving runtime rides on the same contract: `rsel-runtime`
+//! derives each tenant's seed from a base seed and the tenant id, so
+//! a multi-tenant serve under SMC, flush-wave, and counter-fault
+//! traffic (the `RSEL_SMC_PPM` / `RSEL_FLUSH_PPM` / `RSEL_CTR_PPM`
+//! serve knobs) keeps per-tenant schedules independent of scheduling
+//! order and the whole run byte-identical for any worker count.
 
 use rsel_program::Addr;
 

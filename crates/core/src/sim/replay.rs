@@ -164,10 +164,14 @@ impl<'p> Simulator<'p> {
     ///
     /// Ranges must be fed contiguously: the caller replays `[0, a)`,
     /// then `[a, b)`, and so on, on the same simulator — the epoch
-    /// pattern of the serving runtime. `fast_forward` force-enables or
-    /// disables the spin fast-forward (it is additionally disabled
-    /// whenever a fault injector is active); results are bit-identical
-    /// either way.
+    /// pattern of the serving runtime. A *fresh* simulator (one that
+    /// has executed nothing yet) may instead start anywhere in the
+    /// stream: that is how a reconnecting tenant resumes from a
+    /// checkpoint, and the first step simply arrives with no
+    /// predecessor, like a program's first block. `fast_forward`
+    /// force-enables or disables the spin fast-forward (it is
+    /// additionally disabled whenever a fault injector is active);
+    /// results are bit-identical either way.
     pub fn replay_decoded_range(
         &mut self,
         stream: &DecodedStream,
@@ -181,8 +185,10 @@ impl<'p> Simulator<'p> {
         }
         debug_assert!(
             start == 0
+                || self.prev_block.is_none()
                 || self.prev_block == Some(stream.block_start(stream.block_index(start - 1))),
-            "ranges must continue the same stream on the same simulator"
+            "ranges must continue the same stream on the same simulator \
+             (only a fresh simulator may resume mid-stream)"
         );
         let phases = stream.phases();
         let ff = fast_forward && !self.injector.active();

@@ -1,0 +1,409 @@
+//! Deterministic tenant churn and chaos injection for the serving
+//! runtime.
+//!
+//! Real serving traffic is messy: tenants arrive staggered, disconnect
+//! mid-session, reconnect later (ideally warm, from a checkpoint), and
+//! occasionally crash outright. This module generates that mess from a
+//! seed, the same way the fault layer
+//! ([`FaultConfig`](rsel_core::FaultConfig)) generates
+//! self-modifying-code traffic: every tenant's lifecycle is a pure
+//! function of the churn seed and its tenant id, so a churned serve
+//! stays byte-identical for every worker count.
+//!
+//! Two pieces:
+//!
+//! - [`ChurnConfig`] + [`TenantLifecycle`] — the seeded lifecycle
+//!   generator. [`TenantLifecycle::generate`] draws, per tenant, an
+//!   arrival round and a strictly increasing schedule of
+//!   [`LifecycleEvent`]s (graceful disconnects and crashes), each with
+//!   an offline gap before the reconnect. The scheduler
+//!   ([`serve`](crate::serve::serve)) fires each event when the
+//!   tenant's lifetime epoch counter reaches it.
+//! - [`ChaosConfig`] — targeted corruption: a poison pill that makes
+//!   one chosen session panic mid-epoch, exercising the quarantine
+//!   path end to end (the panic is caught, the tenant is quarantined,
+//!   the serve keeps going).
+//!
+//! The distinction matters: a *crash* ([`LifecycleKind::Crash`]) is a
+//! modelled failure the tenant recovers from — it loses everything
+//! since its last checkpoint and re-executes it — while a *poison
+//! pill* is an unmodelled defect (a real panic) that the failure
+//! domain must contain.
+
+use std::collections::BTreeSet;
+
+/// Salt mixed into the churn seed so lifecycle schedules never share a
+/// PRNG stream with the fault schedules, even under the same base
+/// seed.
+const CHURN_SALT: u64 = 0x6368_7572_6e21_2005;
+
+/// SplitMix64, kept private to the churn layer (the same rationale as
+/// the fault injector's private copy: the schedule stream must survive
+/// dependency changes).
+#[derive(Clone, Debug)]
+struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    fn new(seed: u64) -> Self {
+        SplitMix64 { state: seed }
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform value in `[0, n)`; `n` must be nonzero.
+    fn below(&mut self, n: u64) -> u64 {
+        ((u128::from(self.next_u64()) * u128::from(n)) >> 64) as u64
+    }
+}
+
+/// Seeded tenant-churn knobs, carried by
+/// [`ServeConfig`](crate::ServeConfig). The default is inert: every
+/// tenant arrives at round zero and never disconnects, reproducing the
+/// un-churned scheduler exactly.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ChurnConfig {
+    /// Base seed for the lifecycle schedules; each tenant's schedule
+    /// is derived from it and the tenant id alone.
+    pub seed: u64,
+    /// Arrival staggering: each tenant arrives at a uniform round in
+    /// `[0, arrival_spread]`. Zero = everyone arrives at round 0.
+    pub arrival_spread: u64,
+    /// Most graceful mid-run disconnects per tenant (each drawn
+    /// uniformly in `[0, max_disconnects]`).
+    pub max_disconnects: u32,
+    /// Longest offline gap, in scheduler rounds, before a disconnected
+    /// or crashed tenant re-arrives (gaps are drawn in
+    /// `[1, max_gap]`).
+    pub max_gap: u64,
+    /// Percent chance (`0..=100`) that a tenant suffers one mid-run
+    /// crash, losing everything since its last checkpoint.
+    pub crash_percent: u8,
+}
+
+impl Default for ChurnConfig {
+    fn default() -> Self {
+        ChurnConfig {
+            seed: 0,
+            arrival_spread: 0,
+            max_disconnects: 0,
+            max_gap: 4,
+            crash_percent: 0,
+        }
+    }
+}
+
+impl ChurnConfig {
+    /// Whether any churn can occur (the generator does work).
+    pub fn active(&self) -> bool {
+        self.arrival_spread > 0 || self.max_disconnects > 0 || self.crash_percent > 0
+    }
+
+    /// Validates the knobs.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first invalid knob.
+    pub fn check(&self) -> Result<(), &'static str> {
+        if self.crash_percent > 100 {
+            return Err("crash_percent is a percentage, at most 100");
+        }
+        if (self.max_disconnects > 0 || self.crash_percent > 0) && self.max_gap == 0 {
+            return Err("max_gap must be positive when disconnects or crashes are enabled");
+        }
+        Ok(())
+    }
+}
+
+/// Targeted chaos injection, carried by
+/// [`ServeConfig`](crate::ServeConfig): a deterministic poison pill
+/// that panics one chosen session at the start of one chosen epoch.
+/// The scheduler catches the panic and quarantines the tenant — this
+/// is the end-to-end test hook for the failure domain, not a modelled
+/// fault.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct ChaosConfig {
+    /// Tenant whose session is poisoned, if any.
+    pub poison_tenant: Option<u16>,
+    /// Lifetime epoch (per-tenant, 0-based) at which the poisoned
+    /// session panics.
+    pub poison_epoch: u64,
+}
+
+/// What a lifecycle event does to the session.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum LifecycleKind {
+    /// Graceful departure: the session checkpoints at its current
+    /// position, goes offline for the gap, and reconnects warm from
+    /// that checkpoint — no work is lost.
+    Disconnect,
+    /// Crash: the session is torn down where it stands and recovers
+    /// from its *last* checkpoint, re-executing every epoch since.
+    Crash,
+}
+
+/// One scheduled lifecycle event.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct LifecycleEvent {
+    /// The tenant's lifetime epoch count at which the event fires (the
+    /// counter is monotone across disconnects and recoveries, so each
+    /// event fires exactly once).
+    pub at_epoch: u64,
+    /// Rounds the tenant stays offline before re-arriving (always at
+    /// least one).
+    pub gap: u64,
+    /// What happens.
+    pub kind: LifecycleKind,
+}
+
+/// One tenant's generated lifecycle: when it arrives and every
+/// disconnect/crash it will suffer, in firing order.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct TenantLifecycle {
+    /// Scheduler round at which the tenant first arrives.
+    pub arrival_round: u64,
+    /// Scheduled events, strictly increasing by
+    /// [`at_epoch`](LifecycleEvent::at_epoch).
+    pub events: Vec<LifecycleEvent>,
+}
+
+impl TenantLifecycle {
+    /// Generates tenant `tenant`'s lifecycle under `config`.
+    /// `horizon_epochs` is the tenant's expected lifetime epoch count
+    /// (stream length over epoch length, plus the final short epoch);
+    /// events are scheduled strictly inside it so they can actually
+    /// fire. A pure function of `(config, tenant, horizon_epochs)` —
+    /// worker count, admission order, and the other tenants cannot
+    /// perturb it.
+    pub fn generate(config: &ChurnConfig, tenant: u16, horizon_epochs: u64) -> Self {
+        if !config.active() {
+            return TenantLifecycle::default();
+        }
+        let seed = crate::serve::tenant_fault_seed(config.seed ^ CHURN_SALT, tenant);
+        let mut rng = SplitMix64::new(seed);
+        let arrival_round = if config.arrival_spread > 0 {
+            rng.below(config.arrival_spread + 1)
+        } else {
+            0
+        };
+        // Events live at epochs [1, horizon): an event at epoch 0 could
+        // never fire (the counter starts there) and one at or past the
+        // horizon would be swallowed by the tenant finishing first.
+        let slots = horizon_epochs.saturating_sub(1);
+        let disconnects = if config.max_disconnects > 0 {
+            rng.below(u64::from(config.max_disconnects) + 1)
+        } else {
+            0
+        };
+        let crash = config.crash_percent > 0 && rng.below(100) < u64::from(config.crash_percent);
+        let wanted = disconnects + u64::from(crash);
+        let count = wanted.min(slots);
+        if count == 0 {
+            return TenantLifecycle {
+                arrival_round,
+                events: Vec::new(),
+            };
+        }
+        // Distinct epochs via rejection into an ordered set: `count` is
+        // tiny (a handful of events) against `slots` (the whole run),
+        // so the loop terminates fast and stays deterministic.
+        let mut epochs = BTreeSet::new();
+        while (epochs.len() as u64) < count {
+            epochs.insert(1 + rng.below(slots));
+        }
+        let crash_index = if crash { rng.below(count) } else { count };
+        let max_gap = config.max_gap.max(1);
+        let events = epochs
+            .into_iter()
+            .enumerate()
+            .map(|(i, at_epoch)| LifecycleEvent {
+                at_epoch,
+                gap: 1 + rng.below(max_gap),
+                kind: if i as u64 == crash_index {
+                    LifecycleKind::Crash
+                } else {
+                    LifecycleKind::Disconnect
+                },
+            })
+            .collect();
+        TenantLifecycle {
+            arrival_round,
+            events,
+        }
+    }
+
+    /// Validates the schedule's invariants against the configuration
+    /// that generated it — the property the lifecycle proptests pin
+    /// down: no reconnect before its disconnect (events fire at
+    /// strictly increasing epochs, each with a positive offline gap)
+    /// and no negative or zero gaps.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first violated invariant.
+    pub fn check(&self, config: &ChurnConfig) -> Result<(), &'static str> {
+        if self.arrival_round > config.arrival_spread {
+            return Err("arrival beyond the configured spread");
+        }
+        if !self
+            .events
+            .windows(2)
+            .all(|w| w[0].at_epoch < w[1].at_epoch)
+        {
+            return Err("events are not strictly increasing by epoch");
+        }
+        let max_gap = config.max_gap.max(1);
+        for e in &self.events {
+            if e.at_epoch == 0 {
+                return Err("an event is scheduled before the first epoch");
+            }
+            if e.gap == 0 {
+                return Err("a reconnect gap is zero");
+            }
+            if e.gap > max_gap {
+                return Err("a reconnect gap exceeds the configured maximum");
+            }
+        }
+        let crashes = self
+            .events
+            .iter()
+            .filter(|e| e.kind == LifecycleKind::Crash)
+            .count();
+        if crashes > 1 {
+            return Err("more than one crash scheduled");
+        }
+        if crashes == 1 && config.crash_percent == 0 {
+            return Err("a crash was scheduled with crashes disabled");
+        }
+        let disconnects = self.events.len() - crashes;
+        if disconnects as u64 > u64::from(config.max_disconnects) {
+            return Err("more disconnects than the configured maximum");
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn busy() -> ChurnConfig {
+        ChurnConfig {
+            seed: 7,
+            arrival_spread: 5,
+            max_disconnects: 3,
+            max_gap: 4,
+            crash_percent: 60,
+        }
+    }
+
+    #[test]
+    fn inert_config_generates_the_trivial_lifecycle() {
+        let cfg = ChurnConfig::default();
+        assert!(!cfg.active());
+        cfg.check().unwrap();
+        let l = TenantLifecycle::generate(&cfg, 3, 100);
+        assert_eq!(l, TenantLifecycle::default());
+        l.check(&cfg).unwrap();
+    }
+
+    #[test]
+    fn generation_is_a_pure_function_of_its_inputs() {
+        let cfg = busy();
+        let a = TenantLifecycle::generate(&cfg, 2, 40);
+        let b = TenantLifecycle::generate(&cfg, 2, 40);
+        assert_eq!(a, b);
+        let other = TenantLifecycle::generate(&cfg, 3, 40);
+        assert_ne!(a, other, "tenants get distinct schedules");
+        let reseeded = TenantLifecycle::generate(&ChurnConfig { seed: 8, ..cfg }, 2, 40);
+        assert_ne!(a, reseeded, "the seed matters");
+    }
+
+    #[test]
+    fn schedules_satisfy_their_invariants() {
+        let cfg = busy();
+        for tenant in 0..64u16 {
+            let l = TenantLifecycle::generate(&cfg, tenant, 30);
+            l.check(&cfg).unwrap_or_else(|e| {
+                panic!("tenant {tenant}: {e}: {l:?}");
+            });
+        }
+    }
+
+    #[test]
+    fn tiny_horizons_clamp_the_event_count() {
+        let cfg = ChurnConfig {
+            seed: 1,
+            max_disconnects: 10,
+            crash_percent: 100,
+            ..ChurnConfig::default()
+        };
+        for horizon in 0..4u64 {
+            let l = TenantLifecycle::generate(&cfg, 0, horizon);
+            assert!(
+                (l.events.len() as u64) <= horizon.saturating_sub(1),
+                "horizon {horizon} got {l:?}"
+            );
+            l.check(&cfg).unwrap();
+        }
+    }
+
+    #[test]
+    fn check_rejects_bad_knobs_and_bad_schedules() {
+        assert!(
+            ChurnConfig {
+                crash_percent: 101,
+                ..ChurnConfig::default()
+            }
+            .check()
+            .is_err()
+        );
+        assert!(
+            ChurnConfig {
+                max_disconnects: 1,
+                max_gap: 0,
+                ..ChurnConfig::default()
+            }
+            .check()
+            .is_err()
+        );
+        let cfg = busy();
+        let bad = TenantLifecycle {
+            arrival_round: 0,
+            events: vec![
+                LifecycleEvent {
+                    at_epoch: 5,
+                    gap: 1,
+                    kind: LifecycleKind::Disconnect,
+                },
+                LifecycleEvent {
+                    at_epoch: 5,
+                    gap: 1,
+                    kind: LifecycleKind::Disconnect,
+                },
+            ],
+        };
+        assert!(bad.check(&cfg).is_err(), "duplicate epochs");
+        let bad = TenantLifecycle {
+            arrival_round: 0,
+            events: vec![LifecycleEvent {
+                at_epoch: 5,
+                gap: 0,
+                kind: LifecycleKind::Disconnect,
+            }],
+        };
+        assert!(bad.check(&cfg).is_err(), "zero gap");
+        let bad = TenantLifecycle {
+            arrival_round: 99,
+            events: Vec::new(),
+        };
+        assert!(bad.check(&cfg).is_err(), "arrival beyond spread");
+    }
+}

@@ -45,10 +45,21 @@
 //! Serving can also run **under fault traffic**: with nonzero
 //! [`FaultConfig`](rsel_core::FaultConfig) rates in
 //! [`ServeConfig::sim`], every tenant session carries its own
-//! deterministic self-modifying-code schedule (seeded per tenant via
-//! [`tenant_fault_seed`]), and the [`ServeReport`] breaks out
-//! invalidations taken, blacklist activity, and hit-rate dip
-//! depth/recovery per tenant and per shard.
+//! deterministic self-modifying-code, flush-wave, and counter-fault
+//! schedule (seeded per tenant via [`tenant_fault_seed`]), and the
+//! [`ServeReport`] breaks out invalidations taken, blacklist activity,
+//! and hit-rate dip depth/recovery per tenant and per shard.
+//!
+//! And it can run **under churn**: [`churn`] generates seeded tenant
+//! lifecycles — staggered arrivals, graceful disconnects that
+//! checkpoint and reconnect warm, crashes that recover from their last
+//! checkpoint — and a chaos poison pill that exercises the scheduler's
+//! **failure domain**: a session that panics is quarantined at the
+//! next barrier (partial metrics kept, everyone else unaffected)
+//! instead of killing the serve, and setup problems surface as typed
+//! [`ServeError`]s rather than panics. Sustained arrival pressure is
+//! handled by admission shedding with exponential backoff
+//! ([`ServeConfig::admission_timeout`]).
 //!
 //! # Determinism
 //!
@@ -63,6 +74,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod churn;
 pub mod policy;
 pub mod report;
 pub mod serve;
@@ -70,14 +82,15 @@ pub mod session;
 pub mod shard;
 pub mod snapshot;
 
+pub use churn::{ChaosConfig, ChurnConfig, LifecycleEvent, LifecycleKind, TenantLifecycle};
 pub use policy::{PolicyConfig, PolicyEngine, PolicyState, SwitchReason, SwitchRecord};
 pub use report::{
     DipSummary, DipTracker, QueueStats, ServeOutcome, ServeReport, ShardReport, TenantSummary,
 };
-pub use serve::{ServeConfig, serve, serve_warm, serve_with, tenant_fault_seed};
+pub use serve::{ServeConfig, ServeError, serve, serve_warm, serve_with, tenant_fault_seed};
 pub use session::{EpochStats, TenantSession, TenantSpec};
 pub use shard::{SharedCacheMap, shard_of};
 pub use snapshot::{
     RegionSnapshot, ServeSnapshot, SnapshotError, TenantSnapshot, WarmStart, load_snapshot,
-    load_warm_start, save_snapshot,
+    load_warm_start, save_snapshot, tenant_snapshot_bytes,
 };

@@ -27,6 +27,14 @@ pub struct QueueStats {
     /// Tenant-rounds spent deferred *behind* the full queue — the
     /// backpressure the bounded queue exerts on arrivals.
     pub deferred_tenant_rounds: u64,
+    /// Arrivals shed under overload: a tenant that waited past the
+    /// admission timeout is pushed back out of the pending set and
+    /// told to retry after an exponential backoff.
+    pub shed_arrivals: u64,
+    /// Re-arrivals of previously shed tenants (each shed arrival
+    /// retries until admitted, so shedding delays work, never drops
+    /// it).
+    pub admission_retries: u64,
 }
 
 /// One shard's lifetime statistics.
@@ -99,6 +107,28 @@ pub struct TenantSummary {
     pub blacklisted_targets: u64,
     /// Selections dropped because their entry was blacklisted.
     pub blacklist_hits: u64,
+    /// Graceful mid-run disconnects the tenant's lifecycle scheduled
+    /// (each one checkpoints the session and tears it down).
+    pub disconnects: u64,
+    /// Re-admissions after a disconnect or crash — the churn the
+    /// tenant survived. (Shed arrivals retry but are first
+    /// admissions, so they do not count here.)
+    pub reconnects: u64,
+    /// Mid-run crashes (recovery re-runs everything since the last
+    /// checkpoint).
+    pub crashes: u64,
+    /// Epochs re-executed during crash recovery: work done after the
+    /// last checkpoint that the crash threw away.
+    pub recovered_epochs: u64,
+    /// Per-tenant checkpoints written (periodic and at disconnects).
+    pub checkpoints: u64,
+    /// Serialized size of the tenant's *last* checkpoint, in bytes
+    /// (zero if none was ever taken).
+    pub checkpoint_bytes: u64,
+    /// Whether the tenant was quarantined: its session panicked or
+    /// poisoned a lock, the failure was contained, and the tenant was
+    /// taken out of rotation with its partial metrics kept.
+    pub quarantined: bool,
     /// Hit-rate dips opened by invalidation waves (see
     /// [`DipTracker`]).
     pub smc_dips: u64,
@@ -147,6 +177,21 @@ pub struct ServeReport {
     /// Base fault seed; each tenant's schedule is derived from it and
     /// the tenant id, so worker count cannot affect any schedule.
     pub fault_seed: u64,
+    /// Pressure flush-wave rate the run was served under, in events
+    /// per million executed blocks.
+    pub flush_wave_ppm: u32,
+    /// Counter-fault rate (saturations and resets) the run was served
+    /// under, in events per million profile updates.
+    pub counter_fault_ppm: u32,
+    /// Whether a churn schedule (staggered arrivals, disconnects,
+    /// crashes) was active.
+    pub churn_active: bool,
+    /// Base churn seed; like `fault_seed`, every tenant's lifecycle
+    /// derives from it and the tenant id alone.
+    pub churn_seed: u64,
+    /// Rounds between periodic per-tenant checkpoints (zero =
+    /// checkpoint only at graceful disconnects).
+    pub checkpoint_every: u64,
     /// Scheduler and queue statistics.
     pub queue: QueueStats,
     /// Per-tenant summaries, in tenant order.
@@ -214,6 +259,44 @@ impl ServeReport {
         self.tenants.iter().map(|t| t.blacklisted_targets).sum()
     }
 
+    /// Graceful disconnects summed over all tenants.
+    pub fn disconnects(&self) -> u64 {
+        self.tenants.iter().map(|t| t.disconnects).sum()
+    }
+
+    /// Reconnects (re-admissions after churn) summed over all tenants.
+    pub fn reconnects(&self) -> u64 {
+        self.tenants.iter().map(|t| t.reconnects).sum()
+    }
+
+    /// Mid-run crashes summed over all tenants.
+    pub fn crashes(&self) -> u64 {
+        self.tenants.iter().map(|t| t.crashes).sum()
+    }
+
+    /// Epochs re-executed during crash recovery, summed over all
+    /// tenants.
+    pub fn recovered_epochs(&self) -> u64 {
+        self.tenants.iter().map(|t| t.recovered_epochs).sum()
+    }
+
+    /// Tenants the failure domain quarantined instead of letting their
+    /// defect kill the serve. Zero on every clean path.
+    pub fn quarantined_tenants(&self) -> u64 {
+        self.tenants.iter().filter(|t| t.quarantined).count() as u64
+    }
+
+    /// Per-tenant checkpoints written, summed over all tenants.
+    pub fn checkpoints_taken(&self) -> u64 {
+        self.tenants.iter().map(|t| t.checkpoints).sum()
+    }
+
+    /// Serialized size of every tenant's last checkpoint, summed — the
+    /// steady-state footprint of the checkpoint store.
+    pub fn checkpoint_bytes(&self) -> u64 {
+        self.tenants.iter().map(|t| t.checkpoint_bytes).sum()
+    }
+
     /// Renders the report as JSON with a fixed field order: equal
     /// reports yield byte-identical strings, for any worker count.
     pub fn to_json(&self) -> String {
@@ -235,6 +318,17 @@ impl ServeReport {
         ));
         o.push_str(&format!("  \"smc_write_ppm\": {},\n", self.smc_write_ppm));
         o.push_str(&format!("  \"fault_seed\": {},\n", self.fault_seed));
+        o.push_str(&format!("  \"flush_wave_ppm\": {},\n", self.flush_wave_ppm));
+        o.push_str(&format!(
+            "  \"counter_fault_ppm\": {},\n",
+            self.counter_fault_ppm
+        ));
+        o.push_str(&format!("  \"churn_active\": {},\n", self.churn_active));
+        o.push_str(&format!("  \"churn_seed\": {},\n", self.churn_seed));
+        o.push_str(&format!(
+            "  \"checkpoint_every\": {},\n",
+            self.checkpoint_every
+        ));
         o.push_str(&format!("  \"rounds\": {},\n", self.queue.rounds));
         o.push_str(&format!("  \"total_insts\": {},\n", self.total_insts));
         o.push_str(&format!(
@@ -256,6 +350,14 @@ impl ServeReport {
             self.queue.deferred_tenant_rounds
         ));
         o.push_str(&format!(
+            "  \"shed_arrivals\": {},\n",
+            self.queue.shed_arrivals
+        ));
+        o.push_str(&format!(
+            "  \"admission_retries\": {},\n",
+            self.queue.admission_retries
+        ));
+        o.push_str(&format!(
             "  \"pressure_waves\": {},\n",
             self.pressure_waves()
         ));
@@ -272,6 +374,25 @@ impl ServeReport {
             "  \"blacklisted_targets\": {},\n",
             self.blacklisted_targets()
         ));
+        o.push_str(&format!("  \"disconnects\": {},\n", self.disconnects()));
+        o.push_str(&format!("  \"reconnects\": {},\n", self.reconnects()));
+        o.push_str(&format!("  \"crashes\": {},\n", self.crashes()));
+        o.push_str(&format!(
+            "  \"recovered_epochs\": {},\n",
+            self.recovered_epochs()
+        ));
+        o.push_str(&format!(
+            "  \"quarantined_tenants\": {},\n",
+            self.quarantined_tenants()
+        ));
+        o.push_str(&format!(
+            "  \"checkpoints_taken\": {},\n",
+            self.checkpoints_taken()
+        ));
+        o.push_str(&format!(
+            "  \"checkpoint_bytes\": {},\n",
+            self.checkpoint_bytes()
+        ));
         o.push_str("  \"tenants\": [\n");
         for (i, t) in self.tenants.iter().enumerate() {
             let first_exploit = match t.first_exploit_round {
@@ -285,8 +406,10 @@ impl ServeReport {
                  \"cache_insts\": {}, \"hit_rate\": {:.4}, \"insts_selected\": {}, \
                  \"regions_selected\": {}, \"pressure_evicted\": {}, \"smc_events\": {}, \
                  \"smc_invalidated\": {}, \"reformations\": {}, \"blacklisted_targets\": {}, \
-                 \"blacklist_hits\": {}, \"smc_dips\": {}, \"max_dip_depth\": {:.4}, \
-                 \"max_dip_recovery_epochs\": {}}}{}\n",
+                 \"blacklist_hits\": {}, \"disconnects\": {}, \"reconnects\": {}, \
+                 \"crashes\": {}, \"recovered_epochs\": {}, \"checkpoints\": {}, \
+                 \"checkpoint_bytes\": {}, \"quarantined\": {}, \"smc_dips\": {}, \
+                 \"max_dip_depth\": {:.4}, \"max_dip_recovery_epochs\": {}}}{}\n",
                 t.tenant,
                 t.workload,
                 t.final_selector,
@@ -306,6 +429,13 @@ impl ServeReport {
                 t.reformations,
                 t.blacklisted_targets,
                 t.blacklist_hits,
+                t.disconnects,
+                t.reconnects,
+                t.crashes,
+                t.recovered_epochs,
+                t.checkpoints,
+                t.checkpoint_bytes,
+                t.quarantined,
                 t.smc_dips,
                 t.max_dip_depth,
                 t.max_dip_recovery_epochs,

@@ -1,45 +1,74 @@
-//! The session scheduler: bounded admission, parallel epochs, and a
-//! deterministic decision barrier.
+//! The session scheduler: bounded admission, parallel epochs, a
+//! deterministic decision barrier, and a contained failure domain.
 //!
-//! [`serve`] (and its warm-starting variant [`serve_with`]) drives
-//! every tenant through three stages:
+//! [`serve`] (and its warm-starting variants [`serve_with`] and
+//! [`serve_warm`]) drives every tenant through three stages:
 //!
-//! 1. **Admission** — tenants arrive in id order into a bounded queue
+//! 1. **Admission** — tenants arrive (at round zero, or staggered by a
+//!    churn schedule) in id order into a bounded queue
 //!    (`queue_capacity`); at most `max_active` sessions run
 //!    concurrently. A full queue defers arrivals — the backpressure
 //!    the [`QueueStats`](crate::QueueStats) expose. A zero-capacity
 //!    queue means "no buffering": arrivals are admitted directly up to
-//!    `max_active` and the rest stay deferred.
+//!    `max_active` and the rest stay deferred. Under sustained
+//!    overload an optional admission timeout *sheds* waiting arrivals:
+//!    they are pushed back out and retry after an exponential backoff,
+//!    so the queue never silently grows a convoy.
 //! 2. **Rounds** — each round runs one epoch of every active session,
 //!    fanned out over `jobs` scoped worker threads. Sessions only
 //!    touch their own simulator and publish commutative occupancy
 //!    updates to the shared map, so worker scheduling cannot affect
-//!    any result.
+//!    any result. Every epoch runs inside a panic boundary: a session
+//!    that panics (or that poisoned its lock) is *quarantined* at the
+//!    next barrier — taken out of rotation with its partial metrics
+//!    kept — instead of killing the serve.
 //! 3. **Barrier** — with the workers joined, all cross-tenant
 //!    decisions happen serially in deterministic order: contention and
-//!    peak accounting, departures (finished tenants release their
-//!    shard bytes), shard-pressure eviction (each overflowing shard
-//!    plans its whole victim set — heaviest tenant sheds the oldest
-//!    half of its regions there, repeatedly, until the shard fits —
-//!    then applies it with one eviction pass per victim tenant), and
-//!    per-tenant policy decisions.
+//!    peak accounting, quarantine, departures and churn events
+//!    (finished, disconnecting, and crashing tenants release their
+//!    shard bytes; disconnects checkpoint first, crashes rewind to
+//!    their last checkpoint), shard-pressure eviction (each
+//!    overflowing shard plans its whole victim set — heaviest tenant
+//!    sheds the oldest half of its regions there, repeatedly, until
+//!    the shard fits — then applies it with one eviction pass per
+//!    victim tenant), per-tenant policy decisions, and periodic
+//!    checkpoints.
+//!
+//! # Churn and chaos
+//!
+//! A [`ChurnConfig`] turns the static population into seeded traffic:
+//! staggered arrivals, graceful mid-run disconnects that checkpoint
+//! and later reconnect warm (resuming the recorded stream where the
+//! checkpoint cut it), and crashes that recover from the *last*
+//! checkpoint, re-executing everything since. Every lifecycle is a
+//! pure function of the churn seed and the tenant id — like the fault
+//! schedules, worker count cannot perturb it — so the outcome stays
+//! byte-identical for every `jobs` value under any churn schedule. A
+//! [`ChaosConfig`] additionally plants a deterministic poison pill (a
+//! real panic inside one chosen epoch) to exercise the quarantine
+//! path end to end.
 //!
 //! The outcome is byte-identical for every `jobs` value, warm-started
-//! or not, and every outcome carries a
+//! or not, churned or not, and every outcome carries a
 //! [`ServeSnapshot`](crate::ServeSnapshot) of the final state so the
 //! next run can warm-start from it.
 
+use crate::churn::{ChaosConfig, ChurnConfig, LifecycleKind, TenantLifecycle};
 use crate::policy::{PolicyConfig, PolicyEngine, SwitchRecord};
 use crate::report::{
     DipTracker, QueueStats, ServeOutcome, ServeReport, ShardReport, TenantSummary,
 };
 use crate::session::{EpochStats, TenantSession, TenantSpec};
 use crate::shard::SharedCacheMap;
-use crate::snapshot::{ServeSnapshot, TenantSnapshot, WarmStart};
+use crate::snapshot::{
+    ServeSnapshot, SnapshotError, TenantSnapshot, WarmStart, tenant_snapshot_bytes,
+};
 use rsel_core::{RegionId, SimConfig};
-use std::collections::VecDeque;
-use std::sync::Mutex;
+use std::collections::{BTreeMap, VecDeque};
+use std::fmt;
+use std::panic::{AssertUnwindSafe, catch_unwind};
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Mutex, PoisonError};
 
 /// Derives tenant `tenant`'s fault-schedule seed from the run's base
 /// seed (a SplitMix64-style finalizer over the pair).
@@ -49,12 +78,58 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 /// a tenant's self-modifying-code schedule is a function of the base
 /// seed and its id alone — worker count, admission order, and the
 /// other tenants cannot perturb it. That is what keeps a faulted
-/// serve byte-identical for every `jobs` value.
+/// serve byte-identical for every `jobs` value. The churn layer
+/// derives its per-tenant lifecycle seeds the same way (over a salted
+/// base, so the streams never collide).
 pub fn tenant_fault_seed(base: u64, tenant: u16) -> u64 {
     let mut z = base ^ 0x9e37_79b9_7f4a_7c15u64.wrapping_mul(u64::from(tenant) + 1);
     z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
     z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
     z ^ (z >> 31)
+}
+
+/// Why a serve could not run (or could not set up). Runtime defects in
+/// a single tenant never surface here — those quarantine the tenant
+/// and the serve completes; this type covers only conditions where no
+/// meaningful run exists.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum ServeError {
+    /// More tenant specs than tenant ids (`u16`).
+    TooManyTenants(usize),
+    /// A degenerate configuration knob (zero epoch length, active
+    /// limit, or shard count, or inconsistent churn knobs).
+    InvalidConfig(&'static str),
+    /// The warm-start state does not match the specs or policy
+    /// configuration (tenant count, workload names, candidate list).
+    Snapshot(SnapshotError),
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServeError::TooManyTenants(n) => {
+                write!(f, "{n} tenant specs exceed the u16 tenant-id space")
+            }
+            ServeError::InvalidConfig(why) => write!(f, "invalid serve configuration: {why}"),
+            ServeError::Snapshot(e) => write!(f, "warm-start state rejected: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ServeError::Snapshot(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<SnapshotError> for ServeError {
+    fn from(e: SnapshotError) -> Self {
+        ServeError::Snapshot(e)
+    }
 }
 
 /// Configuration for a serving run.
@@ -79,6 +154,24 @@ pub struct ServeConfig {
     /// Whether the policy engine may switch selectors; `false` serves
     /// every session on the first candidate forever.
     pub adaptive: bool,
+    /// Seeded tenant churn: staggered arrivals, disconnects,
+    /// reconnects, crashes. Inert by default.
+    pub churn: ChurnConfig,
+    /// Targeted chaos injection (poison pill). Inert by default.
+    pub chaos: ChaosConfig,
+    /// Rounds between periodic per-tenant checkpoints (what crash
+    /// recovery rewinds to); zero checkpoints only at graceful
+    /// disconnects.
+    pub checkpoint_every: u64,
+    /// Rounds an arrival may wait in the deferred set before being
+    /// shed (pushed back with exponential backoff); zero disables
+    /// shedding.
+    pub admission_timeout: u64,
+    /// Reconnect cold: a reconnecting tenant resumes its stream at
+    /// the checkpoint position but with an *empty* cache and fresh
+    /// blacklist — the control arm for measuring what checkpointed
+    /// warm reconnects are worth.
+    pub reconnect_cold: bool,
 }
 
 impl Default for ServeConfig {
@@ -92,6 +185,11 @@ impl Default for ServeConfig {
             shard_count: 16,
             shard_capacity: 2048,
             adaptive: true,
+            churn: ChurnConfig::default(),
+            chaos: ChaosConfig::default(),
+            checkpoint_every: 0,
+            admission_timeout: 0,
+            reconnect_cold: false,
         }
     }
 }
@@ -100,12 +198,17 @@ impl Default for ServeConfig {
 /// cold start; the result is identical for any `jobs >= 1`. See
 /// [`serve_with`] to warm-start from a snapshot.
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if `specs` holds more than `u16::MAX` tenants or the
+/// [`ServeError::TooManyTenants`] if `specs` holds more than
+/// `u16::MAX` tenants; [`ServeError::InvalidConfig`] if the
 /// configuration is degenerate (zero epoch length, active limit, or
-/// shard count).
-pub fn serve(specs: &[TenantSpec], config: &ServeConfig, jobs: usize) -> ServeOutcome {
+/// shard count, or inconsistent churn knobs).
+pub fn serve(
+    specs: &[TenantSpec],
+    config: &ServeConfig,
+    jobs: usize,
+) -> Result<ServeOutcome, ServeError> {
     serve_impl(specs, config, jobs, None, 0)
 }
 
@@ -121,19 +224,17 @@ pub fn serve(specs: &[TenantSpec], config: &ServeConfig, jobs: usize) -> ServeOu
 /// — the loader is the validation boundary that turns corrupt or
 /// mismatched snapshots into typed errors.
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if `specs` holds more than `u16::MAX` tenants, the
-/// configuration is degenerate (zero epoch length, active limit, or
-/// shard count), or `warm` does not match `specs`/`config` (tenant
-/// count, workload names, candidate list) — states the loader never
-/// produces.
+/// Everything [`serve`] returns, plus [`ServeError::Snapshot`] when
+/// `warm` does not match `specs`/`config` (tenant count, workload
+/// names, candidate list) — states the loader never produces.
 pub fn serve_with(
     specs: &[TenantSpec],
     config: &ServeConfig,
     jobs: usize,
     warm: Option<&ServeSnapshot>,
-) -> ServeOutcome {
+) -> Result<ServeOutcome, ServeError> {
     match warm {
         None => serve_impl(specs, config, jobs, None, 0),
         Some(snap) => {
@@ -151,19 +252,142 @@ pub fn serve_with(
 /// [`warm_rejected_tenants`](ServeReport::warm_rejected_tenants) in
 /// the report. The result is identical for any `jobs >= 1`.
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics under the same conditions as [`serve_with`]; the restored
-/// slots must come from the loader run against the same specs and
-/// policy configuration.
+/// The same conditions as [`serve_with`]; the restored slots must
+/// come from the loader run against the same specs and policy
+/// configuration.
 pub fn serve_warm(
     specs: &[TenantSpec],
     config: &ServeConfig,
     jobs: usize,
     warm: &WarmStart,
-) -> ServeOutcome {
+) -> Result<ServeOutcome, ServeError> {
     let slots: Vec<Option<&TenantSnapshot>> = warm.tenants.iter().map(|t| t.as_ref()).collect();
     serve_impl(specs, config, jobs, Some(&slots), warm.rejected)
+}
+
+/// A tenant's last persisted state: the `RSNP` tenant section plus
+/// where in the recorded stream it was cut and the tenant's lifetime
+/// epoch count at that moment.
+struct Checkpoint {
+    snap: TenantSnapshot,
+    pos: usize,
+    epoch: u64,
+}
+
+/// What one active session did this round.
+#[derive(Clone, Copy, Debug)]
+enum Outcome {
+    /// The epoch completed and produced deltas.
+    Ran(EpochStats),
+    /// The session panicked mid-epoch (or its lock was found
+    /// poisoned) — the tenant is quarantined at the barrier.
+    Crashed,
+}
+
+/// Cross-session accounting for one tenant: epoch deltas accumulate
+/// every round (so crash-recovery re-execution is counted as the work
+/// it is), and each torn-down session's monotone counters fold in
+/// exactly once (at teardown, or at the end for the final session).
+#[derive(Clone, Debug, Default)]
+struct Ledger {
+    epochs: u64,
+    total_insts: u64,
+    cache_insts: u64,
+    insts_selected: u64,
+    regions_selected: u64,
+    smc_events: u64,
+    smc_invalidated: u64,
+    pressure_evicted: u64,
+    reformations: u64,
+    blacklisted_targets: u64,
+    blacklist_hits: u64,
+    smc_by_shard: Vec<u64>,
+    disconnects: u64,
+    reconnects: u64,
+    crashes: u64,
+    recovered_epochs: u64,
+    checkpoints: u64,
+    checkpoint_bytes: u64,
+    /// Switch decisions a crash rewound the engine past — the log
+    /// keeps them (they happened), the restored engine does not.
+    forgotten_switches: u64,
+    quarantined: bool,
+}
+
+impl Ledger {
+    fn fold_epoch(&mut self, e: &EpochStats) {
+        self.epochs += 1;
+        self.total_insts += e.insts;
+        self.cache_insts += e.cache_insts;
+        self.insts_selected += e.insts_selected;
+        self.regions_selected += e.regions_selected;
+        self.smc_events += e.smc_events;
+        self.smc_invalidated += e.smc_invalidated;
+    }
+
+    fn fold_session(&mut self, session: &TenantSession<'_>) {
+        let res = session.resilience();
+        self.pressure_evicted += res.pressure_evicted_regions;
+        self.reformations += res.reformations;
+        self.blacklisted_targets += res.blacklisted_targets;
+        self.blacklist_hits += res.blacklist_hits;
+        for (s, &n) in session.smc_by_shard().iter().enumerate() {
+            self.smc_by_shard[s] += n;
+        }
+    }
+}
+
+/// Captures `session`'s persistent state as an `RSNP` tenant section.
+fn freeze_tenant(session: &TenantSession<'_>, engine: &PolicyEngine) -> TenantSnapshot {
+    TenantSnapshot {
+        workload: session.workload().to_string(),
+        selector: session.kind(),
+        policy: engine.export(),
+        regions: session.region_snapshots(),
+        blacklist: session.blacklist_snapshot(),
+    }
+}
+
+/// Builds the session a (re)admitted tenant runs on: warm from its
+/// checkpoint when one exists (or cold-at-position under
+/// `reconnect_cold`), cold from the top otherwise.
+fn rebuild_session<'p>(
+    t: usize,
+    spec: &'p TenantSpec,
+    sim_config: &SimConfig,
+    engine: &PolicyEngine,
+    checkpoint: Option<&Checkpoint>,
+    config: &ServeConfig,
+) -> TenantSession<'p> {
+    let cold = |pos: usize| {
+        let mut s = TenantSession::new(
+            t as u16,
+            spec,
+            engine.current(),
+            sim_config,
+            config.shard_count,
+        );
+        s.seek(pos);
+        s
+    };
+    match checkpoint {
+        None => cold(0),
+        Some(cp) if config.reconnect_cold => cold(cp.pos),
+        Some(cp) => {
+            match TenantSession::restore(t as u16, spec, &cp.snap, sim_config, config.shard_count) {
+                Ok(mut s) => {
+                    s.seek(cp.pos);
+                    s
+                }
+                // A checkpoint captured from a live session always
+                // rebuilds; if it somehow does not, degrade the tenant
+                // to a cold resume rather than failing the serve.
+                Err(_) => cold(cp.pos),
+            }
+        }
+    }
 }
 
 fn serve_impl(
@@ -172,11 +396,22 @@ fn serve_impl(
     jobs: usize,
     warm: Option<&[Option<&TenantSnapshot>]>,
     warm_rejected_tenants: u64,
-) -> ServeOutcome {
-    assert!(specs.len() <= u16::MAX as usize, "too many tenants");
-    assert!(config.epoch_len > 0, "epochs must make progress");
-    assert!(config.max_active > 0, "need at least one active session");
-    assert!(config.shard_count > 0, "need at least one shard");
+) -> Result<ServeOutcome, ServeError> {
+    if specs.len() > u16::MAX as usize {
+        return Err(ServeError::TooManyTenants(specs.len()));
+    }
+    if config.epoch_len == 0 {
+        return Err(ServeError::InvalidConfig("epochs must make progress"));
+    }
+    if config.max_active == 0 {
+        return Err(ServeError::InvalidConfig(
+            "need at least one active session",
+        ));
+    }
+    if config.shard_count == 0 {
+        return Err(ServeError::InvalidConfig("need at least one shard"));
+    }
+    config.churn.check().map_err(ServeError::InvalidConfig)?;
     let jobs = jobs.max(1);
 
     // Per-tenant simulator configs: each tenant's fault schedule is
@@ -191,73 +426,128 @@ fn serve_impl(
         })
         .collect();
 
-    let slots: Vec<Option<&TenantSnapshot>> = match warm {
+    let warm_slots: Vec<Option<&TenantSnapshot>> = match warm {
         None => vec![None; specs.len()],
         Some(s) => {
-            assert_eq!(
-                s.len(),
-                specs.len(),
-                "snapshot tenant count must match the specs"
-            );
+            if s.len() != specs.len() {
+                return Err(SnapshotError::TenantCountMismatch {
+                    snapshot: s.len().min(u16::MAX as usize) as u16,
+                    specs: specs.len(),
+                }
+                .into());
+            }
             s.to_vec()
         }
     };
     let mut map = SharedCacheMap::new(config.shard_count, config.shard_capacity, specs.len());
     let mut engines: Vec<PolicyEngine> = Vec::with_capacity(specs.len());
-    let mut sessions: Vec<Mutex<TenantSession<'_>>> = Vec::with_capacity(specs.len());
+    let mut sessions: Vec<Mutex<Option<TenantSession<'_>>>> = Vec::with_capacity(specs.len());
+    let mut checkpoints: Vec<Option<Checkpoint>> = Vec::with_capacity(specs.len());
     let mut warm_regions_restored = 0u64;
     for (t, spec) in specs.iter().enumerate() {
-        match slots[t] {
+        match warm_slots[t] {
             Some(ts) => {
-                engines.push(
-                    PolicyEngine::restore(config.policy.clone(), &ts.policy)
-                        .expect("snapshot policy state must match the configuration"),
-                );
+                let engine = PolicyEngine::restore(config.policy.clone(), &ts.policy)
+                    .ok_or(SnapshotError::BadPolicyState(t as u16))?;
                 let session =
                     TenantSession::restore(t as u16, spec, ts, &sim_configs[t], config.shard_count)
-                        .unwrap_or_else(|e| panic!("snapshot must match the specs: {e}"));
+                        .map_err(ServeError::Snapshot)?;
                 warm_regions_restored += ts.regions.len() as u64;
-                sessions.push(Mutex::new(session));
+                engines.push(engine);
+                sessions.push(Mutex::new(Some(session)));
+                // A warm slot doubles as the tenant's first checkpoint:
+                // a crash before any new checkpoint recovers to it.
+                checkpoints.push(Some(Checkpoint {
+                    snap: ts.clone(),
+                    pos: 0,
+                    epoch: 0,
+                }));
             }
             None => {
                 engines.push(PolicyEngine::new(config.policy.clone()));
-                sessions.push(Mutex::new(TenantSession::new(
+                sessions.push(Mutex::new(Some(TenantSession::new(
                     t as u16,
                     spec,
                     engines[t].current(),
                     &sim_configs[t],
                     config.shard_count,
-                )));
+                ))));
+                checkpoints.push(None);
             }
         }
     }
 
-    let mut pending: VecDeque<usize> = (0..specs.len()).collect();
+    // Every tenant's lifecycle, generated upfront from the churn seed
+    // — pure per-tenant functions, so any worker count replays the
+    // same traffic.
+    let lifecycles: Vec<TenantLifecycle> = (0..specs.len())
+        .map(|t| {
+            let horizon = specs[t].len().div_ceil(config.epoch_len) as u64 + 1;
+            TenantLifecycle::generate(&config.churn, t as u16, horizon)
+        })
+        .collect();
+
+    // Arrival book: round -> tenants (re)arriving at it.
+    let mut due: BTreeMap<u64, Vec<usize>> = BTreeMap::new();
+    for (t, l) in lifecycles.iter().enumerate() {
+        due.entry(l.arrival_round).or_default().push(t);
+    }
+    let mut pending: VecDeque<usize> = VecDeque::new();
     let mut queue: VecDeque<usize> = VecDeque::new();
     let mut active: Vec<usize> = Vec::new();
     let mut q = QueueStats::default();
     let mut switches: Vec<SwitchRecord> = Vec::new();
+    let mut ledgers: Vec<Ledger> = (0..specs.len())
+        .map(|_| Ledger {
+            smc_by_shard: vec![0; config.shard_count],
+            ..Ledger::default()
+        })
+        .collect();
     let mut admitted_round = vec![0u64; specs.len()];
     let mut finished_round = vec![0u64; specs.len()];
     let mut first_exploit_round: Vec<Option<u64>> = vec![None; specs.len()];
     let mut dips: Vec<DipTracker> = vec![DipTracker::default(); specs.len()];
+    let mut was_admitted = vec![false; specs.len()];
+    let mut shed_out = vec![false; specs.len()];
+    let mut waiting_rounds = vec![0u64; specs.len()];
+    let mut backoff = vec![2u64; specs.len()];
+    let mut next_event = vec![0usize; specs.len()];
     let mut total_insts = 0u64;
     let mut round = 0u64;
+    // Tenants still owed service: not finished and not quarantined.
+    let mut live = specs.len();
 
-    while !(pending.is_empty() && queue.is_empty() && active.is_empty()) {
-        // --- Admission (serial, tenant order) -------------------------
+    while live > 0 {
+        // --- Arrivals due this round (serial, tenant order) -----------
+        let due_rounds: Vec<u64> = due.range(..=round).map(|(&r, _)| r).collect();
+        let mut arrivals: Vec<usize> = Vec::new();
+        for r in due_rounds {
+            if let Some(ts) = due.remove(&r) {
+                arrivals.extend(ts);
+            }
+        }
+        arrivals.sort_unstable();
+        for &t in &arrivals {
+            if ledgers[t].quarantined {
+                continue;
+            }
+            if shed_out[t] {
+                shed_out[t] = false;
+                q.admission_retries += 1;
+            }
+            pending.push_back(t);
+        }
+
+        // --- Admission (serial, arrival order) ------------------------
+        let mut to_admit: Vec<usize> = Vec::new();
         if config.queue_capacity == 0 {
             // A zero-capacity queue buffers nothing: arrivals are
             // admitted directly up to the active limit. (Routing them
             // through the queue would livelock — nothing could ever
             // enter a queue that holds zero tenants.)
-            while active.len() < config.max_active {
+            while active.len() + to_admit.len() < config.max_active {
                 match pending.pop_front() {
-                    Some(t) => {
-                        active.push(t);
-                        admitted_round[t] = round;
-                        q.admissions += 1;
-                    }
+                    Some(t) => to_admit.push(t),
                     None => break,
                 }
             }
@@ -268,13 +558,9 @@ fn serve_impl(
                     None => break,
                 }
             }
-            while active.len() < config.max_active {
+            while active.len() + to_admit.len() < config.max_active {
                 match queue.pop_front() {
-                    Some(t) => {
-                        active.push(t);
-                        admitted_round[t] = round;
-                        q.admissions += 1;
-                    }
+                    Some(t) => to_admit.push(t),
                     None => break,
                 }
             }
@@ -288,69 +574,230 @@ fn serve_impl(
                 }
             }
         }
+        for t in to_admit {
+            let slot = sessions[t]
+                .get_mut()
+                .unwrap_or_else(PoisonError::into_inner);
+            if slot.is_none() {
+                *slot = Some(rebuild_session(
+                    t,
+                    &specs[t],
+                    &sim_configs[t],
+                    &engines[t],
+                    checkpoints[t].as_ref(),
+                    config,
+                ));
+            }
+            if config.chaos.poison_tenant == Some(t as u16) {
+                // The pill fires at a *lifetime* epoch; a session that
+                // starts mid-life arms the remainder.
+                let remaining = config.chaos.poison_epoch.saturating_sub(ledgers[t].epochs);
+                if let Some(session) = slot.as_mut() {
+                    session.poison_after(remaining);
+                }
+            }
+            if was_admitted[t] {
+                ledgers[t].reconnects += 1;
+            } else {
+                was_admitted[t] = true;
+                admitted_round[t] = round;
+            }
+            waiting_rounds[t] = 0;
+            active.push(t);
+            q.admissions += 1;
+        }
+        // Overload shedding: arrivals stuck behind the queue past the
+        // timeout are pushed back out and retry after an exponential
+        // backoff, instead of convoying forever.
+        if config.admission_timeout > 0 {
+            for &t in &pending {
+                waiting_rounds[t] += 1;
+            }
+            let mut kept = VecDeque::with_capacity(pending.len());
+            for t in pending.drain(..) {
+                if waiting_rounds[t] >= config.admission_timeout {
+                    q.shed_arrivals += 1;
+                    shed_out[t] = true;
+                    waiting_rounds[t] = 0;
+                    due.entry(round + backoff[t]).or_default().push(t);
+                    backoff[t] = (backoff[t] * 2).min(64);
+                } else {
+                    kept.push_back(t);
+                }
+            }
+            pending = kept;
+        }
         active.sort_unstable();
         q.peak_active = q.peak_active.max(active.len() as u64);
         q.peak_queue_depth = q.peak_queue_depth.max(queue.len() as u64);
         q.queued_tenant_rounds += queue.len() as u64;
         q.deferred_tenant_rounds += pending.len() as u64;
 
-        // --- Parallel epoch execution --------------------------------
-        let mut stats: Vec<Option<EpochStats>> = vec![None; specs.len()];
-        if jobs <= 1 || active.len() <= 1 {
-            for &t in &active {
-                let session = sessions[t].get_mut().expect("session lock poisoned");
-                stats[t] = Some(session.run_epoch(config.epoch_len));
-                session.publish_occupancy(&map);
-            }
-        } else {
-            let slots: Vec<Mutex<Option<EpochStats>>> =
-                active.iter().map(|_| Mutex::new(None)).collect();
-            let next = AtomicUsize::new(0);
-            let workers = jobs.min(active.len());
-            let (sessions_ref, active_ref, map_ref) = (&sessions, &active, &map);
-            std::thread::scope(|scope| {
-                for _ in 0..workers {
-                    scope.spawn(|| {
-                        loop {
-                            let i = next.fetch_add(1, Ordering::Relaxed);
-                            let Some(&t) = active_ref.get(i) else { break };
-                            let mut session =
-                                sessions_ref[t].lock().expect("session lock poisoned");
-                            let e = session.run_epoch(config.epoch_len);
-                            session.publish_occupancy(map_ref);
-                            *slots[i].lock().expect("stat slot poisoned") = Some(e);
-                        }
-                    });
+        // --- Parallel epoch execution (panic-contained) ---------------
+        let mut outcomes: Vec<Option<Outcome>> = vec![None; specs.len()];
+        {
+            // One epoch of tenant `t`, inside the failure domain: a
+            // panic (e.g. a poison pill) or an already-poisoned lock
+            // yields `Crashed` for the barrier to quarantine; nothing
+            // unwinds past here, on any worker.
+            let sessions_ref = &sessions;
+            let map_ref = &map;
+            let run_one = |t: usize| -> Outcome {
+                let ran = catch_unwind(AssertUnwindSafe(|| {
+                    let mut guard = match sessions_ref[t].lock() {
+                        Ok(g) => g,
+                        Err(_) => return None,
+                    };
+                    let session = guard.as_mut()?;
+                    let e = session.run_epoch(config.epoch_len);
+                    session.publish_occupancy(map_ref);
+                    Some(e)
+                }));
+                match ran {
+                    Ok(Some(e)) => Outcome::Ran(e),
+                    _ => Outcome::Crashed,
                 }
-            });
-            for (i, &t) in active.iter().enumerate() {
-                stats[t] = slots[i].lock().expect("stat slot poisoned").take();
+            };
+            if jobs <= 1 || active.len() <= 1 {
+                for &t in &active {
+                    outcomes[t] = Some(run_one(t));
+                }
+            } else {
+                let slots: Vec<Mutex<Option<Outcome>>> =
+                    active.iter().map(|_| Mutex::new(None)).collect();
+                let next = AtomicUsize::new(0);
+                let workers = jobs.min(active.len());
+                let active_ref = &active;
+                std::thread::scope(|scope| {
+                    for _ in 0..workers {
+                        scope.spawn(|| {
+                            loop {
+                                let i = next.fetch_add(1, Ordering::Relaxed);
+                                let Some(&t) = active_ref.get(i) else { break };
+                                let o = run_one(t);
+                                *slots[i].lock().unwrap_or_else(PoisonError::into_inner) = Some(o);
+                            }
+                        });
+                    }
+                });
+                for (i, &t) in active.iter().enumerate() {
+                    outcomes[t] = slots[i]
+                        .lock()
+                        .unwrap_or_else(PoisonError::into_inner)
+                        .take();
+                }
             }
         }
 
         // --- Barrier: all cross-tenant decisions, serial --------------
         map.end_round();
         for &t in &active {
-            let e = stats[t].expect("active session ran");
-            total_insts += e.insts;
-            // Feed the tenant's dip tracker in tenant order (`active`
-            // is sorted). Epochs that executed nothing say nothing
-            // about the cache and are skipped.
-            if e.insts > 0 {
-                dips[t].on_epoch(e.hit_rate(), e.smc_invalidated > 0);
+            if let Some(Outcome::Ran(e)) = outcomes[t] {
+                total_insts += e.insts;
+                ledgers[t].fold_epoch(&e);
+                // Feed the tenant's dip tracker in tenant order
+                // (`active` is sorted). Epochs that executed nothing
+                // say nothing about the cache and are skipped.
+                if e.insts > 0 {
+                    dips[t].on_epoch(e.hit_rate(), e.smc_invalidated > 0);
+                }
             }
         }
 
-        // Departures release their shard bytes before pressure resolves.
+        // Quarantine, departures, and churn events — all release their
+        // shard bytes before pressure resolves.
         let ran = active.clone();
         let mut still_active = Vec::with_capacity(active.len());
         for &t in &active {
-            let session = sessions[t].get_mut().expect("session lock poisoned");
-            if session.finished() {
-                finished_round[t] = round;
-                map.clear_tenant(t as u16);
-            } else {
-                still_active.push(t);
+            match outcomes[t] {
+                None | Some(Outcome::Crashed) => {
+                    // The failure domain: the session panicked (or its
+                    // lock was poisoned). Contain it — keep whatever
+                    // consistent state the session reached for the
+                    // final report, take the tenant out of rotation,
+                    // and keep serving everyone else.
+                    sessions[t].clear_poison();
+                    ledgers[t].quarantined = true;
+                    finished_round[t] = round;
+                    map.clear_tenant(t as u16);
+                    live -= 1;
+                }
+                Some(Outcome::Ran(_)) => {
+                    let finished = {
+                        let slot = sessions[t]
+                            .get_mut()
+                            .unwrap_or_else(PoisonError::into_inner);
+                        slot.as_ref().is_some_and(|s| s.finished())
+                    };
+                    if finished {
+                        // The session is retained for the final report
+                        // and snapshot; only its shard bytes release.
+                        finished_round[t] = round;
+                        map.clear_tenant(t as u16);
+                        live -= 1;
+                        continue;
+                    }
+                    let event = lifecycles[t]
+                        .events
+                        .get(next_event[t])
+                        .copied()
+                        .filter(|e| e.at_epoch <= ledgers[t].epochs);
+                    match event {
+                        None => still_active.push(t),
+                        Some(ev) => {
+                            next_event[t] += 1;
+                            let slot = sessions[t]
+                                .get_mut()
+                                .unwrap_or_else(PoisonError::into_inner);
+                            if let Some(session) = slot.take() {
+                                match ev.kind {
+                                    LifecycleKind::Disconnect => {
+                                        // Graceful: checkpoint where the
+                                        // stream was cut, then depart.
+                                        ledgers[t].disconnects += 1;
+                                        let snap = freeze_tenant(&session, &engines[t]);
+                                        ledgers[t].checkpoints += 1;
+                                        ledgers[t].checkpoint_bytes = tenant_snapshot_bytes(&snap);
+                                        checkpoints[t] = Some(Checkpoint {
+                                            snap,
+                                            pos: session.pos(),
+                                            epoch: ledgers[t].epochs,
+                                        });
+                                        ledgers[t].fold_session(&session);
+                                    }
+                                    LifecycleKind::Crash => {
+                                        // Abrupt: everything since the
+                                        // last checkpoint is lost and
+                                        // will be re-executed.
+                                        ledgers[t].crashes += 1;
+                                        let cp_epoch =
+                                            checkpoints[t].as_ref().map_or(0, |c| c.epoch);
+                                        let lifetime = ledgers[t].epochs;
+                                        ledgers[t].recovered_epochs += lifetime - cp_epoch;
+                                        let cp_switches = checkpoints[t]
+                                            .as_ref()
+                                            .map_or(0, |c| c.snap.policy.switches);
+                                        ledgers[t].forgotten_switches +=
+                                            engines[t].switches() - cp_switches;
+                                        engines[t] = match checkpoints[t].as_ref() {
+                                            Some(c) => PolicyEngine::restore(
+                                                config.policy.clone(),
+                                                &c.snap.policy,
+                                            )
+                                            .unwrap_or_else(|| {
+                                                PolicyEngine::new(config.policy.clone())
+                                            }),
+                                            None => PolicyEngine::new(config.policy.clone()),
+                                        };
+                                        ledgers[t].fold_session(&session);
+                                    }
+                                }
+                            }
+                            map.clear_tenant(t as u16);
+                            due.entry(round + ev.gap).or_default().push(t);
+                        }
+                    }
+                }
             }
         }
         active = still_active;
@@ -382,9 +829,10 @@ fn serve_impl(
                 let regs = remaining[victim].get_or_insert_with(|| {
                     sessions[victim]
                         .get_mut()
-                        .expect("session lock poisoned")
-                        .shard_regions(shard)
-                        .into()
+                        .unwrap_or_else(PoisonError::into_inner)
+                        .as_ref()
+                        .map(|s| s.shard_regions(shard).into())
+                        .unwrap_or_default()
                 });
                 if regs.is_empty() {
                     // The ledger says the tenant holds bytes here but
@@ -406,8 +854,13 @@ fn serve_impl(
             // Apply the plan, one eviction pass per victim tenant.
             for (t, ids) in doomed.iter().enumerate() {
                 if !ids.is_empty() {
-                    let session = sessions[t].get_mut().expect("session lock poisoned");
-                    session.evict_planned(shard, ids, bytes[t]);
+                    if let Some(session) = sessions[t]
+                        .get_mut()
+                        .unwrap_or_else(PoisonError::into_inner)
+                        .as_mut()
+                    {
+                        session.evict_planned(shard, ids, bytes[t]);
+                    }
                     map.set_bytes(shard, t as u16, bytes[t]);
                 }
             }
@@ -419,21 +872,54 @@ fn serve_impl(
         // Policy decisions, tenant order.
         if config.adaptive {
             for &t in &active {
-                let e = stats[t].expect("active session ran");
-                if let Some((kind, reason)) = engines[t].on_epoch(&e) {
-                    let session = sessions[t].get_mut().expect("session lock poisoned");
-                    switches.push(SwitchRecord {
-                        tenant: t as u16,
-                        workload: session.workload(),
-                        epoch: session.epochs_run(),
-                        from: session.kind(),
-                        to: kind,
-                        reason,
-                    });
-                    session.switch_selector(kind, &sim_configs[t]);
+                let e = match outcomes[t] {
+                    Some(Outcome::Ran(e)) => e,
+                    _ => continue,
+                };
+                let decision = engines[t].on_epoch(&e);
+                if let Some((kind, reason)) = decision {
+                    let lifetime = ledgers[t].epochs;
+                    if let Some(session) = sessions[t]
+                        .get_mut()
+                        .unwrap_or_else(PoisonError::into_inner)
+                        .as_mut()
+                    {
+                        switches.push(SwitchRecord {
+                            tenant: t as u16,
+                            workload: session.workload(),
+                            epoch: lifetime,
+                            from: session.kind(),
+                            to: kind,
+                            reason,
+                        });
+                        session.switch_selector(kind, &sim_configs[t]);
+                    }
                 }
             }
         }
+
+        // Periodic checkpoints — what crash recovery rewinds to. Taken
+        // after policy decisions so a checkpoint never resurrects a
+        // selector the engine just abandoned.
+        if config.checkpoint_every > 0 && (round + 1).is_multiple_of(config.checkpoint_every) {
+            for &t in &active {
+                if let Some(session) = sessions[t]
+                    .get_mut()
+                    .unwrap_or_else(PoisonError::into_inner)
+                    .as_ref()
+                {
+                    let snap = freeze_tenant(session, &engines[t]);
+                    ledgers[t].checkpoints += 1;
+                    ledgers[t].checkpoint_bytes = tenant_snapshot_bytes(&snap);
+                    checkpoints[t] = Some(Checkpoint {
+                        snap,
+                        pos: session.pos(),
+                        epoch: ledgers[t].epochs,
+                    });
+                }
+            }
+        }
+
         // First round at which each tenant's engine was exploiting —
         // for warm-restored engines already past exploration, that is
         // their first active round (even if they also finish in it).
@@ -453,51 +939,66 @@ fn serve_impl(
     let mut snapshot_tenants = Vec::with_capacity(specs.len());
     let mut shard_smc = vec![0u64; config.shard_count];
     for (t, cell) in sessions.iter_mut().enumerate() {
-        let session = cell.get_mut().expect("session lock poisoned");
+        let slot = cell.get_mut().unwrap_or_else(PoisonError::into_inner);
+        // Every tenant ends holding a session (finished and
+        // quarantined sessions are retained); materialize an empty one
+        // defensively if that invariant ever breaks.
+        let session = slot.get_or_insert_with(|| {
+            TenantSession::new(
+                t as u16,
+                &specs[t],
+                engines[t].current(),
+                &sim_configs[t],
+                config.shard_count,
+            )
+        });
+        ledgers[t].fold_session(session);
         // The engine is the authority on its own switch count; the
-        // global log must agree with it.
+        // global log (plus any decisions a crash rewound past) must
+        // agree with it.
         debug_assert_eq!(
-            engines[t].switches(),
+            engines[t].switches() + ledgers[t].forgotten_switches,
             switches.iter().filter(|s| s.tenant == t as u16).count() as u64
-                + slots[t].map_or(0, |ts| ts.policy.switches),
+                + warm_slots[t].map_or(0, |ts| ts.policy.switches),
             "engine switch count drifted from the switch log"
         );
-        for (s, &n) in session.smc_by_shard().iter().enumerate() {
+        for (s, &n) in ledgers[t].smc_by_shard.iter().enumerate() {
             shard_smc[s] += n;
         }
         let dip = std::mem::take(&mut dips[t]).finish();
-        let res = session.resilience();
+        let led = &ledgers[t];
         tenants.push(TenantSummary {
             tenant: t as u16,
             workload: session.workload(),
             final_selector: session.kind().name(),
-            epochs: session.epochs_run(),
-            switches: engines[t].switches(),
+            epochs: led.epochs,
+            switches: engines[t].switches() + led.forgotten_switches,
             admitted_round: admitted_round[t],
             finished_round: finished_round[t],
             first_exploit_round: first_exploit_round[t],
-            total_insts: session.total_insts(),
-            cache_insts: session.cache_insts(),
-            insts_selected: session.insts_selected(),
-            regions_selected: session.regions_selected(),
-            pressure_evicted: session.pressure_evicted(),
-            smc_events: res.smc_events,
-            smc_invalidated: res.invalidated_regions,
-            reformations: res.reformations,
-            blacklisted_targets: res.blacklisted_targets,
-            blacklist_hits: res.blacklist_hits,
+            total_insts: led.total_insts,
+            cache_insts: led.cache_insts,
+            insts_selected: led.insts_selected,
+            regions_selected: led.regions_selected,
+            pressure_evicted: led.pressure_evicted,
+            smc_events: led.smc_events,
+            smc_invalidated: led.smc_invalidated,
+            reformations: led.reformations,
+            blacklisted_targets: led.blacklisted_targets,
+            blacklist_hits: led.blacklist_hits,
+            disconnects: led.disconnects,
+            reconnects: led.reconnects,
+            crashes: led.crashes,
+            recovered_epochs: led.recovered_epochs,
+            checkpoints: led.checkpoints,
+            checkpoint_bytes: led.checkpoint_bytes,
+            quarantined: led.quarantined,
             smc_dips: dip.dips,
             max_dip_depth: dip.max_depth,
             max_dip_recovery_epochs: dip.max_recovery_epochs,
         });
         run_reports.push(session.report());
-        snapshot_tenants.push(TenantSnapshot {
-            workload: session.workload().to_string(),
-            selector: session.kind(),
-            policy: engines[t].export(),
-            regions: session.region_snapshots(),
-            blacklist: session.blacklist_snapshot(),
-        });
+        snapshot_tenants.push(freeze_tenant(session, &engines[t]));
     }
     let shards = map
         .into_stats()
@@ -515,7 +1016,7 @@ fn serve_impl(
         })
         .collect();
 
-    ServeOutcome {
+    Ok(ServeOutcome {
         report: ServeReport {
             epoch_len: config.epoch_len,
             shard_count: config.shard_count,
@@ -527,6 +1028,11 @@ fn serve_impl(
             warm_rejected_tenants,
             smc_write_ppm: config.sim.faults.smc_write_ppm,
             fault_seed: config.sim.faults.seed,
+            flush_wave_ppm: config.sim.faults.flush_wave_ppm,
+            counter_fault_ppm: config.sim.faults.counter_fault_ppm,
+            churn_active: config.churn.active(),
+            churn_seed: config.churn.seed,
+            checkpoint_every: config.checkpoint_every,
             queue: q,
             tenants,
             shards,
@@ -537,7 +1043,7 @@ fn serve_impl(
         snapshot: ServeSnapshot {
             tenants: snapshot_tenants,
         },
-    }
+    })
 }
 
 #[cfg(test)]
@@ -553,10 +1059,24 @@ mod tests {
             .collect()
     }
 
+    fn churn_config() -> ServeConfig {
+        ServeConfig {
+            churn: ChurnConfig {
+                seed: 5,
+                arrival_spread: 3,
+                max_disconnects: 2,
+                max_gap: 2,
+                crash_percent: 50,
+            },
+            checkpoint_every: 2,
+            ..ServeConfig::default()
+        }
+    }
+
     #[test]
     fn serves_everything_to_completion() {
         let specs = two_specs();
-        let out = serve(&specs, &ServeConfig::default(), 1);
+        let out = serve(&specs, &ServeConfig::default(), 1).unwrap();
         assert_eq!(out.report.tenants.len(), 2);
         assert_eq!(out.run_reports.len(), 2);
         for (t, rep) in out.report.tenants.iter().zip(&out.run_reports) {
@@ -581,12 +1101,13 @@ mod tests {
             queue_capacity: 1,
             ..ServeConfig::default()
         };
-        let out = serve(&specs, &config, 2);
+        let out = serve(&specs, &config, 2).unwrap();
         let q = &out.report.queue;
         assert_eq!(q.admissions, 6, "everyone is eventually admitted");
         assert_eq!(q.peak_active, 2);
         assert_eq!(q.peak_queue_depth, 1);
         assert!(q.deferred_tenant_rounds > 0, "arrivals piled up: {q:?}");
+        assert_eq!(q.shed_arrivals, 0, "no timeout, no shedding");
         // Later tenants were admitted later.
         let rounds: Vec<u64> = out
             .report
@@ -605,7 +1126,7 @@ mod tests {
             adaptive: false,
             ..ServeConfig::default()
         };
-        let out = serve(&specs, &config, 1);
+        let out = serve(&specs, &config, 1).unwrap();
         assert!(out.report.switches.is_empty());
         for t in &out.report.tenants {
             assert_eq!(t.final_selector, "NET");
@@ -614,14 +1135,23 @@ mod tests {
     }
 
     #[test]
-    fn degenerate_epoch_panics() {
+    fn degenerate_configs_are_typed_errors() {
         let specs = two_specs();
         let config = ServeConfig {
             epoch_len: 0,
             ..ServeConfig::default()
         };
-        let r = std::panic::catch_unwind(|| serve(&specs, &config, 1));
-        assert!(r.is_err());
+        let err = serve(&specs, &config, 1).unwrap_err();
+        assert!(matches!(err, ServeError::InvalidConfig(_)), "{err}");
+        let config = ServeConfig {
+            churn: ChurnConfig {
+                crash_percent: 101,
+                ..ChurnConfig::default()
+            },
+            ..ServeConfig::default()
+        };
+        let err = serve(&specs, &config, 1).unwrap_err();
+        assert!(matches!(err, ServeError::InvalidConfig(_)), "{err}");
     }
 
     #[test]
@@ -639,7 +1169,7 @@ mod tests {
             queue_capacity: 0,
             ..ServeConfig::default()
         };
-        let out = serve(&specs, &config, 2);
+        let out = serve(&specs, &config, 2).unwrap();
         let q = &out.report.queue;
         assert_eq!(q.admissions, 4, "everyone is admitted directly");
         assert_eq!(q.peak_active, 2);
@@ -654,7 +1184,7 @@ mod tests {
     #[test]
     fn summary_switches_agree_with_the_switch_log() {
         let specs = two_specs();
-        let out = serve(&specs, &ServeConfig::default(), 1);
+        let out = serve(&specs, &ServeConfig::default(), 1).unwrap();
         for t in &out.report.tenants {
             let logged = out
                 .report
@@ -670,8 +1200,8 @@ mod tests {
     fn warm_start_runs_from_the_snapshot() {
         let specs = two_specs();
         let config = ServeConfig::default();
-        let cold = serve(&specs, &config, 1);
-        let warm = serve_with(&specs, &config, 1, Some(&cold.snapshot));
+        let cold = serve(&specs, &config, 1).unwrap();
+        let warm = serve_with(&specs, &config, 1, Some(&cold.snapshot)).unwrap();
         assert!(warm.report.warm_started);
         assert!(!cold.report.warm_started);
         assert_eq!(cold.report.warm_regions_restored, 0);
@@ -712,8 +1242,8 @@ mod tests {
             .map(|w| TenantSpec::record(w, 7, Scale::Test))
             .collect();
         let config = smc_config();
-        let one = serve(&specs, &config, 1);
-        let eight = serve(&specs, &config, 8);
+        let one = serve(&specs, &config, 1).unwrap();
+        let eight = serve(&specs, &config, 8).unwrap();
         assert_eq!(one.report, eight.report);
         assert_eq!(one.run_reports, eight.run_reports);
         assert_eq!(one.snapshot, eight.snapshot);
@@ -730,12 +1260,43 @@ mod tests {
     }
 
     #[test]
+    fn flush_and_counter_faults_serve_identically_for_every_worker_count() {
+        // The flush-wave and counter-fault scenarios, measured the way
+        // the SMC one is: per-tenant seeded schedules, worker-count
+        // identity, and the configured rates echoed in the report.
+        let specs = two_specs();
+        let mut config = ServeConfig::default();
+        config.sim.faults.seed = 2005;
+        config.sim.faults.flush_wave_ppm = 2_000;
+        config.sim.faults.counter_fault_ppm = 2_000;
+        let one = serve(&specs, &config, 1).unwrap();
+        let eight = serve(&specs, &config, 8).unwrap();
+        assert_eq!(one.report, eight.report);
+        assert_eq!(one.run_reports, eight.run_reports);
+        assert_eq!(one.snapshot, eight.snapshot);
+        assert_eq!(one.report.flush_wave_ppm, 2_000);
+        assert_eq!(one.report.counter_fault_ppm, 2_000);
+        let waves: u64 = one
+            .run_reports
+            .iter()
+            .map(|r| r.resilience.flush_waves)
+            .sum();
+        assert!(waves > 0, "flush waves must strike at this rate");
+        let ctr: u64 = one
+            .run_reports
+            .iter()
+            .map(|r| r.resilience.counter_faults)
+            .sum();
+        assert!(ctr > 0, "counter faults must strike at this rate");
+    }
+
+    #[test]
     fn smc_snapshot_round_trips_the_blacklist() {
         let specs = two_specs();
         let mut config = smc_config();
         config.sim.faults.smc_write_ppm = 50_000; // hammer the cache
         config.sim.faults.blacklist_after = 2;
-        let cold = serve(&specs, &config, 1);
+        let cold = serve(&specs, &config, 1).unwrap();
         assert!(
             cold.report.blacklisted_targets() > 0,
             "this rate must demote something: {:?}",
@@ -748,7 +1309,7 @@ mod tests {
                 .any(|t| !t.blacklist.is_empty()),
             "demotions persist in the snapshot"
         );
-        let warm = serve_with(&specs, &config, 2, Some(&cold.snapshot));
+        let warm = serve_with(&specs, &config, 2, Some(&cold.snapshot)).unwrap();
         assert!(warm.report.warm_started);
         assert_eq!(warm.report.warm_rejected_tenants, 0);
     }
@@ -757,11 +1318,11 @@ mod tests {
     fn serve_warm_cold_starts_rejected_slots() {
         let specs = two_specs();
         let config = ServeConfig::default();
-        let cold = serve(&specs, &config, 1);
+        let cold = serve(&specs, &config, 1).unwrap();
         let mut warm = cold.snapshot.clone().into_warm_start();
         warm.tenants[1] = None; // as if the lenient loader rejected it
         warm.rejected = 1;
-        let out = serve_warm(&specs, &config, 1, &warm);
+        let out = serve_warm(&specs, &config, 1, &warm).unwrap();
         assert!(out.report.warm_started);
         assert_eq!(out.report.warm_rejected_tenants, 1);
         assert_eq!(
@@ -781,20 +1342,167 @@ mod tests {
                 tenants: vec![None, None],
                 rejected: 2,
             },
-        );
+        )
+        .unwrap();
         assert_eq!(none.report.warm_rejected_tenants, 2);
         assert_eq!(none.report.warm_regions_restored, 0);
         assert_eq!(none.report.total_insts, cold.report.total_insts);
     }
 
     #[test]
-    fn mismatched_snapshot_panics() {
+    fn mismatched_snapshot_is_a_typed_error() {
         let specs = two_specs();
         let config = ServeConfig::default();
-        let cold = serve(&specs, &config, 1);
+        let cold = serve(&specs, &config, 1).unwrap();
         let mut snap = cold.snapshot;
         snap.tenants.pop();
-        let r = std::panic::catch_unwind(|| serve_with(&specs, &config, 1, Some(&snap)));
-        assert!(r.is_err(), "tenant-count mismatch must not serve");
+        let err = serve_with(&specs, &config, 1, Some(&snap)).unwrap_err();
+        assert!(
+            matches!(
+                err,
+                ServeError::Snapshot(SnapshotError::TenantCountMismatch { .. })
+            ),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn churned_serving_completes_and_is_identical_for_every_worker_count() {
+        let specs: Vec<TenantSpec> = suite()
+            .iter()
+            .take(4)
+            .map(|w| TenantSpec::record(w, 7, Scale::Test))
+            .collect();
+        let config = churn_config();
+        let one = serve(&specs, &config, 1).unwrap();
+        let eight = serve(&specs, &config, 8).unwrap();
+        assert_eq!(one.report, eight.report);
+        assert_eq!(one.run_reports, eight.run_reports);
+        assert_eq!(one.snapshot, eight.snapshot);
+        assert!(one.report.churn_active);
+        assert!(
+            one.report.disconnects() + one.report.crashes() > 0,
+            "this schedule must churn somebody: {:?}",
+            one.report.tenants
+        );
+        assert_eq!(
+            one.report.reconnects(),
+            one.report.disconnects() + one.report.crashes(),
+            "every departed tenant came back"
+        );
+        assert_eq!(one.report.quarantined_tenants(), 0, "clean path");
+        // Everyone still finishes their whole workload; crash recovery
+        // re-executes work, so totals can only grow versus a calm run.
+        let calm = serve(&specs, &ServeConfig::default(), 1).unwrap();
+        for (churned, base) in one.report.tenants.iter().zip(&calm.report.tenants) {
+            assert!(!churned.quarantined);
+            assert!(
+                churned.total_insts >= base.total_insts,
+                "tenant {} lost work: {} < {}",
+                churned.tenant,
+                churned.total_insts,
+                base.total_insts
+            );
+        }
+    }
+
+    #[test]
+    fn crash_recovery_resumes_from_the_last_checkpoint() {
+        let specs = two_specs();
+        let config = ServeConfig {
+            churn: ChurnConfig {
+                seed: 11,
+                arrival_spread: 0,
+                max_disconnects: 0,
+                max_gap: 1,
+                crash_percent: 100,
+            },
+            checkpoint_every: 2,
+            ..ServeConfig::default()
+        };
+        let out = serve(&specs, &config, 2).unwrap();
+        assert_eq!(out.report.crashes(), 2, "every tenant crashes once");
+        assert!(out.report.checkpoints_taken() > 0);
+        assert!(out.report.checkpoint_bytes() > 0);
+        assert_eq!(out.report.quarantined_tenants(), 0);
+        // Recovered tenants finish their workloads: lifetime totals
+        // cover at least the whole stream (re-execution can only add).
+        let calm = serve(&specs, &ServeConfig::default(), 1).unwrap();
+        for (crashed, base) in out.report.tenants.iter().zip(&calm.report.tenants) {
+            assert!(crashed.total_insts >= base.total_insts);
+            assert_eq!(crashed.crashes, 1);
+            assert_eq!(crashed.reconnects, 1);
+        }
+    }
+
+    #[test]
+    fn warm_churned_serving_is_identical_for_every_worker_count() {
+        let specs = two_specs();
+        let calm = serve(&specs, &ServeConfig::default(), 1).unwrap();
+        let config = churn_config();
+        let one = serve_with(&specs, &config, 1, Some(&calm.snapshot)).unwrap();
+        let eight = serve_with(&specs, &config, 8, Some(&calm.snapshot)).unwrap();
+        assert_eq!(one.report, eight.report);
+        assert_eq!(one.run_reports, eight.run_reports);
+        assert_eq!(one.snapshot, eight.snapshot);
+        assert!(one.report.warm_started && one.report.churn_active);
+    }
+
+    #[test]
+    fn poison_pill_quarantines_exactly_one_tenant() {
+        let specs: Vec<TenantSpec> = suite()
+            .iter()
+            .take(3)
+            .map(|w| TenantSpec::record(w, 7, Scale::Test))
+            .collect();
+        let config = ServeConfig {
+            chaos: ChaosConfig {
+                poison_tenant: Some(1),
+                poison_epoch: 2,
+            },
+            ..ServeConfig::default()
+        };
+        let one = serve(&specs, &config, 1).unwrap();
+        let eight = serve(&specs, &config, 8).unwrap();
+        assert_eq!(one.report, eight.report, "quarantine is deterministic");
+        assert_eq!(one.run_reports, eight.run_reports);
+        assert_eq!(one.snapshot, eight.snapshot);
+        assert_eq!(one.report.quarantined_tenants(), 1);
+        assert!(one.report.tenants[1].quarantined);
+        assert_eq!(one.report.tenants[1].epochs, 2, "died entering epoch 2");
+        // The failure domain held: everyone else finished their full
+        // workload exactly as on the clean path.
+        let calm = serve(&specs, &ServeConfig::default(), 1).unwrap();
+        for t in [0usize, 2] {
+            assert!(!one.report.tenants[t].quarantined);
+            assert_eq!(
+                one.report.tenants[t].total_insts, calm.report.tenants[t].total_insts,
+                "tenant {t} unaffected by the quarantine"
+            );
+        }
+    }
+
+    #[test]
+    fn overload_sheds_arrivals_and_still_serves_everyone() {
+        let specs: Vec<TenantSpec> = suite()
+            .iter()
+            .take(6)
+            .map(|w| TenantSpec::record(w, 7, Scale::Test))
+            .collect();
+        let config = ServeConfig {
+            max_active: 1,
+            queue_capacity: 1,
+            admission_timeout: 2,
+            ..ServeConfig::default()
+        };
+        let one = serve(&specs, &config, 1).unwrap();
+        let four = serve(&specs, &config, 4).unwrap();
+        assert_eq!(one.report, four.report);
+        let q = &one.report.queue;
+        assert!(q.shed_arrivals > 0, "sustained pressure must shed: {q:?}");
+        assert!(q.admission_retries > 0, "shed arrivals retry: {q:?}");
+        for t in &one.report.tenants {
+            assert!(t.total_insts > 0, "tenant {} was starved", t.tenant);
+        }
     }
 }

@@ -129,6 +129,9 @@ pub struct TenantSession<'p> {
     smc_by_shard: Vec<u64>,
     epochs_run: u64,
     finished: bool,
+    /// Chaos hook: epoch count at which the session deliberately
+    /// panics (see [`TenantSession::poison_after`]).
+    poison_at: Option<u64>,
     // Simulator totals at the previous epoch boundary, for deltas.
     prev_insts: u64,
     prev_cache_insts: u64,
@@ -163,6 +166,7 @@ impl<'p> TenantSession<'p> {
             smc_by_shard: vec![0; shard_count],
             epochs_run: 0,
             finished: false,
+            poison_at: None,
             prev_insts: 0,
             prev_cache_insts: 0,
             prev_insts_selected: 0,
@@ -241,6 +245,37 @@ impl<'p> TenantSession<'p> {
         self.finished
     }
 
+    /// The next step of the decoded stream this session will replay.
+    pub fn pos(&self) -> usize {
+        self.pos
+    }
+
+    /// Repositions the session at step `pos` of the recorded stream
+    /// without executing anything — how a reconnect resumes from a
+    /// checkpoint: the cache and metrics come from the snapshot (or
+    /// start cold), and replay continues where the checkpoint was cut.
+    ///
+    /// # Panics
+    ///
+    /// If `pos` lies beyond the recorded stream.
+    pub fn seek(&mut self, pos: usize) {
+        assert!(
+            pos <= self.decoded.len(),
+            "seek past the recorded stream ({pos} > {})",
+            self.decoded.len()
+        );
+        self.pos = pos;
+    }
+
+    /// Arms the chaos poison pill: the session panics at the start of
+    /// its `epoch`-th epoch from now (0 = the very next one). This is
+    /// the deliberate-defect hook the scheduler's quarantine path is
+    /// tested against; it stands in for any bug that unwinds out of a
+    /// worker mid-epoch.
+    pub fn poison_after(&mut self, epoch: u64) {
+        self.poison_at = Some(self.epochs_run + epoch);
+    }
+
     /// Replays up to `epoch_len` steps, returning this epoch's deltas.
     /// Marks the session finished when the stream runs dry.
     ///
@@ -250,6 +285,12 @@ impl<'p> TenantSession<'p> {
     /// epochs (the detector only engages on phases wholly inside the
     /// epoch's range, keeping results bit-identical to stepping).
     pub fn run_epoch(&mut self, epoch_len: usize) -> EpochStats {
+        if self.poison_at == Some(self.epochs_run) {
+            panic!(
+                "poison pill: tenant {} session corrupted at epoch {}",
+                self.tenant, self.epochs_run
+            );
+        }
         let remaining = self.decoded.len() - self.pos;
         let executed = epoch_len.min(remaining);
         self.sim

@@ -17,7 +17,7 @@
 use rsel_program::Addr;
 use rsel_program::fxhash::FxHasher;
 use std::hash::Hasher;
-use std::sync::Mutex;
+use std::sync::{Mutex, PoisonError};
 
 /// The shard an entry of `tenant`'s cache maps to, out of
 /// `shard_count`.
@@ -69,6 +69,12 @@ pub struct ShardLifetime {
 ///
 /// Shared (`&self`) methods are safe to call from concurrent workers;
 /// exclusive (`&mut self`) methods are barrier-only and lock-free.
+///
+/// Shard locks are poison-tolerant: every write to a slot is a single
+/// assignment, so the data is consistent at whatever point a panicking
+/// worker left it, and the scheduler quarantines the panicking tenant
+/// at the next barrier anyway. One tenant's defect must not wedge the
+/// map for everyone else.
 #[derive(Debug)]
 pub struct SharedCacheMap {
     slots: Vec<Mutex<Slot>>,
@@ -110,7 +116,9 @@ impl SharedCacheMap {
     /// with the tenant's new byte total in that shard.
     pub fn publish(&self, tenant: u16, changes: &[(usize, u64)]) {
         for &(shard, bytes) in changes {
-            let mut slot = self.slots[shard].lock().expect("shard lock poisoned");
+            let mut slot = self.slots[shard]
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner);
             slot.bytes[tenant as usize] = bytes;
             slot.touched[tenant as usize] = true;
         }
@@ -120,7 +128,7 @@ impl SharedCacheMap {
     /// peak statistics and clears them for the next round.
     pub fn end_round(&mut self) {
         for (slot, stat) in self.slots.iter_mut().zip(self.stats.iter_mut()) {
-            let slot = slot.get_mut().expect("shard lock poisoned");
+            let slot = slot.get_mut().unwrap_or_else(PoisonError::into_inner);
             let touches = slot.touched.iter().filter(|&&t| t).count();
             if touches >= 2 {
                 stat.contended_rounds += 1;
@@ -138,7 +146,8 @@ impl SharedCacheMap {
             .iter_mut()
             .enumerate()
             .filter_map(|(i, s)| {
-                (s.get_mut().expect("shard lock poisoned").total() > capacity).then_some(i)
+                (s.get_mut().unwrap_or_else(PoisonError::into_inner).total() > capacity)
+                    .then_some(i)
             })
             .collect()
     }
@@ -147,7 +156,7 @@ impl SharedCacheMap {
     pub fn shard_bytes(&mut self, shard: usize) -> Vec<u64> {
         self.slots[shard]
             .get_mut()
-            .expect("shard lock poisoned")
+            .unwrap_or_else(PoisonError::into_inner)
             .bytes
             .clone()
     }
@@ -156,7 +165,7 @@ impl SharedCacheMap {
     pub fn set_bytes(&mut self, shard: usize, tenant: u16, bytes: u64) {
         self.slots[shard]
             .get_mut()
-            .expect("shard lock poisoned")
+            .unwrap_or_else(PoisonError::into_inner)
             .bytes[tenant as usize] = bytes;
     }
 
@@ -180,7 +189,7 @@ impl SharedCacheMap {
     pub fn clear_tenant(&mut self, tenant: u16) -> u64 {
         let mut reclaimed = 0;
         for slot in &mut self.slots {
-            let slot = slot.get_mut().expect("shard lock poisoned");
+            let slot = slot.get_mut().unwrap_or_else(PoisonError::into_inner);
             reclaimed += std::mem::take(&mut slot.bytes[tenant as usize]);
         }
         reclaimed
@@ -190,7 +199,7 @@ impl SharedCacheMap {
     pub fn total_bytes(&mut self) -> u64 {
         self.slots
             .iter_mut()
-            .map(|s| s.get_mut().expect("shard lock poisoned").total())
+            .map(|s| s.get_mut().unwrap_or_else(PoisonError::into_inner).total())
             .sum()
     }
 
@@ -200,7 +209,7 @@ impl SharedCacheMap {
         let finals: Vec<u64> = self
             .slots
             .iter_mut()
-            .map(|s| s.get_mut().expect("shard lock poisoned").total())
+            .map(|s| s.get_mut().unwrap_or_else(PoisonError::into_inner).total())
             .collect();
         self.stats.into_iter().zip(finals).collect()
     }

@@ -415,62 +415,89 @@ pub fn save_snapshot<W: Write>(snapshot: &ServeSnapshot, mut writer: W) -> io::R
     writer.write_all(&VERSION.to_le_bytes())?;
     writer.write_all(&(snapshot.tenants.len() as u16).to_le_bytes())?;
     for t in &snapshot.tenants {
-        assert!(
-            t.workload.len() <= u8::MAX as usize,
-            "workload name too long"
-        );
-        writer.write_all(&[t.workload.len() as u8])?;
-        writer.write_all(t.workload.as_bytes())?;
-        writer.write_all(&[selector_tag(t.selector)])?;
-        writer.write_all(&[t.policy.exploring as u8])?;
-        writer.write_all(&t.policy.next.to_le_bytes())?;
-        writer.write_all(&t.policy.current.to_le_bytes())?;
-        writer.write_all(&(t.policy.scores.len() as u32).to_le_bytes())?;
-        for (i, score) in t.policy.scores.iter().enumerate() {
-            // Candidate kinds ride next to their scores so the loader
-            // can refuse a foreign candidate configuration.
-            let kind = t
-                .policy
-                .candidates
-                .get(i)
-                .copied()
-                .expect("one candidate per score slot");
-            writer.write_all(&[selector_tag(kind)])?;
-            match score {
-                Some(s) => {
-                    writer.write_all(&[1])?;
-                    writer.write_all(&s.to_bits().to_le_bytes())?;
-                }
-                None => writer.write_all(&[0])?,
-            }
-        }
-        writer.write_all(&t.policy.ema.to_bits().to_le_bytes())?;
-        writer.write_all(&t.policy.switches.to_le_bytes())?;
-        writer.write_all(&(t.regions.len() as u32).to_le_bytes())?;
-        for r in &t.regions {
-            let kind = match r.kind {
-                RegionKind::Trace => KIND_TRACE,
-                RegionKind::Combined => KIND_COMBINED,
-            };
-            writer.write_all(&[kind])?;
-            writer.write_all(&r.entry.raw().to_le_bytes())?;
-            writer.write_all(&(r.blocks.len() as u32).to_le_bytes())?;
-            for b in &r.blocks {
-                writer.write_all(&b.raw().to_le_bytes())?;
-            }
-            writer.write_all(&(r.edges.len() as u32).to_le_bytes())?;
-            for &(from, to) in &r.edges {
-                writer.write_all(&from.raw().to_le_bytes())?;
-                writer.write_all(&to.raw().to_le_bytes())?;
-            }
-        }
-        writer.write_all(&(t.blacklist.len() as u32).to_le_bytes())?;
-        for &(entry, count) in &t.blacklist {
-            writer.write_all(&entry.raw().to_le_bytes())?;
-            writer.write_all(&count.to_le_bytes())?;
-        }
+        write_tenant(t, &mut writer)?;
     }
     Ok(())
+}
+
+/// Writes one tenant's section of the version-2 format — the unit the
+/// churn layer's per-tenant checkpoints are accounted in.
+fn write_tenant<W: Write>(t: &TenantSnapshot, writer: &mut W) -> io::Result<()> {
+    assert!(
+        t.workload.len() <= u8::MAX as usize,
+        "workload name too long"
+    );
+    writer.write_all(&[t.workload.len() as u8])?;
+    writer.write_all(t.workload.as_bytes())?;
+    writer.write_all(&[selector_tag(t.selector)])?;
+    writer.write_all(&[t.policy.exploring as u8])?;
+    writer.write_all(&t.policy.next.to_le_bytes())?;
+    writer.write_all(&t.policy.current.to_le_bytes())?;
+    writer.write_all(&(t.policy.scores.len() as u32).to_le_bytes())?;
+    for (i, score) in t.policy.scores.iter().enumerate() {
+        // Candidate kinds ride next to their scores so the loader
+        // can refuse a foreign candidate configuration.
+        let kind = t
+            .policy
+            .candidates
+            .get(i)
+            .copied()
+            .expect("one candidate per score slot");
+        writer.write_all(&[selector_tag(kind)])?;
+        match score {
+            Some(s) => {
+                writer.write_all(&[1])?;
+                writer.write_all(&s.to_bits().to_le_bytes())?;
+            }
+            None => writer.write_all(&[0])?,
+        }
+    }
+    writer.write_all(&t.policy.ema.to_bits().to_le_bytes())?;
+    writer.write_all(&t.policy.switches.to_le_bytes())?;
+    writer.write_all(&(t.regions.len() as u32).to_le_bytes())?;
+    for r in &t.regions {
+        let kind = match r.kind {
+            RegionKind::Trace => KIND_TRACE,
+            RegionKind::Combined => KIND_COMBINED,
+        };
+        writer.write_all(&[kind])?;
+        writer.write_all(&r.entry.raw().to_le_bytes())?;
+        writer.write_all(&(r.blocks.len() as u32).to_le_bytes())?;
+        for b in &r.blocks {
+            writer.write_all(&b.raw().to_le_bytes())?;
+        }
+        writer.write_all(&(r.edges.len() as u32).to_le_bytes())?;
+        for &(from, to) in &r.edges {
+            writer.write_all(&from.raw().to_le_bytes())?;
+            writer.write_all(&to.raw().to_le_bytes())?;
+        }
+    }
+    writer.write_all(&(t.blacklist.len() as u32).to_le_bytes())?;
+    for &(entry, count) in &t.blacklist {
+        writer.write_all(&entry.raw().to_le_bytes())?;
+        writer.write_all(&count.to_le_bytes())?;
+    }
+    Ok(())
+}
+
+/// The exact size, in bytes, `snap` occupies in the version-2 format —
+/// what a per-tenant churn checkpoint costs. Measured by running the
+/// real writer against a counting sink, so it can never drift from the
+/// serialization.
+pub fn tenant_snapshot_bytes(snap: &TenantSnapshot) -> u64 {
+    struct CountingSink(u64);
+    impl Write for CountingSink {
+        fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+            self.0 += buf.len() as u64;
+            Ok(buf.len())
+        }
+        fn flush(&mut self) -> io::Result<()> {
+            Ok(())
+        }
+    }
+    let mut sink = CountingSink(0);
+    write_tenant(snap, &mut sink).expect("counting sink cannot fail");
+    sink.0
 }
 
 fn read_u8<R: Read>(r: &mut R) -> Result<u8, SnapshotError> {
@@ -781,7 +808,7 @@ mod tests {
     }
 
     fn served_snapshot(specs: &[TenantSpec]) -> ServeSnapshot {
-        serve(specs, &ServeConfig::default(), 1).snapshot
+        serve(specs, &ServeConfig::default(), 1).unwrap().snapshot
     }
 
     fn to_bytes(snap: &ServeSnapshot) -> Vec<u8> {

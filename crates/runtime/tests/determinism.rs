@@ -8,14 +8,36 @@
 //! a full active set, shard pressure, backpressure, and adaptive
 //! selector switches.
 
-use rsel_runtime::{ServeConfig, ServeOutcome, TenantSpec, serve, serve_with};
+use rsel_runtime::{ChurnConfig, ServeConfig, ServeOutcome, TenantSpec, serve, serve_with};
 use rsel_workloads::Scale;
 
 const SEED: u64 = 2005;
 
 fn run(jobs: usize) -> ServeOutcome {
     let specs = TenantSpec::record_suite(SEED, Scale::Test);
-    serve(&specs, &ServeConfig::default(), jobs)
+    serve(&specs, &ServeConfig::default(), jobs).unwrap()
+}
+
+/// The full chaos schedule the golden tests serve under: churn
+/// (staggered arrivals, disconnects, crashes), periodic checkpoints,
+/// and fault traffic (SMC + flush waves + counter faults) all at once.
+fn chaos_config() -> ServeConfig {
+    let mut config = ServeConfig {
+        churn: ChurnConfig {
+            seed: SEED,
+            arrival_spread: 6,
+            max_disconnects: 2,
+            max_gap: 3,
+            crash_percent: 50,
+        },
+        checkpoint_every: 2,
+        ..ServeConfig::default()
+    };
+    config.sim.faults.seed = SEED;
+    config.sim.faults.smc_write_ppm = 2_000;
+    config.sim.faults.flush_wave_ppm = 500;
+    config.sim.faults.counter_fault_ppm = 500;
+    config
 }
 
 #[test]
@@ -50,9 +72,9 @@ fn warm_started_runs_are_identical_across_worker_counts() {
     // from a snapshot is byte-identical for every worker count.
     let specs = TenantSpec::record_suite(SEED, Scale::Test);
     let config = ServeConfig::default();
-    let snapshot = serve(&specs, &config, 2).snapshot;
-    let warm1 = serve_with(&specs, &config, 1, Some(&snapshot));
-    let warm8 = serve_with(&specs, &config, 8, Some(&snapshot));
+    let snapshot = serve(&specs, &config, 2).unwrap().snapshot;
+    let warm1 = serve_with(&specs, &config, 1, Some(&snapshot)).unwrap();
+    let warm8 = serve_with(&specs, &config, 8, Some(&snapshot)).unwrap();
     assert!(warm1.report.warm_started && warm8.report.warm_started);
     assert!(warm1.report.warm_regions_restored > 0);
     assert_eq!(
@@ -74,8 +96,8 @@ fn smc_faulted_runs_are_identical_across_worker_counts() {
     let mut config = ServeConfig::default();
     config.sim.faults.seed = SEED;
     config.sim.faults.smc_write_ppm = 2_000;
-    let one = serve(&specs, &config, 1);
-    let eight = serve(&specs, &config, 8);
+    let one = serve(&specs, &config, 1).unwrap();
+    let eight = serve(&specs, &config, 8).unwrap();
     assert_eq!(
         one.report.to_json(),
         eight.report.to_json(),
@@ -95,8 +117,8 @@ fn smc_faulted_runs_are_identical_across_worker_counts() {
 
     // The invariant survives warm-starting from the faulted snapshot
     // (which carries each tenant's blacklist state).
-    let warm1 = serve_with(&specs, &config, 1, Some(&one.snapshot));
-    let warm8 = serve_with(&specs, &config, 8, Some(&one.snapshot));
+    let warm1 = serve_with(&specs, &config, 1, Some(&one.snapshot)).unwrap();
+    let warm8 = serve_with(&specs, &config, 8, Some(&one.snapshot)).unwrap();
     assert_eq!(
         warm1.report.to_json(),
         warm8.report.to_json(),
@@ -105,6 +127,66 @@ fn smc_faulted_runs_are_identical_across_worker_counts() {
     assert_eq!(warm1.report, warm8.report);
     assert_eq!(warm1.run_reports, warm8.run_reports);
     assert_eq!(warm1.snapshot, warm8.snapshot);
+}
+
+#[test]
+fn chaotic_runs_are_identical_across_worker_counts() {
+    // The tentpole robustness golden: the full suite served under
+    // churn (staggered arrivals, mid-run disconnects reconnecting warm
+    // from their checkpoints, crashes recovering from their last
+    // checkpoint) *and* fault traffic, byte-identical for every worker
+    // count — cold and warm.
+    let specs = TenantSpec::record_suite(SEED, Scale::Test);
+    let config = chaos_config();
+    let one = serve(&specs, &config, 1).unwrap();
+    let eight = serve(&specs, &config, 8).unwrap();
+    assert_eq!(
+        one.report.to_json(),
+        eight.report.to_json(),
+        "chaotic ServeReport JSON must not depend on the worker count"
+    );
+    assert_eq!(one.report, eight.report);
+    assert_eq!(one.run_reports, eight.run_reports);
+    assert_eq!(one.snapshot, eight.snapshot);
+
+    // The schedule actually churned, recovery actually ran, and the
+    // clean path quarantined nobody.
+    let rep = &one.report;
+    assert!(rep.churn_active);
+    assert!(
+        rep.disconnects() > 0,
+        "nobody disconnected: {:?}",
+        rep.tenants
+    );
+    assert!(rep.crashes() > 0, "nobody crashed: {:?}", rep.tenants);
+    assert_eq!(rep.reconnects(), rep.disconnects() + rep.crashes());
+    assert!(rep.checkpoints_taken() > 0);
+    assert!(rep.checkpoint_bytes() > 0);
+    assert_eq!(rep.quarantined_tenants(), 0, "clean path");
+    // Every tenant — including the crashed and reconnected ones —
+    // still finished its whole workload.
+    let calm = run(1);
+    for (chaos, base) in rep.tenants.iter().zip(&calm.report.tenants) {
+        assert!(
+            chaos.total_insts >= base.total_insts,
+            "tenant {} lost work under chaos",
+            chaos.tenant
+        );
+    }
+
+    // And the whole schedule replays identically from a warm start.
+    let warm1 = serve_with(&specs, &config, 1, Some(&calm.snapshot)).unwrap();
+    let warm8 = serve_with(&specs, &config, 8, Some(&calm.snapshot)).unwrap();
+    assert_eq!(
+        warm1.report.to_json(),
+        warm8.report.to_json(),
+        "warm chaotic ServeReport JSON must not depend on the worker count"
+    );
+    assert_eq!(warm1.report, warm8.report);
+    assert_eq!(warm1.run_reports, warm8.run_reports);
+    assert_eq!(warm1.snapshot, warm8.snapshot);
+    assert!(warm1.report.warm_started && warm1.report.churn_active);
+    assert_eq!(warm1.report.quarantined_tenants(), 0);
 }
 
 #[test]
@@ -210,8 +292,23 @@ fn json_is_well_formed_enough_to_diff() {
         "\"warm_rejected_tenants\": 0",
         "\"smc_write_ppm\": 0",
         "\"fault_seed\": 0",
+        "\"flush_wave_ppm\": 0",
+        "\"counter_fault_ppm\": 0",
+        "\"churn_active\": false",
+        "\"churn_seed\": 0",
+        "\"checkpoint_every\": 0",
+        "\"shed_arrivals\": 0",
+        "\"admission_retries\": 0",
         "\"smc_invalidated_regions\": 0",
         "\"blacklisted_targets\": 0",
+        "\"disconnects\": 0",
+        "\"reconnects\": 0",
+        "\"crashes\": 0",
+        "\"recovered_epochs\": 0",
+        "\"quarantined_tenants\": 0",
+        "\"checkpoints_taken\": 0",
+        "\"checkpoint_bytes\": 0",
+        "\"quarantined\": false",
         "\"max_dip_depth\":",
         "\"pressure_waves\":",
         "\"shed_actions\":",

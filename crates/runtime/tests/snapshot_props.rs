@@ -27,7 +27,7 @@ fn fixture() -> &'static (Vec<TenantSpec>, Vec<u8>) {
             .take(2)
             .map(|w| TenantSpec::record(w, 2005, Scale::Test))
             .collect();
-        let out = serve(&specs, &ServeConfig::default(), 1);
+        let out = serve(&specs, &ServeConfig::default(), 1).unwrap();
         let mut buf = Vec::new();
         save_snapshot(&out.snapshot, &mut buf).unwrap();
         (specs, buf)
@@ -163,7 +163,7 @@ fn stale_policy_config_cold_starts_tenants_instead_of_failing() {
     let warm = load_warm_start(specs, &stale.policy, buf.as_slice()).unwrap();
     assert_eq!(warm.rejected, specs.len() as u64, "every tenant is stale");
     assert_eq!(warm.restored_tenants(), 0);
-    let out = serve_warm(specs, &stale, 2, &warm);
+    let out = serve_warm(specs, &stale, 2, &warm).unwrap();
     assert_eq!(out.report.warm_rejected_tenants, specs.len() as u64);
     assert_eq!(out.report.warm_regions_restored, 0);
     for t in &out.report.tenants {

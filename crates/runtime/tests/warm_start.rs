@@ -14,7 +14,7 @@ const SEED: u64 = 2005;
 fn snapshot_restores_selector_scores_and_regions_exactly() {
     let specs = TenantSpec::record_suite(SEED, Scale::Test);
     let config = ServeConfig::default();
-    let out = serve(&specs, &config, 2);
+    let out = serve(&specs, &config, 2).unwrap();
 
     // Through bytes and back: the loaded snapshot is the saved one.
     let mut buf = Vec::new();
@@ -122,7 +122,7 @@ fn serve_snapshot_round_trips_through_disk() {
         .map(|w| TenantSpec::record(w, SEED, Scale::Test))
         .collect();
     let config = ServeConfig::default();
-    let out = serve(&specs, &config, 1);
+    let out = serve(&specs, &config, 1).unwrap();
     let dir = std::env::temp_dir().join(format!("rsel-snap-{}", std::process::id()));
     std::fs::create_dir_all(&dir).unwrap();
     let path = dir.join("serve.snap");
