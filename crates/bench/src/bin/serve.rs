@@ -41,6 +41,20 @@
 //!   checkpointed cache and rebuild from the top (for measuring what
 //!   warm reconnects buy).
 //!
+//! The content-addressed shared region store is controlled by:
+//!
+//! - `RSEL_SHARE` — nonzero enables share mode: identical regions
+//!   across tenants are deduplicated into refcounted per-shard store
+//!   entries, shard pressure is charged against *unique* bytes, and
+//!   the report gains `unique_bytes`/`logical_bytes`/`dedup_ratio`/
+//!   `shared_refs`;
+//! - `RSEL_REPLICAS` — serve N copies of each suite workload
+//!   (default 1), interleaved so identical tenants are co-admitted —
+//!   the homogeneous-traffic shape sharing is built for;
+//! - `RSEL_QUARANTINE_PENALTY` — a quarantined tenant (one whose
+//!   session panicked) is retried once with a fresh cold session
+//!   after this many rounds (0 = quarantine stays permanent).
+//!
 //! `RSEL_SNAPSHOT=path` enables warm-start persistence. Loading is
 //! *lenient* by default: a tenant whose saved state no longer matches
 //! the serving configuration cold-starts with a stderr warning (and is
@@ -122,6 +136,9 @@ fn main() {
     config.checkpoint_every = env_u64("RSEL_CHECKPOINT_EVERY", 0);
     config.admission_timeout = env_u64("RSEL_ADMIT_TIMEOUT", 0);
     config.reconnect_cold = std::env::var_os("RSEL_RECONNECT_COLD").is_some();
+    config.share = env_u64("RSEL_SHARE", 0) != 0;
+    config.quarantine_penalty = env_u64("RSEL_QUARANTINE_PENALTY", 0);
+    let replicas = env_u64("RSEL_REPLICAS", 1).max(1) as usize;
     if let Err(e) = config.churn.check() {
         eprintln!("FAIL: RSEL_CHURN_* knobs rejected: {e}");
         std::process::exit(1);
@@ -147,8 +164,17 @@ fn main() {
 
     eprintln!("recording the suite ({scale:?} scale)...");
     let t = Instant::now();
-    let specs = TenantSpec::record_suite(DEFAULT_SEED, scale);
+    let mut specs = TenantSpec::record_suite(DEFAULT_SEED, scale);
     eprintln!("  recorded in {:.1} ms", t.elapsed().as_secs_f64() * 1e3);
+    if replicas > 1 {
+        // Replicas clone the recordings (Arc-shared), not the serve
+        // state — each copy is an independent tenant.
+        specs = TenantSpec::replicate(specs, replicas);
+        eprintln!("  replicated x{replicas}: {} tenants", specs.len());
+    }
+    if config.share {
+        eprintln!("share mode enabled: content-addressed region store");
+    }
 
     // Warm-start from the snapshot when one is present on disk. The
     // lenient loader degrades semantically stale tenants to cold
@@ -244,7 +270,8 @@ fn main() {
         eprintln!(
             "  churn: {} disconnects, {} crashes, {} reconnects, \
              {} recovered epochs, {} checkpoints ({} B), \
-             {} shed arrivals ({} retries), {} quarantined",
+             {} shed arrivals ({} retries), {} quarantined \
+             ({} retried), mean admission wait {:.2} rounds",
             rep.disconnects(),
             rep.crashes(),
             rep.reconnects(),
@@ -254,6 +281,18 @@ fn main() {
             rep.queue.shed_arrivals,
             rep.queue.admission_retries,
             rep.quarantined_tenants(),
+            rep.quarantine_retries(),
+            rep.mean_admission_wait(),
+        );
+    }
+    if config.share {
+        eprintln!(
+            "  dedup: {} unique B for {} logical B (ratio {:.2}) at the \
+             peak barrier, {} shared refs",
+            rep.unique_bytes,
+            rep.logical_bytes,
+            rep.dedup_ratio(),
+            rep.shared_refs,
         );
     }
     if rep.warm_rejected_tenants > 0 {

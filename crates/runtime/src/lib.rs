@@ -34,6 +34,14 @@
 //!   epoch of every active session across `jobs` worker threads, then
 //!   a deterministic barrier applies shard pressure and policy
 //!   decisions in tenant order.
+//! - [`store`] — a **content-addressed shared region store**
+//!   (opt-in via [`ServeConfig::share`]): identical regions across
+//!   tenants — homogeneous traffic replaying the same recordings —
+//!   are fxhashed by canonical content ([`region_key`]) and
+//!   deduplicated into refcounted per-shard entries, so each shard
+//!   charges *unique* bytes against its budget while per-tenant
+//!   logical bytes stay reported, and pressure eviction drops a
+//!   shared entry from every referencing tenant at once.
 //! - [`snapshot`] — **persistence**: a versioned binary
 //!   [`ServeSnapshot`] format capturing every tenant's learned policy
 //!   state, cached regions, and fault blacklist, with a
@@ -81,6 +89,7 @@ pub mod serve;
 pub mod session;
 pub mod shard;
 pub mod snapshot;
+pub mod store;
 
 pub use churn::{ChaosConfig, ChurnConfig, LifecycleEvent, LifecycleKind, TenantLifecycle};
 pub use policy::{PolicyConfig, PolicyEngine, PolicyState, SwitchReason, SwitchRecord};
@@ -94,3 +103,4 @@ pub use snapshot::{
     RegionSnapshot, ServeSnapshot, SnapshotError, TenantSnapshot, WarmStart, load_snapshot,
     load_warm_start, save_snapshot, tenant_snapshot_bytes,
 };
+pub use store::{RegionStore, StoreEntry, StoreShardStats, StoreTotals, region_key, shard_of_key};

@@ -11,6 +11,21 @@ use crate::policy::SwitchRecord;
 use crate::snapshot::ServeSnapshot;
 use rsel_core::metrics::RunReport;
 
+/// Buckets in the log2 admission-wait histogram.
+pub const WAIT_BUCKETS: usize = 16;
+
+/// The log2 histogram bucket a wait of `rounds` falls in: bucket 0 is
+/// an immediate admission (zero rounds waited), bucket `k >= 1` covers
+/// waits in `[2^(k-1), 2^k)`, and the last bucket absorbs everything
+/// longer.
+pub fn wait_bucket(rounds: u64) -> usize {
+    if rounds == 0 {
+        0
+    } else {
+        (64 - rounds.leading_zeros() as usize).min(WAIT_BUCKETS - 1)
+    }
+}
+
 /// Admission-queue and scheduler statistics for a serving run.
 #[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct QueueStats {
@@ -35,6 +50,14 @@ pub struct QueueStats {
     /// retries until admitted, so shedding delays work, never drops
     /// it).
     pub admission_retries: u64,
+    /// Quarantined tenants re-admitted with a fresh cold session after
+    /// the quarantine penalty elapsed (zero when retries are off).
+    pub quarantine_retries: u64,
+    /// Log2 histogram of rounds waited from (re)arrival to admission,
+    /// one sample per admission: bucket 0 is an immediate admission,
+    /// bucket `k >= 1` covers waits in `[2^(k-1), 2^k)` rounds (see
+    /// [`wait_bucket`]).
+    pub admission_wait_hist: [u64; WAIT_BUCKETS],
 }
 
 /// One shard's lifetime statistics.
@@ -59,6 +82,15 @@ pub struct ShardReport {
     pub smc_invalidated: u64,
     /// Occupancy when the run ended.
     pub final_bytes: u64,
+    /// Share mode: peak unique (deduplicated) bytes the shard's store
+    /// held at any barrier. Zero with sharing off.
+    pub unique_bytes: u64,
+    /// Share mode: peak logical bytes (every holder charged) at any
+    /// barrier. Zero with sharing off.
+    pub logical_bytes: u64,
+    /// Share mode: peak refs beyond each entry's first holder — the
+    /// region copies dedup avoided storing. Zero with sharing off.
+    pub shared_refs: u64,
 }
 
 /// One tenant's serving summary.
@@ -78,6 +110,9 @@ pub struct TenantSummary {
     pub switches: u64,
     /// Round the session entered the active set.
     pub admitted_round: u64,
+    /// Rounds the tenant waited from first arrival to first admission
+    /// (the admission latency the queue and active limit cost it).
+    pub admission_wait: u64,
     /// Round the session finished.
     pub finished_round: u64,
     /// First round at which the tenant's policy engine was in the
@@ -127,8 +162,12 @@ pub struct TenantSummary {
     pub checkpoint_bytes: u64,
     /// Whether the tenant was quarantined: its session panicked or
     /// poisoned a lock, the failure was contained, and the tenant was
-    /// taken out of rotation with its partial metrics kept.
+    /// taken out of rotation with its partial metrics kept. With
+    /// retries enabled this is only set once the retry also failed.
     pub quarantined: bool,
+    /// Times the tenant was re-admitted with a fresh cold session
+    /// after a quarantine (at most one under the one-retry policy).
+    pub quarantine_retries: u64,
     /// Hit-rate dips opened by invalidation waves (see
     /// [`DipTracker`]).
     pub smc_dips: u64,
@@ -192,6 +231,19 @@ pub struct ServeReport {
     /// Rounds between periodic per-tenant checkpoints (zero =
     /// checkpoint only at graceful disconnects).
     pub checkpoint_every: u64,
+    /// Whether the content-addressed region store deduplicated
+    /// identical regions across tenants.
+    pub share_active: bool,
+    /// Share mode: peak total unique bytes the store held at any
+    /// barrier, summed over shards. Zero with sharing off.
+    pub unique_bytes: u64,
+    /// Share mode: total logical bytes at the barrier where the unique
+    /// peak was observed (same moment, so the ratio is a real observed
+    /// dedup factor). Zero with sharing off.
+    pub logical_bytes: u64,
+    /// Share mode: peak total refs beyond each entry's first holder.
+    /// Zero with sharing off.
+    pub shared_refs: u64,
     /// Scheduler and queue statistics.
     pub queue: QueueStats,
     /// Per-tenant summaries, in tenant order.
@@ -297,6 +349,34 @@ impl ServeReport {
         self.tenants.iter().map(|t| t.checkpoint_bytes).sum()
     }
 
+    /// Quarantine retries summed over all tenants.
+    pub fn quarantine_retries(&self) -> u64 {
+        self.tenants.iter().map(|t| t.quarantine_retries).sum()
+    }
+
+    /// Logical over unique bytes at the peak-occupancy barrier: how
+    /// many copies of the average cached byte dedup avoided storing.
+    /// 1.0 when nothing was shared, 0.0 when the store never held
+    /// anything (sharing off or an empty run).
+    pub fn dedup_ratio(&self) -> f64 {
+        if self.unique_bytes == 0 {
+            0.0
+        } else {
+            self.logical_bytes as f64 / self.unique_bytes as f64
+        }
+    }
+
+    /// Mean rounds from first arrival to first admission over all
+    /// tenants — the aggregate admission latency.
+    pub fn mean_admission_wait(&self) -> f64 {
+        if self.tenants.is_empty() {
+            0.0
+        } else {
+            self.tenants.iter().map(|t| t.admission_wait).sum::<u64>() as f64
+                / self.tenants.len() as f64
+        }
+    }
+
     /// Renders the report as JSON with a fixed field order: equal
     /// reports yield byte-identical strings, for any worker count.
     pub fn to_json(&self) -> String {
@@ -329,6 +409,7 @@ impl ServeReport {
             "  \"checkpoint_every\": {},\n",
             self.checkpoint_every
         ));
+        o.push_str(&format!("  \"share_active\": {},\n", self.share_active));
         o.push_str(&format!("  \"rounds\": {},\n", self.queue.rounds));
         o.push_str(&format!("  \"total_insts\": {},\n", self.total_insts));
         o.push_str(&format!(
@@ -393,6 +474,28 @@ impl ServeReport {
             "  \"checkpoint_bytes\": {},\n",
             self.checkpoint_bytes()
         ));
+        o.push_str(&format!(
+            "  \"quarantine_retries\": {},\n",
+            self.quarantine_retries()
+        ));
+        o.push_str(&format!("  \"unique_bytes\": {},\n", self.unique_bytes));
+        o.push_str(&format!("  \"logical_bytes\": {},\n", self.logical_bytes));
+        o.push_str(&format!("  \"shared_refs\": {},\n", self.shared_refs));
+        o.push_str(&format!("  \"dedup_ratio\": {:.4},\n", self.dedup_ratio()));
+        o.push_str(&format!(
+            "  \"mean_admission_wait\": {:.4},\n",
+            self.mean_admission_wait()
+        ));
+        let hist: Vec<String> = self
+            .queue
+            .admission_wait_hist
+            .iter()
+            .map(|n| n.to_string())
+            .collect();
+        o.push_str(&format!(
+            "  \"admission_wait_hist\": [{}],\n",
+            hist.join(", ")
+        ));
         o.push_str("  \"tenants\": [\n");
         for (i, t) in self.tenants.iter().enumerate() {
             let first_exploit = match t.first_exploit_round {
@@ -402,13 +505,15 @@ impl ServeReport {
             o.push_str(&format!(
                 "    {{\"tenant\": {}, \"workload\": \"{}\", \"final_selector\": \"{}\", \
                  \"epochs\": {}, \"switches\": {}, \"admitted_round\": {}, \
+                 \"admission_wait\": {}, \
                  \"finished_round\": {}, \"first_exploit_round\": {}, \"total_insts\": {}, \
                  \"cache_insts\": {}, \"hit_rate\": {:.4}, \"insts_selected\": {}, \
                  \"regions_selected\": {}, \"pressure_evicted\": {}, \"smc_events\": {}, \
                  \"smc_invalidated\": {}, \"reformations\": {}, \"blacklisted_targets\": {}, \
                  \"blacklist_hits\": {}, \"disconnects\": {}, \"reconnects\": {}, \
                  \"crashes\": {}, \"recovered_epochs\": {}, \"checkpoints\": {}, \
-                 \"checkpoint_bytes\": {}, \"quarantined\": {}, \"smc_dips\": {}, \
+                 \"checkpoint_bytes\": {}, \"quarantined\": {}, \
+                 \"quarantine_retries\": {}, \"smc_dips\": {}, \
                  \"max_dip_depth\": {:.4}, \"max_dip_recovery_epochs\": {}}}{}\n",
                 t.tenant,
                 t.workload,
@@ -416,6 +521,7 @@ impl ServeReport {
                 t.epochs,
                 t.switches,
                 t.admitted_round,
+                t.admission_wait,
                 t.finished_round,
                 first_exploit,
                 t.total_insts,
@@ -436,6 +542,7 @@ impl ServeReport {
                 t.checkpoints,
                 t.checkpoint_bytes,
                 t.quarantined,
+                t.quarantine_retries,
                 t.smc_dips,
                 t.max_dip_depth,
                 t.max_dip_recovery_epochs,
@@ -448,7 +555,8 @@ impl ServeReport {
             o.push_str(&format!(
                 "    {{\"shard\": {}, \"peak_bytes\": {}, \"contended_rounds\": {}, \
                  \"pressure_waves\": {}, \"shed_actions\": {}, \"evicted_regions\": {}, \
-                 \"smc_invalidated\": {}, \"final_bytes\": {}}}{}\n",
+                 \"smc_invalidated\": {}, \"final_bytes\": {}, \"unique_bytes\": {}, \
+                 \"logical_bytes\": {}, \"shared_refs\": {}}}{}\n",
                 s.shard,
                 s.peak_bytes,
                 s.contended_rounds,
@@ -457,6 +565,9 @@ impl ServeReport {
                 s.evicted_regions,
                 s.smc_invalidated,
                 s.final_bytes,
+                s.unique_bytes,
+                s.logical_bytes,
+                s.shared_refs,
                 if i + 1 < self.shards.len() { "," } else { "" }
             ));
         }
@@ -584,7 +695,20 @@ pub struct DipSummary {
 
 #[cfg(test)]
 mod tests {
-    use super::DipTracker;
+    use super::{DipTracker, WAIT_BUCKETS, wait_bucket};
+
+    #[test]
+    fn wait_buckets_are_log2_with_a_zero_bucket() {
+        assert_eq!(wait_bucket(0), 0, "immediate admissions get bucket 0");
+        assert_eq!(wait_bucket(1), 1);
+        assert_eq!(wait_bucket(2), 2);
+        assert_eq!(wait_bucket(3), 2);
+        assert_eq!(wait_bucket(4), 3);
+        assert_eq!(wait_bucket(7), 3);
+        assert_eq!(wait_bucket(1 << 13), 14);
+        assert_eq!(wait_bucket(1 << 20), WAIT_BUCKETS - 1, "the tail absorbs");
+        assert_eq!(wait_bucket(u64::MAX), WAIT_BUCKETS - 1);
+    }
 
     #[test]
     fn calm_runs_report_no_dips() {

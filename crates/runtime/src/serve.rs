@@ -56,13 +56,14 @@
 use crate::churn::{ChaosConfig, ChurnConfig, LifecycleKind, TenantLifecycle};
 use crate::policy::{PolicyConfig, PolicyEngine, SwitchRecord};
 use crate::report::{
-    DipTracker, QueueStats, ServeOutcome, ServeReport, ShardReport, TenantSummary,
+    DipTracker, QueueStats, ServeOutcome, ServeReport, ShardReport, TenantSummary, wait_bucket,
 };
 use crate::session::{EpochStats, TenantSession, TenantSpec};
 use crate::shard::SharedCacheMap;
 use crate::snapshot::{
     ServeSnapshot, SnapshotError, TenantSnapshot, WarmStart, tenant_snapshot_bytes,
 };
+use crate::store::{RegionStore, StoreShardStats, debug_check_consistency};
 use rsel_core::{RegionId, SimConfig};
 use std::collections::{BTreeMap, VecDeque};
 use std::fmt;
@@ -172,6 +173,19 @@ pub struct ServeConfig {
     /// blacklist — the control arm for measuring what checkpointed
     /// warm reconnects are worth.
     pub reconnect_cold: bool,
+    /// Content-addressed region sharing: identical regions across
+    /// tenants are deduplicated through the
+    /// [`RegionStore`](crate::RegionStore) — each shard charges
+    /// *unique* bytes against `shard_capacity` (logical per-tenant
+    /// bytes stay reported), regions shard by content key instead of
+    /// `(tenant, entry)`, and pressure eviction drops shared entries
+    /// from every referencing tenant at once.
+    pub share: bool,
+    /// Rounds a quarantined tenant sits out before re-admission with
+    /// a fresh cold session (one retry per tenant — a second
+    /// quarantine drops it for the run). Zero keeps the original
+    /// behavior: quarantine drops the tenant immediately.
+    pub quarantine_penalty: u64,
 }
 
 impl Default for ServeConfig {
@@ -190,6 +204,8 @@ impl Default for ServeConfig {
             checkpoint_every: 0,
             admission_timeout: 0,
             reconnect_cold: false,
+            share: false,
+            quarantine_penalty: 0,
         }
     }
 }
@@ -439,7 +455,10 @@ fn serve_impl(
             s.to_vec()
         }
     };
-    let mut map = SharedCacheMap::new(config.shard_count, config.shard_capacity, specs.len());
+    let mut map = SharedCacheMap::new(config.shard_count, config.shard_capacity);
+    // Share mode: the content-addressed store dedups identical regions
+    // across tenants; absent, every tenant pays for its own copies.
+    let mut store = config.share.then(|| RegionStore::new(config.shard_count));
     let mut engines: Vec<PolicyEngine> = Vec::with_capacity(specs.len());
     let mut sessions: Vec<Mutex<Option<TenantSession<'_>>>> = Vec::with_capacity(specs.len());
     let mut checkpoints: Vec<Option<Checkpoint>> = Vec::with_capacity(specs.len());
@@ -505,6 +524,20 @@ fn serve_impl(
         .collect();
     let mut admitted_round = vec![0u64; specs.len()];
     let mut finished_round = vec![0u64; specs.len()];
+    // When each tenant last (re)arrived — the admission-latency clock.
+    // Shed pushbacks do not reset it: a shed tenant's wait is honest
+    // about the whole time since it first asked for service.
+    let mut arrived_at: Vec<u64> = lifecycles.iter().map(|l| l.arrival_round).collect();
+    let mut admission_wait = vec![0u64; specs.len()];
+    // Quarantine-retry state: one fresh-session retry per tenant.
+    let mut retried = vec![false; specs.len()];
+    let mut retry_pending = vec![false; specs.len()];
+    let mut quarantine_retries = vec![0u64; specs.len()];
+    // The chaos pill is one-shot per serve: once it fired (and the
+    // tenant was quarantined), a retried session must not re-arm it —
+    // it models a transient defect, and an eternal pill would make
+    // the retry path untestable.
+    let mut poison_spent = false;
     let mut first_exploit_round: Vec<Option<u64>> = vec![None; specs.len()];
     let mut dips: Vec<DipTracker> = vec![DipTracker::default(); specs.len()];
     let mut was_admitted = vec![false; specs.len()];
@@ -588,7 +621,7 @@ fn serve_impl(
                     config,
                 ));
             }
-            if config.chaos.poison_tenant == Some(t as u16) {
+            if config.chaos.poison_tenant == Some(t as u16) && !poison_spent {
                 // The pill fires at a *lifetime* epoch; a session that
                 // starts mid-life arms the remainder.
                 let remaining = config.chaos.poison_epoch.saturating_sub(ledgers[t].epochs);
@@ -596,12 +629,20 @@ fn serve_impl(
                     session.poison_after(remaining);
                 }
             }
-            if was_admitted[t] {
+            if retry_pending[t] {
+                // Quarantine retry: a fresh cold admission, not a
+                // churn reconnect.
+                retry_pending[t] = false;
+            } else if was_admitted[t] {
                 ledgers[t].reconnects += 1;
             } else {
                 was_admitted[t] = true;
                 admitted_round[t] = round;
+                admission_wait[t] = round - arrived_at[t];
             }
+            // Every admission (first, reconnect, retry) lands one
+            // sample in the log2 wait histogram.
+            q.admission_wait_hist[wait_bucket(round - arrived_at[t])] += 1;
             waiting_rounds[t] = 0;
             active.push(t);
             q.admissions += 1;
@@ -642,6 +683,7 @@ fn serve_impl(
             // unwinds past here, on any worker.
             let sessions_ref = &sessions;
             let map_ref = &map;
+            let store_ref = store.as_ref();
             let run_one = |t: usize| -> Outcome {
                 let ran = catch_unwind(AssertUnwindSafe(|| {
                     let mut guard = match sessions_ref[t].lock() {
@@ -650,7 +692,10 @@ fn serve_impl(
                     };
                     let session = guard.as_mut()?;
                     let e = session.run_epoch(config.epoch_len);
-                    session.publish_occupancy(map_ref);
+                    match store_ref {
+                        Some(st) => session.publish_shared(map_ref, st),
+                        None => session.publish_occupancy(map_ref),
+                    }
                     Some(e)
                 }));
                 match ran {
@@ -691,6 +736,9 @@ fn serve_impl(
 
         // --- Barrier: all cross-tenant decisions, serial --------------
         map.end_round();
+        if let Some(store) = store.as_mut() {
+            store.end_round();
+        }
         for &t in &active {
             if let Some(Outcome::Ran(e)) = outcomes[t] {
                 total_insts += e.insts;
@@ -717,10 +765,45 @@ fn serve_impl(
                     // final report, take the tenant out of rotation,
                     // and keep serving everyone else.
                     sessions[t].clear_poison();
-                    ledgers[t].quarantined = true;
-                    finished_round[t] = round;
+                    if config.chaos.poison_tenant == Some(t as u16) {
+                        poison_spent = true;
+                    }
                     map.clear_tenant(t as u16);
-                    live -= 1;
+                    if let Some(store) = store.as_mut() {
+                        store.release_tenant(t as u16);
+                    }
+                    if config.quarantine_penalty > 0 && !retried[t] {
+                        // Retry: tear the defective session down
+                        // entirely (its monotone counters fold into
+                        // the ledger — the work happened) and
+                        // re-admit fresh and cold after the penalty.
+                        // A second quarantine drops the tenant for
+                        // good.
+                        retried[t] = true;
+                        retry_pending[t] = true;
+                        quarantine_retries[t] += 1;
+                        q.quarantine_retries += 1;
+                        let slot = sessions[t]
+                            .get_mut()
+                            .unwrap_or_else(PoisonError::into_inner);
+                        if let Some(session) = slot.take() {
+                            ledgers[t].fold_session(&session);
+                        }
+                        // The fresh engine restarts its learning;
+                        // decisions already logged stay logged, same
+                        // bookkeeping as a crash rewind.
+                        ledgers[t].forgotten_switches += engines[t].switches();
+                        engines[t] = PolicyEngine::new(config.policy.clone());
+                        checkpoints[t] = None;
+                        due.entry(round + config.quarantine_penalty)
+                            .or_default()
+                            .push(t);
+                        arrived_at[t] = round + config.quarantine_penalty;
+                    } else {
+                        ledgers[t].quarantined = true;
+                        finished_round[t] = round;
+                        live -= 1;
+                    }
                 }
                 Some(Outcome::Ran(_)) => {
                     let finished = {
@@ -731,9 +814,13 @@ fn serve_impl(
                     };
                     if finished {
                         // The session is retained for the final report
-                        // and snapshot; only its shard bytes release.
+                        // and snapshot; only its shard bytes (and
+                        // store refs) release.
                         finished_round[t] = round;
                         map.clear_tenant(t as u16);
+                        if let Some(store) = store.as_mut() {
+                            store.release_tenant(t as u16);
+                        }
                         live -= 1;
                         continue;
                     }
@@ -794,7 +881,11 @@ fn serve_impl(
                                 }
                             }
                             map.clear_tenant(t as u16);
+                            if let Some(store) = store.as_mut() {
+                                store.release_tenant(t as u16);
+                            }
                             due.entry(round + ev.gap).or_default().push(t);
+                            arrived_at[t] = round + ev.gap;
                         }
                     }
                 }
@@ -802,71 +893,110 @@ fn serve_impl(
         }
         active = still_active;
 
-        // Shard pressure: each overflowing shard is one pressure wave.
-        // The wave's whole victim set is planned first (heaviest tenant
-        // sheds the oldest half of its regions there, repeatedly, until
-        // the shard fits), then applied with a single eviction pass per
-        // victim tenant — the repeated cache rebuilds of per-batch
-        // eviction were quadratic in the region count.
-        for shard in map.overflowing() {
-            map.note_wave(shard);
-            let mut bytes = map.shard_bytes(shard);
-            // Per-tenant surviving regions in the shard (fetched
-            // lazily; only victims pay the scan) and planned victims.
-            let mut remaining: Vec<Option<VecDeque<(RegionId, u64)>>> = vec![None; specs.len()];
-            let mut doomed: Vec<Vec<RegionId>> = vec![Vec::new(); specs.len()];
-            let mut zeroed: Vec<usize> = Vec::new();
-            while bytes.iter().sum::<u64>() > map.capacity() {
-                let mut victim = 0usize;
-                for (t, &b) in bytes.iter().enumerate() {
-                    if b > bytes[victim] {
-                        victim = t;
+        // Shard pressure. In share mode the budget covers *unique*
+        // bytes and the store plans the wave: victim entries go
+        // largest-first, and evicting a shared entry drops it from
+        // every referencing tenant at once. Without sharing, each
+        // overflowing shard plans its whole victim set first (heaviest
+        // tenant sheds the oldest half of its regions there,
+        // repeatedly, until the shard fits), then applies it with a
+        // single eviction pass per victim tenant — the repeated cache
+        // rebuilds of per-batch eviction were quadratic in the region
+        // count.
+        if let Some(store) = store.as_mut() {
+            for shard in store.overflowing(config.shard_capacity) {
+                map.note_wave(shard);
+                let wave = store.plan_wave(shard, config.shard_capacity);
+                // Group the doomed keys by holder tenant; each victim
+                // tenant takes one eviction pass, in tenant order.
+                let mut by_tenant: BTreeMap<u16, Vec<u64>> = BTreeMap::new();
+                for (key, entry) in &wave {
+                    for &holder in &entry.holders {
+                        by_tenant.entry(holder).or_default().push(*key);
                     }
                 }
-                if bytes[victim] == 0 {
-                    break; // nothing shedable is left in this shard
-                }
-                let regs = remaining[victim].get_or_insert_with(|| {
-                    sessions[victim]
-                        .get_mut()
-                        .unwrap_or_else(PoisonError::into_inner)
-                        .as_ref()
-                        .map(|s| s.shard_regions(shard).into())
-                        .unwrap_or_default()
-                });
-                if regs.is_empty() {
-                    // The ledger says the tenant holds bytes here but
-                    // no live region backs them; zero the entry so the
-                    // wave cannot spin on it.
-                    bytes[victim] = 0;
-                    zeroed.push(victim);
-                    map.note_shed(shard, 0);
-                    break;
-                }
-                let count = regs.len().div_ceil(2);
-                for _ in 0..count {
-                    let (id, _) = regs.pop_front().expect("count <= len");
-                    doomed[victim].push(id);
-                }
-                map.note_shed(shard, count as u64);
-                bytes[victim] = regs.iter().map(|&(_, b)| b).sum();
-            }
-            // Apply the plan, one eviction pass per victim tenant.
-            for (t, ids) in doomed.iter().enumerate() {
-                if !ids.is_empty() {
-                    if let Some(session) = sessions[t]
+                for (tenant, keys) in &by_tenant {
+                    let (evicted, left) = sessions[*tenant as usize]
                         .get_mut()
                         .unwrap_or_else(PoisonError::into_inner)
                         .as_mut()
-                    {
-                        session.evict_planned(shard, ids, bytes[t]);
-                    }
-                    map.set_bytes(shard, t as u16, bytes[t]);
+                        .map(|s| s.evict_shared(shard, keys))
+                        .unwrap_or((0, 0));
+                    map.note_shed(shard, evicted);
+                    map.set_bytes(shard, *tenant, left);
                 }
             }
-            for &t in &zeroed {
-                map.set_bytes(shard, t as u16, 0);
+        } else {
+            for shard in map.overflowing() {
+                map.note_wave(shard);
+                // The shard's residents, ascending tenant order.
+                let mut bytes = map.shard_bytes(shard);
+                // Per-tenant surviving regions in the shard (fetched
+                // lazily; only victims pay the scan) and planned
+                // victims, keyed by tenant id.
+                let mut remaining: BTreeMap<u16, VecDeque<(RegionId, u64)>> = BTreeMap::new();
+                let mut doomed: BTreeMap<u16, Vec<RegionId>> = BTreeMap::new();
+                let mut zeroed: Vec<u16> = Vec::new();
+                while bytes.iter().map(|&(_, b)| b).sum::<u64>() > map.capacity() {
+                    // Heaviest resident; ties go to the lowest tenant
+                    // id (the vec is tenant-ascending).
+                    let mut victim = 0usize;
+                    for (i, &(_, b)) in bytes.iter().enumerate() {
+                        if b > bytes[victim].1 {
+                            victim = i;
+                        }
+                    }
+                    let tv = bytes[victim].0;
+                    if bytes[victim].1 == 0 {
+                        break; // nothing shedable is left in this shard
+                    }
+                    let regs = remaining.entry(tv).or_insert_with(|| {
+                        sessions[tv as usize]
+                            .get_mut()
+                            .unwrap_or_else(PoisonError::into_inner)
+                            .as_ref()
+                            .map(|s| s.shard_regions(shard).into())
+                            .unwrap_or_default()
+                    });
+                    if regs.is_empty() {
+                        // The ledger says the tenant holds bytes here
+                        // but no live region backs them; zero the entry
+                        // so the wave cannot spin on it.
+                        bytes[victim].1 = 0;
+                        zeroed.push(tv);
+                        map.note_shed(shard, 0);
+                        break;
+                    }
+                    let count = regs.len().div_ceil(2);
+                    for _ in 0..count {
+                        let (id, _) = regs.pop_front().expect("count <= len");
+                        doomed.entry(tv).or_default().push(id);
+                    }
+                    map.note_shed(shard, count as u64);
+                    bytes[victim].1 = regs.iter().map(|&(_, b)| b).sum();
+                }
+                // Apply the plan, one eviction pass per victim tenant.
+                let left: BTreeMap<u16, u64> = bytes.iter().copied().collect();
+                for (t, ids) in &doomed {
+                    if !ids.is_empty() {
+                        if let Some(session) = sessions[*t as usize]
+                            .get_mut()
+                            .unwrap_or_else(PoisonError::into_inner)
+                            .as_mut()
+                        {
+                            session.evict_planned(shard, ids, left[t]);
+                        }
+                        map.set_bytes(shard, *t, left[t]);
+                    }
+                }
+                for &t in &zeroed {
+                    map.set_bytes(shard, t, 0);
+                }
             }
+        }
+        if let Some(store) = store.as_mut() {
+            store.check_invariants();
+            debug_check_consistency(store, &mut map);
         }
 
         // Policy decisions, tenant order.
@@ -974,6 +1104,7 @@ fn serve_impl(
             epochs: led.epochs,
             switches: engines[t].switches() + led.forgotten_switches,
             admitted_round: admitted_round[t],
+            admission_wait: admission_wait[t],
             finished_round: finished_round[t],
             first_exploit_round: first_exploit_round[t],
             total_insts: led.total_insts,
@@ -993,6 +1124,7 @@ fn serve_impl(
             checkpoints: led.checkpoints,
             checkpoint_bytes: led.checkpoint_bytes,
             quarantined: led.quarantined,
+            quarantine_retries: quarantine_retries[t],
             smc_dips: dip.dips,
             max_dip_depth: dip.max_depth,
             max_dip_recovery_epochs: dip.max_recovery_epochs,
@@ -1000,6 +1132,11 @@ fn serve_impl(
         run_reports.push(session.report());
         snapshot_tenants.push(freeze_tenant(session, &engines[t]));
     }
+    let store_totals = store.as_ref().map(|s| s.totals()).unwrap_or_default();
+    let store_stats: Vec<StoreShardStats> = match store {
+        Some(s) => s.into_stats(),
+        None => vec![StoreShardStats::default(); config.shard_count],
+    };
     let shards = map
         .into_stats()
         .into_iter()
@@ -1013,6 +1150,9 @@ fn serve_impl(
             evicted_regions: s.evicted_regions,
             smc_invalidated: shard_smc[i],
             final_bytes,
+            unique_bytes: store_stats[i].peak_unique_bytes,
+            logical_bytes: store_stats[i].peak_logical_bytes,
+            shared_refs: store_stats[i].peak_shared_refs,
         })
         .collect();
 
@@ -1033,6 +1173,10 @@ fn serve_impl(
             churn_active: config.churn.active(),
             churn_seed: config.churn.seed,
             checkpoint_every: config.checkpoint_every,
+            share_active: config.share,
+            unique_bytes: store_totals.unique_bytes,
+            logical_bytes: store_totals.logical_bytes,
+            shared_refs: store_totals.shared_refs,
             queue: q,
             tenants,
             shards,
@@ -1480,6 +1624,177 @@ mod tests {
                 "tenant {t} unaffected by the quarantine"
             );
         }
+    }
+
+    #[test]
+    fn quarantine_retry_readmits_once_with_a_fresh_session() {
+        let specs: Vec<TenantSpec> = suite()
+            .iter()
+            .take(3)
+            .map(|w| TenantSpec::record(w, 7, Scale::Test))
+            .collect();
+        let config = ServeConfig {
+            chaos: ChaosConfig {
+                poison_tenant: Some(1),
+                poison_epoch: 2,
+            },
+            quarantine_penalty: 3,
+            ..ServeConfig::default()
+        };
+        let one = serve(&specs, &config, 1).unwrap();
+        let eight = serve(&specs, &config, 8).unwrap();
+        assert_eq!(one.report, eight.report, "retry is deterministic");
+        assert_eq!(one.run_reports, eight.run_reports);
+        assert_eq!(one.snapshot, eight.snapshot);
+        // The pill fired once, the tenant sat out the penalty, came
+        // back cold, and this time (the pill is spent) finished.
+        assert_eq!(one.report.quarantine_retries(), 1);
+        assert_eq!(one.report.tenants[1].quarantine_retries, 1);
+        assert_eq!(one.report.quarantined_tenants(), 0, "the retry saved it");
+        let calm = serve(&specs, &ServeConfig::default(), 1).unwrap();
+        assert!(
+            one.report.tenants[1].total_insts >= calm.report.tenants[1].total_insts,
+            "the fresh session replays the whole workload"
+        );
+        for t in [0usize, 2] {
+            assert_eq!(
+                one.report.tenants[t].total_insts, calm.report.tenants[t].total_insts,
+                "tenant {t} unaffected by the retry"
+            );
+        }
+    }
+
+    #[test]
+    fn zero_penalty_keeps_quarantine_permanent() {
+        let specs = two_specs();
+        let config = ServeConfig {
+            chaos: ChaosConfig {
+                poison_tenant: Some(0),
+                poison_epoch: 1,
+            },
+            ..ServeConfig::default()
+        };
+        let out = serve(&specs, &config, 1).unwrap();
+        assert_eq!(out.report.quarantined_tenants(), 1);
+        assert_eq!(out.report.quarantine_retries(), 0);
+    }
+
+    #[test]
+    fn admission_wait_histogram_accounts_every_admission() {
+        let specs: Vec<TenantSpec> = suite()
+            .iter()
+            .take(6)
+            .map(|w| TenantSpec::record(w, 7, Scale::Test))
+            .collect();
+        let config = ServeConfig {
+            max_active: 2,
+            queue_capacity: 1,
+            ..ServeConfig::default()
+        };
+        let out = serve(&specs, &config, 1).unwrap();
+        let q = &out.report.queue;
+        assert_eq!(
+            q.admission_wait_hist.iter().sum::<u64>(),
+            q.admissions,
+            "one histogram sample per admission"
+        );
+        assert!(q.admission_wait_hist[0] > 0, "someone got in immediately");
+        assert!(
+            q.admission_wait_hist[1..].iter().sum::<u64>() > 0,
+            "the bounded queue made someone wait: {:?}",
+            q.admission_wait_hist
+        );
+        // With no churn everyone arrives at round zero, so each
+        // tenant's wait is exactly its admission round.
+        for t in &out.report.tenants {
+            assert_eq!(t.admission_wait, t.admitted_round);
+        }
+        assert!(out.report.mean_admission_wait() > 0.0);
+    }
+
+    #[test]
+    fn shared_serving_dedups_identical_tenants() {
+        // Four replicas of two workloads: the store should hold one
+        // copy of each workload's regions while eight tenants run.
+        let specs = TenantSpec::replicate(two_specs(), 4);
+        let config = ServeConfig {
+            share: true,
+            ..ServeConfig::default()
+        };
+        let one = serve(&specs, &config, 1).unwrap();
+        let eight = serve(&specs, &config, 8).unwrap();
+        assert_eq!(one.report, eight.report, "share mode is deterministic");
+        assert_eq!(one.run_reports, eight.run_reports);
+        assert_eq!(one.snapshot, eight.snapshot);
+        assert!(one.report.share_active);
+        assert!(one.report.unique_bytes > 0);
+        assert!(one.report.shared_refs > 0, "replicas shared entries");
+        assert!(
+            one.report.dedup_ratio() > 1.5,
+            "homogeneous tenants must dedup: {}",
+            one.report.dedup_ratio()
+        );
+        // The dedup payoff: unique bytes stay near the 1-replica run
+        // instead of scaling with the tenant count.
+        let base = serve(&two_specs(), &config, 1).unwrap();
+        assert!(
+            one.report.unique_bytes <= 2 * base.report.unique_bytes,
+            "unique bytes scaled with replicas: {} vs {}",
+            one.report.unique_bytes,
+            base.report.unique_bytes
+        );
+        // Per-shard stats are populated and consistent.
+        for s in &one.report.shards {
+            assert!(s.unique_bytes <= s.logical_bytes);
+        }
+    }
+
+    #[test]
+    fn share_mode_does_not_change_any_tenants_execution() {
+        // Parity: with capacity high enough that pressure never fires,
+        // sharing is pure accounting — every tenant's run report and
+        // snapshot must be byte-identical to the unshared serve.
+        let specs = two_specs();
+        let off_cfg = ServeConfig {
+            shard_capacity: u64::MAX,
+            ..ServeConfig::default()
+        };
+        let on_cfg = ServeConfig {
+            share: true,
+            shard_capacity: u64::MAX,
+            ..ServeConfig::default()
+        };
+        let off = serve(&specs, &off_cfg, 1).unwrap();
+        let on = serve(&specs, &on_cfg, 1).unwrap();
+        assert_eq!(off.run_reports, on.run_reports);
+        assert_eq!(off.snapshot, on.snapshot);
+        assert_eq!(off.report.total_insts, on.report.total_insts);
+        assert!(!off.report.share_active && on.report.share_active);
+        assert_eq!(off.report.unique_bytes, 0, "store inert with sharing off");
+    }
+
+    #[test]
+    fn shared_snapshot_warm_starts_and_rededups() {
+        // Snapshots store per-tenant regions (RSNP unchanged); a warm
+        // start into share mode re-dedups them on load.
+        let specs = TenantSpec::replicate(two_specs(), 2);
+        let config = ServeConfig {
+            share: true,
+            ..ServeConfig::default()
+        };
+        let cold = serve(&specs, &config, 1).unwrap();
+        let warm1 = serve_with(&specs, &config, 1, Some(&cold.snapshot)).unwrap();
+        let warm8 = serve_with(&specs, &config, 8, Some(&cold.snapshot)).unwrap();
+        assert_eq!(warm1.report, warm8.report);
+        assert_eq!(warm1.run_reports, warm8.run_reports);
+        assert_eq!(warm1.snapshot, warm8.snapshot);
+        assert!(warm1.report.warm_started);
+        assert!(warm1.report.unique_bytes > 0);
+        assert!(
+            warm1.report.dedup_ratio() > 1.0,
+            "restored replicas re-dedup: {}",
+            warm1.report.dedup_ratio()
+        );
     }
 
     #[test]

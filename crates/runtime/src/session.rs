@@ -11,21 +11,31 @@
 
 use crate::shard::{SharedCacheMap, shard_of};
 use crate::snapshot::{RegionSnapshot, SnapshotError, TenantSnapshot};
+use crate::store::{RegionStore, region_key, shard_of_key};
 use rsel_core::metrics::RunReport;
 use rsel_core::select::SelectorKind;
 use rsel_core::{RegionId, SimConfig, Simulator};
 use rsel_program::{Executor, Program};
 use rsel_trace::{CompactStream, DecodedStream};
 use rsel_workloads::{Scale, Workload, suite};
+use std::collections::BTreeMap;
+use std::sync::Arc;
 
 /// A workload prepared for serving: the built program plus its full
 /// recorded execution (kept both compact, for persistence-shaped
 /// parity tests, and decoded once into dense arrays for serving),
 /// replayable by any number of sessions.
+///
+/// The program and recording sit behind `Arc`s, so cloning a spec is
+/// a refcount bump — that is what makes tenant replication
+/// (`RSEL_REPLICAS`, thousands of homogeneous tenants over the same
+/// twelve recordings) affordable: N tenants share one recording
+/// instead of re-recording or deep-copying it N times.
+#[derive(Clone)]
 pub struct TenantSpec {
     name: &'static str,
-    program: Program,
-    decoded: DecodedStream,
+    program: Arc<Program>,
+    decoded: Arc<DecodedStream>,
 }
 
 impl TenantSpec {
@@ -36,8 +46,8 @@ impl TenantSpec {
         let decoded = DecodedStream::decode(stream, &program);
         TenantSpec {
             name: workload.name(),
-            program,
-            decoded,
+            program: Arc::new(program),
+            decoded: Arc::new(decoded),
         }
     }
 
@@ -47,6 +57,21 @@ impl TenantSpec {
         suite()
             .iter()
             .map(|w| TenantSpec::record(w, seed, scale))
+            .collect()
+    }
+
+    /// Clones each spec `replicas` times, *interleaved*: all replicas
+    /// of one workload get adjacent tenant ids, so a bounded
+    /// `max_active` admits identical tenants together and sharing can
+    /// actually overlap in time. One replica returns the specs as
+    /// given.
+    pub fn replicate(specs: Vec<TenantSpec>, replicas: usize) -> Vec<TenantSpec> {
+        if replicas <= 1 {
+            return specs;
+        }
+        specs
+            .into_iter()
+            .flat_map(|s| std::iter::repeat_n(s, replicas))
             .collect()
     }
 
@@ -110,6 +135,15 @@ impl EpochStats {
     }
 }
 
+/// A region's share-store bookkeeping: its content key, the key's
+/// shard, and the bytes charged for it.
+#[derive(Clone, Copy, Debug)]
+struct SharedRef {
+    key: u64,
+    shard: usize,
+    bytes: u64,
+}
+
 /// One tenant's live serving session.
 pub struct TenantSession<'p> {
     tenant: u16,
@@ -124,6 +158,14 @@ pub struct TenantSession<'p> {
     stub_bytes: u64,
     /// Occupancy last published to the shared map, per shard.
     published: Vec<u64>,
+    /// Share mode: content refs this session holds in the region
+    /// store, per live region id. Region ids are stable until a full
+    /// cache flush (tracked by `share_gen`), so only regions that
+    /// appeared since the last publish need hashing.
+    shared: BTreeMap<RegionId, SharedRef>,
+    /// Cache flush count at the last shared publish; a change means
+    /// every previously-tracked region id is invalid.
+    share_gen: u64,
     /// SMC invalidations attributed to each shard (by the killed
     /// region's entry address), accumulated over the whole session.
     smc_by_shard: Vec<u64>,
@@ -163,6 +205,8 @@ impl<'p> TenantSession<'p> {
             shard_count,
             stub_bytes: config.stub_bytes,
             published: vec![0; shard_count],
+            shared: BTreeMap::new(),
+            share_gen: 0,
             smc_by_shard: vec![0; shard_count],
             epochs_run: 0,
             finished: false,
@@ -367,6 +411,108 @@ impl<'p> TenantSession<'p> {
         }
     }
 
+    /// Share mode: publishes this tenant's occupancy through the
+    /// content-addressed store. Regions that appeared since the last
+    /// publish are hashed ([`region_key`]) and acquire a ref in the
+    /// key's shard; regions that vanished (SMC kills, flush waves,
+    /// pressure eviction applied at a barrier) release theirs. The
+    /// per-shard *logical* byte totals — grouped by content-key shard,
+    /// not by `(tenant, entry)` — then go to the capacity map exactly
+    /// like [`publish_occupancy`](TenantSession::publish_occupancy).
+    ///
+    /// Region ids are monotone until a full cache flush, so the diff
+    /// against the previous publish touches only changed regions; a
+    /// flush (the ids restart) is detected via the cache's flush count
+    /// and releases everything before re-acquiring the live set.
+    ///
+    /// All store updates are commutative refcount operations, so
+    /// worker scheduling cannot leak into the round's final state.
+    pub fn publish_shared(&mut self, map: &SharedCacheMap, store: &RegionStore) {
+        let flushes = self.sim.cache().flushes();
+        if flushes != self.share_gen {
+            for (_, r) in std::mem::take(&mut self.shared) {
+                store.release(r.shard, r.key, self.tenant);
+            }
+            self.share_gen = flushes;
+        }
+        let cache = self.sim.cache();
+        let live: Vec<RegionId> = cache.regions().iter().map(|r| r.id()).collect();
+        let dead: Vec<RegionId> = {
+            let live_set: std::collections::BTreeSet<RegionId> = live.iter().copied().collect();
+            self.shared
+                .keys()
+                .filter(|id| !live_set.contains(id))
+                .copied()
+                .collect()
+        };
+        for id in dead {
+            let r = self.shared.remove(&id).expect("collected from the map");
+            store.release(r.shard, r.key, self.tenant);
+        }
+        for region in self.sim.cache().regions() {
+            if self.shared.contains_key(&region.id()) {
+                continue;
+            }
+            let key = region_key(self.workload, region);
+            let shard = shard_of_key(key, self.shard_count);
+            let bytes = region.size_estimate(self.stub_bytes);
+            store.acquire(shard, key, bytes, self.tenant);
+            self.shared
+                .insert(region.id(), SharedRef { key, shard, bytes });
+        }
+        let mut occ = vec![0u64; self.shard_count];
+        for r in self.shared.values() {
+            occ[r.shard] += r.bytes;
+        }
+        let changes: Vec<(usize, u64)> = occ
+            .iter()
+            .enumerate()
+            .filter(|&(s, &b)| b != self.published[s])
+            .map(|(s, &b)| (s, b))
+            .collect();
+        if !changes.is_empty() {
+            map.publish(self.tenant, &changes);
+            self.published = occ;
+        }
+    }
+
+    /// Barrier-side share-mode pressure response: drops this
+    /// session's regions whose content keys are in `doomed` (all
+    /// belonging to store shard `shard` — the store already removed
+    /// the entries), returning `(regions evicted, logical bytes left
+    /// in the shard)`. The caller republishes the new total to the
+    /// capacity map.
+    pub fn evict_shared(&mut self, shard: usize, doomed: &[u64]) -> (u64, u64) {
+        let dead: Vec<RegionId> = self
+            .shared
+            .iter()
+            .filter(|(_, r)| r.shard == shard && doomed.contains(&r.key))
+            .map(|(&id, _)| id)
+            .collect();
+        for id in &dead {
+            self.shared.remove(id);
+        }
+        let evicted = self.sim.evict_regions(&dead) as u64;
+        let left: u64 = self
+            .shared
+            .values()
+            .filter(|r| r.shard == shard)
+            .map(|r| r.bytes)
+            .sum();
+        self.published[shard] = left;
+        (evicted, left)
+    }
+
+    /// Share mode: the content refs this session believes it holds —
+    /// `(store shard, key, bytes)` per live region, for invariant
+    /// checks.
+    pub fn shared_refs(&self) -> Vec<(usize, u64, u64)> {
+        self.shared
+            .values()
+            .map(|r| (r.shard, r.key, r.bytes))
+            .collect()
+    }
+
     /// Barrier-side pressure planning: this tenant's live regions in
     /// `shard`, in selection order, each with its size estimate. The
     /// scheduler plans a shard's whole victim set against these lists
@@ -506,7 +652,7 @@ mod tests {
     fn occupancy_tracks_cache_and_shedding() {
         let spec = spec();
         let cfg = SimConfig::default();
-        let map = SharedCacheMap::new(8, u64::MAX, 1);
+        let map = SharedCacheMap::new(8, u64::MAX);
         let mut s = TenantSession::new(0, &spec, SelectorKind::Net, &cfg, 8);
         while !s.finished() {
             s.run_epoch(2000);

@@ -4,10 +4,17 @@
 //! tenant's program is never executable by another), but they compete
 //! for shared cache capacity. The map tracks, per shard, how many
 //! estimated bytes each tenant's live regions occupy. A region belongs
-//! to the shard addressed by the fxhash of `(tenant, entry address)`,
-//! so one tenant's regions spread across shards and one shard mixes
-//! regions from many tenants — capacity pressure is a property of the
-//! *shared* cache, not of any single tenant.
+//! to the shard addressed by the fxhash of `(tenant, entry address)` —
+//! or, in share mode, by its content key alone (see
+//! [`shard_of_key`](crate::store::shard_of_key)) — so one tenant's
+//! regions spread across shards and one shard mixes regions from many
+//! tenants: capacity pressure is a property of the *shared* cache, not
+//! of any single tenant.
+//!
+//! Occupancy is held sparsely, keyed by tenant id: a slot only stores
+//! the tenants actually resident in it, so a 10k-tenant serve does not
+//! pay `shards × tenants` dense entries (the old representation) for a
+//! population where most tenants hold bytes in a few shards at a time.
 //!
 //! Workers update shards concurrently during a round (per-shard
 //! locking; updates are commutative, so worker scheduling cannot leak
@@ -16,6 +23,7 @@
 
 use rsel_program::Addr;
 use rsel_program::fxhash::FxHasher;
+use std::collections::BTreeMap;
 use std::hash::Hasher;
 use std::sync::{Mutex, PoisonError};
 
@@ -28,21 +36,30 @@ pub fn shard_of(tenant: u16, entry: Addr, shard_count: usize) -> usize {
     (h.finish() % shard_count as u64) as usize
 }
 
-/// One shard's occupancy: estimated bytes per tenant, plus which
-/// tenants touched it this round.
+/// One shard's occupancy: estimated bytes per resident tenant (sparse,
+/// tenant-id-keyed), plus which tenants touched it this round.
 #[derive(Debug, Default)]
 struct Slot {
-    /// Estimated bytes per tenant (dense by tenant id).
-    bytes: Vec<u64>,
-    /// Tenants that published an update this round (dense by tenant
-    /// id). Distinct count ≥ 2 means the shard's lock was shared by
-    /// concurrent sessions this round — the contention metric.
-    touched: Vec<bool>,
+    /// Estimated bytes per tenant; zero-byte tenants are absent.
+    bytes: BTreeMap<u16, u64>,
+    /// Tenants that published an update this round. Distinct count
+    /// ≥ 2 means the shard's lock was shared by concurrent sessions
+    /// this round — the contention metric. Small per round, so a
+    /// linear-scanned vec beats a set.
+    touched: Vec<u16>,
 }
 
 impl Slot {
     fn total(&self) -> u64 {
-        self.bytes.iter().sum()
+        self.bytes.values().sum()
+    }
+
+    fn set(&mut self, tenant: u16, bytes: u64) {
+        if bytes == 0 {
+            self.bytes.remove(&tenant);
+        } else {
+            self.bytes.insert(tenant, bytes);
+        }
     }
 }
 
@@ -84,18 +101,12 @@ pub struct SharedCacheMap {
 
 impl SharedCacheMap {
     /// Creates a map of `shard_count` shards, each budgeted `capacity`
-    /// estimated bytes, serving `tenants` tenants.
-    pub fn new(shard_count: usize, capacity: u64, tenants: usize) -> Self {
+    /// estimated bytes. Occupancy is sparse, so the map's size scales
+    /// with resident tenants, not the population.
+    pub fn new(shard_count: usize, capacity: u64) -> Self {
         assert!(shard_count > 0, "need at least one shard");
         SharedCacheMap {
-            slots: (0..shard_count)
-                .map(|_| {
-                    Mutex::new(Slot {
-                        bytes: vec![0; tenants],
-                        touched: vec![false; tenants],
-                    })
-                })
-                .collect(),
+            slots: (0..shard_count).map(|_| Mutex::default()).collect(),
             capacity,
             stats: vec![ShardLifetime::default(); shard_count],
         }
@@ -119,8 +130,10 @@ impl SharedCacheMap {
             let mut slot = self.slots[shard]
                 .lock()
                 .unwrap_or_else(PoisonError::into_inner);
-            slot.bytes[tenant as usize] = bytes;
-            slot.touched[tenant as usize] = true;
+            slot.set(tenant, bytes);
+            if !slot.touched.contains(&tenant) {
+                slot.touched.push(tenant);
+            }
         }
     }
 
@@ -129,11 +142,10 @@ impl SharedCacheMap {
     pub fn end_round(&mut self) {
         for (slot, stat) in self.slots.iter_mut().zip(self.stats.iter_mut()) {
             let slot = slot.get_mut().unwrap_or_else(PoisonError::into_inner);
-            let touches = slot.touched.iter().filter(|&&t| t).count();
-            if touches >= 2 {
+            if slot.touched.len() >= 2 {
                 stat.contended_rounds += 1;
             }
-            slot.touched.fill(false);
+            slot.touched.clear();
             stat.peak_bytes = stat.peak_bytes.max(slot.total());
         }
     }
@@ -152,21 +164,25 @@ impl SharedCacheMap {
             .collect()
     }
 
-    /// Barrier: per-tenant bytes held in `shard`.
-    pub fn shard_bytes(&mut self, shard: usize) -> Vec<u64> {
+    /// Barrier: the resident tenants of `shard` and their bytes, in
+    /// ascending tenant order. Zero-byte tenants are absent.
+    pub fn shard_bytes(&mut self, shard: usize) -> Vec<(u16, u64)> {
         self.slots[shard]
             .get_mut()
             .unwrap_or_else(PoisonError::into_inner)
             .bytes
-            .clone()
+            .iter()
+            .map(|(&t, &b)| (t, b))
+            .collect()
     }
 
-    /// Barrier: overwrites one tenant's byte total in `shard`.
+    /// Barrier: overwrites one tenant's byte total in `shard` (zero
+    /// removes the tenant from the slot).
     pub fn set_bytes(&mut self, shard: usize, tenant: u16, bytes: u64) {
         self.slots[shard]
             .get_mut()
             .unwrap_or_else(PoisonError::into_inner)
-            .bytes[tenant as usize] = bytes;
+            .set(tenant, bytes);
     }
 
     /// Barrier: records that `shard` was over capacity at this round's
@@ -190,7 +206,7 @@ impl SharedCacheMap {
         let mut reclaimed = 0;
         for slot in &mut self.slots {
             let slot = slot.get_mut().unwrap_or_else(PoisonError::into_inner);
-            reclaimed += std::mem::take(&mut slot.bytes[tenant as usize]);
+            reclaimed += slot.bytes.remove(&tenant).unwrap_or(0);
         }
         reclaimed
     }
@@ -234,16 +250,17 @@ mod tests {
 
     #[test]
     fn publish_and_pressure_accounting() {
-        let mut map = SharedCacheMap::new(4, 100, 3);
+        let mut map = SharedCacheMap::new(4, 100);
         map.publish(0, &[(1, 60)]);
         map.publish(1, &[(1, 70)]);
         map.publish(2, &[(2, 10)]);
         map.end_round();
         assert_eq!(map.overflowing(), vec![1]);
-        assert_eq!(map.shard_bytes(1), vec![60, 70, 0]);
+        assert_eq!(map.shard_bytes(1), vec![(0, 60), (1, 70)]);
         // Shard 1 saw two tenants this round; shard 2 only one.
         let stats = {
             map.set_bytes(1, 1, 0);
+            assert_eq!(map.shard_bytes(1), vec![(0, 60)], "zero bytes drop out");
             assert_eq!(map.overflowing(), Vec::<usize>::new());
             // One wave over the shard, resolved by two shed actions.
             map.note_wave(1);
@@ -264,10 +281,22 @@ mod tests {
 
     #[test]
     fn clear_tenant_reclaims_everything() {
-        let mut map = SharedCacheMap::new(2, 1000, 2);
+        let mut map = SharedCacheMap::new(2, 1000);
         map.publish(0, &[(0, 30), (1, 40)]);
         assert_eq!(map.total_bytes(), 70);
         assert_eq!(map.clear_tenant(0), 70);
         assert_eq!(map.total_bytes(), 0);
+    }
+
+    #[test]
+    fn occupancy_is_sparse_in_the_tenant_population() {
+        // Tenant ids far beyond any dense-vec sizing work immediately,
+        // and only resident tenants occupy slot memory.
+        let mut map = SharedCacheMap::new(2, 1000);
+        map.publish(u16::MAX, &[(0, 5)]);
+        map.publish(9_999, &[(0, 7)]);
+        assert_eq!(map.shard_bytes(0), vec![(9_999, 7), (u16::MAX, 5)]);
+        assert_eq!(map.clear_tenant(u16::MAX), 5);
+        assert_eq!(map.shard_bytes(0), vec![(9_999, 7)]);
     }
 }

@@ -32,6 +32,15 @@
 //! throws away everyone else's warm state. Structural failures (bad
 //! magic, framing, truncation, trailing bytes) still reject the file.
 //!
+//! Share mode ([`ServeConfig::share`](crate::ServeConfig::share))
+//! changes nothing here: snapshots always store each tenant's regions
+//! under its own namespace, exactly as unshared serving would, and the
+//! RSNP format carries no store state. A warm start under share mode
+//! simply re-hashes the restored regions through
+//! [`region_key`](crate::region_key) at the first publish barrier and
+//! re-deduplicates them into the content-addressed store — so the same
+//! snapshot file round-trips between shared and unshared runs.
+//!
 //! # Format (version 2)
 //!
 //! Little-endian throughout.
