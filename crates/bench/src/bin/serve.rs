@@ -3,9 +3,11 @@
 //!
 //! Scale follows `RSEL_SCALE` (`test` or `full`, default `test` — a
 //! full-scale serve replays ~10⁸ recorded steps). Worker count for the
-//! headline run follows `RSEL_JOBS`. The JSON contains nothing
-//! wall-clock- or worker-count-dependent, so the file is byte-identical
-//! for every `RSEL_JOBS`; wall time goes to stderr only.
+//! headline run follows `RSEL_JOBS`. The scheduler's report contains
+//! nothing wall-clock- or worker-count-dependent; the single
+//! exception in the file is `insts_per_sec`, which this bin measures
+//! from the headline run's wall time and stamps in *after* the
+//! determinism cross-check has passed on the wall-clock-free report.
 //!
 //! Fault traffic is enabled with the `RSEL_SMC_*` knobs (all rates in
 //! events per million executed blocks):
@@ -55,6 +57,22 @@
 //!   session panicked) is retried once with a fresh cold session
 //!   after this many rounds (0 = quarantine stays permanent).
 //!
+//! Selection-policy and eviction behavior:
+//!
+//! - `RSEL_POLICY` — `adaptive` (default) derives each tenant's
+//!   explore schedule from its decoded stream shape (short streams
+//!   get truncated schedules sized to reach exploit before they
+//!   finish); `extended` additionally explores all eight selector
+//!   algorithms instead of the core four; `legacy` restores the fixed
+//!   four-candidate schedule for every tenant;
+//! - `RSEL_UTILITY_EVICT` — nonzero ranks pressure victims by bytes
+//!   per recent cached instruction (cold bulk sheds first) instead of
+//!   raw byte footprint, per-tenant in each shard and per-entry in
+//!   the shared store;
+//! - `RSEL_SHARDS` / `RSEL_SHARD_CAP` — shard count (default 16) and
+//!   per-shard byte budget (default 2048), for dialing cache pressure
+//!   up or down when comparing eviction policies.
+//!
 //! `RSEL_SNAPSHOT=path` enables warm-start persistence. Loading is
 //! *lenient* by default: a tenant whose saved state no longer matches
 //! the serving configuration cold-starts with a stderr warning (and is
@@ -72,6 +90,7 @@
 
 use rsel_bench::harness::DEFAULT_SEED;
 use rsel_bench::jobs_from_env;
+use rsel_core::SelectorKind;
 use rsel_runtime::{
     ChurnConfig, ServeConfig, ServeOutcome, ServeReport, ServeSnapshot, TenantSpec, WarmStart,
     serve, serve_warm,
@@ -138,6 +157,34 @@ fn main() {
     config.reconnect_cold = std::env::var_os("RSEL_RECONNECT_COLD").is_some();
     config.share = env_u64("RSEL_SHARE", 0) != 0;
     config.quarantine_penalty = env_u64("RSEL_QUARANTINE_PENALTY", 0);
+    config.utility_evict = env_u64("RSEL_UTILITY_EVICT", 0) != 0;
+    config.shard_count = env_u64("RSEL_SHARDS", config.shard_count as u64).max(1) as usize;
+    config.shard_capacity = env_u64("RSEL_SHARD_CAP", config.shard_capacity);
+    // The policy engine needs the serving epoch length to size each
+    // tenant's explore schedule against its stream.
+    config.policy.epoch_len = config.epoch_len;
+    let policy_mode = std::env::var("RSEL_POLICY").unwrap_or_else(|_| "adaptive".to_string());
+    match policy_mode.as_str() {
+        "legacy" => {}
+        "adaptive" => config.policy.adaptive = true,
+        "extended" => {
+            config.policy.adaptive = true;
+            config.policy.candidates = SelectorKind::extended().to_vec();
+        }
+        other => {
+            eprintln!("FAIL: RSEL_POLICY must be legacy, adaptive, or extended, got {other:?}");
+            std::process::exit(1);
+        }
+    }
+    if policy_mode != "legacy" {
+        eprintln!(
+            "policy: {policy_mode} (stream-shaped explore schedules, {} candidates)",
+            config.policy.candidates.len()
+        );
+    }
+    if config.utility_evict {
+        eprintln!("utility eviction enabled: victims ranked by bytes per recent cached inst");
+    }
     let replicas = env_u64("RSEL_REPLICAS", 1).max(1) as usize;
     if let Err(e) = config.churn.check() {
         eprintln!("FAIL: RSEL_CHURN_* knobs rejected: {e}");
@@ -237,7 +284,7 @@ fn main() {
 
     eprintln!("serving {} tenants on {jobs} workers...", specs.len());
     let t = Instant::now();
-    let out = run(jobs);
+    let mut out = run(jobs);
     let serve_ms = t.elapsed().as_secs_f64() * 1e3;
     let rep = &out.report;
     eprintln!(
@@ -250,6 +297,25 @@ fn main() {
         rep.shed_actions(),
         rep.switches.len()
     );
+    {
+        let exploit = match rep.mean_rounds_to_first_exploit() {
+            Some(v) => format!("{v:.1}"),
+            None => "n/a".to_string(),
+        };
+        eprintln!(
+            "  exploit: {} mean rounds to first exploit, {} tenant(s) never got there",
+            exploit,
+            rep.never_exploited(),
+        );
+    }
+    if config.utility_evict {
+        let utility: u64 = rep.tenants.iter().map(|t| t.utility_evictions).sum();
+        eprintln!(
+            "  utility eviction: {} of {} pressure-evicted regions chosen by utility",
+            utility,
+            rep.tenants.iter().map(|t| t.pressure_evicted).sum::<u64>(),
+        );
+    }
     if config.sim.faults.active() {
         let dips: u64 = rep.tenants.iter().map(|t| t.smc_dips).sum();
         let worst = rep
@@ -358,6 +424,14 @@ fn main() {
         }
     } else {
         eprintln!("skipping 1-vs-8 cross-check (full scale; set RSEL_CROSSCHECK to force)");
+    }
+
+    // Wall-clock throughput is stamped in only now — after the
+    // cross-check compared the wall-clock-free reports — so the
+    // measured time can never participate in (or break) the 1-vs-8
+    // identity.
+    if serve_ms > 0.0 {
+        out.report.insts_per_sec = Some(out.report.total_insts as f64 / serve_ms * 1e3);
     }
 
     // Persist the end-of-run state so the next invocation warm-starts.

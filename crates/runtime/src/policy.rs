@@ -18,8 +18,28 @@
 //! Every decision is a pure function of epoch deltas, so the engine is
 //! deterministic and never couples tenants to each other or to the
 //! worker count.
+//!
+//! # Stream-adaptive candidates
+//!
+//! The fixed explore schedule has two pathologies the paper's
+//! workload-dependence observation predicts: a short-stream tenant
+//! burns its whole session exploring and never exploits, and every
+//! tenant pays the same exploration cost regardless of how obvious its
+//! control-flow character is. With [`PolicyConfig::adaptive`] on,
+//! [`derive_tenant_policy`] specializes the candidate list per tenant
+//! *before serving starts*, from data that is already deterministic:
+//! the decoded stream's length and its decode-time
+//! [`StreamStats`](rsel_trace::StreamStats). A feature-conditioned
+//! prior selector is moved to the front of the list (loop-heavy
+//! streams lean LEI-shaped, branchy ones lean combined, straight-line
+//! ones NET), and the explore schedule is truncated so a tenant with
+//! `E` expected epochs explores at most `ceil(E / 2)` candidates —
+//! short streams reach exploit, long streams may explore the full
+//! extended set. The derivation is a pure function of
+//! `(PolicyConfig, TenantSpec)`, so the snapshot loader can re-derive
+//! each tenant's candidate list and per-tenant state stays portable.
 
-use crate::session::EpochStats;
+use crate::session::{EpochStats, TenantSpec};
 use rsel_core::select::SelectorKind;
 
 /// Smoothing factor for the exploit-phase score average.
@@ -41,6 +61,16 @@ pub struct PolicyConfig {
     /// Epochs executing fewer instructions than this carry no signal
     /// (e.g. the trailing sliver of a stream) and make no decision.
     pub min_epoch_insts: u64,
+    /// Stream-adaptive mode: derive each tenant's candidate list from
+    /// its decoded stream ([`derive_tenant_policy`]) instead of using
+    /// `candidates` verbatim. Off by default — the legacy fixed
+    /// schedule stays bit-identical.
+    pub adaptive: bool,
+    /// Steps per serving epoch, used (only when `adaptive`) to
+    /// estimate how many epochs a stream will run and truncate the
+    /// explore schedule to fit. Keep equal to the scheduler's
+    /// `ServeConfig::epoch_len`.
+    pub epoch_len: usize,
 }
 
 impl Default for PolicyConfig {
@@ -50,8 +80,110 @@ impl Default for PolicyConfig {
             expansion_weight: 8.0,
             drop_margin: 0.15,
             min_epoch_insts: 1000,
+            adaptive: false,
+            epoch_len: 4096,
         }
     }
+}
+
+/// The program-shape features a tenant's adaptive policy was derived
+/// from, kept for the report: what the engine saw, which prior it
+/// chose, and how long its truncated explore schedule is.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct PolicyFeatures {
+    /// Expected serving epochs (`ceil(stream steps / epoch_len)`).
+    pub expected_epochs: u64,
+    /// Executed blocks in the recorded stream.
+    pub blocks: u64,
+    /// Mean instructions per executed block.
+    pub mean_block_insts: f64,
+    /// Taken branches per executed block.
+    pub taken_density: f64,
+    /// Backward taken branches over all taken branches (loopiness).
+    pub backward_fraction: f64,
+    /// The feature-conditioned prior: the first candidate explored.
+    pub prior: SelectorKind,
+    /// Length of the truncated explore schedule.
+    pub explore_len: u32,
+}
+
+/// Specializes `base` for one tenant (see the module docs): picks a
+/// feature-conditioned prior selector, moves it to the front of the
+/// candidate list, and truncates the list to `ceil(E / 2)` entries for
+/// a stream expected to run `E` epochs, so exploration never eats the
+/// whole session. A pure function of its arguments — the snapshot
+/// loader re-derives the same list when validating persisted state.
+///
+/// With `base.adaptive` off this is the identity: the base config
+/// comes back unchanged and no features are reported.
+pub fn derive_tenant_policy(
+    base: &PolicyConfig,
+    spec: &TenantSpec,
+) -> (PolicyConfig, Option<PolicyFeatures>) {
+    if !base.adaptive {
+        return (base.clone(), None);
+    }
+    let stats = spec.stream_stats();
+    let blocks = stats.blocks.max(1);
+    let mean_block_insts = stats.instructions as f64 / blocks as f64;
+    let taken_density = stats.taken_branches as f64 / blocks as f64;
+    let backward_fraction = if stats.taken_branches == 0 {
+        0.0
+    } else {
+        stats.backward_taken as f64 / stats.taken_branches as f64
+    };
+    let expected_epochs = (spec.len() as u64)
+        .div_ceil(base.epoch_len.max(1) as u64)
+        .max(1);
+    // The prior leans on the paper's characterization of the
+    // algorithms: loop-dominated streams favor the backward-taken
+    // anchoring of LEI, densely branchy ones the combined variants'
+    // wider join heuristics, and long straight-line blocks NET's
+    // next-executing-tail growth.
+    let prior = if backward_fraction >= 0.5 {
+        SelectorKind::Lei
+    } else if taken_density >= 0.6 {
+        SelectorKind::CombinedLei
+    } else if mean_block_insts >= 6.0 {
+        SelectorKind::Net
+    } else {
+        SelectorKind::CombinedNet
+    };
+    let mut candidates = Vec::with_capacity(base.candidates.len());
+    if let Some(pos) = base.candidates.iter().position(|&k| k == prior) {
+        candidates.push(base.candidates[pos]);
+        candidates.extend(
+            base.candidates
+                .iter()
+                .enumerate()
+                .filter(|&(i, _)| i != pos)
+                .map(|(_, &k)| k),
+        );
+    } else {
+        // A prior outside the configured pool falls back to the
+        // configured order.
+        candidates.extend(base.candidates.iter().copied());
+    }
+    let budget = expected_epochs
+        .div_ceil(2)
+        .clamp(1, candidates.len() as u64) as usize;
+    candidates.truncate(budget);
+    let features = PolicyFeatures {
+        expected_epochs,
+        blocks: stats.blocks,
+        mean_block_insts,
+        taken_density,
+        backward_fraction,
+        prior: candidates[0],
+        explore_len: candidates.len() as u32,
+    };
+    (
+        PolicyConfig {
+            candidates,
+            ..base.clone()
+        },
+        Some(features),
+    )
 }
 
 /// Why the engine switched selectors.
@@ -155,9 +287,18 @@ impl PolicyEngine {
     pub fn new(config: PolicyConfig) -> Self {
         assert!(!config.candidates.is_empty(), "need at least one candidate");
         let n = config.candidates.len();
+        // An adaptive engine whose schedule was truncated to a single
+        // candidate has nothing to explore: it exploits from epoch 0,
+        // which is what lets a one-epoch tenant report a first exploit
+        // round at all.
+        let phase = if config.adaptive && n == 1 {
+            Phase::Exploit
+        } else {
+            Phase::Explore { next: 1 }
+        };
         PolicyEngine {
             config,
-            phase: Phase::Explore { next: 1 },
+            phase,
             current: 0,
             scores: vec![None; n],
             ema: 0.0,
@@ -285,7 +426,11 @@ impl PolicyEngine {
                 }
             }
             Phase::Exploit => {
-                if score < self.ema - self.config.drop_margin {
+                // A single-candidate adaptive engine has no
+                // alternative to re-explore; cycling back through
+                // Explore would only flicker `exploiting()` off.
+                let sole = self.config.adaptive && self.config.candidates.len() == 1;
+                if score < self.ema - self.config.drop_margin && !sole {
                     // Phase shift: the winner stopped winning. Restart
                     // exploration from candidate 0.
                     self.scores.fill(None);
@@ -451,5 +596,124 @@ mod tests {
         assert_eq!(e.on_epoch(&epoch(10, 10, 0)), None);
         assert_eq!(e.current(), SelectorKind::Net, "still on the first");
         assert_eq!(e.switches(), 0);
+    }
+
+    #[test]
+    fn extended_pool_explores_all_eight_then_exploits() {
+        let config = PolicyConfig {
+            candidates: SelectorKind::extended().to_vec(),
+            ..PolicyConfig::default()
+        };
+        let mut e = PolicyEngine::new(config);
+        // Candidate 5 (BOA) scores best; everyone else ties at 0.5.
+        let mut moves = Vec::new();
+        for i in 0..8u64 {
+            let cache = if i == 5 { 9000 } else { 5000 };
+            if let Some(m) = e.on_epoch(&epoch(10_000, cache, 0)) {
+                moves.push(m);
+            }
+        }
+        assert_eq!(moves.len(), 8, "seven explore hops plus the adoption");
+        assert_eq!(moves[7], (SelectorKind::Boa, SwitchReason::Exploit));
+        assert!(e.exploiting());
+        assert_eq!(e.current(), SelectorKind::Boa);
+    }
+
+    #[test]
+    fn extended_state_export_restore_round_trips() {
+        let config = || PolicyConfig {
+            candidates: SelectorKind::extended().to_vec(),
+            ..PolicyConfig::default()
+        };
+        let mut e = PolicyEngine::new(config());
+        for i in 0..5u64 {
+            e.on_epoch(&epoch(10_000, 4000 + i * 500, 0));
+        }
+        let state = e.export();
+        assert_eq!(state.candidates.len(), 8);
+        let mut r = PolicyEngine::restore(config(), &state).unwrap();
+        assert_eq!(r.export(), state);
+        let next = epoch(10_000, 7000, 0);
+        assert_eq!(r.on_epoch(&next), e.on_epoch(&next));
+        // The legacy 4-candidate config must reject extended state.
+        assert!(PolicyEngine::restore(PolicyConfig::default(), &state).is_none());
+    }
+
+    fn spec() -> TenantSpec {
+        TenantSpec::record(&rsel_workloads::suite()[0], 7, rsel_workloads::Scale::Test)
+    }
+
+    #[test]
+    fn non_adaptive_derivation_is_the_identity() {
+        let base = PolicyConfig::default();
+        let (derived, features) = derive_tenant_policy(&base, &spec());
+        assert_eq!(derived.candidates, base.candidates);
+        assert!(features.is_none());
+    }
+
+    #[test]
+    fn adaptive_derivation_is_deterministic_and_prior_leads() {
+        let base = PolicyConfig {
+            adaptive: true,
+            ..PolicyConfig::default()
+        };
+        let spec = spec();
+        let (a, fa) = derive_tenant_policy(&base, &spec);
+        let (b, fb) = derive_tenant_policy(&base, &spec);
+        assert_eq!(a.candidates, b.candidates, "pure function of its inputs");
+        assert_eq!(fa, fb);
+        let f = fa.expect("adaptive mode reports features");
+        assert_eq!(a.candidates[0], f.prior, "the prior is explored first");
+        assert_eq!(a.candidates.len(), f.explore_len as usize);
+        assert!(!a.candidates.is_empty());
+        assert!(a.candidates.len() <= base.candidates.len());
+        // Every derived candidate comes from the configured pool, and
+        // none repeats.
+        for (i, c) in a.candidates.iter().enumerate() {
+            assert!(base.candidates.contains(c));
+            assert!(!a.candidates[..i].contains(c));
+        }
+    }
+
+    #[test]
+    fn short_streams_get_truncated_schedules_that_reach_exploit() {
+        let spec = spec();
+        // An epoch as long as the whole stream: one expected epoch,
+        // so the schedule truncates to the prior alone.
+        let base = PolicyConfig {
+            adaptive: true,
+            epoch_len: spec.len(),
+            ..PolicyConfig::default()
+        };
+        let (derived, features) = derive_tenant_policy(&base, &spec);
+        let f = features.unwrap();
+        assert_eq!(f.expected_epochs, 1);
+        assert_eq!(derived.candidates.len(), 1);
+        let mut e = PolicyEngine::new(derived);
+        assert!(e.exploiting(), "a sole candidate exploits from epoch 0");
+        assert_eq!(e.current(), f.prior);
+        // Even a collapsing score cannot flicker it back to exploring —
+        // there is nothing else to explore.
+        e.on_epoch(&epoch(10_000, 9000, 0));
+        assert_eq!(e.on_epoch(&epoch(10_000, 100, 0)), None);
+        assert!(e.exploiting());
+        assert_eq!(e.switches(), 0);
+    }
+
+    #[test]
+    fn long_streams_keep_the_full_extended_pool() {
+        let spec = spec();
+        // Tiny epochs: expected epochs far exceed 2 * 8 candidates.
+        let base = PolicyConfig {
+            adaptive: true,
+            epoch_len: 1,
+            candidates: SelectorKind::extended().to_vec(),
+            ..PolicyConfig::default()
+        };
+        let (derived, features) = derive_tenant_policy(&base, &spec);
+        assert_eq!(derived.candidates.len(), 8, "nothing truncated");
+        let f = features.unwrap();
+        assert_eq!(f.explore_len, 8);
+        assert_eq!(derived.candidates[0], f.prior);
     }
 }

@@ -7,7 +7,7 @@
 //! is hand-rolled with a fixed field order, so equal reports produce
 //! byte-identical files.
 
-use crate::policy::SwitchRecord;
+use crate::policy::{PolicyFeatures, SwitchRecord};
 use crate::snapshot::ServeSnapshot;
 use rsel_core::metrics::RunReport;
 
@@ -108,6 +108,11 @@ pub struct TenantSummary {
     /// warm-started engine keeps accumulating across the restore, so
     /// this includes switches carried over from the snapshot.
     pub switches: u64,
+    /// Whether the tenant was ever admitted into the active set. A
+    /// tenant can finish a serve unadmitted only in degenerate setups
+    /// (it was quarantined before first admission); `admitted_round`
+    /// and `admission_wait` are meaningless when this is `false`.
+    pub admitted: bool,
     /// Round the session entered the active set.
     pub admitted_round: u64,
     /// Rounds the tenant waited from first arrival to first admission
@@ -129,6 +134,14 @@ pub struct TenantSummary {
     pub regions_selected: u64,
     /// Regions evicted from this tenant by shard pressure.
     pub pressure_evicted: u64,
+    /// Regions evicted from this tenant by *utility-aware* pressure
+    /// waves (a subset of `pressure_evicted`; zero with the
+    /// utility-eviction knob off).
+    pub utility_evictions: u64,
+    /// Stream-shape features the stream-adaptive policy derived this
+    /// tenant's candidate schedule from; `None` under a non-adaptive
+    /// base policy.
+    pub policy_features: Option<PolicyFeatures>,
     /// Self-modifying-code writes that struck the tenant.
     pub smc_events: u64,
     /// Regions killed by those writes.
@@ -254,6 +267,12 @@ pub struct ServeReport {
     pub switches: Vec<SwitchRecord>,
     /// Total simulated instructions across all tenants.
     pub total_insts: u64,
+    /// Wall-clock throughput in simulated instructions per second,
+    /// measured and filled in by the *caller* (the bench binary, after
+    /// its determinism cross-check). Always `None` from the scheduler
+    /// itself — wall time is nondeterministic and must never
+    /// participate in the 1-vs-N identity.
+    pub insts_per_sec: Option<f64>,
 }
 
 impl ServeReport {
@@ -292,6 +311,21 @@ impl ServeReport {
         } else {
             Some(waits.iter().sum::<u64>() as f64 / waits.len() as f64)
         }
+    }
+
+    /// Tenants whose policy engine never reached the exploit phase —
+    /// the complement of [`mean_rounds_to_first_exploit`]'s
+    /// population. Under a stream-adaptive policy this should be zero:
+    /// short streams get truncated explore schedules sized to reach
+    /// exploit before they finish.
+    ///
+    /// [`mean_rounds_to_first_exploit`]:
+    /// ServeReport::mean_rounds_to_first_exploit
+    pub fn never_exploited(&self) -> u64 {
+        self.tenants
+            .iter()
+            .filter(|t| t.first_exploit_round.is_none())
+            .count() as u64
     }
 
     /// Shard-contended rounds summed over all shards.
@@ -366,14 +400,21 @@ impl ServeReport {
         }
     }
 
-    /// Mean rounds from first arrival to first admission over all
-    /// tenants — the aggregate admission latency.
+    /// Mean rounds from first arrival to first admission, over the
+    /// tenants that *were* admitted — a never-admitted tenant has no
+    /// admission wait, and averaging its zero in would understate the
+    /// latency everyone else paid. 0.0 when no tenant was admitted.
     pub fn mean_admission_wait(&self) -> f64 {
-        if self.tenants.is_empty() {
+        let waits: Vec<u64> = self
+            .tenants
+            .iter()
+            .filter(|t| t.admitted)
+            .map(|t| t.admission_wait)
+            .collect();
+        if waits.is_empty() {
             0.0
         } else {
-            self.tenants.iter().map(|t| t.admission_wait).sum::<u64>() as f64
-                / self.tenants.len() as f64
+            waits.iter().sum::<u64>() as f64 / waits.len() as f64
         }
     }
 
@@ -415,6 +456,13 @@ impl ServeReport {
         o.push_str(&format!(
             "  \"insts_per_round\": {:.1},\n",
             self.insts_per_round()
+        ));
+        o.push_str(&format!(
+            "  \"insts_per_sec\": {},\n",
+            match self.insts_per_sec {
+                Some(v) => format!("{v:.1}"),
+                None => "null".to_string(),
+            }
         ));
         o.push_str(&format!("  \"admissions\": {},\n", self.queue.admissions));
         o.push_str(&format!("  \"peak_active\": {},\n", self.queue.peak_active));
@@ -478,10 +526,31 @@ impl ServeReport {
             "  \"quarantine_retries\": {},\n",
             self.quarantine_retries()
         ));
-        o.push_str(&format!("  \"unique_bytes\": {},\n", self.unique_bytes));
-        o.push_str(&format!("  \"logical_bytes\": {},\n", self.logical_bytes));
-        o.push_str(&format!("  \"shared_refs\": {},\n", self.shared_refs));
-        o.push_str(&format!("  \"dedup_ratio\": {:.4},\n", self.dedup_ratio()));
+        o.push_str(&format!(
+            "  \"mean_rounds_to_first_exploit\": {},\n",
+            match self.mean_rounds_to_first_exploit() {
+                Some(v) => format!("{v:.4}"),
+                None => "null".to_string(),
+            }
+        ));
+        o.push_str(&format!(
+            "  \"never_exploited\": {},\n",
+            self.never_exploited()
+        ));
+        // Dedup metrics only exist when the shared store ran; emitting
+        // zeros with sharing off made "no store" indistinguishable
+        // from "a store that never held anything".
+        if self.share_active {
+            o.push_str(&format!("  \"unique_bytes\": {},\n", self.unique_bytes));
+            o.push_str(&format!("  \"logical_bytes\": {},\n", self.logical_bytes));
+            o.push_str(&format!("  \"shared_refs\": {},\n", self.shared_refs));
+            o.push_str(&format!("  \"dedup_ratio\": {:.4},\n", self.dedup_ratio()));
+        } else {
+            o.push_str("  \"unique_bytes\": null,\n");
+            o.push_str("  \"logical_bytes\": null,\n");
+            o.push_str("  \"shared_refs\": null,\n");
+            o.push_str("  \"dedup_ratio\": null,\n");
+        }
         o.push_str(&format!(
             "  \"mean_admission_wait\": {:.4},\n",
             self.mean_admission_wait()
@@ -502,24 +571,43 @@ impl ServeReport {
                 Some(r) => r.to_string(),
                 None => "null".to_string(),
             };
+            let features = match &t.policy_features {
+                None => "null".to_string(),
+                Some(f) => format!(
+                    "{{\"expected_epochs\": {}, \"blocks\": {}, \
+                     \"mean_block_insts\": {:.4}, \"taken_density\": {:.4}, \
+                     \"backward_fraction\": {:.4}, \"prior\": \"{}\", \
+                     \"explore_len\": {}}}",
+                    f.expected_epochs,
+                    f.blocks,
+                    f.mean_block_insts,
+                    f.taken_density,
+                    f.backward_fraction,
+                    f.prior.name(),
+                    f.explore_len,
+                ),
+            };
             o.push_str(&format!(
                 "    {{\"tenant\": {}, \"workload\": \"{}\", \"final_selector\": \"{}\", \
-                 \"epochs\": {}, \"switches\": {}, \"admitted_round\": {}, \
+                 \"epochs\": {}, \"switches\": {}, \"admitted\": {}, \"admitted_round\": {}, \
                  \"admission_wait\": {}, \
                  \"finished_round\": {}, \"first_exploit_round\": {}, \"total_insts\": {}, \
                  \"cache_insts\": {}, \"hit_rate\": {:.4}, \"insts_selected\": {}, \
-                 \"regions_selected\": {}, \"pressure_evicted\": {}, \"smc_events\": {}, \
+                 \"regions_selected\": {}, \"pressure_evicted\": {}, \
+                 \"utility_evictions\": {}, \"smc_events\": {}, \
                  \"smc_invalidated\": {}, \"reformations\": {}, \"blacklisted_targets\": {}, \
                  \"blacklist_hits\": {}, \"disconnects\": {}, \"reconnects\": {}, \
                  \"crashes\": {}, \"recovered_epochs\": {}, \"checkpoints\": {}, \
                  \"checkpoint_bytes\": {}, \"quarantined\": {}, \
                  \"quarantine_retries\": {}, \"smc_dips\": {}, \
-                 \"max_dip_depth\": {:.4}, \"max_dip_recovery_epochs\": {}}}{}\n",
+                 \"max_dip_depth\": {:.4}, \"max_dip_recovery_epochs\": {}, \
+                 \"policy_features\": {}}}{}\n",
                 t.tenant,
                 t.workload,
                 t.final_selector,
                 t.epochs,
                 t.switches,
+                t.admitted,
                 t.admitted_round,
                 t.admission_wait,
                 t.finished_round,
@@ -530,6 +618,7 @@ impl ServeReport {
                 t.insts_selected,
                 t.regions_selected,
                 t.pressure_evicted,
+                t.utility_evictions,
                 t.smc_events,
                 t.smc_invalidated,
                 t.reformations,
@@ -546,12 +635,22 @@ impl ServeReport {
                 t.smc_dips,
                 t.max_dip_depth,
                 t.max_dip_recovery_epochs,
+                features,
                 if i + 1 < self.tenants.len() { "," } else { "" }
             ));
         }
         o.push_str("  ],\n");
         o.push_str("  \"shards\": [\n");
         for (i, s) in self.shards.iter().enumerate() {
+            let (unique, logical, refs) = if self.share_active {
+                (
+                    s.unique_bytes.to_string(),
+                    s.logical_bytes.to_string(),
+                    s.shared_refs.to_string(),
+                )
+            } else {
+                ("null".into(), "null".into(), "null".into())
+            };
             o.push_str(&format!(
                 "    {{\"shard\": {}, \"peak_bytes\": {}, \"contended_rounds\": {}, \
                  \"pressure_waves\": {}, \"shed_actions\": {}, \"evicted_regions\": {}, \
@@ -565,9 +664,9 @@ impl ServeReport {
                 s.evicted_regions,
                 s.smc_invalidated,
                 s.final_bytes,
-                s.unique_bytes,
-                s.logical_bytes,
-                s.shared_refs,
+                unique,
+                logical,
+                refs,
                 if i + 1 < self.shards.len() { "," } else { "" }
             ));
         }

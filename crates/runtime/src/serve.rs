@@ -54,7 +54,9 @@
 //! next run can warm-start from it.
 
 use crate::churn::{ChaosConfig, ChurnConfig, LifecycleKind, TenantLifecycle};
-use crate::policy::{PolicyConfig, PolicyEngine, SwitchRecord};
+use crate::policy::{
+    PolicyConfig, PolicyEngine, PolicyFeatures, SwitchRecord, derive_tenant_policy,
+};
 use crate::report::{
     DipTracker, QueueStats, ServeOutcome, ServeReport, ShardReport, TenantSummary, wait_bucket,
 };
@@ -186,6 +188,12 @@ pub struct ServeConfig {
     /// quarantine drops it for the run). Zero keeps the original
     /// behavior: quarantine drops the tenant immediately.
     pub quarantine_penalty: u64,
+    /// Utility-aware pressure eviction: victims are chosen by bytes
+    /// per recent cached instruction (cold bulk goes first) instead of
+    /// raw byte footprint, both per-tenant in a shard and per-entry in
+    /// the shared store. Off preserves the legacy largest-first waves
+    /// byte for byte.
+    pub utility_evict: bool,
 }
 
 impl Default for ServeConfig {
@@ -206,6 +214,7 @@ impl Default for ServeConfig {
             reconnect_cold: false,
             share: false,
             quarantine_penalty: 0,
+            utility_evict: false,
         }
     }
 }
@@ -442,6 +451,19 @@ fn serve_impl(
         })
         .collect();
 
+    // Per-tenant policy configs: with a stream-adaptive base policy
+    // each tenant's candidate schedule is derived from its decoded
+    // stream shape (a pure function of config and spec — the snapshot
+    // loader re-derives the same schedules). Non-adaptive bases pass
+    // through unchanged.
+    let mut tenant_policies: Vec<PolicyConfig> = Vec::with_capacity(specs.len());
+    let mut tenant_features: Vec<Option<PolicyFeatures>> = Vec::with_capacity(specs.len());
+    for spec in specs {
+        let (p, f) = derive_tenant_policy(&config.policy, spec);
+        tenant_policies.push(p);
+        tenant_features.push(f);
+    }
+
     let warm_slots: Vec<Option<&TenantSnapshot>> = match warm {
         None => vec![None; specs.len()],
         Some(s) => {
@@ -466,7 +488,7 @@ fn serve_impl(
     for (t, spec) in specs.iter().enumerate() {
         match warm_slots[t] {
             Some(ts) => {
-                let engine = PolicyEngine::restore(config.policy.clone(), &ts.policy)
+                let engine = PolicyEngine::restore(tenant_policies[t].clone(), &ts.policy)
                     .ok_or(SnapshotError::BadPolicyState(t as u16))?;
                 let session =
                     TenantSession::restore(t as u16, spec, ts, &sim_configs[t], config.shard_count)
@@ -483,7 +505,7 @@ fn serve_impl(
                 }));
             }
             None => {
-                engines.push(PolicyEngine::new(config.policy.clone()));
+                engines.push(PolicyEngine::new(tenant_policies[t].clone()));
                 sessions.push(Mutex::new(Some(TenantSession::new(
                     t as u16,
                     spec,
@@ -539,6 +561,7 @@ fn serve_impl(
     // the retry path untestable.
     let mut poison_spent = false;
     let mut first_exploit_round: Vec<Option<u64>> = vec![None; specs.len()];
+    let mut utility_evicted = vec![0u64; specs.len()];
     let mut dips: Vec<DipTracker> = vec![DipTracker::default(); specs.len()];
     let mut was_admitted = vec![false; specs.len()];
     let mut shed_out = vec![false; specs.len()];
@@ -693,8 +716,8 @@ fn serve_impl(
                     let session = guard.as_mut()?;
                     let e = session.run_epoch(config.epoch_len);
                     match store_ref {
-                        Some(st) => session.publish_shared(map_ref, st),
-                        None => session.publish_occupancy(map_ref),
+                        Some(st) => session.publish_shared(map_ref, st, config.utility_evict),
+                        None => session.publish_occupancy(map_ref, config.utility_evict),
                     }
                     Some(e)
                 }));
@@ -756,6 +779,7 @@ fn serve_impl(
         // shard bytes before pressure resolves.
         let ran = active.clone();
         let mut still_active = Vec::with_capacity(active.len());
+        let mut finished_now: Vec<usize> = Vec::new();
         for &t in &active {
             match outcomes[t] {
                 None | Some(Outcome::Crashed) => {
@@ -793,7 +817,7 @@ fn serve_impl(
                         // decisions already logged stay logged, same
                         // bookkeeping as a crash rewind.
                         ledgers[t].forgotten_switches += engines[t].switches();
-                        engines[t] = PolicyEngine::new(config.policy.clone());
+                        engines[t] = PolicyEngine::new(tenant_policies[t].clone());
                         checkpoints[t] = None;
                         due.entry(round + config.quarantine_penalty)
                             .or_default()
@@ -816,6 +840,7 @@ fn serve_impl(
                         // The session is retained for the final report
                         // and snapshot; only its shard bytes (and
                         // store refs) release.
+                        finished_now.push(t);
                         finished_round[t] = round;
                         map.clear_tenant(t as u16);
                         if let Some(store) = store.as_mut() {
@@ -868,13 +893,13 @@ fn serve_impl(
                                             engines[t].switches() - cp_switches;
                                         engines[t] = match checkpoints[t].as_ref() {
                                             Some(c) => PolicyEngine::restore(
-                                                config.policy.clone(),
+                                                tenant_policies[t].clone(),
                                                 &c.snap.policy,
                                             )
                                             .unwrap_or_else(|| {
-                                                PolicyEngine::new(config.policy.clone())
+                                                PolicyEngine::new(tenant_policies[t].clone())
                                             }),
-                                            None => PolicyEngine::new(config.policy.clone()),
+                                            None => PolicyEngine::new(tenant_policies[t].clone()),
                                         };
                                         ledgers[t].fold_session(&session);
                                     }
@@ -906,7 +931,7 @@ fn serve_impl(
         if let Some(store) = store.as_mut() {
             for shard in store.overflowing(config.shard_capacity) {
                 map.note_wave(shard);
-                let wave = store.plan_wave(shard, config.shard_capacity);
+                let wave = store.plan_wave(shard, config.shard_capacity, config.utility_evict);
                 // Group the doomed keys by holder tenant; each victim
                 // tenant takes one eviction pass, in tenant order.
                 let mut by_tenant: BTreeMap<u16, Vec<u64>> = BTreeMap::new();
@@ -916,14 +941,103 @@ fn serve_impl(
                     }
                 }
                 for (tenant, keys) in &by_tenant {
-                    let (evicted, left) = sessions[*tenant as usize]
+                    let (evicted, left, left_recent) = sessions[*tenant as usize]
                         .get_mut()
                         .unwrap_or_else(PoisonError::into_inner)
                         .as_mut()
                         .map(|s| s.evict_shared(shard, keys))
-                        .unwrap_or((0, 0));
+                        .unwrap_or((0, 0, 0));
                     map.note_shed(shard, evicted);
-                    map.set_bytes(shard, *tenant, left);
+                    map.set_load(shard, *tenant, left, left_recent);
+                    if config.utility_evict {
+                        utility_evicted[*tenant as usize] += evicted;
+                    }
+                }
+            }
+        } else if config.utility_evict {
+            for shard in map.overflowing() {
+                map.note_wave(shard);
+                // The shard's residents with their recent cached
+                // instructions, ascending tenant order.
+                let mut load = map.shard_load(shard);
+                let mut remaining: BTreeMap<u16, VecDeque<(RegionId, u64, u64)>> = BTreeMap::new();
+                let mut doomed: BTreeMap<u16, Vec<RegionId>> = BTreeMap::new();
+                let mut zeroed: Vec<u16> = Vec::new();
+                while load.iter().map(|&(_, b, _)| b).sum::<u64>() > map.capacity() {
+                    // Victim: most bytes per recent cached instruction
+                    // — cold bulk sheds before hot working sets. The
+                    // comparison cross-multiplies in u128 so no float
+                    // ever enters an eviction decision; ties go to the
+                    // larger footprint, then the lower tenant id (the
+                    // vec is tenant-ascending).
+                    let mut victim = 0usize;
+                    for (i, &(_, b, r)) in load.iter().enumerate() {
+                        let (_, vb, vr) = load[victim];
+                        let ui = b as u128 * (u128::from(vr) + 1);
+                        let uv = vb as u128 * (u128::from(r) + 1);
+                        if ui > uv || (ui == uv && b > vb) {
+                            victim = i;
+                        }
+                    }
+                    let tv = load[victim].0;
+                    if load[victim].1 == 0 {
+                        break; // nothing shedable is left in this shard
+                    }
+                    let regs = remaining.entry(tv).or_insert_with(|| {
+                        let mut regs = sessions[tv as usize]
+                            .get_mut()
+                            .unwrap_or_else(PoisonError::into_inner)
+                            .as_ref()
+                            .map(|s| s.shard_regions_with_heat(shard))
+                            .unwrap_or_default();
+                        // Most evictable first: highest bytes per
+                        // recent instruction; ties go to the lower
+                        // region id.
+                        regs.sort_unstable_by(|a, b| {
+                            let ua = a.1 as u128 * (u128::from(b.2) + 1);
+                            let ub = b.1 as u128 * (u128::from(a.2) + 1);
+                            ub.cmp(&ua).then(a.0.cmp(&b.0))
+                        });
+                        regs.into()
+                    });
+                    if regs.is_empty() {
+                        // The ledger says the tenant holds bytes here
+                        // but no live region backs them; zero the entry
+                        // so the wave cannot spin on it.
+                        load[victim].1 = 0;
+                        load[victim].2 = 0;
+                        zeroed.push(tv);
+                        map.note_shed(shard, 0);
+                        break;
+                    }
+                    let count = regs.len().div_ceil(2);
+                    for _ in 0..count {
+                        let (id, _, _) = regs.pop_front().expect("count <= len");
+                        doomed.entry(tv).or_default().push(id);
+                    }
+                    map.note_shed(shard, count as u64);
+                    utility_evicted[tv as usize] += count as u64;
+                    load[victim].1 = regs.iter().map(|&(_, b, _)| b).sum();
+                    load[victim].2 = regs.iter().map(|&(_, _, r)| r).sum();
+                }
+                // Apply the plan, one eviction pass per victim tenant.
+                let left: BTreeMap<u16, (u64, u64)> =
+                    load.iter().map(|&(t, b, r)| (t, (b, r))).collect();
+                for (t, ids) in &doomed {
+                    if !ids.is_empty() {
+                        let (b, r) = left[t];
+                        if let Some(session) = sessions[*t as usize]
+                            .get_mut()
+                            .unwrap_or_else(PoisonError::into_inner)
+                            .as_mut()
+                        {
+                            session.evict_planned(shard, ids, b);
+                        }
+                        map.set_load(shard, *t, b, r);
+                    }
+                }
+                for &t in &zeroed {
+                    map.set_load(shard, t, 0, 0);
                 }
             }
         } else {
@@ -999,9 +1113,22 @@ fn serve_impl(
             debug_check_consistency(store, &mut map);
         }
 
-        // Policy decisions, tenant order.
+        // Policy decisions, tenant order. Stream-adaptive policies
+        // also feed the final epoch of tenants that finished this
+        // round: a short stream's last explore epoch is often its
+        // last epoch, and without this decision the engine would
+        // never reach exploit (leaving `first_exploit_round` null for
+        // a tenant that did learn a best selector).
         if config.adaptive {
-            for &t in &active {
+            let deciders: Vec<usize> = if config.policy.adaptive && !finished_now.is_empty() {
+                let mut d = active.clone();
+                d.extend(finished_now.iter().copied());
+                d.sort_unstable();
+                d
+            } else {
+                active.clone()
+            };
+            for &t in &deciders {
                 let e = match outcomes[t] {
                     Some(Outcome::Ran(e)) => e,
                     _ => continue,
@@ -1103,6 +1230,7 @@ fn serve_impl(
             final_selector: session.kind().name(),
             epochs: led.epochs,
             switches: engines[t].switches() + led.forgotten_switches,
+            admitted: was_admitted[t],
             admitted_round: admitted_round[t],
             admission_wait: admission_wait[t],
             finished_round: finished_round[t],
@@ -1112,6 +1240,8 @@ fn serve_impl(
             insts_selected: led.insts_selected,
             regions_selected: led.regions_selected,
             pressure_evicted: led.pressure_evicted,
+            utility_evictions: utility_evicted[t],
+            policy_features: tenant_features[t],
             smc_events: led.smc_events,
             smc_invalidated: led.smc_invalidated,
             reformations: led.reformations,
@@ -1182,6 +1312,7 @@ fn serve_impl(
             shards,
             switches,
             total_insts,
+            insts_per_sec: None,
         },
         run_reports,
         snapshot: ServeSnapshot {
@@ -1819,5 +1950,142 @@ mod tests {
         for t in &one.report.tenants {
             assert!(t.total_insts > 0, "tenant {} was starved", t.tenant);
         }
+    }
+
+    /// A config whose shards overflow constantly, so pressure waves
+    /// fire on every path the eviction policy touches.
+    fn pressured_config() -> ServeConfig {
+        ServeConfig {
+            shard_count: 4,
+            shard_capacity: 384,
+            ..ServeConfig::default()
+        }
+    }
+
+    #[test]
+    fn utility_eviction_fires_under_pressure_and_stays_deterministic() {
+        let specs: Vec<TenantSpec> = suite()
+            .iter()
+            .take(8)
+            .map(|w| TenantSpec::record(w, 7, Scale::Test))
+            .collect();
+        let legacy = serve(&specs, &pressured_config(), 1).unwrap();
+        assert!(
+            legacy.report.shed_actions() > 0,
+            "the squeeze must actually squeeze"
+        );
+        assert!(
+            legacy
+                .report
+                .tenants
+                .iter()
+                .all(|t| t.utility_evictions == 0),
+            "knob off, counter silent"
+        );
+        let config = ServeConfig {
+            utility_evict: true,
+            ..pressured_config()
+        };
+        let one = serve(&specs, &config, 1).unwrap();
+        let eight = serve(&specs, &config, 8).unwrap();
+        assert_eq!(one.report, eight.report, "utility eviction is 1-vs-8 safe");
+        assert_eq!(one.run_reports, eight.run_reports);
+        assert_eq!(one.snapshot, eight.snapshot);
+        let chosen: u64 = one.report.tenants.iter().map(|t| t.utility_evictions).sum();
+        let evicted: u64 = one.report.tenants.iter().map(|t| t.pressure_evicted).sum();
+        assert!(chosen > 0, "pressure fired but nothing was utility-chosen");
+        assert_eq!(
+            chosen, evicted,
+            "with the knob on, every pressure victim goes through utility scoring"
+        );
+    }
+
+    #[test]
+    fn utility_eviction_composes_with_the_shared_store() {
+        let specs = TenantSpec::replicate(two_specs(), 3);
+        let config = ServeConfig {
+            share: true,
+            utility_evict: true,
+            ..pressured_config()
+        };
+        let one = serve(&specs, &config, 1).unwrap();
+        let eight = serve(&specs, &config, 8).unwrap();
+        assert_eq!(one.report, eight.report);
+        assert_eq!(one.snapshot, eight.snapshot);
+        assert!(one.report.shed_actions() > 0, "shared shards overflowed");
+        let chosen: u64 = one.report.tenants.iter().map(|t| t.utility_evictions).sum();
+        assert!(chosen > 0, "shared waves count their utility victims");
+    }
+
+    #[test]
+    fn stream_adaptive_policy_leaves_no_tenant_unexploited() {
+        // The whole suite, stream lengths from one epoch up: every
+        // tenant's schedule must be sized so its engine reaches the
+        // exploit phase before its stream runs out.
+        let specs: Vec<TenantSpec> = suite()
+            .iter()
+            .map(|w| TenantSpec::record(w, 7, Scale::Test))
+            .collect();
+        let config = ServeConfig {
+            policy: PolicyConfig {
+                adaptive: true,
+                ..PolicyConfig::default()
+            },
+            ..ServeConfig::default()
+        };
+        let out = serve(&specs, &config, 2).unwrap();
+        assert_eq!(out.report.never_exploited(), 0, "{:#?}", {
+            let stuck: Vec<_> = out
+                .report
+                .tenants
+                .iter()
+                .filter(|t| t.first_exploit_round.is_none())
+                .map(|t| (t.tenant, t.workload, t.epochs))
+                .collect();
+            stuck
+        });
+        for t in &out.report.tenants {
+            let f = t.policy_features.expect("adaptive derivation ran");
+            assert!(f.explore_len >= 1);
+            assert_eq!(
+                u64::from(f.explore_len),
+                f.expected_epochs.div_ceil(2).clamp(1, 4),
+                "tenant {} explore budget drifted from its stream shape",
+                t.tenant
+            );
+        }
+    }
+
+    #[test]
+    fn extended_pool_serves_identically_on_any_worker_count() {
+        let specs: Vec<TenantSpec> = suite()
+            .iter()
+            .take(6)
+            .map(|w| TenantSpec::record(w, 7, Scale::Test))
+            .collect();
+        let config = ServeConfig {
+            policy: PolicyConfig {
+                adaptive: true,
+                candidates: rsel_core::select::SelectorKind::extended().to_vec(),
+                ..PolicyConfig::default()
+            },
+            utility_evict: true,
+            ..pressured_config()
+        };
+        let one = serve(&specs, &config, 1).unwrap();
+        let eight = serve(&specs, &config, 8).unwrap();
+        assert_eq!(one.report, eight.report, "extended pool is 1-vs-8 safe");
+        assert_eq!(one.run_reports, eight.run_reports);
+        assert_eq!(one.snapshot, eight.snapshot);
+        assert_eq!(one.report.never_exploited(), 0);
+        // Long-enough streams keep more than the core four candidates
+        // — the extended pool is actually in play.
+        assert!(
+            one.report
+                .tenants
+                .iter()
+                .any(|t| t.policy_features.is_some_and(|f| f.explore_len > 4)),
+            "no tenant ever saw the extended candidates"
+        );
     }
 }

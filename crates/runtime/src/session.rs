@@ -16,7 +16,7 @@ use rsel_core::metrics::RunReport;
 use rsel_core::select::SelectorKind;
 use rsel_core::{RegionId, SimConfig, Simulator};
 use rsel_program::{Executor, Program};
-use rsel_trace::{CompactStream, DecodedStream};
+use rsel_trace::{CompactStream, DecodedStream, StreamStats};
 use rsel_workloads::{Scale, Workload, suite};
 use std::collections::BTreeMap;
 use std::sync::Arc;
@@ -90,6 +90,13 @@ impl TenantSpec {
         self.decoded.len()
     }
 
+    /// Decode-time stream statistics — the cheap program-shape
+    /// features (block count, taken-branch density, backward-branch
+    /// fraction) the adaptive policy engine conditions its priors on.
+    pub fn stream_stats(&self) -> StreamStats {
+        self.decoded.stats()
+    }
+
     /// Whether the recording is empty.
     pub fn is_empty(&self) -> bool {
         self.decoded.is_empty()
@@ -158,6 +165,15 @@ pub struct TenantSession<'p> {
     stub_bytes: u64,
     /// Occupancy last published to the shared map, per shard.
     published: Vec<u64>,
+    /// Recent-heat totals last published to the shared map, per shard.
+    published_recent: Vec<u64>,
+    /// Per live region: the simulator's monotone executed-instruction
+    /// total at the last epoch boundary, and the decayed recent-heat
+    /// figure derived from it (`heat = heat/2 + delta` per epoch).
+    region_heat: BTreeMap<RegionId, (u64, u64)>,
+    /// Cache flush count at the last heat sweep; a change means the
+    /// region-id sequence (and the per-id counters) restarted.
+    heat_gen: u64,
     /// Share mode: content refs this session holds in the region
     /// store, per live region id. Region ids are stable until a full
     /// cache flush (tracked by `share_gen`), so only regions that
@@ -205,6 +221,9 @@ impl<'p> TenantSession<'p> {
             shard_count,
             stub_bytes: config.stub_bytes,
             published: vec![0; shard_count],
+            published_recent: vec![0; shard_count],
+            region_heat: BTreeMap::new(),
+            heat_gen: 0,
             shared: BTreeMap::new(),
             share_gen: 0,
             smc_by_shard: vec![0; shard_count],
@@ -370,7 +389,45 @@ impl<'p> TenantSession<'p> {
         self.prev_regions_selected = self.sim.regions_selected();
         self.prev_smc_events = self.sim.resilience().smc_events;
         self.prev_smc_invalidated = self.sim.resilience().invalidated_regions;
+        self.sweep_heat();
         stats
+    }
+
+    /// Decays and refreshes per-region heat from the simulator's
+    /// monotone per-region executed-instruction counters. A full flush
+    /// restarts the region-id sequence (and the per-id counters), so
+    /// the map resets with it; regions evicted without a flush simply
+    /// drop out of the sweep.
+    fn sweep_heat(&mut self) {
+        let flushes = self.sim.cache().flushes();
+        if flushes != self.heat_gen {
+            self.region_heat.clear();
+            self.heat_gen = flushes;
+        }
+        let mut next = BTreeMap::new();
+        for r in self.sim.cache().regions() {
+            let id = r.id();
+            let total = self.sim.region_insts_executed(id);
+            let (prev, heat) = self.region_heat.get(&id).copied().unwrap_or((0, 0));
+            next.insert(id, (total, heat / 2 + (total - prev)));
+        }
+        self.region_heat = next;
+    }
+
+    /// The decayed recent heat of live region `id` (zero for regions
+    /// never swept, i.e. selected after the last epoch boundary).
+    fn region_recent(&self, id: RegionId) -> u64 {
+        self.region_heat.get(&id).map_or(0, |&(_, h)| h)
+    }
+
+    /// Per-shard sums of region heat, shard-of-entry keyed like
+    /// [`TenantSession::occupancy`].
+    fn shard_heats(&self) -> Vec<u64> {
+        let mut heat = vec![0u64; self.shard_count];
+        for r in self.sim.cache().regions() {
+            heat[shard_of(self.tenant, r.entry(), self.shard_count)] += self.region_recent(r.id());
+        }
+        heat
     }
 
     /// This tenant's estimated bytes currently cached in `shard`.
@@ -396,18 +453,23 @@ impl<'p> TenantSession<'p> {
 
     /// Publishes this tenant's occupancy to the shared map (worker
     /// side; only shards whose occupancy changed are written, so a
-    /// quiet epoch takes no locks).
-    pub fn publish_occupancy(&mut self, map: &SharedCacheMap) {
+    /// quiet epoch takes no locks). Recent-heat totals ride along with
+    /// every write, but with `utility` off a heat-only change does not
+    /// trigger one — the set of shards touched (and so the contention
+    /// statistics) stays bit-identical to the pre-utility runtime.
+    pub fn publish_occupancy(&mut self, map: &SharedCacheMap, utility: bool) {
         let occ = self.occupancy();
-        let changes: Vec<(usize, u64)> = occ
-            .iter()
-            .enumerate()
-            .filter(|&(s, &b)| b != self.published[s])
-            .map(|(s, &b)| (s, b))
+        let heat = self.shard_heats();
+        let changes: Vec<(usize, u64, u64)> = (0..self.shard_count)
+            .filter(|&s| {
+                occ[s] != self.published[s] || (utility && heat[s] != self.published_recent[s])
+            })
+            .map(|s| (s, occ[s], heat[s]))
             .collect();
         if !changes.is_empty() {
             map.publish(self.tenant, &changes);
             self.published = occ;
+            self.published_recent = heat;
         }
     }
 
@@ -427,7 +489,7 @@ impl<'p> TenantSession<'p> {
     ///
     /// All store updates are commutative refcount operations, so
     /// worker scheduling cannot leak into the round's final state.
-    pub fn publish_shared(&mut self, map: &SharedCacheMap, store: &RegionStore) {
+    pub fn publish_shared(&mut self, map: &SharedCacheMap, store: &RegionStore, utility: bool) {
         let flushes = self.sim.cache().flushes();
         if flushes != self.share_gen {
             for (_, r) in std::mem::take(&mut self.shared) {
@@ -461,18 +523,30 @@ impl<'p> TenantSession<'p> {
                 .insert(region.id(), SharedRef { key, shard, bytes });
         }
         let mut occ = vec![0u64; self.shard_count];
-        for r in self.shared.values() {
+        let mut heat = vec![0u64; self.shard_count];
+        for (id, r) in &self.shared {
             occ[r.shard] += r.bytes;
+            heat[r.shard] += self.region_recent(*id);
         }
-        let changes: Vec<(usize, u64)> = occ
-            .iter()
-            .enumerate()
-            .filter(|&(s, &b)| b != self.published[s])
-            .map(|(s, &b)| (s, b))
+        if utility {
+            // Per-entry heat goes to the store so a shared entry's
+            // eviction utility can sum every holder's recent use. Each
+            // tenant writes only its own slot — commutative, so worker
+            // scheduling cannot leak into the round's final state.
+            for (id, r) in &self.shared {
+                store.publish_heat(r.shard, r.key, self.tenant, self.region_recent(*id));
+            }
+        }
+        let changes: Vec<(usize, u64, u64)> = (0..self.shard_count)
+            .filter(|&s| {
+                occ[s] != self.published[s] || (utility && heat[s] != self.published_recent[s])
+            })
+            .map(|s| (s, occ[s], heat[s]))
             .collect();
         if !changes.is_empty() {
             map.publish(self.tenant, &changes);
             self.published = occ;
+            self.published_recent = heat;
         }
     }
 
@@ -480,9 +554,9 @@ impl<'p> TenantSession<'p> {
     /// session's regions whose content keys are in `doomed` (all
     /// belonging to store shard `shard` — the store already removed
     /// the entries), returning `(regions evicted, logical bytes left
-    /// in the shard)`. The caller republishes the new total to the
-    /// capacity map.
-    pub fn evict_shared(&mut self, shard: usize, doomed: &[u64]) -> (u64, u64) {
+    /// in the shard, recent heat left in the shard)`. The caller
+    /// republishes the new totals to the capacity map.
+    pub fn evict_shared(&mut self, shard: usize, doomed: &[u64]) -> (u64, u64, u64) {
         let dead: Vec<RegionId> = self
             .shared
             .iter()
@@ -493,14 +567,16 @@ impl<'p> TenantSession<'p> {
             self.shared.remove(id);
         }
         let evicted = self.sim.evict_regions(&dead) as u64;
-        let left: u64 = self
-            .shared
-            .values()
-            .filter(|r| r.shard == shard)
-            .map(|r| r.bytes)
-            .sum();
+        let (mut left, mut left_recent) = (0u64, 0u64);
+        for (id, r) in &self.shared {
+            if r.shard == shard {
+                left += r.bytes;
+                left_recent += self.region_recent(*id);
+            }
+        }
         self.published[shard] = left;
-        (evicted, left)
+        self.published_recent[shard] = left_recent;
+        (evicted, left, left_recent)
     }
 
     /// Share mode: the content refs this session believes it holds —
@@ -528,6 +604,25 @@ impl<'p> TenantSession<'p> {
             .collect()
     }
 
+    /// [`TenantSession::shard_regions`] with each region's decayed
+    /// recent heat attached — the utility-aware planner's input:
+    /// `(id, bytes, recent cached instructions)` in selection order.
+    pub fn shard_regions_with_heat(&self, shard: usize) -> Vec<(RegionId, u64, u64)> {
+        self.sim
+            .cache()
+            .regions()
+            .iter()
+            .filter(|r| shard_of(self.tenant, r.entry(), self.shard_count) == shard)
+            .map(|r| {
+                (
+                    r.id(),
+                    r.size_estimate(self.stub_bytes),
+                    self.region_recent(r.id()),
+                )
+            })
+            .collect()
+    }
+
     /// Barrier-side pressure response: evicts the planned victim set
     /// `ids` from `shard` in one pass, recording `left` (the planner's
     /// byte total for the surviving regions) as the published
@@ -536,6 +631,7 @@ impl<'p> TenantSession<'p> {
         let evicted = self.sim.evict_regions(ids) as u64;
         debug_assert_eq!(left, self.shard_occupancy(shard), "planned bytes drifted");
         self.published[shard] = left;
+        self.published_recent[shard] = self.shard_heats()[shard];
         evicted
     }
 
@@ -656,7 +752,7 @@ mod tests {
         let mut s = TenantSession::new(0, &spec, SelectorKind::Net, &cfg, 8);
         while !s.finished() {
             s.run_epoch(2000);
-            s.publish_occupancy(&map);
+            s.publish_occupancy(&map, false);
         }
         let total: u64 = s.occupancy().iter().sum();
         assert_eq!(total, s.sim.cache().size_estimate(cfg.stub_bytes));

@@ -82,7 +82,7 @@
 //! never be replayed against another silently
 //! ([`SnapshotError::CandidateMismatch`]).
 
-use crate::policy::{PolicyConfig, PolicyEngine, PolicyState};
+use crate::policy::{PolicyConfig, PolicyEngine, PolicyState, derive_tenant_policy};
 use crate::session::TenantSpec;
 use rsel_core::select::SelectorKind;
 use rsel_core::{Region, RegionKind, SimError};
@@ -644,6 +644,12 @@ fn validate_tenant(
             spec: spec.name(),
         });
     }
+    // Adaptive mode derives each tenant's candidate list from its
+    // stream; the derivation is a pure function of (config, spec), so
+    // the loader reproduces exactly the list the tenant served under
+    // and validates the persisted state against that.
+    let (policy, _) = derive_tenant_policy(policy, spec);
+    let policy = &policy;
     let selector = tag_selector(raw.selector)?;
     if raw.candidates.len() != policy.candidates.len() {
         return Err(SnapshotError::CandidateMismatch { tenant });
